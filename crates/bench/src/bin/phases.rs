@@ -1,0 +1,100 @@
+//! Drill into one join's phase-by-phase execution.
+//!
+//! ```text
+//! cargo run --release -p gamma-bench --bin phases -- hybrid 0.25
+//! cargo run --release -p gamma-bench --bin phases -- sort-merge 0.1 --nonhpja --filter
+//! cargo run --release -p gamma-bench --bin phases -- simple 0.2 --remote
+//! ```
+//!
+//! Prints the scheduler dispatch overhead, parallel duration, critical
+//! node and aggregate resource demand of every phase — the breakdown
+//! behind each point in the paper's figures.
+
+use gamma_bench::{SweepBuilder, Workload};
+use gamma_core::query::Algorithm;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        eprintln!("usage: phases <sort-merge|simple|grace|hybrid> <ratio> [--nonhpja] [--remote] [--mixed] [--filter] [--scale F]");
+        std::process::exit(2);
+    }
+    let alg = match args[0].as_str() {
+        "sort-merge" => Algorithm::SortMerge,
+        "simple" => Algorithm::SimpleHash,
+        "grace" => Algorithm::GraceHash,
+        "hybrid" => Algorithm::HybridHash,
+        other => {
+            eprintln!("unknown algorithm {other}");
+            std::process::exit(2);
+        }
+    };
+    let ratio: f64 = args[1].parse().expect("ratio must be a float");
+    let flag = |f: &str| args.iter().any(|a| a == f);
+    let mut scale = 1.0f64;
+    if let Some(i) = args.iter().position(|a| a == "--scale") {
+        scale = args[i + 1].parse().expect("scale must be a float");
+    }
+
+    let w = Workload::scaled(
+        (100_000f64 * scale).round() as usize,
+        (10_000f64 * scale).round() as usize,
+    );
+    let mut b = SweepBuilder::new(&w);
+    if flag("--nonhpja") {
+        b = b.on("unique2", "unique2");
+    }
+    if flag("--remote") {
+        b = b.remote();
+    }
+    if flag("--mixed") {
+        b = b.mixed();
+    }
+    b = b.filtered(flag("--filter"));
+
+    let p = b.run_one(alg, ratio);
+    let r = &p.report;
+    println!(
+        "{} @ ratio {:.3}: {:.2}s response, {} buckets, {} result tuples{}",
+        r.algorithm,
+        ratio,
+        r.response.as_secs(),
+        r.buckets,
+        r.result_tuples,
+        if r.overflow_passes > 0 {
+            format!(", {} overflow passes", r.overflow_passes)
+        } else {
+            String::new()
+        }
+    );
+    println!(
+        "disk-node CPU utilization {:.0}%, join-node {:.0}%\n",
+        100.0 * r.disk_node_cpu_utilization,
+        100.0 * r.join_node_cpu_utilization
+    );
+    println!(
+        "{:<36} {:>9} {:>10} {:>5} {:>9} {:>9} {:>8} {:>8} {:>8}",
+        "phase", "sched", "duration", "crit", "cpu", "disk", "reads", "writes", "packets"
+    );
+    for ph in &r.phases {
+        println!(
+            "{:<36} {:>9} {:>10} {:>5} {:>8.2}s {:>8.2}s {:>8} {:>8} {:>8}",
+            ph.name,
+            ph.sched_overhead.to_string(),
+            ph.duration.to_string(),
+            ph.critical_node,
+            ph.total.cpu.as_secs(),
+            ph.total.disk.as_secs(),
+            ph.total.counts.pages_read,
+            ph.total.counts.pages_written,
+            ph.total.counts.packets_sent,
+        );
+    }
+    println!(
+        "\ntotals: {} page I/Os, {} packets, {} short-circuited msgs, {} filter drops",
+        r.page_ios(),
+        r.packets(),
+        r.shortcircuits(),
+        r.total.counts.filter_drops
+    );
+}

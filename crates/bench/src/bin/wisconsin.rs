@@ -1,0 +1,36 @@
+//! Run the full Wisconsin benchmark suite \[BITT83\] on the simulated Gamma
+//! machine and print the classic timing table.
+//!
+//! ```text
+//! cargo run --release -p gamma-bench --bin wisconsin            # 100,000 tuples
+//! cargo run --release -p gamma-bench --bin wisconsin -- 10000   # classic scale
+//! cargo run --release -p gamma-bench --bin wisconsin -- 100000 --remote
+//! ```
+
+use gamma_core::{Machine, MachineConfig};
+use gamma_wisconsin::WisconsinBenchmark;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n: u32 = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(|a| a.parse().expect("tuple count"))
+        .unwrap_or(100_000);
+    let remote = args.iter().any(|a| a == "--remote");
+    let cfg = if remote {
+        MachineConfig::remote_8_plus_8()
+    } else {
+        MachineConfig::local_8()
+    };
+    eprintln!(
+        "# Wisconsin benchmark, |A| = {n}, |Bprime| = {}, {} configuration",
+        n / 10,
+        if remote { "remote" } else { "local" }
+    );
+    let mut bench = WisconsinBenchmark::new(Machine::new(cfg), n, 1989);
+    println!("{:<38} {:>12} {:>10}", "query", "seconds", "tuples");
+    for r in bench.run_all() {
+        println!("{:<38} {:>12.2} {:>10}", r.name, r.seconds, r.tuples);
+    }
+}

@@ -1,0 +1,196 @@
+//! One function per paper table/figure.
+//!
+//! Each returns the measured series and can print itself as a TSV block
+//! whose rows mirror what the paper plots. `EXPERIMENTS.md` records the
+//! output of `cargo run --release -p gamma-bench --bin figures -- all`
+//! next to the paper's qualitative claims.
+
+use gamma_core::query::{Algorithm, OverflowPolicy};
+
+use crate::sweep::{paper_ratios, ExperimentPoint, SweepBuilder, Workload};
+
+/// Pretty-print a series grouped by algorithm.
+pub fn print_series(title: &str, pts: &[ExperimentPoint]) {
+    println!("\n== {title} ==");
+    println!("{:<12} {:>7} {:>10} {:>8} {:>10} {:>10} {:>9}", "algorithm", "ratio", "seconds", "buckets", "pageIOs", "packets", "ovfl");
+    for p in pts {
+        println!(
+            "{:<12} {:>7.3} {:>10.2} {:>8} {:>10} {:>10} {:>9}",
+            p.algorithm,
+            p.ratio,
+            p.seconds,
+            p.report.buckets,
+            p.report.page_ios(),
+            p.report.packets(),
+            p.report.overflow_passes,
+        );
+    }
+}
+
+/// Figure 5: HPJA joins, local configuration, no filters.
+pub fn fig05(w: &Workload) -> Vec<ExperimentPoint> {
+    SweepBuilder::new(w).run(&Algorithm::ALL, &paper_ratios())
+}
+
+/// Figure 6: non-HPJA joins (join on `unique2`), local, no filters.
+pub fn fig06(w: &Workload) -> Vec<ExperimentPoint> {
+    SweepBuilder::new(w)
+        .on("unique2", "unique2")
+        .run(&Algorithm::ALL, &paper_ratios())
+}
+
+/// Figure 7: Hybrid between ratios 0.5 and 1.0 — optimistic (overflow)
+/// vs pessimistic (two buckets) vs the optimal endpoints.
+pub fn fig07(w: &Workload) -> Vec<ExperimentPoint> {
+    let ratios = [0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+    let mut pts = Vec::new();
+    for (policy, label) in [
+        (OverflowPolicy::Optimistic, "hybrid-overflow"),
+        (OverflowPolicy::Pessimistic, "hybrid-2bucket"),
+    ] {
+        let b = SweepBuilder::new(w).policy(policy);
+        for &r in &ratios {
+            let mut p = b.run_one(Algorithm::HybridHash, r);
+            p.algorithm = label.into();
+            pts.push(p);
+        }
+    }
+    pts
+}
+
+/// Figure 8: HPJA joins with bit filters, local.
+pub fn fig08(w: &Workload) -> Vec<ExperimentPoint> {
+    SweepBuilder::new(w)
+        .filtered(true)
+        .run(&Algorithm::ALL, &paper_ratios())
+}
+
+/// Figure 9: non-HPJA joins with bit filters, local.
+pub fn fig09(w: &Workload) -> Vec<ExperimentPoint> {
+    SweepBuilder::new(w)
+        .on("unique2", "unique2")
+        .filtered(true)
+        .run(&Algorithm::ALL, &paper_ratios())
+}
+
+/// Figures 10-13: per-algorithm filter on/off comparison (HPJA, local).
+pub fn fig10_13(w: &Workload, algorithm: Algorithm) -> Vec<ExperimentPoint> {
+    let mut pts = Vec::new();
+    for (f, label) in [(false, "nofilter"), (true, "filter")] {
+        let b = SweepBuilder::new(w).filtered(f);
+        for &r in paper_ratios().iter() {
+            let mut p = b.run_one(algorithm, r);
+            p.algorithm = format!("{}-{}", algorithm.name(), label);
+            pts.push(p);
+        }
+    }
+    pts
+}
+
+/// Figure 14: remote configuration, HPJA vs non-HPJA (hash joins only).
+pub fn fig14(w: &Workload) -> Vec<ExperimentPoint> {
+    let algs = [
+        Algorithm::SimpleHash,
+        Algorithm::GraceHash,
+        Algorithm::HybridHash,
+    ];
+    let mut pts = Vec::new();
+    for (attrs, label) in [(("unique1", "unique1"), "hpja"), (("unique2", "unique2"), "nonhpja")] {
+        let b = SweepBuilder::new(w).on(attrs.0, attrs.1).remote();
+        for &alg in &algs {
+            for &r in paper_ratios().iter() {
+                let mut p = b.run_one(alg, r);
+                p.algorithm = format!("{}-{}", alg.name(), label);
+                pts.push(p);
+            }
+        }
+    }
+    pts
+}
+
+/// Figure 15: local vs remote, HPJA.
+pub fn fig15(w: &Workload) -> Vec<ExperimentPoint> {
+    local_vs_remote(w, "unique1")
+}
+
+/// Figure 16: local vs remote, non-HPJA.
+pub fn fig16(w: &Workload) -> Vec<ExperimentPoint> {
+    local_vs_remote(w, "unique2")
+}
+
+fn local_vs_remote(w: &Workload, attr: &str) -> Vec<ExperimentPoint> {
+    let algs = [
+        Algorithm::SimpleHash,
+        Algorithm::GraceHash,
+        Algorithm::HybridHash,
+    ];
+    let mut pts = Vec::new();
+    for remote in [false, true] {
+        let b = if remote {
+            SweepBuilder::new(w).on(attr, attr).remote()
+        } else {
+            SweepBuilder::new(w).on(attr, attr)
+        };
+        for &alg in &algs {
+            for &r in paper_ratios().iter() {
+                let mut p = b.run_one(alg, r);
+                p.algorithm = format!("{}-{}", alg.name(), if remote { "remote" } else { "local" });
+                pts.push(p);
+            }
+        }
+    }
+    pts
+}
+
+/// Table 3: skewed join-attribute distributions (UU / NU / UN) at 100 %
+/// and 17 % memory, relations range-partitioned on the join attributes,
+/// with and without bit filters.
+pub fn table3(w: &Workload) -> Vec<ExperimentPoint> {
+    let combos: [(&str, &str, &str); 3] = [
+        ("unique1", "unique1", "UU"),
+        ("normal", "unique1", "NU"),
+        ("unique1", "normal", "UN"),
+    ];
+    let mut pts = Vec::new();
+    for (inner, outer, tag) in combos {
+        for filter in [false, true] {
+            for (ratio, mtag) in [(1.0, "100%"), (0.17, "17%")] {
+                for alg in Algorithm::ALL {
+                    let mut b = SweepBuilder::new(w).on(inner, outer).range_loaded().filtered(filter);
+                    // The paper ran Grace with one extra bucket for NU so
+                    // no bucket would overflow.
+                    if alg == Algorithm::GraceHash && inner == "normal" {
+                        b = b.extra_buckets(1);
+                    }
+                    let mut p = b.run_one(alg, ratio);
+                    p.algorithm = format!(
+                        "{}-{}-{}-{}",
+                        alg.name(),
+                        tag,
+                        mtag,
+                        if filter { "filter" } else { "nofilter" }
+                    );
+                    pts.push(p);
+                }
+            }
+        }
+    }
+    pts
+}
+
+/// Table 4 is derived from Table 3: percentage improvement from filtering.
+pub fn table4(t3: &[ExperimentPoint]) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for p in t3 {
+        if let Some(base_name) = p.algorithm.strip_suffix("-nofilter") {
+            let with = t3
+                .iter()
+                .find(|q| q.algorithm == format!("{base_name}-filter") && q.ratio == p.ratio);
+            if let Some(withf) = with {
+                let impr = 100.0 * (p.seconds - withf.seconds) / p.seconds;
+                out.push((format!("{base_name}@{}", p.ratio), impr));
+            }
+        }
+    }
+    out
+}

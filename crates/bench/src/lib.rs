@@ -1,0 +1,17 @@
+//! # gamma-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation section.
+//! Each experiment builds the Wisconsin workload, loads it the way the
+//! paper did (hash-declustered on `unique1`, or range-partitioned on the
+//! join attribute for the skew experiments), sweeps memory availability,
+//! and prints the same series the paper plots. Every join run is validated
+//! against the oracle before its time is reported.
+//!
+//! Run `cargo run --release -p gamma-bench --bin figures -- all` to
+//! regenerate everything (see `EXPERIMENTS.md` for the recorded output).
+
+pub mod experiments;
+pub mod plot;
+pub mod sweep;
+
+pub use sweep::{ExperimentPoint, SweepBuilder, Workload};

@@ -1,0 +1,291 @@
+//! Workload setup and memory-ratio sweeps.
+
+use gamma_core::query::{Algorithm, JoinSite, JoinSpec, OverflowPolicy};
+use gamma_core::{run_join, JoinReport, Machine, MachineConfig, RelationId};
+use gamma_wisconsin::{
+    join_abprime, load_hashed, load_range, oracle_join, OracleExpect, WisconsinGen, WisconsinRow,
+};
+use rayon::prelude::*;
+use serde::Serialize;
+
+/// How the relations are declustered at load time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadStyle {
+    /// Hashed on `unique1` (the paper's default).
+    HashedUnique1,
+    /// Range-partitioned on the join attributes (the §4.4 skew loading).
+    RangeOnJoinAttrs,
+}
+
+/// The benchmark workload: the 100,000-tuple `A` and the 10,000-tuple
+/// `Bprime` sampled from it, at a configurable scale.
+pub struct Workload {
+    /// Generated `A` rows.
+    pub a_rows: Vec<WisconsinRow>,
+    /// Generated `Bprime` rows (random sample of `A`).
+    pub bprime_rows: Vec<WisconsinRow>,
+}
+
+impl Workload {
+    /// The paper's full-size workload.
+    pub fn full() -> Self {
+        Self::scaled(100_000, 10_000)
+    }
+
+    /// A scaled workload (tests use small ones; figures use the full one).
+    pub fn scaled(a: usize, bprime: usize) -> Self {
+        let gen = WisconsinGen::new(1989);
+        let a_rows = gen.relation(a, 0);
+        let bprime_rows = gen.sample(&a_rows, bprime, 1);
+        Workload { a_rows, bprime_rows }
+    }
+
+    /// Oracle expectation for a join on the given attributes.
+    pub fn expect(&self, inner_attr: &str, outer_attr: &str) -> OracleExpect {
+        oracle_join(
+            &self.bprime_rows,
+            &self.a_rows,
+            inner_attr,
+            outer_attr,
+            None,
+            None,
+        )
+    }
+
+    /// Build a machine and load the workload.
+    pub fn machine(
+        &self,
+        remote_nodes: bool,
+        style: LoadStyle,
+        inner_attr: &str,
+        outer_attr: &str,
+    ) -> (Machine, RelationId, RelationId) {
+        let cfg = if remote_nodes {
+            MachineConfig::remote_8_plus_8()
+        } else {
+            MachineConfig::local_8()
+        };
+        let mut machine = Machine::new(cfg);
+        let (a, bprime) = match style {
+            LoadStyle::HashedUnique1 => (
+                load_hashed(&mut machine, "A", &self.a_rows, "unique1"),
+                load_hashed(&mut machine, "Bprime", &self.bprime_rows, "unique1"),
+            ),
+            LoadStyle::RangeOnJoinAttrs => (
+                load_range(&mut machine, "A", &self.a_rows, outer_attr),
+                load_range(&mut machine, "Bprime", &self.bprime_rows, inner_attr),
+            ),
+        };
+        (machine, a, bprime)
+    }
+}
+
+/// One measured point of an experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentPoint {
+    /// Algorithm.
+    pub algorithm: String,
+    /// Memory ratio (`memory / |inner|`).
+    pub ratio: f64,
+    /// Response time in seconds.
+    pub seconds: f64,
+    /// Full report for drill-down.
+    pub report: JoinReport,
+}
+
+/// Declarative sweep runner.
+pub struct SweepBuilder<'a> {
+    workload: &'a Workload,
+    inner_attr: String,
+    outer_attr: String,
+    site: JoinSite,
+    filter: bool,
+    filter_bucket_forming: bool,
+    bucket_tuning: bool,
+    policy: OverflowPolicy,
+    style: LoadStyle,
+    extra_buckets: usize,
+    validate: bool,
+}
+
+impl<'a> SweepBuilder<'a> {
+    /// A sweep over the workload, joining on `unique1` (HPJA) by default.
+    pub fn new(workload: &'a Workload) -> Self {
+        SweepBuilder {
+            workload,
+            inner_attr: "unique1".into(),
+            outer_attr: "unique1".into(),
+            site: JoinSite::Local,
+            filter: false,
+            filter_bucket_forming: false,
+            bucket_tuning: false,
+            policy: OverflowPolicy::Pessimistic,
+            style: LoadStyle::HashedUnique1,
+            extra_buckets: 0,
+            validate: true,
+        }
+    }
+
+    /// Join on the given attributes (non-HPJA: `unique2`; skew: `normal`).
+    pub fn on(mut self, inner_attr: &str, outer_attr: &str) -> Self {
+        self.inner_attr = inner_attr.into();
+        self.outer_attr = outer_attr.into();
+        self
+    }
+
+    /// Run joins on the diskless processors.
+    pub fn remote(mut self) -> Self {
+        self.site = JoinSite::Remote;
+        self
+    }
+
+    /// Run joins on every processor, disks and diskless together (§4.3's
+    /// half-way configuration).
+    pub fn mixed(mut self) -> Self {
+        self.site = JoinSite::Mixed;
+        self
+    }
+
+    /// Enable bit-vector filters.
+    pub fn filtered(mut self, on: bool) -> Self {
+        self.filter = on;
+        self
+    }
+
+    /// Also filter the Grace/Hybrid bucket-forming phases (the paper's
+    /// proposed §4.2/§5 extension). Implies filtering on.
+    pub fn filter_bucket_forming(mut self) -> Self {
+        self.filter = true;
+        self.filter_bucket_forming = true;
+        self
+    }
+
+    /// Enable Grace bucket tuning \[KITS83\] (many small buckets combined by
+    /// measured size at join time).
+    pub fn bucket_tuning(mut self) -> Self {
+        self.bucket_tuning = true;
+        self
+    }
+
+    /// Choose the overflow policy (Figure 7).
+    pub fn policy(mut self, p: OverflowPolicy) -> Self {
+        self.policy = p;
+        self
+    }
+
+    /// Range-partition the relations on the join attributes (§4.4).
+    pub fn range_loaded(mut self) -> Self {
+        self.style = LoadStyle::RangeOnJoinAttrs;
+        self
+    }
+
+    /// Add buckets beyond the computed count (§4.4 Grace trick).
+    pub fn extra_buckets(mut self, n: usize) -> Self {
+        self.extra_buckets = n;
+        self
+    }
+
+    /// Disable oracle validation (only for deliberately lossy ablations).
+    pub fn unvalidated(mut self) -> Self {
+        self.validate = false;
+        self
+    }
+
+    /// Run one algorithm at one memory ratio.
+    pub fn run_one(&self, algorithm: Algorithm, ratio: f64) -> ExperimentPoint {
+        let remote = matches!(self.site, JoinSite::Remote | JoinSite::Mixed);
+        let (mut machine, a, bprime) =
+            self.workload
+                .machine(remote, self.style, &self.inner_attr, &self.outer_attr);
+        let inner_bytes = machine.relation(bprime).data_bytes;
+        // ceil keeps 1/N ratios mapping to exactly N buckets despite
+        // floating-point truncation.
+        let memory = ((inner_bytes as f64) * ratio).ceil().max(1.0) as u64;
+        let mut spec: JoinSpec = join_abprime(
+            algorithm,
+            bprime,
+            a,
+            &self.inner_attr,
+            &self.outer_attr,
+            memory,
+        );
+        spec.site = if algorithm == Algorithm::SortMerge {
+            JoinSite::Local // sort-merge cannot use diskless nodes (§3.1)
+        } else {
+            self.site
+        };
+        spec.bit_filter = self.filter;
+        spec.filter_bucket_forming = self.filter_bucket_forming;
+        spec.bucket_tuning = self.bucket_tuning;
+        spec.overflow_policy = self.policy;
+        spec.extra_buckets = self.extra_buckets;
+        let report = run_join(&mut machine, &spec);
+        if self.validate {
+            let expect = self.workload.expect(&self.inner_attr, &self.outer_attr);
+            assert_eq!(
+                report.result_tuples, expect.tuples,
+                "{} at ratio {ratio}: wrong cardinality",
+                algorithm.name()
+            );
+            assert_eq!(
+                report.result_checksum, expect.checksum,
+                "{} at ratio {ratio}: wrong result contents",
+                algorithm.name()
+            );
+        }
+        ExperimentPoint {
+            algorithm: algorithm.name().into(),
+            ratio,
+            seconds: report.seconds(),
+            report,
+        }
+    }
+
+    /// Run several algorithms across several ratios. Points are measured
+    /// in parallel with rayon — each builds its own machine, so virtual
+    /// times are bit-identical to a sequential run.
+    pub fn run(&self, algorithms: &[Algorithm], ratios: &[f64]) -> Vec<ExperimentPoint> {
+        let points: Vec<(Algorithm, f64)> = algorithms
+            .iter()
+            .flat_map(|&a| ratios.iter().map(move |&r| (a, r)))
+            .collect();
+        points
+            .into_par_iter()
+            .map(|(alg, r)| self.run_one(alg, r))
+            .collect()
+    }
+}
+
+/// The paper's canonical sweep ratios: integral bucket counts 1..=10 for
+/// Grace/Hybrid (1/N), which the other algorithms share for comparability.
+pub fn paper_ratios() -> Vec<f64> {
+    (1..=10).map(|n| 1.0 / n as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_sweep_validates_and_orders() {
+        let w = Workload::scaled(2_000, 200);
+        let pts = SweepBuilder::new(&w).run(&[Algorithm::HybridHash], &[1.0, 0.5]);
+        assert_eq!(pts.len(), 2);
+        for p in &pts {
+            assert_eq!(p.report.result_tuples, 200);
+            assert!(p.seconds > 0.0);
+        }
+        assert!(
+            pts[1].seconds > pts[0].seconds,
+            "hybrid must slow down when memory halves"
+        );
+    }
+
+    #[test]
+    fn paper_ratios_shape() {
+        let r = paper_ratios();
+        assert_eq!(r.len(), 10);
+        assert_eq!(r[0], 1.0);
+        assert!((r[9] - 0.1).abs() < 1e-12);
+    }
+}

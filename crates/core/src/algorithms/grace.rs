@@ -1,0 +1,446 @@
+//! Parallel Grace hash-join (§3.3).
+//!
+//! Bucket-forming is completely separated from bucket-joining: both source
+//! relations are hashed into `N` logical buckets, each bucket horizontally
+//! partitioned across every disk node through the bucket-major partitioning
+//! split table of Appendix A. Both relations are therefore written back to
+//! disk in full before any joining starts — the reason Grace's curve is
+//! nearly flat in memory and why extra buckets cost only scheduling
+//! overhead. Each bucket is then joined Grace-style: build hash tables at
+//! the join sites, probe, with per-bucket bit filters.
+
+use gamma_wiss::{FileId, HeapWriter};
+
+use crate::bitfilter::BitFilter;
+use crate::hash::{hash_u32, JOIN_SEED};
+use crate::hashjoin::{
+    broadcast_filters, delete_file, dispatch_overhead, resolve_overflows, OverflowEnv, SiteSet,
+};
+use crate::machine::{Ledgers, Machine, NodeId, ResultSink};
+use crate::report::{DriverOutput, PhaseRecord};
+use crate::split::{JoiningSplitTable, PartitioningSplitTable, Route};
+
+use super::common::{scan_fragment, Resolved};
+
+/// Filter-salt namespace for Grace.
+const GRACE_SALT: u64 = 0x6A;
+
+/// Bucket files: `files[disk_node][bucket-1]`.
+struct BucketFiles {
+    writers: Vec<Vec<Option<HeapWriter>>>,
+}
+
+impl BucketFiles {
+    fn new(machine: &mut Machine, buckets: usize) -> Self {
+        let page = machine.cfg.cost.disk.page_bytes;
+        let writers = machine
+            .disk_nodes()
+            .into_iter()
+            .map(|n| {
+                (0..buckets)
+                    .map(|_| {
+                        Some(HeapWriter::create(
+                            machine.volumes[n].as_mut().unwrap(),
+                            page,
+                        ))
+                    })
+                    .collect()
+            })
+            .collect();
+        BucketFiles { writers }
+    }
+
+    fn push(
+        &mut self,
+        machine: &mut Machine,
+        ledgers: &mut Ledgers,
+        node: NodeId,
+        bucket: usize,
+        rec: &[u8],
+    ) {
+        let cost = machine.cfg.cost.clone();
+        cost.charge(&mut ledgers[node], cost.store_tuple_us);
+        self.writers[node][bucket - 1]
+            .as_mut()
+            .expect("bucket closed")
+            .push(
+                machine.volumes[node].as_mut().unwrap(),
+                machine.pools[node].as_mut().unwrap(),
+                &mut ledgers[node],
+                rec,
+            );
+    }
+
+    /// Close all writers; returns `files[disk_node][bucket-1]`.
+    fn finish(self, machine: &mut Machine, ledgers: &mut Ledgers) -> Vec<Vec<FileId>> {
+        self.writers
+            .into_iter()
+            .enumerate()
+            .map(|(n, ws)| {
+                ws.into_iter()
+                    .map(|w| {
+                        w.unwrap().finish(
+                            machine.volumes[n].as_mut().unwrap(),
+                            machine.pools[n].as_mut().unwrap(),
+                            &mut ledgers[n],
+                        )
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Per-bucket filters used when filtering extends to bucket-forming (the
+/// §4.2/§5 proposal): `Build` sets a bit for every spooled inner tuple,
+/// `Test` drops outer tuples whose bucket filter misses — before any spool
+/// I/O is spent on them.
+pub(super) enum FormFilters<'a> {
+    /// Bucket-forming filters off.
+    Off,
+    /// Building from the inner relation.
+    Build(&'a mut [BitFilter]),
+    /// Testing the outer relation.
+    Test(&'a [BitFilter]),
+}
+
+/// One packet-sized filter per bucket (indices 0..buckets map buckets
+/// 1..=buckets).
+pub(super) fn bucket_filters(machine: &Machine, buckets: usize, salt: u64) -> Vec<BitFilter> {
+    let bits = machine.cfg.cost.filter_packet_bytes * 8;
+    (0..buckets)
+        .map(|b| BitFilter::new(bits, salt.wrapping_add(0xBF00 + b as u64)))
+        .collect()
+}
+
+/// Bucket-form one relation (phase 1 for R, phase 2 for S). Returns the
+/// bucket fragment files.
+#[allow(clippy::too_many_arguments)]
+fn bucket_form(
+    machine: &mut Machine,
+    phases: &mut Vec<PhaseRecord>,
+    part: &PartitioningSplitTable,
+    fragments: &[FileId],
+    attr: crate::tuple::Attr,
+    pred: Option<super::common::RangePred>,
+    buckets: usize,
+    label: &str,
+    mut form_filters: FormFilters<'_>,
+) -> Vec<Vec<FileId>> {
+    let cost = machine.cfg.cost.clone();
+    let disk_nodes = machine.disk_nodes();
+    let mut files = BucketFiles::new(machine, buckets);
+    let mut ledgers = machine.ledgers();
+    if let FormFilters::Test(filters) = &form_filters {
+        // The per-bucket filter packets were broadcast to the scanning
+        // nodes after the inner relation's bucket-forming completed.
+        for &n in &disk_nodes {
+            machine
+                .fabric
+                .scheduler_control(&mut ledgers[n], cost.filter_packet_bytes * filters.len() as u64);
+        }
+    }
+    for &node in &disk_nodes {
+        let recs = scan_fragment(machine, &mut ledgers, node, fragments[node], pred);
+        for rec in recs {
+            cost.charge(&mut ledgers[node], cost.hash_us + cost.route_us);
+            let val = attr.get(&rec);
+            let h = hash_u32(JOIN_SEED, val);
+            match part.route(h) {
+                Route::Spool { node: dst, bucket } => {
+                    match &mut form_filters {
+                        FormFilters::Build(filters) => {
+                            cost.charge(&mut ledgers[node], cost.filter_set_us);
+                            filters[bucket - 1].set(val);
+                        }
+                        FormFilters::Test(filters) => {
+                            cost.charge(&mut ledgers[node], cost.filter_test_us);
+                            if !filters[bucket - 1].test(val) {
+                                ledgers[node].counts.filter_drops += 1;
+                                continue;
+                            }
+                        }
+                        FormFilters::Off => {}
+                    }
+                    machine
+                        .fabric
+                        .send_tuple(&mut ledgers, node, dst, rec.len() as u64);
+                    files.push(machine, &mut ledgers, dst, bucket, &rec);
+                }
+                Route::Join { .. } => unreachable!("grace tables never route to join"),
+            }
+        }
+    }
+    machine.fabric.flush(&mut ledgers);
+    let out = files.finish(machine, &mut ledgers);
+    let table_bytes = cost.split_table_bytes(part.entries());
+    let sched = dispatch_overhead(machine, &mut ledgers, &disk_nodes, table_bytes);
+    phases.push(PhaseRecord::new(label, ledgers, sched));
+    out
+}
+
+/// Join bucket `b` (1-based): build from the R fragments, probe with the S
+/// fragments, resolve any overflow, free the bucket files. Shared with the
+/// Hybrid driver for its buckets 2..N.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn join_bucket(
+    machine: &mut Machine,
+    rz: &Resolved,
+    phases: &mut Vec<PhaseRecord>,
+    sink: &mut ResultSink,
+    r_files: &[FileId],
+    s_files: &[FileId],
+    b: usize,
+    salt: u64,
+) -> (u32, bool) {
+    let r_group: Vec<Vec<FileId>> = r_files.iter().map(|&f| vec![f]).collect();
+    let s_group: Vec<Vec<FileId>> = s_files.iter().map(|&f| vec![f]).collect();
+    join_bucket_group(machine, rz, phases, sink, &r_group, &s_group, &b.to_string(), salt.wrapping_add(b as u64))
+}
+
+/// Join one *group* of buckets (bucket tuning combines several small
+/// buckets into a memory-sized round): `r_group[node]` lists the R bucket
+/// fragments at that node, likewise `s_group`.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn join_bucket_group(
+    machine: &mut Machine,
+    rz: &Resolved,
+    phases: &mut Vec<PhaseRecord>,
+    sink: &mut ResultSink,
+    r_group: &[Vec<FileId>],
+    s_group: &[Vec<FileId>],
+    label: &str,
+    salt: u64,
+) -> (u32, bool) {
+    let cost = machine.cfg.cost.clone();
+    let jt = JoiningSplitTable::new(rz.join_nodes.clone());
+    let table_bytes = cost.split_table_bytes(jt.entries());
+    let disk_nodes = machine.disk_nodes();
+    let mut set = SiteSet::new(
+        machine,
+        &rz.join_nodes,
+        rz.capacity_per_site,
+        rz.r_tuple_bytes,
+        0,
+        rz.filter_bits,
+        salt,
+    );
+
+    // ---- build ----
+    let mut ledgers = machine.ledgers();
+    for &node in &disk_nodes {
+        let files = r_group[node].clone();
+        for file in files {
+            let recs = scan_fragment(machine, &mut ledgers, node, file, None);
+            for rec in recs {
+                let val = rz.r_attr.get(&rec);
+                cost.charge(&mut ledgers[node], cost.hash_us + cost.route_us);
+                let i = jt.site_index(hash_u32(JOIN_SEED, val));
+                machine
+                    .fabric
+                    .send_tuple(&mut ledgers, node, rz.join_nodes[i], rec.len() as u64);
+                set.deliver_build(machine, &mut ledgers, i, val, rec);
+            }
+        }
+    }
+    machine.fabric.flush(&mut ledgers);
+    let mut sched = dispatch_overhead(machine, &mut ledgers, &disk_nodes, table_bytes);
+    sched += dispatch_overhead(machine, &mut ledgers, &rz.join_nodes, table_bytes);
+    phases.push(PhaseRecord::new(format!("build bucket {label}"), ledgers, sched));
+
+    // ---- probe ----
+    let mut ledgers = machine.ledgers();
+    broadcast_filters(machine, &mut ledgers, &set);
+    for &node in &disk_nodes {
+        let files = s_group[node].clone();
+        for file in files {
+            let recs = scan_fragment(machine, &mut ledgers, node, file, None);
+            for rec in recs {
+                let val = rz.s_attr.get(&rec);
+                cost.charge(&mut ledgers[node], cost.hash_us + cost.route_us);
+                let i = jt.site_index(hash_u32(JOIN_SEED, val));
+                // Filter before the overflow check: the site's filter covers
+                // every inner tuple that arrived there (bits are set on
+                // arrival, before residency is decided), so eliminating an
+                // overflow-bound outer tuple here is safe and saves its spool
+                // I/O and every later re-read (§4.2).
+                if set.filter_drops(machine, &mut ledgers, node, i, val) {
+                    // dropped at the source
+                } else if set.outer_diverts(i, val) {
+                    set.spool_outer(machine, &mut ledgers, node, i, &rec);
+                } else {
+                    machine
+                        .fabric
+                        .send_tuple(&mut ledgers, node, rz.join_nodes[i], rec.len() as u64);
+                    set.deliver_probe(machine, &mut ledgers, i, val, &rec, sink);
+                }
+            }
+        }
+    }
+    machine.fabric.flush(&mut ledgers);
+    let pairs = set.take_overflows(machine, &mut ledgers);
+    let sched = dispatch_overhead(machine, &mut ledgers, &disk_nodes, table_bytes);
+    phases.push(PhaseRecord::new(format!("probe bucket {label}"), ledgers, sched));
+
+    // ---- overflow (possible under skew; Grace normally sizes buckets to
+    // avoid it) ----
+    let env = OverflowEnv {
+        join_nodes: &rz.join_nodes,
+        capacity_per_site: rz.capacity_per_site,
+        tuple_bytes: rz.r_tuple_bytes,
+        r_attr: rz.r_attr,
+        s_attr: rz.s_attr,
+        filter_bits: rz.filter_bits,
+        filter_salt: salt.wrapping_add(0x77),
+    };
+    let stats = resolve_overflows(
+        machine,
+        &env,
+        pairs,
+        1,
+        sink,
+        phases,
+        &format!("bucket {label} "),
+    );
+
+    for &node in &disk_nodes {
+        for &f in &r_group[node] {
+            delete_file(machine, node, f);
+        }
+        for &f in &s_group[node] {
+            delete_file(machine, node, f);
+        }
+    }
+    (stats.passes, stats.bnl_fallback)
+}
+
+/// Bucket tuning \[KITS83\]: combine consecutive small buckets into groups
+/// whose *measured* inner size fits the aggregate join memory. Returns the
+/// groups as lists of 1-based bucket numbers.
+pub(super) fn tune_buckets(
+    machine: &Machine,
+    rz: &Resolved,
+    r_files: &[Vec<FileId>],
+    buckets: usize,
+) -> Vec<Vec<usize>> {
+    // Pack to ~80% of the aggregate table capacity: hash-distribution
+    // variance across sites must still fit each site's table.
+    let memory = rz.capacity_per_site * rz.join_nodes.len() as u64 * 80 / 100;
+    // Measured R bytes per bucket across all fragments.
+    let size_of = |b: usize| -> u64 {
+        (0..machine.cfg.disk_nodes)
+            .map(|n| {
+                machine.volumes[n]
+                    .as_ref()
+                    .unwrap()
+                    .file_records(r_files[n][b - 1]) as u64
+                    * rz.r_tuple_bytes
+            })
+            .sum()
+    };
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut cur: Vec<usize> = Vec::new();
+    let mut cur_bytes = 0u64;
+    for b in 1..=buckets {
+        let sz = size_of(b);
+        if !cur.is_empty() && cur_bytes + sz > memory {
+            groups.push(std::mem::take(&mut cur));
+            cur_bytes = 0;
+        }
+        cur.push(b);
+        cur_bytes += sz;
+    }
+    if !cur.is_empty() {
+        groups.push(cur);
+    }
+    groups
+}
+
+/// Execute a Grace hash-join.
+pub fn run(machine: &mut Machine, rz: &Resolved) -> DriverOutput {
+    let buckets = rz.buckets;
+    let disk_nodes = machine.disk_nodes();
+    let part = PartitioningSplitTable::grace(&disk_nodes, buckets);
+    let mut phases = Vec::new();
+    let mut sink = ResultSink::new(machine);
+
+    // Phases 1+2: bucket-form both relations (everything goes to disk).
+    // With the §4.2/§5 extension on, per-bucket filters built from R kill
+    // non-joining S tuples before they are ever spooled.
+    let mut form = rz
+        .filter_bucket_forming
+        .then(|| bucket_filters(machine, buckets, GRACE_SALT));
+    let r_files = bucket_form(
+        machine,
+        &mut phases,
+        &part,
+        &rz.r_fragments,
+        rz.r_attr,
+        rz.r_pred,
+        buckets,
+        "bucket-form R",
+        match &mut form {
+            Some(f) => FormFilters::Build(f),
+            None => FormFilters::Off,
+        },
+    );
+    let s_files = bucket_form(
+        machine,
+        &mut phases,
+        &part,
+        &rz.s_fragments,
+        rz.s_attr,
+        rz.s_pred,
+        buckets,
+        "bucket-form S",
+        match &form {
+            Some(f) => FormFilters::Test(f),
+            None => FormFilters::Off,
+        },
+    );
+
+    // Phase 3: join the buckets consecutively — grouped by measured size
+    // when bucket tuning is on, one bucket per round otherwise.
+    let groups: Vec<Vec<usize>> = if rz.bucket_tuning {
+        tune_buckets(machine, rz, &r_files, buckets)
+    } else {
+        (1..=buckets).map(|b| vec![b]).collect()
+    };
+    let mut overflow_passes = 0;
+    let mut bnl = false;
+    for group in &groups {
+        let r_g: Vec<Vec<FileId>> = (0..disk_nodes.len())
+            .map(|n| group.iter().map(|&b| r_files[n][b - 1]).collect())
+            .collect();
+        let s_g: Vec<Vec<FileId>> = (0..disk_nodes.len())
+            .map(|n| group.iter().map(|&b| s_files[n][b - 1]).collect())
+            .collect();
+        let label = if group.len() == 1 {
+            group[0].to_string()
+        } else {
+            format!("{}..{}", group[0], group[group.len() - 1])
+        };
+        let (p, f) = join_bucket_group(
+            machine,
+            rz,
+            &mut phases,
+            &mut sink,
+            &r_g,
+            &s_g,
+            &label,
+            GRACE_SALT.wrapping_add(group[0] as u64),
+        );
+        overflow_passes += p;
+        bnl |= f;
+    }
+
+    let last = phases.last_mut().expect("phases exist");
+    let result = sink.finish(machine, &mut last.ledgers);
+    DriverOutput {
+        phases,
+        result,
+        buckets,
+        overflow_passes,
+        bnl_fallback: bnl,
+    }
+}

@@ -1,0 +1,258 @@
+//! Parallel Hybrid hash-join (§3.4).
+//!
+//! Like Grace, the relations are split into `N` buckets through the
+//! Appendix A partitioning split table — but bucket 1 never touches disk:
+//! its entries route straight to the join processes, so partitioning R
+//! overlaps with building the first hash table and partitioning S overlaps
+//! with probing it. Buckets 2..N are spooled to disk exactly like Grace's
+//! and joined consecutively afterwards. When the optimizer runs the
+//! algorithm "optimistically" (fewer buckets than the memory ratio
+//! requires, Figure 7), bucket 1 overflows and the Simple-hash machinery
+//! resolves it.
+
+use gamma_wiss::{FileId, HeapWriter};
+
+use crate::hash::{hash_u32, JOIN_SEED};
+use crate::hashjoin::{
+    broadcast_filters, dispatch_overhead, resolve_overflows, OverflowEnv, SiteSet,
+};
+use crate::machine::{Ledgers, Machine, NodeId, ResultSink};
+use crate::report::{DriverOutput, PhaseRecord};
+use crate::split::{PartitioningSplitTable, Route};
+
+use super::common::Resolved;
+use super::grace::{bucket_filters, join_bucket};
+
+/// Filter-salt namespace for Hybrid.
+const HYBRID_SALT: u64 = 0x4B;
+
+/// Spool writers for buckets 2..N at each disk node.
+struct SpoolFiles {
+    writers: Vec<Vec<Option<HeapWriter>>>,
+}
+
+impl SpoolFiles {
+    fn new(machine: &mut Machine, buckets: usize) -> Self {
+        let page = machine.cfg.cost.disk.page_bytes;
+        let writers = machine
+            .disk_nodes()
+            .into_iter()
+            .map(|n| {
+                (0..buckets.saturating_sub(1))
+                    .map(|_| {
+                        Some(HeapWriter::create(
+                            machine.volumes[n].as_mut().unwrap(),
+                            page,
+                        ))
+                    })
+                    .collect()
+            })
+            .collect();
+        SpoolFiles { writers }
+    }
+
+    fn push(
+        &mut self,
+        machine: &mut Machine,
+        ledgers: &mut Ledgers,
+        node: NodeId,
+        bucket: usize,
+        rec: &[u8],
+    ) {
+        debug_assert!(bucket >= 2);
+        let cost = machine.cfg.cost.clone();
+        cost.charge(&mut ledgers[node], cost.store_tuple_us);
+        self.writers[node][bucket - 2]
+            .as_mut()
+            .expect("spool closed")
+            .push(
+                machine.volumes[node].as_mut().unwrap(),
+                machine.pools[node].as_mut().unwrap(),
+                &mut ledgers[node],
+                rec,
+            );
+    }
+
+    fn finish(self, machine: &mut Machine, ledgers: &mut Ledgers) -> Vec<Vec<FileId>> {
+        self.writers
+            .into_iter()
+            .enumerate()
+            .map(|(n, ws)| {
+                ws.into_iter()
+                    .map(|w| {
+                        w.unwrap().finish(
+                            machine.volumes[n].as_mut().unwrap(),
+                            machine.pools[n].as_mut().unwrap(),
+                            &mut ledgers[n],
+                        )
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Execute a Hybrid hash-join.
+pub fn run(machine: &mut Machine, rz: &Resolved) -> DriverOutput {
+    let cost = machine.cfg.cost.clone();
+    let buckets = rz.buckets;
+    let disk_nodes = machine.disk_nodes();
+    let part = PartitioningSplitTable::hybrid(&rz.join_nodes, &disk_nodes, buckets);
+    let table_bytes = cost.split_table_bytes(part.entries());
+    let mut phases = Vec::new();
+    let mut sink = ResultSink::new(machine);
+
+    let mut set = SiteSet::new(
+        machine,
+        &rz.join_nodes,
+        rz.capacity_per_site,
+        rz.r_tuple_bytes,
+        0,
+        rz.filter_bits,
+        HYBRID_SALT,
+    );
+
+    // Per-bucket filters for the spooled buckets when the §4.2/§5
+    // bucket-forming extension is on (bucket 1 is covered by the join
+    // sites' own filters).
+    let mut form_filters = rz
+        .filter_bucket_forming
+        .then(|| bucket_filters(machine, buckets, HYBRID_SALT));
+
+    // ---- Phase 1: partition R into buckets, overlapped with building
+    // bucket 1's hash tables. ----
+    let mut ledgers = machine.ledgers();
+    let mut r_spool = SpoolFiles::new(machine, buckets);
+    for &node in &disk_nodes {
+        let recs = super::common::scan_fragment(
+            machine,
+            &mut ledgers,
+            node,
+            rz.r_fragments[node],
+            rz.r_pred,
+        );
+        for rec in recs {
+            let val = rz.r_attr.get(&rec);
+            cost.charge(&mut ledgers[node], cost.hash_us + cost.route_us);
+            let h = hash_u32(JOIN_SEED, val);
+            match part.route(h) {
+                Route::Join { node: dst } => {
+                    let i = part.join_site_index(h);
+                    machine
+                        .fabric
+                        .send_tuple(&mut ledgers, node, dst, rec.len() as u64);
+                    set.deliver_build(machine, &mut ledgers, i, val, rec);
+                }
+                Route::Spool { node: dst, bucket } => {
+                    if let Some(filters) = &mut form_filters {
+                        cost.charge(&mut ledgers[node], cost.filter_set_us);
+                        filters[bucket - 1].set(val);
+                    }
+                    machine
+                        .fabric
+                        .send_tuple(&mut ledgers, node, dst, rec.len() as u64);
+                    r_spool.push(machine, &mut ledgers, dst, bucket, &rec);
+                }
+            }
+        }
+    }
+    machine.fabric.flush(&mut ledgers);
+    let r_files = r_spool.finish(machine, &mut ledgers);
+    let mut sched = dispatch_overhead(machine, &mut ledgers, &disk_nodes, table_bytes);
+    sched += dispatch_overhead(machine, &mut ledgers, &rz.join_nodes, table_bytes);
+    phases.push(PhaseRecord::new("partition R / build bucket 1", ledgers, sched));
+
+    // ---- Phase 2: partition S, overlapped with probing bucket 1. ----
+    let mut ledgers = machine.ledgers();
+    broadcast_filters(machine, &mut ledgers, &set);
+    if let Some(filters) = &form_filters {
+        // Broadcast the per-bucket filter packets to the scanning nodes.
+        let bytes = cost.filter_packet_bytes * filters.len() as u64;
+        for &n in &disk_nodes {
+            machine.fabric.scheduler_control(&mut ledgers[n], bytes);
+        }
+    }
+    let mut s_spool = SpoolFiles::new(machine, buckets);
+    for &node in &disk_nodes {
+        let recs = super::common::scan_fragment(
+            machine,
+            &mut ledgers,
+            node,
+            rz.s_fragments[node],
+            rz.s_pred,
+        );
+        for rec in recs {
+            let val = rz.s_attr.get(&rec);
+            cost.charge(&mut ledgers[node], cost.hash_us + cost.route_us);
+            let h = hash_u32(JOIN_SEED, val);
+            match part.route(h) {
+                Route::Join { node: dst } => {
+                    let i = part.join_site_index(h);
+                    // Filter before the overflow check — safe because
+                    // filter bits are set for every arriving inner tuple.
+                    if set.filter_drops(machine, &mut ledgers, node, i, val) {
+                        // dropped at the source
+                    } else if set.outer_diverts(i, val) {
+                        set.spool_outer(machine, &mut ledgers, node, i, &rec);
+                    } else {
+                        machine
+                            .fabric
+                            .send_tuple(&mut ledgers, node, dst, rec.len() as u64);
+                        set.deliver_probe(machine, &mut ledgers, i, val, &rec, &mut sink);
+                    }
+                }
+                Route::Spool { node: dst, bucket } => {
+                    if let Some(filters) = &form_filters {
+                        cost.charge(&mut ledgers[node], cost.filter_test_us);
+                        if !filters[bucket - 1].test(val) {
+                            ledgers[node].counts.filter_drops += 1;
+                            continue;
+                        }
+                    }
+                    machine
+                        .fabric
+                        .send_tuple(&mut ledgers, node, dst, rec.len() as u64);
+                    s_spool.push(machine, &mut ledgers, dst, bucket, &rec);
+                }
+            }
+        }
+    }
+    machine.fabric.flush(&mut ledgers);
+    let s_files = s_spool.finish(machine, &mut ledgers);
+    let pairs = set.take_overflows(machine, &mut ledgers);
+    let sched = dispatch_overhead(machine, &mut ledgers, &disk_nodes, table_bytes);
+    phases.push(PhaseRecord::new("partition S / probe bucket 1", ledgers, sched));
+
+    // ---- Bucket 1 overflow (the Figure 7 "optimistic" path). ----
+    let env = OverflowEnv {
+        join_nodes: &rz.join_nodes,
+        capacity_per_site: rz.capacity_per_site,
+        tuple_bytes: rz.r_tuple_bytes,
+        r_attr: rz.r_attr,
+        s_attr: rz.s_attr,
+        filter_bits: rz.filter_bits,
+        filter_salt: HYBRID_SALT.wrapping_add(0x99),
+    };
+    let stats = resolve_overflows(machine, &env, pairs, 1, &mut sink, &mut phases, "bucket 1 ");
+    let mut overflow_passes = stats.passes;
+    let mut bnl = stats.bnl_fallback;
+
+    // ---- Buckets 2..N, joined exactly like Grace buckets. ----
+    for b in 2..=buckets {
+        let r_b: Vec<FileId> = (0..disk_nodes.len()).map(|n| r_files[n][b - 2]).collect();
+        let s_b: Vec<FileId> = (0..disk_nodes.len()).map(|n| s_files[n][b - 2]).collect();
+        let (p, f) = join_bucket(machine, rz, &mut phases, &mut sink, &r_b, &s_b, b, HYBRID_SALT);
+        overflow_passes += p;
+        bnl |= f;
+    }
+
+    let last = phases.last_mut().expect("phases exist");
+    let result = sink.finish(machine, &mut last.ledgers);
+    DriverOutput {
+        phases,
+        result,
+        buckets,
+        overflow_passes,
+        bnl_fallback: bnl,
+    }
+}

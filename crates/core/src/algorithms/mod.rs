@@ -1,0 +1,15 @@
+//! The four parallel join algorithms.
+//!
+//! Each driver executes its algorithm for real over the machine's stored
+//! relations and returns the ordered phase ledgers plus the result
+//! description. The drivers share the [`crate::hashjoin`] build/probe
+//! machinery (Simple hash is the common overflow-resolution method, §3.2)
+//! and the helpers in [`common`].
+
+pub mod common;
+pub mod grace;
+pub mod hybrid;
+pub mod simple;
+pub mod sort_merge;
+
+pub use common::Resolved;

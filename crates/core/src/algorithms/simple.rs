@@ -1,0 +1,115 @@
+//! Parallel Simple hash-join (§3.2).
+//!
+//! The inner relation streams through a joining split table straight into
+//! in-memory hash tables at the join sites; overflow is handled by the
+//! histogram clearing heuristic, with overflow partitions joined by
+//! recursive passes under fresh hash functions. Until recently this was
+//! the only join algorithm Gamma employed.
+
+use crate::hash::{hash_u32, JOIN_SEED};
+use crate::hashjoin::{
+    broadcast_filters, dispatch_overhead, resolve_overflows, OverflowEnv, SiteSet,
+};
+use crate::machine::{Machine, ResultSink};
+use crate::report::{DriverOutput, PhaseRecord};
+use crate::split::JoiningSplitTable;
+
+use super::common::{scan_fragment, Resolved};
+
+/// Filter-salt namespace for Simple hash-join.
+const SIMPLE_SALT: u64 = 0x51;
+
+/// Execute a Simple hash-join.
+pub fn run(machine: &mut Machine, rz: &Resolved) -> DriverOutput {
+    let cost = machine.cfg.cost.clone();
+    let jt = JoiningSplitTable::new(rz.join_nodes.clone());
+    let table_bytes = cost.split_table_bytes(jt.entries());
+    let mut phases = Vec::new();
+    let mut sink = ResultSink::new(machine);
+
+    let mut set = SiteSet::new(
+        machine,
+        &rz.join_nodes,
+        rz.capacity_per_site,
+        rz.r_tuple_bytes,
+        0,
+        rz.filter_bits,
+        SIMPLE_SALT,
+    );
+
+    // ---- Phase 1: route R into the hash tables (first pass uses the
+    // load-time hash function, so HPJA tuples short-circuit). ----
+    let mut ledgers = machine.ledgers();
+    let disk_nodes = machine.disk_nodes();
+    for &node in &disk_nodes {
+        let recs = scan_fragment(machine, &mut ledgers, node, rz.r_fragments[node], rz.r_pred);
+        for rec in recs {
+            let val = rz.r_attr.get(&rec);
+            cost.charge(&mut ledgers[node], cost.hash_us + cost.route_us);
+            let i = jt.site_index(hash_u32(JOIN_SEED, val));
+            machine
+                .fabric
+                .send_tuple(&mut ledgers, node, rz.join_nodes[i], rec.len() as u64);
+            set.deliver_build(machine, &mut ledgers, i, val, rec);
+        }
+    }
+    machine.fabric.flush(&mut ledgers);
+    let mut sched = dispatch_overhead(machine, &mut ledgers, &disk_nodes, table_bytes);
+    sched += dispatch_overhead(machine, &mut ledgers, &rz.join_nodes, table_bytes);
+    phases.push(PhaseRecord::new("build R", ledgers, sched));
+
+    // ---- Phase 2: route S; probe or spool to the overflow files via the
+    // h'-augmented split table. ----
+    let mut ledgers = machine.ledgers();
+    broadcast_filters(machine, &mut ledgers, &set);
+    for &node in &disk_nodes {
+        let recs = scan_fragment(machine, &mut ledgers, node, rz.s_fragments[node], rz.s_pred);
+        for rec in recs {
+            let val = rz.s_attr.get(&rec);
+            cost.charge(&mut ledgers[node], cost.hash_us + cost.route_us);
+            let i = jt.site_index(hash_u32(JOIN_SEED, val));
+            // Filter before the overflow check: the site's filter covers
+            // every inner tuple that arrived there (bits are set on
+            // arrival, before residency is decided), so eliminating an
+            // overflow-bound outer tuple here is safe and saves its spool
+            // I/O and every later re-read (§4.2).
+            if set.filter_drops(machine, &mut ledgers, node, i, val) {
+                // dropped at the source
+            } else if set.outer_diverts(i, val) {
+                set.spool_outer(machine, &mut ledgers, node, i, &rec);
+            } else {
+                machine
+                    .fabric
+                    .send_tuple(&mut ledgers, node, rz.join_nodes[i], rec.len() as u64);
+                set.deliver_probe(machine, &mut ledgers, i, val, &rec, &mut sink);
+            }
+        }
+    }
+    machine.fabric.flush(&mut ledgers);
+    let pairs = set.take_overflows(machine, &mut ledgers);
+    let sched = dispatch_overhead(machine, &mut ledgers, &disk_nodes, table_bytes);
+    phases.push(PhaseRecord::new("probe S", ledgers, sched));
+
+    // ---- Recursive overflow passes with fresh hash functions. ----
+    let env = OverflowEnv {
+        join_nodes: &rz.join_nodes,
+        capacity_per_site: rz.capacity_per_site,
+        tuple_bytes: rz.r_tuple_bytes,
+        r_attr: rz.r_attr,
+        s_attr: rz.s_attr,
+        filter_bits: rz.filter_bits,
+        filter_salt: SIMPLE_SALT,
+    };
+    let stats = resolve_overflows(machine, &env, pairs, 1, &mut sink, &mut phases, "simple ");
+
+    let last = phases.last_mut().expect("at least two phases");
+    let result = sink.finish(machine, &mut last.ledgers);
+
+    DriverOutput {
+        phases,
+        result,
+        buckets: 1,
+        overflow_passes: stats.passes,
+        bnl_fallback: stats.bnl_fallback,
+    }
+}

@@ -1,0 +1,303 @@
+//! Parallel sort-merge join (§3.1).
+//!
+//! Both relations are redistributed across the disk nodes through the same
+//! D-entry split table (so only co-located fragments can join), each local
+//! fragment is sorted with the WiSS external sort, and a local merge join
+//! computes the result in parallel at every disk site. Join processors are
+//! always the processors with disks — the paper's implementation cannot
+//! use diskless nodes (duplicate outer values force the inner scan to back
+//! up, which needs the sorted file local).
+//!
+//! Bit filters are built at each disk site while the inner relation is
+//! partitioned into its temp file, then applied at the *source* while the
+//! outer relation is partitioned: a filtered tuple is never transmitted,
+//! stored, sorted or merged — which is why sort-merge gains the most from
+//! filtering (Table 4).
+//!
+//! As in the paper's implementation ("each of the local files is sorted in
+//! parallel… a local merge join performed in parallel across the disk sites
+//! will fully compute the join"), each relation is sorted to completion
+//! before the merge join starts. The merge join itself streams the two
+//! sorted files lazily, so a highly skewed inner relation ends the merge
+//! early without reading the tail of the outer relation's *sorted* file
+//! (§4.4's NU anomaly) — the sorting cost, however, is fully paid.
+
+use gamma_des::SimTime;
+use gamma_wiss::sort::{external_sort, RunMerger};
+use gamma_wiss::{FileId, HeapWriter, SortConfig};
+
+use crate::bitfilter::BitFilter;
+use crate::hash::{hash_u32, JOIN_SEED};
+use crate::hashjoin::{delete_file, dispatch_overhead};
+use crate::machine::{Ledgers, Machine, NodeId, ResultSink};
+use crate::report::{DriverOutput, PhaseRecord};
+use crate::split::JoiningSplitTable;
+use crate::tuple::compose;
+
+use super::common::{scan_fragment, RangePred, Resolved};
+
+/// Filter-salt namespace for sort-merge.
+const SM_SALT: u64 = 0x53;
+
+/// Redistribute one relation into per-node temp files (phase 1 / 3).
+#[allow(clippy::too_many_arguments)]
+fn partition(
+    machine: &mut Machine,
+    phases: &mut Vec<PhaseRecord>,
+    fragments: &[FileId],
+    attr: crate::tuple::Attr,
+    pred: Option<RangePred>,
+    filters: &mut [Option<BitFilter>],
+    build_filters: bool,
+    label: &str,
+) -> Vec<FileId> {
+    let cost = machine.cfg.cost.clone();
+    let disk_nodes = machine.disk_nodes();
+    let jt = JoiningSplitTable::new(disk_nodes.clone());
+    let page = cost.disk.page_bytes;
+    let mut writers: Vec<Option<HeapWriter>> = disk_nodes
+        .iter()
+        .map(|&n| Some(HeapWriter::create(machine.volumes[n].as_mut().unwrap(), page)))
+        .collect();
+    let mut ledgers = machine.ledgers();
+    for &node in &disk_nodes {
+        let recs = scan_fragment(machine, &mut ledgers, node, fragments[node], pred);
+        for rec in recs {
+            let val = attr.get(&rec);
+            cost.charge(&mut ledgers[node], cost.hash_us + cost.route_us);
+            let i = jt.site_index(hash_u32(JOIN_SEED, val));
+            let dst = disk_nodes[i];
+            if !build_filters {
+                // Outer partitioning: test the destination site's filter at
+                // the source before spending network/disk on the tuple.
+                if let Some(f) = &filters[i] {
+                    cost.charge(&mut ledgers[node], cost.filter_test_us);
+                    if !f.test(val) {
+                        ledgers[node].counts.filter_drops += 1;
+                        continue;
+                    }
+                }
+            }
+            machine
+                .fabric
+                .send_tuple(&mut ledgers, node, dst, rec.len() as u64);
+            if build_filters {
+                if let Some(f) = &mut filters[i] {
+                    cost.charge(&mut ledgers[dst], cost.filter_set_us);
+                    f.set(val);
+                }
+            }
+            cost.charge(&mut ledgers[dst], cost.store_tuple_us);
+            writers[i].as_mut().unwrap().push(
+                machine.volumes[dst].as_mut().unwrap(),
+                machine.pools[dst].as_mut().unwrap(),
+                &mut ledgers[dst],
+                &rec,
+            );
+        }
+    }
+    machine.fabric.flush(&mut ledgers);
+    let files: Vec<FileId> = writers
+        .into_iter()
+        .enumerate()
+        .map(|(i, w)| {
+            let n = disk_nodes[i];
+            w.unwrap().finish(
+                machine.volumes[n].as_mut().unwrap(),
+                machine.pools[n].as_mut().unwrap(),
+                &mut ledgers[n],
+            )
+        })
+        .collect();
+    let table_bytes = cost.split_table_bytes(jt.entries());
+    let mut sched = dispatch_overhead(machine, &mut ledgers, &disk_nodes, table_bytes);
+    if !build_filters {
+        // The aggregate filter packet was broadcast to the scanning nodes
+        // before the outer partitioning began.
+        if filters.iter().any(Option::is_some) {
+            for &n in &disk_nodes {
+                machine
+                    .fabric
+                    .scheduler_control(&mut ledgers[n], cost.filter_packet_bytes);
+            }
+            sched += SimTime::from_us(cost.scheduler_dispatch_us);
+        }
+    }
+    phases.push(PhaseRecord::new(label, ledgers, sched));
+    files
+}
+
+/// Fully sort every node's temp fragment (run formation plus however many
+/// merge passes the memory budget requires — the source of the "upward
+/// steps" in the paper's sort-merge curves).
+fn sort_phase(
+    machine: &mut Machine,
+    phases: &mut Vec<PhaseRecord>,
+    temp: &[FileId],
+    attr: crate::tuple::Attr,
+    mem_per_node: u64,
+    label: &str,
+) -> Vec<FileId> {
+    let cost = machine.cfg.cost.clone();
+    let cfg = SortConfig {
+        mem_bytes: mem_per_node.max(cost.disk.page_bytes as u64 * 2),
+        page_bytes: cost.disk.page_bytes,
+    };
+    let disk_nodes = machine.disk_nodes();
+    let mut ledgers = machine.ledgers();
+    let mut runs = Vec::with_capacity(disk_nodes.len());
+    let key = move |rec: &[u8]| attr.get(rec);
+    for &node in &disk_nodes {
+        let vol = machine.volumes[node].as_mut().unwrap();
+        let pool = machine.pools[node].as_mut().unwrap();
+        let (f, _stats) =
+            external_sort(vol, pool, temp[node], &key, cfg, &cost.sort, &mut ledgers[node]);
+        runs.push(f);
+    }
+    // Free the unsorted temp files.
+    for &node in &disk_nodes {
+        delete_file(machine, node, temp[node]);
+    }
+    let sched = dispatch_overhead(machine, &mut ledgers, &disk_nodes, 0);
+    phases.push(PhaseRecord::new(label, ledgers, sched));
+    runs
+}
+
+/// Stream a merge join over one node's sorted runs, collecting outputs.
+/// Returns `(result tuples, merge comparisons)`.
+fn merge_join_node(
+    machine: &mut Machine,
+    ledgers: &mut Ledgers,
+    node: NodeId,
+    r_sorted: FileId,
+    s_sorted: FileId,
+    r_attr: crate::tuple::Attr,
+    s_attr: crate::tuple::Attr,
+) -> (Vec<Vec<u8>>, u64) {
+    let mut out = Vec::new();
+    let mut compares = 0u64;
+    {
+        let vol = machine.volumes[node].as_ref().unwrap();
+        let pool = machine.pools[node].as_mut().unwrap();
+        let ledger = &mut ledgers[node];
+        let r_key = move |rec: &[u8]| r_attr.get(rec);
+        let s_key = move |rec: &[u8]| s_attr.get(rec);
+        let mut rm = RunMerger::open(vol, vec![r_sorted], &r_key);
+        let mut sm = RunMerger::open(vol, vec![s_sorted], &s_key);
+
+        let mut r_next = rm.next(pool, ledger);
+        let mut s_cur = sm.next(pool, ledger);
+        while let (Some(r), Some(s)) = (&r_next, &s_cur) {
+            let rk = r_attr.get(r);
+            let sk = s_attr.get(s);
+            compares += 1;
+            if rk < sk {
+                r_next = rm.next(pool, ledger);
+            } else if rk > sk {
+                s_cur = sm.next(pool, ledger);
+            } else {
+                // Collect the group of equal inner keys, then emit the
+                // cross product with every matching outer tuple (this is
+                // the "backup" that keeps sort-merge on the disk nodes).
+                let mut group = vec![r_next.take().unwrap()];
+                loop {
+                    r_next = rm.next(pool, ledger);
+                    match &r_next {
+                        Some(r2) if r_attr.get(r2) == rk => {
+                            group.push(r_next.take().unwrap());
+                        }
+                        _ => break,
+                    }
+                }
+                while let Some(s2) = &s_cur {
+                    if s_attr.get(s2) != rk {
+                        break;
+                    }
+                    compares += 1;
+                    for g in &group {
+                        out.push(compose(g, s2));
+                    }
+                    s_cur = sm.next(pool, ledger);
+                }
+            }
+        }
+        compares += rm.comparisons() + sm.comparisons();
+    }
+    (out, compares)
+}
+
+/// Execute a parallel sort-merge join.
+pub fn run(machine: &mut Machine, rz: &Resolved) -> DriverOutput {
+    let cost = machine.cfg.cost.clone();
+    let disk_nodes = machine.disk_nodes();
+    let d = disk_nodes.len();
+    let mem_per_node = rz.capacity_per_site; // resolver set this to M / D
+    let mut phases = Vec::new();
+    let mut sink = ResultSink::new(machine);
+
+    let mut filters: Vec<Option<BitFilter>> = (0..d)
+        .map(|i| rz.filter_bits.map(|b| BitFilter::new(b, SM_SALT.wrapping_add(i as u64))))
+        .collect();
+
+    // Phase 1: redistribute R (building filters at the destinations).
+    let r_temp = partition(
+        machine,
+        &mut phases,
+        &rz.r_fragments,
+        rz.r_attr,
+        rz.r_pred,
+        &mut filters,
+        true,
+        "partition R",
+    );
+    // Phase 2: sort R locally.
+    let r_runs = sort_phase(machine, &mut phases, &r_temp, rz.r_attr, mem_per_node, "sort R");
+
+    // Phase 3: redistribute S, filtering at the sources.
+    let s_temp = partition(
+        machine,
+        &mut phases,
+        &rz.s_fragments,
+        rz.s_attr,
+        rz.s_pred,
+        &mut filters,
+        false,
+        "partition S",
+    );
+    // Phase 4: sort S locally.
+    let s_runs = sort_phase(machine, &mut phases, &s_temp, rz.s_attr, mem_per_node, "sort S");
+
+    // Phase 5: local merge join in parallel at every disk site.
+    let mut ledgers = machine.ledgers();
+    let mut run_files: Vec<(NodeId, FileId)> = Vec::new();
+    for (&node, (rr, sr)) in disk_nodes
+        .iter()
+        .zip(r_runs.into_iter().zip(s_runs))
+    {
+        run_files.push((node, rr));
+        run_files.push((node, sr));
+        let (outputs, compares) =
+            merge_join_node(machine, &mut ledgers, node, rr, sr, rz.r_attr, rz.s_attr);
+        cost.charge(&mut ledgers[node], cost.merge_compare_us * compares);
+        ledgers[node].counts.comparisons += compares;
+        for rec in outputs {
+            cost.charge(&mut ledgers[node], cost.compose_us);
+            sink.push(machine, &mut ledgers, node, &rec);
+        }
+    }
+    machine.fabric.flush(&mut ledgers);
+    for (node, f) in run_files {
+        delete_file(machine, node, f);
+    }
+    let sched = dispatch_overhead(machine, &mut ledgers, &disk_nodes, 0);
+    let result = sink.finish(machine, &mut ledgers);
+    phases.push(PhaseRecord::new("merge join", ledgers, sched));
+
+    DriverOutput {
+        phases,
+        result,
+        buckets: 1,
+        overflow_passes: 0,
+        bnl_fallback: false,
+    }
+}

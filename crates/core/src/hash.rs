@@ -1,0 +1,110 @@
+//! The randomizing hash function.
+//!
+//! One seeded 64-bit finalizer serves every hashing role in the system:
+//! declustering at load time, split-table routing, the `h'` overflow
+//! functions of the Simple-hash algorithm, and bit-filter bits. Distinct
+//! *seeds* give the independent functions the paper requires — in
+//! particular, Simple hash "changes the hash function after each overflow"
+//! simply by bumping the seed, which is what converts HPJA joins into
+//! non-HPJA joins during overflow processing (§4.1).
+//!
+//! The HPJA short-circuiting analysis of Appendix A needs the *same*
+//! function (same seed) for loading and later partitioning, because
+//! `h(v) mod D == (h(v) mod N·D) mod D` whenever `D | N·D`. The engine uses
+//! [`JOIN_SEED`] for every first-pass routing decision to preserve exactly
+//! that alignment.
+
+/// Seed used for load-time declustering and first-pass join routing.
+pub const JOIN_SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Seed base for bit-filter hashing (independent of routing).
+pub const FILTER_SEED: u64 = 0xC2B2_AE3D_27D4_EB4F;
+
+/// Seeded randomizing function: splitmix64-style finalizer, well mixed and
+/// extremely cheap to compute on the host (its *simulated* cost is charged
+/// separately by the cost model).
+#[inline]
+pub fn hash_u32(seed: u64, v: u32) -> u64 {
+    let mut x = (v as u64).wrapping_add(seed);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Derive the `h'` seed for overflow pass `pass` at join site `site`.
+/// Every (pass, site) pair gets an independent function, as §3.2 requires
+/// ("each join site that overflows has its own locally defined h'").
+#[inline]
+pub fn overflow_seed(pass: u32, site: usize) -> u64 {
+    JOIN_SEED
+        .wrapping_mul(0x100_0000_01B3)
+        .wrapping_add(((pass as u64) << 32) | (site as u64 + 1))
+}
+
+/// Seed for re-splitting the aggregate overflow partitions on pass `pass`.
+#[inline]
+pub fn respread_seed(pass: u32) -> u64 {
+    JOIN_SEED ^ (0xA076_1D64_78BD_642F_u64.wrapping_mul(pass as u64 + 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_u32(1, 42), hash_u32(1, 42));
+        assert_ne!(hash_u32(1, 42), hash_u32(2, 42));
+        assert_ne!(hash_u32(1, 42), hash_u32(1, 43));
+    }
+
+    #[test]
+    fn spreads_sequential_keys() {
+        // unique1 is a permutation of 0..100_000; its hashes mod 8 must be
+        // close to uniform or every experiment's load balance is wrong.
+        let mut buckets = [0u32; 8];
+        for v in 0..100_000u32 {
+            buckets[(hash_u32(JOIN_SEED, v) % 8) as usize] += 1;
+        }
+        for &b in &buckets {
+            assert!((11_000..14_000).contains(&b), "skewed bucket: {buckets:?}");
+        }
+    }
+
+    #[test]
+    fn mod_alignment_for_hpja() {
+        // (h mod N*D) mod D == h mod D — the Appendix A alignment law.
+        for v in 0..10_000u32 {
+            let h = hash_u32(JOIN_SEED, v);
+            for n in 1..6u64 {
+                assert_eq!((h % (n * 8)) % 8, h % 8);
+            }
+        }
+    }
+
+    #[test]
+    fn overflow_seeds_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for pass in 0..8 {
+            for site in 0..16 {
+                assert!(seen.insert(overflow_seed(pass, site)));
+            }
+        }
+        assert_ne!(respread_seed(0), respread_seed(1));
+        assert_ne!(respread_seed(0), JOIN_SEED);
+    }
+
+    #[test]
+    fn avalanche_rough_check() {
+        // Flipping one input bit should flip ~half the output bits.
+        let mut total = 0u32;
+        let n = 1000;
+        for v in 0..n {
+            let a = hash_u32(JOIN_SEED, v);
+            let b = hash_u32(JOIN_SEED, v ^ 1);
+            total += (a ^ b).count_ones();
+        }
+        let avg = total as f64 / n as f64;
+        assert!((24.0..40.0).contains(&avg), "poor avalanche: {avg}");
+    }
+}

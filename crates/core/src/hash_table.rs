@@ -1,0 +1,428 @@
+//! The memory-capped join hash table with Simple-hash overflow clearing.
+//!
+//! Section 4.1 of the paper describes the mechanism in detail: tuples are
+//! inserted into a chained hash table; a histogram over an auxiliary hash
+//! (`h'`) of the join attribute is maintained; when the table exceeds its
+//! memory allotment, a **cutoff** is chosen from the histogram so that
+//! clearing every resident tuple whose `h'` lies above it frees ~10 % of
+//! the table's memory. Subsequently arriving tuples above the cutoff are
+//! *diverted* straight to the overflow file without entering the table. If
+//! the table fills again the heuristic re-fires, lowering the cutoff — each
+//! invocation increases the fraction of arrivals diverted, as the paper
+//! notes.
+//!
+//! The table stores real tuples; probes return real matches and the chain
+//! lengths actually walked (average 3.3 with the paper's normal attribute).
+
+use crate::hash::hash_u32;
+
+/// Number of histogram cells over the `h'` range (top 8 bits of the hash).
+const HIST_CELLS: usize = 256;
+const HIST_SHIFT: u32 = 56;
+
+/// Outcome of offering a tuple to the table.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Offer {
+    /// Tuple is resident in the table.
+    Stored,
+    /// Tuple's `h'` is above the current cutoff; the caller must spool it
+    /// to the overflow file.
+    Diverted(Vec<u8>),
+    /// The table overflowed: the clearing heuristic ran. `evicted` must be
+    /// spooled; the incoming tuple was stored unless it is in `evicted`'s
+    /// hash range, in which case it appears as `diverted`.
+    Overflowed {
+        /// Tuples cleared from the table, with their join-attribute values.
+        evicted: Vec<(u32, Vec<u8>)>,
+        /// The incoming tuple, if it too must be spooled.
+        diverted: Option<Vec<u8>>,
+        /// Entries the clearing pass had to examine (the whole resident
+        /// table — §4.1's "CPU overhead required to repeatedly search the
+        /// hash table").
+        scanned: u64,
+    },
+}
+
+struct Entry {
+    val: u32,
+    hprime: u64,
+    tuple: Vec<u8>,
+}
+
+/// A join hash table capped at `capacity_bytes`.
+pub struct JoinHashTable {
+    buckets: Vec<Vec<Entry>>,
+    mask: u64,
+    capacity_bytes: u64,
+    used_bytes: u64,
+    entry_overhead: u64,
+    hprime_seed: u64,
+    /// Bytes resident per `h'` histogram cell.
+    histogram: Vec<u64>,
+    cutoff: Option<u64>,
+    len: u64,
+    clearings: u64,
+}
+
+impl JoinHashTable {
+    /// A table with `capacity_bytes` of memory, chain buckets sized for
+    /// `expected_tuple_bytes` records, and the site/pass-specific `h'`
+    /// seed `hprime_seed`.
+    pub fn new(capacity_bytes: u64, expected_tuple_bytes: u64, hprime_seed: u64) -> Self {
+        let want = (capacity_bytes / expected_tuple_bytes.max(1)).max(16);
+        let nbuckets = want.next_power_of_two().min(1 << 20) as usize;
+        JoinHashTable {
+            buckets: (0..nbuckets).map(|_| Vec::new()).collect(),
+            mask: nbuckets as u64 - 1,
+            capacity_bytes,
+            used_bytes: 0,
+            entry_overhead: 8,
+            hprime_seed,
+            histogram: vec![0; HIST_CELLS],
+            cutoff: None,
+            len: 0,
+            clearings: 0,
+        }
+    }
+
+    /// Number of resident tuples.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when no tuples are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bytes of memory in use (tuples + per-entry overhead).
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    /// The current `h'` cutoff, if the table has overflowed. Producers use
+    /// this (via the augmented split table) to divert tuples straight to
+    /// the overflow files.
+    pub fn cutoff(&self) -> Option<u64> {
+        self.cutoff
+    }
+
+    /// How many times the clearing heuristic has fired.
+    pub fn clearings(&self) -> u64 {
+        self.clearings
+    }
+
+    /// `h'` of a join-attribute value under this table's seed.
+    #[inline]
+    pub fn hprime(&self, val: u32) -> u64 {
+        hash_u32(self.hprime_seed, val)
+    }
+
+    fn entry_bytes(&self, tuple_len: usize) -> u64 {
+        tuple_len as u64 + self.entry_overhead
+    }
+
+    fn store(&mut self, val: u32, hprime: u64, tuple: Vec<u8>) {
+        let bytes = self.entry_bytes(tuple.len());
+        self.histogram[(hprime >> HIST_SHIFT) as usize] += bytes;
+        self.used_bytes += bytes;
+        self.len += 1;
+        let b = (hprime & self.mask) as usize;
+        self.buckets[b].push(Entry { val, hprime, tuple });
+    }
+
+    /// Offer a tuple for staging. `clear_pct` is the percentage of capacity
+    /// the heuristic tries to free on overflow (the paper's 10).
+    pub fn offer(&mut self, val: u32, tuple: Vec<u8>, clear_pct: u64) -> Offer {
+        let hprime = self.hprime(val);
+        if let Some(c) = self.cutoff {
+            if hprime >= c {
+                return Offer::Diverted(tuple);
+            }
+        }
+        let bytes = self.entry_bytes(tuple.len());
+        if self.used_bytes + bytes <= self.capacity_bytes {
+            self.store(val, hprime, tuple);
+            return Offer::Stored;
+        }
+        // Overflow: run the clearing heuristic, repeatedly if one clearing
+        // is insufficient ("the hash table could again overflow if the
+        // heuristic of clearing 10% turns out to be insufficient. In this
+        // case an additional 10% of the tuples are removed" — §4.1). The
+        // invariant that makes overflow processing correct is that the
+        // resident set is exactly {h' < cutoff}: a tuple below the cutoff
+        // is never diverted, so its matching outer tuples know to probe.
+        let mut evicted = Vec::new();
+        let mut scanned = 0u64;
+        let target = (self.capacity_bytes * clear_pct.max(1)) / 100;
+        loop {
+            self.clearings += 1;
+            scanned += self.len;
+            let new_cutoff = self.pick_cutoff(target);
+            evicted.extend(self.clear_above(new_cutoff));
+            self.cutoff = Some(new_cutoff);
+            if hprime >= new_cutoff {
+                return Offer::Overflowed {
+                    evicted,
+                    diverted: Some(tuple),
+                    scanned,
+                };
+            }
+            if self.used_bytes + bytes <= self.capacity_bytes {
+                self.store(val, hprime, tuple);
+                return Offer::Overflowed {
+                    evicted,
+                    diverted: None,
+                    scanned,
+                };
+            }
+            if new_cutoff == 0 {
+                // The table is empty and the tuple still does not fit
+                // (capacity below one tuple). With cutoff 0 every value
+                // diverts, so the partition stays consistent.
+                return Offer::Overflowed {
+                    evicted,
+                    diverted: Some(tuple),
+                    scanned,
+                };
+            }
+        }
+    }
+
+    /// Choose the highest cutoff that frees at least `target` bytes,
+    /// examining the histogram from the top cell downward (the paper's
+    /// "writing all tuples with hash values above 90,000 will free up 10 %
+    /// of memory").
+    fn pick_cutoff(&self, target: u64) -> u64 {
+        let ceiling = self.cutoff.map(|c| c >> HIST_SHIFT).unwrap_or(HIST_CELLS as u64);
+        let mut freed = 0u64;
+        let mut cell = ceiling;
+        while cell > 0 {
+            cell -= 1;
+            freed += self.histogram[cell as usize];
+            if freed >= target {
+                break;
+            }
+        }
+        cell << HIST_SHIFT
+    }
+
+    /// Remove and return every resident tuple with `h' >= cutoff`.
+    fn clear_above(&mut self, cutoff: u64) -> Vec<(u32, Vec<u8>)> {
+        let mut evicted = Vec::new();
+        for b in self.buckets.iter_mut() {
+            let mut i = 0;
+            while i < b.len() {
+                if b[i].hprime >= cutoff {
+                    let e = b.swap_remove(i);
+                    evicted.push((e.val, e.tuple));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        for (_, t) in &evicted {
+            let bytes = t.len() as u64 + self.entry_overhead;
+            self.used_bytes -= bytes;
+            self.len -= 1;
+        }
+        // The cutoff is cell-aligned, so every histogram cell at or above
+        // the boundary is now empty.
+        for cell in (cutoff >> HIST_SHIFT) as usize..HIST_CELLS {
+            self.histogram[cell] = 0;
+        }
+        evicted
+    }
+
+    /// Probe with an outer value: `(matching tuples, chain entries compared)`.
+    pub fn probe(&self, val: u32) -> (Vec<&[u8]>, u64) {
+        let hprime = self.hprime(val);
+        let b = (hprime & self.mask) as usize;
+        let chain = &self.buckets[b];
+        let mut matches = Vec::new();
+        for e in chain {
+            if e.val == val {
+                matches.push(e.tuple.as_slice());
+            }
+        }
+        (matches, chain.len() as u64)
+    }
+
+    /// Iterate over resident tuples (for building bit filters).
+    pub fn resident(&self) -> impl Iterator<Item = (u32, &[u8])> {
+        self.buckets
+            .iter()
+            .flat_map(|b| b.iter().map(|e| (e.val, e.tuple.as_slice())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuple(val: u32, len: usize) -> Vec<u8> {
+        let mut t = vec![0u8; len.max(4)];
+        t[0..4].copy_from_slice(&val.to_le_bytes());
+        t
+    }
+
+    #[test]
+    fn stores_and_probes() {
+        let mut t = JoinHashTable::new(1 << 20, 208, 1);
+        for v in 0..100 {
+            assert_eq!(t.offer(v, tuple(v, 208), 10), Offer::Stored);
+        }
+        let (m, compares) = t.probe(42);
+        assert_eq!(m.len(), 1);
+        assert!(compares >= 1);
+        let (m, _) = t.probe(5000);
+        assert!(m.is_empty());
+        assert_eq!(t.len(), 100);
+    }
+
+    #[test]
+    fn duplicates_form_chains() {
+        let mut t = JoinHashTable::new(1 << 20, 208, 1);
+        for _ in 0..5 {
+            t.offer(7, tuple(7, 208), 10);
+        }
+        let (m, compares) = t.probe(7);
+        assert_eq!(m.len(), 5);
+        assert!(compares >= 5, "every chain entry is compared");
+    }
+
+    #[test]
+    fn overflow_frees_roughly_the_requested_fraction() {
+        // 100 KB capacity, 208+8 bytes per entry -> ~463 resident.
+        let cap = 100_000u64;
+        let mut t = JoinHashTable::new(cap, 208, 99);
+        let mut evicted_total = 0usize;
+        let mut v = 0u32;
+        loop {
+            match t.offer(v, tuple(v, 208), 10) {
+                Offer::Stored => {}
+                Offer::Diverted(_) => {}
+                Offer::Overflowed { evicted, .. } => {
+                    evicted_total += evicted.len();
+                    break;
+                }
+            }
+            v += 1;
+        }
+        // Cleared at least ~10% of capacity worth of tuples but far from all.
+        let evicted_bytes = evicted_total as u64 * 216;
+        assert!(evicted_bytes >= cap / 10, "only freed {evicted_bytes}");
+        assert!(evicted_bytes < cap / 2, "cleared too much: {evicted_bytes}");
+        assert!(t.cutoff().is_some());
+        assert_eq!(t.clearings(), 1);
+    }
+
+    #[test]
+    fn arrivals_above_cutoff_divert() {
+        let cap = 50_000u64;
+        let mut t = JoinHashTable::new(cap, 208, 5);
+        let mut v = 0u32;
+        // Fill to first overflow.
+        loop {
+            if matches!(t.offer(v, tuple(v, 208), 10), Offer::Overflowed { .. }) {
+                break;
+            }
+            v += 1;
+        }
+        let cutoff = t.cutoff().unwrap();
+        // Now any arrival hashing above the cutoff must divert.
+        let mut diverted = 0;
+        let mut stored = 0;
+        for w in 1_000_000..1_002_000u32 {
+            match t.offer(w, tuple(w, 208), 10) {
+                Offer::Diverted(_) => diverted += 1,
+                Offer::Stored => stored += 1,
+                Offer::Overflowed { .. } => {}
+            }
+            if t.hprime(w) >= cutoff {
+                // This one must not have been stored.
+            }
+        }
+        assert!(diverted > 0, "some arrivals must divert");
+        let _ = stored;
+    }
+
+    #[test]
+    fn repeated_overflow_lowers_cutoff() {
+        let cap = 50_000u64;
+        let mut t = JoinHashTable::new(cap, 208, 5);
+        let mut cutoffs = Vec::new();
+        for v in 0..2_000u32 {
+            if let Offer::Overflowed { .. } = t.offer(v, tuple(v, 208), 10) {
+                cutoffs.push(t.cutoff().unwrap());
+            }
+        }
+        assert!(cutoffs.len() >= 2, "expected multiple clearings");
+        for w in cutoffs.windows(2) {
+            assert!(w[1] < w[0], "cutoff must be monotonically decreasing");
+        }
+    }
+
+    #[test]
+    fn resident_plus_evicted_is_everything() {
+        let cap = 50_000u64;
+        let mut t = JoinHashTable::new(cap, 208, 7);
+        let mut spooled = Vec::new();
+        let n = 1000u32;
+        for v in 0..n {
+            match t.offer(v, tuple(v, 208), 10) {
+                Offer::Stored => {}
+                Offer::Diverted(tu) => spooled.push(tu),
+                Offer::Overflowed { evicted, diverted, .. } => {
+                    spooled.extend(evicted.into_iter().map(|(_, tu)| tu));
+                    spooled.extend(diverted);
+                }
+            }
+        }
+        let mut all: Vec<u32> = t.resident().map(|(v, _)| v).collect();
+        all.extend(
+            spooled
+                .iter()
+                .map(|tu| u32::from_le_bytes(tu[0..4].try_into().unwrap())),
+        );
+        all.sort_unstable();
+        assert_eq!(all, (0..n).collect::<Vec<_>>(), "no tuple lost or duplicated");
+    }
+
+    #[test]
+    fn memory_accounting_stays_within_capacity() {
+        let cap = 30_000u64;
+        let mut t = JoinHashTable::new(cap, 100, 3);
+        for v in 0..5_000u32 {
+            let _ = t.offer(v, tuple(v, 100), 10);
+            assert!(t.used_bytes() <= cap, "used {} > cap {}", t.used_bytes(), cap);
+        }
+    }
+
+    #[test]
+    fn all_identical_values_still_terminate() {
+        // Pathological skew: every tuple has the same join value, so the
+        // histogram is a single cell and clearing evicts everything.
+        let cap = 10_000u64;
+        let mut t = JoinHashTable::new(cap, 208, 3);
+        let mut evicted_all = 0;
+        for _ in 0..200 {
+            match t.offer(7, tuple(7, 208), 10) {
+                Offer::Overflowed { evicted, diverted, .. } => {
+                    evicted_all += evicted.len() + diverted.iter().len();
+                }
+                Offer::Diverted(_) => evicted_all += 1,
+                Offer::Stored => {}
+            }
+        }
+        assert!(evicted_all > 0);
+        assert!(t.used_bytes() <= cap);
+    }
+
+    #[test]
+    fn hprime_seed_changes_function() {
+        let a = JoinHashTable::new(1024, 208, 1);
+        let b = JoinHashTable::new(1024, 208, 2);
+        assert_ne!(a.hprime(42), b.hprime(42));
+    }
+}

@@ -1,0 +1,777 @@
+//! Shared multi-site hash-join machinery with Simple-hash overflow
+//! resolution.
+//!
+//! Every hash-based join in the system funnels through a [`SiteSet`]: one
+//! [`JoinHashTable`] per join process, plus that site's bit filter and its
+//! overflow spool files. The Simple algorithm uses a `SiteSet` directly for
+//! the whole relation; Hybrid uses one for its first bucket; every
+//! Grace/Hybrid bucket join uses one for the bucket. Since the paper uses
+//! Simple hash as "the overflow resolution method for our parallel
+//! implementations of the Grace and Hybrid algorithms" (§3.2), the
+//! recursive overflow machinery here serves all of them.
+//!
+//! Key behaviours implemented exactly as described:
+//!
+//! * overflow files `R'_i` / `S'_i` of join site *i* live **whole on one
+//!   disk** (the disk paired with the site), different sites on different
+//!   disks;
+//! * the *outer* relation's tuples destined for an overflowed range are
+//!   diverted at the **source** (the split table is augmented with the `h'`
+//!   cutoffs) and spooled directly to `S'`, never visiting the join site;
+//! * recursive passes re-split the aggregate overflow partitions across
+//!   *all* join sites **with a fresh hash function**, which is what turns
+//!   HPJA joins into non-HPJA joins during overflow processing (§4.1);
+//! * bit filters are applied only to tuples that will actually probe this
+//!   pass — overflow-bound tuples are filtered by the next pass's filters,
+//!   preserving the no-false-negative guarantee;
+//! * a block-nested-loops fallback guards against pathological inputs on
+//!   which hash partitioning cannot make progress (every tuple carrying
+//!   the same join value).
+
+use gamma_des::SimTime;
+use gamma_wiss::{FileId, HeapScan, HeapWriter};
+
+use crate::bitfilter::BitFilter;
+use crate::hash::{hash_u32, overflow_seed, respread_seed};
+use crate::hash_table::{JoinHashTable, Offer};
+use crate::machine::{Ledgers, Machine, NodeId, ResultSink};
+use crate::tuple::{compose, Attr};
+
+/// An overflow spool file under construction.
+struct Spool {
+    node: NodeId,
+    writer: Option<HeapWriter>,
+    count: u64,
+}
+
+impl Spool {
+    fn new(machine: &mut Machine, node: NodeId) -> Self {
+        let page = machine.cfg.cost.disk.page_bytes;
+        Spool {
+            node,
+            writer: Some(HeapWriter::create(
+                machine.volumes[node].as_mut().expect("overflow on disk node"),
+                page,
+            )),
+            count: 0,
+        }
+    }
+
+    fn push(&mut self, machine: &mut Machine, ledgers: &mut Ledgers, rec: &[u8]) {
+        let node = self.node;
+        machine.cfg.cost.charge(&mut ledgers[node], machine.cfg.cost.store_tuple_us);
+        self.writer.as_mut().expect("spool finished").push(
+            machine.volumes[node].as_mut().unwrap(),
+            machine.pools[node].as_mut().unwrap(),
+            &mut ledgers[node],
+            rec,
+        );
+        self.count += 1;
+    }
+
+    fn finish(mut self, machine: &mut Machine, ledgers: &mut Ledgers) -> (NodeId, FileId, u64) {
+        let node = self.node;
+        let f = self.writer.take().unwrap().finish(
+            machine.volumes[node].as_mut().unwrap(),
+            machine.pools[node].as_mut().unwrap(),
+            &mut ledgers[node],
+        );
+        (node, f, self.count)
+    }
+}
+
+/// Per-join-site state for one build/probe round.
+pub struct Site {
+    /// Processor running this join process.
+    pub node: NodeId,
+    table: JoinHashTable,
+    filter: Option<BitFilter>,
+    /// Disk node hosting this site's overflow files.
+    overflow_home: NodeId,
+    r_spool: Option<Spool>,
+    s_spool: Option<Spool>,
+}
+
+/// A set of join sites executing one (sub-)join.
+pub struct SiteSet {
+    sites: Vec<Site>,
+    pass: u32,
+    build_tuples: u64,
+}
+
+/// Overflow partition pair left behind by a pass.
+#[derive(Debug, Clone)]
+pub struct OverflowPair {
+    /// `(node, file, tuples)` of the `R'` fragment.
+    pub r: (NodeId, FileId, u64),
+    /// `(node, file, tuples)` of the `S'` fragment.
+    pub s: (NodeId, FileId, u64),
+}
+
+impl SiteSet {
+    /// Create per-site tables of `capacity_per_site` bytes at the given
+    /// join nodes. `pass` selects the `h'` seeds; `filter_bits`, when set,
+    /// builds a bit filter per site salted by `filter_salt`.
+    pub fn new(
+        machine: &Machine,
+        join_nodes: &[NodeId],
+        capacity_per_site: u64,
+        expected_tuple_bytes: u64,
+        pass: u32,
+        filter_bits: Option<u64>,
+        filter_salt: u64,
+    ) -> Self {
+        let disk = machine.cfg.disk_nodes;
+        let sites = join_nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &node)| Site {
+                node,
+                table: JoinHashTable::new(
+                    capacity_per_site,
+                    expected_tuple_bytes,
+                    overflow_seed(pass, i),
+                ),
+                filter: filter_bits.map(|b| BitFilter::new(b, filter_salt.wrapping_add(i as u64))),
+                overflow_home: if node < disk { node } else { i % disk },
+                r_spool: None,
+                s_spool: None,
+            })
+            .collect();
+        SiteSet {
+            sites,
+            pass,
+            build_tuples: 0,
+        }
+    }
+
+    /// Number of sites.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// True if the set has no sites (never constructed this way in
+    /// practice; present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// Node of site `i`.
+    pub fn node(&self, i: usize) -> NodeId {
+        self.sites[i].node
+    }
+
+    /// The `h'` cutoff of site `i` (exposed to producers through the
+    /// augmented split table).
+    pub fn cutoff(&self, i: usize) -> Option<u64> {
+        self.sites[i].table.cutoff()
+    }
+
+    /// Does site `i`'s augmented split-table entry divert this outer value
+    /// to the overflow file?
+    pub fn outer_diverts(&self, i: usize, val: u32) -> bool {
+        match self.sites[i].table.cutoff() {
+            Some(c) => self.sites[i].table.hprime(val) >= c,
+            None => false,
+        }
+    }
+
+    /// Would site `i`'s bit filter drop this outer value? Charges the test.
+    pub fn filter_drops(
+        &self,
+        machine: &Machine,
+        ledgers: &mut Ledgers,
+        src: NodeId,
+        i: usize,
+        val: u32,
+    ) -> bool {
+        match &self.sites[i].filter {
+            Some(f) => {
+                machine.cfg.cost.charge(&mut ledgers[src], machine.cfg.cost.filter_test_us);
+                if f.test(val) {
+                    false
+                } else {
+                    ledgers[src].counts.filter_drops += 1;
+                    true
+                }
+            }
+            None => false,
+        }
+    }
+
+    /// Deliver an inner (building) tuple to site `i`. Handles hash-table
+    /// overflow: evictions and diversions are spooled to `R'_i`.
+    pub fn deliver_build(
+        &mut self,
+        machine: &mut Machine,
+        ledgers: &mut Ledgers,
+        i: usize,
+        val: u32,
+        tuple: Vec<u8>,
+    ) {
+        self.build_tuples += 1;
+        let cost = machine.cfg.cost.clone();
+        let node = self.sites[i].node;
+        ledgers[node].counts.tuples_in += 1;
+        cost.charge(&mut ledgers[node], cost.build_insert_us + cost.histogram_update_us);
+        if let Some(f) = &mut self.sites[i].filter {
+            cost.charge(&mut ledgers[node], cost.filter_set_us);
+            f.set(val);
+        }
+        ledgers[node].counts.hash_inserts += 1;
+        match self.sites[i].table.offer(val, tuple, cost.overflow_clear_pct) {
+            Offer::Stored => {}
+            Offer::Diverted(t) => {
+                self.spool_inner_from_site(machine, ledgers, i, &t);
+            }
+            Offer::Overflowed {
+                evicted,
+                diverted,
+                scanned,
+            } => {
+                // The heuristic examines every resident tuple to find the
+                // ones above the new cutoff (§4.1).
+                cost.charge(&mut ledgers[node], cost.clear_scan_us * scanned);
+                for (_, t) in evicted {
+                    cost.charge(&mut ledgers[node], cost.evict_tuple_us);
+                    ledgers[node].counts.overflow_evictions += 1;
+                    self.spool_inner_from_site(machine, ledgers, i, &t);
+                }
+                if let Some(t) = diverted {
+                    self.spool_inner_from_site(machine, ledgers, i, &t);
+                }
+            }
+        }
+    }
+
+    fn spool_inner_from_site(
+        &mut self,
+        machine: &mut Machine,
+        ledgers: &mut Ledgers,
+        i: usize,
+        rec: &[u8],
+    ) {
+        let site_node = self.sites[i].node;
+        let home = self.sites[i].overflow_home;
+        if self.sites[i].r_spool.is_none() {
+            self.sites[i].r_spool = Some(Spool::new(machine, home));
+        }
+        machine
+            .fabric
+            .send_tuple(ledgers, site_node, home, rec.len() as u64);
+        self.sites[i].r_spool.as_mut().unwrap().push(machine, ledgers, rec);
+    }
+
+    /// Spool an outer tuple diverted at the source straight to `S'_i`.
+    pub fn spool_outer(
+        &mut self,
+        machine: &mut Machine,
+        ledgers: &mut Ledgers,
+        src: NodeId,
+        i: usize,
+        rec: &[u8],
+    ) {
+        let home = self.sites[i].overflow_home;
+        if self.sites[i].s_spool.is_none() {
+            self.sites[i].s_spool = Some(Spool::new(machine, home));
+        }
+        machine.fabric.send_tuple(ledgers, src, home, rec.len() as u64);
+        self.sites[i].s_spool.as_mut().unwrap().push(machine, ledgers, rec);
+    }
+
+    /// Deliver an outer (probing) tuple to site `i`; matches are composed
+    /// `R ‖ S` and pushed to the sink.
+    pub fn deliver_probe(
+        &mut self,
+        machine: &mut Machine,
+        ledgers: &mut Ledgers,
+        i: usize,
+        val: u32,
+        tuple: &[u8],
+        sink: &mut ResultSink,
+    ) {
+        let cost = machine.cfg.cost.clone();
+        let node = self.sites[i].node;
+        ledgers[node].counts.tuples_in += 1;
+        ledgers[node].counts.hash_probes += 1;
+        let (matches, compares) = self.sites[i].table.probe(val);
+        cost.charge(
+            &mut ledgers[node],
+            cost.probe_us + cost.chain_compare_us * compares,
+        );
+        ledgers[node].counts.comparisons += compares;
+        let composed: Vec<Vec<u8>> = matches.iter().map(|m| compose(m, tuple)).collect();
+        for out in composed {
+            cost.charge(&mut ledgers[node], cost.compose_us);
+            sink.push(machine, ledgers, node, &out);
+        }
+    }
+
+    /// Tuples delivered to build so far (including spooled ones).
+    pub fn build_tuples(&self) -> u64 {
+        self.build_tuples
+    }
+
+    /// Close the spool files and return the overflow pairs that need a
+    /// recursive pass. Sites that never overflowed return nothing.
+    pub fn take_overflows(
+        &mut self,
+        machine: &mut Machine,
+        ledgers: &mut Ledgers,
+    ) -> Vec<OverflowPair> {
+        let mut pairs = Vec::new();
+        for site in &mut self.sites {
+            match (site.r_spool.take(), site.s_spool.take()) {
+                (None, None) => {}
+                (r, s) => {
+                    let r = r
+                        .map(|sp| sp.finish(machine, ledgers))
+                        .unwrap_or_else(|| empty_file(machine, ledgers, site.overflow_home));
+                    let s = s
+                        .map(|sp| sp.finish(machine, ledgers))
+                        .unwrap_or_else(|| empty_file(machine, ledgers, site.overflow_home));
+                    pairs.push(OverflowPair { r, s });
+                }
+            }
+        }
+        pairs
+    }
+
+    /// Overflow pass this set belongs to (0 = first pass).
+    pub fn pass(&self) -> u32 {
+        self.pass
+    }
+
+    /// Saturation of site `i`'s filter, if filtering (test/diagnostics).
+    pub fn filter_saturation(&self, i: usize) -> Option<f64> {
+        self.sites[i].filter.as_ref().map(|f| f.saturation())
+    }
+}
+
+fn empty_file(machine: &mut Machine, ledgers: &mut Ledgers, node: NodeId) -> (NodeId, FileId, u64) {
+    let w = HeapWriter::create(
+        machine.volumes[node].as_mut().unwrap(),
+        machine.cfg.cost.disk.page_bytes,
+    );
+    let f = w.finish(
+        machine.volumes[node].as_mut().unwrap(),
+        machine.pools[node].as_mut().unwrap(),
+        &mut ledgers[node],
+    );
+    (node, f, 0)
+}
+
+/// Outcome of [`resolve_overflows`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OverflowStats {
+    /// Recursive Simple-hash passes executed.
+    pub passes: u32,
+    /// Whether the block-nested-loops fallback fired.
+    pub bnl_fallback: bool,
+}
+
+/// Parameters shared by every recursive overflow pass.
+pub struct OverflowEnv<'a> {
+    /// Join processors.
+    pub join_nodes: &'a [NodeId],
+    /// Per-site hash-table capacity in bytes.
+    pub capacity_per_site: u64,
+    /// Expected tuple width (hash-table sizing).
+    pub tuple_bytes: u64,
+    /// Inner-relation join attribute (within spooled `R'` tuples).
+    pub r_attr: Attr,
+    /// Outer-relation join attribute (within spooled `S'` tuples).
+    pub s_attr: Attr,
+    /// Bits per site for bit filters (None = filtering off).
+    pub filter_bits: Option<u64>,
+    /// Salt namespace for this sub-join's filters.
+    pub filter_salt: u64,
+}
+
+/// Recursively join the overflow partitions produced by a pass, exactly as
+/// §3.2 describes: read the aggregate `R'`, re-split across all join sites
+/// with a fresh hash function, build; read `S'`, re-split, probe; repeat
+/// until no site overflows. Appends one `(build, probe)` phase pair per
+/// pass to `phases`.
+#[allow(clippy::too_many_arguments)]
+pub fn resolve_overflows(
+    machine: &mut Machine,
+    env: &OverflowEnv<'_>,
+    mut pairs: Vec<OverflowPair>,
+    first_pass: u32,
+    sink: &mut ResultSink,
+    phases: &mut Vec<crate::report::PhaseRecord>,
+    phase_prefix: &str,
+) -> OverflowStats {
+    let mut stats = OverflowStats::default();
+    let mut pass = first_pass;
+    while !pairs.is_empty() {
+        let input_r: u64 = pairs.iter().map(|p| p.r.2).sum();
+        stats.passes += 1;
+        let seed = respread_seed(pass);
+        let mut set = SiteSet::new(
+            machine,
+            env.join_nodes,
+            env.capacity_per_site,
+            env.tuple_bytes,
+            pass,
+            env.filter_bits,
+            env.filter_salt.wrapping_add(0x1000 + pass as u64),
+        );
+        let cost = machine.cfg.cost.clone();
+        let j = env.join_nodes.len() as u64;
+
+        // ---- build pass over the aggregate R' ----
+        let mut ledgers = machine.ledgers();
+        for p in &pairs {
+            let (node, file, _) = p.r;
+            let recs = read_records(machine, &mut ledgers, node, file);
+            for rec in recs {
+                cost.charge(
+                    &mut ledgers[node],
+                    cost.scan_tuple_us + cost.hash_us + cost.route_us,
+                );
+                let val = env.r_attr.get(&rec);
+                let i = (hash_u32(seed, val) % j) as usize;
+                machine
+                    .fabric
+                    .send_tuple(&mut ledgers, node, env.join_nodes[i], rec.len() as u64);
+                set.deliver_build(machine, &mut ledgers, i, val, rec);
+            }
+        }
+        machine.fabric.flush(&mut ledgers);
+        let sched = dispatch_overhead(machine, &mut ledgers, env.join_nodes, 0);
+        phases.push(crate::report::PhaseRecord::new(
+            format!("{phase_prefix}overflow-build p{pass}"),
+            ledgers,
+            sched,
+        ));
+
+        // ---- probe pass over the aggregate S' ----
+        let mut ledgers = machine.ledgers();
+        broadcast_filters(machine, &mut ledgers, &set);
+        for p in &pairs {
+            let (node, file, _) = p.s;
+            let recs = read_records(machine, &mut ledgers, node, file);
+            for rec in recs {
+                cost.charge(
+                    &mut ledgers[node],
+                    cost.scan_tuple_us + cost.hash_us + cost.route_us,
+                );
+                let val = env.s_attr.get(&rec);
+                let i = (hash_u32(seed, val) % j) as usize;
+                // Filter before the overflow check — safe because filter
+                // bits are set for every arriving inner tuple (§4.2).
+                if set.filter_drops(machine, &mut ledgers, node, i, val) {
+                    // dropped at the source
+                } else if set.outer_diverts(i, val) {
+                    set.spool_outer(machine, &mut ledgers, node, i, &rec);
+                } else {
+                    machine
+                        .fabric
+                        .send_tuple(&mut ledgers, node, env.join_nodes[i], rec.len() as u64);
+                    set.deliver_probe(machine, &mut ledgers, i, val, &rec, sink);
+                }
+            }
+        }
+        machine.fabric.flush(&mut ledgers);
+        let next = set.take_overflows(machine, &mut ledgers);
+
+        // Free the consumed overflow files.
+        for p in &pairs {
+            delete_file(machine, p.r.0, p.r.1);
+            delete_file(machine, p.s.0, p.s.1);
+        }
+        let sched = dispatch_overhead(machine, &mut ledgers, env.join_nodes, 0);
+        phases.push(crate::report::PhaseRecord::new(
+            format!("{phase_prefix}overflow-probe p{pass}"),
+            ledgers,
+            sched,
+        ));
+
+        let next_r: u64 = next.iter().map(|p| p.r.2).sum();
+        if !next.is_empty() && next_r >= input_r {
+            // Hash partitioning is not separating the data (e.g. one value
+            // dominates): fall back to block-nested-loops.
+            stats.bnl_fallback = true;
+            let mut ledgers = machine.ledgers();
+            block_nested_loops(machine, env, &next, sink, &mut ledgers);
+            machine.fabric.flush(&mut ledgers);
+            for p in &next {
+                delete_file(machine, p.r.0, p.r.1);
+                delete_file(machine, p.s.0, p.s.1);
+            }
+            phases.push(crate::report::PhaseRecord::new(
+                format!("{phase_prefix}overflow-bnl p{pass}"),
+                ledgers,
+                SimTime::ZERO,
+            ));
+            return stats;
+        }
+        pairs = next;
+        pass += 1;
+        assert!(pass < 64, "overflow recursion ran away");
+    }
+    stats
+}
+
+/// Block-nested-loops fallback: join each `(R', S')` pair by staging `R'`
+/// in memory-sized blocks and scanning `S'` once per block.
+fn block_nested_loops(
+    machine: &mut Machine,
+    env: &OverflowEnv<'_>,
+    pairs: &[OverflowPair],
+    sink: &mut ResultSink,
+    ledgers: &mut Ledgers,
+) {
+    let cost = machine.cfg.cost.clone();
+    let block_bytes = env.capacity_per_site.max(env.tuple_bytes);
+    for p in pairs {
+        let (r_node, r_file, _) = p.r;
+        let (s_node, s_file, _) = p.s;
+        let r_recs = read_records(machine, ledgers, r_node, r_file);
+        for block in r_recs.chunks((block_bytes / env.tuple_bytes.max(1)).max(1) as usize) {
+            let s_recs = read_records(machine, ledgers, s_node, s_file);
+            for s_rec in &s_recs {
+                cost.charge(&mut ledgers[s_node], cost.scan_tuple_us);
+                let sv = env.s_attr.get(s_rec);
+                for r_rec in block {
+                    cost.charge(&mut ledgers[s_node], cost.chain_compare_us);
+                    if env.r_attr.get(r_rec) == sv {
+                        cost.charge(&mut ledgers[s_node], cost.compose_us);
+                        let out = compose(r_rec, s_rec);
+                        sink.push(machine, ledgers, s_node, &out);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Read every record of a file, charging page reads at `node`.
+pub fn read_records(
+    machine: &mut Machine,
+    ledgers: &mut Ledgers,
+    node: NodeId,
+    file: FileId,
+) -> Vec<Vec<u8>> {
+    let vol = machine.volumes[node].as_ref().expect("file on disk node");
+    let pool = machine.pools[node].as_mut().unwrap();
+    HeapScan::open(vol, file).collect_all(pool, &mut ledgers[node])
+}
+
+/// Delete a file and evict its frames.
+pub fn delete_file(machine: &mut Machine, node: NodeId, file: FileId) {
+    machine.volumes[node].as_mut().unwrap().delete_file(file);
+    machine.pools[node].as_mut().unwrap().evict_file(file);
+}
+
+/// Charge operator-start control messages for a phase: the scheduler sends
+/// each participant one message carrying `table_bytes` of split table.
+/// Returns the scheduler's serialized dispatch time (added to response).
+pub fn dispatch_overhead(
+    machine: &mut Machine,
+    ledgers: &mut Ledgers,
+    participants: &[NodeId],
+    table_bytes: u64,
+) -> SimTime {
+    let cost = machine.cfg.cost.clone();
+    let mut t = SimTime::ZERO;
+    for &n in participants {
+        let bytes = cost.operator_start_bytes + table_bytes;
+        machine.fabric.scheduler_control(&mut ledgers[n], bytes);
+        t += machine
+            .fabric
+            .scheduler_dispatch_cost(SimTime::from_us(cost.scheduler_dispatch_us), bytes);
+    }
+    t
+}
+
+/// Broadcast the sites' bit filters to every disk (scanning) node: Gamma
+/// shipped the aggregate packet-sized filter back to the producers so
+/// non-joining outer tuples die at the source. No-op when filtering is off.
+pub fn broadcast_filters(machine: &mut Machine, ledgers: &mut Ledgers, set: &SiteSet) {
+    if set.filter_saturation(0).is_none() {
+        return;
+    }
+    let bytes = machine.cfg.cost.filter_packet_bytes;
+    let send_cpu = machine.cfg.cost.ring.send_cpu_per_packet;
+    // Each site contributes its slice of the aggregate filter packet...
+    for i in 0..set.len() {
+        let node = set.node(i);
+        ledgers[node].cpu(send_cpu);
+        ledgers[node].counts.packets_sent += 1;
+    }
+    // ...and each disk node receives the aggregate packet.
+    for n in machine.disk_nodes() {
+        machine.fabric.scheduler_control(&mut ledgers[n], bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{Declustering, MachineConfig, ResultInfo};
+    use crate::tuple::{Field, Schema};
+
+    fn schema() -> Schema {
+        Schema::new(vec![Field::Int("k".into()), Field::Str("pad".into(), 44)])
+    }
+
+    fn mk(schema: &Schema, k: u32) -> Vec<u8> {
+        let mut t = vec![0u8; schema.tuple_bytes()];
+        schema.int_attr("k").put(&mut t, k);
+        t
+    }
+
+    /// Drive a full simple-hash style join through the SiteSet machinery.
+    fn run_simple(
+        n_r: u32,
+        n_s: u32,
+        capacity_per_site: u64,
+        skew_all_same: bool,
+    ) -> (ResultInfo, OverflowStats) {
+        let mut m = Machine::new(MachineConfig::local_8());
+        let s = schema();
+        let attr = s.int_attr("k");
+        let r: Vec<Vec<u8>> = (0..n_r)
+            .map(|k| mk(&s, if skew_all_same { 7 } else { k }))
+            .collect();
+        let sout: Vec<Vec<u8>> = (0..n_s).map(|k| mk(&s, k % n_r.max(1))).collect();
+        let rid = m.load_relation("r", s.clone(), Declustering::RoundRobin, r);
+        let sid = m.load_relation("s", s.clone(), Declustering::RoundRobin, sout);
+
+        let join_nodes = m.disk_nodes();
+        let mut set = SiteSet::new(&m, &join_nodes, capacity_per_site, 48, 0, None, 0);
+        let mut sink = ResultSink::new(&mut m);
+        let mut phases = Vec::new();
+        let cost = m.cfg.cost.clone();
+        let j = join_nodes.len() as u64;
+
+        let mut ledgers = m.ledgers();
+        let frags = m.relation(rid).fragments.clone();
+        for (node, file) in frags.into_iter().enumerate() {
+            let recs = read_records(&mut m, &mut ledgers, node, file);
+            for rec in recs {
+                let val = attr.get(&rec);
+                let i = (hash_u32(crate::hash::JOIN_SEED, val) % j) as usize;
+                set.deliver_build(&mut m, &mut ledgers, i, val, rec);
+            }
+        }
+        let mut ledgers = m.ledgers();
+        let frags = m.relation(sid).fragments.clone();
+        for (node, file) in frags.into_iter().enumerate() {
+            let recs = read_records(&mut m, &mut ledgers, node, file);
+            for rec in recs {
+                let val = attr.get(&rec);
+                let i = (hash_u32(crate::hash::JOIN_SEED, val) % j) as usize;
+                if set.outer_diverts(i, val) {
+                    set.spool_outer(&mut m, &mut ledgers, node, i, &rec);
+                } else {
+                    set.deliver_probe(&mut m, &mut ledgers, i, val, &rec, &mut sink);
+                }
+            }
+        }
+        let pairs = set.take_overflows(&mut m, &mut ledgers);
+        let env = OverflowEnv {
+            join_nodes: &join_nodes,
+            capacity_per_site,
+            tuple_bytes: 48,
+            r_attr: attr,
+            s_attr: attr,
+            filter_bits: None,
+            filter_salt: 0,
+        };
+        let stats = resolve_overflows(&mut m, &env, pairs, 1, &mut sink, &mut phases, "t:");
+        let _ = cost;
+        let mut ledgers = m.ledgers();
+        let info = sink.finish(&mut m, &mut ledgers);
+        (info, stats)
+    }
+
+    #[test]
+    fn in_memory_join_is_exact() {
+        // Everything fits: every S tuple finds exactly one R match.
+        let (info, stats) = run_simple(500, 2000, 1 << 20, false);
+        assert_eq!(info.tuples, 2000);
+        assert_eq!(stats.passes, 0);
+    }
+
+    #[test]
+    fn overflow_join_is_still_exact() {
+        // Tiny tables force multiple overflow passes; result unchanged.
+        let (full, _) = run_simple(500, 2000, 1 << 20, false);
+        let (tight, stats) = run_simple(500, 2000, 1_500, false);
+        assert_eq!(tight.tuples, 2000);
+        assert_eq!(tight.checksum, full.checksum, "same result multiset");
+        assert!(stats.passes >= 1, "must have recursed");
+        assert!(!stats.bnl_fallback);
+    }
+
+    #[test]
+    fn pathological_skew_falls_back_to_bnl() {
+        // Every R tuple has value 7; hashing cannot separate them.
+        let (info, stats) = run_simple(400, 400, 3_000, true);
+        // Every S tuple has value 7 % 400 pattern -> all values 7 since
+        // k % 400 only equals 7 for k=7: S values are k % 400, R values all 7.
+        // Matches: S tuples with value 7: k ∈ {7} -> 1 tuple × 400 R dups.
+        assert_eq!(info.tuples, 400);
+        assert!(stats.bnl_fallback);
+    }
+
+    #[test]
+    fn filters_never_lose_results() {
+        let mut m = Machine::new(MachineConfig::local_8());
+        let s = schema();
+        let _attr = s.int_attr("k");
+        let join_nodes = m.disk_nodes();
+        let mut set = SiteSet::new(&m, &join_nodes, 1 << 20, 48, 0, Some(1973), 42);
+        let mut sink = ResultSink::new(&mut m);
+        let mut ledgers = m.ledgers();
+        for k in 0..300u32 {
+            let rec = mk(&s, k);
+            let i = (hash_u32(crate::hash::JOIN_SEED, k) % 8) as usize;
+            set.deliver_build(&mut m, &mut ledgers, i, k, rec);
+        }
+        let mut kept = 0;
+        let mut dropped = 0;
+        for k in 0..3000u32 {
+            let rec = mk(&s, k);
+            let i = (hash_u32(crate::hash::JOIN_SEED, k) % 8) as usize;
+            if set.filter_drops(&m, &mut ledgers, 0, i, k) {
+                dropped += 1;
+                assert!(k >= 300, "a joining tuple was filtered!");
+            } else {
+                kept += 1;
+                set.deliver_probe(&mut m, &mut ledgers, i, k, &rec, &mut sink);
+            }
+        }
+        assert!(dropped > 1500, "filter should drop most non-joining tuples");
+        assert!(kept >= 300);
+        let info = sink.finish(&mut m, &mut ledgers);
+        assert_eq!(info.tuples, 300, "all real matches survive filtering");
+    }
+
+    #[test]
+    fn remote_sites_spool_overflow_to_disk_nodes() {
+        let m = Machine::new(MachineConfig::remote_8_plus_8());
+        let join_nodes = m.diskless_nodes();
+        let set = SiteSet::new(&m, &join_nodes, 1024, 48, 0, None, 0);
+        for i in 0..set.len() {
+            let site = &set.sites[i];
+            assert!(site.overflow_home < 8, "overflow must live on a disk node");
+        }
+    }
+
+    #[test]
+    fn dispatch_overhead_grows_with_split_table() {
+        let mut m = Machine::new(MachineConfig::local_8());
+        let nodes = m.disk_nodes();
+        let mut l1 = m.ledgers();
+        let small = dispatch_overhead(&mut m, &mut l1, &nodes, 512);
+        let mut l2 = m.ledgers();
+        let big = dispatch_overhead(&mut m, &mut l2, &nodes, 5_000);
+        assert!(big > small, "multi-packet split tables cost more to dispatch");
+        assert_eq!(l1[0].counts.control_msgs, 1);
+    }
+}

@@ -1,0 +1,59 @@
+//! # gamma-core — four parallel join algorithms on a simulated Gamma machine
+//!
+//! This crate is the reproduction's primary contribution: parallel versions
+//! of the **Sort-Merge**, **Simple hash**, **Grace hash** and **Hybrid
+//! hash** join algorithms, implemented exactly as Schneider & DeWitt
+//! describe them running inside the Gamma database machine (SIGMOD 1989),
+//! executing on real tuples over the `gamma-wiss` storage substrate and the
+//! `gamma-net` interconnect, with response times produced by the
+//! `gamma-des` virtual-time model.
+//!
+//! Layout:
+//!
+//! * [`mod@tuple`] — schemas and fixed-width tuple accessors,
+//! * [`hash`] — the seeded randomizing hash function used for declustering,
+//!   split-table routing, overflow resolution and bit filters,
+//! * [`cost`] — the calibrated VAX-11/750-era cost model,
+//! * [`machine`] — machine configuration (disk/diskless nodes), volumes,
+//!   buffer pools, fabric and the relation catalog,
+//! * [`split`] — partitioning/joining split tables built per Appendix A and
+//!   the optimizer *bucket analyzer*,
+//! * [`bitfilter`] — packet-sized bit-vector filters \[BABB79, VALD84\],
+//! * [`hash_table`] — the memory-capped join hash table with the
+//!   histogram-guided 10 % clearing heuristic of Section 4.1,
+//! * [`hashjoin`] — the shared multi-site build/probe machinery with
+//!   Simple-hash overflow resolution (used by Simple directly, by Hybrid's
+//!   first bucket, and by every Grace/Hybrid bucket join),
+//! * [`algorithms`] — the four join drivers,
+//! * [`operators`] — the rest of Gamma's operator set: selection
+//!   (sequential and B+-tree-indexed), projection, scalar and group-by
+//!   aggregation,
+//! * [`planner`] — operator trees, the sampling column analyzer and the
+//!   §5-rule optimizer,
+//! * [`query`] — [`query::JoinSpec`] / [`query::run_join`], the public
+//!   entry point, plus the DES replay that turns phase ledgers into a
+//!   response time,
+//! * [`report`] — per-phase and per-query instrumentation,
+//! * [`throughput`] — operational-analysis bounds that extrapolate a
+//!   measured query to the multiuser regime §5 leaves to future work.
+
+pub mod algorithms;
+pub mod bitfilter;
+pub mod cost;
+pub mod hash;
+pub mod hash_table;
+pub mod hashjoin;
+pub mod machine;
+pub mod operators;
+pub mod planner;
+pub mod query;
+pub mod report;
+pub mod split;
+pub mod throughput;
+pub mod tuple;
+
+pub use cost::CostModel;
+pub use machine::{Machine, MachineConfig, NodeId, RelationId, StoredRelation};
+pub use query::{run_join, Algorithm, JoinSite, JoinSpec, OverflowPolicy};
+pub use report::JoinReport;
+pub use tuple::{Attr, Schema};

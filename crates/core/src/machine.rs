@@ -1,0 +1,501 @@
+//! Machine configuration, relation catalog and result sink.
+//!
+//! A [`Machine`] is one Gamma configuration: `disk_nodes` processors with
+//! attached volumes (always the first node ids) plus `diskless_nodes`
+//! processors used only for join computation, all connected by the ring
+//! fabric. Relations are horizontally declustered across the disk nodes at
+//! load time by one of the paper's strategies (round-robin, hashed, range).
+
+use gamma_des::Usage;
+use gamma_net::Fabric;
+use gamma_wiss::{BufferPool, FileId, HeapWriter, Volume};
+use serde::{Deserialize, Serialize};
+
+use crate::cost::CostModel;
+use crate::hash::{hash_u32, JOIN_SEED};
+use crate::tuple::{Attr, Schema};
+
+/// Processor identifier (0-based; disk nodes come first).
+pub type NodeId = usize;
+/// Catalog identifier of a stored relation.
+pub type RelationId = usize;
+/// One per-node ledger vector for a phase.
+pub type Ledgers = Vec<Usage>;
+
+/// Shape of the machine.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Processors with attached disks (store all relations; execute scans).
+    pub disk_nodes: usize,
+    /// Diskless processors available for join computation.
+    pub diskless_nodes: usize,
+    /// Cost model.
+    pub cost: CostModel,
+}
+
+impl MachineConfig {
+    /// The paper's default: 8 disk nodes, no diskless join nodes ("local").
+    pub fn local_8() -> Self {
+        MachineConfig {
+            disk_nodes: 8,
+            diskless_nodes: 0,
+            cost: CostModel::gamma_1989(),
+        }
+    }
+
+    /// The paper's "remote" configuration: 8 disk + 8 diskless nodes.
+    pub fn remote_8_plus_8() -> Self {
+        MachineConfig {
+            disk_nodes: 8,
+            diskless_nodes: 8,
+            cost: CostModel::gamma_1989(),
+        }
+    }
+}
+
+/// How a relation's tuples were assigned to disk nodes at load time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Declustering {
+    /// Tuples dealt to nodes in rotation.
+    RoundRobin,
+    /// `h(attr) mod D` — the strategy that enables HPJA short-circuiting.
+    Hashed {
+        /// Partitioning attribute.
+        attr: Attr,
+    },
+    /// Range partitioning by `attr` with `D-1` ascending cut points; node
+    /// `i` stores values in `[cuts[i-1], cuts[i])`. Used by §4.4 to keep
+    /// scans balanced under skew.
+    Range {
+        /// Partitioning attribute.
+        attr: Attr,
+        /// Ascending cut points (length `D-1`).
+        cuts: Vec<u32>,
+    },
+}
+
+impl Declustering {
+    /// Destination disk node for a tuple.
+    pub fn place(&self, tuple: &[u8], disk_nodes: usize, seq: u64) -> NodeId {
+        match self {
+            Declustering::RoundRobin => (seq % disk_nodes as u64) as NodeId,
+            Declustering::Hashed { attr } => {
+                (hash_u32(JOIN_SEED, attr.get(tuple)) % disk_nodes as u64) as NodeId
+            }
+            Declustering::Range { attr, cuts } => {
+                let v = attr.get(tuple);
+                cuts.partition_point(|&c| c <= v)
+            }
+        }
+    }
+}
+
+/// A horizontally declustered stored relation.
+#[derive(Debug, Clone)]
+pub struct StoredRelation {
+    /// Human-readable name.
+    pub name: String,
+    /// Tuple layout.
+    pub schema: Schema,
+    /// One heap-file fragment per disk node (indexed by disk node id).
+    pub fragments: Vec<FileId>,
+    /// Declustering strategy used at load.
+    pub declustering: Declustering,
+    /// Total tuples.
+    pub tuples: u64,
+    /// Total data bytes (tuples × width) — the "size of the relation" used
+    /// for memory ratios.
+    pub data_bytes: u64,
+}
+
+/// One simulated Gamma machine.
+pub struct Machine {
+    /// Configuration.
+    pub cfg: MachineConfig,
+    /// Per-node volume (`None` for diskless nodes).
+    pub volumes: Vec<Option<Volume>>,
+    /// Per-node buffer pool (`None` for diskless nodes).
+    pub pools: Vec<Option<BufferPool>>,
+    /// The interconnect.
+    pub fabric: Fabric,
+    relations: Vec<Option<StoredRelation>>,
+}
+
+impl Machine {
+    /// Build a machine.
+    pub fn new(cfg: MachineConfig) -> Self {
+        assert!(cfg.disk_nodes > 0, "a machine needs disk nodes");
+        let total = cfg.disk_nodes + cfg.diskless_nodes;
+        let volumes = (0..total)
+            .map(|n| (n < cfg.disk_nodes).then(Volume::new))
+            .collect();
+        let pools = (0..total)
+            .map(|n| (n < cfg.disk_nodes).then(|| BufferPool::new(cfg.cost.disk, cfg.cost.pool_frames)))
+            .collect();
+        let fabric = Fabric::new(cfg.cost.ring.clone(), total);
+        Machine {
+            cfg,
+            volumes,
+            pools,
+            fabric,
+            relations: Vec::new(),
+        }
+    }
+
+    /// Total processor count.
+    pub fn nodes(&self) -> usize {
+        self.cfg.disk_nodes + self.cfg.diskless_nodes
+    }
+
+    /// Ids of the processors with disks.
+    pub fn disk_nodes(&self) -> Vec<NodeId> {
+        (0..self.cfg.disk_nodes).collect()
+    }
+
+    /// Ids of the diskless processors.
+    pub fn diskless_nodes(&self) -> Vec<NodeId> {
+        (self.cfg.disk_nodes..self.nodes()).collect()
+    }
+
+    /// Fresh zeroed ledgers, one per node.
+    pub fn ledgers(&self) -> Ledgers {
+        vec![Usage::ZERO; self.nodes()]
+    }
+
+    /// Cold-start every buffer pool (between experiments).
+    pub fn clear_pools(&mut self) {
+        for p in self.pools.iter_mut().flatten() {
+            p.clear();
+        }
+    }
+
+    /// Load a relation, placing each tuple per `declustering`. Loading is
+    /// not part of any measured query, so no ledger is charged; the tuples
+    /// do however land in real page files that later scans pay to read.
+    pub fn load_relation(
+        &mut self,
+        name: &str,
+        schema: Schema,
+        declustering: Declustering,
+        tuples: impl IntoIterator<Item = Vec<u8>>,
+    ) -> RelationId {
+        let d = self.cfg.disk_nodes;
+        let page_bytes = self.cfg.cost.disk.page_bytes;
+        let mut scratch = Usage::ZERO; // load-time I/O is not measured
+        let mut writers: Vec<HeapWriter> = (0..d)
+            .map(|n| HeapWriter::create(self.volumes[n].as_mut().expect("disk node"), page_bytes))
+            .collect();
+        let mut count = 0u64;
+        let mut bytes = 0u64;
+        for t in tuples {
+            let node = declustering.place(&t, d, count);
+            assert!(node < d, "declustering routed to nonexistent node {node}");
+            writers[node].push(
+                self.volumes[node].as_mut().expect("disk node"),
+                self.pools[node].as_mut().expect("disk node"),
+                &mut scratch,
+                &t,
+            );
+            bytes += t.len() as u64;
+            count += 1;
+        }
+        let fragments: Vec<FileId> = writers
+            .into_iter()
+            .enumerate()
+            .map(|(n, w)| {
+                w.finish(
+                    self.volumes[n].as_mut().expect("disk node"),
+                    self.pools[n].as_mut().expect("disk node"),
+                    &mut scratch,
+                )
+            })
+            .collect();
+        self.relations.push(Some(StoredRelation {
+            name: name.to_string(),
+            schema,
+            fragments,
+            declustering,
+            tuples: count,
+            data_bytes: bytes,
+        }));
+        self.clear_pools();
+        self.relations.len() - 1
+    }
+
+    /// Register files produced by an operator (store nodes) as a new
+    /// stored relation — how `SELECT ... INTO` results and materialized
+    /// operator outputs enter the catalog.
+    pub fn register_relation(
+        &mut self,
+        name: &str,
+        schema: Schema,
+        declustering: Declustering,
+        fragments: Vec<FileId>,
+    ) -> RelationId {
+        assert_eq!(
+            fragments.len(),
+            self.cfg.disk_nodes,
+            "one fragment per disk node"
+        );
+        let mut tuples = 0u64;
+        let mut bytes = 0u64;
+        for (n, &f) in fragments.iter().enumerate() {
+            let vol = self.volumes[n].as_ref().expect("disk node");
+            tuples += vol.file_records(f) as u64;
+            for p in 0..vol.file_pages(f) {
+                bytes += vol.page(f, p).records().map(|r| r.len() as u64).sum::<u64>();
+            }
+        }
+        self.relations.push(Some(StoredRelation {
+            name: name.to_string(),
+            schema,
+            fragments,
+            declustering,
+            tuples,
+            data_bytes: bytes,
+        }));
+        self.relations.len() - 1
+    }
+
+    /// Mutable access for same-crate operators (update/delete rewrite
+    /// fragments and cardinalities in place).
+    pub(crate) fn relation_mut(&mut self, id: RelationId) -> &mut StoredRelation {
+        self.relations[id]
+            .as_mut()
+            .unwrap_or_else(|| panic!("relation {id} was dropped"))
+    }
+
+    /// Look up a relation.
+    pub fn relation(&self, id: RelationId) -> &StoredRelation {
+        self.relations[id]
+            .as_ref()
+            .unwrap_or_else(|| panic!("relation {id} was dropped"))
+    }
+
+    /// Drop a relation and free its fragments.
+    pub fn drop_relation(&mut self, id: RelationId) {
+        let rel = self.relations[id]
+            .take()
+            .unwrap_or_else(|| panic!("relation {id} already dropped"));
+        for (n, f) in rel.fragments.iter().enumerate() {
+            self.volumes[n].as_mut().expect("disk node").delete_file(*f);
+            self.pools[n].as_mut().expect("disk node").evict_file(*f);
+        }
+    }
+}
+
+/// Order-independent checksum of a result multiset — engine results are
+/// compared against the oracle join through this.
+#[inline]
+pub fn multiset_checksum(acc: u64, rec: &[u8]) -> u64 {
+    // FNV-1a per record, summed (wrapping) across records so order and
+    // distribution across nodes do not matter.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in rec {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    acc.wrapping_add(h)
+}
+
+/// Round-robin result store: the operators at the root of the query tree
+/// distribute result tuples round-robin to store operators at each disk
+/// site (Section 2.2).
+pub struct ResultSink {
+    writers: Vec<Option<HeapWriter>>,
+    disk_nodes: usize,
+    rr: usize,
+    tuples: u64,
+    checksum: u64,
+}
+
+/// What a finished [`ResultSink`] produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResultInfo {
+    /// Result heap files, one per disk node.
+    pub files: Vec<FileId>,
+    /// Result cardinality.
+    pub tuples: u64,
+    /// Order-independent checksum of the result multiset.
+    pub checksum: u64,
+}
+
+impl ResultSink {
+    /// Open one store operator per disk node.
+    pub fn new(machine: &mut Machine) -> Self {
+        let d = machine.cfg.disk_nodes;
+        let page = machine.cfg.cost.disk.page_bytes;
+        let writers = (0..d)
+            .map(|n| Some(HeapWriter::create(machine.volumes[n].as_mut().unwrap(), page)))
+            .collect();
+        ResultSink {
+            writers,
+            disk_nodes: d,
+            rr: 0,
+            tuples: 0,
+            checksum: 0,
+        }
+    }
+
+    /// Emit one composed result tuple from the join process on `src`.
+    /// Charges the network hop and the store operator's CPU + page writes.
+    pub fn push(&mut self, machine: &mut Machine, usage: &mut Ledgers, src: NodeId, rec: &[u8]) {
+        let dst = self.rr % self.disk_nodes;
+        self.rr += 1;
+        machine.fabric.send_tuple(usage, src, dst, rec.len() as u64);
+        usage[dst].cpu(machine.cfg.cost.t(machine.cfg.cost.store_tuple_us));
+        let w = self.writers[dst].as_mut().expect("sink finished");
+        w.push(
+            machine.volumes[dst].as_mut().unwrap(),
+            machine.pools[dst].as_mut().unwrap(),
+            &mut usage[dst],
+            rec,
+        );
+        usage[src].counts.tuples_out += 1;
+        self.tuples += 1;
+        self.checksum = multiset_checksum(self.checksum, rec);
+    }
+
+    /// Flush the store operators and return the result description.
+    pub fn finish(mut self, machine: &mut Machine, usage: &mut Ledgers) -> ResultInfo {
+        let mut files = Vec::with_capacity(self.disk_nodes);
+        let writers = std::mem::take(&mut self.writers);
+        for (n, w) in writers.into_iter().enumerate() {
+            let w = w.expect("finished twice");
+            files.push(w.finish(
+                machine.volumes[n].as_mut().unwrap(),
+                machine.pools[n].as_mut().unwrap(),
+                &mut usage[n],
+            ));
+        }
+        ResultInfo {
+            files,
+            tuples: self.tuples,
+            checksum: self.checksum,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::Field;
+
+    fn schema() -> Schema {
+        Schema::new(vec![Field::Int("k".into()), Field::Str("pad".into(), 28)])
+    }
+
+    fn mk_tuple(schema: &Schema, k: u32) -> Vec<u8> {
+        let mut t = vec![0u8; schema.tuple_bytes()];
+        schema.int_attr("k").put(&mut t, k);
+        t
+    }
+
+    #[test]
+    fn machine_shape() {
+        let m = Machine::new(MachineConfig::remote_8_plus_8());
+        assert_eq!(m.nodes(), 16);
+        assert_eq!(m.disk_nodes(), (0..8).collect::<Vec<_>>());
+        assert_eq!(m.diskless_nodes(), (8..16).collect::<Vec<_>>());
+        assert!(m.volumes[0].is_some());
+        assert!(m.volumes[8].is_none());
+    }
+
+    #[test]
+    fn hashed_load_places_by_join_hash() {
+        let mut m = Machine::new(MachineConfig::local_8());
+        let s = schema();
+        let attr = s.int_attr("k");
+        let tuples: Vec<Vec<u8>> = (0..800).map(|k| mk_tuple(&s, k)).collect();
+        let id = m.load_relation("t", s.clone(), Declustering::Hashed { attr }, tuples);
+        let rel = m.relation(id);
+        assert_eq!(rel.tuples, 800);
+        assert_eq!(rel.data_bytes, 800 * 32);
+        // Every stored tuple must be on its hash-home node.
+        for n in 0..8 {
+            let vol = m.volumes[n].as_ref().unwrap();
+            let f = rel.fragments[n];
+            for page_idx in 0..vol.file_pages(f) {
+                for rec in vol.page(f, page_idx).records() {
+                    let k = attr.get(rec);
+                    assert_eq!((hash_u32(JOIN_SEED, k) % 8) as usize, n);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_load_balances_exactly() {
+        let mut m = Machine::new(MachineConfig::local_8());
+        let s = schema();
+        let tuples: Vec<Vec<u8>> = (0..800).map(|k| mk_tuple(&s, k)).collect();
+        let id = m.load_relation("t", s, Declustering::RoundRobin, tuples);
+        let rel = m.relation(id);
+        for n in 0..8 {
+            assert_eq!(m.volumes[n].as_ref().unwrap().file_records(rel.fragments[n]), 100);
+        }
+    }
+
+    #[test]
+    fn range_load_respects_cuts() {
+        let mut m = Machine::new(MachineConfig::local_8());
+        let s = schema();
+        let attr = s.int_attr("k");
+        let cuts = vec![100, 200, 300, 400, 500, 600, 700];
+        let tuples: Vec<Vec<u8>> = (0..800).map(|k| mk_tuple(&s, k)).collect();
+        let id = m.load_relation("t", s, Declustering::Range { attr, cuts }, tuples);
+        let rel = m.relation(id);
+        for n in 0..8 {
+            let vol = m.volumes[n].as_ref().unwrap();
+            let f = rel.fragments[n];
+            assert_eq!(vol.file_records(f), 100, "node {n}");
+        }
+    }
+
+    #[test]
+    fn drop_relation_frees_files() {
+        let mut m = Machine::new(MachineConfig::local_8());
+        let s = schema();
+        let tuples: Vec<Vec<u8>> = (0..80).map(|k| mk_tuple(&s, k)).collect();
+        let id = m.load_relation("t", s, Declustering::RoundRobin, tuples);
+        let f0 = m.relation(id).fragments[0];
+        m.drop_relation(id);
+        assert!(!m.volumes[0].as_ref().unwrap().exists(f0));
+    }
+
+    #[test]
+    #[should_panic(expected = "was dropped")]
+    fn using_dropped_relation_panics() {
+        let mut m = Machine::new(MachineConfig::local_8());
+        let s = schema();
+        let id = m.load_relation("t", s, Declustering::RoundRobin, vec![]);
+        m.drop_relation(id);
+        m.relation(id);
+    }
+
+    #[test]
+    fn result_sink_round_robins_and_checksums() {
+        let mut m = Machine::new(MachineConfig::local_8());
+        let mut ledgers = m.ledgers();
+        let mut sink = ResultSink::new(&mut m);
+        for i in 0..16u32 {
+            sink.push(&mut m, &mut ledgers, 0, &i.to_le_bytes());
+        }
+        let info = sink.finish(&mut m, &mut ledgers);
+        assert_eq!(info.tuples, 16);
+        for (n, f) in info.files.iter().enumerate() {
+            assert_eq!(m.volumes[n].as_ref().unwrap().file_records(*f), 2);
+        }
+        // Checksum is order independent.
+        let a = multiset_checksum(multiset_checksum(0, b"x"), b"y");
+        let b = multiset_checksum(multiset_checksum(0, b"y"), b"x");
+        assert_eq!(a, b);
+        assert_ne!(a, multiset_checksum(0, b"x"));
+    }
+
+    #[test]
+    fn ledgers_match_node_count() {
+        let m = Machine::new(MachineConfig::remote_8_plus_8());
+        assert_eq!(m.ledgers().len(), 16);
+    }
+}

@@ -1,0 +1,459 @@
+//! Query plans: trees of operators, executed bottom-up with one coherent
+//! virtual-time account — Gamma's §2.2 execution framework in miniature,
+//! plus a §5-shaped optimizer.
+//!
+//! A [`Plan`] composes scans, selections, projections, joins and group-by
+//! aggregates. [`execute`] materializes each stage as a stored relation
+//! (results are distributed round-robin to the disk sites, §2.2), feeds it
+//! to its parent and frees it afterwards. When the join algorithm is left
+//! to the optimizer, [`choose_algorithm`] applies the paper's conclusions:
+//! Hybrid hash everywhere, *except* when the inner relation's join
+//! attribute looks highly skewed while memory is limited — then the
+//! conservative sort-merge is chosen.
+
+use gamma_des::SimTime;
+use serde::Serialize;
+
+use crate::algorithms::common::RangePred;
+use crate::operators::{self, AggFn};
+use crate::query::{run_join_materialized, Algorithm, JoinSite, JoinSpec};
+use crate::machine::{Machine, RelationId};
+
+/// A relational query plan.
+#[derive(Debug, Clone)]
+pub enum Plan {
+    /// Leaf: a stored relation.
+    Scan(RelationId),
+    /// Filter by an inclusive range on a named integer attribute.
+    Select {
+        /// Input subtree.
+        input: Box<Plan>,
+        /// Attribute name (resolved against the input's schema).
+        attr: String,
+        /// Lower bound, inclusive.
+        lo: u32,
+        /// Upper bound, inclusive.
+        hi: u32,
+    },
+    /// Keep only the named fields.
+    Project {
+        /// Input subtree.
+        input: Box<Plan>,
+        /// Fields to keep, in order.
+        fields: Vec<String>,
+    },
+    /// Equi-join two subtrees.
+    Join {
+        /// Building side (the optimizer may swap if it is larger).
+        inner: Box<Plan>,
+        /// Probing side.
+        outer: Box<Plan>,
+        /// Join attribute on the inner input.
+        inner_attr: String,
+        /// Join attribute on the outer input.
+        outer_attr: String,
+        /// Fix the algorithm, or let the optimizer choose.
+        algorithm: Option<Algorithm>,
+    },
+    /// Hash group-by aggregation.
+    Aggregate {
+        /// Input subtree.
+        input: Box<Plan>,
+        /// Grouping attribute name.
+        group_by: String,
+        /// Aggregated attribute name.
+        attr: String,
+        /// Aggregate function.
+        f: AggFn,
+    },
+}
+
+/// Execution-wide knobs.
+#[derive(Debug, Clone)]
+pub struct PlanConfig {
+    /// Aggregate join memory per join stage.
+    pub memory_bytes: u64,
+    /// Where joins (and aggregates) run.
+    pub site: JoinSite,
+    /// Bit-vector filtering for joins.
+    pub bit_filter: bool,
+}
+
+/// One executed stage.
+#[derive(Debug, Clone, Serialize)]
+pub struct StageReport {
+    /// Human-readable stage description.
+    pub name: String,
+    /// Stage response time.
+    pub response: SimTime,
+    /// Output cardinality.
+    pub tuples: u64,
+}
+
+/// The whole plan's outcome.
+#[derive(Debug)]
+pub struct PlanReport {
+    /// Materialized output relation (owned by the caller now).
+    pub output: RelationId,
+    /// Output cardinality.
+    pub tuples: u64,
+    /// Per-stage breakdown, leaves first.
+    pub stages: Vec<StageReport>,
+    /// Sum of stage response times (stages run one after another, as
+    /// Gamma's scheduler serialized the operators of deep trees).
+    pub response: SimTime,
+}
+
+/// Crude optimizer statistics for one integer attribute, gathered from a
+/// one-page-per-fragment sample — enough to detect the §4.4 kind of skew.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ColumnStats {
+    /// Tuples sampled.
+    pub sampled: u64,
+    /// Distinct values in the sample.
+    pub distinct: u64,
+    /// Fraction of sampled tuples carrying the modal value.
+    pub top_frequency: f64,
+}
+
+impl ColumnStats {
+    /// A heuristic skew verdict: many duplicates in a small sample.
+    pub fn looks_skewed(&self) -> bool {
+        self.sampled >= 16
+            && ((self.distinct as f64) < 0.6 * self.sampled as f64 || self.top_frequency > 0.1)
+    }
+}
+
+/// Sample one page per fragment and summarize the attribute.
+pub fn analyze(machine: &Machine, rel: RelationId, attr_name: &str) -> ColumnStats {
+    use std::collections::HashMap;
+    let r = machine.relation(rel);
+    let attr = r.schema.int_attr(attr_name);
+    let mut freq: HashMap<u32, u64> = HashMap::new();
+    let mut sampled = 0u64;
+    for (n, &f) in r.fragments.iter().enumerate() {
+        let vol = machine.volumes[n].as_ref().expect("disk node");
+        if vol.file_pages(f) == 0 {
+            continue;
+        }
+        for rec in vol.page(f, 0).records() {
+            sampled += 1;
+            *freq.entry(attr.get(rec)).or_default() += 1;
+        }
+    }
+    let distinct = freq.len() as u64;
+    let top = freq.values().copied().max().unwrap_or(0);
+    ColumnStats {
+        sampled,
+        distinct,
+        top_frequency: if sampled == 0 { 0.0 } else { top as f64 / sampled as f64 },
+    }
+}
+
+/// The paper's §5 decision rule: Hybrid hash unless the inner relation's
+/// join attribute is highly skewed *and* memory is limited, in which case
+/// sort-merge (local only) is the safe choice.
+pub fn choose_algorithm(
+    machine: &Machine,
+    inner: RelationId,
+    inner_attr: &str,
+    memory_bytes: u64,
+    site: JoinSite,
+) -> Algorithm {
+    let stats = analyze(machine, inner, inner_attr);
+    let inner_bytes = machine.relation(inner).data_bytes.max(1);
+    let ratio = memory_bytes as f64 / inner_bytes as f64;
+    if stats.looks_skewed() && ratio < 0.34 && site == JoinSite::Local {
+        Algorithm::SortMerge
+    } else {
+        Algorithm::HybridHash
+    }
+}
+
+/// Execute a plan bottom-up. Intermediate relations are freed; the final
+/// output relation is returned to the caller (drop it when done).
+pub fn execute(machine: &mut Machine, plan: &Plan, cfg: &PlanConfig) -> PlanReport {
+    let mut stages = Vec::new();
+    let (output, owned) = run(machine, plan, cfg, &mut stages);
+    let tuples = machine.relation(output).tuples;
+    let response = stages.iter().map(|s| s.response).sum();
+    // If the root is a bare scan we must not hand ownership of a base
+    // relation to the caller as "output to drop"; materialize a copy
+    // never happens in practice (plans end in an operator), so just flag
+    // ownership through `owned` — non-owned outputs are base relations.
+    let _ = owned;
+    PlanReport {
+        output,
+        tuples,
+        stages,
+        response,
+    }
+}
+
+/// Returns (relation, owned-by-plan?).
+fn run(
+    machine: &mut Machine,
+    plan: &Plan,
+    cfg: &PlanConfig,
+    stages: &mut Vec<StageReport>,
+) -> (RelationId, bool) {
+    match plan {
+        Plan::Scan(rel) => (*rel, false),
+        Plan::Select { input, attr, lo, hi } => {
+            let (src, owned) = run(machine, input, cfg, stages);
+            let a = machine.relation(src).schema.int_attr(attr);
+            let pred = RangePred { attr: a, lo: *lo, hi: *hi };
+            let (out, rep) = operators::select(machine, src, pred, "σ");
+            stages.push(StageReport {
+                name: format!("select {attr} in [{lo}, {hi}]"),
+                response: rep.response,
+                tuples: rep.tuples_out,
+            });
+            if owned {
+                machine.drop_relation(src);
+            }
+            (out, true)
+        }
+        Plan::Project { input, fields } => {
+            let (src, owned) = run(machine, input, cfg, stages);
+            let names: Vec<&str> = fields.iter().map(String::as_str).collect();
+            let (out, rep) = operators::project(machine, src, &names, "π");
+            stages.push(StageReport {
+                name: format!("project {fields:?}"),
+                response: rep.response,
+                tuples: rep.tuples_out,
+            });
+            if owned {
+                machine.drop_relation(src);
+            }
+            (out, true)
+        }
+        Plan::Join {
+            inner,
+            outer,
+            inner_attr,
+            outer_attr,
+            algorithm,
+        } => {
+            let (mut r, mut r_owned) = run(machine, inner, cfg, stages);
+            let (mut s, mut s_owned) = run(machine, outer, cfg, stages);
+            let mut r_attr_name = inner_attr.clone();
+            let mut s_attr_name = outer_attr.clone();
+            // The smaller relation is always the building relation (§3).
+            if machine.relation(r).data_bytes > machine.relation(s).data_bytes {
+                std::mem::swap(&mut r, &mut s);
+                std::mem::swap(&mut r_owned, &mut s_owned);
+                std::mem::swap(&mut r_attr_name, &mut s_attr_name);
+            }
+            let alg = algorithm.unwrap_or_else(|| {
+                choose_algorithm(machine, r, &r_attr_name, cfg.memory_bytes, cfg.site)
+            });
+            let r_attr = machine.relation(r).schema.int_attr(&r_attr_name);
+            let s_attr = machine.relation(s).schema.int_attr(&s_attr_name);
+            let mut spec = JoinSpec::new(alg, r, s, r_attr, s_attr, cfg.memory_bytes);
+            spec.site = if alg == Algorithm::SortMerge {
+                JoinSite::Local
+            } else {
+                cfg.site
+            };
+            spec.bit_filter = cfg.bit_filter;
+            let (out, report) = run_join_materialized(machine, &spec, "⋈");
+            stages.push(StageReport {
+                name: format!("{} join on {r_attr_name}={s_attr_name}", alg.name()),
+                response: report.response,
+                tuples: report.result_tuples,
+            });
+            if r_owned {
+                machine.drop_relation(r);
+            }
+            if s_owned {
+                machine.drop_relation(s);
+            }
+            (out, true)
+        }
+        Plan::Aggregate {
+            input,
+            group_by,
+            attr,
+            f,
+        } => {
+            let (src, owned) = run(machine, input, cfg, stages);
+            let schema = machine.relation(src).schema.clone();
+            let g = schema.int_attr(group_by);
+            let a = schema.int_attr(attr);
+            let agg_nodes = match cfg.site {
+                JoinSite::Local => machine.disk_nodes(),
+                JoinSite::Remote | JoinSite::Mixed => {
+                    let d = machine.diskless_nodes();
+                    if d.is_empty() {
+                        machine.disk_nodes()
+                    } else {
+                        d
+                    }
+                }
+            };
+            let (out, rep) = operators::aggregate_group(machine, src, g, a, *f, agg_nodes, "γ");
+            stages.push(StageReport {
+                name: format!("{f:?} of {attr} group by {group_by}"),
+                response: rep.response,
+                tuples: rep.tuples_out,
+            });
+            if owned {
+                machine.drop_relation(src);
+            }
+            (out, true)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{Declustering, MachineConfig};
+    use crate::tuple::{Field, Schema};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::Int("k".into()),
+            Field::Int("g".into()),
+            Field::Str("pad".into(), 24),
+        ])
+    }
+
+    fn load(m: &mut Machine, name: &str, n: u32, skew: bool) -> RelationId {
+        let s = schema();
+        let k = s.int_attr("k");
+        let g = s.int_attr("g");
+        let tuples: Vec<Vec<u8>> = (0..n)
+            .map(|i| {
+                let mut t = vec![0u8; s.tuple_bytes()];
+                k.put(&mut t, if skew { i % 7 } else { i });
+                g.put(&mut t, i % 5);
+                t
+            })
+            .collect();
+        m.load_relation(name, s, Declustering::Hashed { attr: k }, tuples)
+    }
+
+    fn cfg(mem: u64) -> PlanConfig {
+        PlanConfig {
+            memory_bytes: mem,
+            site: JoinSite::Local,
+            bit_filter: false,
+        }
+    }
+
+    #[test]
+    fn select_join_aggregate_pipeline() {
+        let mut m = Machine::new(MachineConfig::local_8());
+        let a = load(&mut m, "a", 1_000, false);
+        let b = load(&mut m, "b", 1_000, false);
+        let plan = Plan::Aggregate {
+            input: Box::new(Plan::Join {
+                inner: Box::new(Plan::Select {
+                    input: Box::new(Plan::Scan(b)),
+                    attr: "k".into(),
+                    lo: 0,
+                    hi: 99,
+                }),
+                outer: Box::new(Plan::Scan(a)),
+                inner_attr: "k".into(),
+                outer_attr: "k".into(),
+                algorithm: Some(Algorithm::HybridHash),
+            }),
+            group_by: "l.g".into(),
+            attr: "l.g".into(),
+            f: AggFn::Count,
+        };
+        let report = execute(&mut m, &plan, &cfg(1 << 20));
+        assert_eq!(report.stages.len(), 3);
+        assert_eq!(report.stages[0].tuples, 100, "selection output");
+        assert_eq!(report.stages[1].tuples, 100, "join output");
+        assert_eq!(report.tuples, 5, "five groups");
+        assert!(report.response >= report.stages[2].response);
+        m.drop_relation(report.output);
+    }
+
+    #[test]
+    fn executor_swaps_to_smaller_inner() {
+        let mut m = Machine::new(MachineConfig::local_8());
+        let big = load(&mut m, "big", 2_000, false);
+        let small = load(&mut m, "small", 100, false);
+        // Declared inner is the big one; the executor must swap.
+        let plan = Plan::Join {
+            inner: Box::new(Plan::Scan(big)),
+            outer: Box::new(Plan::Scan(small)),
+            inner_attr: "k".into(),
+            outer_attr: "k".into(),
+            algorithm: Some(Algorithm::HybridHash),
+        };
+        let report = execute(&mut m, &plan, &cfg(1 << 20));
+        assert_eq!(report.tuples, 100);
+        m.drop_relation(report.output);
+    }
+
+    #[test]
+    fn optimizer_follows_paper_conclusions() {
+        let mut m = Machine::new(MachineConfig::local_8());
+        let uniform = load(&mut m, "u", 2_000, false);
+        let skewed = load(&mut m, "n", 2_000, true);
+        let bytes = m.relation(uniform).data_bytes;
+        // Plenty of memory: hybrid either way.
+        assert_eq!(
+            choose_algorithm(&m, uniform, "k", bytes, JoinSite::Local),
+            Algorithm::HybridHash
+        );
+        assert_eq!(
+            choose_algorithm(&m, skewed, "k", bytes, JoinSite::Local),
+            Algorithm::HybridHash
+        );
+        // Tight memory: skewed inner flips to sort-merge.
+        assert_eq!(
+            choose_algorithm(&m, uniform, "k", bytes / 6, JoinSite::Local),
+            Algorithm::HybridHash
+        );
+        assert_eq!(
+            choose_algorithm(&m, skewed, "k", bytes / 6, JoinSite::Local),
+            Algorithm::SortMerge
+        );
+        // Remote sites cannot run sort-merge, so the optimizer never picks it.
+        assert_eq!(
+            choose_algorithm(&m, skewed, "k", bytes / 6, JoinSite::Remote),
+            Algorithm::HybridHash
+        );
+    }
+
+    #[test]
+    fn analyze_detects_duplicates() {
+        let mut m = Machine::new(MachineConfig::local_8());
+        let uniform = load(&mut m, "u", 2_000, false);
+        let skewed = load(&mut m, "n", 2_000, true);
+        let su = analyze(&m, uniform, "k");
+        let sn = analyze(&m, skewed, "k");
+        assert!(!su.looks_skewed(), "{su:?}");
+        assert!(sn.looks_skewed(), "{sn:?}");
+        assert!(sn.top_frequency > su.top_frequency);
+    }
+
+    #[test]
+    fn intermediates_are_freed() {
+        let mut m = Machine::new(MachineConfig::local_8());
+        let a = load(&mut m, "a", 500, false);
+        let b = load(&mut m, "b", 500, false);
+        let pages_before: usize = m.volumes.iter().flatten().map(|v| v.total_pages()).sum();
+        let plan = Plan::Project {
+            input: Box::new(Plan::Join {
+                inner: Box::new(Plan::Scan(b)),
+                outer: Box::new(Plan::Scan(a)),
+                inner_attr: "k".into(),
+                outer_attr: "k".into(),
+                algorithm: Some(Algorithm::GraceHash),
+            }),
+            fields: vec!["l.k".into(), "r.g".into()],
+        };
+        let report = execute(&mut m, &plan, &cfg(4 << 10));
+        m.drop_relation(report.output);
+        let pages_after: usize = m.volumes.iter().flatten().map(|v| v.total_pages()).sum();
+        assert_eq!(pages_before, pages_after, "no storage leaked");
+    }
+}

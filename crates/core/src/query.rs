@@ -1,0 +1,477 @@
+//! Public query interface: specify a join, run it, get a timed report.
+//!
+//! [`run_join`] resolves a [`JoinSpec`] against the machine (join sites,
+//! bucket count via the memory ratio and the Appendix A bucket analyzer,
+//! per-site memory), dispatches the algorithm driver — which executes the
+//! join for real and returns per-phase ledgers — and then *replays* the
+//! phase sequence through the `gamma-des` event queue: the scheduler
+//! dispatches each phase's operator-start messages serially, the phase
+//! runs in parallel under the overlapped-resource model, and the response
+//! time is when the last completion event fires.
+
+use gamma_des::{Sim, SimTime, Usage};
+use serde::{Deserialize, Serialize};
+
+use crate::algorithms::common::{RangePred, Resolved};
+use crate::algorithms::{grace, hybrid, simple, sort_merge};
+use crate::machine::{Machine, RelationId};
+use crate::report::{JoinReport, PhaseSummary};
+use crate::split::bucket_analyzer;
+use crate::tuple::Attr;
+
+/// Which of the four parallel join algorithms to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Parallel sort-merge (§3.1).
+    SortMerge,
+    /// Simple hash-join (§3.2).
+    SimpleHash,
+    /// Grace hash-join (§3.3).
+    GraceHash,
+    /// Hybrid hash-join (§3.4).
+    HybridHash,
+}
+
+impl Algorithm {
+    /// All four, in the paper's presentation order.
+    pub const ALL: [Algorithm; 4] = [
+        Algorithm::SortMerge,
+        Algorithm::SimpleHash,
+        Algorithm::GraceHash,
+        Algorithm::HybridHash,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::SortMerge => "sort-merge",
+            Algorithm::SimpleHash => "simple",
+            Algorithm::GraceHash => "grace",
+            Algorithm::HybridHash => "hybrid",
+        }
+    }
+}
+
+/// Where join processes run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JoinSite {
+    /// On the processors with disks (the paper's "local" configuration).
+    Local,
+    /// On the diskless processors (the paper's "remote" configuration).
+    Remote,
+    /// On every processor, with and without disks — the configuration §4.3
+    /// mentions measuring "almost always 1/2 way between that of the
+    /// 'local' and 'remote' configurations". This is also the shape that
+    /// triggers the Appendix A split-table pathology (J ≠ D), which the
+    /// bucket analyzer repairs by adding buckets.
+    Mixed,
+}
+
+/// How Grace/Hybrid pick the bucket count at non-integral memory ratios
+/// (the Figure 7 trade-off).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OverflowPolicy {
+    /// Always run with enough buckets that no hash table can overflow
+    /// (`N = ceil(|R| / M)`).
+    Pessimistic,
+    /// Run with `N = floor(|R| / M)` buckets and count on the Simple-hash
+    /// overflow mechanism to absorb the excess.
+    Optimistic,
+}
+
+/// A join request.
+#[derive(Debug, Clone)]
+pub struct JoinSpec {
+    /// Algorithm to execute.
+    pub algorithm: Algorithm,
+    /// Inner (building, smaller) relation.
+    pub inner: RelationId,
+    /// Outer (probing, larger) relation.
+    pub outer: RelationId,
+    /// Join attribute of the inner relation.
+    pub inner_attr: Attr,
+    /// Join attribute of the outer relation.
+    pub outer_attr: Attr,
+    /// Aggregate memory available across the joining processors, in bytes
+    /// (the paper's x-axis is `memory / |inner|`).
+    pub memory_bytes: u64,
+    /// Local or remote join processing.
+    pub site: JoinSite,
+    /// Use bit-vector filters.
+    pub bit_filter: bool,
+    /// Also filter during Grace/Hybrid bucket-forming (the §4.2/§5
+    /// extension; requires `bit_filter`).
+    pub filter_bucket_forming: bool,
+    /// Grace bucket tuning \[KITS83\], which §3.3 notes Gamma had not
+    /// implemented: partition into many small buckets, then combine them
+    /// at join time by their *measured* sizes so each join round fills
+    /// memory. Robust to skewed bucket sizes.
+    pub bucket_tuning: bool,
+    /// Bucket policy at non-integral ratios.
+    pub overflow_policy: OverflowPolicy,
+    /// Buckets added on top of the computed count (the §4.4 "one additional
+    /// bucket" Grace experiment). Ignored by Simple/Sort-Merge.
+    pub extra_buckets: usize,
+    /// Bypass bucket computation entirely (harness use).
+    pub buckets_override: Option<usize>,
+    /// Optional selection on the inner relation.
+    pub inner_pred: Option<RangePred>,
+    /// Optional selection on the outer relation.
+    pub outer_pred: Option<RangePred>,
+}
+
+impl JoinSpec {
+    /// A spec with the paper's defaults: local joins, no filter,
+    /// pessimistic buckets, no predicates.
+    pub fn new(
+        algorithm: Algorithm,
+        inner: RelationId,
+        outer: RelationId,
+        inner_attr: Attr,
+        outer_attr: Attr,
+        memory_bytes: u64,
+    ) -> Self {
+        JoinSpec {
+            algorithm,
+            inner,
+            outer,
+            inner_attr,
+            outer_attr,
+            memory_bytes,
+            site: JoinSite::Local,
+            bit_filter: false,
+            filter_bucket_forming: false,
+            bucket_tuning: false,
+            overflow_policy: OverflowPolicy::Pessimistic,
+            extra_buckets: 0,
+            buckets_override: None,
+            inner_pred: None,
+            outer_pred: None,
+        }
+    }
+
+    /// Builder: run at the given site.
+    pub fn at(mut self, site: JoinSite) -> Self {
+        self.site = site;
+        self
+    }
+
+    /// Builder: toggle bit filtering.
+    pub fn with_filter(mut self, on: bool) -> Self {
+        self.bit_filter = on;
+        self
+    }
+
+    /// Builder: set the overflow policy.
+    pub fn with_policy(mut self, p: OverflowPolicy) -> Self {
+        self.overflow_policy = p;
+        self
+    }
+}
+
+/// Compute the Grace/Hybrid bucket count for a memory budget.
+pub fn bucket_count(
+    spec: &JoinSpec,
+    inner_bytes: u64,
+    disk_nodes: usize,
+    join_nodes: usize,
+) -> usize {
+    if let Some(n) = spec.buckets_override {
+        return n.max(1);
+    }
+    let m = spec.memory_bytes.max(1);
+    let base = match spec.overflow_policy {
+        OverflowPolicy::Pessimistic => inner_bytes.div_ceil(m).max(1) as usize,
+        OverflowPolicy::Optimistic => (inner_bytes / m).max(1) as usize,
+    } + spec.extra_buckets;
+    bucket_analyzer(
+        spec.algorithm == Algorithm::GraceHash,
+        disk_nodes,
+        join_nodes,
+        base,
+    )
+}
+
+/// Replay a driver's phase sequence through the DES: the scheduler's
+/// serialized dispatch overhead precedes each phase, the phase body runs
+/// in parallel under the overlapped-resource model, and the response time
+/// is the final completion event. Shared by the join entry point and the
+/// relational operators in [`crate::operators`].
+pub fn replay_phases(
+    machine: &Machine,
+    phases: &[crate::report::PhaseRecord],
+) -> (SimTime, Vec<PhaseSummary>) {
+    let bw = machine.cfg.cost.ring.bandwidth_bytes_per_sec;
+    let mut sim: Sim<Vec<(usize, SimTime)>> = Sim::new(Vec::new());
+    let mut t = SimTime::ZERO;
+    let mut summaries = Vec::with_capacity(phases.len());
+    for (i, ph) in phases.iter().enumerate() {
+        t += ph.sched_overhead;
+        let timing = ph.timing(bw);
+        t += timing.duration;
+        sim.schedule_at(t, move |s| s.state.push((i, s.now())));
+        summaries.push(PhaseSummary {
+            name: ph.name.clone(),
+            sched_overhead: ph.sched_overhead,
+            duration: timing.duration,
+            total: ph.total(),
+            critical_node: timing.critical_node,
+        });
+    }
+    let response = sim.run_until_idle();
+    assert_eq!(sim.state.len(), phases.len(), "replay lost a phase");
+    (response, summaries)
+}
+
+/// Execute a join and produce its timed report.
+///
+/// # Panics
+/// Panics if the spec asks for remote sort-merge (unsupported, as in the
+/// paper), remote joins on a machine without diskless nodes, or dropped
+/// relations.
+pub fn run_join(machine: &mut Machine, spec: &JoinSpec) -> JoinReport {
+    let mut sink = None;
+    run_join_inner(machine, spec, None, &mut sink)
+}
+
+/// Execute a join and register its result as a stored relation named
+/// `name`, returning the new relation id alongside the report. This is how
+/// composed query plans (select → join → aggregate) chain operators.
+pub fn run_join_materialized(
+    machine: &mut Machine,
+    spec: &JoinSpec,
+    name: &str,
+) -> (RelationId, JoinReport) {
+    let mut materialized = None;
+    let report = run_join_inner(machine, spec, Some(name), &mut materialized);
+    (materialized.expect("materialization requested"), report)
+}
+
+fn run_join_inner(
+    machine: &mut Machine,
+    spec: &JoinSpec,
+    materialize_as: Option<&str>,
+    materialized: &mut Option<RelationId>,
+) -> JoinReport {
+    let join_nodes = match spec.site {
+        JoinSite::Local => machine.disk_nodes(),
+        JoinSite::Remote => {
+            assert!(
+                spec.algorithm != Algorithm::SortMerge,
+                "our sort-merge implementation cannot utilize diskless processors (paper §3.1)"
+            );
+            let n = machine.diskless_nodes();
+            assert!(!n.is_empty(), "remote join on a machine without diskless nodes");
+            n
+        }
+        JoinSite::Mixed => {
+            assert!(
+                spec.algorithm != Algorithm::SortMerge,
+                "our sort-merge implementation cannot utilize diskless processors (paper §3.1)"
+            );
+            let mut n = machine.disk_nodes();
+            n.extend(machine.diskless_nodes());
+            n
+        }
+    };
+
+    let inner = machine.relation(spec.inner);
+    let outer = machine.relation(spec.outer);
+    let inner_bytes = inner.data_bytes;
+    let r_tuple_bytes = inner.schema.tuple_bytes() as u64;
+    let s_tuple_bytes = outer.schema.tuple_bytes() as u64;
+    let r_fragments = inner.fragments.clone();
+    let s_fragments = outer.fragments.clone();
+
+    let mut buckets = match spec.algorithm {
+        Algorithm::GraceHash | Algorithm::HybridHash => bucket_count(
+            spec,
+            inner_bytes,
+            machine.cfg.disk_nodes,
+            join_nodes.len(),
+        ),
+        _ => 1,
+    };
+    // Bucket tuning partitions into many small buckets ("the number of
+    // buckets N is chosen to be very large", §3.3) and combines them by
+    // measured size at join time.
+    let tuning = spec.bucket_tuning && spec.algorithm == Algorithm::GraceHash;
+    if tuning {
+        buckets = crate::split::bucket_analyzer(
+            true,
+            machine.cfg.disk_nodes,
+            join_nodes.len(),
+            buckets * 4,
+        );
+    }
+
+    // Per-site memory: hash-table bytes per join process, or sort/merge
+    // space per disk node for sort-merge. The operators allocate headroom
+    // above the optimizer's estimate (hash-distribution variance and
+    // per-entry overhead), so integral-ratio runs never overflow (§4).
+    let headroom = 100 + machine.cfg.cost.table_headroom_pct;
+    let capacity_per_site =
+        (spec.memory_bytes * headroom / 100 / join_nodes.len() as u64).max(1);
+    let filter_bits = spec
+        .bit_filter
+        .then(|| machine.cfg.cost.filter_bits_per_site(join_nodes.len()));
+
+    let rz = Resolved {
+        join_nodes,
+        buckets,
+        capacity_per_site,
+        r_fragments,
+        s_fragments,
+        r_attr: spec.inner_attr,
+        s_attr: spec.outer_attr,
+        r_tuple_bytes,
+        s_tuple_bytes,
+        filter_bits,
+        filter_bucket_forming: spec.bit_filter && spec.filter_bucket_forming,
+        bucket_tuning: tuning,
+        r_pred: spec.inner_pred,
+        s_pred: spec.outer_pred,
+    };
+
+    machine.clear_pools();
+    let out = match spec.algorithm {
+        Algorithm::SortMerge => sort_merge::run(machine, &rz),
+        Algorithm::SimpleHash => simple::run(machine, &rz),
+        Algorithm::GraceHash => grace::run(machine, &rz),
+        Algorithm::HybridHash => hybrid::run(machine, &rz),
+    };
+    debug_assert!(machine.fabric.is_drained(), "driver left unflushed packets");
+
+    let (response, summaries) = replay_phases(machine, &out.phases);
+
+    // ---- utilisation + totals ----
+    let nodes = machine.nodes();
+    let mut per_node_cpu = vec![SimTime::ZERO; nodes];
+    let mut total = Usage::ZERO;
+    for ph in &out.phases {
+        for (n, u) in ph.ledgers.iter().enumerate() {
+            per_node_cpu[n] += u.cpu;
+            total += *u;
+        }
+    }
+    let util = |ns: &[usize]| -> f64 {
+        if ns.is_empty() || response == SimTime::ZERO {
+            return 0.0;
+        }
+        let sum: f64 = ns.iter().map(|&n| per_node_cpu[n].as_secs()).sum();
+        sum / ns.len() as f64 / response.as_secs()
+    };
+    let disk_util = util(&machine.disk_nodes());
+    let join_util = match spec.site {
+        JoinSite::Local => disk_util,
+        JoinSite::Remote | JoinSite::Mixed => {
+            let d = machine.diskless_nodes();
+            if d.is_empty() {
+                disk_util
+            } else {
+                util(&d)
+            }
+        }
+    };
+
+    if let Some(name) = materialize_as {
+        let schema = machine
+            .relation(spec.inner)
+            .schema
+            .join(&machine.relation(spec.outer).schema);
+        let id = machine.register_relation(
+            name,
+            schema,
+            crate::machine::Declustering::RoundRobin,
+            out.result.files.clone(),
+        );
+        *materialized = Some(id);
+    } else {
+        // Free the result files (the harness reruns thousands of joins;
+        // tests validate through cardinality + checksum).
+        for (n, f) in out.result.files.iter().enumerate() {
+            crate::hashjoin::delete_file(machine, n, *f);
+        }
+    }
+
+    let demand = crate::throughput::DemandProfile::from_phases(machine, &out.phases, response);
+    JoinReport {
+        algorithm: spec.algorithm.name().to_string(),
+        response,
+        phases: summaries,
+        result_tuples: out.result.tuples,
+        result_checksum: out.result.checksum,
+        buckets: out.buckets,
+        overflow_passes: out.overflow_passes,
+        bnl_fallback: out.bnl_fallback,
+        disk_node_cpu_utilization: disk_util,
+        join_node_cpu_utilization: join_util,
+        total,
+        demand,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_count_tracks_memory_ratio() {
+        let spec = |mem: u64| {
+            JoinSpec::new(
+                Algorithm::HybridHash,
+                0,
+                1,
+                Attr { offset: 0 },
+                Attr { offset: 0 },
+                mem,
+            )
+        };
+        let r = 2_080_000u64; // 10K tuples * 208B
+        assert_eq!(bucket_count(&spec(r), r, 8, 8), 1);
+        assert_eq!(bucket_count(&spec(r / 2), r, 8, 8), 2);
+        assert_eq!(bucket_count(&spec(r / 5), r, 8, 8), 5);
+        assert_eq!(bucket_count(&spec(r / 10), r, 8, 8), 10);
+    }
+
+    #[test]
+    fn optimistic_policy_uses_floor() {
+        let r = 1_000u64;
+        let mut s = JoinSpec::new(
+            Algorithm::HybridHash,
+            0,
+            1,
+            Attr { offset: 0 },
+            Attr { offset: 0 },
+            700,
+        );
+        s.overflow_policy = OverflowPolicy::Optimistic;
+        assert_eq!(bucket_count(&s, r, 8, 8), 1, "0.7 ratio optimistic -> 1 bucket");
+        s.overflow_policy = OverflowPolicy::Pessimistic;
+        assert_eq!(bucket_count(&s, r, 8, 8), 2, "0.7 ratio pessimistic -> 2 buckets");
+    }
+
+    #[test]
+    fn override_and_extra_buckets() {
+        let r = 1_000u64;
+        let mut s = JoinSpec::new(
+            Algorithm::GraceHash,
+            0,
+            1,
+            Attr { offset: 0 },
+            Attr { offset: 0 },
+            250,
+        );
+        assert_eq!(bucket_count(&s, r, 8, 8), 4);
+        s.extra_buckets = 1;
+        assert_eq!(bucket_count(&s, r, 8, 8), 5);
+        s.buckets_override = Some(2);
+        assert_eq!(bucket_count(&s, r, 8, 8), 2);
+    }
+
+    #[test]
+    fn algorithm_names() {
+        assert_eq!(Algorithm::ALL.len(), 4);
+        assert_eq!(Algorithm::HybridHash.name(), "hybrid");
+    }
+}

@@ -1,0 +1,159 @@
+//! Phase records and join reports.
+//!
+//! Every algorithm driver produces an ordered list of [`PhaseRecord`]s —
+//! the per-node ledgers of real work done in each phase plus the
+//! scheduler's serialized dispatch overhead for starting the phase's
+//! operators. The query replay (see `query`) turns that list into a
+//! response time through the DES; the resulting [`JoinReport`] keeps the
+//! full per-phase breakdown so the benchmark harness (and the tests) can
+//! explain every curve.
+
+use gamma_des::{phase_duration, PhaseTiming, SimTime, Usage};
+use serde::Serialize;
+
+use crate::machine::{Ledgers, ResultInfo};
+
+/// One phase of a join's execution.
+pub struct PhaseRecord {
+    /// Human-readable phase name (e.g. `"partition R / build bucket 1"`).
+    pub name: String,
+    /// Per-node resource ledgers for the phase.
+    pub ledgers: Ledgers,
+    /// Serialized scheduler time spent dispatching this phase's operators
+    /// (control-message builds and sends happen one at a time at the
+    /// scheduler process).
+    pub sched_overhead: SimTime,
+}
+
+impl PhaseRecord {
+    /// Bundle a phase.
+    pub fn new(name: impl Into<String>, ledgers: Ledgers, sched_overhead: SimTime) -> Self {
+        PhaseRecord {
+            name: name.into(),
+            ledgers,
+            sched_overhead,
+        }
+    }
+
+    /// Aggregate usage over all nodes.
+    pub fn total(&self) -> Usage {
+        self.ledgers.iter().copied().fold(Usage::ZERO, |a, b| a + b)
+    }
+
+    /// Timing under the engine's model.
+    pub fn timing(&self, ring_bandwidth: u64) -> PhaseTiming {
+        phase_duration(&self.ledgers, ring_bandwidth)
+    }
+}
+
+/// A timed phase, as it appears in the final report.
+#[derive(Debug, Clone, Serialize)]
+pub struct PhaseSummary {
+    /// Phase name.
+    pub name: String,
+    /// Scheduler dispatch overhead preceding the phase.
+    pub sched_overhead: SimTime,
+    /// Parallel execution time of the phase.
+    pub duration: SimTime,
+    /// Aggregate usage across nodes.
+    pub total: Usage,
+    /// Index of the slowest node.
+    pub critical_node: usize,
+}
+
+/// Everything measured about one join execution.
+#[derive(Debug, Clone, Serialize)]
+pub struct JoinReport {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// End-to-end response time (the paper's y-axis).
+    pub response: SimTime,
+    /// Ordered timed phases.
+    pub phases: Vec<PhaseSummary>,
+    /// Result cardinality.
+    pub result_tuples: u64,
+    /// Order-independent checksum of the result multiset (compared against
+    /// the oracle join by tests).
+    pub result_checksum: u64,
+    /// Buckets used (1 for Simple and Sort-Merge).
+    pub buckets: usize,
+    /// Simple-hash overflow passes executed anywhere in the join.
+    pub overflow_passes: u32,
+    /// Whether the block-nested-loops safety net fired.
+    pub bnl_fallback: bool,
+    /// Mean CPU utilisation of the disk nodes over the response time.
+    pub disk_node_cpu_utilization: f64,
+    /// Mean CPU utilisation of the join (diskless, if any) nodes.
+    pub join_node_cpu_utilization: f64,
+    /// Aggregate usage over all phases and nodes.
+    pub total: Usage,
+    /// Per-node service demands for multiuser extrapolation
+    /// (see [`crate::throughput`]).
+    pub demand: crate::throughput::DemandProfile,
+}
+
+impl JoinReport {
+    /// Total page I/Os.
+    pub fn page_ios(&self) -> u64 {
+        self.total.counts.page_ios()
+    }
+
+    /// Total packets placed on the ring.
+    pub fn packets(&self) -> u64 {
+        self.total.counts.packets_sent
+    }
+
+    /// Total short-circuited messages.
+    pub fn shortcircuits(&self) -> u64 {
+        self.total.counts.msgs_shortcircuit
+    }
+
+    /// Response time in (fractional) seconds — the unit the paper plots.
+    pub fn seconds(&self) -> f64 {
+        self.response.as_secs()
+    }
+}
+
+/// Carrier for the pieces a driver returns to the replay.
+pub struct DriverOutput {
+    /// Ordered phases.
+    pub phases: Vec<PhaseRecord>,
+    /// Result description.
+    pub result: ResultInfo,
+    /// Buckets used.
+    pub buckets: usize,
+    /// Overflow passes executed.
+    pub overflow_passes: u32,
+    /// BNL fallback fired.
+    pub bnl_fallback: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_total_sums_nodes() {
+        let mut a = Usage::ZERO;
+        a.cpu(SimTime::from_us(10));
+        let mut b = Usage::ZERO;
+        b.cpu(SimTime::from_us(5));
+        b.counts.pages_read = 2;
+        let p = PhaseRecord::new("x", vec![a, b], SimTime::ZERO);
+        let t = p.total();
+        assert_eq!(t.cpu, SimTime::from_us(15));
+        assert_eq!(t.counts.pages_read, 2);
+    }
+
+    #[test]
+    fn phase_timing_uses_engine_model() {
+        let mut a = Usage::ZERO;
+        a.cpu(SimTime::from_us(10));
+        let mut b = Usage::ZERO;
+        b.disk(SimTime::from_us(99));
+        let p = PhaseRecord::new("x", vec![a, b], SimTime::ZERO);
+        let t = p.timing(10_000_000);
+        assert_eq!(t.duration, SimTime::from_us(99));
+        assert_eq!(t.critical_node, 1);
+    }
+}

@@ -1,0 +1,387 @@
+//! Split tables and the optimizer bucket analyzer (Appendix A).
+//!
+//! Split tables are Gamma's data-partitioning mechanism. A producing
+//! process applies the randomizing hash to the join attribute, takes it
+//! `mod` the number of entries and routes the tuple to the entry's
+//! destination. Three kinds appear in the paper:
+//!
+//! * the **loading split table** — `D` entries, one per disk node — used
+//!   when a relation is declustered at load time with the `hashed` policy;
+//! * the **joining split table** — `J` entries, one per join process;
+//! * the **partitioning split table** — used by Grace and Hybrid during
+//!   bucket-forming. Grace: `N·D` entries laid out bucket-major (all the
+//!   disk nodes of bucket 1, then bucket 2, …). Hybrid: `J + D·(N−1)`
+//!   entries — bucket 1 routes straight to the join processes, the
+//!   remaining buckets to disk, in the same bucket-major layout.
+//!
+//! Because loading used `h(key) mod D` and the bucket-major layout makes
+//! entry `i` of a Grace table map to node `i mod D`, an HPJA join routes
+//! every tuple back to its own node — the short-circuiting the paper
+//! measures. The same layout gives the pathological distributions of
+//! Appendix A Tables 3/4 when `J ≠ D`, which the **bucket analyzer**
+//! detects and repairs by adding buckets.
+
+use serde::{Deserialize, Serialize};
+
+use crate::machine::NodeId;
+
+/// One entry of a partitioning split table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SplitEntry {
+    /// Destination processor.
+    pub node: NodeId,
+    /// 1-based bucket this entry belongs to.
+    pub bucket: usize,
+}
+
+/// Where a routed tuple should go.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// Deliver to join process at `node` (bucket 1 of Hybrid, or any
+    /// joining split table hit).
+    Join { node: NodeId },
+    /// Append to the fragment of `bucket` stored at disk node `node`.
+    Spool { node: NodeId, bucket: usize },
+}
+
+/// A joining split table: one entry per join process.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JoiningSplitTable {
+    /// Destination join processors, in entry order.
+    pub dests: Vec<NodeId>,
+}
+
+impl JoiningSplitTable {
+    /// Build from the join processor list.
+    pub fn new(dests: Vec<NodeId>) -> Self {
+        assert!(!dests.is_empty(), "joining split table cannot be empty");
+        JoiningSplitTable { dests }
+    }
+
+    /// Number of entries.
+    pub fn entries(&self) -> usize {
+        self.dests.len()
+    }
+
+    /// Index of the join site for hash value `h` (this is also the site's
+    /// position in the join-site list, used for per-site state).
+    #[inline]
+    pub fn site_index(&self, h: u64) -> usize {
+        (h % self.dests.len() as u64) as usize
+    }
+
+    /// Destination node for hash value `h`.
+    #[inline]
+    pub fn route(&self, h: u64) -> NodeId {
+        self.dests[self.site_index(h)]
+    }
+}
+
+/// A partitioning split table (Grace or Hybrid layout).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitioningSplitTable {
+    entries: Vec<SplitEntry>,
+    /// Entries belonging to bucket 1 that route to join processes rather
+    /// than to disk (Hybrid). Zero for Grace.
+    join_prefix: usize,
+}
+
+impl PartitioningSplitTable {
+    /// Grace layout: `buckets × disk_nodes` entries, bucket-major.
+    pub fn grace(disk_nodes: &[NodeId], buckets: usize) -> Self {
+        assert!(buckets >= 1 && !disk_nodes.is_empty());
+        let mut entries = Vec::with_capacity(buckets * disk_nodes.len());
+        for b in 1..=buckets {
+            for &node in disk_nodes {
+                entries.push(SplitEntry { node, bucket: b });
+            }
+        }
+        PartitioningSplitTable {
+            entries,
+            join_prefix: 0,
+        }
+    }
+
+    /// Hybrid layout: `join_nodes` entries for bucket 1 (destined for the
+    /// join processes) followed by `disk_nodes × (buckets − 1)` bucket-major
+    /// spool entries.
+    pub fn hybrid(join_nodes: &[NodeId], disk_nodes: &[NodeId], buckets: usize) -> Self {
+        assert!(buckets >= 1 && !join_nodes.is_empty() && !disk_nodes.is_empty());
+        let mut entries = Vec::with_capacity(join_nodes.len() + disk_nodes.len() * (buckets - 1));
+        for &node in join_nodes {
+            entries.push(SplitEntry { node, bucket: 1 });
+        }
+        for b in 2..=buckets {
+            for &node in disk_nodes {
+                entries.push(SplitEntry { node, bucket: b });
+            }
+        }
+        PartitioningSplitTable {
+            entries,
+            join_prefix: join_nodes.len(),
+        }
+    }
+
+    /// Number of entries (determines the mod base and the table's size in
+    /// control messages).
+    pub fn entries(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of buckets the table partitions into.
+    pub fn buckets(&self) -> usize {
+        self.entries.iter().map(|e| e.bucket).max().unwrap_or(1)
+    }
+
+    /// Route hash value `h`.
+    #[inline]
+    pub fn route(&self, h: u64) -> Route {
+        let idx = (h % self.entries.len() as u64) as usize;
+        let e = self.entries[idx];
+        if idx < self.join_prefix {
+            Route::Join { node: e.node }
+        } else {
+            Route::Spool {
+                node: e.node,
+                bucket: e.bucket,
+            }
+        }
+    }
+
+    /// The join-site index (within bucket 1's join process list) for an
+    /// `h` that routed to [`Route::Join`].
+    #[inline]
+    pub fn join_site_index(&self, h: u64) -> usize {
+        let idx = (h % self.entries.len() as u64) as usize;
+        debug_assert!(idx < self.join_prefix);
+        idx
+    }
+
+    /// Raw entries (tests, display).
+    pub fn raw(&self) -> &[SplitEntry] {
+        &self.entries
+    }
+}
+
+/// The Appendix A bucket analyzer, transcribed from the paper's C code.
+///
+/// Starting from `min_buckets`, increase the bucket count until splitting a
+/// bucket's fragments `mod join_nodes` can reach every join node. With the
+/// Grace layout, bucket fragments live at entry indices `b·D..(b+1)·D`, so
+/// the reachability condition depends on `total_entries mod join_nodes`.
+///
+/// Returns the number of buckets to use.
+pub fn bucket_analyzer(
+    grace: bool,
+    numdisks: usize,
+    join_nodes: usize,
+    min_buckets: usize,
+) -> usize {
+    assert!(numdisks > 0 && join_nodes > 0 && min_buckets >= 1);
+    let mut numbuckets = min_buckets;
+    loop {
+        let total_split_entries = if grace {
+            numbuckets * numdisks
+        } else {
+            join_nodes + (numbuckets - 1) * numdisks
+        };
+
+        // No problem can occur with one bucket and no more disks than
+        // joining nodes (everything is joined in place).
+        if numbuckets == 1 && numdisks <= join_nodes {
+            return numbuckets;
+        }
+
+        let mut i = 1;
+        while i <= total_split_entries {
+            if (total_split_entries * i) % join_nodes == 0 {
+                break;
+            }
+            i += 1;
+        }
+
+        if i * numdisks >= join_nodes {
+            return numbuckets;
+        }
+        numbuckets += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grace_layout_matches_appendix_table_1() {
+        // Three-bucket Grace join, two disk nodes (paper's Appendix A
+        // Table 1): entries alternate node 1, node 2 within each bucket.
+        let t = PartitioningSplitTable::grace(&[1, 2], 3);
+        let want = [(1, 1), (2, 1), (1, 2), (2, 2), (1, 3), (2, 3)];
+        assert_eq!(t.entries(), 6);
+        for (i, &(node, bucket)) in want.iter().enumerate() {
+            assert_eq!(t.raw()[i], SplitEntry { node, bucket });
+        }
+        assert_eq!(t.buckets(), 3);
+    }
+
+    #[test]
+    fn hybrid_layout_matches_appendix_table_2() {
+        // Three-bucket Hybrid join, disks {1,2}, diskless join nodes {3,4}.
+        let t = PartitioningSplitTable::hybrid(&[3, 4], &[1, 2], 3);
+        let want = [(3, 1), (4, 1), (1, 2), (2, 2), (1, 3), (2, 3)];
+        assert_eq!(t.entries(), 6);
+        for (i, &(node, bucket)) in want.iter().enumerate() {
+            assert_eq!(t.raw()[i], SplitEntry { node, bucket });
+        }
+    }
+
+    #[test]
+    fn routing_follows_mod_indexing() {
+        let t = PartitioningSplitTable::grace(&[10, 11, 12, 13], 3);
+        // Section 4.1 Table 1: value 5 -> entry 5 -> bucket 2, disk index 1.
+        match t.route(5) {
+            Route::Spool { node, bucket } => {
+                assert_eq!(node, 11);
+                assert_eq!(bucket, 2);
+            }
+            _ => panic!("grace tables never route to join"),
+        }
+        // Value 12 wraps: 12 mod 12 = 0 -> bucket 1, first disk.
+        match t.route(12) {
+            Route::Spool { node, bucket } => {
+                assert_eq!(node, 10);
+                assert_eq!(bucket, 1);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn hybrid_bucket1_routes_to_join() {
+        let t = PartitioningSplitTable::hybrid(&[3, 4], &[1, 2], 3);
+        match t.route(0) {
+            Route::Join { node } => assert_eq!(node, 3),
+            _ => panic!("entry 0 is bucket 1"),
+        }
+        assert_eq!(t.join_site_index(1), 1);
+        match t.route(2) {
+            Route::Spool { node, bucket } => {
+                assert_eq!((node, bucket), (1, 2));
+            }
+            _ => panic!("entry 2 spools"),
+        }
+    }
+
+    #[test]
+    fn hpja_shortcircuit_law_local_grace() {
+        // Tuples stored at disk node d satisfy h mod D == d_index. With the
+        // bucket-major layout, the partitioning table must route them back
+        // to the same node, for every bucket count.
+        let disks: Vec<NodeId> = (0..8).collect();
+        for buckets in 1..12 {
+            let t = PartitioningSplitTable::grace(&disks, buckets);
+            for h in 0..10_000u64 {
+                let home = (h % 8) as usize;
+                match t.route(h) {
+                    Route::Spool { node, .. } => assert_eq!(node, home),
+                    _ => unreachable!(),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grace_bucket_join_becomes_hpja() {
+        // After bucket-forming, fragment i of every bucket lives at disk i
+        // and re-splitting with mod J (J == D, local joins) maps it back to
+        // node i — the paper's §4.1 "non-HPJA joins become HPJA" argument.
+        let disks: Vec<NodeId> = (0..4).collect();
+        let part = PartitioningSplitTable::grace(&disks, 3);
+        let join = JoiningSplitTable::new(disks.clone());
+        for h in 0..10_000u64 {
+            if let Route::Spool { node, .. } = part.route(h) {
+                assert_eq!(join.route(h), node);
+            }
+        }
+    }
+
+    #[test]
+    fn joining_split_table_mod_routing() {
+        let j = JoiningSplitTable::new(vec![5, 6, 7]);
+        assert_eq!(j.route(0), 5);
+        assert_eq!(j.route(1), 6);
+        assert_eq!(j.route(2), 7);
+        assert_eq!(j.route(3), 5);
+        assert_eq!(j.site_index(10), 1);
+    }
+
+    #[test]
+    fn bucket_analyzer_matches_paper_example() {
+        // Appendix A worked example: Hybrid, 2 disk nodes, 4 join nodes,
+        // starting at 3 buckets -> the analyzer settles on 4.
+        assert_eq!(bucket_analyzer(false, 2, 4, 3), 4);
+    }
+
+    #[test]
+    fn bucket_analyzer_leaves_symmetric_configs_alone() {
+        // Local joins with J == D never need repair.
+        for n in 1..10 {
+            assert_eq!(bucket_analyzer(true, 8, 8, n), n);
+            assert_eq!(bucket_analyzer(false, 8, 8, n), n);
+        }
+        // Remote with J == D is fine too.
+        assert_eq!(bucket_analyzer(false, 8, 8, 5), 5);
+    }
+
+    #[test]
+    fn bucket_analyzer_single_bucket_fast_path() {
+        assert_eq!(bucket_analyzer(false, 2, 4, 1), 1);
+        assert_eq!(bucket_analyzer(true, 4, 8, 1), 1);
+    }
+
+    /// Join nodes reachable when re-splitting each spooled bucket with the
+    /// joining split table, keyed by bucket.
+    fn per_bucket_coverage(
+        part: &PartitioningSplitTable,
+        jt: &JoiningSplitTable,
+    ) -> std::collections::BTreeMap<usize, std::collections::HashSet<NodeId>> {
+        let mut cov: std::collections::BTreeMap<usize, std::collections::HashSet<NodeId>> =
+            Default::default();
+        for h in 0..100_000u64 {
+            if let Route::Spool { bucket, .. } = part.route(h) {
+                cov.entry(bucket).or_default().insert(jt.route(h));
+            }
+        }
+        cov
+    }
+
+    #[test]
+    fn analyzer_result_actually_reaches_all_join_nodes() {
+        // Semantic check of Appendix A Tables 3/4: with 3 buckets (total 8
+        // entries, 4 join nodes) every spooled bucket can reach only half
+        // the join sites; with the analyzer's 4 buckets (total 10 entries)
+        // each bucket reaches all of them.
+        let disks: Vec<NodeId> = vec![0, 1];
+        let joins: Vec<NodeId> = vec![0, 1, 2, 3];
+        let jt = JoiningSplitTable::new(joins.clone());
+
+        let bad = PartitioningSplitTable::hybrid(&joins, &disks, 3);
+        for (bucket, reached) in per_bucket_coverage(&bad, &jt) {
+            assert!(
+                reached.len() < joins.len(),
+                "bucket {bucket} should be starved with 3 buckets, reached {reached:?}"
+            );
+        }
+
+        let n = bucket_analyzer(false, 2, 4, 3);
+        assert_eq!(n, 4);
+        let good = PartitioningSplitTable::hybrid(&joins, &disks, n);
+        for (bucket, reached) in per_bucket_coverage(&good, &jt) {
+            assert_eq!(
+                reached.len(),
+                joins.len(),
+                "bucket {bucket} must reach every join node with {n} buckets"
+            );
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Resource ledgers.
+//!
+//! Every operator in the join engine executes its work *for real* on real
+//! tuples, and charges the mechanical cost of each step (hashing a tuple,
+//! reading a page, sending a packet, …) to a [`Usage`] ledger belonging to
+//! one (node, phase) pair. The ledger is therefore both the *clock input*
+//! (how long did this node spend in this phase) and the *instrumentation
+//! output* (how many page I/Os, packets, probes, … happened), which is how
+//! the benchmark harness explains every curve it reproduces.
+
+use std::ops::{Add, AddAssign};
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// Pure event counters. These do not contribute to time directly — the
+/// [`Usage`] time fields do — but they are what the paper's analysis talks
+/// about (number of I/Os, short-circuited messages, probe chain lengths…)
+/// and the tests assert on them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counts {
+    /// 8 KB pages read from a simulated disk volume.
+    pub pages_read: u64,
+    /// 8 KB pages written to a simulated disk volume.
+    pub pages_written: u64,
+    /// Network packets placed on the token ring by this node.
+    pub packets_sent: u64,
+    /// Network packets received from the token ring by this node.
+    pub packets_recv: u64,
+    /// Messages short-circuited because sender and receiver share a node.
+    pub msgs_shortcircuit: u64,
+    /// Tuples consumed by the node's operator(s) in this phase.
+    pub tuples_in: u64,
+    /// Tuples emitted by the node's operator(s) in this phase.
+    pub tuples_out: u64,
+    /// Hash-table insertions.
+    pub hash_inserts: u64,
+    /// Hash-table probe operations.
+    pub hash_probes: u64,
+    /// Key comparisons (probe chains, sort comparisons, merge comparisons).
+    pub comparisons: u64,
+    /// Tuples eliminated by a bit-vector filter.
+    pub filter_drops: u64,
+    /// Scheduler control messages processed.
+    pub control_msgs: u64,
+    /// Tuples evicted to an overflow file by the Simple-hash heuristic.
+    pub overflow_evictions: u64,
+}
+
+impl Counts {
+    /// Ledger with all counters zero.
+    pub const ZERO: Counts = Counts {
+        pages_read: 0,
+        pages_written: 0,
+        packets_sent: 0,
+        packets_recv: 0,
+        msgs_shortcircuit: 0,
+        tuples_in: 0,
+        tuples_out: 0,
+        hash_inserts: 0,
+        hash_probes: 0,
+        comparisons: 0,
+        filter_drops: 0,
+        control_msgs: 0,
+        overflow_evictions: 0,
+    };
+
+    /// Total disk page operations.
+    pub fn page_ios(&self) -> u64 {
+        self.pages_read + self.pages_written
+    }
+}
+
+impl Add for Counts {
+    type Output = Counts;
+    fn add(self, r: Counts) -> Counts {
+        Counts {
+            pages_read: self.pages_read + r.pages_read,
+            pages_written: self.pages_written + r.pages_written,
+            packets_sent: self.packets_sent + r.packets_sent,
+            packets_recv: self.packets_recv + r.packets_recv,
+            msgs_shortcircuit: self.msgs_shortcircuit + r.msgs_shortcircuit,
+            tuples_in: self.tuples_in + r.tuples_in,
+            tuples_out: self.tuples_out + r.tuples_out,
+            hash_inserts: self.hash_inserts + r.hash_inserts,
+            hash_probes: self.hash_probes + r.hash_probes,
+            comparisons: self.comparisons + r.comparisons,
+            filter_drops: self.filter_drops + r.filter_drops,
+            control_msgs: self.control_msgs + r.control_msgs,
+            overflow_evictions: self.overflow_evictions + r.overflow_evictions,
+        }
+    }
+}
+
+impl AddAssign for Counts {
+    fn add_assign(&mut self, r: Counts) {
+        *self = *self + r;
+    }
+}
+
+/// Resource demand accumulated by one node during one phase.
+///
+/// The three time fields model the node's three (overlappable) resources:
+/// its CPU, its disk arm, and its network interface. Gamma overlapped disk
+/// I/O with computation via read-ahead and overlapped network DMA with
+/// computation, so a node's phase time is the *maximum* of the three, not
+/// the sum — see [`Usage::busy_time`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Usage {
+    /// CPU demand.
+    pub cpu: SimTime,
+    /// Disk service demand (arm + transfer).
+    pub disk: SimTime,
+    /// Network-interface service demand (per-packet wire occupancy at the
+    /// NI; protocol *CPU* cost is charged to `cpu`).
+    pub net: SimTime,
+    /// Bytes this node placed on the shared ring (for the shared-bandwidth
+    /// bound computed at the phase level).
+    pub ring_bytes: u64,
+    /// Event counters.
+    pub counts: Counts,
+}
+
+impl Usage {
+    /// Ledger with zero demand.
+    pub const ZERO: Usage = Usage {
+        cpu: SimTime::ZERO,
+        disk: SimTime::ZERO,
+        net: SimTime::ZERO,
+        ring_bytes: 0,
+        counts: Counts::ZERO,
+    };
+
+    /// Charge CPU time.
+    #[inline]
+    pub fn cpu(&mut self, t: SimTime) {
+        self.cpu += t;
+    }
+
+    /// Charge disk service time.
+    #[inline]
+    pub fn disk(&mut self, t: SimTime) {
+        self.disk += t;
+    }
+
+    /// Charge network-interface time and ring occupancy.
+    #[inline]
+    pub fn net(&mut self, t: SimTime, bytes: u64) {
+        self.net += t;
+        self.ring_bytes += bytes;
+    }
+
+    /// The node's completion time for this phase under the
+    /// overlapped-resources model: the slowest of its three resources.
+    ///
+    /// The paper observes local joins run the CPUs at 100% utilisation —
+    /// i.e. `cpu` is the max — while remote configurations drop the disk
+    /// nodes to ~60%, which this model reproduces.
+    #[inline]
+    pub fn busy_time(&self) -> SimTime {
+        self.cpu.max(self.disk).max(self.net)
+    }
+
+    /// Sum of the resource demands (used by utilisation reporting only).
+    #[inline]
+    pub fn total_demand(&self) -> SimTime {
+        self.cpu + self.disk + self.net
+    }
+}
+
+impl Add for Usage {
+    type Output = Usage;
+    fn add(self, r: Usage) -> Usage {
+        Usage {
+            cpu: self.cpu + r.cpu,
+            disk: self.disk + r.disk,
+            net: self.net + r.net,
+            ring_bytes: self.ring_bytes + r.ring_bytes,
+            counts: self.counts + r.counts,
+        }
+    }
+}
+
+impl AddAssign for Usage {
+    fn add_assign(&mut self, r: Usage) {
+        *self = *self + r;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_time_is_resource_max() {
+        let mut u = Usage::ZERO;
+        u.cpu(SimTime::from_us(300));
+        u.disk(SimTime::from_us(500));
+        u.net(SimTime::from_us(100), 2048);
+        assert_eq!(u.busy_time(), SimTime::from_us(500));
+        assert_eq!(u.ring_bytes, 2048);
+        assert_eq!(u.total_demand(), SimTime::from_us(900));
+    }
+
+    #[test]
+    fn usage_addition_accumulates_everything() {
+        let mut a = Usage::ZERO;
+        a.cpu(SimTime::from_us(10));
+        a.counts.pages_read = 3;
+        let mut b = Usage::ZERO;
+        b.cpu(SimTime::from_us(5));
+        b.net(SimTime::from_us(7), 64);
+        b.counts.pages_read = 2;
+        b.counts.packets_sent = 1;
+        let c = a + b;
+        assert_eq!(c.cpu, SimTime::from_us(15));
+        assert_eq!(c.net, SimTime::from_us(7));
+        assert_eq!(c.ring_bytes, 64);
+        assert_eq!(c.counts.pages_read, 5);
+        assert_eq!(c.counts.packets_sent, 1);
+    }
+
+    #[test]
+    fn counts_page_ios() {
+        let c = Counts {
+            pages_read: 4,
+            pages_written: 6,
+            ..Counts::ZERO
+        };
+        assert_eq!(c.page_ios(), 10);
+    }
+
+    #[test]
+    fn add_assign_matches_add() {
+        let mut a = Usage::ZERO;
+        a.cpu(SimTime::from_us(1));
+        let mut b = a;
+        b += a;
+        assert_eq!(b, a + a);
+    }
+
+    #[test]
+    fn zero_is_identity() {
+        let mut u = Usage::ZERO;
+        u.disk(SimTime::from_ms(2));
+        u.counts.hash_probes = 9;
+        assert_eq!(u + Usage::ZERO, u);
+    }
+}

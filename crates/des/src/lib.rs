@@ -1,0 +1,31 @@
+//! # gamma-des — deterministic discrete-event simulation kernel
+//!
+//! This crate is the foundation of the Gamma machine simulator used to
+//! reproduce Schneider & DeWitt's 1989 evaluation of four parallel join
+//! algorithms. It provides:
+//!
+//! * [`SimTime`] — a virtual clock in microseconds,
+//! * [`Sim`] — an event queue with deterministic FIFO tie-breaking and a
+//!   user-supplied state type,
+//! * [`Usage`] / [`Counts`] — per-(node, phase) resource ledgers that higher
+//!   layers charge CPU, disk and network demand to,
+//! * [`phase`] — helpers that turn per-node ledgers into phase completion
+//!   times under the *overlapped-resources, balanced-pipeline* model the
+//!   engine uses (a node's phase time is `max(cpu, disk, net)`; a phase
+//!   completes at the max over nodes and is bounded below by shared ring
+//!   bandwidth).
+//!
+//! The kernel is intentionally small and fully deterministic: two events at
+//! the same virtual time fire in the order they were scheduled, so a whole
+//! query simulation is reproducible bit-for-bit, which the test suite relies
+//! on heavily.
+
+pub mod ledger;
+pub mod phase;
+pub mod sim;
+pub mod time;
+
+pub use ledger::{Counts, Usage};
+pub use phase::{phase_duration, pipeline_duration, PhaseTiming};
+pub use sim::{EventId, Sim};
+pub use time::SimTime;

@@ -1,0 +1,148 @@
+//! Phase-timing composition.
+//!
+//! A Gamma query executes as a sequence of *phases* (e.g. "partition R /
+//! build bucket 1", "join bucket i"). Within a phase each participating node
+//! accumulates a [`Usage`] ledger; this module turns those ledgers into a
+//! phase completion time under the engine's timing model:
+//!
+//! * a node's resources (CPU, disk, NI) overlap → node time is the max of
+//!   the three ([`Usage::busy_time`]);
+//! * nodes run in parallel → phase time is the max over nodes;
+//! * the token ring is shared → phase time is additionally bounded below by
+//!   `total ring bytes / ring bandwidth`.
+//!
+//! Pipelined producer→consumer phases add a small fill latency: the pipeline
+//! cannot finish before the first tuple has crossed it.
+
+use crate::ledger::Usage;
+use crate::time::SimTime;
+
+/// Result of composing one phase's per-node ledgers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseTiming {
+    /// When the phase completes, relative to its start.
+    pub duration: SimTime,
+    /// The per-node maximum busy time (before the ring bound was applied).
+    pub max_node_busy: SimTime,
+    /// The shared-ring lower bound for this phase.
+    pub ring_bound: SimTime,
+    /// Index of the critical (slowest) node.
+    pub critical_node: usize,
+}
+
+/// Compose a phase from per-node ledgers.
+///
+/// `ring_bandwidth_bytes_per_sec` is the capacity of the shared token ring
+/// (80 Mbit/s = 10,000,000 bytes/s in the paper's hardware).
+pub fn phase_duration(per_node: &[Usage], ring_bandwidth_bytes_per_sec: u64) -> PhaseTiming {
+    assert!(
+        ring_bandwidth_bytes_per_sec > 0,
+        "ring bandwidth must be positive"
+    );
+    let mut max_node_busy = SimTime::ZERO;
+    let mut critical_node = 0;
+    let mut ring_bytes: u64 = 0;
+    for (i, u) in per_node.iter().enumerate() {
+        let busy = u.busy_time();
+        if busy > max_node_busy {
+            max_node_busy = busy;
+            critical_node = i;
+        }
+        ring_bytes += u.ring_bytes;
+    }
+    // bytes / (bytes/s) in µs, rounding up so a non-empty transfer is never free.
+    let ring_us = ring_bytes
+        .saturating_mul(1_000_000)
+        .div_ceil(ring_bandwidth_bytes_per_sec);
+    let ring_bound = if ring_bytes == 0 {
+        SimTime::ZERO
+    } else {
+        SimTime::from_us(ring_us.max(1))
+    };
+    PhaseTiming {
+        duration: max_node_busy.max(ring_bound),
+        max_node_busy,
+        ring_bound,
+        critical_node,
+    }
+}
+
+/// Compose a pipelined phase: producers and consumers overlap fully except
+/// for a fill latency (time for the first unit of work to traverse the
+/// pipeline). `per_node` already contains each node's *total* demand for the
+/// phase (a node hosting both a producer and a consumer process has both
+/// charged to the same ledger, since they share its CPU).
+pub fn pipeline_duration(
+    per_node: &[Usage],
+    ring_bandwidth_bytes_per_sec: u64,
+    fill_latency: SimTime,
+) -> PhaseTiming {
+    let mut t = phase_duration(per_node, ring_bandwidth_bytes_per_sec);
+    if t.duration > SimTime::ZERO {
+        t.duration += fill_latency;
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn usage(cpu: u64, disk: u64, net: u64, ring: u64) -> Usage {
+        let mut u = Usage::ZERO;
+        u.cpu(SimTime::from_us(cpu));
+        u.disk(SimTime::from_us(disk));
+        u.net(SimTime::from_us(net), ring);
+        u
+    }
+
+    #[test]
+    fn phase_is_max_over_nodes() {
+        let nodes = vec![usage(100, 50, 10, 0), usage(30, 200, 5, 0), usage(80, 90, 0, 0)];
+        let t = phase_duration(&nodes, 10_000_000);
+        assert_eq!(t.duration, SimTime::from_us(200));
+        assert_eq!(t.critical_node, 1);
+        assert_eq!(t.ring_bound, SimTime::ZERO);
+    }
+
+    #[test]
+    fn ring_bound_applies_when_binding() {
+        // 2 nodes each put 10 MB on the ring; at 10 MB/s that is 2 s even
+        // though each node's NI time is tiny.
+        let nodes = vec![usage(1000, 0, 10, 10_000_000), usage(1000, 0, 10, 10_000_000)];
+        let t = phase_duration(&nodes, 10_000_000);
+        assert_eq!(t.ring_bound, SimTime::from_secs(2));
+        assert_eq!(t.duration, SimTime::from_secs(2));
+        assert_eq!(t.max_node_busy, SimTime::from_us(1000));
+    }
+
+    #[test]
+    fn ring_bound_rounds_up_nonzero_transfers() {
+        let nodes = vec![usage(0, 0, 0, 1)];
+        let t = phase_duration(&nodes, 10_000_000);
+        assert_eq!(t.ring_bound, SimTime::from_us(1));
+    }
+
+    #[test]
+    fn empty_phase_is_zero() {
+        let t = phase_duration(&[], 10_000_000);
+        assert_eq!(t.duration, SimTime::ZERO);
+        let t = phase_duration(&[Usage::ZERO, Usage::ZERO], 10_000_000);
+        assert_eq!(t.duration, SimTime::ZERO);
+    }
+
+    #[test]
+    fn pipeline_adds_fill_latency_only_when_nonempty() {
+        let nodes = vec![usage(500, 0, 0, 0)];
+        let t = pipeline_duration(&nodes, 10_000_000, SimTime::from_us(42));
+        assert_eq!(t.duration, SimTime::from_us(542));
+        let t = pipeline_duration(&[Usage::ZERO], 10_000_000, SimTime::from_us(42));
+        assert_eq!(t.duration, SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "ring bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        phase_duration(&[], 0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Virtual time for the simulator.
+//!
+//! All simulated durations are expressed in microseconds, which is fine
+//! grained enough for the per-tuple CPU costs of a 0.6-MIPS VAX 11/750 and
+//! coarse enough that a full benchmark sweep stays within `u64` range
+//! (2^64 µs is ~585,000 years of virtual time).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A point in (or span of) virtual time, in microseconds.
+///
+/// `SimTime` is used both as an absolute clock value and as a duration;
+/// the arithmetic is saturating on subtraction so that cost-model math can
+/// never panic on underflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The zero point / empty duration.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from whole microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Construct from whole milliseconds.
+    #[inline]
+    pub const fn from_ms(ms: u64) -> Self {
+        SimTime(ms * 1_000)
+    }
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000)
+    }
+
+    /// Microseconds since the simulation epoch.
+    #[inline]
+    pub const fn as_us(self) -> u64 {
+        self.0
+    }
+
+    /// Value in (fractional) milliseconds.
+    #[inline]
+    pub fn as_ms(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Value in (fractional) seconds — the unit the paper reports.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Larger of two times.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+
+    /// Smaller of two times.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+
+    /// Saturating difference (`self - other`, clamped at zero).
+    #[inline]
+    pub fn saturating_sub(self, other: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(other.0))
+    }
+
+    /// Scale a duration by an integer factor.
+    #[inline]
+    pub fn scaled(self, factor: u64) -> SimTime {
+        SimTime(self.0 * factor)
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for SimTime {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimTime) {
+        self.0 = self.0.saturating_sub(rhs.0);
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        SimTime(iter.map(|t| t.0).sum())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}s", self.as_secs())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}ms", self.as_ms())
+        } else {
+            write!(f, "{}us", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::from_secs(2), SimTime::from_ms(2_000));
+        assert_eq!(SimTime::from_ms(3), SimTime::from_us(3_000));
+        assert_eq!(SimTime::from_us(42).as_us(), 42);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_us(100);
+        let b = SimTime::from_us(40);
+        assert_eq!(a + b, SimTime::from_us(140));
+        assert_eq!(a - b, SimTime::from_us(60));
+        // Subtraction saturates rather than panicking.
+        assert_eq!(b - a, SimTime::ZERO);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, SimTime::from_us(140));
+        c -= SimTime::from_us(1_000);
+        assert_eq!(c, SimTime::ZERO);
+    }
+
+    #[test]
+    fn min_max_scale() {
+        let a = SimTime::from_us(5);
+        let b = SimTime::from_us(9);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.scaled(3), SimTime::from_us(15));
+    }
+
+    #[test]
+    fn conversions() {
+        assert!((SimTime::from_ms(1500).as_secs() - 1.5).abs() < 1e-9);
+        assert!((SimTime::from_us(2500).as_ms() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: SimTime = (1..=4).map(SimTime::from_us).sum();
+        assert_eq!(total, SimTime::from_us(10));
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(SimTime::from_us(5).to_string(), "5us");
+        assert_eq!(SimTime::from_us(1_500).to_string(), "1.500ms");
+        assert_eq!(SimTime::from_secs(3).to_string(), "3.000s");
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(SimTime::from_us(1) < SimTime::from_us(2));
+        assert_eq!(SimTime::default(), SimTime::ZERO);
+    }
+}

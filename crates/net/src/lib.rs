@@ -1,0 +1,27 @@
+//! # gamma-net — token-ring interconnect model
+//!
+//! Models the 80 Mbit/s token ring that connects Gamma's VAX 11/750 nodes:
+//!
+//! * tuples travelling to the same destination are **batched into 2 KB
+//!   packets** (Gamma's network packet size — the reason split tables larger
+//!   than 2 KB must be sent in pieces, visible as the extra rise at the low
+//!   end of the paper's memory sweeps),
+//! * messages between processes on the **same node are short-circuited** by
+//!   the communications software: no ring traffic and a far cheaper CPU
+//!   path (this is what makes HPJA joins fast),
+//! * per-packet protocol CPU cost dominates per-byte cost, as it did on the
+//!   real hardware's sliding-window datagram protocol,
+//! * the ring is a **shared medium**: `gamma-des::phase_duration` applies
+//!   the aggregate-bytes/bandwidth lower bound from the `ring_bytes` this
+//!   crate charges.
+//!
+//! The fabric does not move any payload bytes itself — the join engine hands
+//! real tuples to real consumers directly — it only *accounts* for the
+//! communication, charging [`gamma_des::Usage`] ledgers supplied by the
+//! caller.
+
+pub mod config;
+pub mod fabric;
+
+pub use config::RingConfig;
+pub use fabric::Fabric;

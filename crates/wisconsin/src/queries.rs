@@ -1,0 +1,100 @@
+//! The benchmark join queries as spec builders.
+//!
+//! `joinABprime` is the paper's reporting query: a 100,000-tuple relation
+//! joined with a 10,000-tuple relation producing 10,000 result tuples
+//! (the smaller relation is always the inner/building relation). The
+//! `joinAselB` and `joinCselAselB` variants add selections; the paper ran
+//! them too and saw the same trends.
+
+use gamma_core::algorithms::common::RangePred;
+use gamma_core::{Algorithm, JoinSpec, RelationId};
+
+use crate::gen::WisconsinGen;
+
+/// `joinABprime`: Bprime (inner) ⋈ A (outer) on the given attributes.
+/// `memory_bytes` is the aggregate join memory (ratio × |Bprime| in the
+/// paper's sweeps).
+pub fn join_abprime(
+    algorithm: Algorithm,
+    bprime: RelationId,
+    a: RelationId,
+    inner_attr: &str,
+    outer_attr: &str,
+    memory_bytes: u64,
+) -> JoinSpec {
+    JoinSpec::new(
+        algorithm,
+        bprime,
+        a,
+        WisconsinGen::attr(inner_attr),
+        WisconsinGen::attr(outer_attr),
+        memory_bytes,
+    )
+}
+
+/// `joinAselB`: select 10 % of B (`unique1 < sel_limit`) as the inner
+/// relation, join with A on `unique1`.
+pub fn join_asel_b(
+    algorithm: Algorithm,
+    b: RelationId,
+    a: RelationId,
+    sel_limit: u32,
+    memory_bytes: u64,
+) -> JoinSpec {
+    let attr = WisconsinGen::attr("unique1");
+    let mut spec = JoinSpec::new(algorithm, b, a, attr, attr, memory_bytes);
+    spec.inner_pred = Some(RangePred {
+        attr,
+        lo: 0,
+        hi: sel_limit.saturating_sub(1),
+    });
+    spec
+}
+
+/// `joinCselAselB`: selections on both relations before joining.
+pub fn join_csel_asel_b(
+    algorithm: Algorithm,
+    b: RelationId,
+    a: RelationId,
+    b_limit: u32,
+    a_limit: u32,
+    memory_bytes: u64,
+) -> JoinSpec {
+    let attr = WisconsinGen::attr("unique1");
+    let mut spec = JoinSpec::new(algorithm, b, a, attr, attr, memory_bytes);
+    spec.inner_pred = Some(RangePred {
+        attr,
+        lo: 0,
+        hi: b_limit.saturating_sub(1),
+    });
+    spec.outer_pred = Some(RangePred {
+        attr,
+        lo: 0,
+        hi: a_limit.saturating_sub(1),
+    });
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abprime_spec_shape() {
+        let s = join_abprime(Algorithm::HybridHash, 3, 4, "unique1", "unique1", 1024);
+        assert_eq!(s.inner, 3);
+        assert_eq!(s.outer, 4);
+        assert_eq!(s.memory_bytes, 1024);
+        assert!(s.inner_pred.is_none());
+    }
+
+    #[test]
+    fn selections_are_set() {
+        let s = join_asel_b(Algorithm::GraceHash, 1, 2, 1000, 64);
+        let p = s.inner_pred.unwrap();
+        assert_eq!((p.lo, p.hi), (0, 999));
+        let s = join_csel_asel_b(Algorithm::SortMerge, 1, 2, 1000, 5000, 64);
+        assert_eq!(s.inner_pred.unwrap().hi, 999);
+        assert_eq!(s.outer_pred.unwrap().hi, 4999);
+    }
+}

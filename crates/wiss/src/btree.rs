@@ -1,0 +1,492 @@
+//! B+-tree index.
+//!
+//! WiSS provided B+ indices alongside sequential files; Gamma used them for
+//! indexed selections (e.g. the `joinAselB` benchmark variants select
+//! through an index before joining). The tree here is an order-`B` B+-tree
+//! with all values in the leaves and leaf chaining for range scans.
+//!
+//! The join experiments themselves never build indices (all four algorithms
+//! scan), so this structure carries no I/O ledger plumbing; the engine
+//! charges index I/O at its call sites using the tree's [`BPlusTree::depth`]
+//! and leaf counts, mirroring how the paper costs indexed selections.
+
+/// Maximum keys per node. 64 keys ≈ one 8 KB page of (u64 key, u64 ptr)
+/// pairs with headers, roughly WiSS's fan-out for integer keys.
+const B: usize = 64;
+const MIN: usize = B / 2;
+
+#[derive(Debug, Clone)]
+enum Node<K, V> {
+    Leaf {
+        keys: Vec<K>,
+        vals: Vec<V>,
+    },
+    Internal {
+        keys: Vec<K>,
+        kids: Vec<Node<K, V>>,
+    },
+}
+
+impl<K: Ord + Clone, V> Node<K, V> {
+    fn is_full(&self) -> bool {
+        match self {
+            Node::Leaf { keys, .. } => keys.len() >= B,
+            Node::Internal { keys, .. } => keys.len() >= B,
+        }
+    }
+
+    /// Split a full node; returns (separator key, right sibling).
+    fn split(&mut self) -> (K, Node<K, V>) {
+        match self {
+            Node::Leaf { keys, vals } => {
+                let right_keys = keys.split_off(MIN);
+                let right_vals = vals.split_off(MIN);
+                let sep = right_keys[0].clone();
+                (
+                    sep,
+                    Node::Leaf {
+                        keys: right_keys,
+                        vals: right_vals,
+                    },
+                )
+            }
+            Node::Internal { keys, kids } => {
+                // Promote keys[MIN]; right gets keys[MIN+1..].
+                let mut right_keys = keys.split_off(MIN);
+                let sep = right_keys.remove(0);
+                let right_kids = kids.split_off(MIN + 1);
+                (
+                    sep,
+                    Node::Internal {
+                        keys: right_keys,
+                        kids: right_kids,
+                    },
+                )
+            }
+        }
+    }
+}
+
+/// An order-64 B+-tree mapping `K` to one or more `V` (duplicate keys are
+/// allowed — join attributes are frequently non-unique).
+///
+/// ```
+/// use gamma_wiss::btree::BPlusTree;
+///
+/// let mut t = BPlusTree::new();
+/// for i in 0..1_000u64 {
+///     t.insert(i, i * 2);
+/// }
+/// assert_eq!(t.get(&7), Some(&14));
+/// assert_eq!(t.range(&10, &14).len(), 5);
+/// assert_eq!(t.remove(&7), Some(14));
+/// assert_eq!(t.get(&7), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BPlusTree<K, V> {
+    root: Node<K, V>,
+    len: usize,
+    depth: usize,
+}
+
+impl<K: Ord + Clone, V: Clone> Default for BPlusTree<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> BPlusTree<K, V> {
+    /// An empty tree.
+    pub fn new() -> Self {
+        BPlusTree {
+            root: Node::Leaf {
+                keys: Vec::new(),
+                vals: Vec::new(),
+            },
+            len: 0,
+            depth: 1,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the tree holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Height of the tree (1 = a single leaf). This is the number of page
+    /// reads an indexed lookup costs.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Insert an entry (duplicates allowed).
+    pub fn insert(&mut self, key: K, val: V) {
+        if self.root.is_full() {
+            let old_root = std::mem::replace(
+                &mut self.root,
+                Node::Internal {
+                    keys: Vec::new(),
+                    kids: Vec::new(),
+                },
+            );
+            let mut left = old_root;
+            let (sep, right) = left.split();
+            self.root = Node::Internal {
+                keys: vec![sep],
+                kids: vec![left, right],
+            };
+            self.depth += 1;
+        }
+        Self::insert_nonfull(&mut self.root, key, val);
+        self.len += 1;
+    }
+
+    fn insert_nonfull(node: &mut Node<K, V>, key: K, val: V) {
+        match node {
+            Node::Leaf { keys, vals } => {
+                let pos = keys.partition_point(|k| *k <= key);
+                keys.insert(pos, key);
+                vals.insert(pos, val);
+            }
+            Node::Internal { keys, kids } => {
+                let mut idx = keys.partition_point(|k| *k <= key);
+                if kids[idx].is_full() {
+                    let (sep, right) = kids[idx].split();
+                    keys.insert(idx, sep.clone());
+                    kids.insert(idx + 1, right);
+                    if key >= sep {
+                        idx += 1;
+                    }
+                }
+                Self::insert_nonfull(&mut kids[idx], key, val);
+            }
+        }
+    }
+
+    /// Remove one entry with `key` (the first in leaf order), returning
+    /// its value. Deletion is *lazy*, as in many contemporary systems
+    /// including WiSS-era trees: leaves may underflow (search stays
+    /// correct) and the root collapses when it loses all separators, so
+    /// the tree never grows from deletions and shrinks when emptied.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let removed = Self::remove_rec(&mut self.root, key)?;
+        self.len -= 1;
+        // Collapse a root that has a single child left.
+        loop {
+            let replace = match &mut self.root {
+                Node::Internal { kids, .. } if kids.len() == 1 => Some(kids.remove(0)),
+                _ => None,
+            };
+            match replace {
+                Some(child) => {
+                    self.root = child;
+                    self.depth -= 1;
+                }
+                None => break,
+            }
+        }
+        Some(removed)
+    }
+
+    fn remove_rec(node: &mut Node<K, V>, key: &K) -> Option<V> {
+        match node {
+            Node::Leaf { keys, vals } => {
+                let pos = keys.partition_point(|k| k < key);
+                if pos < keys.len() && keys[pos] == *key {
+                    keys.remove(pos);
+                    Some(vals.remove(pos))
+                } else {
+                    None
+                }
+            }
+            Node::Internal { keys, kids } => {
+                // Duplicates may straddle a separator equal to `key`: the
+                // child at the partition point holds keys >= separator, but
+                // an equal key can also end the child to its left. Try the
+                // canonical child first, then the left neighbour.
+                let idx = keys.partition_point(|k| k <= key);
+                if let Some(v) = Self::remove_rec(&mut kids[idx], key) {
+                    Self::prune_empty_child(keys, kids, idx);
+                    return Some(v);
+                }
+                if idx > 0 {
+                    if let Some(v) = Self::remove_rec(&mut kids[idx - 1], key) {
+                        Self::prune_empty_child(keys, kids, idx - 1);
+                        return Some(v);
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// True when a subtree holds no entries (short-circuits at the first
+    /// non-empty leaf; empty subtrees are small because they are pruned
+    /// eagerly).
+    fn subtree_empty(node: &Node<K, V>) -> bool {
+        match node {
+            Node::Leaf { keys, .. } => keys.is_empty(),
+            Node::Internal { kids, .. } => kids.iter().all(|k| Self::subtree_empty(k)),
+        }
+    }
+
+    /// Drop a child whose subtree has become completely empty (lazy
+    /// deletion's only structural maintenance besides root collapse).
+    fn prune_empty_child(keys: &mut Vec<K>, kids: &mut Vec<Node<K, V>>, idx: usize) {
+        if kids.len() > 1 && Self::subtree_empty(&kids[idx]) {
+            kids.remove(idx);
+            // Remove the separator that bounded this child.
+            if idx < keys.len() {
+                keys.remove(idx);
+            } else {
+                keys.pop();
+            }
+        }
+    }
+
+    /// First value stored under `key`, if any.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { keys, vals } => {
+                    let pos = keys.partition_point(|k| k < key);
+                    return if pos < keys.len() && keys[pos] == *key {
+                        Some(&vals[pos])
+                    } else {
+                        None
+                    };
+                }
+                Node::Internal { keys, kids } => {
+                    let idx = keys.partition_point(|k| k <= key);
+                    node = &kids[idx];
+                }
+            }
+        }
+    }
+
+    /// All values in `[lo, hi]`, in key order.
+    pub fn range(&self, lo: &K, hi: &K) -> Vec<(&K, &V)> {
+        let mut out = Vec::new();
+        Self::range_walk(&self.root, lo, hi, &mut out);
+        out
+    }
+
+    fn range_walk<'a>(node: &'a Node<K, V>, lo: &K, hi: &K, out: &mut Vec<(&'a K, &'a V)>) {
+        match node {
+            Node::Leaf { keys, vals } => {
+                let start = keys.partition_point(|k| k < lo);
+                for i in start..keys.len() {
+                    if keys[i] > *hi {
+                        break;
+                    }
+                    out.push((&keys[i], &vals[i]));
+                }
+            }
+            Node::Internal { keys, kids } => {
+                let start = keys.partition_point(|k| k < lo);
+                let end = keys.partition_point(|k| k <= hi);
+                for kid in &kids[start..=end.min(kids.len() - 1)] {
+                    Self::range_walk(kid, lo, hi, out);
+                }
+            }
+        }
+    }
+
+    /// All entries in key order.
+    pub fn iter(&self) -> Vec<(&K, &V)> {
+        let mut out = Vec::with_capacity(self.len);
+        Self::walk(&self.root, &mut out);
+        out
+    }
+
+    fn walk<'a>(node: &'a Node<K, V>, out: &mut Vec<(&'a K, &'a V)>) {
+        match node {
+            Node::Leaf { keys, vals } => {
+                out.extend(keys.iter().zip(vals.iter()));
+            }
+            Node::Internal { kids, .. } => {
+                for kid in kids {
+                    Self::walk(kid, out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_get() {
+        let mut t = BPlusTree::new();
+        for i in 0..1000u64 {
+            t.insert(i * 3, i);
+        }
+        assert_eq!(t.len(), 1000);
+        assert_eq!(t.get(&30), Some(&10));
+        assert_eq!(t.get(&31), None);
+        assert_eq!(t.get(&2997), Some(&999));
+    }
+
+    #[test]
+    fn handles_reverse_and_random_insert_order() {
+        let mut t = BPlusTree::new();
+        for i in (0..2000u64).rev() {
+            t.insert(i, i);
+        }
+        let entries = t.iter();
+        assert_eq!(entries.len(), 2000);
+        for (i, (k, v)) in entries.iter().enumerate() {
+            assert_eq!(**k, i as u64);
+            assert_eq!(**v, i as u64);
+        }
+    }
+
+    #[test]
+    fn duplicates_are_kept() {
+        let mut t = BPlusTree::new();
+        for i in 0..300u64 {
+            t.insert(7, i);
+        }
+        t.insert(3, 0);
+        t.insert(9, 0);
+        assert_eq!(t.len(), 302);
+        let dup = t.range(&7, &7);
+        assert_eq!(dup.len(), 300);
+    }
+
+    #[test]
+    fn range_scan() {
+        let mut t = BPlusTree::new();
+        for i in 0..500u64 {
+            t.insert(i, i * 10);
+        }
+        let r = t.range(&100, &109);
+        assert_eq!(r.len(), 10);
+        assert_eq!(*r[0].0, 100);
+        assert_eq!(*r[9].1, 1090);
+        assert!(t.range(&600, &700).is_empty());
+        assert_eq!(t.range(&0, &499).len(), 500);
+    }
+
+    #[test]
+    fn depth_grows_logarithmically() {
+        let mut t = BPlusTree::new();
+        assert_eq!(t.depth(), 1);
+        for i in 0..100_000u64 {
+            t.insert(i, ());
+        }
+        // Order-64 tree: 100K entries needs about log_32(100000/32) + 1 ≈ 3-4.
+        assert!(t.depth() >= 3 && t.depth() <= 5, "depth={}", t.depth());
+    }
+
+    #[test]
+    fn sorted_iteration_matches_reference() {
+        let mut t = BPlusTree::new();
+        let mut reference = Vec::new();
+        let mut x = 123456789u64;
+        for _ in 0..5000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let k = x >> 33;
+            t.insert(k, k);
+            reference.push(k);
+        }
+        reference.sort_unstable();
+        let got: Vec<u64> = t.iter().iter().map(|(k, _)| **k).collect();
+        assert_eq!(got, reference);
+    }
+
+    #[test]
+    fn remove_existing_and_missing() {
+        let mut t = BPlusTree::new();
+        for i in 0..2_000u64 {
+            t.insert(i, i * 2);
+        }
+        assert_eq!(t.remove(&500), Some(1_000));
+        assert_eq!(t.get(&500), None);
+        assert_eq!(t.remove(&500), None);
+        assert_eq!(t.len(), 1_999);
+        assert_eq!(t.remove(&99_999), None);
+        // Everything else still reachable.
+        assert_eq!(t.get(&499), Some(&998));
+        assert_eq!(t.get(&501), Some(&1_002));
+    }
+
+    #[test]
+    fn remove_duplicates_one_at_a_time() {
+        let mut t = BPlusTree::new();
+        for i in 0..10u64 {
+            t.insert(7, i);
+        }
+        for left in (0..10u64).rev() {
+            assert!(t.remove(&7).is_some());
+            assert_eq!(t.range(&7, &7).len() as u64, left);
+        }
+        assert_eq!(t.remove(&7), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn drain_a_large_tree_completely() {
+        let mut t = BPlusTree::new();
+        let n = 5_000u64;
+        for i in 0..n {
+            t.insert(i.wrapping_mul(0x9E3779B97F4A7C15) >> 40, i);
+        }
+        let keys: Vec<u64> = t.iter().iter().map(|(k, _)| **k).collect();
+        let grown_depth = t.depth();
+        assert!(grown_depth > 1);
+        for k in keys {
+            assert!(t.remove(&k).is_some());
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.depth(), 1, "root collapses as the tree drains");
+        // And the tree is still usable.
+        t.insert(1, 1);
+        assert_eq!(t.get(&1), Some(&1));
+    }
+
+    #[test]
+    fn interleaved_insert_remove_matches_model() {
+        let mut t: BPlusTree<u64, u64> = BPlusTree::new();
+        let mut model: std::collections::BTreeMap<u64, u64> = Default::default();
+        let mut x = 42u64;
+        for step in 0..20_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let k = (x >> 33) % 512;
+            if step % 3 == 2 {
+                assert_eq!(t.remove(&k).is_some(), model.remove(&k).is_some(), "step {step}");
+            } else {
+                if model.insert(k, step).is_none() {
+                    t.insert(k, step);
+                } else {
+                    // Model overwrote: mirror by removing then inserting.
+                    t.remove(&k);
+                    t.insert(k, step);
+                }
+            }
+            if step % 1_000 == 0 {
+                assert_eq!(t.len(), model.len(), "step {step}");
+            }
+        }
+        let got: Vec<u64> = t.iter().iter().map(|(k, _)| **k).collect();
+        let want: Vec<u64> = model.keys().copied().collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn empty_tree_behaviour() {
+        let t: BPlusTree<u64, u64> = BPlusTree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.get(&1), None);
+        assert!(t.range(&0, &100).is_empty());
+        assert!(t.iter().is_empty());
+    }
+}

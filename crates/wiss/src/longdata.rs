@@ -1,0 +1,201 @@
+//! Long data items (paper §2.2).
+//!
+//! WiSS stored attribute values too large for a slotted page — "long data
+//! items" — out of line: the owning record keeps a small descriptor and the
+//! bytes live in their own chunked storage. [`LongStore`] provides that
+//! service per volume: store a blob, get back a compact [`LongItemId`]
+//! descriptor, fetch it (whole or a slice) later.
+
+use std::collections::HashMap;
+
+use gamma_des::Usage;
+use serde::{Deserialize, Serialize};
+
+use crate::disk::Volume;
+use crate::pool::BufferPool;
+use crate::stream::ByteStream;
+
+/// Descriptor of one long data item (what the owning record stores).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LongItemId(u64);
+
+impl LongItemId {
+    /// Raw id (for embedding in 8-byte record fields).
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+
+    /// Rebuild from a raw id.
+    pub fn from_raw(v: u64) -> Self {
+        LongItemId(v)
+    }
+}
+
+/// The long-data service for one volume.
+#[derive(Debug, Default)]
+pub struct LongStore {
+    items: HashMap<LongItemId, ByteStream>,
+    next: u64,
+}
+
+impl LongStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of items stored.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if no items are stored.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Store a blob; returns its descriptor.
+    pub fn store(
+        &mut self,
+        vol: &mut Volume,
+        pool: &mut BufferPool,
+        usage: &mut Usage,
+        data: &[u8],
+    ) -> LongItemId {
+        let mut stream = ByteStream::create(vol, pool.config().page_bytes);
+        stream.append(vol, pool, usage, data);
+        let id = LongItemId(self.next);
+        self.next += 1;
+        self.items.insert(id, stream);
+        id
+    }
+
+    /// Size of an item in bytes.
+    ///
+    /// # Panics
+    /// Panics on an unknown id.
+    pub fn size(&self, id: LongItemId) -> u64 {
+        self.items
+            .get(&id)
+            .unwrap_or_else(|| panic!("unknown long item {id:?}"))
+            .len()
+    }
+
+    /// Fetch a byte range of an item.
+    pub fn fetch_range(
+        &self,
+        vol: &Volume,
+        pool: &mut BufferPool,
+        usage: &mut Usage,
+        id: LongItemId,
+        offset: u64,
+        len: usize,
+    ) -> Vec<u8> {
+        self.items
+            .get(&id)
+            .unwrap_or_else(|| panic!("unknown long item {id:?}"))
+            .read_at(vol, pool, usage, offset, len)
+    }
+
+    /// Fetch a whole item.
+    pub fn fetch(
+        &self,
+        vol: &Volume,
+        pool: &mut BufferPool,
+        usage: &mut Usage,
+        id: LongItemId,
+    ) -> Vec<u8> {
+        let n = self.size(id);
+        self.fetch_range(vol, pool, usage, id, 0, n as usize)
+    }
+
+    /// Append bytes to an existing item.
+    pub fn append(
+        &mut self,
+        vol: &mut Volume,
+        pool: &mut BufferPool,
+        usage: &mut Usage,
+        id: LongItemId,
+        data: &[u8],
+    ) {
+        self.items
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("unknown long item {id:?}"))
+            .append(vol, pool, usage, data);
+    }
+
+    /// Delete an item and free its storage.
+    pub fn delete(&mut self, vol: &mut Volume, pool: &mut BufferPool, id: LongItemId) {
+        let stream = self
+            .items
+            .remove(&id)
+            .unwrap_or_else(|| panic!("unknown long item {id:?}"));
+        stream.delete(vol, pool);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::DiskConfig;
+
+    fn setup() -> (Volume, BufferPool, Usage, LongStore) {
+        (
+            Volume::new(),
+            BufferPool::new(DiskConfig::fujitsu_8inch(), 8),
+            Usage::ZERO,
+            LongStore::new(),
+        )
+    }
+
+    #[test]
+    fn store_fetch_roundtrip() {
+        let (mut vol, mut pool, mut u, mut ls) = setup();
+        let blob: Vec<u8> = (0..100_000u32).map(|i| (i % 253) as u8).collect();
+        let id = ls.store(&mut vol, &mut pool, &mut u, &blob);
+        assert_eq!(ls.size(id), 100_000);
+        assert_eq!(ls.fetch(&vol, &mut pool, &mut u, id), blob);
+        let mid = ls.fetch_range(&vol, &mut pool, &mut u, id, 50_000, 16);
+        assert_eq!(mid, &blob[50_000..50_016]);
+    }
+
+    #[test]
+    fn multiple_items_are_independent() {
+        let (mut vol, mut pool, mut u, mut ls) = setup();
+        let a = ls.store(&mut vol, &mut pool, &mut u, b"aaaa");
+        let b = ls.store(&mut vol, &mut pool, &mut u, b"bbbbbbbb");
+        assert_ne!(a, b);
+        assert_eq!(ls.len(), 2);
+        assert_eq!(ls.fetch(&vol, &mut pool, &mut u, a), b"aaaa");
+        assert_eq!(ls.fetch(&vol, &mut pool, &mut u, b), b"bbbbbbbb");
+        ls.append(&mut vol, &mut pool, &mut u, a, b"!");
+        assert_eq!(ls.fetch(&vol, &mut pool, &mut u, a), b"aaaa!");
+    }
+
+    #[test]
+    fn delete_frees_storage() {
+        let (mut vol, mut pool, mut u, mut ls) = setup();
+        let id = ls.store(&mut vol, &mut pool, &mut u, &[1u8; 20_000]);
+        let pages_before = vol.total_pages();
+        assert!(pages_before >= 3);
+        ls.delete(&mut vol, &mut pool, id);
+        assert_eq!(vol.total_pages(), 0);
+        assert!(ls.is_empty());
+    }
+
+    #[test]
+    fn descriptor_roundtrips_through_raw() {
+        let (mut vol, mut pool, mut u, mut ls) = setup();
+        let id = ls.store(&mut vol, &mut pool, &mut u, b"payload");
+        let raw = id.raw();
+        let back = LongItemId::from_raw(raw);
+        assert_eq!(ls.fetch(&vol, &mut pool, &mut u, back), b"payload");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown long item")]
+    fn unknown_item_panics() {
+        let (vol, mut pool, mut u, ls) = setup();
+        ls.fetch(&vol, &mut pool, &mut u, LongItemId::from_raw(99));
+    }
+}

@@ -1,0 +1,206 @@
+//! Per-node buffer pool and I/O charging.
+//!
+//! Every disk access in the engine is charged through a [`BufferPool`]:
+//! a hit costs nothing (the page is already in a frame), a miss charges the
+//! disk service time from [`DiskConfig`], classified as sequential or random
+//! by the volume's head-position tracker. Writes are write-through (the
+//! write is always charged) and leave the page resident.
+//!
+//! WiSS's one-page readahead is *not* modelled as an explicit prefetch
+//! event: the engine's per-node timing model (`max(cpu, disk, net)`) already
+//! overlaps a scan's disk time with its CPU time, which is exactly what
+//! readahead bought on the real machine.
+
+use std::collections::HashMap;
+
+use gamma_des::{SimTime, Usage};
+
+use crate::disk::{DiskConfig, FileId, HeadPos};
+
+/// LRU buffer pool for one node's volume.
+#[derive(Debug, Clone)]
+pub struct BufferPool {
+    cfg: DiskConfig,
+    capacity: usize,
+    /// frame key -> LRU stamp
+    frames: HashMap<(FileId, usize), u64>,
+    stamp: u64,
+    head: HeadPos,
+    hits: u64,
+    misses: u64,
+}
+
+impl BufferPool {
+    /// A pool of `capacity` frames using disk model `cfg`.
+    ///
+    /// # Panics
+    /// Panics on a zero-capacity pool.
+    pub fn new(cfg: DiskConfig, capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer pool needs at least one frame");
+        BufferPool {
+            cfg,
+            capacity,
+            frames: HashMap::with_capacity(capacity),
+            stamp: 0,
+            head: HeadPos::default(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Disk model in force.
+    pub fn config(&self) -> &DiskConfig {
+        &self.cfg
+    }
+
+    /// (hits, misses) since creation.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    fn touch(&mut self, key: (FileId, usize)) {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        if self.frames.len() >= self.capacity && !self.frames.contains_key(&key) {
+            // Evict the least recently used frame.
+            if let Some((&victim, _)) = self.frames.iter().min_by_key(|(_, &s)| s) {
+                self.frames.remove(&victim);
+            }
+        }
+        self.frames.insert(key, stamp);
+    }
+
+    /// Charge a read of (`file`, `page`). Returns true on a pool hit.
+    pub fn charge_read(&mut self, file: FileId, page: usize, usage: &mut Usage) -> bool {
+        let key = (file, page);
+        if self.frames.contains_key(&key) {
+            self.hits += 1;
+            self.touch(key);
+            return true;
+        }
+        self.misses += 1;
+        let seq = self.head.access(file, page);
+        let us = if seq {
+            self.cfg.seq_read_us
+        } else {
+            self.cfg.rand_read_us
+        };
+        usage.disk(SimTime::from_us(us));
+        usage.counts.pages_read += 1;
+        self.touch(key);
+        false
+    }
+
+    /// Charge a write of (`file`, `page`). Write-through: always charged.
+    pub fn charge_write(&mut self, file: FileId, page: usize, usage: &mut Usage) {
+        let seq = self.head.access(file, page);
+        let us = if seq {
+            self.cfg.seq_write_us
+        } else {
+            self.cfg.rand_write_us
+        };
+        usage.disk(SimTime::from_us(us));
+        usage.counts.pages_written += 1;
+        self.touch((file, page));
+    }
+
+    /// Drop any frames belonging to `file` (called on file deletion).
+    pub fn evict_file(&mut self, file: FileId) {
+        self.frames.retain(|(f, _), _| *f != file);
+    }
+
+    /// Drop every frame (e.g. between experiments to cold-start caches).
+    pub fn clear(&mut self) {
+        self.frames.clear();
+        self.head = HeadPos::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(frames: usize) -> BufferPool {
+        BufferPool::new(DiskConfig::fujitsu_8inch(), frames)
+    }
+
+    #[test]
+    fn sequential_reads_cost_less_than_random() {
+        let mut p = pool(100);
+        let mut seq = Usage::ZERO;
+        for i in 0..10 {
+            p.charge_read(1, i, &mut seq);
+        }
+        let mut p2 = pool(100);
+        let mut rnd = Usage::ZERO;
+        for i in 0..10 {
+            p2.charge_read(1, i * 7, &mut rnd);
+        }
+        assert!(seq.disk < rnd.disk);
+        assert_eq!(seq.counts.pages_read, 10);
+        assert_eq!(rnd.counts.pages_read, 10);
+    }
+
+    #[test]
+    fn pool_hit_is_free() {
+        let mut p = pool(10);
+        let mut u = Usage::ZERO;
+        p.charge_read(1, 0, &mut u);
+        let after_miss = u.disk;
+        assert!(p.charge_read(1, 0, &mut u), "second read hits");
+        assert!(p.charge_read(1, 0, &mut u));
+        assert_eq!(u.disk, after_miss, "hits charge nothing");
+        assert_eq!(u.counts.pages_read, 1);
+        assert_eq!(p.stats(), (2, 1));
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut p = pool(2);
+        let mut u = Usage::ZERO;
+        p.charge_read(1, 0, &mut u); // frames: {(1,0)}
+        p.charge_read(1, 1, &mut u); // frames: {(1,0),(1,1)}
+        p.charge_read(1, 0, &mut u); // hit, (1,0) most recent
+        p.charge_read(1, 2, &mut u); // evicts (1,1)
+        assert!(p.charge_read(1, 0, &mut u), "(1,0) survived");
+        assert!(!p.charge_read(1, 1, &mut u), "(1,1) was evicted");
+    }
+
+    #[test]
+    fn writes_are_write_through_and_cached() {
+        let mut p = pool(10);
+        let mut u = Usage::ZERO;
+        p.charge_write(3, 0, &mut u);
+        assert_eq!(u.counts.pages_written, 1);
+        assert!(u.disk > SimTime::ZERO);
+        let before = u.disk;
+        assert!(p.charge_read(3, 0, &mut u), "written page is resident");
+        assert_eq!(u.disk, before);
+    }
+
+    #[test]
+    fn evict_file_clears_only_that_file() {
+        let mut p = pool(10);
+        let mut u = Usage::ZERO;
+        p.charge_read(1, 0, &mut u);
+        p.charge_read(2, 0, &mut u);
+        p.evict_file(1);
+        assert!(!p.charge_read(1, 0, &mut u));
+        assert!(p.charge_read(2, 0, &mut u));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut p = pool(10);
+        let mut u = Usage::ZERO;
+        p.charge_read(1, 0, &mut u);
+        p.clear();
+        assert!(!p.charge_read(1, 0, &mut u), "cold after clear");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn zero_capacity_rejected() {
+        pool(0);
+    }
+}

@@ -1,0 +1,270 @@
+//! Byte-stream files — "byte-stream files as in UNIX" (paper §2.2).
+//!
+//! A [`ByteStream`] presents a flat, byte-addressed file over fixed-size
+//! page chunks: `read_at` / `write_at` with arbitrary offsets and lengths,
+//! growing the file on writes past the end. Every chunk touched is charged
+//! through the buffer pool like any other page access.
+
+use gamma_des::Usage;
+
+use crate::disk::{FileId, Volume};
+use crate::page::Page;
+use crate::pool::BufferPool;
+
+/// A UNIX-style byte-addressed file.
+///
+/// ```
+/// use gamma_des::Usage;
+/// use gamma_wiss::{BufferPool, ByteStream, DiskConfig, Volume};
+///
+/// let mut vol = Volume::new();
+/// let mut pool = BufferPool::new(DiskConfig::fujitsu_8inch(), 8);
+/// let mut io = Usage::ZERO;
+/// let mut f = ByteStream::create(&mut vol, 8192);
+/// f.append(&mut vol, &mut pool, &mut io, b"hello world");
+/// f.write_at(&mut vol, &mut pool, &mut io, 6, b"gamma");
+/// assert_eq!(f.read_at(&vol, &mut pool, &mut io, 0, 64), b"hello gamma");
+/// assert!(io.counts.pages_written > 0, "every access is charged");
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ByteStream {
+    file: FileId,
+    len: u64,
+    page_bytes: usize,
+    chunk: usize,
+}
+
+impl ByteStream {
+    /// Create an empty byte-stream file on `vol`.
+    pub fn create(vol: &mut Volume, page_bytes: usize) -> Self {
+        let file = vol.create_file();
+        // One fixed-size record per page; the slotted header costs 8 bytes.
+        let chunk = Page::capacity_chunk(page_bytes);
+        ByteStream {
+            file,
+            len: 0,
+            page_bytes,
+            chunk,
+        }
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True if the stream holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Underlying file id.
+    pub fn file(&self) -> FileId {
+        self.file
+    }
+
+    fn ensure_pages(&mut self, vol: &mut Volume, pool: &mut BufferPool, usage: &mut Usage, upto: u64) {
+        let needed = (upto as usize).div_ceil(self.chunk);
+        let mut have = vol.file_pages(self.file);
+        while have < needed {
+            let mut p = Page::new(self.page_bytes);
+            p.insert(&vec![0u8; self.chunk]).expect("chunk fits page");
+            let idx = vol.append_page(self.file, p);
+            pool.charge_write(self.file, idx, usage);
+            have += 1;
+        }
+    }
+
+    /// Write `data` at byte `offset`, growing the file as needed (holes are
+    /// zero-filled). Charges a read-modify-write for partially overwritten
+    /// chunks and a plain write for fully covered ones.
+    pub fn write_at(
+        &mut self,
+        vol: &mut Volume,
+        pool: &mut BufferPool,
+        usage: &mut Usage,
+        offset: u64,
+        data: &[u8],
+    ) {
+        if data.is_empty() {
+            return;
+        }
+        let end = offset + data.len() as u64;
+        self.ensure_pages(vol, pool, usage, end);
+        let mut pos = offset;
+        let mut src = 0usize;
+        while src < data.len() {
+            let page_idx = (pos as usize) / self.chunk;
+            let in_page = (pos as usize) % self.chunk;
+            let n = (self.chunk - in_page).min(data.len() - src);
+            if n < self.chunk {
+                // Partial chunk: read-modify-write.
+                pool.charge_read(self.file, page_idx, usage);
+            }
+            let page = vol.page_mut(self.file, page_idx);
+            let mut chunk = page.get(0).expect("chunk record").to_vec();
+            chunk[in_page..in_page + n].copy_from_slice(&data[src..src + n]);
+            page.update(0, &chunk);
+            pool.charge_write(self.file, page_idx, usage);
+            pos += n as u64;
+            src += n;
+        }
+        self.len = self.len.max(end);
+    }
+
+    /// Read `len` bytes at `offset`. Reads past the end are truncated.
+    pub fn read_at(
+        &self,
+        vol: &Volume,
+        pool: &mut BufferPool,
+        usage: &mut Usage,
+        offset: u64,
+        len: usize,
+    ) -> Vec<u8> {
+        if offset >= self.len {
+            return Vec::new();
+        }
+        let end = (offset + len as u64).min(self.len);
+        let mut out = Vec::with_capacity((end - offset) as usize);
+        let mut pos = offset;
+        while pos < end {
+            let page_idx = (pos as usize) / self.chunk;
+            let in_page = (pos as usize) % self.chunk;
+            let n = (self.chunk - in_page).min((end - pos) as usize);
+            pool.charge_read(self.file, page_idx, usage);
+            let chunk = vol.page(self.file, page_idx).get(0).expect("chunk record");
+            out.extend_from_slice(&chunk[in_page..in_page + n]);
+            pos += n as u64;
+        }
+        out
+    }
+
+    /// Append `data` at the end of the stream.
+    pub fn append(
+        &mut self,
+        vol: &mut Volume,
+        pool: &mut BufferPool,
+        usage: &mut Usage,
+        data: &[u8],
+    ) {
+        self.write_at(vol, pool, usage, self.len, data);
+    }
+
+    /// Truncate to `len` bytes (never grows).
+    pub fn truncate(&mut self, len: u64) {
+        self.len = self.len.min(len);
+    }
+
+    /// Delete the underlying file.
+    pub fn delete(self, vol: &mut Volume, pool: &mut BufferPool) {
+        pool.evict_file(self.file);
+        vol.delete_file(self.file);
+    }
+}
+
+impl Page {
+    /// Usable chunk size for one-record-per-page byte-stream layout.
+    pub fn capacity_chunk(page_bytes: usize) -> usize {
+        page_bytes - 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::DiskConfig;
+
+    fn setup() -> (Volume, BufferPool, Usage) {
+        (
+            Volume::new(),
+            BufferPool::new(DiskConfig::fujitsu_8inch(), 8),
+            Usage::ZERO,
+        )
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let (mut vol, mut pool, mut u) = setup();
+        let mut s = ByteStream::create(&mut vol, 8192);
+        let data: Vec<u8> = (0..50_000u32).map(|i| (i % 251) as u8).collect();
+        s.append(&mut vol, &mut pool, &mut u, &data);
+        assert_eq!(s.len(), 50_000);
+        let got = s.read_at(&vol, &mut pool, &mut u, 0, 50_000);
+        assert_eq!(got, data);
+    }
+
+    #[test]
+    fn random_access_reads() {
+        let (mut vol, mut pool, mut u) = setup();
+        let mut s = ByteStream::create(&mut vol, 8192);
+        let data: Vec<u8> = (0..30_000u32).map(|i| (i % 256) as u8).collect();
+        s.append(&mut vol, &mut pool, &mut u, &data);
+        // Straddles a chunk boundary (chunk = 8184).
+        let got = s.read_at(&vol, &mut pool, &mut u, 8_180, 10);
+        assert_eq!(got, &data[8_180..8_190]);
+        // Truncated read past end.
+        let got = s.read_at(&vol, &mut pool, &mut u, 29_995, 100);
+        assert_eq!(got, &data[29_995..]);
+        // Entirely past end.
+        assert!(s.read_at(&vol, &mut pool, &mut u, 40_000, 4).is_empty());
+    }
+
+    #[test]
+    fn overwrite_in_place() {
+        let (mut vol, mut pool, mut u) = setup();
+        let mut s = ByteStream::create(&mut vol, 8192);
+        s.append(&mut vol, &mut pool, &mut u, &[1u8; 10_000]);
+        s.write_at(&mut vol, &mut pool, &mut u, 5_000, &[9u8; 100]);
+        assert_eq!(s.len(), 10_000, "overwrite must not grow");
+        let got = s.read_at(&vol, &mut pool, &mut u, 4_999, 102);
+        assert_eq!(got[0], 1);
+        assert!(got[1..101].iter().all(|&b| b == 9));
+        assert_eq!(got[101], 1);
+    }
+
+    #[test]
+    fn sparse_writes_zero_fill_holes() {
+        let (mut vol, mut pool, mut u) = setup();
+        let mut s = ByteStream::create(&mut vol, 8192);
+        s.write_at(&mut vol, &mut pool, &mut u, 20_000, b"tail");
+        assert_eq!(s.len(), 20_004);
+        let hole = s.read_at(&vol, &mut pool, &mut u, 9_000, 16);
+        assert!(hole.iter().all(|&b| b == 0));
+        let tail = s.read_at(&vol, &mut pool, &mut u, 20_000, 4);
+        assert_eq!(tail, b"tail");
+    }
+
+    #[test]
+    fn truncate_then_append() {
+        let (mut vol, mut pool, mut u) = setup();
+        let mut s = ByteStream::create(&mut vol, 8192);
+        s.append(&mut vol, &mut pool, &mut u, b"hello world");
+        s.truncate(5);
+        assert_eq!(s.len(), 5);
+        s.append(&mut vol, &mut pool, &mut u, b"!");
+        let got = s.read_at(&vol, &mut pool, &mut u, 0, 16);
+        assert_eq!(got, b"hello!");
+    }
+
+    #[test]
+    fn io_is_charged() {
+        let (mut vol, mut pool, mut u) = setup();
+        let mut s = ByteStream::create(&mut vol, 8192);
+        s.append(&mut vol, &mut pool, &mut u, &[7u8; 30_000]);
+        assert!(u.counts.pages_written >= 4, "4 chunks of ~8K");
+        let before = u.counts.pages_read;
+        pool.clear();
+        let _ = s.read_at(&vol, &mut pool, &mut u, 0, 30_000);
+        assert!(u.counts.pages_read > before);
+    }
+
+    #[test]
+    fn delete_frees_file() {
+        let (mut vol, mut pool, mut u) = setup();
+        let mut s = ByteStream::create(&mut vol, 8192);
+        s.append(&mut vol, &mut pool, &mut u, b"x");
+        let f = s.file();
+        s.delete(&mut vol, &mut pool);
+        assert!(!vol.exists(f));
+    }
+}

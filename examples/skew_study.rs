@@ -1,0 +1,63 @@
+//! Skew study — §4.4 end to end.
+//!
+//! Joins the Wisconsin relations on every combination of uniform (U) and
+//! normal (N) join-attribute distributions, with and without bit filters,
+//! and prints the observations the paper's Table 3/4 makes: hash joins
+//! suffer when the *inner* attribute is skewed, sort-merge actually speeds
+//! up (semantic early termination), skew makes bit filters sharper, and
+//! the NN join's result cardinality explodes.
+//!
+//! ```text
+//! cargo run --release --example skew_study
+//! ```
+
+use gamma_joins::core::{run_join, Algorithm, Machine, MachineConfig};
+use gamma_joins::wisconsin::{join_abprime, load_range, oracle_join, WisconsinGen};
+
+fn main() {
+    let gen = WisconsinGen::new(1989);
+    let a_rows = gen.relation(20_000, 0);
+    let bprime_rows = gen.sample(&a_rows, 2_000, 1);
+
+    let combos = [
+        ("UU", "unique1", "unique1"),
+        ("NU", "normal", "unique1"),
+        ("UN", "unique1", "normal"),
+        ("NN", "normal", "normal"),
+    ];
+
+    for (tag, inner_attr, outer_attr) in combos {
+        let expect = oracle_join(&bprime_rows, &a_rows, inner_attr, outer_attr, None, None);
+        println!("\n# {tag} join (inner={inner_attr}, outer={outer_attr}) — {} result tuples", expect.tuples);
+        println!("{:<12} {:>12} {:>12} {:>10} {:>8}",
+            "algorithm", "plain(s)", "filtered(s)", "gain", "ovfl");
+        for alg in Algorithm::ALL {
+            let mut secs = [0.0f64; 2];
+            let mut ovfl = 0;
+            for (i, filter) in [false, true].into_iter().enumerate() {
+                let mut machine = Machine::new(MachineConfig::local_8());
+                let a = load_range(&mut machine, "A", &a_rows, outer_attr);
+                let bprime = load_range(&mut machine, "Bprime", &bprime_rows, inner_attr);
+                // The paper's stressed case: 17% memory.
+                let memory =
+                    (machine.relation(bprime).data_bytes as f64 * 0.17).ceil() as u64;
+                let mut spec = join_abprime(alg, bprime, a, inner_attr, outer_attr, memory);
+                spec.bit_filter = filter;
+                let report = run_join(&mut machine, &spec);
+                assert_eq!(report.result_tuples, expect.tuples, "oracle check");
+                secs[i] = report.seconds();
+                ovfl = ovfl.max(report.overflow_passes);
+            }
+            let gain = 100.0 * (secs[0] - secs[1]) / secs[0];
+            println!("{:<12} {:>12.2} {:>12.2} {:>9.1}% {:>8}",
+                alg.name(), secs[0], secs[1], gain, ovfl);
+        }
+    }
+
+    println!("\nObservations to compare with the paper's Table 3/4:");
+    println!(" * NU slows the hash joins (skewed build overflows sites) but");
+    println!("   speeds sort-merge up — the merge ends once the skewed inner runs out;");
+    println!(" * skewed attributes collide in the bit filter, leaving it sharper,");
+    println!("   so NU enjoys the largest filtering gains;");
+    println!(" * the NN result is far larger than either input relation.");
+}

@@ -1,0 +1,40 @@
+//! # gamma-joins — facade crate
+//!
+//! Re-exports the whole reproduction stack of Schneider & DeWitt's
+//! *"A Performance Evaluation of Four Parallel Join Algorithms in a
+//! Shared-Nothing Multiprocessor Environment"* (SIGMOD 1989):
+//!
+//! * [`des`] — the discrete-event kernel and resource ledgers,
+//! * [`net`] — the token-ring interconnect model,
+//! * [`wiss`] — the WiSS-like storage substrate,
+//! * [`core`] — split tables, bit filters, and the four parallel join
+//!   algorithms on the simulated Gamma machine,
+//! * [`wisconsin`] — the Wisconsin benchmark workload and oracle.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gamma_joins::core::{run_join, Algorithm, Machine, MachineConfig};
+//! use gamma_joins::wisconsin::{join_abprime, load_hashed, WisconsinGen};
+//!
+//! // An 8-disk-node Gamma, relations hash-declustered on unique1.
+//! let mut machine = Machine::new(MachineConfig::local_8());
+//! let gen = WisconsinGen::new(1989);
+//! let a_rows = gen.relation(2_000, 0);
+//! let bprime_rows = gen.sample(&a_rows, 200, 1);
+//! let a = load_hashed(&mut machine, "A", &a_rows, "unique1");
+//! let bprime = load_hashed(&mut machine, "Bprime", &bprime_rows, "unique1");
+//!
+//! // joinABprime with memory equal to the inner relation (ratio 1.0).
+//! let mem = machine.relation(bprime).data_bytes;
+//! let spec = join_abprime(Algorithm::HybridHash, bprime, a, "unique1", "unique1", mem);
+//! let report = run_join(&mut machine, &spec);
+//! assert_eq!(report.result_tuples, 200);
+//! println!("hybrid joinABprime: {:.2}s", report.seconds());
+//! ```
+
+pub use gamma_core as core;
+pub use gamma_des as des;
+pub use gamma_net as net;
+pub use gamma_wisconsin as wisconsin;
+pub use gamma_wiss as wiss;

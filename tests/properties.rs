@@ -1,0 +1,432 @@
+//! Property-based tests over the whole stack.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use gamma_core::hash::{hash_u32, JOIN_SEED};
+use gamma_core::machine::{multiset_checksum, Declustering, MachineConfig};
+use gamma_core::query::{Algorithm, JoinSpec, OverflowPolicy};
+use gamma_core::tuple::{compose, Field};
+use gamma_core::{run_join, Machine, Schema};
+use gamma_des::Usage;
+use gamma_wiss::btree::BPlusTree;
+use gamma_wiss::{
+    external_sort, BufferPool, ByteStream, DiskConfig, HeapScan, HeapWriter, SortConfig, SortCost,
+    Volume,
+};
+
+fn pad_schema() -> Schema {
+    Schema::new(vec![Field::Int("k".into()), Field::Str("pad".into(), 28)])
+}
+
+fn mk_tuple(k: u32) -> Vec<u8> {
+    let mut t = vec![0u8; 32];
+    t[0..4].copy_from_slice(&k.to_le_bytes());
+    t
+}
+
+/// Reference join over raw key multisets, with the engine's composition
+/// convention (inner ‖ outer) and checksum.
+fn model_join(inner: &[u32], outer: &[u32]) -> (u64, u64) {
+    let mut tuples = 0u64;
+    let mut checksum = 0u64;
+    for &s in outer {
+        for &r in inner {
+            if r == s {
+                tuples += 1;
+                checksum = multiset_checksum(checksum, &compose(&mk_tuple(r), &mk_tuple(s)));
+            }
+        }
+    }
+    (tuples, checksum)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The flagship property: any of the four parallel algorithms, on any
+    /// random multiset of keys (duplicates included), at any memory
+    /// pressure, local or remote, filtered or not, produces exactly the
+    /// model join's result multiset.
+    #[test]
+    fn parallel_joins_equal_model_join(
+        inner in vec(0u32..500, 0..400),
+        outer in vec(0u32..500, 0..800),
+        alg_pick in 0usize..4,
+        mem_div in 1u64..30,
+        remote in any::<bool>(),
+        filter in any::<bool>(),
+        optimistic in any::<bool>(),
+    ) {
+        let algorithm = Algorithm::ALL[alg_pick];
+        let cfg = if remote && algorithm != Algorithm::SortMerge {
+            MachineConfig::remote_8_plus_8()
+        } else {
+            MachineConfig::local_8()
+        };
+        let mut machine = Machine::new(cfg);
+        let schema = pad_schema();
+        let attr = schema.int_attr("k");
+        let r = machine.load_relation(
+            "r",
+            schema.clone(),
+            Declustering::Hashed { attr },
+            inner.iter().map(|&k| mk_tuple(k)).collect::<Vec<_>>(),
+        );
+        let s = machine.load_relation(
+            "s",
+            schema.clone(),
+            Declustering::Hashed { attr },
+            outer.iter().map(|&k| mk_tuple(k)).collect::<Vec<_>>(),
+        );
+        let inner_bytes = machine.relation(r).data_bytes.max(32);
+        let mut spec = JoinSpec::new(algorithm, r, s, attr, attr, (inner_bytes / mem_div).max(1));
+        if remote && algorithm != Algorithm::SortMerge {
+            spec.site = gamma_core::JoinSite::Remote;
+        }
+        spec.bit_filter = filter;
+        if optimistic {
+            spec.overflow_policy = OverflowPolicy::Optimistic;
+        }
+        let report = run_join(&mut machine, &spec);
+        let (tuples, checksum) = model_join(&inner, &outer);
+        prop_assert_eq!(report.result_tuples, tuples);
+        prop_assert_eq!(report.result_checksum, checksum);
+    }
+
+    /// External sort returns a sorted permutation of its input for any
+    /// record multiset and any (tiny) memory budget.
+    #[test]
+    fn external_sort_sorts_permutations(
+        keys in vec(0u32..10_000, 0..600),
+        mem_kb in 1u64..64,
+    ) {
+        let mut vol = Volume::new();
+        let mut pool = BufferPool::new(DiskConfig::fujitsu_8inch(), 4);
+        let mut u = Usage::ZERO;
+        let mut w = HeapWriter::create(&mut vol, 8192);
+        for &k in &keys {
+            w.push(&mut vol, &mut pool, &mut u, &mk_tuple(k));
+        }
+        let input = w.finish(&mut vol, &mut pool, &mut u);
+        let cfg = SortConfig { mem_bytes: mem_kb * 1024, page_bytes: 8192 };
+        let key = |rec: &[u8]| u32::from_le_bytes(rec[0..4].try_into().unwrap());
+        let (out, stats) = external_sort(&mut vol, &mut pool, input, &key, cfg, &SortCost::default(), &mut u);
+        let got: Vec<u32> = HeapScan::open(&vol, out)
+            .collect_all(&mut pool, &mut u)
+            .iter()
+            .map(|r| key(r))
+            .collect();
+        let mut want = keys.clone();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(stats.records as usize, keys.len());
+    }
+
+    /// Appendix A alignment law: for any disk count and bucket count, a
+    /// tuple whose home node is `h mod D` is routed back to its home node
+    /// by the Grace partitioning split table.
+    #[test]
+    fn grace_split_tables_preserve_locality(
+        disks in 1usize..12,
+        buckets in 1usize..12,
+        h in any::<u64>(),
+    ) {
+        use gamma_core::split::{PartitioningSplitTable, Route};
+        let nodes: Vec<usize> = (0..disks).collect();
+        let t = PartitioningSplitTable::grace(&nodes, buckets);
+        match t.route(h) {
+            Route::Spool { node, .. } => prop_assert_eq!(node, (h % disks as u64) as usize),
+            Route::Join { .. } => prop_assert!(false, "grace tables never route to join"),
+        }
+    }
+
+    /// The bucket analyzer always terminates with a bucket count whose
+    /// split table lets every bucket reach every join node.
+    #[test]
+    fn bucket_analyzer_guarantees_coverage(
+        disks in 1usize..7,
+        joins in 1usize..9,
+        min_buckets in 1usize..6,
+        grace in any::<bool>(),
+    ) {
+        use gamma_core::split::{bucket_analyzer, JoiningSplitTable, PartitioningSplitTable, Route};
+        let n = bucket_analyzer(grace, disks, joins, min_buckets);
+        prop_assert!(n >= min_buckets);
+        let disk_nodes: Vec<usize> = (0..disks).collect();
+        let join_nodes: Vec<usize> = (100..100 + joins).collect();
+        let part = if grace {
+            PartitioningSplitTable::grace(&disk_nodes, n)
+        } else {
+            PartitioningSplitTable::hybrid(&join_nodes, &disk_nodes, n)
+        };
+        let jt = JoiningSplitTable::new(join_nodes.clone());
+        // Per-bucket join-node coverage under re-splitting.
+        let mut cov: std::collections::HashMap<usize, std::collections::HashSet<usize>> =
+            Default::default();
+        for h in 0..20_000u64 {
+            if let Route::Spool { bucket, .. } = part.route(h) {
+                cov.entry(bucket).or_default().insert(jt.route(h));
+            }
+        }
+        // Single bucket with disks <= joins is the analyzer's fast path; it
+        // has no spooled buckets for hybrid.
+        for (bucket, reached) in cov {
+            prop_assert_eq!(
+                reached.len(),
+                joins,
+                "bucket {} starves with N={} D={} J={} grace={}",
+                bucket, n, disks, joins, grace
+            );
+        }
+    }
+
+    /// Bit filters never produce false negatives.
+    #[test]
+    fn bit_filter_no_false_negatives(
+        members in vec(any::<u32>(), 0..300),
+        bits in 64u64..4096,
+        salt in any::<u64>(),
+    ) {
+        use gamma_core::bitfilter::BitFilter;
+        let mut f = BitFilter::new(bits, salt);
+        for &m in &members {
+            f.set(m);
+        }
+        for &m in &members {
+            prop_assert!(f.test(m));
+        }
+    }
+
+    /// The B+-tree agrees with a BTreeMap model on membership and range
+    /// queries under any insertion order.
+    #[test]
+    fn btree_matches_model(entries in vec((0u64..2_000, any::<u32>()), 0..800)) {
+        let mut tree: BPlusTree<u64, u32> = BPlusTree::new();
+        let mut model: std::collections::BTreeMap<u64, Vec<u32>> = Default::default();
+        for &(k, v) in &entries {
+            tree.insert(k, v);
+            model.entry(k).or_default().push(v);
+        }
+        prop_assert_eq!(tree.len(), entries.len());
+        for k in (0..2_000).step_by(37) {
+            prop_assert_eq!(tree.get(&k).is_some(), model.contains_key(&k));
+        }
+        let lo = 200u64;
+        let hi = 900u64;
+        let got: usize = tree.range(&lo, &hi).len();
+        let want: usize = model.range(lo..=hi).map(|(_, vs)| vs.len()).sum();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Fabric conservation: every packet sent is received exactly once,
+    /// and short-circuited messages never touch the ring.
+    #[test]
+    fn fabric_conserves_packets(
+        sends in vec((0usize..4, 0usize..4, 1u64..2048), 0..300),
+    ) {
+        use gamma_net::{Fabric, RingConfig};
+        let mut f = Fabric::new(RingConfig::gamma_1989(), 4);
+        let mut u = vec![Usage::ZERO; 4];
+        for &(src, dst, bytes) in &sends {
+            f.send_tuple(&mut u, src, dst, bytes);
+        }
+        f.flush(&mut u);
+        prop_assert!(f.is_drained());
+        let sent: u64 = u.iter().map(|x| x.counts.packets_sent).sum();
+        let recv: u64 = u.iter().map(|x| x.counts.packets_recv).sum();
+        prop_assert_eq!(sent, recv);
+        let local_bytes: u64 = u
+            .iter()
+            .enumerate()
+            .map(|(n, x)| {
+                let _ = n;
+                x.ring_bytes
+            })
+            .sum();
+        let remote_payload: u64 = sends
+            .iter()
+            .filter(|(s, d, _)| s != d)
+            .map(|&(_, _, b)| b)
+            .sum();
+        prop_assert_eq!(local_bytes, remote_payload);
+    }
+
+    /// Heap files round-trip any batch of variable-length records.
+    #[test]
+    fn heap_file_roundtrip(recs in vec(vec(any::<u8>(), 1..300), 0..200)) {
+        let mut vol = Volume::new();
+        let mut pool = BufferPool::new(DiskConfig::fujitsu_8inch(), 4);
+        let mut u = Usage::ZERO;
+        let mut w = HeapWriter::create(&mut vol, 8192);
+        for r in &recs {
+            w.push(&mut vol, &mut pool, &mut u, r);
+        }
+        let f = w.finish(&mut vol, &mut pool, &mut u);
+        let got = HeapScan::open(&vol, f).collect_all(&mut pool, &mut u);
+        prop_assert_eq!(got, recs);
+    }
+
+    /// The B+-tree with interleaved inserts and removes agrees with a
+    /// multiset model.
+    #[test]
+    fn btree_insert_remove_matches_model(
+        ops in vec((any::<bool>(), 0u64..64), 0..600),
+    ) {
+        let mut tree: BPlusTree<u64, u32> = BPlusTree::new();
+        let mut model: std::collections::BTreeMap<u64, u32> = Default::default();
+        for (i, &(insert, k)) in ops.iter().enumerate() {
+            if insert {
+                tree.insert(k, i as u32);
+                *model.entry(k).or_default() += 1;
+            } else {
+                let got = tree.remove(&k).is_some();
+                let want = match model.get_mut(&k) {
+                    Some(c) if *c > 0 => {
+                        *c -= 1;
+                        if *c == 0 {
+                            model.remove(&k);
+                        }
+                        true
+                    }
+                    _ => false,
+                };
+                prop_assert_eq!(got, want);
+            }
+        }
+        let total: u32 = model.values().sum();
+        prop_assert_eq!(tree.len() as u32, total);
+        for k in 0..64u64 {
+            prop_assert_eq!(
+                tree.range(&k, &k).len() as u32,
+                model.get(&k).copied().unwrap_or(0)
+            );
+        }
+    }
+
+    /// Byte-stream files behave exactly like a growable Vec<u8> under any
+    /// interleaving of writes, appends and reads.
+    #[test]
+    fn byte_stream_matches_vec_model(
+        ops in vec((0u8..3, 0u64..40_000, vec(any::<u8>(), 0..600)), 0..40),
+    ) {
+        let mut vol = Volume::new();
+        let mut pool = BufferPool::new(DiskConfig::fujitsu_8inch(), 4);
+        let mut u = Usage::ZERO;
+        let mut s = ByteStream::create(&mut vol, 8192);
+        let mut model: Vec<u8> = Vec::new();
+        for (op, offset, data) in &ops {
+            match op {
+                0 => {
+                    s.append(&mut vol, &mut pool, &mut u, data);
+                    model.extend_from_slice(data);
+                }
+                1 => {
+                    s.write_at(&mut vol, &mut pool, &mut u, *offset, data);
+                    if !data.is_empty() {
+                        let end = *offset as usize + data.len();
+                        if model.len() < end {
+                            model.resize(end, 0);
+                        }
+                        model[*offset as usize..end].copy_from_slice(data);
+                    }
+                }
+                _ => {
+                    let got = s.read_at(&vol, &mut pool, &mut u, *offset, data.len());
+                    let lo = (*offset as usize).min(model.len());
+                    let hi = (lo + data.len()).min(model.len());
+                    prop_assert_eq!(&got, &model[lo..hi]);
+                }
+            }
+            prop_assert_eq!(s.len(), model.len() as u64);
+        }
+        let all = s.read_at(&vol, &mut pool, &mut u, 0, model.len());
+        prop_assert_eq!(all, model);
+    }
+
+    /// The randomizing hash is stable across moduli as Appendix A requires:
+    /// `(h mod k·d) mod d == h mod d` for all tuples and table sizes.
+    #[test]
+    fn hash_mod_alignment(v in any::<u32>(), d in 1u64..16, k in 1u64..16) {
+        let h = hash_u32(JOIN_SEED, v);
+        prop_assert_eq!((h % (k * d)) % d, h % d);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random select→join→aggregate plans agree with a direct model
+    /// computation over the raw keys.
+    #[test]
+    fn plans_match_model(
+        inner in vec(0u32..64, 1..150),
+        outer in vec(0u32..64, 1..300),
+        sel_hi in 0u32..64,
+        mem_div in 1u64..8,
+        alg_pick in 0usize..4,
+    ) {
+        use gamma_core::operators::AggFn;
+        use gamma_core::planner::{execute, Plan, PlanConfig};
+
+        let algorithm = Algorithm::ALL[alg_pick];
+        let mut machine = Machine::new(MachineConfig::local_8());
+        let schema = pad_schema();
+        let attr = schema.int_attr("k");
+        let r = machine.load_relation(
+            "r",
+            schema.clone(),
+            Declustering::Hashed { attr },
+            inner.iter().map(|&k| mk_tuple(k)).collect::<Vec<_>>(),
+        );
+        let s = machine.load_relation(
+            "s",
+            schema.clone(),
+            Declustering::Hashed { attr },
+            outer.iter().map(|&k| mk_tuple(k)).collect::<Vec<_>>(),
+        );
+        let plan = Plan::Aggregate {
+            input: Box::new(Plan::Join {
+                inner: Box::new(Plan::Select {
+                    input: Box::new(Plan::Scan(r)),
+                    attr: "k".into(),
+                    lo: 0,
+                    hi: sel_hi,
+                }),
+                outer: Box::new(Plan::Scan(s)),
+                inner_attr: "k".into(),
+                outer_attr: "k".into(),
+                algorithm: Some(algorithm),
+            }),
+            // After a possible inner/outer swap the join schema prefixes
+            // may flip, so group on whichever k survives; both sides carry
+            // the same key value on a match, so l.k == r.k.
+            group_by: "l.k".into(),
+            attr: "l.k".into(),
+            f: AggFn::Count,
+        };
+        let cfg = PlanConfig {
+            memory_bytes: (machine.relation(r).data_bytes / mem_div).max(1),
+            site: gamma_core::JoinSite::Local,
+            bit_filter: true,
+        };
+        let report = execute(&mut machine, &plan, &cfg);
+
+        // Model: count matches per key after the selection.
+        let mut model: std::collections::BTreeMap<u32, u64> = Default::default();
+        for &sk in &outer {
+            let matches = inner.iter().filter(|&&rk| rk == sk && rk <= sel_hi).count() as u64;
+            if matches > 0 {
+                *model.entry(sk).or_default() += matches;
+            }
+        }
+        let want_groups = model.len() as u64;
+        let want_total: u64 = model.values().sum();
+        prop_assert_eq!(report.tuples, want_groups, "group count");
+        prop_assert_eq!(
+            report.stages[1].tuples, want_total,
+            "join cardinality"
+        );
+        machine.drop_relation(report.output);
+    }
+}
