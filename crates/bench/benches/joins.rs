@@ -1,10 +1,12 @@
-//! Criterion benchmarks of full join executions — one group per paper
-//! experiment family, at 1/10 scale so a `cargo bench` run stays short.
+//! Micro-benchmarks of full join executions — one group per paper
+//! experiment family, at 1/10 scale so a bench run stays short.
 //! (Full-scale virtual-time results come from the `figures` binary; these
 //! measure the *simulator's* host throughput per configuration.)
+//!
+//! Runs on the local harness in `gamma_bench::microbench`; gated behind
+//! the `bench-heavy` feature.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use gamma_bench::microbench::{black_box, Harness};
 use gamma_bench::{SweepBuilder, Workload};
 use gamma_core::query::{Algorithm, OverflowPolicy};
 
@@ -13,69 +15,61 @@ fn workload() -> Workload {
 }
 
 /// Figures 5/6: the four algorithms, HPJA and non-HPJA, local.
-fn bench_fig5_fig6(c: &mut Criterion) {
+fn bench_fig5_fig6(c: &mut Harness) {
     let w = workload();
-    let mut g = c.benchmark_group("joinABprime_local");
+    let mut g = c.group("joinABprime_local");
     g.sample_size(10);
-    for (label, inner, outer) in [("hpja", "unique1", "unique1"), ("nonhpja", "unique2", "unique2")] {
+    for (label, inner, outer) in [
+        ("hpja", "unique1", "unique1"),
+        ("nonhpja", "unique2", "unique2"),
+    ] {
         for alg in Algorithm::ALL {
-            g.bench_with_input(
-                BenchmarkId::new(label, alg.name()),
-                &alg,
-                |b, &alg| {
-                    let sweep = SweepBuilder::new(&w).on(inner, outer);
-                    b.iter(|| black_box(sweep.run_one(alg, 0.25).seconds))
-                },
-            );
+            let sweep = SweepBuilder::new(&w).on(inner, outer);
+            g.bench(&format!("{label}/{}", alg.name()), |b| {
+                b.iter(|| black_box(sweep.run_one(alg, 0.25).seconds))
+            });
         }
     }
-    g.finish();
 }
 
 /// Figure 7: Hybrid's overflow-vs-bucket trade-off.
-fn bench_fig7(c: &mut Criterion) {
+fn bench_fig7(c: &mut Harness) {
     let w = workload();
-    let mut g = c.benchmark_group("hybrid_overflow_policy");
+    let mut g = c.group("hybrid_overflow_policy");
     g.sample_size(10);
     for (label, policy) in [
         ("optimistic", OverflowPolicy::Optimistic),
         ("pessimistic", OverflowPolicy::Pessimistic),
     ] {
-        g.bench_function(label, |b| {
-            let sweep = SweepBuilder::new(&w).policy(policy);
+        let sweep = SweepBuilder::new(&w).policy(policy);
+        g.bench(label, |b| {
             b.iter(|| black_box(sweep.run_one(Algorithm::HybridHash, 0.7).seconds))
         });
     }
-    g.finish();
 }
 
 /// Figures 8-13: bit filtering on and off.
-fn bench_filters(c: &mut Criterion) {
+fn bench_filters(c: &mut Harness) {
     let w = workload();
-    let mut g = c.benchmark_group("bit_filtering");
+    let mut g = c.group("bit_filtering");
     g.sample_size(10);
     for alg in Algorithm::ALL {
         for (label, filter) in [("plain", false), ("filtered", true)] {
-            g.bench_with_input(
-                BenchmarkId::new(alg.name(), label),
-                &(alg, filter),
-                |b, &(alg, filter)| {
-                    let sweep = SweepBuilder::new(&w).filtered(filter);
-                    b.iter(|| black_box(sweep.run_one(alg, 0.25).seconds))
-                },
-            );
+            let sweep = SweepBuilder::new(&w).filtered(filter);
+            g.bench(&format!("{}/{label}", alg.name()), |b| {
+                b.iter(|| black_box(sweep.run_one(alg, 0.25).seconds))
+            });
         }
     }
-    g.finish();
 }
 
 /// Figures 14-16: local, remote and mixed configurations.
-fn bench_sites(c: &mut Criterion) {
+fn bench_sites(c: &mut Harness) {
     let w = workload();
-    let mut g = c.benchmark_group("join_sites");
+    let mut g = c.group("join_sites");
     g.sample_size(10);
     for site in ["local", "remote", "mixed"] {
-        g.bench_function(site, |b| {
+        g.bench(site, |b| {
             b.iter(|| {
                 let sweep = match site {
                     "remote" => SweepBuilder::new(&w).on("unique2", "unique2").remote(),
@@ -86,33 +80,30 @@ fn bench_sites(c: &mut Criterion) {
             })
         });
     }
-    g.finish();
 }
 
 /// Tables 3/4: the skew matrix.
-fn bench_skew(c: &mut Criterion) {
+fn bench_skew(c: &mut Harness) {
     let w = workload();
-    let mut g = c.benchmark_group("skew");
+    let mut g = c.group("skew");
     g.sample_size(10);
     for (label, inner, outer) in [
         ("UU", "unique1", "unique1"),
         ("NU", "normal", "unique1"),
         ("UN", "unique1", "normal"),
     ] {
-        g.bench_function(label, |b| {
-            let sweep = SweepBuilder::new(&w).on(inner, outer).range_loaded();
+        let sweep = SweepBuilder::new(&w).on(inner, outer).range_loaded();
+        g.bench(label, |b| {
             b.iter(|| black_box(sweep.run_one(Algorithm::HybridHash, 0.17).seconds))
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_fig5_fig6,
-    bench_fig7,
-    bench_filters,
-    bench_sites,
-    bench_skew
-);
-criterion_main!(benches);
+fn main() {
+    let mut c = Harness::from_args();
+    bench_fig5_fig6(&mut c);
+    bench_fig7(&mut c);
+    bench_filters(&mut c);
+    bench_sites(&mut c);
+    bench_skew(&mut c);
+}

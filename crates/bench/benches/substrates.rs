@@ -1,8 +1,8 @@
-//! Criterion micro-benchmarks of the substrate layers (host performance of
-//! the simulator itself, not virtual time).
+//! Micro-benchmarks of the substrate layers (host performance of the
+//! simulator itself, not virtual time). Runs on the local harness in
+//! `gamma_bench::microbench`; gated behind the `bench-heavy` feature.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
-
+use gamma_bench::microbench::{black_box, Harness};
 use gamma_core::bitfilter::BitFilter;
 use gamma_core::hash::{hash_u32, JOIN_SEED};
 use gamma_core::hash_table::JoinHashTable;
@@ -14,31 +14,30 @@ use gamma_wiss::{
     external_sort, BufferPool, DiskConfig, HeapScan, HeapWriter, Page, SortConfig, SortCost, Volume,
 };
 
-fn bench_hash(c: &mut Criterion) {
-    let mut g = c.benchmark_group("hash");
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("hash_u32", |b| {
+fn bench_hash(c: &mut Harness) {
+    let mut g = c.group("hash");
+    g.throughput_elems(1);
+    g.bench("hash_u32", |b| {
         let mut v = 0u32;
         b.iter(|| {
             v = v.wrapping_add(1);
             black_box(hash_u32(JOIN_SEED, v))
         })
     });
-    g.finish();
 }
 
-fn bench_page(c: &mut Criterion) {
-    let mut g = c.benchmark_group("page");
+fn bench_page(c: &mut Harness) {
+    let mut g = c.group("page");
     let rec = [7u8; 208];
-    g.throughput(Throughput::Elements(38));
-    g.bench_function("fill_8k_with_wisconsin_tuples", |b| {
+    g.throughput_elems(38);
+    g.bench("fill_8k_with_wisconsin_tuples", |b| {
         b.iter(|| {
             let mut p = Page::new(8192);
             while p.insert(black_box(&rec)).is_some() {}
             black_box(p.len())
         })
     });
-    g.bench_function("iterate_full_page", |b| {
+    g.bench("iterate_full_page", |b| {
         let mut p = Page::new(8192);
         while p.insert(&rec).is_some() {}
         b.iter(|| {
@@ -49,13 +48,12 @@ fn bench_page(c: &mut Criterion) {
             black_box(n)
         })
     });
-    g.finish();
 }
 
-fn bench_heap(c: &mut Criterion) {
-    let mut g = c.benchmark_group("heap");
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("write_scan_10k_tuples", |b| {
+fn bench_heap(c: &mut Harness) {
+    let mut g = c.group("heap");
+    g.throughput_elems(10_000);
+    g.bench("write_scan_10k_tuples", |b| {
         b.iter(|| {
             let mut vol = Volume::new();
             let mut pool = BufferPool::new(DiskConfig::fujitsu_8inch(), 8);
@@ -70,13 +68,12 @@ fn bench_heap(c: &mut Criterion) {
             black_box(got.len())
         })
     });
-    g.finish();
 }
 
-fn bench_hash_table(c: &mut Criterion) {
-    let mut g = c.benchmark_group("join_hash_table");
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("build_10k", |b| {
+fn bench_hash_table(c: &mut Harness) {
+    let mut g = c.group("join_hash_table");
+    g.throughput_elems(10_000);
+    g.bench("build_10k", |b| {
         b.iter(|| {
             let mut t = JoinHashTable::new(16 << 20, 208, 1);
             for v in 0..10_000u32 {
@@ -85,7 +82,7 @@ fn bench_hash_table(c: &mut Criterion) {
             black_box(t.len())
         })
     });
-    g.bench_function("probe_10k", |b| {
+    g.bench("probe_10k", |b| {
         let mut t = JoinHashTable::new(16 << 20, 208, 1);
         for v in 0..10_000u32 {
             let _ = t.offer(v, vec![0u8; 208], 10);
@@ -99,7 +96,7 @@ fn bench_hash_table(c: &mut Criterion) {
             black_box(hits)
         })
     });
-    g.bench_function("build_with_overflow_clearing", |b| {
+    g.bench("build_with_overflow_clearing", |b| {
         b.iter(|| {
             let mut t = JoinHashTable::new(200_000, 208, 1);
             for v in 0..5_000u32 {
@@ -108,13 +105,12 @@ fn bench_hash_table(c: &mut Criterion) {
             black_box(t.clearings())
         })
     });
-    g.finish();
 }
 
-fn bench_bitfilter(c: &mut Criterion) {
-    let mut g = c.benchmark_group("bitfilter");
-    g.throughput(Throughput::Elements(100_000));
-    g.bench_function("set_and_test_100k", |b| {
+fn bench_bitfilter(c: &mut Harness) {
+    let mut g = c.group("bitfilter");
+    g.throughput_elems(100_000);
+    g.bench("set_and_test_100k", |b| {
         b.iter(|| {
             let mut f = BitFilter::new(1973, 0);
             for v in 0..10_000u32 {
@@ -129,37 +125,35 @@ fn bench_bitfilter(c: &mut Criterion) {
             black_box(passed)
         })
     });
-    g.finish();
 }
 
-fn bench_split_tables(c: &mut Criterion) {
-    let mut g = c.benchmark_group("split_tables");
+fn bench_split_tables(c: &mut Harness) {
+    let mut g = c.group("split_tables");
     let disks: Vec<usize> = (0..8).collect();
     let part = PartitioningSplitTable::grace(&disks, 10);
     let join = JoiningSplitTable::new(disks);
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("partitioning_route", |b| {
+    g.throughput_elems(1);
+    g.bench("partitioning_route", |b| {
         let mut h = 0u64;
         b.iter(|| {
             h = h.wrapping_add(0x9E3779B97F4A7C15);
             black_box(part.route(h))
         })
     });
-    g.bench_function("joining_route", |b| {
+    g.bench("joining_route", |b| {
         let mut h = 0u64;
         b.iter(|| {
             h = h.wrapping_add(0x9E3779B97F4A7C15);
             black_box(join.route(h))
         })
     });
-    g.finish();
 }
 
-fn bench_sort(c: &mut Criterion) {
-    let mut g = c.benchmark_group("external_sort");
+fn bench_sort(c: &mut Harness) {
+    let mut g = c.group("external_sort");
     g.sample_size(20);
-    g.throughput(Throughput::Elements(20_000));
-    g.bench_function("sort_20k_records_64k_memory", |b| {
+    g.throughput_elems(20_000);
+    g.bench("sort_20k_records_64k_memory", |b| {
         b.iter(|| {
             let mut vol = Volume::new();
             let mut pool = BufferPool::new(DiskConfig::fujitsu_8inch(), 8);
@@ -177,18 +171,24 @@ fn bench_sort(c: &mut Criterion) {
                 mem_bytes: 64 * 1024,
                 page_bytes: 8192,
             };
-            let (out, stats) =
-                external_sort(&mut vol, &mut pool, input, &key, cfg, &SortCost::default(), &mut u);
+            let (out, stats) = external_sort(
+                &mut vol,
+                &mut pool,
+                input,
+                &key,
+                cfg,
+                &SortCost::default(),
+                &mut u,
+            );
             black_box((out, stats.merge_passes))
         })
     });
-    g.finish();
 }
 
-fn bench_btree(c: &mut Criterion) {
-    let mut g = c.benchmark_group("btree");
-    g.throughput(Throughput::Elements(50_000));
-    g.bench_function("insert_50k", |b| {
+fn bench_btree(c: &mut Harness) {
+    let mut g = c.group("btree");
+    g.throughput_elems(50_000);
+    g.bench("insert_50k", |b| {
         b.iter(|| {
             let mut t = BPlusTree::new();
             for i in 0..50_000u64 {
@@ -197,7 +197,7 @@ fn bench_btree(c: &mut Criterion) {
             black_box(t.depth())
         })
     });
-    g.bench_function("lookup_50k", |b| {
+    g.bench("lookup_50k", |b| {
         let mut t = BPlusTree::new();
         for i in 0..50_000u64 {
             t.insert(i, i);
@@ -212,13 +212,12 @@ fn bench_btree(c: &mut Criterion) {
             black_box(found)
         })
     });
-    g.finish();
 }
 
-fn bench_fabric(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fabric");
-    g.throughput(Throughput::Elements(100_000));
-    g.bench_function("route_100k_tuples", |b| {
+fn bench_fabric(c: &mut Harness) {
+    let mut g = c.group("fabric");
+    g.throughput_elems(100_000);
+    g.bench("route_100k_tuples", |b| {
         b.iter(|| {
             let mut f = Fabric::new(RingConfig::gamma_1989(), 16);
             let mut u = vec![Usage::ZERO; 16];
@@ -229,19 +228,17 @@ fn bench_fabric(c: &mut Criterion) {
             black_box(u[0].counts.packets_sent)
         })
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_hash,
-    bench_page,
-    bench_heap,
-    bench_hash_table,
-    bench_bitfilter,
-    bench_split_tables,
-    bench_sort,
-    bench_btree,
-    bench_fabric
-);
-criterion_main!(benches);
+fn main() {
+    let mut c = Harness::from_args();
+    bench_hash(&mut c);
+    bench_page(&mut c);
+    bench_heap(&mut c);
+    bench_hash_table(&mut c);
+    bench_bitfilter(&mut c);
+    bench_split_tables(&mut c);
+    bench_sort(&mut c);
+    bench_btree(&mut c);
+    bench_fabric(&mut c);
+}

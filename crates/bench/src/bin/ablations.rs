@@ -58,11 +58,17 @@ fn bucket_tuning() {
     use gamma_core::{run_join, Machine, MachineConfig};
     use gamma_wisconsin::load_hashed;
     println!("\n== Ablation: Grace bucket tuning under optimizer misestimates ==");
-    println!("{:<34} {:>12} {:>8} {:>8}", "plan", "response(s)", "rounds", "ovfl");
+    println!(
+        "{:<34} {:>12} {:>8} {:>8}",
+        "plan", "response(s)", "rounds", "ovfl"
+    );
     let gen = WisconsinGen::new(1989);
     let a_rows = gen.relation(100_000, 0);
     let b_rows = gen.sample(&a_rows, 10_000, 1);
-    for (label, tuned) in [("fixed buckets (misestimated 4x)", false), ("bucket tuning (measured sizes)", true)] {
+    for (label, tuned) in [
+        ("fixed buckets (misestimated 4x)", false),
+        ("bucket tuning (measured sizes)", true),
+    ] {
         let mut machine = Machine::new(MachineConfig::local_8());
         let a = load_hashed(&mut machine, "A", &a_rows, "unique1");
         let b = load_hashed(&mut machine, "Bprime", &b_rows, "unique1");
@@ -90,12 +96,17 @@ fn bucket_tuning() {
 /// significantly increase the performance of these algorithms."
 fn bucket_forming_filters() {
     println!("\n== Ablation: filtering the bucket-forming phases (ratio 0.17) ==");
-    println!("{:<8} {:>12} {:>16} {:>18} {:>10}", "alg", "no filter", "join-phase only", "+ bucket-forming", "pageIOs");
+    println!(
+        "{:<8} {:>12} {:>16} {:>18} {:>10}",
+        "alg", "no filter", "join-phase only", "+ bucket-forming", "pageIOs"
+    );
     let w = Workload::scaled(100_000, 10_000);
     for alg in [Algorithm::GraceHash, Algorithm::HybridHash] {
         let plain = SweepBuilder::new(&w).run_one(alg, 0.17);
         let joinf = SweepBuilder::new(&w).filtered(true).run_one(alg, 0.17);
-        let formf = SweepBuilder::new(&w).filter_bucket_forming().run_one(alg, 0.17);
+        let formf = SweepBuilder::new(&w)
+            .filter_bucket_forming()
+            .run_one(alg, 0.17);
         println!(
             "{:<8} {:>11.2}s {:>15.2}s {:>17.2}s {:>10}",
             plain.algorithm,
@@ -136,19 +147,37 @@ fn run_with_cost(
 /// performance of each of these join algorithms" — quantify it.
 fn filter_size(a_rows: &[WisconsinRow], b_rows: &[WisconsinRow]) {
     println!("\n== Ablation: bit-filter size (Hybrid & Sort-merge, ratio 1.0) ==");
-    println!("{:<12} {:>10} {:>12} {:>12}", "filter", "bits/site", "hybrid(s)", "sortmerge(s)");
+    println!(
+        "{:<12} {:>10} {:>12} {:>12}",
+        "filter", "bits/site", "hybrid(s)", "sortmerge(s)"
+    );
     for packet_bytes in [0u64, 1024, 2048, 8192, 32768] {
         let mut cost = CostModel::gamma_1989();
         let filter = packet_bytes > 0;
         if filter {
             cost.filter_packet_bytes = packet_bytes;
         }
-        let bits = if filter { cost.filter_bits_per_site(8) } else { 0 };
-        let h = run_with_cost(cost.clone(), a_rows, b_rows, Algorithm::HybridHash, 1.0, filter);
+        let bits = if filter {
+            cost.filter_bits_per_site(8)
+        } else {
+            0
+        };
+        let h = run_with_cost(
+            cost.clone(),
+            a_rows,
+            b_rows,
+            Algorithm::HybridHash,
+            1.0,
+            filter,
+        );
         let s = run_with_cost(cost, a_rows, b_rows, Algorithm::SortMerge, 1.0, filter);
         println!(
             "{:<12} {:>10} {:>12.2} {:>12.2}",
-            if filter { format!("{packet_bytes}B") } else { "off".into() },
+            if filter {
+                format!("{packet_bytes}B")
+            } else {
+                "off".into()
+            },
             bits,
             h.seconds(),
             s.seconds()
@@ -162,7 +191,10 @@ fn filter_size(a_rows: &[WisconsinRow], b_rows: &[WisconsinRow]) {
 /// fraction cleared per overflow?
 fn clearing_pct(a_rows: &[WisconsinRow], b_rows: &[WisconsinRow]) {
     println!("\n== Ablation: overflow clearing fraction (Simple, ratio 0.5) ==");
-    println!("{:<8} {:>12} {:>8} {:>12}", "clear%", "response(s)", "passes", "evictions");
+    println!(
+        "{:<8} {:>12} {:>8} {:>12}",
+        "clear%", "response(s)", "passes", "evictions"
+    );
     for pct in [5u64, 10, 20, 35, 50] {
         let mut cost = CostModel::gamma_1989();
         cost.overflow_clear_pct = pct;
@@ -211,7 +243,10 @@ fn speedup(a_rows: &[WisconsinRow], b_rows: &[WisconsinRow]) {
 /// 1 / (disk-node busy seconds per query).
 fn multiuser() {
     println!("\n== Ablation: multiuser throughput bound, non-HPJA Hybrid (ratio 1.0) ==");
-    println!("{:<8} {:>12} {:>12} {:>18}", "config", "response(s)", "Dmax(s)", "max queries/hour");
+    println!(
+        "{:<8} {:>12} {:>12} {:>18}",
+        "config", "response(s)", "Dmax(s)", "max queries/hour"
+    );
     let w = Workload::scaled(100_000, 10_000);
     for (label, remote) in [("local", false), ("remote", true)] {
         let b = if remote {
@@ -245,7 +280,12 @@ fn headroom(a_rows: &[WisconsinRow], b_rows: &[WisconsinRow]) {
         let mut cost = CostModel::gamma_1989();
         cost.table_headroom_pct = pct;
         let r = run_with_cost(cost, a_rows, b_rows, Algorithm::HybridHash, 0.125, false);
-        println!("{:<10} {:>12.2} {:>8}", format!("{pct}%"), r.seconds(), r.overflow_passes);
+        println!(
+            "{:<10} {:>12.2} {:>8}",
+            format!("{pct}%"),
+            r.seconds(),
+            r.overflow_passes
+        );
     }
     println!("(Too little slack and hash-distribution variance forces overflow");
     println!(" passes the paper's runs never saw; 35% absorbs the variance.)");

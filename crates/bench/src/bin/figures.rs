@@ -10,6 +10,23 @@ use gamma_bench::experiments as ex;
 use gamma_bench::{ExperimentPoint, Workload};
 use gamma_core::query::Algorithm;
 
+/// Escape a plain string for a JSON literal (names here are ASCII, but
+/// stay correct for anything).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 /// When `--json PATH` is given, every measured point is appended to PATH
 /// as one JSON record per line (machine-readable experiment log).
 fn dump_json(path: &Option<String>, experiment: &str, pts: &[ExperimentPoint]) {
@@ -21,18 +38,20 @@ fn dump_json(path: &Option<String>, experiment: &str, pts: &[ExperimentPoint]) {
         .open(path)
         .expect("open --json output file");
     for p in pts {
-        let rec = serde_json::json!({
-            "experiment": experiment,
-            "algorithm": p.algorithm,
-            "ratio": p.ratio,
-            "seconds": p.seconds,
-            "buckets": p.report.buckets,
-            "page_ios": p.report.page_ios(),
-            "packets": p.report.packets(),
-            "overflow_passes": p.report.overflow_passes,
-            "result_tuples": p.report.result_tuples,
-        });
-        writeln!(f, "{rec}").expect("write json record");
+        writeln!(
+            f,
+            "{{\"experiment\":{},\"algorithm\":{},\"ratio\":{},\"seconds\":{},\"buckets\":{},\"page_ios\":{},\"packets\":{},\"overflow_passes\":{},\"result_tuples\":{}}}",
+            json_str(experiment),
+            json_str(&p.algorithm),
+            p.ratio,
+            p.seconds,
+            p.report.buckets,
+            p.report.page_ios(),
+            p.report.packets(),
+            p.report.overflow_passes,
+            p.report.result_tuples,
+        )
+        .expect("write json record");
     }
 }
 
@@ -106,10 +125,26 @@ fn main() {
         dump_json(&json, "fig09", &pts);
     }
     let f1013 = [
-        ("fig10", Algorithm::HybridHash, "Figure 10: Hybrid filter effect"),
-        ("fig11", Algorithm::SimpleHash, "Figure 11: Simple filter effect"),
-        ("fig12", Algorithm::GraceHash, "Figure 12: Grace filter effect"),
-        ("fig13", Algorithm::SortMerge, "Figure 13: Sort-merge filter effect"),
+        (
+            "fig10",
+            Algorithm::HybridHash,
+            "Figure 10: Hybrid filter effect",
+        ),
+        (
+            "fig11",
+            Algorithm::SimpleHash,
+            "Figure 11: Simple filter effect",
+        ),
+        (
+            "fig12",
+            Algorithm::GraceHash,
+            "Figure 12: Grace filter effect",
+        ),
+        (
+            "fig13",
+            Algorithm::SortMerge,
+            "Figure 13: Sort-merge filter effect",
+        ),
     ];
     for (name, alg, title) in f1013 {
         if want(name) {

@@ -12,7 +12,10 @@ use crate::sweep::{paper_ratios, ExperimentPoint, SweepBuilder, Workload};
 /// Pretty-print a series grouped by algorithm.
 pub fn print_series(title: &str, pts: &[ExperimentPoint]) {
     println!("\n== {title} ==");
-    println!("{:<12} {:>7} {:>10} {:>8} {:>10} {:>10} {:>9}", "algorithm", "ratio", "seconds", "buckets", "pageIOs", "packets", "ovfl");
+    println!(
+        "{:<12} {:>7} {:>10} {:>8} {:>10} {:>10} {:>9}",
+        "algorithm", "ratio", "seconds", "buckets", "pageIOs", "packets", "ovfl"
+    );
     for p in pts {
         println!(
             "{:<12} {:>7.3} {:>10.2} {:>8} {:>10} {:>10} {:>9}",
@@ -95,7 +98,10 @@ pub fn fig14(w: &Workload) -> Vec<ExperimentPoint> {
         Algorithm::HybridHash,
     ];
     let mut pts = Vec::new();
-    for (attrs, label) in [(("unique1", "unique1"), "hpja"), (("unique2", "unique2"), "nonhpja")] {
+    for (attrs, label) in [
+        (("unique1", "unique1"), "hpja"),
+        (("unique2", "unique2"), "nonhpja"),
+    ] {
         let b = SweepBuilder::new(w).on(attrs.0, attrs.1).remote();
         for &alg in &algs {
             for &r in paper_ratios().iter() {
@@ -156,7 +162,10 @@ pub fn table3(w: &Workload) -> Vec<ExperimentPoint> {
         for filter in [false, true] {
             for (ratio, mtag) in [(1.0, "100%"), (0.17, "17%")] {
                 for alg in Algorithm::ALL {
-                    let mut b = SweepBuilder::new(w).on(inner, outer).range_loaded().filtered(filter);
+                    let mut b = SweepBuilder::new(w)
+                        .on(inner, outer)
+                        .range_loaded()
+                        .filtered(filter);
                     // The paper ran Grace with one extra bucket for NU so
                     // no bucket would overflow.
                     if alg == Algorithm::GraceHash && inner == "normal" {

@@ -11,7 +11,10 @@
 //! regenerate everything (see `EXPERIMENTS.md` for the recorded output).
 
 pub mod experiments;
+pub mod microbench;
 pub mod plot;
 pub mod sweep;
+#[cfg(feature = "trace")]
+pub mod tracing;
 
 pub use sweep::{ExperimentPoint, SweepBuilder, Workload};

@@ -1,0 +1,147 @@
+//! Minimal host-time micro-bench harness (criterion replacement).
+//!
+//! The build environment cannot fetch criterion, so the bench targets
+//! use this small harness instead: per-benchmark warmup, a fixed number
+//! of timed samples, and a median-of-samples report with optional
+//! element throughput. Invoke through the bench targets:
+//!
+//! ```text
+//! cargo bench -p gamma-bench --features bench-heavy [FILTER]
+//! ```
+//!
+//! An optional CLI argument filters benchmarks by substring, mirroring
+//! criterion's interface.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness: owns the CLI filter and prints the report.
+pub struct Harness {
+    filter: Option<String>,
+}
+
+impl Harness {
+    /// Build from `cargo bench` CLI args (first non-flag arg = filter).
+    pub fn from_args() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "bench");
+        Harness { filter }
+    }
+
+    /// Start a named benchmark group.
+    pub fn group(&mut self, name: &str) -> Group<'_> {
+        Group {
+            harness: self,
+            name: name.to_string(),
+            sample_size: 30,
+            throughput_elems: None,
+        }
+    }
+
+    fn wants(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Self::from_args()
+    }
+}
+
+/// A group of related benchmarks sharing sample settings.
+pub struct Group<'a> {
+    harness: &'a mut Harness,
+    name: String,
+    sample_size: usize,
+    throughput_elems: Option<u64>,
+}
+
+impl Group<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Report per-element throughput for benchmarks in this group.
+    pub fn throughput_elems(&mut self, n: u64) -> &mut Self {
+        self.throughput_elems = Some(n);
+        self
+    }
+
+    /// Run one benchmark: `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`] with the measured body.
+    pub fn bench<F: FnMut(&mut Bencher)>(&mut self, label: &str, mut f: F) {
+        let id = format!("{}/{}", self.name, label);
+        if !self.harness.wants(&id) {
+            return;
+        }
+        // Warmup pass to fault in code and data.
+        let mut b = Bencher {
+            duration: Duration::ZERO,
+        };
+        f(&mut b);
+        // Timed samples; the median resists scheduler noise.
+        let mut samples: Vec<Duration> = (0..self.sample_size)
+            .map(|_| {
+                let mut b = Bencher {
+                    duration: Duration::ZERO,
+                };
+                f(&mut b);
+                b.duration
+            })
+            .collect();
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        let mut line = format!("{id:<48} {:>12.3?}/iter", median);
+        if let Some(elems) = self.throughput_elems {
+            let secs = median.as_secs_f64();
+            if secs > 0.0 {
+                line.push_str(&format!("  {:>12.0} elem/s", elems as f64 / secs));
+            }
+        }
+        println!("{line}");
+    }
+}
+
+/// Passed to each benchmark body; times exactly one invocation of the
+/// closure given to [`Bencher::iter`] per sample.
+pub struct Bencher {
+    duration: Duration,
+}
+
+impl Bencher {
+    /// Measure one execution of `f`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        self.duration = start.elapsed();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut h = Harness {
+            filter: Some("nomatch".into()),
+        };
+        // Filtered-out benchmarks never run their body.
+        let mut ran = false;
+        h.group("g").bench("skipped", |_| ran = true);
+        assert!(!ran);
+
+        let mut h = Harness { filter: None };
+        let mut count = 0u32;
+        h.group("g").sample_size(3).bench("counts", |b| {
+            b.iter(|| count += 1);
+        });
+        // 1 warmup + 3 samples.
+        assert_eq!(count, 4);
+    }
+}

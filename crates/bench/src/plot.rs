@@ -52,7 +52,11 @@ pub fn render(points: &[ExperimentPoint], width: usize, height: usize) -> String
             let col = cx.min(width - 1);
             let cell = &mut grid[row][col];
             // Collisions render as '?' so overplotting is visible.
-            *cell = if *cell == ' ' || *cell == glyph { glyph } else { '?' };
+            *cell = if *cell == ' ' || *cell == glyph {
+                glyph
+            } else {
+                '?'
+            };
         }
     }
 
@@ -87,7 +91,10 @@ mod tests {
 
     fn points() -> Vec<ExperimentPoint> {
         let w = Workload::scaled(800, 80);
-        SweepBuilder::new(&w).run(&[Algorithm::HybridHash, Algorithm::GraceHash], &[1.0, 0.5, 0.25])
+        SweepBuilder::new(&w).run(
+            &[Algorithm::HybridHash, Algorithm::GraceHash],
+            &[1.0, 0.5, 0.25],
+        )
     }
 
     #[test]

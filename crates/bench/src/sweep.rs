@@ -5,9 +5,6 @@ use gamma_core::{run_join, JoinReport, Machine, MachineConfig, RelationId};
 use gamma_wisconsin::{
     join_abprime, load_hashed, load_range, oracle_join, OracleExpect, WisconsinGen, WisconsinRow,
 };
-use rayon::prelude::*;
-use serde::Serialize;
-
 /// How the relations are declustered at load time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LoadStyle {
@@ -37,7 +34,10 @@ impl Workload {
         let gen = WisconsinGen::new(1989);
         let a_rows = gen.relation(a, 0);
         let bprime_rows = gen.sample(&a_rows, bprime, 1);
-        Workload { a_rows, bprime_rows }
+        Workload {
+            a_rows,
+            bprime_rows,
+        }
     }
 
     /// Oracle expectation for a join on the given attributes.
@@ -81,7 +81,7 @@ impl Workload {
 }
 
 /// One measured point of an experiment.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ExperimentPoint {
     /// Algorithm.
     pub algorithm: String,
@@ -191,10 +191,13 @@ impl<'a> SweepBuilder<'a> {
         self
     }
 
-    /// Run one algorithm at one memory ratio.
-    pub fn run_one(&self, algorithm: Algorithm, ratio: f64) -> ExperimentPoint {
+    /// Build the loaded machine and the join spec for one point. Loading
+    /// is not part of the measured query, so callers that trace (see
+    /// `crate::tracing`) install their sink between `prepare` and
+    /// `measure`.
+    pub(crate) fn prepare(&self, algorithm: Algorithm, ratio: f64) -> (Machine, JoinSpec) {
         let remote = matches!(self.site, JoinSite::Remote | JoinSite::Mixed);
-        let (mut machine, a, bprime) =
+        let (machine, a, bprime) =
             self.workload
                 .machine(remote, self.style, &self.inner_attr, &self.outer_attr);
         let inner_bytes = machine.relation(bprime).data_bytes;
@@ -219,16 +222,29 @@ impl<'a> SweepBuilder<'a> {
         spec.bucket_tuning = self.bucket_tuning;
         spec.overflow_policy = self.policy;
         spec.extra_buckets = self.extra_buckets;
-        let report = run_join(&mut machine, &spec);
+        (machine, spec)
+    }
+
+    /// Execute and validate one prepared point.
+    pub(crate) fn measure(
+        &self,
+        machine: &mut Machine,
+        spec: &JoinSpec,
+        algorithm: Algorithm,
+        ratio: f64,
+    ) -> ExperimentPoint {
+        let report = run_join(machine, spec);
         if self.validate {
             let expect = self.workload.expect(&self.inner_attr, &self.outer_attr);
             assert_eq!(
-                report.result_tuples, expect.tuples,
+                report.result_tuples,
+                expect.tuples,
                 "{} at ratio {ratio}: wrong cardinality",
                 algorithm.name()
             );
             assert_eq!(
-                report.result_checksum, expect.checksum,
+                report.result_checksum,
+                expect.checksum,
                 "{} at ratio {ratio}: wrong result contents",
                 algorithm.name()
             );
@@ -241,17 +257,56 @@ impl<'a> SweepBuilder<'a> {
         }
     }
 
-    /// Run several algorithms across several ratios. Points are measured
-    /// in parallel with rayon — each builds its own machine, so virtual
-    /// times are bit-identical to a sequential run.
+    /// Run one algorithm at one memory ratio.
+    pub fn run_one(&self, algorithm: Algorithm, ratio: f64) -> ExperimentPoint {
+        let (mut machine, spec) = self.prepare(algorithm, ratio);
+        self.measure(&mut machine, &spec, algorithm, ratio)
+    }
+
+    /// Run several algorithms across several ratios. With the `parallel`
+    /// feature, points are measured on scoped worker threads — each
+    /// builds its own machine, so virtual times are bit-identical to a
+    /// sequential run.
     pub fn run(&self, algorithms: &[Algorithm], ratios: &[f64]) -> Vec<ExperimentPoint> {
         let points: Vec<(Algorithm, f64)> = algorithms
             .iter()
             .flat_map(|&a| ratios.iter().map(move |&r| (a, r)))
             .collect();
+        self.run_points(points)
+    }
+
+    #[cfg(not(feature = "parallel"))]
+    fn run_points(&self, points: Vec<(Algorithm, f64)>) -> Vec<ExperimentPoint> {
         points
-            .into_par_iter()
+            .into_iter()
             .map(|(alg, r)| self.run_one(alg, r))
+            .collect()
+    }
+
+    #[cfg(feature = "parallel")]
+    fn run_points(&self, points: Vec<(Algorithm, f64)>) -> Vec<ExperimentPoint> {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(points.len().max(1));
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let mut out: Vec<Option<ExperimentPoint>> = (0..points.len()).map(|_| None).collect();
+        let slots: Vec<std::sync::Mutex<&mut Option<ExperimentPoint>>> =
+            out.iter_mut().map(std::sync::Mutex::new).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(&(alg, r)) = points.get(i) else {
+                        break;
+                    };
+                    **slots[i].lock().unwrap() = Some(self.run_one(alg, r));
+                });
+            }
+        });
+        drop(slots);
+        out.into_iter()
+            .map(|p| p.expect("point measured"))
             .collect()
     }
 }

@@ -1,0 +1,78 @@
+//! Traced join runs.
+//!
+//! Wraps one `joinABprime` execution in a [`TraceSink`] install/take pair
+//! so callers (the `trace` binary and the determinism tests) get the full
+//! event stream alongside the normal [`JoinReport`]. The simulator is
+//! deterministic, so tracing the same point twice yields byte-identical
+//! exports.
+
+use gamma_core::query::Algorithm;
+use gamma_core::JoinReport;
+use gamma_trace::{perfetto, summary, TraceSink};
+
+use crate::sweep::{SweepBuilder, Workload};
+
+/// A join run captured with tracing on.
+pub struct TracedRun {
+    /// The usual join report (validated against the oracle).
+    pub report: JoinReport,
+    /// The recorded event stream.
+    pub sink: TraceSink,
+}
+
+impl TracedRun {
+    /// Chrome trace-event / Perfetto JSON for this run.
+    pub fn perfetto_json(&self) -> String {
+        perfetto::to_json(&self.sink)
+    }
+
+    /// Text critical-path summary for this run.
+    pub fn summary(&self) -> String {
+        summary::critical_path(&self.sink)
+    }
+}
+
+/// Run one `joinABprime` point with a fresh sink installed.
+///
+/// # Panics
+/// Panics if the join result fails oracle validation.
+pub fn trace_join(
+    workload: &Workload,
+    algorithm: Algorithm,
+    ratio: f64,
+    filtered: bool,
+) -> TracedRun {
+    let builder = SweepBuilder::new(workload).filtered(filtered);
+    // Install the sink only after the workload is loaded: load-time I/O is
+    // not part of the measured query and must not appear in the trace.
+    let (mut machine, spec) = builder.prepare(algorithm, ratio);
+    let prev = gamma_trace::install(TraceSink::default());
+    let point = builder.measure(&mut machine, &spec, algorithm, ratio);
+    let sink = gamma_trace::take().expect("sink installed above");
+    if let Some(p) = prev {
+        gamma_trace::install(p);
+    }
+    TracedRun {
+        report: point.report,
+        sink,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traced_run_records_and_places_phases() {
+        let w = Workload::scaled(2_000, 200);
+        let run = trace_join(&w, Algorithm::HybridHash, 0.5, false);
+        assert_eq!(run.report.result_tuples, 200);
+        assert!(!run.sink.is_empty(), "hooks must have fired");
+        assert_eq!(run.sink.phases.len(), run.report.phases.len());
+        for ph in &run.sink.phases {
+            assert!(ph.start_us.is_some(), "phase {} not replayed", ph.name);
+        }
+        // The trace's clock agrees with the report's response time.
+        assert_eq!(run.sink.response_us(), run.report.response.as_us());
+    }
+}

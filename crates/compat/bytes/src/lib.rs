@@ -1,0 +1,155 @@
+//! Minimal offline stand-in for the `bytes` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the small API subset the engine actually uses:
+//! [`BytesMut`] as a growable byte buffer and the [`Buf`]/[`BufMut`]
+//! cursor traits. Semantics match the real crate for this subset.
+
+use std::ops::{Deref, DerefMut};
+
+/// A growable, contiguous byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer with room for `cap` bytes.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            inner: Vec::with_capacity(cap),
+        }
+    }
+
+    /// A buffer of `len` zero bytes.
+    pub fn zeroed(len: usize) -> Self {
+        BytesMut {
+            inner: vec![0u8; len],
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(v: Vec<u8>) -> Self {
+        BytesMut { inner: v }
+    }
+}
+
+/// Read cursor over a byte source.
+pub trait Buf {
+    /// Remaining readable bytes.
+    fn remaining(&self) -> usize;
+    /// Advance the cursor by `n` bytes.
+    fn advance(&mut self, n: usize);
+    /// View of the unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Read a little-endian `u16` and advance.
+    fn get_u16_le(&mut self) -> u16 {
+        let c = self.chunk();
+        let v = u16::from_le_bytes([c[0], c[1]]);
+        self.advance(2);
+        v
+    }
+
+    /// Read a little-endian `u32` and advance.
+    fn get_u32_le(&mut self) -> u32 {
+        let c = self.chunk();
+        let v = u32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+        self.advance(4);
+        v
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+}
+
+/// Write cursor over a growable byte sink.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_and_index() {
+        let mut b = BytesMut::zeroed(8);
+        assert_eq!(b.len(), 8);
+        b[0..2].copy_from_slice(&7u16.to_le_bytes());
+        assert_eq!(u16::from_le_bytes([b[0], b[1]]), 7);
+    }
+
+    #[test]
+    fn buf_cursor_reads() {
+        let data = [1u8, 0, 2, 0];
+        let mut cur: &[u8] = &data;
+        assert_eq!(cur.get_u16_le(), 1);
+        assert_eq!(cur.get_u16_le(), 2);
+        assert_eq!(cur.remaining(), 0);
+    }
+
+    #[test]
+    fn put_slice_appends() {
+        let mut b = BytesMut::with_capacity(4);
+        b.put_slice(b"ab");
+        b.put_slice(b"cd");
+        assert_eq!(&b[..], b"abcd");
+    }
+}

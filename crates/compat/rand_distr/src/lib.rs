@@ -1,0 +1,88 @@
+//! Minimal offline stand-in for the `rand_distr` crate.
+//!
+//! Provides the [`Normal`] distribution via the Box–Muller transform —
+//! statistically equivalent to the real crate's ziggurat sampler, and
+//! deterministic for a fixed `rand` stub stream, which is all the
+//! workspace requires.
+
+use rand::RngCore;
+
+/// Types that can draw samples of `T` from an RNG.
+pub trait Distribution<T> {
+    /// Draw one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error for invalid distribution parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NormalError;
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid normal distribution parameters")
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// Normal (Gaussian) distribution, sampled by Box–Muller.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// A normal distribution with the given mean and standard deviation.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, NormalError> {
+        if !std_dev.is_finite() || std_dev < 0.0 || !mean.is_finite() {
+            return Err(NormalError);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller: two uniforms -> one standard normal deviate.
+        // u1 is nudged away from zero so ln(u1) stays finite.
+        let u1 = ((rng.next_u64() >> 11) as f64 + 0.5) * (1.0 / (1u64 << 53) as f64);
+        let u2 = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn sample_statistics() {
+        let normal = Normal::new(10.0, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.05, "sd {}", var.sqrt());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let normal = Normal::new(0.0, 1.0).unwrap();
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        for _ in 0..32 {
+            assert_eq!(normal.sample(&mut a), normal.sample(&mut b));
+        }
+    }
+}

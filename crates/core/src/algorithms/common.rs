@@ -76,6 +76,12 @@ pub fn scan_fragment(
     pred: Option<RangePred>,
 ) -> Vec<Vec<u8>> {
     let cost = machine.cfg.cost.clone();
+    #[cfg(feature = "trace")]
+    gamma_trace::emit(
+        node as u16,
+        ledgers[node].total_demand().as_us(),
+        gamma_trace::EventKind::SpanBegin { name: "scan" },
+    );
     let recs = crate::hashjoin::read_records(machine, ledgers, node, file);
     let mut out = Vec::with_capacity(recs.len());
     for rec in recs {
@@ -85,6 +91,12 @@ pub fn scan_fragment(
             out.push(rec);
         }
     }
+    #[cfg(feature = "trace")]
+    gamma_trace::emit(
+        node as u16,
+        ledgers[node].total_demand().as_us(),
+        gamma_trace::EventKind::SpanEnd { name: "scan" },
+    );
     out
 }
 
@@ -98,7 +110,11 @@ mod tests {
     fn range_pred_is_inclusive() {
         let s = Schema::new(vec![Field::Int("k".into())]);
         let attr = s.int_attr("k");
-        let p = RangePred { attr, lo: 5, hi: 10 };
+        let p = RangePred {
+            attr,
+            lo: 5,
+            hi: 10,
+        };
         let mk = |v: u32| v.to_le_bytes().to_vec();
         assert!(!p.eval(&mk(4)));
         assert!(p.eval(&mk(5)));
@@ -121,7 +137,11 @@ mod tests {
         let id = m.load_relation("t", s, Declustering::RoundRobin, tuples);
         let f0 = m.relation(id).fragments[0];
         let mut ledgers = m.ledgers();
-        let pred = RangePred { attr, lo: 0, hi: 99 };
+        let pred = RangePred {
+            attr,
+            lo: 0,
+            hi: 99,
+        };
         let got = scan_fragment(&mut m, &mut ledgers, 0, f0, Some(pred));
         // Node 0 holds k ∈ {0, 8, 16, ...}; of its 50 tuples, those < 100
         // are 0..96 step 8 = 13 tuples.

@@ -135,9 +135,11 @@ fn bucket_form(
         // The per-bucket filter packets were broadcast to the scanning
         // nodes after the inner relation's bucket-forming completed.
         for &n in &disk_nodes {
-            machine
-                .fabric
-                .scheduler_control(&mut ledgers[n], cost.filter_packet_bytes * filters.len() as u64);
+            machine.fabric.scheduler_control(
+                &mut ledgers[n],
+                n,
+                cost.filter_packet_bytes * filters.len() as u64,
+            );
         }
     }
     for &node in &disk_nodes {
@@ -195,7 +197,16 @@ pub(super) fn join_bucket(
 ) -> (u32, bool) {
     let r_group: Vec<Vec<FileId>> = r_files.iter().map(|&f| vec![f]).collect();
     let s_group: Vec<Vec<FileId>> = s_files.iter().map(|&f| vec![f]).collect();
-    join_bucket_group(machine, rz, phases, sink, &r_group, &s_group, &b.to_string(), salt.wrapping_add(b as u64))
+    join_bucket_group(
+        machine,
+        rz,
+        phases,
+        sink,
+        &r_group,
+        &s_group,
+        &b.to_string(),
+        salt.wrapping_add(b as u64),
+    )
 }
 
 /// Join one *group* of buckets (bucket tuning combines several small
@@ -226,8 +237,23 @@ pub(super) fn join_bucket_group(
         salt,
     );
 
+    // A group label is "3" or "1..4"; the leading bucket number stands for
+    // the group in trace events.
+    #[cfg(feature = "trace")]
+    let bucket_no: u16 = label
+        .split("..")
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+
     // ---- build ----
     let mut ledgers = machine.ledgers();
+    #[cfg(feature = "trace")]
+    gamma_trace::emit(
+        rz.join_nodes[0] as u16,
+        0,
+        gamma_trace::EventKind::BucketOpen { bucket: bucket_no },
+    );
     for &node in &disk_nodes {
         let files = r_group[node].clone();
         for file in files {
@@ -246,7 +272,11 @@ pub(super) fn join_bucket_group(
     machine.fabric.flush(&mut ledgers);
     let mut sched = dispatch_overhead(machine, &mut ledgers, &disk_nodes, table_bytes);
     sched += dispatch_overhead(machine, &mut ledgers, &rz.join_nodes, table_bytes);
-    phases.push(PhaseRecord::new(format!("build bucket {label}"), ledgers, sched));
+    phases.push(PhaseRecord::new(
+        format!("build bucket {label}"),
+        ledgers,
+        sched,
+    ));
 
     // ---- probe ----
     let mut ledgers = machine.ledgers();
@@ -269,9 +299,12 @@ pub(super) fn join_bucket_group(
                 } else if set.outer_diverts(i, val) {
                     set.spool_outer(machine, &mut ledgers, node, i, &rec);
                 } else {
-                    machine
-                        .fabric
-                        .send_tuple(&mut ledgers, node, rz.join_nodes[i], rec.len() as u64);
+                    machine.fabric.send_tuple(
+                        &mut ledgers,
+                        node,
+                        rz.join_nodes[i],
+                        rec.len() as u64,
+                    );
                     set.deliver_probe(machine, &mut ledgers, i, val, &rec, sink);
                 }
             }
@@ -280,7 +313,17 @@ pub(super) fn join_bucket_group(
     machine.fabric.flush(&mut ledgers);
     let pairs = set.take_overflows(machine, &mut ledgers);
     let sched = dispatch_overhead(machine, &mut ledgers, &disk_nodes, table_bytes);
-    phases.push(PhaseRecord::new(format!("probe bucket {label}"), ledgers, sched));
+    #[cfg(feature = "trace")]
+    gamma_trace::emit(
+        rz.join_nodes[0] as u16,
+        ledgers[rz.join_nodes[0]].total_demand().as_us(),
+        gamma_trace::EventKind::BucketClose { bucket: bucket_no },
+    );
+    phases.push(PhaseRecord::new(
+        format!("probe bucket {label}"),
+        ledgers,
+        sched,
+    ));
 
     // ---- overflow (possible under skew; Grace normally sizes buckets to
     // avoid it) ----

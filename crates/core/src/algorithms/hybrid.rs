@@ -122,6 +122,12 @@ pub fn run(machine: &mut Machine, rz: &Resolved) -> DriverOutput {
     // ---- Phase 1: partition R into buckets, overlapped with building
     // bucket 1's hash tables. ----
     let mut ledgers = machine.ledgers();
+    #[cfg(feature = "trace")]
+    gamma_trace::emit(
+        rz.join_nodes[0] as u16,
+        0,
+        gamma_trace::EventKind::BucketOpen { bucket: 1 },
+    );
     let mut r_spool = SpoolFiles::new(machine, buckets);
     for &node in &disk_nodes {
         let recs = super::common::scan_fragment(
@@ -160,7 +166,11 @@ pub fn run(machine: &mut Machine, rz: &Resolved) -> DriverOutput {
     let r_files = r_spool.finish(machine, &mut ledgers);
     let mut sched = dispatch_overhead(machine, &mut ledgers, &disk_nodes, table_bytes);
     sched += dispatch_overhead(machine, &mut ledgers, &rz.join_nodes, table_bytes);
-    phases.push(PhaseRecord::new("partition R / build bucket 1", ledgers, sched));
+    phases.push(PhaseRecord::new(
+        "partition R / build bucket 1",
+        ledgers,
+        sched,
+    ));
 
     // ---- Phase 2: partition S, overlapped with probing bucket 1. ----
     let mut ledgers = machine.ledgers();
@@ -169,7 +179,7 @@ pub fn run(machine: &mut Machine, rz: &Resolved) -> DriverOutput {
         // Broadcast the per-bucket filter packets to the scanning nodes.
         let bytes = cost.filter_packet_bytes * filters.len() as u64;
         for &n in &disk_nodes {
-            machine.fabric.scheduler_control(&mut ledgers[n], bytes);
+            machine.fabric.scheduler_control(&mut ledgers[n], n, bytes);
         }
     }
     let mut s_spool = SpoolFiles::new(machine, buckets);
@@ -221,7 +231,17 @@ pub fn run(machine: &mut Machine, rz: &Resolved) -> DriverOutput {
     let s_files = s_spool.finish(machine, &mut ledgers);
     let pairs = set.take_overflows(machine, &mut ledgers);
     let sched = dispatch_overhead(machine, &mut ledgers, &disk_nodes, table_bytes);
-    phases.push(PhaseRecord::new("partition S / probe bucket 1", ledgers, sched));
+    #[cfg(feature = "trace")]
+    gamma_trace::emit(
+        rz.join_nodes[0] as u16,
+        ledgers[rz.join_nodes[0]].total_demand().as_us(),
+        gamma_trace::EventKind::BucketClose { bucket: 1 },
+    );
+    phases.push(PhaseRecord::new(
+        "partition S / probe bucket 1",
+        ledgers,
+        sched,
+    ));
 
     // ---- Bucket 1 overflow (the Figure 7 "optimistic" path). ----
     let env = OverflowEnv {
@@ -241,7 +261,16 @@ pub fn run(machine: &mut Machine, rz: &Resolved) -> DriverOutput {
     for b in 2..=buckets {
         let r_b: Vec<FileId> = (0..disk_nodes.len()).map(|n| r_files[n][b - 2]).collect();
         let s_b: Vec<FileId> = (0..disk_nodes.len()).map(|n| s_files[n][b - 2]).collect();
-        let (p, f) = join_bucket(machine, rz, &mut phases, &mut sink, &r_b, &s_b, b, HYBRID_SALT);
+        let (p, f) = join_bucket(
+            machine,
+            rz,
+            &mut phases,
+            &mut sink,
+            &r_b,
+            &s_b,
+            b,
+            HYBRID_SALT,
+        );
         overflow_passes += p;
         bnl |= f;
     }

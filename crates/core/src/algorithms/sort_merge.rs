@@ -57,7 +57,12 @@ fn partition(
     let page = cost.disk.page_bytes;
     let mut writers: Vec<Option<HeapWriter>> = disk_nodes
         .iter()
-        .map(|&n| Some(HeapWriter::create(machine.volumes[n].as_mut().unwrap(), page)))
+        .map(|&n| {
+            Some(HeapWriter::create(
+                machine.volumes[n].as_mut().unwrap(),
+                page,
+            ))
+        })
         .collect();
     let mut ledgers = machine.ledgers();
     for &node in &disk_nodes {
@@ -118,7 +123,7 @@ fn partition(
             for &n in &disk_nodes {
                 machine
                     .fabric
-                    .scheduler_control(&mut ledgers[n], cost.filter_packet_bytes);
+                    .scheduler_control(&mut ledgers[n], n, cost.filter_packet_bytes);
             }
             sched += SimTime::from_us(cost.scheduler_dispatch_us);
         }
@@ -148,11 +153,30 @@ fn sort_phase(
     let mut runs = Vec::with_capacity(disk_nodes.len());
     let key = move |rec: &[u8]| attr.get(rec);
     for &node in &disk_nodes {
+        #[cfg(feature = "trace")]
+        gamma_trace::emit(
+            node as u16,
+            ledgers[node].total_demand().as_us(),
+            gamma_trace::EventKind::SpanBegin { name: "sort" },
+        );
         let vol = machine.volumes[node].as_mut().unwrap();
         let pool = machine.pools[node].as_mut().unwrap();
-        let (f, _stats) =
-            external_sort(vol, pool, temp[node], &key, cfg, &cost.sort, &mut ledgers[node]);
+        let (f, _stats) = external_sort(
+            vol,
+            pool,
+            temp[node],
+            &key,
+            cfg,
+            &cost.sort,
+            &mut ledgers[node],
+        );
         runs.push(f);
+        #[cfg(feature = "trace")]
+        gamma_trace::emit(
+            node as u16,
+            ledgers[node].total_demand().as_us(),
+            gamma_trace::EventKind::SpanEnd { name: "sort" },
+        );
     }
     // Free the unsorted temp files.
     for &node in &disk_nodes {
@@ -236,7 +260,10 @@ pub fn run(machine: &mut Machine, rz: &Resolved) -> DriverOutput {
     let mut sink = ResultSink::new(machine);
 
     let mut filters: Vec<Option<BitFilter>> = (0..d)
-        .map(|i| rz.filter_bits.map(|b| BitFilter::new(b, SM_SALT.wrapping_add(i as u64))))
+        .map(|i| {
+            rz.filter_bits
+                .map(|b| BitFilter::new(b, SM_SALT.wrapping_add(i as u64)))
+        })
         .collect();
 
     // Phase 1: redistribute R (building filters at the destinations).
@@ -251,7 +278,14 @@ pub fn run(machine: &mut Machine, rz: &Resolved) -> DriverOutput {
         "partition R",
     );
     // Phase 2: sort R locally.
-    let r_runs = sort_phase(machine, &mut phases, &r_temp, rz.r_attr, mem_per_node, "sort R");
+    let r_runs = sort_phase(
+        machine,
+        &mut phases,
+        &r_temp,
+        rz.r_attr,
+        mem_per_node,
+        "sort R",
+    );
 
     // Phase 3: redistribute S, filtering at the sources.
     let s_temp = partition(
@@ -265,17 +299,27 @@ pub fn run(machine: &mut Machine, rz: &Resolved) -> DriverOutput {
         "partition S",
     );
     // Phase 4: sort S locally.
-    let s_runs = sort_phase(machine, &mut phases, &s_temp, rz.s_attr, mem_per_node, "sort S");
+    let s_runs = sort_phase(
+        machine,
+        &mut phases,
+        &s_temp,
+        rz.s_attr,
+        mem_per_node,
+        "sort S",
+    );
 
     // Phase 5: local merge join in parallel at every disk site.
     let mut ledgers = machine.ledgers();
     let mut run_files: Vec<(NodeId, FileId)> = Vec::new();
-    for (&node, (rr, sr)) in disk_nodes
-        .iter()
-        .zip(r_runs.into_iter().zip(s_runs))
-    {
+    for (&node, (rr, sr)) in disk_nodes.iter().zip(r_runs.into_iter().zip(s_runs)) {
         run_files.push((node, rr));
         run_files.push((node, sr));
+        #[cfg(feature = "trace")]
+        gamma_trace::emit(
+            node as u16,
+            ledgers[node].total_demand().as_us(),
+            gamma_trace::EventKind::SpanBegin { name: "merge" },
+        );
         let (outputs, compares) =
             merge_join_node(machine, &mut ledgers, node, rr, sr, rz.r_attr, rz.s_attr);
         cost.charge(&mut ledgers[node], cost.merge_compare_us * compares);
@@ -284,6 +328,12 @@ pub fn run(machine: &mut Machine, rz: &Resolved) -> DriverOutput {
             cost.charge(&mut ledgers[node], cost.compose_us);
             sink.push(machine, &mut ledgers, node, &rec);
         }
+        #[cfg(feature = "trace")]
+        gamma_trace::emit(
+            node as u16,
+            ledgers[node].total_demand().as_us(),
+            gamma_trace::EventKind::SpanEnd { name: "merge" },
+        );
     }
     machine.fabric.flush(&mut ledgers);
     for (node, f) in run_files {

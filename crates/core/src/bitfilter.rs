@@ -9,12 +9,10 @@
 //! attributes collide more when setting bits, leave more bits clear, and so
 //! filter *better*, exactly the §4.4 observation.
 
-use serde::{Deserialize, Serialize};
-
 use crate::hash::{hash_u32, FILTER_SEED};
 
 /// A single site's bit filter.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BitFilter {
     bits: Vec<u64>,
     nbits: u64,

@@ -13,10 +13,9 @@
 use gamma_des::SimTime;
 use gamma_net::RingConfig;
 use gamma_wiss::{DiskConfig, SortCost};
-use serde::{Deserialize, Serialize};
 
 /// Per-operation CPU costs plus the substrate configurations.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CostModel {
     /// Read one tuple out of a buffered page and evaluate predicates.
     pub scan_tuple_us: u64,

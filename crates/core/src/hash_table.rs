@@ -194,7 +194,10 @@ impl JoinHashTable {
     /// "writing all tuples with hash values above 90,000 will free up 10 %
     /// of memory").
     fn pick_cutoff(&self, target: u64) -> u64 {
-        let ceiling = self.cutoff.map(|c| c >> HIST_SHIFT).unwrap_or(HIST_CELLS as u64);
+        let ceiling = self
+            .cutoff
+            .map(|c| c >> HIST_SHIFT)
+            .unwrap_or(HIST_CELLS as u64);
         let mut freed = 0u64;
         let mut cell = ceiling;
         while cell > 0 {
@@ -373,7 +376,9 @@ mod tests {
             match t.offer(v, tuple(v, 208), 10) {
                 Offer::Stored => {}
                 Offer::Diverted(tu) => spooled.push(tu),
-                Offer::Overflowed { evicted, diverted, .. } => {
+                Offer::Overflowed {
+                    evicted, diverted, ..
+                } => {
                     spooled.extend(evicted.into_iter().map(|(_, tu)| tu));
                     spooled.extend(diverted);
                 }
@@ -386,7 +391,11 @@ mod tests {
                 .map(|tu| u32::from_le_bytes(tu[0..4].try_into().unwrap())),
         );
         all.sort_unstable();
-        assert_eq!(all, (0..n).collect::<Vec<_>>(), "no tuple lost or duplicated");
+        assert_eq!(
+            all,
+            (0..n).collect::<Vec<_>>(),
+            "no tuple lost or duplicated"
+        );
     }
 
     #[test]
@@ -395,7 +404,12 @@ mod tests {
         let mut t = JoinHashTable::new(cap, 100, 3);
         for v in 0..5_000u32 {
             let _ = t.offer(v, tuple(v, 100), 10);
-            assert!(t.used_bytes() <= cap, "used {} > cap {}", t.used_bytes(), cap);
+            assert!(
+                t.used_bytes() <= cap,
+                "used {} > cap {}",
+                t.used_bytes(),
+                cap
+            );
         }
     }
 
@@ -408,7 +422,9 @@ mod tests {
         let mut evicted_all = 0;
         for _ in 0..200 {
             match t.offer(7, tuple(7, 208), 10) {
-                Offer::Overflowed { evicted, diverted, .. } => {
+                Offer::Overflowed {
+                    evicted, diverted, ..
+                } => {
                     evicted_all += evicted.len() + diverted.iter().len();
                 }
                 Offer::Diverted(_) => evicted_all += 1,

@@ -50,7 +50,9 @@ impl Spool {
         Spool {
             node,
             writer: Some(HeapWriter::create(
-                machine.volumes[node].as_mut().expect("overflow on disk node"),
+                machine.volumes[node]
+                    .as_mut()
+                    .expect("overflow on disk node"),
                 page,
             )),
             count: 0,
@@ -59,7 +61,10 @@ impl Spool {
 
     fn push(&mut self, machine: &mut Machine, ledgers: &mut Ledgers, rec: &[u8]) {
         let node = self.node;
-        machine.cfg.cost.charge(&mut ledgers[node], machine.cfg.cost.store_tuple_us);
+        machine
+            .cfg
+            .cost
+            .charge(&mut ledgers[node], machine.cfg.cost.store_tuple_us);
         self.writer.as_mut().expect("spool finished").push(
             machine.volumes[node].as_mut().unwrap(),
             machine.pools[node].as_mut().unwrap(),
@@ -187,7 +192,10 @@ impl SiteSet {
     ) -> bool {
         match &self.sites[i].filter {
             Some(f) => {
-                machine.cfg.cost.charge(&mut ledgers[src], machine.cfg.cost.filter_test_us);
+                machine
+                    .cfg
+                    .cost
+                    .charge(&mut ledgers[src], machine.cfg.cost.filter_test_us);
                 if f.test(val) {
                     false
                 } else {
@@ -213,13 +221,25 @@ impl SiteSet {
         let cost = machine.cfg.cost.clone();
         let node = self.sites[i].node;
         ledgers[node].counts.tuples_in += 1;
-        cost.charge(&mut ledgers[node], cost.build_insert_us + cost.histogram_update_us);
+        cost.charge(
+            &mut ledgers[node],
+            cost.build_insert_us + cost.histogram_update_us,
+        );
         if let Some(f) = &mut self.sites[i].filter {
             cost.charge(&mut ledgers[node], cost.filter_set_us);
             f.set(val);
         }
         ledgers[node].counts.hash_inserts += 1;
-        match self.sites[i].table.offer(val, tuple, cost.overflow_clear_pct) {
+        #[cfg(feature = "trace")]
+        gamma_trace::emit(
+            node as u16,
+            ledgers[node].total_demand().as_us(),
+            gamma_trace::EventKind::HashInsert,
+        );
+        match self.sites[i]
+            .table
+            .offer(val, tuple, cost.overflow_clear_pct)
+        {
             Offer::Stored => {}
             Offer::Diverted(t) => {
                 self.spool_inner_from_site(machine, ledgers, i, &t);
@@ -232,6 +252,12 @@ impl SiteSet {
                 // The heuristic examines every resident tuple to find the
                 // ones above the new cutoff (§4.1).
                 cost.charge(&mut ledgers[node], cost.clear_scan_us * scanned);
+                #[cfg(feature = "trace")]
+                gamma_trace::emit(
+                    node as u16,
+                    ledgers[node].total_demand().as_us(),
+                    gamma_trace::EventKind::BucketSpill { bucket: i as u16 },
+                );
                 for (_, t) in evicted {
                     cost.charge(&mut ledgers[node], cost.evict_tuple_us);
                     ledgers[node].counts.overflow_evictions += 1;
@@ -259,7 +285,11 @@ impl SiteSet {
         machine
             .fabric
             .send_tuple(ledgers, site_node, home, rec.len() as u64);
-        self.sites[i].r_spool.as_mut().unwrap().push(machine, ledgers, rec);
+        self.sites[i]
+            .r_spool
+            .as_mut()
+            .unwrap()
+            .push(machine, ledgers, rec);
     }
 
     /// Spool an outer tuple diverted at the source straight to `S'_i`.
@@ -275,8 +305,14 @@ impl SiteSet {
         if self.sites[i].s_spool.is_none() {
             self.sites[i].s_spool = Some(Spool::new(machine, home));
         }
-        machine.fabric.send_tuple(ledgers, src, home, rec.len() as u64);
-        self.sites[i].s_spool.as_mut().unwrap().push(machine, ledgers, rec);
+        machine
+            .fabric
+            .send_tuple(ledgers, src, home, rec.len() as u64);
+        self.sites[i]
+            .s_spool
+            .as_mut()
+            .unwrap()
+            .push(machine, ledgers, rec);
     }
 
     /// Deliver an outer (probing) tuple to site `i`; matches are composed
@@ -300,6 +336,14 @@ impl SiteSet {
             cost.probe_us + cost.chain_compare_us * compares,
         );
         ledgers[node].counts.comparisons += compares;
+        #[cfg(feature = "trace")]
+        gamma_trace::emit(
+            node as u16,
+            ledgers[node].total_demand().as_us(),
+            gamma_trace::EventKind::HashProbe {
+                matched: !matches.is_empty(),
+            },
+        );
         let composed: Vec<Vec<u8>> = matches.iter().map(|m| compose(m, tuple)).collect();
         for out in composed {
             cost.charge(&mut ledgers[node], cost.compose_us);
@@ -467,9 +511,12 @@ pub fn resolve_overflows(
                 } else if set.outer_diverts(i, val) {
                     set.spool_outer(machine, &mut ledgers, node, i, &rec);
                 } else {
-                    machine
-                        .fabric
-                        .send_tuple(&mut ledgers, node, env.join_nodes[i], rec.len() as u64);
+                    machine.fabric.send_tuple(
+                        &mut ledgers,
+                        node,
+                        env.join_nodes[i],
+                        rec.len() as u64,
+                    );
                     set.deliver_probe(machine, &mut ledgers, i, val, &rec, sink);
                 }
             }
@@ -579,7 +626,7 @@ pub fn dispatch_overhead(
     let mut t = SimTime::ZERO;
     for &n in participants {
         let bytes = cost.operator_start_bytes + table_bytes;
-        machine.fabric.scheduler_control(&mut ledgers[n], bytes);
+        machine.fabric.scheduler_control(&mut ledgers[n], n, bytes);
         t += machine
             .fabric
             .scheduler_dispatch_cost(SimTime::from_us(cost.scheduler_dispatch_us), bytes);
@@ -601,10 +648,19 @@ pub fn broadcast_filters(machine: &mut Machine, ledgers: &mut Ledgers, set: &Sit
         let node = set.node(i);
         ledgers[node].cpu(send_cpu);
         ledgers[node].counts.packets_sent += 1;
+        #[cfg(feature = "trace")]
+        gamma_trace::emit(
+            node as u16,
+            ledgers[node].total_demand().as_us(),
+            gamma_trace::EventKind::PacketSend {
+                dst: u16::MAX, // aggregate broadcast to the scanning nodes
+                bytes: bytes as u32,
+            },
+        );
     }
     // ...and each disk node receives the aggregate packet.
     for n in machine.disk_nodes() {
-        machine.fabric.scheduler_control(&mut ledgers[n], bytes);
+        machine.fabric.scheduler_control(&mut ledgers[n], n, bytes);
     }
 }
 
@@ -771,7 +827,10 @@ mod tests {
         let small = dispatch_overhead(&mut m, &mut l1, &nodes, 512);
         let mut l2 = m.ledgers();
         let big = dispatch_overhead(&mut m, &mut l2, &nodes, 5_000);
-        assert!(big > small, "multi-packet split tables cost more to dispatch");
+        assert!(
+            big > small,
+            "multi-packet split tables cost more to dispatch"
+        );
         assert_eq!(l1[0].counts.control_msgs, 1);
     }
 }

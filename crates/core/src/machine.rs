@@ -9,7 +9,6 @@
 use gamma_des::Usage;
 use gamma_net::Fabric;
 use gamma_wiss::{BufferPool, FileId, HeapWriter, Volume};
-use serde::{Deserialize, Serialize};
 
 use crate::cost::CostModel;
 use crate::hash::{hash_u32, JOIN_SEED};
@@ -23,7 +22,7 @@ pub type RelationId = usize;
 pub type Ledgers = Vec<Usage>;
 
 /// Shape of the machine.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MachineConfig {
     /// Processors with attached disks (store all relations; execute scans).
     pub disk_nodes: usize,
@@ -54,7 +53,7 @@ impl MachineConfig {
 }
 
 /// How a relation's tuples were assigned to disk nodes at load time.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Declustering {
     /// Tuples dealt to nodes in rotation.
     RoundRobin,
@@ -130,7 +129,13 @@ impl Machine {
             .map(|n| (n < cfg.disk_nodes).then(Volume::new))
             .collect();
         let pools = (0..total)
-            .map(|n| (n < cfg.disk_nodes).then(|| BufferPool::new(cfg.cost.disk, cfg.cost.pool_frames)))
+            .map(|n| {
+                (n < cfg.disk_nodes).then(|| {
+                    let mut p = BufferPool::new(cfg.cost.disk, cfg.cost.pool_frames);
+                    p.set_node(n as u16);
+                    p
+                })
+            })
             .collect();
         let fabric = Fabric::new(cfg.cost.ring.clone(), total);
         Machine {
@@ -243,7 +248,11 @@ impl Machine {
             let vol = self.volumes[n].as_ref().expect("disk node");
             tuples += vol.file_records(f) as u64;
             for p in 0..vol.file_pages(f) {
-                bytes += vol.page(f, p).records().map(|r| r.len() as u64).sum::<u64>();
+                bytes += vol
+                    .page(f, p)
+                    .records()
+                    .map(|r| r.len() as u64)
+                    .sum::<u64>();
             }
         }
         self.relations.push(Some(StoredRelation {
@@ -326,7 +335,12 @@ impl ResultSink {
         let d = machine.cfg.disk_nodes;
         let page = machine.cfg.cost.disk.page_bytes;
         let writers = (0..d)
-            .map(|n| Some(HeapWriter::create(machine.volumes[n].as_mut().unwrap(), page)))
+            .map(|n| {
+                Some(HeapWriter::create(
+                    machine.volumes[n].as_mut().unwrap(),
+                    page,
+                ))
+            })
             .collect();
         ResultSink {
             writers,
@@ -432,7 +446,13 @@ mod tests {
         let id = m.load_relation("t", s, Declustering::RoundRobin, tuples);
         let rel = m.relation(id);
         for n in 0..8 {
-            assert_eq!(m.volumes[n].as_ref().unwrap().file_records(rel.fragments[n]), 100);
+            assert_eq!(
+                m.volumes[n]
+                    .as_ref()
+                    .unwrap()
+                    .file_records(rel.fragments[n]),
+                100
+            );
         }
     }
 

@@ -12,7 +12,6 @@
 
 use gamma_des::{SimTime, Usage};
 use gamma_wiss::btree::BPlusTree;
-use serde::Serialize;
 
 use crate::algorithms::common::{scan_fragment, RangePred};
 use crate::hash::{hash_u32, JOIN_SEED};
@@ -24,7 +23,7 @@ use crate::split::JoiningSplitTable;
 use crate::tuple::{Attr, Field, Schema};
 
 /// Timed result of a non-join operator.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct OpReport {
     /// End-to-end response time.
     pub response: SimTime,
@@ -109,7 +108,7 @@ pub fn project(
 }
 
 /// Aggregate functions over a 4-byte integer attribute.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AggFn {
     /// Row count (the attribute is ignored).
     Count,
@@ -170,7 +169,9 @@ pub fn aggregate_scalar(
             acc = f.merge(acc, f.update(f.init(), attr.get(&rec)));
         }
         // Partial result back to the scheduler: one control message.
-        machine.fabric.scheduler_control(&mut ledgers[node], 64);
+        machine
+            .fabric
+            .scheduler_control(&mut ledgers[node], node, 64);
     }
     machine.fabric.flush(&mut ledgers);
     let sched = dispatch_overhead(machine, &mut ledgers, &disk_nodes, 0);
@@ -219,7 +220,11 @@ pub fn aggregate_group(
     }
     machine.fabric.flush(&mut ledgers);
     let sched = dispatch_overhead(machine, &mut ledgers, &disk_nodes, 0);
-    phases.push(PhaseRecord::new("aggregate: local partials", ledgers, sched));
+    phases.push(PhaseRecord::new(
+        "aggregate: local partials",
+        ledgers,
+        sched,
+    ));
 
     // ---- Phase 2: repartition partials, merge, store ----
     let mut merged: Vec<HashMap<u32, u64>> = vec![HashMap::new(); agg_nodes.len()];
@@ -228,7 +233,9 @@ pub fn aggregate_group(
         for (g, v) in part {
             cost.charge(&mut ledgers[node], cost.hash_us + cost.route_us);
             let i = jt.site_index(hash_u32(JOIN_SEED, g));
-            machine.fabric.send_tuple(&mut ledgers, node, agg_nodes[i], 8);
+            machine
+                .fabric
+                .send_tuple(&mut ledgers, node, agg_nodes[i], 8);
             let dst = agg_nodes[i];
             cost.charge(&mut ledgers[dst], cost.agg_update_us);
             let slot = merged[i].entry(g).or_insert_with(|| f.init());
@@ -399,13 +406,29 @@ pub fn build_index(machine: &mut Machine, rel: RelationId, attr: Attr) -> (BTree
         for _ in 0..leaves {
             ledgers[node].disk(SimTime::from_us(cost.disk.seq_write_us));
             ledgers[node].counts.pages_written += 1;
+            #[cfg(feature = "trace")]
+            gamma_trace::emit(
+                node as u16,
+                ledgers[node].total_demand().as_us(),
+                gamma_trace::EventKind::DiskWrite {
+                    file: file as u32,
+                    page: u32::MAX, // modeled index I/O, no real page
+                },
+            );
         }
         per_node.push(tree);
     }
     let sched = dispatch_overhead(machine, &mut ledgers, &disk_nodes, 0);
     let phases = vec![PhaseRecord::new("build index", ledgers, sched)];
     let report = finish_op(machine, phases, 0);
-    (BTreeIndex { rel, attr, per_node }, report)
+    (
+        BTreeIndex {
+            rel,
+            attr,
+            per_node,
+        },
+        report,
+    )
 }
 
 /// Indexed selection: walk the index for the qualifying range, read only
@@ -435,6 +458,15 @@ pub fn select_indexed(
         for _ in 0..tree.depth() {
             ledgers[node].disk(SimTime::from_us(cost.disk.rand_read_us));
             ledgers[node].counts.pages_read += 1;
+            #[cfg(feature = "trace")]
+            gamma_trace::emit(
+                node as u16,
+                ledgers[node].total_demand().as_us(),
+                gamma_trace::EventKind::DiskRead {
+                    file: fragments[node] as u32,
+                    page: u32::MAX, // modeled index descent, no real page
+                },
+            );
         }
         let mut pages: Vec<u32> = tree
             .range(&pred.lo, &pred.hi)
@@ -447,11 +479,15 @@ pub fn select_indexed(
         let matches: Vec<Vec<u8>> = {
             let mut out = Vec::new();
             for &p in &pages {
-                machine.pools[node]
-                    .as_mut()
+                machine.pools[node].as_mut().unwrap().charge_read(
+                    file,
+                    p as usize,
+                    &mut ledgers[node],
+                );
+                let page = machine.volumes[node]
+                    .as_ref()
                     .unwrap()
-                    .charge_read(file, p as usize, &mut ledgers[node]);
-                let page = machine.volumes[node].as_ref().unwrap().page(file, p as usize);
+                    .page(file, p as usize);
                 for rec in page.records() {
                     cost.charge(&mut ledgers[node], cost.scan_tuple_us);
                     if pred.eval(rec) {
@@ -535,7 +571,11 @@ mod tests {
         assert_eq!(min, 0);
         let (max, _) = aggregate_scalar(&mut m, rel, k, AggFn::Max, None);
         assert_eq!(max, 999);
-        let pred = RangePred { attr: k, lo: 10, hi: 19 };
+        let pred = RangePred {
+            attr: k,
+            lo: 10,
+            hi: 19,
+        };
         let (cnt, _) = aggregate_scalar(&mut m, rel, k, AggFn::Count, Some(pred));
         assert_eq!(cnt, 10);
     }
@@ -609,7 +649,11 @@ mod tests {
         let k = schema.int_attr("k");
         let (index, build) = build_index(&mut m, rel, k);
         assert!(build.total.counts.pages_read > 0);
-        let pred = RangePred { attr: k, lo: 500, hi: 549 };
+        let pred = RangePred {
+            attr: k,
+            lo: 500,
+            hi: 549,
+        };
         m.clear_pools();
         let (out, idx_report) = select_indexed(&mut m, &index, pred, "idx_sel");
         assert_eq!(idx_report.tuples_out, 50);
@@ -631,7 +675,11 @@ mod tests {
     fn delete_where_removes_and_rewrites() {
         let (mut m, rel, schema) = machine_with_rel(1_000);
         let k = schema.int_attr("k");
-        let pred = RangePred { attr: k, lo: 0, hi: 249 };
+        let pred = RangePred {
+            attr: k,
+            lo: 0,
+            hi: 249,
+        };
         let (deleted, report) = delete_where(&mut m, rel, pred);
         assert_eq!(deleted, 250);
         assert_eq!(m.relation(rel).tuples, 750);
@@ -648,11 +696,19 @@ mod tests {
         let (mut m, rel, schema) = machine_with_rel(500);
         let k = schema.int_attr("k");
         let v = schema.int_attr("v");
-        let pred = RangePred { attr: k, lo: 100, hi: 199 };
+        let pred = RangePred {
+            attr: k,
+            lo: 100,
+            hi: 199,
+        };
         let (touched, _) = update_where(&mut m, rel, pred, v, 777);
         assert_eq!(touched, 100);
         assert_eq!(m.relation(rel).tuples, 500, "no tuples lost");
-        let sel = RangePred { attr: v, lo: 777, hi: 777 };
+        let sel = RangePred {
+            attr: v,
+            lo: 777,
+            hi: 777,
+        };
         let (count, _) = aggregate_scalar(&mut m, rel, v, AggFn::Count, Some(sel));
         assert_eq!(count, 100);
         // Untouched region intact.
@@ -664,7 +720,11 @@ mod tests {
     fn delete_everything_leaves_empty_relation() {
         let (mut m, rel, schema) = machine_with_rel(200);
         let k = schema.int_attr("k");
-        let pred = RangePred { attr: k, lo: 0, hi: u32::MAX };
+        let pred = RangePred {
+            attr: k,
+            lo: 0,
+            hi: u32::MAX,
+        };
         let (deleted, _) = delete_where(&mut m, rel, pred);
         assert_eq!(deleted, 200);
         assert_eq!(m.relation(rel).tuples, 0);

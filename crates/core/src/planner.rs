@@ -12,12 +12,11 @@
 //! conservative sort-merge is chosen.
 
 use gamma_des::SimTime;
-use serde::Serialize;
 
 use crate::algorithms::common::RangePred;
+use crate::machine::{Machine, RelationId};
 use crate::operators::{self, AggFn};
 use crate::query::{run_join_materialized, Algorithm, JoinSite, JoinSpec};
-use crate::machine::{Machine, RelationId};
 
 /// A relational query plan.
 #[derive(Debug, Clone)]
@@ -80,7 +79,7 @@ pub struct PlanConfig {
 }
 
 /// One executed stage.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct StageReport {
     /// Human-readable stage description.
     pub name: String,
@@ -106,7 +105,7 @@ pub struct PlanReport {
 
 /// Crude optimizer statistics for one integer attribute, gathered from a
 /// one-page-per-fragment sample — enough to detect the §4.4 kind of skew.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ColumnStats {
     /// Tuples sampled.
     pub sampled: u64,
@@ -146,7 +145,11 @@ pub fn analyze(machine: &Machine, rel: RelationId, attr_name: &str) -> ColumnSta
     ColumnStats {
         sampled,
         distinct,
-        top_frequency: if sampled == 0 { 0.0 } else { top as f64 / sampled as f64 },
+        top_frequency: if sampled == 0 {
+            0.0
+        } else {
+            top as f64 / sampled as f64
+        },
     }
 }
 
@@ -199,10 +202,19 @@ fn run(
 ) -> (RelationId, bool) {
     match plan {
         Plan::Scan(rel) => (*rel, false),
-        Plan::Select { input, attr, lo, hi } => {
+        Plan::Select {
+            input,
+            attr,
+            lo,
+            hi,
+        } => {
             let (src, owned) = run(machine, input, cfg, stages);
             let a = machine.relation(src).schema.int_attr(attr);
-            let pred = RangePred { attr: a, lo: *lo, hi: *hi };
+            let pred = RangePred {
+                attr: a,
+                lo: *lo,
+                hi: *hi,
+            };
             let (out, rep) = operators::select(machine, src, pred, "σ");
             stages.push(StageReport {
                 name: format!("select {attr} in [{lo}, {hi}]"),

@@ -10,7 +10,6 @@
 //! time is when the last completion event fires.
 
 use gamma_des::{Sim, SimTime, Usage};
-use serde::{Deserialize, Serialize};
 
 use crate::algorithms::common::{RangePred, Resolved};
 use crate::algorithms::{grace, hybrid, simple, sort_merge};
@@ -20,7 +19,7 @@ use crate::split::bucket_analyzer;
 use crate::tuple::Attr;
 
 /// Which of the four parallel join algorithms to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Algorithm {
     /// Parallel sort-merge (§3.1).
     SortMerge,
@@ -53,7 +52,7 @@ impl Algorithm {
 }
 
 /// Where join processes run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JoinSite {
     /// On the processors with disks (the paper's "local" configuration).
     Local,
@@ -69,7 +68,7 @@ pub enum JoinSite {
 
 /// How Grace/Hybrid pick the bucket count at non-integral memory ratios
 /// (the Figure 7 trade-off).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OverflowPolicy {
     /// Always run with enough buckets that no hash table can overflow
     /// (`N = ceil(|R| / M)`).
@@ -208,6 +207,8 @@ pub fn replay_phases(
     for (i, ph) in phases.iter().enumerate() {
         t += ph.sched_overhead;
         let timing = ph.timing(bw);
+        #[cfg(feature = "trace")]
+        gamma_trace::with(|s| s.phase_replayed_next(t.as_us(), timing.duration.as_us()));
         t += timing.duration;
         sim.schedule_at(t, move |s| s.state.push((i, s.now())));
         summaries.push(PhaseSummary {
@@ -261,7 +262,10 @@ fn run_join_inner(
                 "our sort-merge implementation cannot utilize diskless processors (paper §3.1)"
             );
             let n = machine.diskless_nodes();
-            assert!(!n.is_empty(), "remote join on a machine without diskless nodes");
+            assert!(
+                !n.is_empty(),
+                "remote join on a machine without diskless nodes"
+            );
             n
         }
         JoinSite::Mixed => {
@@ -284,12 +288,9 @@ fn run_join_inner(
     let s_fragments = outer.fragments.clone();
 
     let mut buckets = match spec.algorithm {
-        Algorithm::GraceHash | Algorithm::HybridHash => bucket_count(
-            spec,
-            inner_bytes,
-            machine.cfg.disk_nodes,
-            join_nodes.len(),
-        ),
+        Algorithm::GraceHash | Algorithm::HybridHash => {
+            bucket_count(spec, inner_bytes, machine.cfg.disk_nodes, join_nodes.len())
+        }
         _ => 1,
     };
     // Bucket tuning partitions into many small buckets ("the number of
@@ -310,8 +311,7 @@ fn run_join_inner(
     // above the optimizer's estimate (hash-distribution variance and
     // per-entry overhead), so integral-ratio runs never overflow (§4).
     let headroom = 100 + machine.cfg.cost.table_headroom_pct;
-    let capacity_per_site =
-        (spec.memory_bytes * headroom / 100 / join_nodes.len() as u64).max(1);
+    let capacity_per_site = (spec.memory_bytes * headroom / 100 / join_nodes.len() as u64).max(1);
     let filter_bits = spec
         .bit_filter
         .then(|| machine.cfg.cost.filter_bits_per_site(join_nodes.len()));
@@ -446,9 +446,17 @@ mod tests {
             700,
         );
         s.overflow_policy = OverflowPolicy::Optimistic;
-        assert_eq!(bucket_count(&s, r, 8, 8), 1, "0.7 ratio optimistic -> 1 bucket");
+        assert_eq!(
+            bucket_count(&s, r, 8, 8),
+            1,
+            "0.7 ratio optimistic -> 1 bucket"
+        );
         s.overflow_policy = OverflowPolicy::Pessimistic;
-        assert_eq!(bucket_count(&s, r, 8, 8), 2, "0.7 ratio pessimistic -> 2 buckets");
+        assert_eq!(
+            bucket_count(&s, r, 8, 8),
+            2,
+            "0.7 ratio pessimistic -> 2 buckets"
+        );
     }
 
     #[test]

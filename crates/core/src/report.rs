@@ -9,7 +9,6 @@
 //! explain every curve.
 
 use gamma_des::{phase_duration, PhaseTiming, SimTime, Usage};
-use serde::Serialize;
 
 use crate::machine::{Ledgers, ResultInfo};
 
@@ -26,10 +25,26 @@ pub struct PhaseRecord {
 }
 
 impl PhaseRecord {
-    /// Bundle a phase.
+    /// Bundle a phase. With tracing active, this is also the phase-seal
+    /// point: every trace event emitted since the previous seal is
+    /// attributed to this phase, along with the per-node resource splits
+    /// the exporters use to place events on the timeline.
     pub fn new(name: impl Into<String>, ledgers: Ledgers, sched_overhead: SimTime) -> Self {
+        let name = name.into();
+        #[cfg(feature = "trace")]
+        gamma_trace::with(|sink| {
+            let per_node = ledgers
+                .iter()
+                .map(|u| gamma_trace::NodeUsage {
+                    cpu_us: u.cpu.as_us(),
+                    disk_us: u.disk.as_us(),
+                    net_us: u.net.as_us(),
+                })
+                .collect();
+            sink.seal_phase(&name, per_node);
+        });
         PhaseRecord {
-            name: name.into(),
+            name,
             ledgers,
             sched_overhead,
         }
@@ -47,7 +62,7 @@ impl PhaseRecord {
 }
 
 /// A timed phase, as it appears in the final report.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PhaseSummary {
     /// Phase name.
     pub name: String,
@@ -62,7 +77,7 @@ pub struct PhaseSummary {
 }
 
 /// Everything measured about one join execution.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct JoinReport {
     /// Algorithm name.
     pub algorithm: String,

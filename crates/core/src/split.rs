@@ -21,12 +21,10 @@
 //! Appendix A Tables 3/4 when `J ≠ D`, which the **bucket analyzer**
 //! detects and repairs by adding buckets.
 
-use serde::{Deserialize, Serialize};
-
 use crate::machine::NodeId;
 
 /// One entry of a partitioning split table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SplitEntry {
     /// Destination processor.
     pub node: NodeId,
@@ -45,7 +43,7 @@ pub enum Route {
 }
 
 /// A joining split table: one entry per join process.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JoiningSplitTable {
     /// Destination join processors, in entry order.
     pub dests: Vec<NodeId>,
@@ -78,7 +76,7 @@ impl JoiningSplitTable {
 }
 
 /// A partitioning split table (Grace or Hybrid layout).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PartitioningSplitTable {
     entries: Vec<SplitEntry>,
     /// Entries belonging to bucket 1 that route to join processes rather

@@ -15,13 +15,12 @@
 //! regime the authors left to future work.
 
 use gamma_des::SimTime;
-use serde::Serialize;
 
 use crate::machine::Machine;
 use crate::report::PhaseRecord;
 
 /// Per-query service demands, one entry per processor, in seconds.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct DemandProfile {
     /// Busy seconds each node contributes to one query (CPU, disk and NI
     /// demands folded with the engine's overlap model).

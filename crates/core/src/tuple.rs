@@ -6,10 +6,8 @@
 //! is a resolved accessor (byte offset) for a 4-byte integer attribute —
 //! the only attribute kind the paper ever joins or partitions on.
 
-use serde::{Deserialize, Serialize};
-
 /// A field of a schema.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Field {
     /// 4-byte little-endian unsigned integer.
     Int(String),
@@ -36,7 +34,7 @@ impl Field {
 }
 
 /// An ordered, fixed-layout record schema.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schema {
     fields: Vec<Field>,
     width: usize,
@@ -139,7 +137,7 @@ impl Schema {
 }
 
 /// A resolved 4-byte integer attribute accessor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Attr {
     /// Byte offset of the attribute within a tuple.
     pub offset: usize,

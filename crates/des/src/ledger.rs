@@ -10,15 +10,13 @@
 
 use std::ops::{Add, AddAssign};
 
-use serde::{Deserialize, Serialize};
-
 use crate::time::SimTime;
 
 /// Pure event counters. These do not contribute to time directly — the
 /// [`Usage`] time fields do — but they are what the paper's analysis talks
 /// about (number of I/Os, short-circuited messages, probe chain lengths…)
 /// and the tests assert on them.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Counts {
     /// 8 KB pages read from a simulated disk volume.
     pub pages_read: u64,
@@ -106,7 +104,7 @@ impl AddAssign for Counts {
 /// I/O with computation via read-ahead and overlapped network DMA with
 /// computation, so a node's phase time is the *maximum* of the three, not
 /// the sum — see [`Usage::busy_time`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Usage {
     /// CPU demand.
     pub cpu: SimTime,

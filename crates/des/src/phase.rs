@@ -98,7 +98,11 @@ mod tests {
 
     #[test]
     fn phase_is_max_over_nodes() {
-        let nodes = vec![usage(100, 50, 10, 0), usage(30, 200, 5, 0), usage(80, 90, 0, 0)];
+        let nodes = vec![
+            usage(100, 50, 10, 0),
+            usage(30, 200, 5, 0),
+            usage(80, 90, 0, 0),
+        ];
         let t = phase_duration(&nodes, 10_000_000);
         assert_eq!(t.duration, SimTime::from_us(200));
         assert_eq!(t.critical_node, 1);
@@ -109,7 +113,10 @@ mod tests {
     fn ring_bound_applies_when_binding() {
         // 2 nodes each put 10 MB on the ring; at 10 MB/s that is 2 s even
         // though each node's NI time is tiny.
-        let nodes = vec![usage(1000, 0, 10, 10_000_000), usage(1000, 0, 10, 10_000_000)];
+        let nodes = vec![
+            usage(1000, 0, 10, 10_000_000),
+            usage(1000, 0, 10, 10_000_000),
+        ];
         let t = phase_duration(&nodes, 10_000_000);
         assert_eq!(t.ring_bound, SimTime::from_secs(2));
         assert_eq!(t.duration, SimTime::from_secs(2));

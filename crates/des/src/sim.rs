@@ -171,6 +171,8 @@ impl<S> Sim<S> {
             debug_assert!(ev.at >= self.clock, "event queue went backwards");
             self.clock = ev.at;
             self.events_fired += 1;
+            #[cfg(feature = "trace")]
+            gamma_trace::with(|s| s.emit_sim_step(self.clock.as_us()));
             let f = ev.run.take().expect("event closure consumed twice");
             f(self);
             return true;

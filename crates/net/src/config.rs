@@ -1,7 +1,6 @@
 //! Network cost parameters.
 
 use gamma_des::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Cost/shape parameters of the token ring and its datagram protocol.
 ///
@@ -10,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// window, checksums, buffer management) costs on the order of a couple of
 /// thousand instructions — i.e. milliseconds of CPU — while short-circuited
 /// local messages reduce to a queue hand-off.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RingConfig {
     /// Maximum packet payload in bytes (Gamma used 2 KB packets).
     pub packet_bytes: u64,
@@ -94,7 +93,10 @@ mod tests {
     fn wire_time_scales_with_bytes() {
         let c = RingConfig::gamma_1989();
         // 2048 bytes at 10 MB/s is 204.8 µs -> 205 rounded up, plus media access.
-        assert_eq!(c.wire_time(2048), SimTime::from_us(205) + c.media_access_latency);
+        assert_eq!(
+            c.wire_time(2048),
+            SimTime::from_us(205) + c.media_access_latency
+        );
         assert!(c.wire_time(4096) > c.wire_time(1024));
     }
 

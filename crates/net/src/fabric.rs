@@ -107,6 +107,14 @@ impl Fabric {
         if src == dst {
             usage[src].cpu(self.cfg.shortcircuit_cpu_per_msg);
             usage[src].counts.msgs_shortcircuit += 1;
+            #[cfg(feature = "trace")]
+            gamma_trace::emit(
+                src as u16,
+                usage[src].total_demand().as_us(),
+                gamma_trace::EventKind::ShortCircuit {
+                    bytes: bytes as u32,
+                },
+            );
         } else {
             usage[src].cpu(self.cfg.send_cpu_per_packet);
             usage[src].net(self.cfg.wire_time(bytes), bytes);
@@ -116,6 +124,25 @@ impl Fabric {
                 self.cfg.unmarshal_cpu_per_tuple.as_us() * tuples,
             ));
             usage[dst].counts.packets_recv += 1;
+            #[cfg(feature = "trace")]
+            {
+                gamma_trace::emit(
+                    src as u16,
+                    usage[src].total_demand().as_us(),
+                    gamma_trace::EventKind::PacketSend {
+                        dst: dst as u16,
+                        bytes: bytes as u32,
+                    },
+                );
+                gamma_trace::emit(
+                    dst as u16,
+                    usage[dst].total_demand().as_us(),
+                    gamma_trace::EventKind::PacketRecv {
+                        src: src as u16,
+                        bytes: bytes as u32,
+                    },
+                );
+            }
         }
     }
 
@@ -133,6 +160,25 @@ impl Fabric {
             usage[src].cpu(self.cfg.control_cpu_per_msg);
             usage[src].counts.msgs_shortcircuit += 1;
             usage[src].counts.control_msgs += 1;
+            #[cfg(feature = "trace")]
+            {
+                let at = usage[src].total_demand().as_us();
+                gamma_trace::emit(
+                    src as u16,
+                    at,
+                    gamma_trace::EventKind::ShortCircuit {
+                        bytes: bytes as u32,
+                    },
+                );
+                gamma_trace::emit(
+                    src as u16,
+                    at,
+                    gamma_trace::EventKind::Control {
+                        dst: dst as u16,
+                        bytes: bytes as u32,
+                    },
+                );
+            }
             return 0;
         }
         let packets = self.cfg.packets_for(bytes);
@@ -145,18 +191,47 @@ impl Fabric {
             usage[src].counts.packets_sent += 1;
             usage[dst].cpu(self.cfg.recv_cpu_per_packet);
             usage[dst].counts.packets_recv += 1;
+            #[cfg(feature = "trace")]
+            {
+                gamma_trace::emit(
+                    src as u16,
+                    usage[src].total_demand().as_us(),
+                    gamma_trace::EventKind::PacketSend {
+                        dst: dst as u16,
+                        bytes: chunk as u32,
+                    },
+                );
+                gamma_trace::emit(
+                    dst as u16,
+                    usage[dst].total_demand().as_us(),
+                    gamma_trace::EventKind::PacketRecv {
+                        src: src as u16,
+                        bytes: chunk as u32,
+                    },
+                );
+            }
         }
         usage[dst].cpu(self.cfg.control_cpu_per_msg);
         usage[dst].counts.control_msgs += 1;
+        #[cfg(feature = "trace")]
+        gamma_trace::emit(
+            dst as u16,
+            usage[dst].total_demand().as_us(),
+            gamma_trace::EventKind::Control {
+                dst: dst as u16,
+                bytes: bytes as u32,
+            },
+        );
         packets
     }
 
     /// Charge the receiver side of a control message sent by the (off-node)
-    /// scheduler process: operator starts, split tables, bit-filter
-    /// broadcasts. The scheduler's own serialized send cost is what the
-    /// query replay adds to response time; this accounts the receiving
-    /// node's protocol CPU and the ring occupancy. Returns packets used.
-    pub fn scheduler_control(&mut self, usage: &mut Usage, bytes: u64) -> u64 {
+    /// scheduler process to `node`: operator starts, split tables,
+    /// bit-filter broadcasts. The scheduler's own serialized send cost is
+    /// what the query replay adds to response time; this accounts the
+    /// receiving node's protocol CPU and the ring occupancy. Returns
+    /// packets used.
+    pub fn scheduler_control(&mut self, usage: &mut Usage, node: usize, bytes: u64) -> u64 {
         let bytes = bytes.max(1);
         let packets = self.cfg.packets_for(bytes);
         let mut remaining = bytes;
@@ -166,9 +241,29 @@ impl Fabric {
             usage.cpu(self.cfg.recv_cpu_per_packet);
             usage.net(self.cfg.wire_time(chunk), chunk);
             usage.counts.packets_recv += 1;
+            #[cfg(feature = "trace")]
+            gamma_trace::emit(
+                node as u16,
+                usage.total_demand().as_us(),
+                gamma_trace::EventKind::PacketRecv {
+                    src: u16::MAX, // the off-node scheduler process
+                    bytes: chunk as u32,
+                },
+            );
         }
         usage.cpu(self.cfg.control_cpu_per_msg);
         usage.counts.control_msgs += 1;
+        #[cfg(feature = "trace")]
+        gamma_trace::emit(
+            node as u16,
+            usage.total_demand().as_us(),
+            gamma_trace::EventKind::Control {
+                dst: node as u16,
+                bytes: bytes as u32,
+            },
+        );
+        #[cfg(not(feature = "trace"))]
+        let _ = node;
         packets
     }
 
@@ -193,7 +288,10 @@ mod tests {
     use super::*;
 
     fn fabric(n: usize) -> (Fabric, Vec<Usage>) {
-        (Fabric::new(RingConfig::gamma_1989(), n), vec![Usage::ZERO; n])
+        (
+            Fabric::new(RingConfig::gamma_1989(), n),
+            vec![Usage::ZERO; n],
+        )
     }
 
     #[test]
@@ -204,12 +302,18 @@ mod tests {
         for _ in 0..9 {
             f.send_tuple(&mut u, 0, 1, 208);
         }
-        assert_eq!(u[0].counts.packets_sent, 0, "9*208=1872 < 2048, still pending");
+        assert_eq!(
+            u[0].counts.packets_sent, 0,
+            "9*208=1872 < 2048, still pending"
+        );
         f.send_tuple(&mut u, 0, 1, 208);
         assert_eq!(u[0].counts.packets_sent, 1, "10th tuple flushes the packet");
         assert_eq!(u[1].counts.packets_recv, 1);
         f.flush(&mut u);
-        assert_eq!(u[0].counts.packets_sent, 2, "flush emits the partial packet");
+        assert_eq!(
+            u[0].counts.packets_sent, 2,
+            "flush emits the partial packet"
+        );
         assert!(f.is_drained());
     }
 
@@ -229,8 +333,14 @@ mod tests {
         }
         f.flush(&mut u);
         assert_eq!(u[1].counts.packets_sent, 0);
-        assert_eq!(u[1].counts.msgs_shortcircuit, 2, "one full + one partial message");
-        assert_eq!(u[1].ring_bytes, 0, "short-circuited messages never touch the ring");
+        assert_eq!(
+            u[1].counts.msgs_shortcircuit, 2,
+            "one full + one partial message"
+        );
+        assert_eq!(
+            u[1].ring_bytes, 0,
+            "short-circuited messages never touch the ring"
+        );
         // Short-circuiting is much cheaper than the remote path.
         let (mut f2, mut u2) = fabric(2);
         for _ in 0..10 {
@@ -246,7 +356,10 @@ mod tests {
         let (mut f, mut u) = fabric(3);
         f.send_tuple(&mut u, 0, 2, 2048);
         assert_eq!(u[0].ring_bytes, 2048);
-        assert_eq!(u[2].ring_bytes, 0, "receiver does not double-count ring bytes");
+        assert_eq!(
+            u[2].ring_bytes, 0,
+            "receiver does not double-count ring bytes"
+        );
     }
 
     #[test]

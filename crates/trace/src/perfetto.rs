@@ -1,0 +1,244 @@
+//! Chrome trace-event / Perfetto JSON exporter.
+//!
+//! Emits the classic `{"traceEvents":[...]}` JSON array format, which
+//! both `chrome://tracing` and [ui.perfetto.dev](https://ui.perfetto.dev)
+//! load directly. Layout:
+//!
+//! - one *process* (`pid`) per simulated node, named `node N`;
+//! - a synthetic `scheduler` process for DES kernel steps;
+//! - each sealed phase is a `"X"` complete event on every node it ran
+//!   on, with per-node `dur` equal to that node's busy time (so skew is
+//!   visible as ragged right edges) and resource splits in `args`;
+//! - operator spans are `"B"`/`"E"` events nesting inside the phase;
+//! - discrete events (page I/O, packets, hash ops, bucket lifecycle)
+//!   are `"i"` instant events.
+//!
+//! Output is built with deterministic string formatting only — no
+//! floats, no hashing — so identical runs serialize byte-identically.
+
+use crate::{EventKind, TraceSink, SCHEDULER_PHASE};
+use std::fmt::Write as _;
+
+/// Synthetic pid for the DES scheduler track.
+const SCHEDULER_PID: u32 = 1_000_000;
+
+/// Escape a string for inclusion in a JSON string literal.
+fn escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_meta(out: &mut String, pid: u32, name: &str) {
+    out.push_str("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":");
+    let _ = write!(out, "{pid}");
+    out.push_str(",\"tid\":0,\"args\":{\"name\":\"");
+    escape(name, out);
+    out.push_str("\"}}");
+}
+
+/// Append the `args` object for a discrete event.
+fn push_args(out: &mut String, kind: &EventKind) {
+    match kind {
+        EventKind::DiskRead { file, page } | EventKind::DiskWrite { file, page } => {
+            let _ = write!(out, "{{\"file\":{file},\"page\":{page}}}");
+        }
+        EventKind::PacketSend { dst, bytes } | EventKind::Control { dst, bytes } => {
+            let _ = write!(out, "{{\"dst\":{dst},\"bytes\":{bytes}}}");
+        }
+        EventKind::PacketRecv { src, bytes } => {
+            let _ = write!(out, "{{\"src\":{src},\"bytes\":{bytes}}}");
+        }
+        EventKind::ShortCircuit { bytes } => {
+            let _ = write!(out, "{{\"bytes\":{bytes}}}");
+        }
+        EventKind::HashProbe { matched } => {
+            let _ = write!(out, "{{\"matched\":{matched}}}");
+        }
+        EventKind::BucketOpen { bucket }
+        | EventKind::BucketClose { bucket }
+        | EventKind::BucketSpill { bucket } => {
+            let _ = write!(out, "{{\"bucket\":{bucket}}}");
+        }
+        _ => out.push_str("{}"),
+    }
+}
+
+/// Render the sink as a Chrome trace-event JSON document.
+///
+/// Phases must have been replayed (`phase_replayed`) for spans to carry
+/// absolute times; un-replayed phases are skipped, and their events with
+/// them.
+pub fn to_json(sink: &TraceSink) -> String {
+    let mut out = String::with_capacity(256 + sink.len() * 96);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if !std::mem::take(&mut first) {
+            out.push_str(",\n");
+        }
+    };
+
+    // Process metadata: one track per node that appears in any phase.
+    let nodes = sink
+        .phases
+        .iter()
+        .map(|p| p.per_node.len())
+        .max()
+        .unwrap_or(0);
+    for n in 0..nodes {
+        sep(&mut out);
+        push_meta(&mut out, n as u32, &format!("node {n}"));
+    }
+    if sink.totals.sim_steps > 0 {
+        sep(&mut out);
+        push_meta(&mut out, SCHEDULER_PID, "scheduler");
+    }
+
+    // Phase spans: one "X" per (phase, node) with dur = node busy time.
+    for (idx, ph) in sink.phases.iter().enumerate() {
+        let (Some(start), Some(dur)) = (ph.start_us, ph.dur_us) else {
+            continue;
+        };
+        let critical = ph.critical_node();
+        for (n, usage) in ph.per_node.iter().enumerate() {
+            if usage.demand_us() == 0 {
+                continue;
+            }
+            sep(&mut out);
+            out.push_str("{\"name\":\"");
+            escape(&ph.name, &mut out);
+            let _ = write!(
+                out,
+                "\",\"ph\":\"X\",\"pid\":{n},\"tid\":0,\"ts\":{start},\"dur\":{}",
+                usage.busy_us().min(dur)
+            );
+            let _ = write!(
+                out,
+                ",\"args\":{{\"phase_index\":{idx},\"cpu_us\":{},\"disk_us\":{},\"net_us\":{},\"dominant\":\"{}\",\"critical\":{}}}}}",
+                usage.cpu_us,
+                usage.disk_us,
+                usage.net_us,
+                usage.dominant(),
+                critical == Some(n),
+            );
+        }
+    }
+
+    // Discrete events and operator spans, in recording order.
+    for ev in sink.events() {
+        let Some(ts) = sink.absolute_ts(ev) else {
+            continue;
+        };
+        let (pid, tid) = if ev.phase == SCHEDULER_PHASE {
+            (SCHEDULER_PID, 0u32)
+        } else {
+            (ev.node as u32, 0u32)
+        };
+        sep(&mut out);
+        match ev.kind {
+            EventKind::SpanBegin { name } => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{name}\",\"ph\":\"B\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts}}}"
+                );
+            }
+            EventKind::SpanEnd { name } => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{name}\",\"ph\":\"E\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts}}}"
+                );
+            }
+            kind => {
+                out.push_str("{\"name\":\"");
+                out.push_str(kind.label());
+                let _ = write!(
+                    out,
+                    "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts},\"args\":"
+                );
+                push_args(&mut out, &kind);
+                out.push('}');
+            }
+        }
+    }
+
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Drop-in check that a document at least parses as the expected shape.
+/// Used by tests; intentionally shallow (no full JSON parser offline).
+pub fn looks_like_trace_json(doc: &str) -> bool {
+    let trimmed = doc.trim();
+    trimmed.starts_with("{\"displayTimeUnit\"")
+        && trimmed.contains("\"traceEvents\":[")
+        && trimmed.ends_with("]}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeUsage;
+
+    fn sample_sink() -> TraceSink {
+        let mut sink = TraceSink::new(64);
+        sink.emit(0, 5, EventKind::DiskRead { file: 1, page: 9 });
+        sink.emit(
+            1,
+            3,
+            EventKind::PacketSend {
+                dst: 0,
+                bytes: 2048,
+            },
+        );
+        sink.seal_phase(
+            "build",
+            vec![
+                NodeUsage {
+                    cpu_us: 10,
+                    disk_us: 20,
+                    net_us: 0,
+                },
+                NodeUsage {
+                    cpu_us: 8,
+                    disk_us: 0,
+                    net_us: 4,
+                },
+            ],
+        );
+        sink.phase_replayed(0, 0, 20);
+        sink
+    }
+
+    #[test]
+    fn export_shape() {
+        let doc = to_json(&sample_sink());
+        assert!(looks_like_trace_json(&doc));
+        assert!(doc.contains("\"name\":\"node 0\""));
+        assert!(doc.contains("\"name\":\"build\""));
+        assert!(doc.contains("\"name\":\"disk_read\""));
+        assert!(doc.contains("\"ph\":\"X\""));
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        assert_eq!(to_json(&sample_sink()), to_json(&sample_sink()));
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        let mut s = String::new();
+        escape("a\"b\\c\nd", &mut s);
+        assert_eq!(s, "a\\\"b\\\\c\\nd");
+    }
+}

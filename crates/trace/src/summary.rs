@@ -1,0 +1,170 @@
+//! Text critical-path summary.
+//!
+//! Phases in this simulator execute strictly in sequence (`replay_phases`
+//! lays them end-to-end on the virtual clock), so the critical path of a
+//! join is the chain of per-phase critical nodes: for each phase, the
+//! node whose busy time set the phase duration, and within that node the
+//! resource (cpu / disk / net) that dominates. The summary names that
+//! chain, ranks phases by their share of response time, and reports the
+//! event totals so a reader can reconcile the trace against the ledger.
+
+use crate::TraceSink;
+use std::fmt::Write as _;
+
+fn pct(part: u64, whole: u64) -> u64 {
+    (part * 100).checked_div(whole).unwrap_or(0)
+}
+
+/// Render a plain-text critical-path summary of a finished trace.
+pub fn critical_path(sink: &TraceSink) -> String {
+    let mut out = String::new();
+    let response = sink.response_us();
+    let _ = writeln!(out, "critical-path summary");
+    let _ = writeln!(out, "=====================");
+    let _ = writeln!(
+        out,
+        "response time: {}.{:06} s  ({} phases, {} events recorded, {} evicted)",
+        response / 1_000_000,
+        response % 1_000_000,
+        sink.phases.len(),
+        sink.len(),
+        sink.dropped,
+    );
+    out.push('\n');
+
+    // Phase chain in execution order.
+    let _ = writeln!(
+        out,
+        "{:<28} {:>12} {:>12} {:>6} {:>9} {:>5}",
+        "phase", "start_us", "dur_us", "node", "dominant", "share"
+    );
+    for ph in &sink.phases {
+        let (Some(start), Some(dur)) = (ph.start_us, ph.dur_us) else {
+            let _ = writeln!(out, "{:<28} (not replayed)", ph.name);
+            continue;
+        };
+        let crit = ph.critical_node().unwrap_or(0);
+        let dominant = ph.per_node.get(crit).map(|u| u.dominant()).unwrap_or("cpu");
+        let _ = writeln!(
+            out,
+            "{:<28} {:>12} {:>12} {:>6} {:>9} {:>4}%",
+            ph.name,
+            start,
+            dur,
+            crit,
+            dominant,
+            pct(dur, response),
+        );
+    }
+    out.push('\n');
+
+    // The slowest link in the chain.
+    if let Some(slowest) = sink
+        .phases
+        .iter()
+        .filter(|p| p.dur_us.is_some())
+        .max_by_key(|p| p.dur_us.unwrap_or(0))
+    {
+        let crit = slowest.critical_node().unwrap_or(0);
+        let usage = slowest.per_node.get(crit).copied().unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "slowest link: phase '{}' on node {} ({} µs, {}% of response)",
+            slowest.name,
+            crit,
+            slowest.dur_us.unwrap_or(0),
+            pct(slowest.dur_us.unwrap_or(0), response),
+        );
+        let _ = writeln!(
+            out,
+            "  dominant component: {}  (cpu {} µs, disk {} µs, net {} µs)",
+            usage.dominant(),
+            usage.cpu_us,
+            usage.disk_us,
+            usage.net_us,
+        );
+        out.push('\n');
+    }
+
+    // Event totals for ledger reconciliation.
+    let t = &sink.totals;
+    let _ = writeln!(out, "event totals");
+    let _ = writeln!(
+        out,
+        "  disk: {} reads, {} writes",
+        t.disk_reads, t.disk_writes
+    );
+    let _ = writeln!(
+        out,
+        "  net: {} packets sent, {} received, {} short-circuited, {} control",
+        t.packets_sent, t.packets_recv, t.short_circuits, t.control_msgs
+    );
+    let _ = writeln!(
+        out,
+        "  hash: {} inserts, {} probes",
+        t.hash_inserts, t.hash_probes
+    );
+    let _ = writeln!(
+        out,
+        "  buckets: {} opened, {} closed, {} spilled",
+        t.bucket_opens, t.bucket_closes, t.bucket_spills
+    );
+    let _ = writeln!(
+        out,
+        "  kernel: {} sim steps, {} operator spans",
+        t.sim_steps, t.spans
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EventKind, NodeUsage, TraceSink};
+
+    #[test]
+    fn summary_names_slowest_phase() {
+        let mut sink = TraceSink::new(16);
+        sink.emit(0, 1, EventKind::HashInsert);
+        sink.seal_phase(
+            "build",
+            vec![NodeUsage {
+                cpu_us: 100,
+                disk_us: 40,
+                net_us: 0,
+            }],
+        );
+        sink.seal_phase(
+            "probe",
+            vec![NodeUsage {
+                cpu_us: 10,
+                disk_us: 300,
+                net_us: 0,
+            }],
+        );
+        sink.phase_replayed(0, 0, 100);
+        sink.phase_replayed(1, 100, 300);
+        let text = critical_path(&sink);
+        assert!(text.contains("slowest link: phase 'probe' on node 0"));
+        assert!(text.contains("dominant component: disk"));
+        assert!(text.contains("1 inserts"));
+    }
+
+    #[test]
+    fn summary_is_deterministic() {
+        let build = |_| {
+            let mut sink = TraceSink::new(8);
+            sink.seal_phase(
+                "scan",
+                vec![NodeUsage {
+                    cpu_us: 7,
+                    disk_us: 3,
+                    net_us: 1,
+                }],
+            );
+            sink.phase_replayed(0, 0, 7);
+            critical_path(&sink)
+        };
+        assert_eq!(build(0), build(1));
+    }
+}

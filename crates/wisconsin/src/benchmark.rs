@@ -11,14 +11,13 @@
 use gamma_core::algorithms::common::RangePred;
 use gamma_core::operators::{self, AggFn};
 use gamma_core::{run_join, Algorithm, Machine, RelationId};
-use serde::Serialize;
 
 use crate::gen::WisconsinGen;
 use crate::load::load_hashed;
 use crate::queries::join_abprime;
 
 /// One benchmark query's outcome.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct QueryResult {
     /// Query name, following the benchmark's naming.
     pub name: String,
@@ -121,7 +120,8 @@ impl WisconsinBenchmark {
     /// Scalar MIN over `unique1`.
     pub fn min_scalar(&mut self) -> QueryResult {
         let attr = self.attr("unique1");
-        let (v, rep) = operators::aggregate_scalar(&mut self.machine, self.a, attr, AggFn::Min, None);
+        let (v, rep) =
+            operators::aggregate_scalar(&mut self.machine, self.a, attr, AggFn::Min, None);
         assert_eq!(v, 0, "unique1 is a permutation of 0..n");
         QueryResult {
             name: "MIN(unique1) scalar".into(),

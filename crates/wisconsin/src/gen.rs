@@ -8,8 +8,8 @@
 //! within 50,000..50,243 and a maximum of 77 duplicates of one value —
 //! both reproduced by construction here, see the tests).
 
-use gamma_core::{Attr, Schema};
 use gamma_core::tuple::Field;
+use gamma_core::{Attr, Schema};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -116,10 +116,7 @@ impl WisconsinGen {
         (0..n)
             .map(|i| {
                 let a = u1[i];
-                let nval = normal
-                    .sample(&mut rng)
-                    .round()
-                    .clamp(0.0, n as f64 - 1.0) as u32;
+                let nval = normal.sample(&mut rng).round().clamp(0.0, n as f64 - 1.0) as u32;
                 WisconsinRow {
                     ints: [
                         a,

@@ -32,9 +32,7 @@ pub fn range_cuts(rows: &[WisconsinRow], attr_name: &str, disks: usize) -> Vec<u
     assert!(disks >= 1 && !rows.is_empty());
     let mut vals: Vec<u32> = rows.iter().map(|r| r.get(attr_name)).collect();
     vals.sort_unstable();
-    (1..disks)
-        .map(|i| vals[i * vals.len() / disks])
-        .collect()
+    (1..disks).map(|i| vals[i * vals.len() / disks]).collect()
 }
 
 /// Load range-partitioned on an attribute with equal-depth cuts.
@@ -47,7 +45,12 @@ pub fn load_range(
     let schema = WisconsinGen::schema();
     let attr = schema.int_attr(attr_name);
     let cuts = range_cuts(rows, attr_name, machine.cfg.disk_nodes);
-    machine.load_relation(name, schema, Declustering::Range { attr, cuts }, to_tuples(rows))
+    machine.load_relation(
+        name,
+        schema,
+        Declustering::Range { attr, cuts },
+        to_tuples(rows),
+    )
 }
 
 #[cfg(test)]
@@ -63,7 +66,10 @@ mod tests {
         let id = load_range(&mut m, "a", &rows, "normal");
         let rel = m.relation(id);
         for n in 0..8 {
-            let cnt = m.volumes[n].as_ref().unwrap().file_records(rel.fragments[n]);
+            let cnt = m.volumes[n]
+                .as_ref()
+                .unwrap()
+                .file_records(rel.fragments[n]);
             assert!(
                 (900..=1100).contains(&cnt),
                 "node {n} holds {cnt} of 8000 — range cuts failed to balance"
@@ -79,7 +85,10 @@ mod tests {
         let id = load_hashed(&mut m, "a", &rows, "unique1");
         let rel = m.relation(id);
         for n in 0..8 {
-            let cnt = m.volumes[n].as_ref().unwrap().file_records(rel.fragments[n]);
+            let cnt = m.volumes[n]
+                .as_ref()
+                .unwrap()
+                .file_records(rel.fragments[n]);
             assert!((800..=1200).contains(&cnt), "node {n}: {cnt}");
         }
         assert_eq!(rel.data_bytes, 8_000 * 208);

@@ -75,7 +75,10 @@ mod tests {
         let a = g.relation(1_000, 0);
         let bprime = g.sample(&a, 100, 1);
         let e = oracle_join(&bprime, &a, "unique1", "unique1", None, None);
-        assert_eq!(e.tuples, 100, "each Bprime tuple matches exactly one A tuple");
+        assert_eq!(
+            e.tuples, 100,
+            "each Bprime tuple matches exactly one A tuple"
+        );
     }
 
     #[test]

@@ -17,14 +17,8 @@ const MIN: usize = B / 2;
 
 #[derive(Debug, Clone)]
 enum Node<K, V> {
-    Leaf {
-        keys: Vec<K>,
-        vals: Vec<V>,
-    },
-    Internal {
-        keys: Vec<K>,
-        kids: Vec<Node<K, V>>,
-    },
+    Leaf { keys: Vec<K>, vals: Vec<V> },
+    Internal { keys: Vec<K>, kids: Vec<Node<K, V>> },
 }
 
 impl<K: Ord + Clone, V> Node<K, V> {
@@ -462,7 +456,11 @@ mod tests {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
             let k = (x >> 33) % 512;
             if step % 3 == 2 {
-                assert_eq!(t.remove(&k).is_some(), model.remove(&k).is_some(), "step {step}");
+                assert_eq!(
+                    t.remove(&k).is_some(),
+                    model.remove(&k).is_some(),
+                    "step {step}"
+                );
             } else {
                 if model.insert(k, step).is_none() {
                     t.insert(k, step);

@@ -7,8 +7,6 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::page::Page;
 
 /// Identifies a file within one volume.
@@ -20,7 +18,7 @@ pub type FileId = u64;
 /// average seek, ~8 ms half-rotation, ~1.8 MB/s transfer (4.5 ms for 8 KB).
 /// Sequential access with WiSS's one-page readahead avoids the seek and most
 /// rotational delay.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DiskConfig {
     /// Page size in bytes (the paper used 8 KB in all experiments).
     pub page_bytes: usize,
@@ -130,7 +128,10 @@ impl Volume {
 
     /// Borrow a page.
     pub fn page(&self, file: FileId, idx: usize) -> &Page {
-        &self.files.get(&file).unwrap_or_else(|| panic!("unknown file {file}"))[idx]
+        &self
+            .files
+            .get(&file)
+            .unwrap_or_else(|| panic!("unknown file {file}"))[idx]
     }
 
     /// Mutably borrow a page (in-place record updates; the byte-stream

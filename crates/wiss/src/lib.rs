@@ -36,8 +36,8 @@ pub mod stream;
 
 pub use disk::{DiskConfig, FileId, Volume};
 pub use heap::{HeapScan, HeapWriter};
+pub use longdata::{LongItemId, LongStore};
 pub use page::Page;
 pub use pool::BufferPool;
-pub use longdata::{LongItemId, LongStore};
 pub use sort::{external_sort, SortConfig, SortCost, SortStats};
 pub use stream::ByteStream;

@@ -9,14 +9,13 @@
 use std::collections::HashMap;
 
 use gamma_des::Usage;
-use serde::{Deserialize, Serialize};
 
 use crate::disk::Volume;
 use crate::pool::BufferPool;
 use crate::stream::ByteStream;
 
 /// Descriptor of one long data item (what the owning record stores).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LongItemId(u64);
 
 impl LongItemId {

@@ -28,6 +28,8 @@ pub struct BufferPool {
     head: HeadPos,
     hits: u64,
     misses: u64,
+    /// Owning node, for trace attribution (set by the machine at build).
+    node: u16,
 }
 
 impl BufferPool {
@@ -45,7 +47,14 @@ impl BufferPool {
             head: HeadPos::default(),
             hits: 0,
             misses: 0,
+            node: 0,
         }
+    }
+
+    /// Tag this pool with its owning node so trace events attribute I/O
+    /// to the right track. Pools default to node 0.
+    pub fn set_node(&mut self, node: u16) {
+        self.node = node;
     }
 
     /// Disk model in force.
@@ -87,6 +96,15 @@ impl BufferPool {
         };
         usage.disk(SimTime::from_us(us));
         usage.counts.pages_read += 1;
+        #[cfg(feature = "trace")]
+        gamma_trace::emit(
+            self.node,
+            usage.total_demand().as_us(),
+            gamma_trace::EventKind::DiskRead {
+                file: file as u32,
+                page: page as u32,
+            },
+        );
         self.touch(key);
         false
     }
@@ -101,6 +119,15 @@ impl BufferPool {
         };
         usage.disk(SimTime::from_us(us));
         usage.counts.pages_written += 1;
+        #[cfg(feature = "trace")]
+        gamma_trace::emit(
+            self.node,
+            usage.total_demand().as_us(),
+            gamma_trace::EventKind::DiskWrite {
+                file: file as u32,
+                page: page as u32,
+            },
+        );
         self.touch((file, page));
     }
 

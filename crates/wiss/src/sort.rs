@@ -20,14 +20,13 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use gamma_des::{SimTime, Usage};
-use serde::{Deserialize, Serialize};
 
 use crate::disk::{FileId, Volume};
 use crate::heap::{HeapScan, HeapWriter};
 use crate::pool::BufferPool;
 
 /// Sort workspace shape.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SortConfig {
     /// Bytes of memory available for sorting/merging at this node.
     pub mem_bytes: u64,
@@ -44,7 +43,7 @@ impl SortConfig {
 }
 
 /// CPU cost knobs for sorting.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SortCost {
     /// CPU per key comparison, µs.
     pub compare_us: u64,
@@ -64,7 +63,7 @@ impl Default for SortCost {
 }
 
 /// What a sort did (asserted on by tests, reported by the harness).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SortStats {
     /// Records sorted.
     pub records: u64,
@@ -113,27 +112,32 @@ fn form_runs<K: Ord>(
         }
     }
 
-    let flush =
-        |workspace: &mut Vec<(K, Vec<u8>)>, ws_bytes: &mut u64, vol: &mut Volume, pool: &mut BufferPool, usage: &mut Usage, stats: &mut SortStats, runs: &mut Vec<FileId>| {
-            if workspace.is_empty() {
-                return;
-            }
-            let mut compares = 0u64;
-            workspace.sort_by(|a, b| {
-                compares += 1;
-                a.0.cmp(&b.0)
-            });
-            charge_compares(usage, cost, compares, stats);
-            let mut w = HeapWriter::create(vol, cfg.page_bytes);
-            for (_, rec) in workspace.iter() {
-                w.push(vol, pool, usage, rec);
-            }
-            charge_moves(usage, cost, workspace.len() as u64);
-            runs.push(w.finish(vol, pool, usage));
-            stats.initial_runs += 1;
-            workspace.clear();
-            *ws_bytes = 0;
-        };
+    let flush = |workspace: &mut Vec<(K, Vec<u8>)>,
+                 ws_bytes: &mut u64,
+                 vol: &mut Volume,
+                 pool: &mut BufferPool,
+                 usage: &mut Usage,
+                 stats: &mut SortStats,
+                 runs: &mut Vec<FileId>| {
+        if workspace.is_empty() {
+            return;
+        }
+        let mut compares = 0u64;
+        workspace.sort_by(|a, b| {
+            compares += 1;
+            a.0.cmp(&b.0)
+        });
+        charge_compares(usage, cost, compares, stats);
+        let mut w = HeapWriter::create(vol, cfg.page_bytes);
+        for (_, rec) in workspace.iter() {
+            w.push(vol, pool, usage, rec);
+        }
+        charge_moves(usage, cost, workspace.len() as u64);
+        runs.push(w.finish(vol, pool, usage));
+        stats.initial_runs += 1;
+        workspace.clear();
+        *ws_bytes = 0;
+    };
 
     for rec in records {
         stats.records += 1;
@@ -141,10 +145,26 @@ fn form_runs<K: Ord>(
         charge_moves(usage, cost, 1);
         workspace.push((key(&rec), rec));
         if ws_bytes >= cfg.mem_bytes {
-            flush(&mut workspace, &mut ws_bytes, vol, pool, usage, stats, &mut runs);
+            flush(
+                &mut workspace,
+                &mut ws_bytes,
+                vol,
+                pool,
+                usage,
+                stats,
+                &mut runs,
+            );
         }
     }
-    flush(&mut workspace, &mut ws_bytes, vol, pool, usage, stats, &mut runs);
+    flush(
+        &mut workspace,
+        &mut ws_bytes,
+        vol,
+        pool,
+        usage,
+        stats,
+        &mut runs,
+    );
     runs
 }
 
@@ -396,13 +416,23 @@ mod tests {
     #[test]
     fn sorts_a_permutation() {
         let (mut vol, mut pool, mut u) = setup();
-        let vals: Vec<u32> = (0..5000).map(|i| (i * 2654435761u64 % 5000) as u32).collect();
+        let vals: Vec<u32> = (0..5000)
+            .map(|i| (i * 2654435761u64 % 5000) as u32)
+            .collect();
         let input = write_input(&mut vol, &mut pool, &mut u, &vals);
         let cfg = SortConfig {
             mem_bytes: 16 * 1024,
             page_bytes: 8192,
         };
-        let (out, stats) = external_sort(&mut vol, &mut pool, input, &key_u32, cfg, &SortCost::default(), &mut u);
+        let (out, stats) = external_sort(
+            &mut vol,
+            &mut pool,
+            input,
+            &key_u32,
+            cfg,
+            &SortCost::default(),
+            &mut u,
+        );
         assert_eq!(stats.records, 5000);
         assert!(stats.initial_runs > 1);
         let mut got = Vec::new();
@@ -424,7 +454,15 @@ mod tests {
             mem_bytes: 1 << 20,
             page_bytes: 8192,
         };
-        let (out, stats) = external_sort(&mut vol, &mut pool, input, &key_u32, cfg, &SortCost::default(), &mut u);
+        let (out, stats) = external_sort(
+            &mut vol,
+            &mut pool,
+            input,
+            &key_u32,
+            cfg,
+            &SortCost::default(),
+            &mut u,
+        );
         assert_eq!(stats.initial_runs, 1);
         assert_eq!(stats.merge_passes, 0);
         assert_eq!(vol.file_records(out), 5);
@@ -438,7 +476,15 @@ mod tests {
             mem_bytes: 1024,
             page_bytes: 8192,
         };
-        let (out, stats) = external_sort(&mut vol, &mut pool, input, &key_u32, cfg, &SortCost::default(), &mut u);
+        let (out, stats) = external_sort(
+            &mut vol,
+            &mut pool,
+            input,
+            &key_u32,
+            cfg,
+            &SortCost::default(),
+            &mut u,
+        );
         assert_eq!(stats.records, 0);
         assert_eq!(vol.file_pages(out), 0);
     }
@@ -453,13 +499,23 @@ mod tests {
                 mem_bytes: mem,
                 page_bytes: 8192,
             };
-            let (_, stats) =
-                external_sort(&mut vol, &mut pool, input, &key_u32, cfg, &SortCost::default(), &mut u);
+            let (_, stats) = external_sort(
+                &mut vol,
+                &mut pool,
+                input,
+                &key_u32,
+                cfg,
+                &SortCost::default(),
+                &mut u,
+            );
             stats.merge_passes
         };
         let big = passes_for(512 * 1024);
         let small = passes_for(24 * 1024);
-        assert!(small > big, "less memory must mean more passes ({small} vs {big})");
+        assert!(
+            small > big,
+            "less memory must mean more passes ({small} vs {big})"
+        );
     }
 
     #[test]
@@ -471,8 +527,15 @@ mod tests {
             mem_bytes: 24 * 1024,
             page_bytes: 8192,
         };
-        let (runs, stats) =
-            sort_into_runs(&mut vol, &mut pool, input, &key_u32, cfg, &SortCost::default(), &mut u);
+        let (runs, stats) = sort_into_runs(
+            &mut vol,
+            &mut pool,
+            input,
+            &key_u32,
+            cfg,
+            &SortCost::default(),
+            &mut u,
+        );
         assert!(runs.len() > 1, "should leave several runs");
         assert!(runs.len() <= cfg.fan_in());
         assert!(stats.initial_runs >= runs.len() as u64);
@@ -495,7 +558,15 @@ mod tests {
             mem_bytes: 8 * 1024,
             page_bytes: 8192,
         };
-        let (out, stats) = external_sort(&mut vol, &mut pool, input, &key_u32, cfg, &SortCost::default(), &mut u);
+        let (out, stats) = external_sort(
+            &mut vol,
+            &mut pool,
+            input,
+            &key_u32,
+            cfg,
+            &SortCost::default(),
+            &mut u,
+        );
         assert_eq!(stats.records, 500);
         assert_eq!(vol.file_records(out), 500);
     }
@@ -509,7 +580,15 @@ mod tests {
             page_bytes: 8192,
         };
         let before = vol.file_records(input);
-        let _ = external_sort(&mut vol, &mut pool, input, &key_u32, cfg, &SortCost::default(), &mut u);
+        let _ = external_sort(
+            &mut vol,
+            &mut pool,
+            input,
+            &key_u32,
+            cfg,
+            &SortCost::default(),
+            &mut u,
+        );
         assert_eq!(vol.file_records(input), before);
     }
 

@@ -63,7 +63,13 @@ impl ByteStream {
         self.file
     }
 
-    fn ensure_pages(&mut self, vol: &mut Volume, pool: &mut BufferPool, usage: &mut Usage, upto: u64) {
+    fn ensure_pages(
+        &mut self,
+        vol: &mut Volume,
+        pool: &mut BufferPool,
+        usage: &mut Usage,
+        upto: u64,
+    ) {
         let needed = (upto as usize).div_ceil(self.chunk);
         let mut have = vol.file_pages(self.file);
         while have < needed {

@@ -30,11 +30,36 @@ fn main() {
     let bprime_rows = gen.sample(&a_rows, 10_000, 1);
 
     let scenarios = [
-        Scenario { name: "uniform keys, plenty of memory", inner_attr: "unique1", outer_attr: "unique1", ratio: 1.0 },
-        Scenario { name: "uniform keys, tight memory", inner_attr: "unique1", outer_attr: "unique1", ratio: 0.17 },
-        Scenario { name: "skewed inner (NU), plenty of memory", inner_attr: "normal", outer_attr: "unique1", ratio: 1.0 },
-        Scenario { name: "skewed inner (NU), tight memory", inner_attr: "normal", outer_attr: "unique1", ratio: 0.12 },
-        Scenario { name: "skewed outer (UN), tight memory", inner_attr: "unique1", outer_attr: "normal", ratio: 0.17 },
+        Scenario {
+            name: "uniform keys, plenty of memory",
+            inner_attr: "unique1",
+            outer_attr: "unique1",
+            ratio: 1.0,
+        },
+        Scenario {
+            name: "uniform keys, tight memory",
+            inner_attr: "unique1",
+            outer_attr: "unique1",
+            ratio: 0.17,
+        },
+        Scenario {
+            name: "skewed inner (NU), plenty of memory",
+            inner_attr: "normal",
+            outer_attr: "unique1",
+            ratio: 1.0,
+        },
+        Scenario {
+            name: "skewed inner (NU), tight memory",
+            inner_attr: "normal",
+            outer_attr: "unique1",
+            ratio: 0.12,
+        },
+        Scenario {
+            name: "skewed outer (UN), tight memory",
+            inner_attr: "unique1",
+            outer_attr: "normal",
+            ratio: 0.17,
+        },
     ];
 
     for sc in &scenarios {
@@ -43,18 +68,25 @@ fn main() {
         let mut machine = Machine::new(MachineConfig::local_8());
         let a = load_range(&mut machine, "A", &a_rows, sc.outer_attr);
         let bprime = load_range(&mut machine, "Bprime", &bprime_rows, sc.inner_attr);
-        let memory =
-            (machine.relation(bprime).data_bytes as f64 * sc.ratio).ceil() as u64;
+        let memory = (machine.relation(bprime).data_bytes as f64 * sc.ratio).ceil() as u64;
 
         println!("\n# {}  (memory ratio {:.2})", sc.name, sc.ratio);
         let mut best: Option<(String, f64)> = None;
         for alg in Algorithm::ALL {
-            let mut spec =
-                join_abprime(alg, bprime, a, sc.inner_attr, sc.outer_attr, memory);
+            let mut spec = join_abprime(alg, bprime, a, sc.inner_attr, sc.outer_attr, memory);
             spec.bit_filter = true; // "bit filtering should be used because it is cheap"
             let report = run_join(&mut machine, &spec);
-            let marker = if report.overflow_passes > 0 { "  (overflowed)" } else { "" };
-            println!("  {:<12} {:>8.2}s{}", report.algorithm, report.seconds(), marker);
+            let marker = if report.overflow_passes > 0 {
+                "  (overflowed)"
+            } else {
+                ""
+            };
+            println!(
+                "  {:<12} {:>8.2}s{}",
+                report.algorithm,
+                report.seconds(),
+                marker
+            );
             if best.as_ref().is_none_or(|(_, s)| report.seconds() < *s) {
                 best = Some((report.algorithm.clone(), report.seconds()));
             }

@@ -13,8 +13,12 @@ use gamma_joins::core::cost::CostModel;
 use gamma_joins::core::{run_join, Algorithm, Machine, MachineConfig};
 use gamma_joins::wisconsin::{join_abprime, load_hashed, WisconsinGen};
 
-fn run_once(cfg: MachineConfig, a_rows: &[gamma_joins::wisconsin::WisconsinRow],
-            b_rows: &[gamma_joins::wisconsin::WisconsinRow], ratio: f64) -> f64 {
+fn run_once(
+    cfg: MachineConfig,
+    a_rows: &[gamma_joins::wisconsin::WisconsinRow],
+    b_rows: &[gamma_joins::wisconsin::WisconsinRow],
+    ratio: f64,
+) -> f64 {
     let mut machine = Machine::new(cfg);
     let a = load_hashed(&mut machine, "A", a_rows, "unique1");
     let b = load_hashed(&mut machine, "Bprime", b_rows, "unique1");
@@ -55,7 +59,11 @@ fn main() {
         cost.disk.seq_write_us = 2_500 + scale;
         cost.disk.rand_read_us = 23_500 + scale;
         cost.disk.rand_write_us = 25_500 + scale;
-        let cfg = MachineConfig { disk_nodes: 8, diskless_nodes: 0, cost };
+        let cfg = MachineConfig {
+            disk_nodes: 8,
+            diskless_nodes: 0,
+            cost,
+        };
         let secs = run_once(cfg, &a_rows, &b_rows, 0.25);
         println!("{:<10} {:>12.2}", format!("{}B", page), secs);
     }
@@ -66,7 +74,11 @@ fn main() {
     for packet in [512u64, 1024, 2048, 4096, 8192] {
         let mut cost = CostModel::gamma_1989();
         cost.ring.packet_bytes = packet;
-        let cfg = MachineConfig { disk_nodes: 8, diskless_nodes: 0, cost };
+        let cfg = MachineConfig {
+            disk_nodes: 8,
+            diskless_nodes: 0,
+            cost,
+        };
         let mut machine = Machine::new(cfg);
         let a = load_hashed(&mut machine, "A", &a_rows, "unique1");
         let b = load_hashed(&mut machine, "Bprime", &b_rows, "unique1");

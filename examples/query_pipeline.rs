@@ -36,7 +36,11 @@ fn main() {
 
     // ---- Stage 1: indexed selection of 10% of B ----
     let (index, build_report) = operators::build_index(&mut machine, b, u1);
-    let pred = RangePred { attr: u1, lo: 0, hi: 9_999 };
+    let pred = RangePred {
+        attr: u1,
+        lo: 0,
+        hi: 9_999,
+    };
     let (bsel, sel_report) = operators::select_indexed(&mut machine, &index, pred, "Bsel");
     println!(
         "index build: {:>8.2}s   indexed select -> {} tuples in {:>6.2}s ({} page reads)",
@@ -102,9 +106,7 @@ fn main() {
     println!("total matches: {total} (expected 10,000 — one per selected B tuple)");
     assert_eq!(total, 10_000);
 
-    let pipeline = build_report.response
-        + sel_report.response
-        + join_report.response
-        + agg_report.response;
+    let pipeline =
+        build_report.response + sel_report.response + join_report.response + agg_report.response;
     println!("\nend-to-end virtual time: {:.2}s", pipeline.as_secs());
 }

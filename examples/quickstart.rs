@@ -24,17 +24,26 @@ fn main() {
     let inner_bytes = machine.relation(bprime).data_bytes;
 
     let expect = oracle_join(&bprime_rows, &a_rows, "unique1", "unique1", None, None);
-    println!("joinABprime: |A| = {}, |Bprime| = {}, expecting {} result tuples\n",
-        a_rows.len(), bprime_rows.len(), expect.tuples);
+    println!(
+        "joinABprime: |A| = {}, |Bprime| = {}, expecting {} result tuples\n",
+        a_rows.len(),
+        bprime_rows.len(),
+        expect.tuples
+    );
 
-    println!("{:<12} {:>8} {:>12} {:>10} {:>10} {:>8}",
-        "algorithm", "ratio", "response(s)", "pageIOs", "packets", "buckets");
+    println!(
+        "{:<12} {:>8} {:>12} {:>10} {:>10} {:>8}",
+        "algorithm", "ratio", "response(s)", "pageIOs", "packets", "buckets"
+    );
     for ratio in [1.0f64, 0.25] {
         let memory = (inner_bytes as f64 * ratio).ceil() as u64;
         for alg in Algorithm::ALL {
             let spec = join_abprime(alg, bprime, a, "unique1", "unique1", memory);
             let report = run_join(&mut machine, &spec);
-            assert_eq!(report.result_tuples, expect.tuples, "validated against the oracle");
+            assert_eq!(
+                report.result_tuples, expect.tuples,
+                "validated against the oracle"
+            );
             assert_eq!(report.result_checksum, expect.checksum);
             println!(
                 "{:<12} {:>8.2} {:>12.2} {:>10} {:>10} {:>8}",

@@ -28,9 +28,14 @@ fn main() {
 
     for (tag, inner_attr, outer_attr) in combos {
         let expect = oracle_join(&bprime_rows, &a_rows, inner_attr, outer_attr, None, None);
-        println!("\n# {tag} join (inner={inner_attr}, outer={outer_attr}) — {} result tuples", expect.tuples);
-        println!("{:<12} {:>12} {:>12} {:>10} {:>8}",
-            "algorithm", "plain(s)", "filtered(s)", "gain", "ovfl");
+        println!(
+            "\n# {tag} join (inner={inner_attr}, outer={outer_attr}) — {} result tuples",
+            expect.tuples
+        );
+        println!(
+            "{:<12} {:>12} {:>12} {:>10} {:>8}",
+            "algorithm", "plain(s)", "filtered(s)", "gain", "ovfl"
+        );
         for alg in Algorithm::ALL {
             let mut secs = [0.0f64; 2];
             let mut ovfl = 0;
@@ -39,8 +44,7 @@ fn main() {
                 let a = load_range(&mut machine, "A", &a_rows, outer_attr);
                 let bprime = load_range(&mut machine, "Bprime", &bprime_rows, inner_attr);
                 // The paper's stressed case: 17% memory.
-                let memory =
-                    (machine.relation(bprime).data_bytes as f64 * 0.17).ceil() as u64;
+                let memory = (machine.relation(bprime).data_bytes as f64 * 0.17).ceil() as u64;
                 let mut spec = join_abprime(alg, bprime, a, inner_attr, outer_attr, memory);
                 spec.bit_filter = filter;
                 let report = run_join(&mut machine, &spec);
@@ -49,8 +53,14 @@ fn main() {
                 ovfl = ovfl.max(report.overflow_passes);
             }
             let gain = 100.0 * (secs[0] - secs[1]) / secs[0];
-            println!("{:<12} {:>12.2} {:>12.2} {:>9.1}% {:>8}",
-                alg.name(), secs[0], secs[1], gain, ovfl);
+            println!(
+                "{:<12} {:>12.2} {:>12.2} {:>9.1}% {:>8}",
+                alg.name(),
+                secs[0],
+                secs[1],
+                gain,
+                ovfl
+            );
         }
     }
 

@@ -56,7 +56,11 @@ fn extreme_memory_pressure_is_exact() {
 #[test]
 fn skewed_joins_match_oracle() {
     let w = workload();
-    for attrs in [("normal", "unique1"), ("unique1", "normal"), ("normal", "normal")] {
+    for attrs in [
+        ("normal", "unique1"),
+        ("unique1", "normal"),
+        ("normal", "normal"),
+    ] {
         let expect = w.expect(attrs.0, attrs.1);
         for alg in Algorithm::ALL {
             let p = SweepBuilder::new(&w)
@@ -64,7 +68,8 @@ fn skewed_joins_match_oracle() {
                 .range_loaded()
                 .run_one(alg, 0.17);
             assert_eq!(
-                p.report.result_tuples, expect.tuples,
+                p.report.result_tuples,
+                expect.tuples,
                 "{} on {attrs:?}",
                 alg.name()
             );
@@ -93,7 +98,12 @@ fn selection_queries_are_exact() {
         let spec = join_asel_b(alg, b, a, 200, mem);
         let report = run_join(&mut machine, &spec);
         let expect = oracle_join(&b_rows, &a_rows, "unique1", "unique1", Some((0, 199)), None);
-        assert_eq!(report.result_tuples, expect.tuples, "joinAselB {}", alg.name());
+        assert_eq!(
+            report.result_tuples,
+            expect.tuples,
+            "joinAselB {}",
+            alg.name()
+        );
         assert_eq!(report.result_checksum, expect.checksum);
 
         let spec = join_csel_asel_b(alg, b, a, 400, 1_000, mem);
@@ -106,7 +116,12 @@ fn selection_queries_are_exact() {
             Some((0, 399)),
             Some((0, 999)),
         );
-        assert_eq!(report.result_tuples, expect.tuples, "joinCselAselB {}", alg.name());
+        assert_eq!(
+            report.result_tuples,
+            expect.tuples,
+            "joinCselAselB {}",
+            alg.name()
+        );
         assert_eq!(report.result_checksum, expect.checksum);
     }
 }
@@ -170,11 +185,17 @@ fn extensions_stay_exact() {
         let p = SweepBuilder::new(&w)
             .filter_bucket_forming()
             .run_one(Algorithm::GraceHash, ratio);
-        assert_eq!(p.report.result_tuples, 200, "bucket-forming filters, grace, {ratio}");
+        assert_eq!(
+            p.report.result_tuples, 200,
+            "bucket-forming filters, grace, {ratio}"
+        );
         let p = SweepBuilder::new(&w)
             .filter_bucket_forming()
             .run_one(Algorithm::HybridHash, ratio);
-        assert_eq!(p.report.result_tuples, 200, "bucket-forming filters, hybrid, {ratio}");
+        assert_eq!(
+            p.report.result_tuples, 200,
+            "bucket-forming filters, hybrid, {ratio}"
+        );
         let p = SweepBuilder::new(&w)
             .bucket_tuning()
             .run_one(Algorithm::GraceHash, ratio);

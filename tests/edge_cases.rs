@@ -42,9 +42,24 @@ fn empty_relations() {
         let mut m = Machine::new(MachineConfig::local_8());
         let empty = load(&mut m, "e", &[]);
         let full = load(&mut m, "f", &(0..100).collect::<Vec<_>>());
-        assert_eq!(join(&mut m, alg, empty, full, 1024), 0, "{} e⋈f", alg.name());
-        assert_eq!(join(&mut m, alg, full, empty, 1024), 0, "{} f⋈e", alg.name());
-        assert_eq!(join(&mut m, alg, empty, empty, 1024), 0, "{} e⋈e", alg.name());
+        assert_eq!(
+            join(&mut m, alg, empty, full, 1024),
+            0,
+            "{} e⋈f",
+            alg.name()
+        );
+        assert_eq!(
+            join(&mut m, alg, full, empty, 1024),
+            0,
+            "{} f⋈e",
+            alg.name()
+        );
+        assert_eq!(
+            join(&mut m, alg, empty, empty, 1024),
+            0,
+            "{} e⋈e",
+            alg.name()
+        );
     }
 }
 
@@ -86,7 +101,11 @@ fn asymmetric_machine_remote_joins() {
         diskless_nodes: 5,
         cost: CostModel::gamma_1989(),
     };
-    for alg in [Algorithm::SimpleHash, Algorithm::GraceHash, Algorithm::HybridHash] {
+    for alg in [
+        Algorithm::SimpleHash,
+        Algorithm::GraceHash,
+        Algorithm::HybridHash,
+    ] {
         let mut m = Machine::new(cfg.clone());
         let r = load(&mut m, "r", &(0..300).collect::<Vec<_>>());
         let s = load(&mut m, "s", &(0..900).map(|k| k % 300).collect::<Vec<_>>());
@@ -122,7 +141,12 @@ fn extreme_key_values() {
         let keys = [0u32, 1, u32::MAX, u32::MAX - 1, 0x8000_0000];
         let r = load(&mut m, "r", &keys);
         let s = load(&mut m, "s", &keys);
-        assert_eq!(join(&mut m, alg, r, s, 64), keys.len() as u64, "{}", alg.name());
+        assert_eq!(
+            join(&mut m, alg, r, s, 64),
+            keys.len() as u64,
+            "{}",
+            alg.name()
+        );
     }
 }
 
@@ -153,7 +177,12 @@ fn alternate_page_sizes() {
             let mut m = Machine::new(cfg.clone());
             let r = load(&mut m, "r", &(0..100).collect::<Vec<_>>());
             let s = load(&mut m, "s", &(0..400).map(|k| k % 100).collect::<Vec<_>>());
-            assert_eq!(join(&mut m, alg, r, s, 1_000), 400, "{} page={page}", alg.name());
+            assert_eq!(
+                join(&mut m, alg, r, s, 1_000),
+                400,
+                "{} page={page}",
+                alg.name()
+            );
         }
     }
 }

@@ -37,7 +37,11 @@ fn hybrid_dominates_everywhere() {
         let b = SweepBuilder::new(workload()).on(attrs.0, attrs.1);
         for ratio in [1.0, 0.5, 0.25, 0.125] {
             let hybrid = seconds(&b, Algorithm::HybridHash, ratio);
-            for other in [Algorithm::SortMerge, Algorithm::SimpleHash, Algorithm::GraceHash] {
+            for other in [
+                Algorithm::SortMerge,
+                Algorithm::SimpleHash,
+                Algorithm::GraceHash,
+            ] {
                 let t = seconds(&b, other, ratio);
                 assert!(
                     hybrid <= t * 1.01,
@@ -186,7 +190,11 @@ fn hpja_local_beats_remote() {
         for ratio in [1.0, 0.25] {
             let l = seconds(&local, alg, ratio);
             let r = seconds(&remote, alg, ratio);
-            assert!(l < r, "{} HPJA local {l:.2} !< remote {r:.2} at {ratio}", alg.name());
+            assert!(
+                l < r,
+                "{} HPJA local {l:.2} !< remote {r:.2} at {ratio}",
+                alg.name()
+            );
         }
     }
 }
@@ -200,8 +208,7 @@ fn simple_hpja_local_remote_crossover() {
     let local = SweepBuilder::new(w);
     let remote = SweepBuilder::new(w).remote();
     assert!(
-        seconds(&local, Algorithm::SimpleHash, 1.0)
-            < seconds(&remote, Algorithm::SimpleHash, 1.0)
+        seconds(&local, Algorithm::SimpleHash, 1.0) < seconds(&remote, Algorithm::SimpleHash, 1.0)
     );
     assert!(
         seconds(&remote, Algorithm::SimpleHash, 0.25)
@@ -219,12 +226,18 @@ fn nonhpja_remote_wins_at_full_memory_then_erodes() {
     let remote = SweepBuilder::new(w).on("unique2", "unique2").remote();
     let l1 = seconds(&local, Algorithm::HybridHash, 1.0);
     let r1 = seconds(&remote, Algorithm::HybridHash, 1.0);
-    assert!(r1 < l1 * 0.8, "remote must win clearly at 1.0: {l1:.2} vs {r1:.2}");
+    assert!(
+        r1 < l1 * 0.8,
+        "remote must win clearly at 1.0: {l1:.2} vs {r1:.2}"
+    );
     let l2 = seconds(&local, Algorithm::HybridHash, 0.1);
     let r2 = seconds(&remote, Algorithm::HybridHash, 0.1);
     let gap1 = (l1 - r1) / l1;
     let gap2 = (l2 - r2) / l2;
-    assert!(gap2 < gap1 / 2.0, "remote advantage must erode: {gap1:.3} -> {gap2:.3}");
+    assert!(
+        gap2 < gap1 / 2.0,
+        "remote advantage must erode: {gap1:.3} -> {gap2:.3}"
+    );
 }
 
 /// §5: local joins saturate the CPUs; the remote configuration drops the
@@ -262,7 +275,11 @@ fn skew_hurts_hash_joins_helps_sort_merge() {
     for alg in [Algorithm::HybridHash, Algorithm::SimpleHash] {
         let u = seconds(&uu, alg, ratio);
         let n = seconds(&nu, alg, ratio);
-        assert!(n > u, "{} NU ({n:.2}) must be slower than UU ({u:.2})", alg.name());
+        assert!(
+            n > u,
+            "{} NU ({n:.2}) must be slower than UU ({u:.2})",
+            alg.name()
+        );
     }
     let u = seconds(&uu, Algorithm::SortMerge, ratio);
     let n = seconds(&nu, Algorithm::SortMerge, ratio);
@@ -274,7 +291,9 @@ fn skew_hurts_hash_joins_helps_sort_merge() {
 #[test]
 fn sort_merge_early_termination_saves_reads() {
     let w = workload();
-    let uu = SweepBuilder::new(w).range_loaded().run_one(Algorithm::SortMerge, 1.0);
+    let uu = SweepBuilder::new(w)
+        .range_loaded()
+        .run_one(Algorithm::SortMerge, 1.0);
     let nu = SweepBuilder::new(w)
         .on("normal", "unique1")
         .range_loaded()
@@ -297,7 +316,9 @@ fn skewed_build_forms_chains() {
         .on("normal", "normal")
         .range_loaded()
         .run_one(Algorithm::HybridHash, 1.0);
-    let uu = SweepBuilder::new(w).range_loaded().run_one(Algorithm::HybridHash, 1.0);
+    let uu = SweepBuilder::new(w)
+        .range_loaded()
+        .run_one(Algorithm::HybridHash, 1.0);
     let nn_per_probe =
         nn.report.total.counts.comparisons as f64 / nn.report.total.counts.hash_probes as f64;
     let uu_per_probe =
@@ -372,7 +393,11 @@ fn mixed_site_triggers_bucket_analyzer() {
 fn mixed_site_joins_are_exact() {
     let w = workload();
     for ratio in [1.0, 0.3] {
-        for alg in [Algorithm::SimpleHash, Algorithm::GraceHash, Algorithm::HybridHash] {
+        for alg in [
+            Algorithm::SimpleHash,
+            Algorithm::GraceHash,
+            Algorithm::HybridHash,
+        ] {
             let p = SweepBuilder::new(w).mixed().run_one(alg, ratio);
             assert_eq!(p.report.result_tuples, 2_000, "{} at {ratio}", alg.name());
         }
@@ -384,10 +409,11 @@ fn mixed_site_joins_are_exact() {
 /// filtering alone cannot touch) and improve its response, while staying
 /// exact (the sweep validates against the oracle).
 #[test]
-fn bucket_forming_filters_cut_grace_io()
-{
+fn bucket_forming_filters_cut_grace_io() {
     let w = workload();
-    let join_only = SweepBuilder::new(w).filtered(true).run_one(Algorithm::GraceHash, 0.25);
+    let join_only = SweepBuilder::new(w)
+        .filtered(true)
+        .run_one(Algorithm::GraceHash, 0.25);
     let extended = SweepBuilder::new(w)
         .filter_bucket_forming()
         .run_one(Algorithm::GraceHash, 0.25);

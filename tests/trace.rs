@@ -1,0 +1,108 @@
+//! Trace subsystem integration tests: deterministic exports and
+//! event-totals reconciliation against the engine's own `Counts` ledger.
+
+use gamma_bench::tracing::trace_join;
+use gamma_bench::Workload;
+use gamma_core::query::Algorithm;
+
+const ALGORITHMS: [Algorithm; 4] = [
+    Algorithm::SortMerge,
+    Algorithm::SimpleHash,
+    Algorithm::GraceHash,
+    Algorithm::HybridHash,
+];
+
+/// Two traced runs of the same point must export byte-identical artifacts
+/// — the property that makes traces usable as golden regression files.
+#[test]
+fn perfetto_export_is_byte_identical_across_runs() {
+    let w = Workload::scaled(2_000, 200);
+    for alg in ALGORITHMS {
+        let a = trace_join(&w, alg, 0.5, true);
+        let b = trace_join(&w, alg, 0.5, true);
+        assert!(!a.sink.is_empty(), "{}: no events recorded", alg.name());
+        assert_eq!(
+            a.perfetto_json(),
+            b.perfetto_json(),
+            "{}: perfetto export differs across runs",
+            alg.name()
+        );
+        assert_eq!(
+            a.summary(),
+            b.summary(),
+            "{}: summary differs across runs",
+            alg.name()
+        );
+    }
+}
+
+/// Every trace event class that mirrors a `Counts` counter must agree with
+/// the ledger exactly: the hooks sit at the same statements that increment
+/// the counters, and ring eviction never loses totals.
+#[test]
+fn trace_totals_reconcile_with_ledger_counts() {
+    let w = Workload::scaled(2_000, 200);
+    for filtered in [false, true] {
+        for alg in ALGORITHMS {
+            let run = trace_join(&w, alg, 0.5, filtered);
+            let c = &run.report.total.counts;
+            let t = &run.sink.totals;
+            let ctx = format!("{} (filtered={filtered})", alg.name());
+            assert_eq!(t.disk_reads, c.pages_read, "{ctx}: pages_read");
+            assert_eq!(t.disk_writes, c.pages_written, "{ctx}: pages_written");
+            assert_eq!(t.packets_sent, c.packets_sent, "{ctx}: packets_sent");
+            assert_eq!(t.packets_recv, c.packets_recv, "{ctx}: packets_recv");
+            assert_eq!(
+                t.short_circuits, c.msgs_shortcircuit,
+                "{ctx}: msgs_shortcircuit"
+            );
+            assert_eq!(t.control_msgs, c.control_msgs, "{ctx}: control_msgs");
+            assert_eq!(t.hash_inserts, c.hash_inserts, "{ctx}: hash_inserts");
+            assert_eq!(t.hash_probes, c.hash_probes, "{ctx}: hash_probes");
+        }
+    }
+}
+
+/// The exported JSON is structurally sound and places every replayed event
+/// inside the simulated response window.
+#[test]
+fn perfetto_export_is_wellformed() {
+    let w = Workload::scaled(2_000, 200);
+    let run = trace_join(&w, Algorithm::GraceHash, 0.5, false);
+    let json = run.perfetto_json();
+    assert!(gamma_trace::perfetto::looks_like_trace_json(&json));
+    let response = run.sink.response_us();
+    assert!(response > 0);
+    for ev in run.sink.events() {
+        if let Some(ts) = run.sink.absolute_ts(ev) {
+            assert!(
+                ts <= response,
+                "event {:?} at {ts} µs lands after the response ({response} µs)",
+                ev.kind
+            );
+        }
+    }
+}
+
+/// Tracing must not change what the engine computes: the report from a
+/// traced run matches an untraced run of the same point exactly.
+#[test]
+fn tracing_does_not_perturb_results() {
+    let w = Workload::scaled(2_000, 200);
+    for alg in ALGORITHMS {
+        let traced = trace_join(&w, alg, 0.5, false);
+        let plain = gamma_bench::SweepBuilder::new(&w).run_one(alg, 0.5);
+        assert_eq!(
+            traced.report.response,
+            plain.report.response,
+            "{}",
+            alg.name()
+        );
+        assert_eq!(
+            traced.report.result_checksum,
+            plain.report.result_checksum,
+            "{}",
+            alg.name()
+        );
+    }
+}
