@@ -1,0 +1,148 @@
+//! The `joinABprime` benchmark: every algorithm at three memory ratios,
+//! reporting both the simulated response time (virtual microseconds) and
+//! the harness wall-clock. Built with `--features parallel` it runs each
+//! point twice — serial executor, then thread-parallel — and reports the
+//! wall-clock speedup; the virtual-time results must not change.
+//!
+//! ```text
+//! cargo run --release -p gamma-bench --bin joinabprime
+//! cargo run --release -p gamma-bench --features parallel --bin joinabprime
+//! cargo run --release -p gamma-bench --bin joinabprime -- --scale 0.2 --out BENCH_joinabprime.json
+//! ```
+//!
+//! The JSON schema is documented in `EXPERIMENTS.md`.
+
+use std::time::Instant;
+
+use gamma_bench::{ExperimentPoint, SweepBuilder, Workload};
+use gamma_core::query::Algorithm;
+
+const RATIOS: [f64; 3] = [1.0, 0.5, 0.2];
+
+const ALGORITHMS: [Algorithm; 4] = [
+    Algorithm::SortMerge,
+    Algorithm::SimpleHash,
+    Algorithm::GraceHash,
+    Algorithm::HybridHash,
+];
+
+struct Row {
+    algorithm: String,
+    ratio: f64,
+    virtual_us: u64,
+    wall_ms: f64,
+    serial_wall_ms: Option<f64>,
+    speedup: Option<f64>,
+}
+
+fn measure(b: &SweepBuilder<'_>, alg: Algorithm, ratio: f64) -> (ExperimentPoint, f64) {
+    let t = Instant::now();
+    let p = b.run_one(alg, ratio);
+    (p, t.elapsed().as_secs_f64() * 1e3)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 1.0f64;
+    let mut out_path = String::from("BENCH_joinabprime.json");
+    if let Some(i) = args.iter().position(|a| a == "--scale") {
+        scale = args[i + 1].parse().expect("scale must be a float");
+    }
+    if let Some(i) = args.iter().position(|a| a == "--out") {
+        out_path = args[i + 1].clone();
+    }
+
+    let w = Workload::scaled(
+        (100_000f64 * scale).round() as usize,
+        (10_000f64 * scale).round() as usize,
+    );
+    let b = SweepBuilder::new(&w);
+
+    let parallel_build = cfg!(feature = "parallel");
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut rows = Vec::new();
+    for alg in ALGORITHMS {
+        for ratio in RATIOS {
+            // Serial reference first (with the feature off this is the
+            // only measurement).
+            #[cfg(feature = "parallel")]
+            gamma_core::exec::set_parallel(false);
+            let (sp, serial_ms) = measure(&b, alg, ratio);
+
+            let (p, wall_ms, serial_wall_ms, speedup) = if parallel_build {
+                #[cfg(feature = "parallel")]
+                gamma_core::exec::set_parallel(true);
+                let (pp, par_ms) = measure(&b, alg, ratio);
+                assert_eq!(
+                    sp.report.response,
+                    pp.report.response,
+                    "{} at {ratio}: parallel executor changed the simulated response",
+                    alg.name()
+                );
+                assert_eq!(
+                    sp.report.result_checksum,
+                    pp.report.result_checksum,
+                    "{} at {ratio}: parallel executor changed the result",
+                    alg.name()
+                );
+                (pp, par_ms, Some(serial_ms), Some(serial_ms / par_ms))
+            } else {
+                (sp, serial_ms, None, None)
+            };
+
+            println!(
+                "{:<10} ratio {:>4}: {:>12} virtual-us   {:>8.1} ms wall{}",
+                p.report.algorithm,
+                ratio,
+                p.report.response.as_us(),
+                wall_ms,
+                match speedup {
+                    Some(s) => format!("   ({s:.2}x vs serial)"),
+                    None => String::new(),
+                }
+            );
+            rows.push(Row {
+                algorithm: p.report.algorithm.clone(),
+                ratio,
+                virtual_us: p.report.response.as_us(),
+                wall_ms,
+                serial_wall_ms,
+                speedup,
+            });
+        }
+    }
+
+    // Hand-rolled JSON (no serde in the offline image).
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"benchmark\": \"joinABprime\",\n  \"scale\": {scale},\n  \"executor\": \"{}\",\n  \"threads\": {threads},\n",
+        if parallel_build { "parallel" } else { "serial" }
+    ));
+    json.push_str("  \"points\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let opt = |v: Option<f64>| match v {
+            Some(x) => format!("{x:.3}"),
+            None => "null".into(),
+        };
+        json.push_str(&format!(
+            "    {{\"algorithm\": \"{}\", \"memory_ratio\": {}, \"response_virtual_us\": {}, \"wall_ms\": {:.3}, \"serial_wall_ms\": {}, \"speedup\": {}}}{}\n",
+            r.algorithm,
+            r.ratio,
+            r.virtual_us,
+            r.wall_ms,
+            opt(r.serial_wall_ms),
+            opt(r.speedup),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).expect("write bench json");
+    println!("\nwrote {out_path}");
+
+    if parallel_build {
+        let best = rows.iter().filter_map(|r| r.speedup).fold(0.0f64, f64::max);
+        println!("best wall-clock speedup: {best:.2}x on {threads} threads");
+    }
+}

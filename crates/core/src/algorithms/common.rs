@@ -1,8 +1,8 @@
-//! Shared driver plumbing: the resolved execution plan and scan helpers.
+//! Shared driver plumbing: the resolved execution plan.
 
 use gamma_wiss::FileId;
 
-use crate::machine::{Ledgers, Machine, NodeId};
+use crate::machine::NodeId;
 use crate::tuple::Attr;
 
 /// An inclusive range predicate on an integer attribute — the selection
@@ -65,45 +65,9 @@ pub struct Resolved {
     pub s_pred: Option<RangePred>,
 }
 
-/// Scan one stored fragment: charges page reads and per-tuple scan CPU at
-/// `node`, applies the optional selection, and returns the surviving
-/// records.
-pub fn scan_fragment(
-    machine: &mut Machine,
-    ledgers: &mut Ledgers,
-    node: NodeId,
-    file: FileId,
-    pred: Option<RangePred>,
-) -> Vec<Vec<u8>> {
-    let cost = machine.cfg.cost.clone();
-    #[cfg(feature = "trace")]
-    gamma_trace::emit(
-        node as u16,
-        ledgers[node].total_demand().as_us(),
-        gamma_trace::EventKind::SpanBegin { name: "scan" },
-    );
-    let recs = crate::hashjoin::read_records(machine, ledgers, node, file);
-    let mut out = Vec::with_capacity(recs.len());
-    for rec in recs {
-        cost.charge(&mut ledgers[node], cost.scan_tuple_us);
-        ledgers[node].counts.tuples_in += 1;
-        if pred.is_none_or(|p| p.eval(&rec)) {
-            out.push(rec);
-        }
-    }
-    #[cfg(feature = "trace")]
-    gamma_trace::emit(
-        node as u16,
-        ledgers[node].total_demand().as_us(),
-        gamma_trace::EventKind::SpanEnd { name: "scan" },
-    );
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::machine::{Declustering, MachineConfig};
     use crate::tuple::{Field, Schema};
 
     #[test]
@@ -120,34 +84,5 @@ mod tests {
         assert!(p.eval(&mk(5)));
         assert!(p.eval(&mk(10)));
         assert!(!p.eval(&mk(11)));
-    }
-
-    #[test]
-    fn scan_fragment_applies_selection_and_charges() {
-        let mut m = Machine::new(MachineConfig::local_8());
-        let s = Schema::new(vec![Field::Int("k".into()), Field::Str("p".into(), 28)]);
-        let attr = s.int_attr("k");
-        let tuples: Vec<Vec<u8>> = (0..400u32)
-            .map(|k| {
-                let mut t = vec![0u8; 32];
-                attr.put(&mut t, k);
-                t
-            })
-            .collect();
-        let id = m.load_relation("t", s, Declustering::RoundRobin, tuples);
-        let f0 = m.relation(id).fragments[0];
-        let mut ledgers = m.ledgers();
-        let pred = RangePred {
-            attr,
-            lo: 0,
-            hi: 99,
-        };
-        let got = scan_fragment(&mut m, &mut ledgers, 0, f0, Some(pred));
-        // Node 0 holds k ∈ {0, 8, 16, ...}; of its 50 tuples, those < 100
-        // are 0..96 step 8 = 13 tuples.
-        assert_eq!(got.len(), 13);
-        assert_eq!(ledgers[0].counts.tuples_in, 50);
-        assert!(ledgers[0].counts.pages_read > 0);
-        assert!(ledgers[0].cpu > gamma_des::SimTime::ZERO);
     }
 }

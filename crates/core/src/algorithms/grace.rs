@@ -9,87 +9,24 @@
 //! overhead. Each bucket is then joined Grace-style: build hash tables at
 //! the join sites, probe, with per-bucket bit filters.
 
-use gamma_wiss::{FileId, HeapWriter};
+use gamma_wiss::FileId;
 
 use crate::bitfilter::BitFilter;
-use crate::hash::{hash_u32, JOIN_SEED};
-use crate::hashjoin::{
-    broadcast_filters, delete_file, dispatch_overhead, resolve_overflows, OverflowEnv, SiteSet,
+use crate::exec::control::{broadcast_filters, dispatch_overhead};
+use crate::exec::hash::{
+    resolve_overflows, take_overflows, Consumers, OverflowEnv, TAG_BUCKET, TAG_BUILD, TAG_PROBE,
+    TAG_SPOOL_S,
 };
-use crate::machine::{Ledgers, Machine, NodeId, ResultSink};
+use crate::exec::{self, run_step, scan};
+use crate::hash::{hash_u32, JOIN_SEED};
+use crate::machine::{Machine, ResultSink};
 use crate::report::{DriverOutput, PhaseRecord};
 use crate::split::{JoiningSplitTable, PartitioningSplitTable, Route};
 
-use super::common::{scan_fragment, Resolved};
+use super::common::Resolved;
 
 /// Filter-salt namespace for Grace.
 const GRACE_SALT: u64 = 0x6A;
-
-/// Bucket files: `files[disk_node][bucket-1]`.
-struct BucketFiles {
-    writers: Vec<Vec<Option<HeapWriter>>>,
-}
-
-impl BucketFiles {
-    fn new(machine: &mut Machine, buckets: usize) -> Self {
-        let page = machine.cfg.cost.disk.page_bytes;
-        let writers = machine
-            .disk_nodes()
-            .into_iter()
-            .map(|n| {
-                (0..buckets)
-                    .map(|_| {
-                        Some(HeapWriter::create(
-                            machine.volumes[n].as_mut().unwrap(),
-                            page,
-                        ))
-                    })
-                    .collect()
-            })
-            .collect();
-        BucketFiles { writers }
-    }
-
-    fn push(
-        &mut self,
-        machine: &mut Machine,
-        ledgers: &mut Ledgers,
-        node: NodeId,
-        bucket: usize,
-        rec: &[u8],
-    ) {
-        let cost = machine.cfg.cost.clone();
-        cost.charge(&mut ledgers[node], cost.store_tuple_us);
-        self.writers[node][bucket - 1]
-            .as_mut()
-            .expect("bucket closed")
-            .push(
-                machine.volumes[node].as_mut().unwrap(),
-                machine.pools[node].as_mut().unwrap(),
-                &mut ledgers[node],
-                rec,
-            );
-    }
-
-    /// Close all writers; returns `files[disk_node][bucket-1]`.
-    fn finish(self, machine: &mut Machine, ledgers: &mut Ledgers) -> Vec<Vec<FileId>> {
-        self.writers
-            .into_iter()
-            .enumerate()
-            .map(|(n, ws)| {
-                ws.into_iter()
-                    .map(|w| {
-                        w.unwrap().finish(
-                            machine.volumes[n].as_mut().unwrap(),
-                            machine.pools[n].as_mut().unwrap(),
-                            &mut ledgers[n],
-                        )
-                    })
-                    .collect()
-            })
-            .collect()
-    }
-}
 
 /// Per-bucket filters used when filtering extends to bucket-forming (the
 /// §4.2/§5 proposal): `Build` sets a bit for every spooled inner tuple,
@@ -114,11 +51,12 @@ pub(super) fn bucket_filters(machine: &Machine, buckets: usize, salt: u64) -> Ve
 }
 
 /// Bucket-form one relation (phase 1 for R, phase 2 for S). Returns the
-/// bucket fragment files.
+/// bucket fragment files, `files[disk_node][bucket-1]`.
 #[allow(clippy::too_many_arguments)]
 fn bucket_form(
     machine: &mut Machine,
     phases: &mut Vec<PhaseRecord>,
+    sink: &mut ResultSink,
     part: &PartitioningSplitTable,
     fragments: &[FileId],
     attr: crate::tuple::Attr,
@@ -127,55 +65,70 @@ fn bucket_form(
     label: &str,
     mut form_filters: FormFilters<'_>,
 ) -> Vec<Vec<FileId>> {
-    let cost = machine.cfg.cost.clone();
     let disk_nodes = machine.disk_nodes();
-    let mut files = BucketFiles::new(machine, buckets);
+    let mut consumers = Consumers::new(machine);
+    consumers.open_buckets(machine, 1, buckets);
     let mut ledgers = machine.ledgers();
-    if let FormFilters::Test(filters) = &form_filters {
+    let test_filters: Option<&[BitFilter]> = match &form_filters {
+        FormFilters::Test(f) => Some(f),
+        _ => None,
+    };
+    if let Some(filters) = test_filters {
         // The per-bucket filter packets were broadcast to the scanning
         // nodes after the inner relation's bucket-forming completed.
+        let bytes = machine.cfg.cost.filter_packet_bytes * filters.len() as u64;
         for &n in &disk_nodes {
-            machine.fabric.scheduler_control(
-                &mut ledgers[n],
-                n,
-                cost.filter_packet_bytes * filters.len() as u64,
-            );
+            machine.fabric.scheduler_control(&mut ledgers[n], n, bytes);
         }
     }
-    for &node in &disk_nodes {
-        let recs = scan_fragment(machine, &mut ledgers, node, fragments[node], pred);
-        for rec in recs {
-            cost.charge(&mut ledgers[node], cost.hash_us + cost.route_us);
-            let val = attr.get(&rec);
-            let h = hash_u32(JOIN_SEED, val);
-            match part.route(h) {
-                Route::Spool { node: dst, bucket } => {
-                    match &mut form_filters {
-                        FormFilters::Build(filters) => {
-                            cost.charge(&mut ledgers[node], cost.filter_set_us);
-                            filters[bucket - 1].set(val);
-                        }
-                        FormFilters::Test(filters) => {
-                            cost.charge(&mut ledgers[node], cost.filter_test_us);
+    // Building producers each fill a private filter shard; the shards are
+    // OR-folded below (commutative, so worker scheduling cannot matter).
+    let shard_proto: Option<Vec<BitFilter>> = match &form_filters {
+        FormFilters::Build(f) => Some(f.to_vec()),
+        _ => None,
+    };
+    let mut states: Vec<(FileId, Option<Vec<BitFilter>>)> = disk_nodes
+        .iter()
+        .map(|&n| (fragments[n], shard_proto.clone()))
+        .collect();
+    run_step(
+        machine,
+        &mut ledgers,
+        &disk_nodes,
+        &mut states,
+        |ctx, (file, shard)| {
+            for rec in scan::scan_fragment(ctx.cost, ctx.state, ctx.ledger, *file, pred) {
+                ctx.charge(ctx.cost.hash_us + ctx.cost.route_us);
+                let val = attr.get(&rec);
+                match part.route(hash_u32(JOIN_SEED, val)) {
+                    Route::Spool { node: dst, bucket } => {
+                        if let Some(shard) = shard {
+                            ctx.charge(ctx.cost.filter_set_us);
+                            shard[bucket - 1].set(val);
+                        } else if let Some(filters) = test_filters {
+                            ctx.charge(ctx.cost.filter_test_us);
                             if !filters[bucket - 1].test(val) {
-                                ledgers[node].counts.filter_drops += 1;
+                                ctx.ledger.counts.filter_drops += 1;
                                 continue;
                             }
                         }
-                        FormFilters::Off => {}
+                        ctx.send(dst, TAG_BUCKET | bucket as u32, rec);
                     }
-                    machine
-                        .fabric
-                        .send_tuple(&mut ledgers, node, dst, rec.len() as u64);
-                    files.push(machine, &mut ledgers, dst, bucket, &rec);
+                    Route::Join { .. } => unreachable!("grace tables never route to join"),
                 }
-                Route::Join { .. } => unreachable!("grace tables never route to join"),
+            }
+        },
+    );
+    if let FormFilters::Build(main) = &mut form_filters {
+        for (_, shard) in &states {
+            for (m, s) in main.iter_mut().zip(shard.as_ref().expect("build shard")) {
+                m.or_with(s);
             }
         }
     }
-    machine.fabric.flush(&mut ledgers);
-    let out = files.finish(machine, &mut ledgers);
-    let table_bytes = cost.split_table_bytes(part.entries());
+    consumers.settle(machine, &mut ledgers, sink);
+    let out = consumers.close_buckets(machine, &mut ledgers);
+    let table_bytes = machine.cfg.cost.split_table_bytes(part.entries());
     let sched = dispatch_overhead(machine, &mut ledgers, &disk_nodes, table_bytes);
     phases.push(PhaseRecord::new(label, ledgers, sched));
     out
@@ -223,11 +176,11 @@ pub(super) fn join_bucket_group(
     label: &str,
     salt: u64,
 ) -> (u32, bool) {
-    let cost = machine.cfg.cost.clone();
     let jt = JoiningSplitTable::new(rz.join_nodes.clone());
-    let table_bytes = cost.split_table_bytes(jt.entries());
+    let table_bytes = machine.cfg.cost.split_table_bytes(jt.entries());
     let disk_nodes = machine.disk_nodes();
-    let mut set = SiteSet::new(
+    let mut consumers = Consumers::new(machine);
+    let sites = consumers.install_sites(
         machine,
         &rz.join_nodes,
         rz.capacity_per_site,
@@ -235,6 +188,8 @@ pub(super) fn join_bucket_group(
         0,
         rz.filter_bits,
         salt,
+        rz.r_attr,
+        rz.s_attr,
     );
 
     // A group label is "3" or "1..4"; the leading bucket number stands for
@@ -254,22 +209,27 @@ pub(super) fn join_bucket_group(
         0,
         gamma_trace::EventKind::BucketOpen { bucket: bucket_no },
     );
-    for &node in &disk_nodes {
-        let files = r_group[node].clone();
-        for file in files {
-            let recs = scan_fragment(machine, &mut ledgers, node, file, None);
-            for rec in recs {
-                let val = rz.r_attr.get(&rec);
-                cost.charge(&mut ledgers[node], cost.hash_us + cost.route_us);
-                let i = jt.site_index(hash_u32(JOIN_SEED, val));
-                machine
-                    .fabric
-                    .send_tuple(&mut ledgers, node, rz.join_nodes[i], rec.len() as u64);
-                set.deliver_build(machine, &mut ledgers, i, val, rec);
-            }
-        }
+    let mut r_states: Vec<Vec<FileId>> = disk_nodes.iter().map(|&n| r_group[n].clone()).collect();
+    {
+        let jt = &jt;
+        run_step(
+            machine,
+            &mut ledgers,
+            &disk_nodes,
+            &mut r_states,
+            |ctx, files| {
+                for &file in files.iter() {
+                    for rec in scan::scan_fragment(ctx.cost, ctx.state, ctx.ledger, file, None) {
+                        let val = rz.r_attr.get(&rec);
+                        ctx.charge(ctx.cost.hash_us + ctx.cost.route_us);
+                        let i = jt.site_index(hash_u32(JOIN_SEED, val));
+                        ctx.send(rz.join_nodes[i], TAG_BUILD | i as u32, rec);
+                    }
+                }
+            },
+        );
     }
-    machine.fabric.flush(&mut ledgers);
+    consumers.settle(machine, &mut ledgers, sink);
     let mut sched = dispatch_overhead(machine, &mut ledgers, &disk_nodes, table_bytes);
     sched += dispatch_overhead(machine, &mut ledgers, &rz.join_nodes, table_bytes);
     phases.push(PhaseRecord::new(
@@ -280,38 +240,44 @@ pub(super) fn join_bucket_group(
 
     // ---- probe ----
     let mut ledgers = machine.ledgers();
-    broadcast_filters(machine, &mut ledgers, &set);
-    for &node in &disk_nodes {
-        let files = s_group[node].clone();
-        for file in files {
-            let recs = scan_fragment(machine, &mut ledgers, node, file, None);
-            for rec in recs {
-                let val = rz.s_attr.get(&rec);
-                cost.charge(&mut ledgers[node], cost.hash_us + cost.route_us);
-                let i = jt.site_index(hash_u32(JOIN_SEED, val));
-                // Filter before the overflow check: the site's filter covers
-                // every inner tuple that arrived there (bits are set on
-                // arrival, before residency is decided), so eliminating an
-                // overflow-bound outer tuple here is safe and saves its spool
-                // I/O and every later re-read (§4.2).
-                if set.filter_drops(machine, &mut ledgers, node, i, val) {
-                    // dropped at the source
-                } else if set.outer_diverts(i, val) {
-                    set.spool_outer(machine, &mut ledgers, node, i, &rec);
-                } else {
-                    machine.fabric.send_tuple(
-                        &mut ledgers,
-                        node,
-                        rz.join_nodes[i],
-                        rec.len() as u64,
-                    );
-                    set.deliver_probe(machine, &mut ledgers, i, val, &rec, sink);
+    broadcast_filters(machine, &mut ledgers, &sites);
+    let snap = consumers.probe_snapshot(&sites);
+    let mut s_states: Vec<Vec<FileId>> = disk_nodes.iter().map(|&n| s_group[n].clone()).collect();
+    {
+        let jt = &jt;
+        let sites = &sites;
+        let snap = &snap;
+        run_step(
+            machine,
+            &mut ledgers,
+            &disk_nodes,
+            &mut s_states,
+            |ctx, files| {
+                for &file in files.iter() {
+                    for rec in scan::scan_fragment(ctx.cost, ctx.state, ctx.ledger, file, None) {
+                        let val = rz.s_attr.get(&rec);
+                        ctx.charge(ctx.cost.hash_us + ctx.cost.route_us);
+                        let i = jt.site_index(hash_u32(JOIN_SEED, val));
+                        // Filter before the overflow check: the site's filter
+                        // covers every inner tuple that arrived there (bits
+                        // are set on arrival, before residency is decided), so
+                        // eliminating an overflow-bound outer tuple here is
+                        // safe and saves its spool I/O and every later re-read
+                        // (§4.2).
+                        if snap.filter_drops(ctx, i, val) {
+                            // dropped at the source
+                        } else if snap.outer_diverts(i, val) {
+                            ctx.send(sites.home(i), TAG_SPOOL_S | i as u32, rec);
+                        } else {
+                            ctx.send(rz.join_nodes[i], TAG_PROBE | i as u32, rec);
+                        }
+                    }
                 }
-            }
-        }
+            },
+        );
     }
-    machine.fabric.flush(&mut ledgers);
-    let pairs = set.take_overflows(machine, &mut ledgers);
+    consumers.settle(machine, &mut ledgers, sink);
+    let pairs = take_overflows(machine, &mut ledgers, &mut consumers, &sites);
     let sched = dispatch_overhead(machine, &mut ledgers, &disk_nodes, table_bytes);
     #[cfg(feature = "trace")]
     gamma_trace::emit(
@@ -348,10 +314,10 @@ pub(super) fn join_bucket_group(
 
     for &node in &disk_nodes {
         for &f in &r_group[node] {
-            delete_file(machine, node, f);
+            exec::delete_file(machine, node, f);
         }
         for &f in &s_group[node] {
-            delete_file(machine, node, f);
+            exec::delete_file(machine, node, f);
         }
     }
     (stats.passes, stats.bnl_fallback)
@@ -373,11 +339,7 @@ pub(super) fn tune_buckets(
     let size_of = |b: usize| -> u64 {
         (0..machine.cfg.disk_nodes)
             .map(|n| {
-                machine.volumes[n]
-                    .as_ref()
-                    .unwrap()
-                    .file_records(r_files[n][b - 1]) as u64
-                    * rz.r_tuple_bytes
+                machine.nodes[n].vol().file_records(r_files[n][b - 1]) as u64 * rz.r_tuple_bytes
             })
             .sum()
     };
@@ -416,6 +378,7 @@ pub fn run(machine: &mut Machine, rz: &Resolved) -> DriverOutput {
     let r_files = bucket_form(
         machine,
         &mut phases,
+        &mut sink,
         &part,
         &rz.r_fragments,
         rz.r_attr,
@@ -430,6 +393,7 @@ pub fn run(machine: &mut Machine, rz: &Resolved) -> DriverOutput {
     let s_files = bucket_form(
         machine,
         &mut phases,
+        &mut sink,
         &part,
         &rz.s_fragments,
         rz.s_attr,

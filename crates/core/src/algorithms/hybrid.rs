@@ -10,13 +10,17 @@
 //! requires, Figure 7), bucket 1 overflows and the Simple-hash machinery
 //! resolves it.
 
-use gamma_wiss::{FileId, HeapWriter};
+use gamma_wiss::FileId;
 
-use crate::hash::{hash_u32, JOIN_SEED};
-use crate::hashjoin::{
-    broadcast_filters, dispatch_overhead, resolve_overflows, OverflowEnv, SiteSet,
+use crate::bitfilter::BitFilter;
+use crate::exec::control::{broadcast_filters, dispatch_overhead};
+use crate::exec::hash::{
+    resolve_overflows, take_overflows, Consumers, OverflowEnv, TAG_BUCKET, TAG_BUILD, TAG_PROBE,
+    TAG_SPOOL_S,
 };
-use crate::machine::{Ledgers, Machine, NodeId, ResultSink};
+use crate::exec::{run_step, scan};
+use crate::hash::{hash_u32, JOIN_SEED};
+use crate::machine::{Machine, ResultSink};
 use crate::report::{DriverOutput, PhaseRecord};
 use crate::split::{PartitioningSplitTable, Route};
 
@@ -26,83 +30,17 @@ use super::grace::{bucket_filters, join_bucket};
 /// Filter-salt namespace for Hybrid.
 const HYBRID_SALT: u64 = 0x4B;
 
-/// Spool writers for buckets 2..N at each disk node.
-struct SpoolFiles {
-    writers: Vec<Vec<Option<HeapWriter>>>,
-}
-
-impl SpoolFiles {
-    fn new(machine: &mut Machine, buckets: usize) -> Self {
-        let page = machine.cfg.cost.disk.page_bytes;
-        let writers = machine
-            .disk_nodes()
-            .into_iter()
-            .map(|n| {
-                (0..buckets.saturating_sub(1))
-                    .map(|_| {
-                        Some(HeapWriter::create(
-                            machine.volumes[n].as_mut().unwrap(),
-                            page,
-                        ))
-                    })
-                    .collect()
-            })
-            .collect();
-        SpoolFiles { writers }
-    }
-
-    fn push(
-        &mut self,
-        machine: &mut Machine,
-        ledgers: &mut Ledgers,
-        node: NodeId,
-        bucket: usize,
-        rec: &[u8],
-    ) {
-        debug_assert!(bucket >= 2);
-        let cost = machine.cfg.cost.clone();
-        cost.charge(&mut ledgers[node], cost.store_tuple_us);
-        self.writers[node][bucket - 2]
-            .as_mut()
-            .expect("spool closed")
-            .push(
-                machine.volumes[node].as_mut().unwrap(),
-                machine.pools[node].as_mut().unwrap(),
-                &mut ledgers[node],
-                rec,
-            );
-    }
-
-    fn finish(self, machine: &mut Machine, ledgers: &mut Ledgers) -> Vec<Vec<FileId>> {
-        self.writers
-            .into_iter()
-            .enumerate()
-            .map(|(n, ws)| {
-                ws.into_iter()
-                    .map(|w| {
-                        w.unwrap().finish(
-                            machine.volumes[n].as_mut().unwrap(),
-                            machine.pools[n].as_mut().unwrap(),
-                            &mut ledgers[n],
-                        )
-                    })
-                    .collect()
-            })
-            .collect()
-    }
-}
-
 /// Execute a Hybrid hash-join.
 pub fn run(machine: &mut Machine, rz: &Resolved) -> DriverOutput {
-    let cost = machine.cfg.cost.clone();
     let buckets = rz.buckets;
     let disk_nodes = machine.disk_nodes();
     let part = PartitioningSplitTable::hybrid(&rz.join_nodes, &disk_nodes, buckets);
-    let table_bytes = cost.split_table_bytes(part.entries());
+    let table_bytes = machine.cfg.cost.split_table_bytes(part.entries());
     let mut phases = Vec::new();
     let mut sink = ResultSink::new(machine);
 
-    let mut set = SiteSet::new(
+    let mut consumers = Consumers::new(machine);
+    let sites = consumers.install_sites(
         machine,
         &rz.join_nodes,
         rz.capacity_per_site,
@@ -110,6 +48,8 @@ pub fn run(machine: &mut Machine, rz: &Resolved) -> DriverOutput {
         0,
         rz.filter_bits,
         HYBRID_SALT,
+        rz.r_attr,
+        rz.s_attr,
     );
 
     // Per-bucket filters for the spooled buckets when the §4.2/§5
@@ -128,42 +68,52 @@ pub fn run(machine: &mut Machine, rz: &Resolved) -> DriverOutput {
         0,
         gamma_trace::EventKind::BucketOpen { bucket: 1 },
     );
-    let mut r_spool = SpoolFiles::new(machine, buckets);
-    for &node in &disk_nodes {
-        let recs = super::common::scan_fragment(
+    consumers.open_buckets(machine, 2, buckets);
+    // Building producers each fill a private filter shard; the shards are
+    // OR-folded below (commutative, so worker scheduling cannot matter).
+    let shard_proto: Option<Vec<BitFilter>> = form_filters.clone();
+    let mut r_states: Vec<(FileId, Option<Vec<BitFilter>>)> = disk_nodes
+        .iter()
+        .map(|&n| (rz.r_fragments[n], shard_proto.clone()))
+        .collect();
+    {
+        let part = &part;
+        run_step(
             machine,
             &mut ledgers,
-            node,
-            rz.r_fragments[node],
-            rz.r_pred,
-        );
-        for rec in recs {
-            let val = rz.r_attr.get(&rec);
-            cost.charge(&mut ledgers[node], cost.hash_us + cost.route_us);
-            let h = hash_u32(JOIN_SEED, val);
-            match part.route(h) {
-                Route::Join { node: dst } => {
-                    let i = part.join_site_index(h);
-                    machine
-                        .fabric
-                        .send_tuple(&mut ledgers, node, dst, rec.len() as u64);
-                    set.deliver_build(machine, &mut ledgers, i, val, rec);
-                }
-                Route::Spool { node: dst, bucket } => {
-                    if let Some(filters) = &mut form_filters {
-                        cost.charge(&mut ledgers[node], cost.filter_set_us);
-                        filters[bucket - 1].set(val);
+            &disk_nodes,
+            &mut r_states,
+            |ctx, (file, shard)| {
+                for rec in scan::scan_fragment(ctx.cost, ctx.state, ctx.ledger, *file, rz.r_pred) {
+                    let val = rz.r_attr.get(&rec);
+                    ctx.charge(ctx.cost.hash_us + ctx.cost.route_us);
+                    let h = hash_u32(JOIN_SEED, val);
+                    match part.route(h) {
+                        Route::Join { node: dst } => {
+                            let i = part.join_site_index(h);
+                            ctx.send(dst, TAG_BUILD | i as u32, rec);
+                        }
+                        Route::Spool { node: dst, bucket } => {
+                            if let Some(shard) = shard {
+                                ctx.charge(ctx.cost.filter_set_us);
+                                shard[bucket - 1].set(val);
+                            }
+                            ctx.send(dst, TAG_BUCKET | bucket as u32, rec);
+                        }
                     }
-                    machine
-                        .fabric
-                        .send_tuple(&mut ledgers, node, dst, rec.len() as u64);
-                    r_spool.push(machine, &mut ledgers, dst, bucket, &rec);
                 }
+            },
+        );
+    }
+    if let Some(main) = &mut form_filters {
+        for (_, shard) in &r_states {
+            for (m, s) in main.iter_mut().zip(shard.as_ref().expect("build shard")) {
+                m.or_with(s);
             }
         }
     }
-    machine.fabric.flush(&mut ledgers);
-    let r_files = r_spool.finish(machine, &mut ledgers);
+    consumers.settle(machine, &mut ledgers, &mut sink);
+    let r_files = consumers.close_buckets(machine, &mut ledgers);
     let mut sched = dispatch_overhead(machine, &mut ledgers, &disk_nodes, table_bytes);
     sched += dispatch_overhead(machine, &mut ledgers, &rz.join_nodes, table_bytes);
     phases.push(PhaseRecord::new(
@@ -174,62 +124,64 @@ pub fn run(machine: &mut Machine, rz: &Resolved) -> DriverOutput {
 
     // ---- Phase 2: partition S, overlapped with probing bucket 1. ----
     let mut ledgers = machine.ledgers();
-    broadcast_filters(machine, &mut ledgers, &set);
+    broadcast_filters(machine, &mut ledgers, &sites);
     if let Some(filters) = &form_filters {
         // Broadcast the per-bucket filter packets to the scanning nodes.
-        let bytes = cost.filter_packet_bytes * filters.len() as u64;
+        let bytes = machine.cfg.cost.filter_packet_bytes * filters.len() as u64;
         for &n in &disk_nodes {
             machine.fabric.scheduler_control(&mut ledgers[n], n, bytes);
         }
     }
-    let mut s_spool = SpoolFiles::new(machine, buckets);
-    for &node in &disk_nodes {
-        let recs = super::common::scan_fragment(
+    consumers.open_buckets(machine, 2, buckets);
+    let snap = consumers.probe_snapshot(&sites);
+    let mut s_states: Vec<FileId> = disk_nodes.iter().map(|&n| rz.s_fragments[n]).collect();
+    {
+        let part = &part;
+        let sites = &sites;
+        let snap = &snap;
+        let form_filters = form_filters.as_deref();
+        run_step(
             machine,
             &mut ledgers,
-            node,
-            rz.s_fragments[node],
-            rz.s_pred,
-        );
-        for rec in recs {
-            let val = rz.s_attr.get(&rec);
-            cost.charge(&mut ledgers[node], cost.hash_us + cost.route_us);
-            let h = hash_u32(JOIN_SEED, val);
-            match part.route(h) {
-                Route::Join { node: dst } => {
-                    let i = part.join_site_index(h);
-                    // Filter before the overflow check — safe because
-                    // filter bits are set for every arriving inner tuple.
-                    if set.filter_drops(machine, &mut ledgers, node, i, val) {
-                        // dropped at the source
-                    } else if set.outer_diverts(i, val) {
-                        set.spool_outer(machine, &mut ledgers, node, i, &rec);
-                    } else {
-                        machine
-                            .fabric
-                            .send_tuple(&mut ledgers, node, dst, rec.len() as u64);
-                        set.deliver_probe(machine, &mut ledgers, i, val, &rec, &mut sink);
-                    }
-                }
-                Route::Spool { node: dst, bucket } => {
-                    if let Some(filters) = &form_filters {
-                        cost.charge(&mut ledgers[node], cost.filter_test_us);
-                        if !filters[bucket - 1].test(val) {
-                            ledgers[node].counts.filter_drops += 1;
-                            continue;
+            &disk_nodes,
+            &mut s_states,
+            |ctx, f| {
+                for rec in scan::scan_fragment(ctx.cost, ctx.state, ctx.ledger, *f, rz.s_pred) {
+                    let val = rz.s_attr.get(&rec);
+                    ctx.charge(ctx.cost.hash_us + ctx.cost.route_us);
+                    let h = hash_u32(JOIN_SEED, val);
+                    match part.route(h) {
+                        Route::Join { node: dst } => {
+                            let i = part.join_site_index(h);
+                            // Filter before the overflow check — safe because
+                            // filter bits are set for every arriving inner
+                            // tuple.
+                            if snap.filter_drops(ctx, i, val) {
+                                // dropped at the source
+                            } else if snap.outer_diverts(i, val) {
+                                ctx.send(sites.home(i), TAG_SPOOL_S | i as u32, rec);
+                            } else {
+                                ctx.send(dst, TAG_PROBE | i as u32, rec);
+                            }
+                        }
+                        Route::Spool { node: dst, bucket } => {
+                            if let Some(filters) = form_filters {
+                                ctx.charge(ctx.cost.filter_test_us);
+                                if !filters[bucket - 1].test(val) {
+                                    ctx.ledger.counts.filter_drops += 1;
+                                    continue;
+                                }
+                            }
+                            ctx.send(dst, TAG_BUCKET | bucket as u32, rec);
                         }
                     }
-                    machine
-                        .fabric
-                        .send_tuple(&mut ledgers, node, dst, rec.len() as u64);
-                    s_spool.push(machine, &mut ledgers, dst, bucket, &rec);
                 }
-            }
-        }
+            },
+        );
     }
-    machine.fabric.flush(&mut ledgers);
-    let s_files = s_spool.finish(machine, &mut ledgers);
-    let pairs = set.take_overflows(machine, &mut ledgers);
+    consumers.settle(machine, &mut ledgers, &mut sink);
+    let s_files = consumers.close_buckets(machine, &mut ledgers);
+    let pairs = take_overflows(machine, &mut ledgers, &mut consumers, &sites);
     let sched = dispatch_overhead(machine, &mut ledgers, &disk_nodes, table_bytes);
     #[cfg(feature = "trace")]
     gamma_trace::emit(

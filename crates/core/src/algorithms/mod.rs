@@ -2,9 +2,10 @@
 //!
 //! Each driver executes its algorithm for real over the machine's stored
 //! relations and returns the ordered phase ledgers plus the result
-//! description. The drivers share the [`crate::hashjoin`] build/probe
-//! machinery (Simple hash is the common overflow-resolution method, §3.2)
-//! and the helpers in [`common`].
+//! description. The drivers are short compositions of [`crate::exec`]
+//! stages: scans feed the Exchange mailboxes, consumer waves absorb the
+//! build/probe/spool traffic (Simple hash is the common overflow-resolution
+//! method, §3.2), and the helpers in [`common`] carry the resolved plan.
 
 pub mod common;
 pub mod grace;

@@ -6,28 +6,31 @@
 //! recursive passes under fresh hash functions. Until recently this was
 //! the only join algorithm Gamma employed.
 
-use crate::hash::{hash_u32, JOIN_SEED};
-use crate::hashjoin::{
-    broadcast_filters, dispatch_overhead, resolve_overflows, OverflowEnv, SiteSet,
+use crate::exec::control::{broadcast_filters, dispatch_overhead};
+use crate::exec::hash::{
+    resolve_overflows, take_overflows, Consumers, OverflowEnv, TAG_BUILD, TAG_PROBE, TAG_SPOOL_S,
 };
+use crate::exec::{run_step, scan};
+use crate::hash::{hash_u32, JOIN_SEED};
 use crate::machine::{Machine, ResultSink};
 use crate::report::{DriverOutput, PhaseRecord};
 use crate::split::JoiningSplitTable;
 
-use super::common::{scan_fragment, Resolved};
+use super::common::Resolved;
 
 /// Filter-salt namespace for Simple hash-join.
 const SIMPLE_SALT: u64 = 0x51;
 
 /// Execute a Simple hash-join.
 pub fn run(machine: &mut Machine, rz: &Resolved) -> DriverOutput {
-    let cost = machine.cfg.cost.clone();
     let jt = JoiningSplitTable::new(rz.join_nodes.clone());
-    let table_bytes = cost.split_table_bytes(jt.entries());
+    let table_bytes = machine.cfg.cost.split_table_bytes(jt.entries());
     let mut phases = Vec::new();
     let mut sink = ResultSink::new(machine);
+    let disk_nodes = machine.disk_nodes();
 
-    let mut set = SiteSet::new(
+    let mut consumers = Consumers::new(machine);
+    let sites = consumers.install_sites(
         machine,
         &rz.join_nodes,
         rz.capacity_per_site,
@@ -35,25 +38,32 @@ pub fn run(machine: &mut Machine, rz: &Resolved) -> DriverOutput {
         0,
         rz.filter_bits,
         SIMPLE_SALT,
+        rz.r_attr,
+        rz.s_attr,
     );
 
     // ---- Phase 1: route R into the hash tables (first pass uses the
     // load-time hash function, so HPJA tuples short-circuit). ----
     let mut ledgers = machine.ledgers();
-    let disk_nodes = machine.disk_nodes();
-    for &node in &disk_nodes {
-        let recs = scan_fragment(machine, &mut ledgers, node, rz.r_fragments[node], rz.r_pred);
-        for rec in recs {
-            let val = rz.r_attr.get(&rec);
-            cost.charge(&mut ledgers[node], cost.hash_us + cost.route_us);
-            let i = jt.site_index(hash_u32(JOIN_SEED, val));
-            machine
-                .fabric
-                .send_tuple(&mut ledgers, node, rz.join_nodes[i], rec.len() as u64);
-            set.deliver_build(machine, &mut ledgers, i, val, rec);
-        }
+    let mut r_frags = rz.r_fragments.clone();
+    {
+        let jt = &jt;
+        run_step(
+            machine,
+            &mut ledgers,
+            &disk_nodes,
+            &mut r_frags,
+            |ctx, f| {
+                for rec in scan::scan_fragment(ctx.cost, ctx.state, ctx.ledger, *f, rz.r_pred) {
+                    let val = rz.r_attr.get(&rec);
+                    ctx.charge(ctx.cost.hash_us + ctx.cost.route_us);
+                    let i = jt.site_index(hash_u32(JOIN_SEED, val));
+                    ctx.send(rz.join_nodes[i], TAG_BUILD | i as u32, rec);
+                }
+            },
+        );
     }
-    machine.fabric.flush(&mut ledgers);
+    consumers.settle(machine, &mut ledgers, &mut sink);
     let mut sched = dispatch_overhead(machine, &mut ledgers, &disk_nodes, table_bytes);
     sched += dispatch_overhead(machine, &mut ledgers, &rz.join_nodes, table_bytes);
     phases.push(PhaseRecord::new("build R", ledgers, sched));
@@ -61,32 +71,41 @@ pub fn run(machine: &mut Machine, rz: &Resolved) -> DriverOutput {
     // ---- Phase 2: route S; probe or spool to the overflow files via the
     // h'-augmented split table. ----
     let mut ledgers = machine.ledgers();
-    broadcast_filters(machine, &mut ledgers, &set);
-    for &node in &disk_nodes {
-        let recs = scan_fragment(machine, &mut ledgers, node, rz.s_fragments[node], rz.s_pred);
-        for rec in recs {
-            let val = rz.s_attr.get(&rec);
-            cost.charge(&mut ledgers[node], cost.hash_us + cost.route_us);
-            let i = jt.site_index(hash_u32(JOIN_SEED, val));
-            // Filter before the overflow check: the site's filter covers
-            // every inner tuple that arrived there (bits are set on
-            // arrival, before residency is decided), so eliminating an
-            // overflow-bound outer tuple here is safe and saves its spool
-            // I/O and every later re-read (§4.2).
-            if set.filter_drops(machine, &mut ledgers, node, i, val) {
-                // dropped at the source
-            } else if set.outer_diverts(i, val) {
-                set.spool_outer(machine, &mut ledgers, node, i, &rec);
-            } else {
-                machine
-                    .fabric
-                    .send_tuple(&mut ledgers, node, rz.join_nodes[i], rec.len() as u64);
-                set.deliver_probe(machine, &mut ledgers, i, val, &rec, &mut sink);
-            }
-        }
+    broadcast_filters(machine, &mut ledgers, &sites);
+    let snap = consumers.probe_snapshot(&sites);
+    let mut s_frags = rz.s_fragments.clone();
+    {
+        let jt = &jt;
+        let sites = &sites;
+        let snap = &snap;
+        run_step(
+            machine,
+            &mut ledgers,
+            &disk_nodes,
+            &mut s_frags,
+            |ctx, f| {
+                for rec in scan::scan_fragment(ctx.cost, ctx.state, ctx.ledger, *f, rz.s_pred) {
+                    let val = rz.s_attr.get(&rec);
+                    ctx.charge(ctx.cost.hash_us + ctx.cost.route_us);
+                    let i = jt.site_index(hash_u32(JOIN_SEED, val));
+                    // Filter before the overflow check: the site's filter
+                    // covers every inner tuple that arrived there (bits are
+                    // set on arrival, before residency is decided), so
+                    // eliminating an overflow-bound outer tuple here is safe
+                    // and saves its spool I/O and every later re-read (§4.2).
+                    if snap.filter_drops(ctx, i, val) {
+                        // dropped at the source
+                    } else if snap.outer_diverts(i, val) {
+                        ctx.send(sites.home(i), TAG_SPOOL_S | i as u32, rec);
+                    } else {
+                        ctx.send(rz.join_nodes[i], TAG_PROBE | i as u32, rec);
+                    }
+                }
+            },
+        );
     }
-    machine.fabric.flush(&mut ledgers);
-    let pairs = set.take_overflows(machine, &mut ledgers);
+    consumers.settle(machine, &mut ledgers, &mut sink);
+    let pairs = take_overflows(machine, &mut ledgers, &mut consumers, &sites);
     let sched = dispatch_overhead(machine, &mut ledgers, &disk_nodes, table_bytes);
     phases.push(PhaseRecord::new("probe S", ledgers, sched));
 

@@ -22,19 +22,21 @@
 //! early without reading the tail of the outer relation's *sorted* file
 //! (§4.4's NU anomaly) — the sorting cost, however, is fully paid.
 
-use gamma_des::SimTime;
+use gamma_des::{SimTime, Usage};
 use gamma_wiss::sort::{external_sort, RunMerger};
-use gamma_wiss::{FileId, HeapWriter, SortConfig};
+use gamma_wiss::{BufferPool, FileId, SortConfig, Volume};
 
 use crate::bitfilter::BitFilter;
+use crate::exec::control::dispatch_overhead;
+use crate::exec::hash::{Consumers, TAG_PART};
+use crate::exec::{self, run_step, scan};
 use crate::hash::{hash_u32, JOIN_SEED};
-use crate::hashjoin::{delete_file, dispatch_overhead};
-use crate::machine::{Ledgers, Machine, NodeId, ResultSink};
+use crate::machine::{Machine, ResultRoute, ResultSink, RESULT_TAG};
 use crate::report::{DriverOutput, PhaseRecord};
 use crate::split::JoiningSplitTable;
 use crate::tuple::compose;
 
-use super::common::{scan_fragment, RangePred, Resolved};
+use super::common::{RangePred, Resolved};
 
 /// Filter-salt namespace for sort-merge.
 const SM_SALT: u64 = 0x53;
@@ -44,6 +46,7 @@ const SM_SALT: u64 = 0x53;
 fn partition(
     machine: &mut Machine,
     phases: &mut Vec<PhaseRecord>,
+    sink: &mut ResultSink,
     fragments: &[FileId],
     attr: crate::tuple::Attr,
     pred: Option<RangePred>,
@@ -51,81 +54,62 @@ fn partition(
     build_filters: bool,
     label: &str,
 ) -> Vec<FileId> {
-    let cost = machine.cfg.cost.clone();
     let disk_nodes = machine.disk_nodes();
+    let d = disk_nodes.len();
     let jt = JoiningSplitTable::new(disk_nodes.clone());
-    let page = cost.disk.page_bytes;
-    let mut writers: Vec<Option<HeapWriter>> = disk_nodes
-        .iter()
-        .map(|&n| {
-            Some(HeapWriter::create(
-                machine.volumes[n].as_mut().unwrap(),
-                page,
-            ))
-        })
-        .collect();
+    let mut consumers = Consumers::new(machine);
+    if build_filters {
+        // Inner partitioning: each destination site builds its own filter
+        // while it stores arriving tuples.
+        let taken: Vec<Option<BitFilter>> = filters.iter_mut().map(Option::take).collect();
+        consumers.open_parts(machine, taken, attr);
+    } else {
+        consumers.open_parts(machine, vec![None; d], attr);
+    }
     let mut ledgers = machine.ledgers();
-    for &node in &disk_nodes {
-        let recs = scan_fragment(machine, &mut ledgers, node, fragments[node], pred);
-        for rec in recs {
-            let val = attr.get(&rec);
-            cost.charge(&mut ledgers[node], cost.hash_us + cost.route_us);
-            let i = jt.site_index(hash_u32(JOIN_SEED, val));
-            let dst = disk_nodes[i];
-            if !build_filters {
-                // Outer partitioning: test the destination site's filter at
-                // the source before spending network/disk on the tuple.
-                if let Some(f) = &filters[i] {
-                    cost.charge(&mut ledgers[node], cost.filter_test_us);
-                    if !f.test(val) {
-                        ledgers[node].counts.filter_drops += 1;
-                        continue;
+    let mut states: Vec<FileId> = disk_nodes.iter().map(|&n| fragments[n]).collect();
+    {
+        let jt = &jt;
+        let test_filters: Option<&[Option<BitFilter>]> = (!build_filters).then_some(&*filters);
+        run_step(machine, &mut ledgers, &disk_nodes, &mut states, |ctx, f| {
+            for rec in scan::scan_fragment(ctx.cost, ctx.state, ctx.ledger, *f, pred) {
+                let val = attr.get(&rec);
+                ctx.charge(ctx.cost.hash_us + ctx.cost.route_us);
+                let i = jt.site_index(hash_u32(JOIN_SEED, val));
+                if let Some(filters) = test_filters {
+                    // Outer partitioning: test the destination site's
+                    // filter at the source before spending network/disk on
+                    // the tuple.
+                    if let Some(f) = &filters[i] {
+                        ctx.charge(ctx.cost.filter_test_us);
+                        if !f.test(val) {
+                            ctx.ledger.counts.filter_drops += 1;
+                            continue;
+                        }
                     }
                 }
+                ctx.send(disk_nodes[i], TAG_PART, rec);
             }
-            machine
-                .fabric
-                .send_tuple(&mut ledgers, node, dst, rec.len() as u64);
-            if build_filters {
-                if let Some(f) = &mut filters[i] {
-                    cost.charge(&mut ledgers[dst], cost.filter_set_us);
-                    f.set(val);
-                }
-            }
-            cost.charge(&mut ledgers[dst], cost.store_tuple_us);
-            writers[i].as_mut().unwrap().push(
-                machine.volumes[dst].as_mut().unwrap(),
-                machine.pools[dst].as_mut().unwrap(),
-                &mut ledgers[dst],
-                &rec,
-            );
+        });
+    }
+    consumers.settle(machine, &mut ledgers, sink);
+    let (files, back) = consumers.close_parts(machine, &mut ledgers);
+    if build_filters {
+        for (slot, f) in filters.iter_mut().zip(back) {
+            *slot = f;
         }
     }
-    machine.fabric.flush(&mut ledgers);
-    let files: Vec<FileId> = writers
-        .into_iter()
-        .enumerate()
-        .map(|(i, w)| {
-            let n = disk_nodes[i];
-            w.unwrap().finish(
-                machine.volumes[n].as_mut().unwrap(),
-                machine.pools[n].as_mut().unwrap(),
-                &mut ledgers[n],
-            )
-        })
-        .collect();
-    let table_bytes = cost.split_table_bytes(jt.entries());
+    let table_bytes = machine.cfg.cost.split_table_bytes(jt.entries());
     let mut sched = dispatch_overhead(machine, &mut ledgers, &disk_nodes, table_bytes);
     if !build_filters {
         // The aggregate filter packet was broadcast to the scanning nodes
         // before the outer partitioning began.
         if filters.iter().any(Option::is_some) {
+            let bytes = machine.cfg.cost.filter_packet_bytes;
             for &n in &disk_nodes {
-                machine
-                    .fabric
-                    .scheduler_control(&mut ledgers[n], n, cost.filter_packet_bytes);
+                machine.fabric.scheduler_control(&mut ledgers[n], n, bytes);
             }
-            sched += SimTime::from_us(cost.scheduler_dispatch_us);
+            sched += SimTime::from_us(machine.cfg.cost.scheduler_dispatch_us);
         }
     }
     phases.push(PhaseRecord::new(label, ledgers, sched));
@@ -134,7 +118,9 @@ fn partition(
 
 /// Fully sort every node's temp fragment (run formation plus however many
 /// merge passes the memory budget requires — the source of the "upward
-/// steps" in the paper's sort-merge curves).
+/// steps" in the paper's sort-merge curves). Each node's sort is
+/// independent, so under the `parallel` feature the whole phase runs as
+/// one wave of node-local workers.
 fn sort_phase(
     machine: &mut Machine,
     phases: &mut Vec<PhaseRecord>,
@@ -143,44 +129,38 @@ fn sort_phase(
     mem_per_node: u64,
     label: &str,
 ) -> Vec<FileId> {
-    let cost = machine.cfg.cost.clone();
     let cfg = SortConfig {
-        mem_bytes: mem_per_node.max(cost.disk.page_bytes as u64 * 2),
-        page_bytes: cost.disk.page_bytes,
+        mem_bytes: mem_per_node.max(machine.cfg.cost.disk.page_bytes as u64 * 2),
+        page_bytes: machine.cfg.cost.disk.page_bytes,
     };
     let disk_nodes = machine.disk_nodes();
     let mut ledgers = machine.ledgers();
-    let mut runs = Vec::with_capacity(disk_nodes.len());
     let key = move |rec: &[u8]| attr.get(rec);
-    for &node in &disk_nodes {
-        #[cfg(feature = "trace")]
-        gamma_trace::emit(
-            node as u16,
-            ledgers[node].total_demand().as_us(),
-            gamma_trace::EventKind::SpanBegin { name: "sort" },
-        );
-        let vol = machine.volumes[node].as_mut().unwrap();
-        let pool = machine.pools[node].as_mut().unwrap();
-        let (f, _stats) = external_sort(
-            vol,
-            pool,
-            temp[node],
-            &key,
-            cfg,
-            &cost.sort,
-            &mut ledgers[node],
-        );
-        runs.push(f);
-        #[cfg(feature = "trace")]
-        gamma_trace::emit(
-            node as u16,
-            ledgers[node].total_demand().as_us(),
-            gamma_trace::EventKind::SpanEnd { name: "sort" },
-        );
-    }
+    let mut states: Vec<FileId> = disk_nodes.iter().map(|&n| temp[n]).collect();
+    let runs = {
+        let key = &key;
+        run_step(machine, &mut ledgers, &disk_nodes, &mut states, |ctx, f| {
+            #[cfg(feature = "trace")]
+            gamma_trace::emit(
+                ctx.node as u16,
+                ctx.ledger.total_demand().as_us(),
+                gamma_trace::EventKind::SpanBegin { name: "sort" },
+            );
+            let (vol, pool) = ctx.state.vp();
+            let (sorted, _stats) =
+                external_sort(vol, pool, *f, key, cfg, &ctx.cost.sort, ctx.ledger);
+            #[cfg(feature = "trace")]
+            gamma_trace::emit(
+                ctx.node as u16,
+                ctx.ledger.total_demand().as_us(),
+                gamma_trace::EventKind::SpanEnd { name: "sort" },
+            );
+            sorted
+        })
+    };
     // Free the unsorted temp files.
     for &node in &disk_nodes {
-        delete_file(machine, node, temp[node]);
+        exec::delete_file(machine, node, temp[node]);
     }
     let sched = dispatch_overhead(machine, &mut ledgers, &disk_nodes, 0);
     phases.push(PhaseRecord::new(label, ledgers, sched));
@@ -189,10 +169,10 @@ fn sort_phase(
 
 /// Stream a merge join over one node's sorted runs, collecting outputs.
 /// Returns `(result tuples, merge comparisons)`.
-fn merge_join_node(
-    machine: &mut Machine,
-    ledgers: &mut Ledgers,
-    node: NodeId,
+fn merge_streams(
+    vol: &Volume,
+    pool: &mut BufferPool,
+    ledger: &mut Usage,
     r_sorted: FileId,
     s_sorted: FileId,
     r_attr: crate::tuple::Attr,
@@ -200,59 +180,53 @@ fn merge_join_node(
 ) -> (Vec<Vec<u8>>, u64) {
     let mut out = Vec::new();
     let mut compares = 0u64;
-    {
-        let vol = machine.volumes[node].as_ref().unwrap();
-        let pool = machine.pools[node].as_mut().unwrap();
-        let ledger = &mut ledgers[node];
-        let r_key = move |rec: &[u8]| r_attr.get(rec);
-        let s_key = move |rec: &[u8]| s_attr.get(rec);
-        let mut rm = RunMerger::open(vol, vec![r_sorted], &r_key);
-        let mut sm = RunMerger::open(vol, vec![s_sorted], &s_key);
+    let r_key = move |rec: &[u8]| r_attr.get(rec);
+    let s_key = move |rec: &[u8]| s_attr.get(rec);
+    let mut rm = RunMerger::open(vol, vec![r_sorted], &r_key);
+    let mut sm = RunMerger::open(vol, vec![s_sorted], &s_key);
 
-        let mut r_next = rm.next(pool, ledger);
-        let mut s_cur = sm.next(pool, ledger);
-        while let (Some(r), Some(s)) = (&r_next, &s_cur) {
-            let rk = r_attr.get(r);
-            let sk = s_attr.get(s);
-            compares += 1;
-            if rk < sk {
+    let mut r_next = rm.next(pool, ledger);
+    let mut s_cur = sm.next(pool, ledger);
+    while let (Some(r), Some(s)) = (&r_next, &s_cur) {
+        let rk = r_attr.get(r);
+        let sk = s_attr.get(s);
+        compares += 1;
+        if rk < sk {
+            r_next = rm.next(pool, ledger);
+        } else if rk > sk {
+            s_cur = sm.next(pool, ledger);
+        } else {
+            // Collect the group of equal inner keys, then emit the cross
+            // product with every matching outer tuple (this is the
+            // "backup" that keeps sort-merge on the disk nodes).
+            let mut group = vec![r_next.take().unwrap()];
+            loop {
                 r_next = rm.next(pool, ledger);
-            } else if rk > sk {
-                s_cur = sm.next(pool, ledger);
-            } else {
-                // Collect the group of equal inner keys, then emit the
-                // cross product with every matching outer tuple (this is
-                // the "backup" that keeps sort-merge on the disk nodes).
-                let mut group = vec![r_next.take().unwrap()];
-                loop {
-                    r_next = rm.next(pool, ledger);
-                    match &r_next {
-                        Some(r2) if r_attr.get(r2) == rk => {
-                            group.push(r_next.take().unwrap());
-                        }
-                        _ => break,
+                match &r_next {
+                    Some(r2) if r_attr.get(r2) == rk => {
+                        group.push(r_next.take().unwrap());
                     }
-                }
-                while let Some(s2) = &s_cur {
-                    if s_attr.get(s2) != rk {
-                        break;
-                    }
-                    compares += 1;
-                    for g in &group {
-                        out.push(compose(g, s2));
-                    }
-                    s_cur = sm.next(pool, ledger);
+                    _ => break,
                 }
             }
+            while let Some(s2) = &s_cur {
+                if s_attr.get(s2) != rk {
+                    break;
+                }
+                compares += 1;
+                for g in &group {
+                    out.push(compose(g, s2));
+                }
+                s_cur = sm.next(pool, ledger);
+            }
         }
-        compares += rm.comparisons() + sm.comparisons();
     }
+    compares += rm.comparisons() + sm.comparisons();
     (out, compares)
 }
 
 /// Execute a parallel sort-merge join.
 pub fn run(machine: &mut Machine, rz: &Resolved) -> DriverOutput {
-    let cost = machine.cfg.cost.clone();
     let disk_nodes = machine.disk_nodes();
     let d = disk_nodes.len();
     let mem_per_node = rz.capacity_per_site; // resolver set this to M / D
@@ -270,6 +244,7 @@ pub fn run(machine: &mut Machine, rz: &Resolved) -> DriverOutput {
     let r_temp = partition(
         machine,
         &mut phases,
+        &mut sink,
         &rz.r_fragments,
         rz.r_attr,
         rz.r_pred,
@@ -291,6 +266,7 @@ pub fn run(machine: &mut Machine, rz: &Resolved) -> DriverOutput {
     let s_temp = partition(
         machine,
         &mut phases,
+        &mut sink,
         &rz.s_fragments,
         rz.s_attr,
         rz.s_pred,
@@ -310,34 +286,47 @@ pub fn run(machine: &mut Machine, rz: &Resolved) -> DriverOutput {
 
     // Phase 5: local merge join in parallel at every disk site.
     let mut ledgers = machine.ledgers();
-    let mut run_files: Vec<(NodeId, FileId)> = Vec::new();
-    for (&node, (rr, sr)) in disk_nodes.iter().zip(r_runs.into_iter().zip(s_runs)) {
-        run_files.push((node, rr));
-        run_files.push((node, sr));
-        #[cfg(feature = "trace")]
-        gamma_trace::emit(
-            node as u16,
-            ledgers[node].total_demand().as_us(),
-            gamma_trace::EventKind::SpanBegin { name: "merge" },
-        );
-        let (outputs, compares) =
-            merge_join_node(machine, &mut ledgers, node, rr, sr, rz.r_attr, rz.s_attr);
-        cost.charge(&mut ledgers[node], cost.merge_compare_us * compares);
-        ledgers[node].counts.comparisons += compares;
-        for rec in outputs {
-            cost.charge(&mut ledgers[node], cost.compose_us);
-            sink.push(machine, &mut ledgers, node, &rec);
-        }
-        #[cfg(feature = "trace")]
-        gamma_trace::emit(
-            node as u16,
-            ledgers[node].total_demand().as_us(),
-            gamma_trace::EventKind::SpanEnd { name: "merge" },
-        );
-    }
-    machine.fabric.flush(&mut ledgers);
-    for (node, f) in run_files {
-        delete_file(machine, node, f);
+    let mut states: Vec<(FileId, FileId)> = disk_nodes
+        .iter()
+        .enumerate()
+        .map(|(i, _)| (r_runs[i], s_runs[i]))
+        .collect();
+    run_step(
+        machine,
+        &mut ledgers,
+        &disk_nodes,
+        &mut states,
+        |ctx, &mut (rr, sr)| {
+            #[cfg(feature = "trace")]
+            gamma_trace::emit(
+                ctx.node as u16,
+                ctx.ledger.total_demand().as_us(),
+                gamma_trace::EventKind::SpanBegin { name: "merge" },
+            );
+            let (outputs, compares) = {
+                let (vol, pool) = ctx.state.vp();
+                merge_streams(vol, pool, ctx.ledger, rr, sr, rz.r_attr, rz.s_attr)
+            };
+            ctx.charge(ctx.cost.merge_compare_us * compares);
+            ctx.ledger.counts.comparisons += compares;
+            let mut route = ResultRoute::new(ctx.node, d);
+            for rec in outputs {
+                ctx.charge(ctx.cost.compose_us);
+                ctx.ledger.counts.tuples_out += 1;
+                ctx.send(route.advance(), RESULT_TAG, rec);
+            }
+            #[cfg(feature = "trace")]
+            gamma_trace::emit(
+                ctx.node as u16,
+                ctx.ledger.total_demand().as_us(),
+                gamma_trace::EventKind::SpanEnd { name: "merge" },
+            );
+        },
+    );
+    sink.flush(machine, &mut ledgers);
+    for (i, &node) in disk_nodes.iter().enumerate() {
+        exec::delete_file(machine, node, r_runs[i]);
+        exec::delete_file(machine, node, s_runs[i]);
     }
     let sched = dispatch_overhead(machine, &mut ledgers, &disk_nodes, 0);
     let result = sink.finish(machine, &mut ledgers);

@@ -57,6 +57,17 @@ impl BitFilter {
         self.nbits
     }
 
+    /// Merge another filter built with the same size and salt (per-worker
+    /// filter shards are OR-folded after a parallel step; OR is commutative
+    /// so the merged filter is independent of worker scheduling).
+    pub fn or_with(&mut self, other: &BitFilter) {
+        assert_eq!(self.nbits, other.nbits, "filter shards must match");
+        assert_eq!(self.seed, other.seed, "filter shards must share a salt");
+        for (w, o) in self.bits.iter_mut().zip(&other.bits) {
+            *w |= o;
+        }
+    }
+
     /// Fraction of bits set (filter saturation — the paper's explanation
     /// for why one packet-sized filter is nearly useless at 100 % memory
     /// and sharp at four buckets).

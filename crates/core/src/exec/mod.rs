@@ -1,0 +1,383 @@
+//! # Per-node executor and shared stage library
+//!
+//! Every driver phase is a sequence of **steps**. A step gives each
+//! participating node's operator instance exclusive access to that node's
+//! local state — volume, buffer pool, phase ledger, exchange endpoints —
+//! and runs them all to completion before the next step starts:
+//!
+//! * a *producer* step scans local fragments and sends tuples through the
+//!   [`Exchange`](gamma_net::Exchange) (split-table routing, spooling,
+//!   result traffic),
+//! * an *absorb* step drains each node's inbox and applies the delivered
+//!   messages (hash-table inserts/probes, spool stores, result stores).
+//!
+//! Because a worker only ever touches its own node's state and its own
+//! outbox, the steps of one wave are independent: with the `parallel`
+//! feature each step fans the per-node closures out to OS threads and
+//! joins them at the step boundary. Determinism is preserved by
+//! construction —
+//!
+//! * virtual-time charges accumulate into per-node ledgers that only the
+//!   node's own worker writes; phase totals are sums, independent of
+//!   scheduling,
+//! * the exchange routes sealed packets source-major, so consumers drain
+//!   identical message sequences regardless of producer interleaving,
+//! * trace events emitted by a worker are captured in a thread-local sink
+//!   and re-emitted into the main sink in node order at the join point,
+//!   reproducing the serial emission order byte for byte.
+//!
+//! The stage library lives in the submodules: [`scan`] (fragment scans),
+//! [`hash`] (split/build/probe/spill consumers and overflow resolution),
+//! [`control`] (scheduler dispatch and filter broadcast accounting).
+
+pub mod control;
+pub mod hash;
+pub mod scan;
+
+use gamma_des::Usage;
+use gamma_net::{Inbox, Msg, Outbox};
+use gamma_wiss::{FileId, HeapScan, HeapWriter};
+
+use crate::cost::CostModel;
+use crate::machine::{Ledgers, Machine, NodeId, NodeState};
+
+/// Runtime switch for the threaded executor (only meaningful with the
+/// `parallel` feature; the serial path is always available and is the
+/// reference implementation).
+#[cfg(feature = "parallel")]
+static PARALLEL: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(true);
+
+/// Enable or disable the threaded executor at runtime. Tests flip this to
+/// compare the two paths inside one process.
+#[cfg(feature = "parallel")]
+pub fn set_parallel(on: bool) {
+    PARALLEL.store(on, std::sync::atomic::Ordering::SeqCst);
+}
+
+/// True when steps fan out to per-node worker threads.
+#[cfg(feature = "parallel")]
+pub fn parallel_enabled() -> bool {
+    PARALLEL.load(std::sync::atomic::Ordering::SeqCst)
+}
+
+/// Without the `parallel` feature every step runs serially.
+#[cfg(not(feature = "parallel"))]
+pub fn parallel_enabled() -> bool {
+    false
+}
+
+/// Everything one node's operator instance may touch during a step.
+pub struct StepCtx<'a> {
+    /// The node this worker runs on.
+    pub node: NodeId,
+    /// Cost model (shared, read-only).
+    pub cost: &'a CostModel,
+    /// The node's local state (volume, buffer pool).
+    pub state: &'a mut NodeState,
+    /// The node's ledger slot for the current phase.
+    pub ledger: &'a mut Usage,
+    outbox: &'a mut Outbox,
+    inbox: Option<Inbox>,
+}
+
+impl StepCtx<'_> {
+    /// Charge CPU microseconds to this node's ledger.
+    #[inline]
+    pub fn charge(&mut self, us: u64) {
+        self.cost.charge(self.ledger, us);
+    }
+
+    /// Send one tuple to `dst` on stream `tag` through this node's outbox.
+    #[inline]
+    pub fn send(&mut self, dst: NodeId, tag: u32, payload: Vec<u8>) {
+        self.outbox.send(self.ledger, dst, tag, payload);
+    }
+
+    /// Drain every message delivered to this node before the step started,
+    /// charging the receive side of each remote packet.
+    pub fn drain(&mut self) -> Vec<Msg> {
+        match self.inbox.as_mut() {
+            Some(i) => i.drain(self.ledger, &self.cost.ring),
+            None => Vec::new(),
+        }
+    }
+
+    /// Read every record of a local heap file through this node's buffer
+    /// pool, charging page reads.
+    pub fn read_records(&mut self, file: FileId) -> Vec<Vec<u8>> {
+        let (vol, pool) = self.state.vp();
+        HeapScan::open(vol, file).collect_all(pool, self.ledger)
+    }
+
+    /// End-of-step bookkeeping: the operator must have drained its inbox,
+    /// and partially filled outgoing packets are sealed so the next step's
+    /// routing delivers them.
+    fn finish(self) {
+        assert!(
+            self.inbox.as_ref().is_none_or(|i| i.is_empty()),
+            "node {} finished a step with undrained messages",
+            self.node
+        );
+        self.outbox.seal(self.ledger);
+    }
+}
+
+/// Split `slice` into disjoint `&mut` element references at the given
+/// strictly ascending indices.
+fn disjoint_muts<'a, T>(mut slice: &'a mut [T], idxs: &[usize]) -> Vec<&'a mut T> {
+    let mut out = Vec::with_capacity(idxs.len());
+    let mut consumed = 0usize;
+    for &i in idxs {
+        debug_assert!(i >= consumed, "indices must be strictly ascending");
+        let (_, rest) = slice.split_at_mut(i - consumed);
+        let (item, rest) = rest.split_first_mut().expect("index in bounds");
+        out.push(item);
+        slice = rest;
+        consumed = i + 1;
+    }
+    out
+}
+
+/// One worker's inputs for a step.
+struct Bundle<'a, S> {
+    node: NodeId,
+    state: &'a mut NodeState,
+    ledger: &'a mut Usage,
+    outbox: &'a mut Outbox,
+    inbox: Inbox,
+    step_state: &'a mut S,
+}
+
+/// Run one step: deliver routed packets, then run `f` once per
+/// participant with exclusive access to that node's state, ledger and
+/// exchange endpoints. `participants` must be strictly ascending;
+/// `states` supplies one per-node operator state per participant, and the
+/// per-node return values come back in participant order.
+///
+/// Serially the participants run in ascending node order; with the
+/// `parallel` feature (and [`parallel_enabled`]) each participant runs on
+/// its own OS thread and the step joins them all before returning —
+/// producing byte-identical ledgers, counts and trace output.
+pub fn run_step<S, R, F>(
+    machine: &mut Machine,
+    ledgers: &mut Ledgers,
+    participants: &[NodeId],
+    states: &mut [S],
+    f: F,
+) -> Vec<R>
+where
+    S: Send,
+    R: Send,
+    F: Fn(&mut StepCtx<'_>, &mut S) -> R + Sync,
+{
+    assert_eq!(
+        states.len(),
+        participants.len(),
+        "one state per participant"
+    );
+    debug_assert!(participants.windows(2).all(|w| w[0] < w[1]));
+    machine.exchange.route();
+    let Machine {
+        cfg,
+        nodes,
+        exchange,
+        ..
+    } = machine;
+    let cost = &cfg.cost;
+    let inboxes: Vec<Inbox> = participants
+        .iter()
+        .map(|&n| exchange.take_inbox(n))
+        .collect();
+    let node_refs = disjoint_muts(nodes.as_mut_slice(), participants);
+    let outbox_refs = disjoint_muts(exchange.outboxes_mut(), participants);
+    let ledger_refs = disjoint_muts(ledgers.as_mut_slice(), participants);
+    let bundles: Vec<Bundle<'_, S>> = participants
+        .iter()
+        .zip(node_refs)
+        .zip(outbox_refs)
+        .zip(ledger_refs)
+        .zip(inboxes)
+        .zip(states.iter_mut())
+        .map(
+            |(((((&node, state), outbox), ledger), inbox), step_state)| Bundle {
+                node,
+                state,
+                ledger,
+                outbox,
+                inbox,
+                step_state,
+            },
+        )
+        .collect();
+    #[cfg(feature = "parallel")]
+    if parallel_enabled() && bundles.len() > 1 {
+        return run_bundles_parallel(cost, bundles, &f);
+    }
+    bundles
+        .into_iter()
+        .map(|b| run_bundle(cost, b, &f))
+        .collect()
+}
+
+fn run_bundle<S, R>(
+    cost: &CostModel,
+    b: Bundle<'_, S>,
+    f: &(impl Fn(&mut StepCtx<'_>, &mut S) -> R + Sync),
+) -> R {
+    let mut ctx = StepCtx {
+        node: b.node,
+        cost,
+        state: b.state,
+        ledger: b.ledger,
+        outbox: b.outbox,
+        inbox: Some(b.inbox),
+    };
+    let r = f(&mut ctx, b.step_state);
+    ctx.finish();
+    r
+}
+
+#[cfg(feature = "parallel")]
+fn run_bundles_parallel<S, R>(
+    cost: &CostModel,
+    bundles: Vec<Bundle<'_, S>>,
+    f: &(impl Fn(&mut StepCtx<'_>, &mut S) -> R + Sync),
+) -> Vec<R>
+where
+    S: Send,
+    R: Send,
+{
+    #[cfg(feature = "trace")]
+    let tracing = gamma_trace::is_active();
+    let outs = std::thread::scope(|scope| {
+        let handles: Vec<_> = bundles
+            .into_iter()
+            .map(|b| {
+                scope.spawn(move || {
+                    // Each worker collects its trace events privately; the
+                    // join point below replays them in node order so the
+                    // merged stream is identical to a serial run.
+                    #[cfg(feature = "trace")]
+                    if tracing {
+                        gamma_trace::install(gamma_trace::TraceSink::unbounded());
+                    }
+                    let r = run_bundle(cost, b, f);
+                    #[cfg(feature = "trace")]
+                    let events: Vec<(u16, u64, gamma_trace::EventKind)> = if tracing {
+                        gamma_trace::take()
+                            .map(|s| s.events().map(|e| (e.node, e.offset_us, e.kind)).collect())
+                            .unwrap_or_default()
+                    } else {
+                        Vec::new()
+                    };
+                    #[cfg(not(feature = "trace"))]
+                    let events: Vec<()> = Vec::new();
+                    (r, events)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                // Re-raise worker panics with their original payload so
+                // executor assertions read the same as in serial mode.
+                h.join().unwrap_or_else(|e| std::panic::resume_unwind(e))
+            })
+            .collect::<Vec<_>>()
+    });
+    let mut results = Vec::with_capacity(outs.len());
+    for (r, events) in outs {
+        #[cfg(feature = "trace")]
+        for (node, offset_us, kind) in events {
+            gamma_trace::emit(node, offset_us, kind);
+        }
+        #[cfg(not(feature = "trace"))]
+        drop(events);
+        results.push(r);
+    }
+    results
+}
+
+/// Read every record of a heap file at `node` (main-thread convenience for
+/// sequential operators; workers use [`StepCtx::read_records`]).
+pub fn read_records(
+    machine: &mut Machine,
+    ledgers: &mut Ledgers,
+    node: NodeId,
+    file: FileId,
+) -> Vec<Vec<u8>> {
+    let (vol, pool) = machine.nodes[node].vp();
+    HeapScan::open(vol, file).collect_all(pool, &mut ledgers[node])
+}
+
+/// Delete a temporary file at `node` and evict its cached pages.
+pub fn delete_file(machine: &mut Machine, node: NodeId, file: FileId) {
+    let (vol, pool) = machine.nodes[node].vp();
+    vol.delete_file(file);
+    pool.evict_file(file);
+}
+
+/// Create-and-close an empty heap file at `node` (the empty half of an
+/// overflow pair).
+pub fn empty_file(machine: &mut Machine, ledgers: &mut Ledgers, node: NodeId) -> FileId {
+    let page = machine.cfg.cost.disk.page_bytes;
+    let w = HeapWriter::create(machine.nodes[node].vol_mut(), page);
+    let (vol, pool) = machine.nodes[node].vp();
+    w.finish(vol, pool, &mut ledgers[node])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineConfig;
+
+    #[test]
+    fn disjoint_muts_picks_the_right_elements() {
+        let mut v = vec![10, 20, 30, 40, 50];
+        let picked = disjoint_muts(v.as_mut_slice(), &[0, 2, 4]);
+        assert_eq!(picked.iter().map(|r| **r).collect::<Vec<_>>(), [10, 30, 50]);
+        for r in picked {
+            *r += 1;
+        }
+        assert_eq!(v, vec![11, 20, 31, 40, 51]);
+    }
+
+    #[test]
+    fn run_step_delivers_messages_across_steps() {
+        let mut m = Machine::new(MachineConfig::local_8());
+        let mut ledgers = m.ledgers();
+        let participants: Vec<NodeId> = (0..8).collect();
+        // Step 1: every node sends one tuple to node (n+1) % 8.
+        let mut unit = vec![(); 8];
+        run_step(&mut m, &mut ledgers, &participants, &mut unit, |ctx, _| {
+            let dst = (ctx.node + 1) % 8;
+            ctx.send(dst, 7, vec![ctx.node as u8; 64]);
+        });
+        assert!(!m.exchange.is_drained());
+        // Step 2: every node drains exactly one message from its neighbour.
+        let got = run_step(&mut m, &mut ledgers, &participants, &mut unit, |ctx, _| {
+            let msgs = ctx.drain();
+            assert_eq!(msgs.len(), 1);
+            (msgs[0].src, msgs[0].payload[0])
+        });
+        for (n, &(src, byte)) in got.iter().enumerate() {
+            assert_eq!(src, (n + 8 - 1) % 8);
+            assert_eq!(byte as usize, src);
+        }
+        assert!(m.exchange.is_drained());
+    }
+
+    #[test]
+    #[should_panic(expected = "undrained")]
+    fn undrained_step_is_detected() {
+        let mut m = Machine::new(MachineConfig::local_8());
+        let mut ledgers = m.ledgers();
+        let participants: Vec<NodeId> = (0..8).collect();
+        let mut unit = vec![(); 8];
+        run_step(&mut m, &mut ledgers, &participants, &mut unit, |ctx, _| {
+            ctx.send((ctx.node + 1) % 8, 7, vec![0u8; 2048]);
+        });
+        // Nobody drains: the next step must notice.
+        run_step(&mut m, &mut ledgers, &participants, &mut unit, |_, _| ());
+    }
+}

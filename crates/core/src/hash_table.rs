@@ -118,6 +118,12 @@ impl JoinHashTable {
         hash_u32(self.hprime_seed, val)
     }
 
+    /// Seed of the `h'` function (snapshotted into augmented split tables
+    /// so scanning producers evaluate `h'` without the table).
+    pub fn hprime_seed(&self) -> u64 {
+        self.hprime_seed
+    }
+
     fn entry_bytes(&self, tuple_len: usize) -> u64 {
         tuple_len as u64 + self.entry_overhead
     }

@@ -21,10 +21,12 @@
 //! * [`bitfilter`] — packet-sized bit-vector filters \[BABB79, VALD84\],
 //! * [`hash_table`] — the memory-capped join hash table with the
 //!   histogram-guided 10 % clearing heuristic of Section 4.1,
-//! * [`hashjoin`] — the shared multi-site build/probe machinery with
-//!   Simple-hash overflow resolution (used by Simple directly, by Hybrid's
-//!   first bucket, and by every Grace/Hybrid bucket join),
-//! * [`algorithms`] — the four join drivers,
+//! * [`exec`] — the per-node executor (serial or thread-parallel behind
+//!   the `parallel` feature) and the shared stage library: `Scan`,
+//!   split/build/probe consumers, overflow spooling and resolution,
+//!   bucket forming, scheduler dispatch and filter broadcast,
+//! * [`algorithms`] — the four join drivers, each a short composition of
+//!   executor stages,
 //! * [`operators`] — the rest of Gamma's operator set: selection
 //!   (sequential and B+-tree-indexed), projection, scalar and group-by
 //!   aggregation,
@@ -40,9 +42,9 @@
 pub mod algorithms;
 pub mod bitfilter;
 pub mod cost;
+pub mod exec;
 pub mod hash;
 pub mod hash_table;
-pub mod hashjoin;
 pub mod machine;
 pub mod operators;
 pub mod planner;

@@ -1,13 +1,19 @@
-//! Machine configuration, relation catalog and result sink.
+//! Machine configuration, per-node state, relation catalog and result sink.
 //!
 //! A [`Machine`] is one Gamma configuration: `disk_nodes` processors with
 //! attached volumes (always the first node ids) plus `diskless_nodes`
 //! processors used only for join computation, all connected by the ring
-//! fabric. Relations are horizontally declustered across the disk nodes at
-//! load time by one of the paper's strategies (round-robin, hashed, range).
+//! fabric. Each processor owns its local state as a [`NodeState`] — volume,
+//! buffer pool — so the executor can hand disjoint `&mut NodeState` to
+//! per-node workers. Inter-node tuple traffic travels through the machine's
+//! [`Exchange`] as explicit messages; the [`Fabric`] remains for
+//! control-plane accounting (scheduler dispatch, operator start, filter
+//! broadcast). Relations are horizontally declustered across the disk nodes
+//! at load time by one of the paper's strategies (round-robin, hashed,
+//! range).
 
 use gamma_des::Usage;
-use gamma_net::Fabric;
+use gamma_net::{Exchange, Fabric};
 use gamma_wiss::{BufferPool, FileId, HeapWriter, Volume};
 
 use crate::cost::CostModel;
@@ -107,16 +113,53 @@ pub struct StoredRelation {
     pub data_bytes: u64,
 }
 
+/// Everything one processor owns locally: its disk volume and buffer pool
+/// (disk nodes only). The executor hands each per-node worker a disjoint
+/// `&mut NodeState` together with the node's phase ledger slot, so no
+/// worker can reach across to another node's disk — cross-node traffic
+/// must go through the [`Exchange`].
+pub struct NodeState {
+    /// This processor's id.
+    pub id: NodeId,
+    /// Attached volume (`None` for diskless nodes).
+    pub volume: Option<Volume>,
+    /// Buffer pool in front of the volume (`None` for diskless nodes).
+    pub pool: Option<BufferPool>,
+}
+
+impl NodeState {
+    /// Volume + pool together, for WiSS calls that need both mutably.
+    /// Panics on diskless nodes.
+    pub fn vp(&mut self) -> (&mut Volume, &mut BufferPool) {
+        (
+            self.volume.as_mut().expect("disk node"),
+            self.pool.as_mut().expect("disk node"),
+        )
+    }
+
+    /// This node's volume; panics on diskless nodes.
+    pub fn vol(&self) -> &Volume {
+        self.volume.as_ref().expect("disk node")
+    }
+
+    /// This node's volume, mutably; panics on diskless nodes.
+    pub fn vol_mut(&mut self) -> &mut Volume {
+        self.volume.as_mut().expect("disk node")
+    }
+}
+
 /// One simulated Gamma machine.
 pub struct Machine {
     /// Configuration.
     pub cfg: MachineConfig,
-    /// Per-node volume (`None` for diskless nodes).
-    pub volumes: Vec<Option<Volume>>,
-    /// Per-node buffer pool (`None` for diskless nodes).
-    pub pools: Vec<Option<BufferPool>>,
-    /// The interconnect.
+    /// Per-node local state (volume, pool), indexed by node id.
+    pub nodes: Vec<NodeState>,
+    /// The interconnect's control plane: scheduler messages, operator
+    /// starts, split-table and bit-filter broadcasts.
     pub fabric: Fabric,
+    /// The interconnect's data plane: every inter-node tuple travels here
+    /// as an explicit message between per-node mailboxes.
+    pub exchange: Exchange,
     relations: Vec<Option<StoredRelation>>,
 }
 
@@ -125,24 +168,24 @@ impl Machine {
     pub fn new(cfg: MachineConfig) -> Self {
         assert!(cfg.disk_nodes > 0, "a machine needs disk nodes");
         let total = cfg.disk_nodes + cfg.diskless_nodes;
-        let volumes = (0..total)
-            .map(|n| (n < cfg.disk_nodes).then(Volume::new))
-            .collect();
-        let pools = (0..total)
-            .map(|n| {
-                (n < cfg.disk_nodes).then(|| {
+        let nodes = (0..total)
+            .map(|n| NodeState {
+                id: n,
+                volume: (n < cfg.disk_nodes).then(Volume::new),
+                pool: (n < cfg.disk_nodes).then(|| {
                     let mut p = BufferPool::new(cfg.cost.disk, cfg.cost.pool_frames);
                     p.set_node(n as u16);
                     p
-                })
+                }),
             })
             .collect();
         let fabric = Fabric::new(cfg.cost.ring.clone(), total);
+        let exchange = Exchange::new(cfg.cost.ring.clone(), total);
         Machine {
             cfg,
-            volumes,
-            pools,
+            nodes,
             fabric,
+            exchange,
             relations: Vec::new(),
         }
     }
@@ -169,8 +212,10 @@ impl Machine {
 
     /// Cold-start every buffer pool (between experiments).
     pub fn clear_pools(&mut self) {
-        for p in self.pools.iter_mut().flatten() {
-            p.clear();
+        for n in self.nodes.iter_mut() {
+            if let Some(p) = n.pool.as_mut() {
+                p.clear();
+            }
         }
     }
 
@@ -188,19 +233,15 @@ impl Machine {
         let page_bytes = self.cfg.cost.disk.page_bytes;
         let mut scratch = Usage::ZERO; // load-time I/O is not measured
         let mut writers: Vec<HeapWriter> = (0..d)
-            .map(|n| HeapWriter::create(self.volumes[n].as_mut().expect("disk node"), page_bytes))
+            .map(|n| HeapWriter::create(self.nodes[n].vol_mut(), page_bytes))
             .collect();
         let mut count = 0u64;
         let mut bytes = 0u64;
         for t in tuples {
             let node = declustering.place(&t, d, count);
             assert!(node < d, "declustering routed to nonexistent node {node}");
-            writers[node].push(
-                self.volumes[node].as_mut().expect("disk node"),
-                self.pools[node].as_mut().expect("disk node"),
-                &mut scratch,
-                &t,
-            );
+            let (vol, pool) = self.nodes[node].vp();
+            writers[node].push(vol, pool, &mut scratch, &t);
             bytes += t.len() as u64;
             count += 1;
         }
@@ -208,11 +249,8 @@ impl Machine {
             .into_iter()
             .enumerate()
             .map(|(n, w)| {
-                w.finish(
-                    self.volumes[n].as_mut().expect("disk node"),
-                    self.pools[n].as_mut().expect("disk node"),
-                    &mut scratch,
-                )
+                let (vol, pool) = self.nodes[n].vp();
+                w.finish(vol, pool, &mut scratch)
             })
             .collect();
         self.relations.push(Some(StoredRelation {
@@ -245,7 +283,7 @@ impl Machine {
         let mut tuples = 0u64;
         let mut bytes = 0u64;
         for (n, &f) in fragments.iter().enumerate() {
-            let vol = self.volumes[n].as_ref().expect("disk node");
+            let vol = self.nodes[n].vol();
             tuples += vol.file_records(f) as u64;
             for p in 0..vol.file_pages(f) {
                 bytes += vol
@@ -287,8 +325,9 @@ impl Machine {
             .take()
             .unwrap_or_else(|| panic!("relation {id} already dropped"));
         for (n, f) in rel.fragments.iter().enumerate() {
-            self.volumes[n].as_mut().expect("disk node").delete_file(*f);
-            self.pools[n].as_mut().expect("disk node").evict_file(*f);
+            let (vol, pool) = self.nodes[n].vp();
+            vol.delete_file(*f);
+            pool.evict_file(*f);
         }
     }
 }
@@ -307,13 +346,45 @@ pub fn multiset_checksum(acc: u64, rec: &[u8]) -> u64 {
     acc.wrapping_add(h)
 }
 
+/// Exchange stream tag carried by every result tuple headed for a store
+/// operator.
+pub const RESULT_TAG: u32 = 0x52 << 24;
+
+/// Per-producer round-robin destination chooser for result tuples. Each
+/// producing operator instance deals its matches to the store operators
+/// independently (starting at its own offset so producers do not gang up
+/// on store node 0), which keeps the assignment deterministic without any
+/// cross-worker coordination.
+#[derive(Debug, Clone, Copy)]
+pub struct ResultRoute {
+    disk_nodes: usize,
+    next: usize,
+}
+
+impl ResultRoute {
+    /// A route for the producer on node `src`.
+    pub fn new(src: NodeId, disk_nodes: usize) -> Self {
+        ResultRoute {
+            disk_nodes,
+            next: src % disk_nodes,
+        }
+    }
+
+    /// Next store node in rotation.
+    pub fn advance(&mut self) -> NodeId {
+        let dst = self.next;
+        self.next = (self.next + 1) % self.disk_nodes;
+        dst
+    }
+}
+
 /// Round-robin result store: the operators at the root of the query tree
-/// distribute result tuples round-robin to store operators at each disk
-/// site (Section 2.2).
+/// distribute result tuples to store operators at each disk site (Section
+/// 2.2). Producers send [`RESULT_TAG`] messages through the [`Exchange`];
+/// the store side runs at the disk nodes when their inboxes drain.
 pub struct ResultSink {
     writers: Vec<Option<HeapWriter>>,
     disk_nodes: usize,
-    rr: usize,
     tuples: u64,
     checksum: u64,
 }
@@ -335,52 +406,115 @@ impl ResultSink {
         let d = machine.cfg.disk_nodes;
         let page = machine.cfg.cost.disk.page_bytes;
         let writers = (0..d)
-            .map(|n| {
-                Some(HeapWriter::create(
-                    machine.volumes[n].as_mut().unwrap(),
-                    page,
-                ))
-            })
+            .map(|n| Some(HeapWriter::create(machine.nodes[n].vol_mut(), page)))
             .collect();
         ResultSink {
             writers,
             disk_nodes: d,
-            rr: 0,
             tuples: 0,
             checksum: 0,
         }
     }
 
-    /// Emit one composed result tuple from the join process on `src`.
-    /// Charges the network hop and the store operator's CPU + page writes.
-    pub fn push(&mut self, machine: &mut Machine, usage: &mut Ledgers, src: NodeId, rec: &[u8]) {
-        let dst = self.rr % self.disk_nodes;
-        self.rr += 1;
-        machine.fabric.send_tuple(usage, src, dst, rec.len() as u64);
-        usage[dst].cpu(machine.cfg.cost.t(machine.cfg.cost.store_tuple_us));
-        let w = self.writers[dst].as_mut().expect("sink finished");
-        w.push(
-            machine.volumes[dst].as_mut().unwrap(),
-            machine.pools[dst].as_mut().unwrap(),
-            &mut usage[dst],
-            rec,
-        );
-        usage[src].counts.tuples_out += 1;
-        self.tuples += 1;
-        self.checksum = multiset_checksum(self.checksum, rec);
+    /// Number of store operators.
+    pub fn disk_nodes(&self) -> usize {
+        self.disk_nodes
     }
 
-    /// Flush the store operators and return the result description.
+    /// Take disk node `n`'s store writer for the duration of a consumer
+    /// step (the step's worker owns it; return with [`put_writer`]).
+    ///
+    /// [`put_writer`]: ResultSink::put_writer
+    pub fn take_writer(&mut self, n: NodeId) -> HeapWriter {
+        self.writers[n].take().expect("store writer in use")
+    }
+
+    /// Return a store writer borrowed with [`ResultSink::take_writer`].
+    pub fn put_writer(&mut self, n: NodeId, w: HeapWriter) {
+        debug_assert!(self.writers[n].is_none());
+        self.writers[n] = Some(w);
+    }
+
+    /// Store one delivered result tuple at its destination disk node:
+    /// the store operator's CPU plus the heap append. Returns the record's
+    /// checksum contribution; callers fold the per-step tallies back with
+    /// [`ResultSink::absorb`].
+    pub fn store_at(
+        cost: &CostModel,
+        node: &mut NodeState,
+        usage: &mut Usage,
+        w: &mut HeapWriter,
+        rec: &[u8],
+    ) -> u64 {
+        usage.cpu(cost.t(cost.store_tuple_us));
+        let (vol, pool) = node.vp();
+        w.push(vol, pool, usage, rec);
+        multiset_checksum(0, rec)
+    }
+
+    /// Fold one step's stored-tuple count and checksum sum into the sink.
+    pub fn absorb(&mut self, tuples: u64, checksum: u64) {
+        self.tuples += tuples;
+        self.checksum = self.checksum.wrapping_add(checksum);
+    }
+
+    /// Main-thread producer path for simple operators: send one composed
+    /// result tuple from the operator on `src` into the exchange. The
+    /// tuple is stored when [`ResultSink::flush`] drains the store nodes.
+    pub fn push(
+        &mut self,
+        machine: &mut Machine,
+        usage: &mut Ledgers,
+        route: &mut ResultRoute,
+        src: NodeId,
+        rec: &[u8],
+    ) {
+        let dst = route.advance();
+        usage[src].counts.tuples_out += 1;
+        machine.exchange.outboxes_mut()[src].send(&mut usage[src], dst, RESULT_TAG, rec.to_vec());
+    }
+
+    /// Main-thread store path: seal every outbox, route, and run the store
+    /// operators sequentially over their inboxes. Every delivered message
+    /// must be a result tuple (operators with other in-flight traffic must
+    /// drain it before flushing the sink).
+    pub fn flush(&mut self, machine: &mut Machine, usage: &mut Ledgers) {
+        let cost = machine.cfg.cost.clone();
+        for (n, ledger) in usage.iter_mut().enumerate() {
+            machine.exchange.outboxes_mut()[n].seal(ledger);
+        }
+        machine.exchange.route();
+        for (n, ledger) in usage.iter_mut().enumerate().take(self.disk_nodes) {
+            let mut inbox = machine.exchange.take_inbox(n);
+            let msgs = inbox.drain(ledger, machine.fabric.config());
+            machine.exchange.return_inbox(inbox);
+            let mut w = self.take_writer(n);
+            let mut tuples = 0u64;
+            let mut sum = 0u64;
+            for m in msgs {
+                assert_eq!(m.tag, RESULT_TAG, "unexpected stream in result flush");
+                sum = sum.wrapping_add(Self::store_at(
+                    &cost,
+                    &mut machine.nodes[n],
+                    ledger,
+                    &mut w,
+                    &m.payload,
+                ));
+                tuples += 1;
+            }
+            self.put_writer(n, w);
+            self.absorb(tuples, sum);
+        }
+    }
+
+    /// Close the store operators and return the result description.
     pub fn finish(mut self, machine: &mut Machine, usage: &mut Ledgers) -> ResultInfo {
         let mut files = Vec::with_capacity(self.disk_nodes);
         let writers = std::mem::take(&mut self.writers);
         for (n, w) in writers.into_iter().enumerate() {
-            let w = w.expect("finished twice");
-            files.push(w.finish(
-                machine.volumes[n].as_mut().unwrap(),
-                machine.pools[n].as_mut().unwrap(),
-                &mut usage[n],
-            ));
+            let w = w.expect("store writer in use");
+            let (vol, pool) = machine.nodes[n].vp();
+            files.push(w.finish(vol, pool, &mut usage[n]));
         }
         ResultInfo {
             files,
@@ -411,8 +545,9 @@ mod tests {
         assert_eq!(m.nodes(), 16);
         assert_eq!(m.disk_nodes(), (0..8).collect::<Vec<_>>());
         assert_eq!(m.diskless_nodes(), (8..16).collect::<Vec<_>>());
-        assert!(m.volumes[0].is_some());
-        assert!(m.volumes[8].is_none());
+        assert!(m.nodes[0].volume.is_some());
+        assert!(m.nodes[8].volume.is_none());
+        assert_eq!(m.nodes[5].id, 5);
     }
 
     #[test]
@@ -427,7 +562,7 @@ mod tests {
         assert_eq!(rel.data_bytes, 800 * 32);
         // Every stored tuple must be on its hash-home node.
         for n in 0..8 {
-            let vol = m.volumes[n].as_ref().unwrap();
+            let vol = m.nodes[n].vol();
             let f = rel.fragments[n];
             for page_idx in 0..vol.file_pages(f) {
                 for rec in vol.page(f, page_idx).records() {
@@ -446,13 +581,7 @@ mod tests {
         let id = m.load_relation("t", s, Declustering::RoundRobin, tuples);
         let rel = m.relation(id);
         for n in 0..8 {
-            assert_eq!(
-                m.volumes[n]
-                    .as_ref()
-                    .unwrap()
-                    .file_records(rel.fragments[n]),
-                100
-            );
+            assert_eq!(m.nodes[n].vol().file_records(rel.fragments[n]), 100);
         }
     }
 
@@ -466,9 +595,11 @@ mod tests {
         let id = m.load_relation("t", s, Declustering::Range { attr, cuts }, tuples);
         let rel = m.relation(id);
         for n in 0..8 {
-            let vol = m.volumes[n].as_ref().unwrap();
-            let f = rel.fragments[n];
-            assert_eq!(vol.file_records(f), 100, "node {n}");
+            assert_eq!(
+                m.nodes[n].vol().file_records(rel.fragments[n]),
+                100,
+                "node {n}"
+            );
         }
     }
 
@@ -480,7 +611,7 @@ mod tests {
         let id = m.load_relation("t", s, Declustering::RoundRobin, tuples);
         let f0 = m.relation(id).fragments[0];
         m.drop_relation(id);
-        assert!(!m.volumes[0].as_ref().unwrap().exists(f0));
+        assert!(!m.nodes[0].vol().exists(f0));
     }
 
     #[test]
@@ -498,14 +629,18 @@ mod tests {
         let mut m = Machine::new(MachineConfig::local_8());
         let mut ledgers = m.ledgers();
         let mut sink = ResultSink::new(&mut m);
+        let mut route = ResultRoute::new(0, 8);
         for i in 0..16u32 {
-            sink.push(&mut m, &mut ledgers, 0, &i.to_le_bytes());
+            sink.push(&mut m, &mut ledgers, &mut route, 0, &i.to_le_bytes());
         }
+        sink.flush(&mut m, &mut ledgers);
+        assert!(m.exchange.is_drained());
         let info = sink.finish(&mut m, &mut ledgers);
         assert_eq!(info.tuples, 16);
         for (n, f) in info.files.iter().enumerate() {
-            assert_eq!(m.volumes[n].as_ref().unwrap().file_records(*f), 2);
+            assert_eq!(m.nodes[n].vol().file_records(*f), 2);
         }
+        assert_eq!(ledgers[0].counts.tuples_out, 16);
         // Checksum is order independent.
         let a = multiset_checksum(multiset_checksum(0, b"x"), b"y");
         let b = multiset_checksum(multiset_checksum(0, b"y"), b"x");

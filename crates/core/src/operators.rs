@@ -13,10 +13,12 @@
 use gamma_des::{SimTime, Usage};
 use gamma_wiss::btree::BPlusTree;
 
-use crate::algorithms::common::{scan_fragment, RangePred};
+use crate::algorithms::common::RangePred;
+use crate::exec::control::dispatch_overhead;
+use crate::exec::scan::scan_fragment_at;
+use crate::exec::{self};
 use crate::hash::{hash_u32, JOIN_SEED};
-use crate::hashjoin::dispatch_overhead;
-use crate::machine::{Declustering, Machine, NodeId, RelationId, ResultSink};
+use crate::machine::{Declustering, Machine, NodeId, RelationId, ResultRoute, ResultSink};
 use crate::query::replay_phases;
 use crate::report::{PhaseRecord, PhaseSummary};
 use crate::split::JoiningSplitTable;
@@ -62,14 +64,15 @@ pub fn select(
     let schema = machine.relation(rel).schema.clone();
     let disk_nodes = machine.disk_nodes();
     let mut sink = ResultSink::new(machine);
+    let mut route = ResultRoute::new(0, disk_nodes.len());
     let mut ledgers = machine.ledgers();
     for &node in &disk_nodes {
-        let recs = scan_fragment(machine, &mut ledgers, node, fragments[node], Some(pred));
+        let recs = scan_fragment_at(machine, &mut ledgers, node, fragments[node], Some(pred));
         for rec in recs {
-            sink.push(machine, &mut ledgers, node, &rec);
+            sink.push(machine, &mut ledgers, &mut route, node, &rec);
         }
     }
-    machine.fabric.flush(&mut ledgers);
+    sink.flush(machine, &mut ledgers);
     let info = sink.finish(machine, &mut ledgers);
     let sched = dispatch_overhead(machine, &mut ledgers, &disk_nodes, 0);
     let phases = vec![PhaseRecord::new("select", ledgers, sched)];
@@ -90,16 +93,17 @@ pub fn project(
     let out_schema = schema.project(fields);
     let disk_nodes = machine.disk_nodes();
     let mut sink = ResultSink::new(machine);
+    let mut route = ResultRoute::new(0, disk_nodes.len());
     let mut ledgers = machine.ledgers();
     for &node in &disk_nodes {
-        let recs = scan_fragment(machine, &mut ledgers, node, fragments[node], None);
+        let recs = scan_fragment_at(machine, &mut ledgers, node, fragments[node], None);
         for rec in recs {
             cost.charge(&mut ledgers[node], cost.compose_us);
             let out = schema.project_tuple(fields, &rec);
-            sink.push(machine, &mut ledgers, node, &out);
+            sink.push(machine, &mut ledgers, &mut route, node, &out);
         }
     }
-    machine.fabric.flush(&mut ledgers);
+    sink.flush(machine, &mut ledgers);
     let info = sink.finish(machine, &mut ledgers);
     let sched = dispatch_overhead(machine, &mut ledgers, &disk_nodes, 0);
     let phases = vec![PhaseRecord::new("project", ledgers, sched)];
@@ -163,7 +167,7 @@ pub fn aggregate_scalar(
     let mut ledgers = machine.ledgers();
     let mut acc = f.init();
     for &node in &disk_nodes {
-        let recs = scan_fragment(machine, &mut ledgers, node, fragments[node], pred);
+        let recs = scan_fragment_at(machine, &mut ledgers, node, fragments[node], pred);
         for rec in recs {
             cost.charge(&mut ledgers[node], cost.agg_update_us);
             acc = f.merge(acc, f.update(f.init(), attr.get(&rec)));
@@ -209,7 +213,7 @@ pub fn aggregate_group(
     let mut partials: Vec<HashMap<u32, u64>> = vec![HashMap::new(); disk_nodes.len()];
     let mut ledgers = machine.ledgers();
     for &node in &disk_nodes {
-        let recs = scan_fragment(machine, &mut ledgers, node, fragments[node], None);
+        let recs = scan_fragment_at(machine, &mut ledgers, node, fragments[node], None);
         for rec in recs {
             cost.charge(&mut ledgers[node], cost.hash_us + cost.agg_update_us);
             let g = group_attr.get(&rec);
@@ -230,6 +234,10 @@ pub fn aggregate_group(
     let mut merged: Vec<HashMap<u32, u64>> = vec![HashMap::new(); agg_nodes.len()];
     let mut ledgers = machine.ledgers();
     for (node, part) in partials.into_iter().enumerate() {
+        // Deterministic send order: HashMap iteration must not leak into
+        // the fabric's packet accounting.
+        let mut part: Vec<(u32, u64)> = part.into_iter().collect();
+        part.sort_unstable();
         for (g, v) in part {
             cost.charge(&mut ledgers[node], cost.hash_us + cost.route_us);
             let i = jt.site_index(hash_u32(JOIN_SEED, g));
@@ -244,6 +252,7 @@ pub fn aggregate_group(
     }
     machine.fabric.flush(&mut ledgers);
     let mut sink = ResultSink::new(machine);
+    let mut route = ResultRoute::new(0, disk_nodes.len());
     let out_schema = Schema::new(vec![Field::Int("group".into()), Field::Int("value".into())]);
     let mut groups: u64 = 0;
     for (i, m) in merged.into_iter().enumerate() {
@@ -257,10 +266,10 @@ pub fn aggregate_group(
             let mut rec = vec![0u8; 8];
             rec[0..4].copy_from_slice(&g.to_le_bytes());
             rec[4..8].copy_from_slice(&(v as u32).to_le_bytes());
-            sink.push(machine, &mut ledgers, node, &rec);
+            sink.push(machine, &mut ledgers, &mut route, node, &rec);
         }
     }
-    machine.fabric.flush(&mut ledgers);
+    sink.flush(machine, &mut ledgers);
     let info = sink.finish(machine, &mut ledgers);
     let mut sched = dispatch_overhead(machine, &mut ledgers, &disk_nodes, table_bytes);
     sched += dispatch_overhead(machine, &mut ledgers, &agg_nodes, table_bytes);
@@ -327,8 +336,8 @@ fn rewrite(
     let mut kept_tuples = 0u64;
     let mut kept_bytes = 0u64;
     for &node in &disk_nodes {
-        let recs = scan_fragment(machine, &mut ledgers, node, fragments[node], None);
-        let mut w = HeapWriter::create(machine.volumes[node].as_mut().unwrap(), page);
+        let recs = scan_fragment_at(machine, &mut ledgers, node, fragments[node], None);
+        let mut w = HeapWriter::create(machine.nodes[node].vol_mut(), page);
         for rec in recs {
             match f(&rec, &cost) {
                 Some(out) => {
@@ -339,22 +348,17 @@ fn rewrite(
                     cost.charge(&mut ledgers[node], cost.store_tuple_us);
                     kept_tuples += 1;
                     kept_bytes += out.len() as u64;
-                    w.push(
-                        machine.volumes[node].as_mut().unwrap(),
-                        machine.pools[node].as_mut().unwrap(),
-                        &mut ledgers[node],
-                        &out,
-                    );
+                    let (vol, pool) = machine.nodes[node].vp();
+                    w.push(vol, pool, &mut ledgers[node], &out);
                 }
                 None => touched += 1,
             }
         }
-        let newf = w.finish(
-            machine.volumes[node].as_mut().unwrap(),
-            machine.pools[node].as_mut().unwrap(),
-            &mut ledgers[node],
-        );
-        crate::hashjoin::delete_file(machine, node, fragments[node]);
+        let newf = {
+            let (vol, pool) = machine.nodes[node].vp();
+            w.finish(vol, pool, &mut ledgers[node])
+        };
+        exec::delete_file(machine, node, fragments[node]);
         new_fragments.push(newf);
     }
     {
@@ -388,14 +392,14 @@ pub fn build_index(machine: &mut Machine, rel: RelationId, attr: Attr) -> (BTree
     for &node in &disk_nodes {
         let mut tree = BPlusTree::new();
         let file = fragments[node];
-        let vol = machine.volumes[node].as_ref().unwrap();
-        let pages = vol.file_pages(file);
+        let pages = machine.nodes[node].vol().file_pages(file);
         for p in 0..pages {
-            machine.pools[node]
+            machine.nodes[node]
+                .pool
                 .as_mut()
                 .unwrap()
                 .charge_read(file, p, &mut ledgers[node]);
-            let page = machine.volumes[node].as_ref().unwrap().page(file, p);
+            let page = machine.nodes[node].vol().page(file, p);
             for rec in page.records() {
                 cost.charge(&mut ledgers[node], cost.build_insert_us);
                 tree.insert(attr.get(rec), p as u32);
@@ -451,6 +455,7 @@ pub fn select_indexed(
     let schema = machine.relation(rel).schema.clone();
     let disk_nodes = machine.disk_nodes();
     let mut sink = ResultSink::new(machine);
+    let mut route = ResultRoute::new(0, disk_nodes.len());
     let mut ledgers = machine.ledgers();
     for &node in &disk_nodes {
         let tree = &index.per_node[node];
@@ -479,15 +484,12 @@ pub fn select_indexed(
         let matches: Vec<Vec<u8>> = {
             let mut out = Vec::new();
             for &p in &pages {
-                machine.pools[node].as_mut().unwrap().charge_read(
+                machine.nodes[node].pool.as_mut().unwrap().charge_read(
                     file,
                     p as usize,
                     &mut ledgers[node],
                 );
-                let page = machine.volumes[node]
-                    .as_ref()
-                    .unwrap()
-                    .page(file, p as usize);
+                let page = machine.nodes[node].vol().page(file, p as usize);
                 for rec in page.records() {
                     cost.charge(&mut ledgers[node], cost.scan_tuple_us);
                     if pred.eval(rec) {
@@ -498,10 +500,10 @@ pub fn select_indexed(
             out
         };
         for rec in matches {
-            sink.push(machine, &mut ledgers, node, &rec);
+            sink.push(machine, &mut ledgers, &mut route, node, &rec);
         }
     }
-    machine.fabric.flush(&mut ledgers);
+    sink.flush(machine, &mut ledgers);
     let info = sink.finish(machine, &mut ledgers);
     let sched = dispatch_overhead(machine, &mut ledgers, &disk_nodes, 0);
     let phases = vec![PhaseRecord::new("select (indexed)", ledgers, sched)];
@@ -599,7 +601,7 @@ mod tests {
         // Sum the counts back: must equal the input cardinality.
         let total: u64 = (0..m.cfg.disk_nodes)
             .flat_map(|n| {
-                let vol = m.volumes[n].as_ref().unwrap();
+                let vol = m.nodes[n].vol();
                 let f = r.fragments[n];
                 (0..vol.file_pages(f))
                     .flat_map(move |p| vol.page(f, p).records().map(|rec| rec.to_vec()))
@@ -630,7 +632,7 @@ mod tests {
         let r = m.relation(out);
         let mut got = std::collections::HashMap::<u32, u64>::new();
         for n in 0..m.cfg.disk_nodes {
-            let vol = m.volumes[n].as_ref().unwrap();
+            let vol = m.nodes[n].vol();
             let f = r.fragments[n];
             for p in 0..vol.file_pages(f) {
                 for rec in vol.page(f, p).records() {

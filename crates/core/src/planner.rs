@@ -131,7 +131,7 @@ pub fn analyze(machine: &Machine, rel: RelationId, attr_name: &str) -> ColumnSta
     let mut freq: HashMap<u32, u64> = HashMap::new();
     let mut sampled = 0u64;
     for (n, &f) in r.fragments.iter().enumerate() {
-        let vol = machine.volumes[n].as_ref().expect("disk node");
+        let vol = machine.nodes[n].vol();
         if vol.file_pages(f) == 0 {
             continue;
         }
@@ -452,7 +452,12 @@ mod tests {
         let mut m = Machine::new(MachineConfig::local_8());
         let a = load(&mut m, "a", 500, false);
         let b = load(&mut m, "b", 500, false);
-        let pages_before: usize = m.volumes.iter().flatten().map(|v| v.total_pages()).sum();
+        let pages_before: usize = m
+            .nodes
+            .iter()
+            .filter_map(|n| n.volume.as_ref())
+            .map(|v| v.total_pages())
+            .sum();
         let plan = Plan::Project {
             input: Box::new(Plan::Join {
                 inner: Box::new(Plan::Scan(b)),
@@ -465,7 +470,12 @@ mod tests {
         };
         let report = execute(&mut m, &plan, &cfg(4 << 10));
         m.drop_relation(report.output);
-        let pages_after: usize = m.volumes.iter().flatten().map(|v| v.total_pages()).sum();
+        let pages_after: usize = m
+            .nodes
+            .iter()
+            .filter_map(|n| n.volume.as_ref())
+            .map(|v| v.total_pages())
+            .sum();
         assert_eq!(pages_before, pages_after, "no storage leaked");
     }
 }

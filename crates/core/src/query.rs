@@ -341,6 +341,10 @@ fn run_join_inner(
         Algorithm::HybridHash => hybrid::run(machine, &rz),
     };
     debug_assert!(machine.fabric.is_drained(), "driver left unflushed packets");
+    debug_assert!(
+        machine.exchange.is_drained(),
+        "driver left undelivered exchange messages"
+    );
 
     let (response, summaries) = replay_phases(machine, &out.phases);
 
@@ -390,7 +394,7 @@ fn run_join_inner(
         // Free the result files (the harness reruns thousands of joins;
         // tests validate through cardinality + checksum).
         for (n, f) in out.result.files.iter().enumerate() {
-            crate::hashjoin::delete_file(machine, n, *f);
+            crate::exec::delete_file(machine, n, *f);
         }
     }
 

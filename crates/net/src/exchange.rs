@@ -1,0 +1,474 @@
+//! Mailbox-style tuple exchange between per-node operator instances.
+//!
+//! [`Fabric`](crate::Fabric) charges both ends of a stream at the moment a
+//! packet fills, which forces the caller to hold every node's ledger at
+//! once — fine for a sequential driver loop, fatal for per-node workers.
+//! `Exchange` splits the same accounting in two:
+//!
+//! * a producer owns an [`Outbox`] and pays the send side (marshalling,
+//!   per-packet protocol CPU, ring occupancy) as packets fill, exactly as
+//!   `Fabric::send_tuple` would charge the source node;
+//! * packets carry their payloads to a per-node [`Inbox`], and the consumer
+//!   pays the receive side (per-packet protocol CPU, per-tuple
+//!   unmarshalling) when it drains them.
+//!
+//! Same-node messages are short-circuited just like the fabric's: they are
+//! batched identically, the producer pays the cheap hand-off, and the
+//! consumer pays nothing at drain time (the communications software hands
+//! the buffer over by reference).
+//!
+//! Packet boundaries, byte counts, and per-node charge totals are identical
+//! to routing the same tuple stream through `Fabric` — only the receiver's
+//! charges move from "when the packet filled" to "when the consumer drained
+//! it", which is also where they belong in a message-passing execution.
+//!
+//! Ordering is deterministic: [`Exchange::route`] moves sealed packets into
+//! inboxes source-major, so a consumer sees source 0's tuples (in emission
+//! order), then source 1's, regardless of how producers were scheduled.
+
+use gamma_des::{SimTime, Usage};
+
+use crate::config::RingConfig;
+
+/// One delivered message: the sending node, the caller-defined stream tag,
+/// and the payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Msg {
+    pub src: usize,
+    pub tag: u32,
+    pub payload: Vec<u8>,
+}
+
+/// A sealed packet travelling from one producer to one consumer.
+#[derive(Debug, Clone)]
+struct Packet {
+    /// Modeled wire bytes (payload sizes as charged, not serialized size).
+    bytes: u64,
+    /// True when src == dst: short-circuited, free for the receiver.
+    local: bool,
+    msgs: Vec<(u32, Vec<u8>)>,
+}
+
+/// Per-destination stream state inside an [`Outbox`].
+#[derive(Debug, Clone, Default)]
+struct Stream {
+    pending_bytes: u64,
+    pending: Vec<(u32, Vec<u8>)>,
+    sealed: Vec<Packet>,
+}
+
+/// The sending half of one node's exchange endpoint. Owns the packet
+/// batching state for every destination; charges only the producer's
+/// ledger.
+#[derive(Debug, Clone)]
+pub struct Outbox {
+    src: usize,
+    cfg: RingConfig,
+    streams: Vec<Stream>,
+}
+
+impl Outbox {
+    fn new(src: usize, cfg: RingConfig, nodes: usize) -> Self {
+        Outbox {
+            src,
+            cfg,
+            streams: vec![Stream::default(); nodes],
+        }
+    }
+
+    /// The node this outbox belongs to.
+    pub fn node(&self) -> usize {
+        self.src
+    }
+
+    /// Send one tuple to `dst` on stream `tag`, batching into packets and
+    /// charging the producer ledger exactly as [`Fabric::send_tuple`]
+    /// charges the source node.
+    ///
+    /// [`Fabric::send_tuple`]: crate::Fabric::send_tuple
+    pub fn send(&mut self, usage: &mut Usage, dst: usize, tag: u32, payload: Vec<u8>) {
+        let bytes = payload.len() as u64;
+        let packet = self.cfg.packet_bytes;
+        if self.src == dst {
+            usage.cpu(self.cfg.shortcircuit_cpu_per_tuple);
+        } else {
+            usage.cpu(self.cfg.marshal_cpu_per_tuple);
+        }
+        let src = self.src;
+        let local = src == dst;
+        let s = &mut self.streams[dst];
+        if s.pending_bytes + bytes > packet && s.pending_bytes > 0 {
+            // Tuple does not fit in the current packet: seal it, then start
+            // a new packet with this tuple (tuples are never split).
+            let full = Packet {
+                bytes: s.pending_bytes,
+                local,
+                msgs: std::mem::take(&mut s.pending),
+            };
+            s.pending_bytes = bytes;
+            s.pending.push((tag, payload));
+            let fb = full.bytes;
+            s.sealed.push(full);
+            Self::charge_emit(&self.cfg, usage, src, dst, fb);
+        } else {
+            s.pending_bytes += bytes;
+            s.pending.push((tag, payload));
+            if s.pending_bytes >= packet {
+                let full = Packet {
+                    bytes: s.pending_bytes,
+                    local,
+                    msgs: std::mem::take(&mut s.pending),
+                };
+                s.pending_bytes = 0;
+                let fb = full.bytes;
+                s.sealed.push(full);
+                Self::charge_emit(&self.cfg, usage, src, dst, fb);
+            }
+        }
+    }
+
+    /// Producer-side charge for one completed packet (mirrors the source
+    /// half of `Fabric::emit`).
+    fn charge_emit(cfg: &RingConfig, usage: &mut Usage, src: usize, dst: usize, bytes: u64) {
+        if src == dst {
+            usage.cpu(cfg.shortcircuit_cpu_per_msg);
+            usage.counts.msgs_shortcircuit += 1;
+            #[cfg(feature = "trace")]
+            gamma_trace::emit(
+                src as u16,
+                usage.total_demand().as_us(),
+                gamma_trace::EventKind::ShortCircuit {
+                    bytes: bytes as u32,
+                },
+            );
+        } else {
+            usage.cpu(cfg.send_cpu_per_packet);
+            usage.net(cfg.wire_time(bytes), bytes);
+            usage.counts.packets_sent += 1;
+            #[cfg(feature = "trace")]
+            gamma_trace::emit(
+                src as u16,
+                usage.total_demand().as_us(),
+                gamma_trace::EventKind::PacketSend {
+                    dst: dst as u16,
+                    bytes: bytes as u32,
+                },
+            );
+        }
+        #[cfg(not(feature = "trace"))]
+        let _ = (src, dst, bytes);
+    }
+
+    /// Seal every partially filled packet (end of the producer's output
+    /// streams for this step). Destinations flush in ascending order, like
+    /// `Fabric::flush` walks its destination-inner loop for one source.
+    pub fn seal(&mut self, usage: &mut Usage) {
+        let src = self.src;
+        let cfg = self.cfg.clone();
+        for (dst, s) in self.streams.iter_mut().enumerate() {
+            if s.pending_bytes > 0 {
+                let p = Packet {
+                    bytes: s.pending_bytes,
+                    local: src == dst,
+                    msgs: std::mem::take(&mut s.pending),
+                };
+                s.pending_bytes = 0;
+                let bytes = p.bytes;
+                s.sealed.push(p);
+                Self::charge_emit(&cfg, usage, src, dst, bytes);
+            }
+        }
+    }
+
+    /// True when no stream holds pending or sealed-but-unrouted data.
+    pub fn is_drained(&self) -> bool {
+        self.streams
+            .iter()
+            .all(|s| s.pending_bytes == 0 && s.pending.is_empty() && s.sealed.is_empty())
+    }
+}
+
+/// The receiving half of one node's exchange endpoint: packets delivered by
+/// [`Exchange::route`], in source-major order.
+#[derive(Debug, Default)]
+pub struct Inbox {
+    node: usize,
+    packets: Vec<(usize, Packet)>,
+}
+
+impl Inbox {
+    /// The node this inbox belongs to.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// True when no undelivered packets remain.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// Drain every delivered packet, charging the consumer's ledger for the
+    /// receive side of each remote packet (per-packet protocol CPU plus
+    /// per-tuple unmarshalling — the receiver half of `Fabric::emit`).
+    /// Short-circuited packets cost nothing here. Messages come back in
+    /// (source ascending, emission order) — the order a sequential
+    /// source-major driver loop would have produced them.
+    pub fn drain(&mut self, usage: &mut Usage, cfg: &RingConfig) -> Vec<Msg> {
+        let mut out = Vec::new();
+        for (src, p) in self.packets.drain(..) {
+            if !p.local {
+                usage.cpu(cfg.recv_cpu_per_packet);
+                usage.cpu(SimTime::from_us(
+                    cfg.unmarshal_cpu_per_tuple.as_us() * p.msgs.len() as u64,
+                ));
+                usage.counts.packets_recv += 1;
+                #[cfg(feature = "trace")]
+                gamma_trace::emit(
+                    self.node as u16,
+                    usage.total_demand().as_us(),
+                    gamma_trace::EventKind::PacketRecv {
+                        src: src as u16,
+                        bytes: p.bytes as u32,
+                    },
+                );
+            }
+            for (tag, payload) in p.msgs {
+                out.push(Msg { src, tag, payload });
+            }
+        }
+        out
+    }
+}
+
+/// The machine-wide exchange: one [`Outbox`] per node plus the undelivered
+/// packets for each destination node.
+#[derive(Debug)]
+pub struct Exchange {
+    outboxes: Vec<Outbox>,
+    inboxes: Vec<Vec<(usize, Packet)>>,
+}
+
+impl Exchange {
+    /// An exchange connecting `nodes` processors.
+    pub fn new(cfg: RingConfig, nodes: usize) -> Self {
+        assert!(nodes > 0, "a machine needs at least one node");
+        Exchange {
+            outboxes: (0..nodes)
+                .map(|n| Outbox::new(n, cfg.clone(), nodes))
+                .collect(),
+            inboxes: (0..nodes).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Number of nodes connected.
+    pub fn nodes(&self) -> usize {
+        self.outboxes.len()
+    }
+
+    /// Disjoint mutable access to the outboxes (one per node), for handing
+    /// each worker its own sending endpoint.
+    pub fn outboxes_mut(&mut self) -> &mut [Outbox] {
+        &mut self.outboxes
+    }
+
+    /// Move every sealed packet into its destination inbox, source-major:
+    /// all of node 0's sealed packets (in emission order), then node 1's…
+    /// Deterministic regardless of producer scheduling.
+    pub fn route(&mut self) {
+        for src in 0..self.outboxes.len() {
+            let ob = &mut self.outboxes[src];
+            for dst in 0..ob.streams.len() {
+                for p in ob.streams[dst].sealed.drain(..) {
+                    self.inboxes[dst].push((src, p));
+                }
+            }
+        }
+    }
+
+    /// Take node `n`'s inbox (undelivered packets), leaving it empty.
+    pub fn take_inbox(&mut self, n: usize) -> Inbox {
+        Inbox {
+            node: n,
+            packets: std::mem::take(&mut self.inboxes[n]),
+        }
+    }
+
+    /// Put an inbox's remaining state back (after a consumer step asserts
+    /// it drained everything, this is a no-op but keeps ownership simple).
+    pub fn return_inbox(&mut self, inbox: Inbox) {
+        debug_assert!(self.inboxes[inbox.node].is_empty());
+        self.inboxes[inbox.node] = inbox.packets;
+    }
+
+    /// True when no pending bytes, sealed packets, or undelivered inbox
+    /// packets remain anywhere — the phase-boundary invariant.
+    pub fn is_drained(&self) -> bool {
+        self.outboxes.iter().all(|o| o.is_drained()) && self.inboxes.iter().all(|i| i.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exchange(n: usize) -> (Exchange, Vec<Usage>) {
+        (
+            Exchange::new(RingConfig::gamma_1989(), n),
+            vec![Usage::ZERO; n],
+        )
+    }
+
+    fn send_n(ex: &mut Exchange, u: &mut [Usage], src: usize, dst: usize, bytes: usize, n: usize) {
+        for i in 0..n {
+            ex.outboxes_mut()[src].send(&mut u[src], dst, i as u32, vec![0u8; bytes]);
+        }
+    }
+
+    #[test]
+    fn remote_tuples_batch_into_packets() {
+        let (mut ex, mut u) = exchange(2);
+        send_n(&mut ex, &mut u, 0, 1, 208, 9);
+        assert_eq!(
+            u[0].counts.packets_sent, 0,
+            "9*208=1872 < 2048, still pending"
+        );
+        send_n(&mut ex, &mut u, 0, 1, 208, 1);
+        assert_eq!(u[0].counts.packets_sent, 1, "10th tuple seals the packet");
+        ex.outboxes_mut()[0].seal(&mut u[0]);
+        assert_eq!(u[0].counts.packets_sent, 2, "seal emits the partial packet");
+        ex.route();
+        let mut inbox = ex.take_inbox(1);
+        let msgs = inbox.drain(&mut u[1], &RingConfig::gamma_1989());
+        ex.return_inbox(inbox);
+        assert_eq!(msgs.len(), 10);
+        assert_eq!(u[1].counts.packets_recv, 2);
+        assert!(ex.is_drained());
+    }
+
+    #[test]
+    fn charges_match_fabric_exactly() {
+        // The producer+consumer totals must equal what Fabric charges for
+        // the identical tuple stream — packet boundaries and all.
+        let cfg = RingConfig::gamma_1989();
+        let sizes = [208u64, 100, 2048, 2040, 16, 208, 208, 1000, 3000, 5];
+        let mut fab = crate::Fabric::new(cfg.clone(), 3);
+        let mut fu = vec![Usage::ZERO; 3];
+        for (i, &b) in sizes.iter().enumerate() {
+            let dst = if i % 3 == 0 { 0 } else { 2 };
+            fab.send_tuple(&mut fu, 0, dst, b);
+        }
+        fab.flush(&mut fu);
+
+        let (mut ex, mut u) = exchange(3);
+        for (i, &b) in sizes.iter().enumerate() {
+            let dst = if i % 3 == 0 { 0 } else { 2 };
+            ex.outboxes_mut()[0].send(&mut u[0], dst, 7, vec![0u8; b as usize]);
+        }
+        ex.outboxes_mut()[0].seal(&mut u[0]);
+        ex.route();
+        for n in [0usize, 2] {
+            let mut inbox = ex.take_inbox(n);
+            inbox.drain(&mut u[n], &cfg);
+            ex.return_inbox(inbox);
+        }
+        assert!(ex.is_drained());
+        for n in 0..3 {
+            assert_eq!(u[n].cpu, fu[n].cpu, "node {n} cpu");
+            assert_eq!(u[n].net, fu[n].net, "node {n} net");
+            assert_eq!(u[n].ring_bytes, fu[n].ring_bytes, "node {n} ring bytes");
+            assert_eq!(
+                u[n].counts.packets_sent, fu[n].counts.packets_sent,
+                "node {n} packets sent"
+            );
+            assert_eq!(
+                u[n].counts.packets_recv, fu[n].counts.packets_recv,
+                "node {n} packets recv"
+            );
+            assert_eq!(
+                u[n].counts.msgs_shortcircuit, fu[n].counts.msgs_shortcircuit,
+                "node {n} short circuits"
+            );
+        }
+    }
+
+    #[test]
+    fn local_sends_shortcircuit_and_cost_nothing_to_drain() {
+        let (mut ex, mut u) = exchange(2);
+        send_n(&mut ex, &mut u, 1, 1, 208, 10);
+        ex.outboxes_mut()[1].seal(&mut u[1]);
+        assert_eq!(u[1].counts.packets_sent, 0);
+        assert_eq!(
+            u[1].counts.msgs_shortcircuit, 2,
+            "one full + one partial message"
+        );
+        assert_eq!(u[1].ring_bytes, 0);
+        ex.route();
+        let before = u[1];
+        let mut inbox = ex.take_inbox(1);
+        let msgs = inbox.drain(&mut u[1], &RingConfig::gamma_1989());
+        ex.return_inbox(inbox);
+        assert_eq!(msgs.len(), 10);
+        assert_eq!(u[1], before, "short-circuited drain is free");
+    }
+
+    #[test]
+    fn route_orders_source_major() {
+        let (mut ex, mut u) = exchange(3);
+        // Producers send interleaved; the consumer still sees src 0 first.
+        ex.outboxes_mut()[2].send(&mut u[2], 1, 9, vec![2u8; 8]);
+        ex.outboxes_mut()[0].send(&mut u[0], 1, 9, vec![0u8; 8]);
+        ex.outboxes_mut()[2].send(&mut u[2], 1, 9, vec![3u8; 8]);
+        ex.outboxes_mut()[0].seal(&mut u[0]);
+        ex.outboxes_mut()[2].seal(&mut u[2]);
+        ex.route();
+        let mut inbox = ex.take_inbox(1);
+        let msgs = inbox.drain(&mut u[1], &RingConfig::gamma_1989());
+        ex.return_inbox(inbox);
+        let srcs: Vec<usize> = msgs.iter().map(|m| m.src).collect();
+        assert_eq!(srcs, vec![0, 2, 2]);
+        assert_eq!(msgs[1].payload, vec![2u8; 8]);
+        assert_eq!(msgs[2].payload, vec![3u8; 8]);
+    }
+
+    #[test]
+    fn oversized_tuple_gets_own_packets() {
+        let (mut ex, mut u) = exchange(2);
+        send_n(&mut ex, &mut u, 0, 1, 100, 1);
+        send_n(&mut ex, &mut u, 0, 1, 2040, 1);
+        assert_eq!(u[0].counts.packets_sent, 1, "first packet sealed early");
+        ex.outboxes_mut()[0].seal(&mut u[0]);
+        assert_eq!(u[0].counts.packets_sent, 2);
+    }
+
+    #[test]
+    fn tags_and_payloads_survive_transit() {
+        let (mut ex, mut u) = exchange(2);
+        ex.outboxes_mut()[0].send(&mut u[0], 1, 0xAB00_0001, vec![1, 2, 3]);
+        ex.outboxes_mut()[0].send(&mut u[0], 1, 0xCD00_0002, vec![4, 5]);
+        ex.outboxes_mut()[0].seal(&mut u[0]);
+        ex.route();
+        let mut inbox = ex.take_inbox(1);
+        let msgs = inbox.drain(&mut u[1], &RingConfig::gamma_1989());
+        ex.return_inbox(inbox);
+        assert_eq!(msgs.len(), 2);
+        assert_eq!(msgs[0].tag, 0xAB00_0001);
+        assert_eq!(msgs[0].payload, vec![1, 2, 3]);
+        assert_eq!(msgs[1].tag, 0xCD00_0002);
+        assert_eq!(msgs[1].payload, vec![4, 5]);
+    }
+
+    #[test]
+    fn undrained_exchange_is_detected() {
+        let (mut ex, mut u) = exchange(2);
+        send_n(&mut ex, &mut u, 0, 1, 208, 1);
+        assert!(!ex.is_drained(), "pending bytes");
+        ex.outboxes_mut()[0].seal(&mut u[0]);
+        assert!(!ex.is_drained(), "sealed but unrouted");
+        ex.route();
+        assert!(!ex.is_drained(), "routed but undrained");
+        let mut inbox = ex.take_inbox(1);
+        inbox.drain(&mut u[1], &RingConfig::gamma_1989());
+        ex.return_inbox(inbox);
+        assert!(ex.is_drained());
+    }
+}

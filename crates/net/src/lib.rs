@@ -21,7 +21,9 @@
 //! caller.
 
 pub mod config;
+pub mod exchange;
 pub mod fabric;
 
 pub use config::RingConfig;
+pub use exchange::{Exchange, Inbox, Msg, Outbox};
 pub use fabric::Fabric;

@@ -237,6 +237,14 @@ impl TraceSink {
         }
     }
 
+    /// A sink that never evicts. Used by per-node worker threads, whose
+    /// events are re-emitted into the main sink in deterministic node
+    /// order at the end of each parallel step — eviction inside a worker
+    /// would silently change what the merge sees.
+    pub fn unbounded() -> Self {
+        Self::new(usize::MAX)
+    }
+
     /// Record one event at the node's current demand offset.
     pub fn emit(&mut self, node: u16, offset_us: u64, kind: EventKind) {
         self.totals.record(&kind);

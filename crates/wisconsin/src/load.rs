@@ -66,10 +66,7 @@ mod tests {
         let id = load_range(&mut m, "a", &rows, "normal");
         let rel = m.relation(id);
         for n in 0..8 {
-            let cnt = m.volumes[n]
-                .as_ref()
-                .unwrap()
-                .file_records(rel.fragments[n]);
+            let cnt = m.nodes[n].vol().file_records(rel.fragments[n]);
             assert!(
                 (900..=1100).contains(&cnt),
                 "node {n} holds {cnt} of 8000 — range cuts failed to balance"
@@ -85,10 +82,7 @@ mod tests {
         let id = load_hashed(&mut m, "a", &rows, "unique1");
         let rel = m.relation(id);
         for n in 0..8 {
-            let cnt = m.volumes[n]
-                .as_ref()
-                .unwrap()
-                .file_records(rel.fragments[n]);
+            let cnt = m.nodes[n].vol().file_records(rel.fragments[n]);
             assert!((800..=1200).contains(&cnt), "node {n}: {cnt}");
         }
         assert_eq!(rel.data_bytes, 8_000 * 208);

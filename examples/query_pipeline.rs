@@ -86,7 +86,7 @@ fn main() {
     let r = machine.relation(out);
     let mut rows: Vec<(u32, u32)> = Vec::new();
     for n in 0..machine.cfg.disk_nodes {
-        let vol = machine.volumes[n].as_ref().unwrap();
+        let vol = machine.nodes[n].vol();
         let f = r.fragments[n];
         for p in 0..vol.file_pages(f) {
             for rec in vol.page(f, p).records() {

@@ -154,9 +154,9 @@ fn no_storage_leaks_across_runs() {
     let a = load_hashed(&mut machine, "A", &a_rows, "unique1");
     let b = load_hashed(&mut machine, "B", &b_rows, "unique1");
     let baseline: usize = machine
-        .volumes
+        .nodes
         .iter()
-        .flatten()
+        .filter_map(|n| n.volume.as_ref())
         .map(|v| v.total_pages())
         .sum();
     for alg in Algorithm::ALL {
@@ -165,9 +165,9 @@ fn no_storage_leaks_across_runs() {
             let spec = join_abprime(alg, b, a, "unique1", "unique1", mem);
             let _ = run_join(&mut machine, &spec);
             let now: usize = machine
-                .volumes
+                .nodes
                 .iter()
-                .flatten()
+                .filter_map(|n| n.volume.as_ref())
                 .map(|v| v.total_pages())
                 .sum();
             assert_eq!(now, baseline, "{} at {ratio} leaked pages", alg.name());

@@ -1,0 +1,110 @@
+//! Serial vs thread-parallel executor equivalence.
+//!
+//! The `parallel` feature runs each node's executor step on an OS-thread
+//! worker. These tests flip the runtime switch inside one process and
+//! assert the two paths are indistinguishable: identical result
+//! cardinality and checksum, identical per-phase virtual-time ledgers and
+//! event counts, identical response times, and byte-identical trace
+//! exports — for all four algorithms, local and remote join sites, with
+//! and without bit filters.
+#![cfg(feature = "parallel")]
+
+use gamma_bench::sweep::LoadStyle;
+use gamma_bench::tracing::trace_join;
+use gamma_bench::Workload;
+use gamma_core::exec::set_parallel;
+use gamma_core::query::{Algorithm, JoinSite};
+use gamma_core::{run_join, JoinReport};
+use gamma_wisconsin::join_abprime;
+
+const ALGORITHMS: [Algorithm; 4] = [
+    Algorithm::SortMerge,
+    Algorithm::SimpleHash,
+    Algorithm::GraceHash,
+    Algorithm::HybridHash,
+];
+
+/// Run one join point on a fresh machine. Ratio 0.5 forces multi-bucket
+/// plans for Grace/Hybrid and real overflow handling for Simple.
+fn run_cell(w: &Workload, alg: Algorithm, remote: bool, filtered: bool) -> JoinReport {
+    let (mut machine, a, bprime) =
+        w.machine(remote, LoadStyle::HashedUnique1, "unique1", "unique1");
+    let memory = machine.relation(bprime).data_bytes / 2;
+    let mut spec = join_abprime(alg, bprime, a, "unique1", "unique1", memory);
+    // Sort-merge cannot use diskless nodes (§3.1).
+    if remote && alg != Algorithm::SortMerge {
+        spec.site = JoinSite::Remote;
+    }
+    spec.bit_filter = filtered;
+    run_join(&mut machine, &spec)
+}
+
+fn assert_reports_match(a: &JoinReport, b: &JoinReport, what: &str) {
+    assert_eq!(a.result_tuples, b.result_tuples, "{what}: cardinality");
+    assert_eq!(a.result_checksum, b.result_checksum, "{what}: checksum");
+    assert_eq!(a.response, b.response, "{what}: response time");
+    assert_eq!(a.total, b.total, "{what}: aggregate usage/counts");
+    assert_eq!(a.phases.len(), b.phases.len(), "{what}: phase count");
+    for (pa, pb) in a.phases.iter().zip(&b.phases) {
+        assert_eq!(pa.name, pb.name, "{what}: phase name");
+        assert_eq!(pa.duration, pb.duration, "{what}/{}: duration", pa.name);
+        assert_eq!(pa.total, pb.total, "{what}/{}: phase usage", pa.name);
+        assert_eq!(
+            pa.sched_overhead, pb.sched_overhead,
+            "{what}/{}: sched overhead",
+            pa.name
+        );
+        assert_eq!(
+            pa.critical_node, pb.critical_node,
+            "{what}/{}: critical node",
+            pa.name
+        );
+    }
+}
+
+#[test]
+fn parallel_matches_serial_everywhere() {
+    let w = Workload::scaled(3_000, 300);
+    for alg in ALGORITHMS {
+        for remote in [false, true] {
+            for filtered in [false, true] {
+                let what = format!(
+                    "{} {} filters={filtered}",
+                    alg.name(),
+                    if remote { "remote" } else { "local" },
+                );
+                set_parallel(false);
+                let serial = run_cell(&w, alg, remote, filtered);
+                set_parallel(true);
+                let parallel = run_cell(&w, alg, remote, filtered);
+                set_parallel(false);
+                assert_reports_match(&serial, &parallel, &what);
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_trace_export_is_byte_identical() {
+    let w = Workload::scaled(2_000, 200);
+    for alg in ALGORITHMS {
+        for filtered in [false, true] {
+            set_parallel(false);
+            let serial = trace_join(&w, alg, 0.5, filtered);
+            set_parallel(true);
+            let parallel = trace_join(&w, alg, 0.5, filtered);
+            set_parallel(false);
+            assert!(
+                !serial.sink.is_empty(),
+                "{}: no events recorded",
+                alg.name()
+            );
+            assert_eq!(
+                serial.perfetto_json(),
+                parallel.perfetto_json(),
+                "{} filters={filtered}: trace export differs between serial and parallel",
+                alg.name()
+            );
+        }
+    }
+}
