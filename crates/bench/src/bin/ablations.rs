@@ -9,12 +9,13 @@ use gamma_bench::{SweepBuilder, Workload};
 use gamma_core::cost::CostModel;
 use gamma_core::query::Algorithm;
 use gamma_core::{run_join, Machine, MachineConfig};
+use gamma_des::TimingModel;
 use gamma_wisconsin::{join_abprime, load_hashed, WisconsinGen, WisconsinRow};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: ablations all | filter_size clearing speedup multiuser headroom bucket_filter tuning");
+        eprintln!("usage: ablations all | filter_size clearing speedup multiuser headroom bucket_filter tuning convoy");
         std::process::exit(2);
     }
     let all = args.iter().any(|a| a == "all");
@@ -45,6 +46,51 @@ fn main() {
     if want("tuning") {
         bucket_tuning();
     }
+    if want("convoy") {
+        convoy();
+    }
+}
+
+/// Convoy effects: the queued timing model vs the legacy flat `max()`
+/// bound as one knob — disk service time — drives the volumes toward
+/// saturation. At the paper's operating point the two models agree to a
+/// few percent (the joins are CPU-bound); past ~80 % disk utilisation the
+/// flat bound keeps reporting `max(cpu, Σ service)` while the queues make
+/// every burst of requests pay its serialisation.
+fn convoy() {
+    println!("\n== Ablation: convoy effects on a loaded volume (Grace, ratio 0.5) ==");
+    println!(
+        "{:<10} {:>10} {:>12} {:>12} {:>11} {:>12}",
+        "disk slow", "disk util", "legacy(s)", "queued(s)", "divergence", "disk wait(s)"
+    );
+    let w = Workload::full();
+    for slow in [1u64, 2, 4, 6, 8] {
+        let run = |model| {
+            SweepBuilder::new(&w)
+                .timing(model)
+                .slow_disk(slow)
+                .run_one(Algorithm::GraceHash, 0.5)
+        };
+        let legacy = run(TimingModel::Legacy);
+        let queued = run(TimingModel::Queued);
+        // Nominal load: aggregate disk service over the flat-bound
+        // response across the 8 volumes.
+        let util = legacy.report.total.disk.as_secs() / (legacy.seconds * 8.0);
+        println!(
+            "{:<10} {:>9.0}% {:>12.2} {:>12.2} {:>10.1}% {:>12.2}",
+            format!("{slow}x"),
+            util * 100.0,
+            legacy.seconds,
+            queued.seconds,
+            (queued.seconds / legacy.seconds - 1.0) * 100.0,
+            queued.report.total.disk_wait.as_secs(),
+        );
+    }
+    println!("(The flat bound charges a loaded arm like an idle one, so queued");
+    println!(" waits grow monotonically with load — `disk wait` is total time");
+    println!(" requests sat in queues. The *relative* divergence peaks while the");
+    println!(" flat bound is still CPU-set (bursty writes hide entirely) and");
+    println!(" narrows once the disk term itself dominates the max().)");
 }
 
 /// Grace bucket tuning \[KITS83\], which §3.3 notes Gamma had not

@@ -79,7 +79,7 @@ fn main() {
         }
     }
     if wanted.is_empty() {
-        eprintln!("usage: figures [--scale F] [--json PATH] [--plot] all | fig05 fig06 fig07 fig08 fig09 fig10 fig11 fig12 fig13 fig14 fig15 fig16 table3");
+        eprintln!("usage: figures [--scale F] [--json PATH] [--plot] all | smoke | fig05 fig06 fig07 fig08 fig09 fig10 fig11 fig12 fig13 fig14 fig15 fig16 table3");
         std::process::exit(2);
     }
     let all = wanted.iter().any(|w| w == "all");
@@ -89,6 +89,11 @@ fn main() {
     let b = (10_000f64 * scale).round() as usize;
     eprintln!("# workload: A={a} tuples, Bprime={b} tuples (scale {scale})");
     let w = Workload::scaled(a, b);
+
+    // CI-only mode: never part of `all` (it re-runs every point twice).
+    if wanted.iter().any(|w| w == "smoke") {
+        smoke(&w);
+    }
 
     if want("fig05") {
         let pts = ex::fig05(&w);
@@ -177,4 +182,51 @@ fn main() {
             println!("{name:<28} {impr:>6.1}%");
         }
     }
+}
+
+/// CI smoke: one sweep point per algorithm under both timing models.
+/// Every point is oracle-validated (`SweepBuilder` asserts cardinality and
+/// checksum) and run twice to catch determinism regressions; any failure
+/// panics, failing the job.
+fn smoke(w: &Workload) {
+    use gamma_bench::SweepBuilder;
+    use gamma_des::TimingModel;
+    println!("== smoke: one point per algorithm, both timing models ==");
+    println!("{:<12} {:>10} {:>10}", "alg", "legacy(s)", "queued(s)");
+    for alg in [
+        Algorithm::SortMerge,
+        Algorithm::SimpleHash,
+        Algorithm::GraceHash,
+        Algorithm::HybridHash,
+    ] {
+        let mut secs = [0.0f64; 2];
+        for (i, model) in [TimingModel::Legacy, TimingModel::Queued]
+            .into_iter()
+            .enumerate()
+        {
+            let run = || SweepBuilder::new(w).timing(model).run_one(alg, 0.5);
+            let a = run();
+            let b = run();
+            assert_eq!(
+                a.report.response,
+                b.report.response,
+                "{} ({model:?}): response not deterministic",
+                alg.name()
+            );
+            assert_eq!(
+                a.report.result_checksum,
+                b.report.result_checksum,
+                "{} ({model:?}): checksum not deterministic",
+                alg.name()
+            );
+            secs[i] = a.seconds;
+        }
+        assert!(
+            secs[1] >= secs[0],
+            "{}: queued response below the legacy bound",
+            alg.name()
+        );
+        println!("{:<12} {:>10.3} {:>10.3}", alg.name(), secs[0], secs[1]);
+    }
+    println!("smoke OK: validated, deterministic, queued >= legacy");
 }

@@ -82,7 +82,8 @@ fn main() {
             ph.name,
             ph.sched_overhead.to_string(),
             ph.duration.to_string(),
-            ph.critical_node,
+            ph.critical_node
+                .map_or_else(|| "-".to_string(), |n| n.to_string()),
             ph.total.cpu.as_secs(),
             ph.total.disk.as_secs(),
             ph.total.counts.pages_read,

@@ -2,6 +2,7 @@
 
 use gamma_core::query::{Algorithm, JoinSite, JoinSpec, OverflowPolicy};
 use gamma_core::{run_join, JoinReport, Machine, MachineConfig, RelationId};
+use gamma_des::TimingModel;
 use gamma_wisconsin::{
     join_abprime, load_hashed, load_range, oracle_join, OracleExpect, WisconsinGen, WisconsinRow,
 };
@@ -65,6 +66,19 @@ impl Workload {
         } else {
             MachineConfig::local_8()
         };
+        self.machine_with(cfg, style, inner_attr, outer_attr)
+    }
+
+    /// Build a machine from an explicit configuration (ablations tweak the
+    /// cost model before loading — the buffer pools snapshot the disk
+    /// model at build time).
+    pub fn machine_with(
+        &self,
+        cfg: MachineConfig,
+        style: LoadStyle,
+        inner_attr: &str,
+        outer_attr: &str,
+    ) -> (Machine, RelationId, RelationId) {
         let mut machine = Machine::new(cfg);
         let (a, bprime) = match style {
             LoadStyle::HashedUnique1 => (
@@ -106,6 +120,8 @@ pub struct SweepBuilder<'a> {
     style: LoadStyle,
     extra_buckets: usize,
     validate: bool,
+    timing: TimingModel,
+    slow_disk: u64,
 }
 
 impl<'a> SweepBuilder<'a> {
@@ -123,7 +139,24 @@ impl<'a> SweepBuilder<'a> {
             style: LoadStyle::HashedUnique1,
             extra_buckets: 0,
             validate: true,
+            timing: TimingModel::default(),
+            slow_disk: 1,
         }
+    }
+
+    /// Select the phase-timing model (default: queued device requests).
+    /// `TimingModel::Legacy` reproduces the historical flat-`max` numbers
+    /// for A/B validation.
+    pub fn timing(mut self, model: TimingModel) -> Self {
+        self.timing = model;
+        self
+    }
+
+    /// Multiply every disk service time by `factor` (convoy ablation:
+    /// drives volume utilisation past the paper's operating point).
+    pub fn slow_disk(mut self, factor: u64) -> Self {
+        self.slow_disk = factor.max(1);
+        self
     }
 
     /// Join on the given attributes (non-HPJA: `unique2`; skew: `normal`).
@@ -197,9 +230,20 @@ impl<'a> SweepBuilder<'a> {
     /// `measure`.
     pub(crate) fn prepare(&self, algorithm: Algorithm, ratio: f64) -> (Machine, JoinSpec) {
         let remote = matches!(self.site, JoinSite::Remote | JoinSite::Mixed);
+        let mut cfg = if remote {
+            MachineConfig::remote_8_plus_8()
+        } else {
+            MachineConfig::local_8()
+        };
+        cfg.cost.timing = self.timing;
+        let d = &mut cfg.cost.disk;
+        d.seq_read_us *= self.slow_disk;
+        d.rand_read_us *= self.slow_disk;
+        d.seq_write_us *= self.slow_disk;
+        d.rand_write_us *= self.slow_disk;
         let (machine, a, bprime) =
             self.workload
-                .machine(remote, self.style, &self.inner_attr, &self.outer_attr);
+                .machine_with(cfg, self.style, &self.inner_attr, &self.outer_attr);
         let inner_bytes = machine.relation(bprime).data_bytes;
         // ceil keeps 1/N ratios mapping to exactly N buckets despite
         // floating-point truncation.

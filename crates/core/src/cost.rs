@@ -10,7 +10,7 @@
 //! for remote joins, cheap extra Grace buckets, expensive Simple overflow
 //! passes).
 
-use gamma_des::SimTime;
+use gamma_des::{SimTime, TimingModel};
 use gamma_net::RingConfig;
 use gamma_wiss::{DiskConfig, SortCost};
 
@@ -90,6 +90,12 @@ pub struct CostModel {
     /// per-entry overhead so that integral-ratio Grace/Hybrid runs never
     /// overflow, as the paper states.
     pub table_headroom_pct: u64,
+
+    /// How per-node ledgers become phase times: `Queued` (default) drains
+    /// each node's disk/NI request log through FIFO device queues so loaded
+    /// devices show convoy effects; `Legacy` is the original flat
+    /// `max(cpu, disk, net)` bound, kept reachable for A/B validation.
+    pub timing: TimingModel,
 }
 
 impl CostModel {
@@ -130,6 +136,15 @@ impl CostModel {
             pool_frames: 48,
             hash_entry_overhead_bytes: 8,
             table_headroom_pct: 35,
+            timing: TimingModel::Queued,
+        }
+    }
+
+    /// The same model under the legacy flat-`max` overlap bound.
+    pub fn gamma_1989_legacy_timing() -> Self {
+        CostModel {
+            timing: TimingModel::Legacy,
+            ..Self::gamma_1989()
         }
     }
 

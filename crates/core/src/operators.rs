@@ -41,7 +41,7 @@ fn finish_op(machine: &Machine, phases: Vec<PhaseRecord>, tuples_out: u64) -> Op
     let (response, summaries) = replay_phases(machine, &phases);
     let total = phases
         .iter()
-        .flat_map(|p| p.ledgers.iter().copied())
+        .flat_map(|p| p.ledgers.iter().cloned())
         .fold(Usage::ZERO, |a, b| a + b);
     OpReport {
         response,

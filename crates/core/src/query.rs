@@ -201,12 +201,13 @@ pub fn replay_phases(
     phases: &[crate::report::PhaseRecord],
 ) -> (SimTime, Vec<PhaseSummary>) {
     let bw = machine.cfg.cost.ring.bandwidth_bytes_per_sec;
+    let model = machine.cfg.cost.timing;
     let mut sim: Sim<Vec<(usize, SimTime)>> = Sim::new(Vec::new());
     let mut t = SimTime::ZERO;
     let mut summaries = Vec::with_capacity(phases.len());
     for (i, ph) in phases.iter().enumerate() {
         t += ph.sched_overhead;
-        let timing = ph.timing(bw);
+        let timing = ph.timing(bw, model);
         #[cfg(feature = "trace")]
         gamma_trace::with(|s| s.phase_replayed_next(t.as_us(), timing.duration.as_us()));
         t += timing.duration;
@@ -217,6 +218,8 @@ pub fn replay_phases(
             duration: timing.duration,
             total: ph.total(),
             critical_node: timing.critical_node,
+            disk_wait: timing.disk_wait,
+            net_wait: timing.net_wait,
         });
     }
     let response = sim.run_until_idle();
@@ -355,7 +358,7 @@ fn run_join_inner(
     for ph in &out.phases {
         for (n, u) in ph.ledgers.iter().enumerate() {
             per_node_cpu[n] += u.cpu;
-            total += *u;
+            total += u.clone();
         }
     }
     let util = |ns: &[usize]| -> f64 {

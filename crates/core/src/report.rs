@@ -8,7 +8,7 @@
 //! full per-phase breakdown so the benchmark harness (and the tests) can
 //! explain every curve.
 
-use gamma_des::{phase_duration, PhaseTiming, SimTime, Usage};
+use gamma_des::{compose, PhaseTiming, SimTime, TimingModel, Usage};
 
 use crate::machine::{Ledgers, ResultInfo};
 
@@ -25,20 +25,34 @@ pub struct PhaseRecord {
 }
 
 impl PhaseRecord {
-    /// Bundle a phase. With tracing active, this is also the phase-seal
-    /// point: every trace event emitted since the previous seal is
-    /// attributed to this phase, along with the per-node resource splits
+    /// Bundle a phase. Each node's disk/NI request log is drained through
+    /// its FIFO device queues here, recording per-resource queue waits on
+    /// the ledgers so the report and trace layers can attribute queueing
+    /// delay per (node, phase). With tracing active, this is also the
+    /// phase-seal point: every trace event emitted since the previous seal
+    /// is attributed to this phase, along with the per-node resource splits
     /// the exporters use to place events on the timeline.
-    pub fn new(name: impl Into<String>, ledgers: Ledgers, sched_overhead: SimTime) -> Self {
+    pub fn new(name: impl Into<String>, mut ledgers: Ledgers, sched_overhead: SimTime) -> Self {
         let name = name.into();
+        let timings: Vec<_> = ledgers
+            .iter_mut()
+            .map(|u| u.annotate_queue_waits())
+            .collect();
+        #[cfg(not(feature = "trace"))]
+        drop(timings);
         #[cfg(feature = "trace")]
         gamma_trace::with(|sink| {
             let per_node = ledgers
                 .iter()
-                .map(|u| gamma_trace::NodeUsage {
+                .zip(&timings)
+                .map(|(u, q)| gamma_trace::NodeUsage {
                     cpu_us: u.cpu.as_us(),
                     disk_us: u.disk.as_us(),
                     net_us: u.net.as_us(),
+                    disk_wait_us: q.disk.wait.as_us(),
+                    net_wait_us: q.net.wait.as_us(),
+                    disk_done_us: q.disk.completion.as_us(),
+                    net_done_us: q.net.completion.as_us(),
                 })
                 .collect();
             sink.seal_phase(&name, per_node);
@@ -52,12 +66,12 @@ impl PhaseRecord {
 
     /// Aggregate usage over all nodes.
     pub fn total(&self) -> Usage {
-        self.ledgers.iter().copied().fold(Usage::ZERO, |a, b| a + b)
+        self.ledgers.iter().cloned().fold(Usage::ZERO, |a, b| a + b)
     }
 
-    /// Timing under the engine's model.
-    pub fn timing(&self, ring_bandwidth: u64) -> PhaseTiming {
-        phase_duration(&self.ledgers, ring_bandwidth)
+    /// Timing under the given model.
+    pub fn timing(&self, ring_bandwidth: u64, model: TimingModel) -> PhaseTiming {
+        compose(&self.ledgers, ring_bandwidth, model)
     }
 }
 
@@ -72,8 +86,13 @@ pub struct PhaseSummary {
     pub duration: SimTime,
     /// Aggregate usage across nodes.
     pub total: Usage,
-    /// Index of the slowest node.
-    pub critical_node: usize,
+    /// Index of the slowest node; `None` when no node did any work.
+    pub critical_node: Option<usize>,
+    /// Total time disk requests spent queued, summed over nodes (zero under
+    /// the legacy timing model).
+    pub disk_wait: SimTime,
+    /// Total time NI requests spent queued, summed over nodes.
+    pub net_wait: SimTime,
 }
 
 /// Everything measured about one join execution.
@@ -167,8 +186,23 @@ mod tests {
         let mut b = Usage::ZERO;
         b.disk(SimTime::from_us(99));
         let p = PhaseRecord::new("x", vec![a, b], SimTime::ZERO);
-        let t = p.timing(10_000_000);
+        let t = p.timing(10_000_000, TimingModel::Legacy);
         assert_eq!(t.duration, SimTime::from_us(99));
-        assert_eq!(t.critical_node, 1);
+        assert_eq!(t.critical_node, Some(1));
+        // A lone request issued at cpu=0 queues for nothing, so the queued
+        // model agrees exactly here.
+        let q = p.timing(10_000_000, TimingModel::Queued);
+        assert_eq!(q.duration, SimTime::from_us(99));
+        assert_eq!(q.disk_wait, SimTime::ZERO);
+    }
+
+    #[test]
+    fn sealing_annotates_queue_waits() {
+        let mut a = Usage::ZERO;
+        for _ in 0..3 {
+            a.disk(SimTime::from_us(10)); // burst at cpu=0: waits 0+10+20
+        }
+        let p = PhaseRecord::new("x", vec![a], SimTime::ZERO);
+        assert_eq!(p.ledgers[0].disk_wait, SimTime::from_us(30));
     }
 }

@@ -9,11 +9,15 @@
 //!   user-supplied state type,
 //! * [`Usage`] / [`Counts`] — per-(node, phase) resource ledgers that higher
 //!   layers charge CPU, disk and network demand to,
+//! * [`queue`] — single-server FIFO request queues for each node's disk arm
+//!   and network interface, drained on the event kernel,
 //! * [`phase`] — helpers that turn per-node ledgers into phase completion
-//!   times under the *overlapped-resources, balanced-pipeline* model the
-//!   engine uses (a node's phase time is `max(cpu, disk, net)`; a phase
-//!   completes at the max over nodes and is bounded below by shared ring
-//!   bandwidth).
+//!   times under a selectable [`TimingModel`]: the legacy
+//!   *overlapped-resources, balanced-pipeline* bound (a node's phase time is
+//!   `max(cpu, disk, net)`) or the queued model (CPU overlapped against each
+//!   device's FIFO-queued completion, so loaded devices produce convoy
+//!   effects). Either way a phase completes at the max over nodes and is
+//!   bounded below by shared ring bandwidth.
 //!
 //! The kernel is intentionally small and fully deterministic: two events at
 //! the same virtual time fire in the order they were scheduled, so a whole
@@ -22,10 +26,14 @@
 
 pub mod ledger;
 pub mod phase;
+pub mod queue;
 pub mod sim;
 pub mod time;
 
-pub use ledger::{Counts, Usage};
-pub use phase::{phase_duration, pipeline_duration, PhaseTiming};
+pub use ledger::{Counts, NodeQueueTiming, Usage};
+pub use phase::{
+    compose, phase_duration, pipeline_compose, pipeline_duration, PhaseTiming, TimingModel,
+};
+pub use queue::{fifo_drain, QueueStats, Request, RequestLog};
 pub use sim::{EventId, Sim};
 pub use time::SimTime;

@@ -3,10 +3,12 @@
 //! A Gamma query executes as a sequence of *phases* (e.g. "partition R /
 //! build bucket 1", "join bucket i"). Within a phase each participating node
 //! accumulates a [`Usage`] ledger; this module turns those ledgers into a
-//! phase completion time under the engine's timing model:
+//! phase completion time under a selectable [`TimingModel`]:
 //!
-//! * a node's resources (CPU, disk, NI) overlap → node time is the max of
-//!   the three ([`Usage::busy_time`]);
+//! * a node's resources (CPU, disk, NI) overlap → node time is either the
+//!   flat max of the three service totals ([`TimingModel::Legacy`]) or the
+//!   CPU overlapped against each device's FIFO-queued completion
+//!   ([`TimingModel::Queued`], see [`crate::queue`]);
 //! * nodes run in parallel → phase time is the max over nodes;
 //! * the token ring is shared → phase time is additionally bounded below by
 //!   `total ring bytes / ring bandwidth`.
@@ -17,6 +19,32 @@
 use crate::ledger::Usage;
 use crate::time::SimTime;
 
+/// Which per-node overlap model turns a ledger into a node completion time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum TimingModel {
+    /// The original closed-form bound `max(cpu, Σ disk, Σ net)`: devices
+    /// are infinitely concurrent, so no queueing delay ever appears. Kept
+    /// for A/B validation against historical numbers.
+    Legacy,
+    /// Per-node FIFO request queues for the disk arm and the NI: node time
+    /// is `max(cpu, queued disk completion, queued NI completion)`. Never
+    /// below the legacy bound; rises above it when requests bunch up on a
+    /// loaded device (convoy effects).
+    #[default]
+    Queued,
+}
+
+impl TimingModel {
+    /// The node completion time for `u` under this model.
+    #[inline]
+    pub fn node_busy(self, u: &Usage) -> SimTime {
+        match self {
+            TimingModel::Legacy => u.busy_time(),
+            TimingModel::Queued => u.queued_busy_time(),
+        }
+    }
+}
+
 /// Result of composing one phase's per-node ledgers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PhaseTiming {
@@ -26,34 +54,60 @@ pub struct PhaseTiming {
     pub max_node_busy: SimTime,
     /// The shared-ring lower bound for this phase.
     pub ring_bound: SimTime,
-    /// Index of the critical (slowest) node.
-    pub critical_node: usize,
+    /// Index of the critical (slowest) node; `None` when no node did any
+    /// work (an empty or all-zero phase has no critical node).
+    pub critical_node: Option<usize>,
+    /// Total time disk requests spent queued, summed over nodes (zero under
+    /// [`TimingModel::Legacy`]).
+    pub disk_wait: SimTime,
+    /// Total time NI requests spent queued, summed over nodes (zero under
+    /// [`TimingModel::Legacy`]).
+    pub net_wait: SimTime,
 }
 
-/// Compose a phase from per-node ledgers.
+/// Compose a phase from per-node ledgers under the given timing model.
 ///
 /// `ring_bandwidth_bytes_per_sec` is the capacity of the shared token ring
 /// (80 Mbit/s = 10,000,000 bytes/s in the paper's hardware).
-pub fn phase_duration(per_node: &[Usage], ring_bandwidth_bytes_per_sec: u64) -> PhaseTiming {
+pub fn compose(
+    per_node: &[Usage],
+    ring_bandwidth_bytes_per_sec: u64,
+    model: TimingModel,
+) -> PhaseTiming {
     assert!(
         ring_bandwidth_bytes_per_sec > 0,
         "ring bandwidth must be positive"
     );
     let mut max_node_busy = SimTime::ZERO;
-    let mut critical_node = 0;
+    let mut critical_node = None;
     let mut ring_bytes: u64 = 0;
+    let mut disk_wait = SimTime::ZERO;
+    let mut net_wait = SimTime::ZERO;
     for (i, u) in per_node.iter().enumerate() {
-        let busy = u.busy_time();
+        let busy = match model {
+            TimingModel::Legacy => u.busy_time(),
+            TimingModel::Queued => {
+                let q = u.queue_timing();
+                disk_wait += q.disk.wait;
+                net_wait += q.net.wait;
+                u.cpu
+                    .max(q.disk.completion.max(u.disk))
+                    .max(q.net.completion.max(u.net))
+            }
+        };
         if busy > max_node_busy {
             max_node_busy = busy;
-            critical_node = i;
+            critical_node = Some(i);
         }
         ring_bytes += u.ring_bytes;
     }
-    // bytes / (bytes/s) in µs, rounding up so a non-empty transfer is never free.
-    let ring_us = ring_bytes
-        .saturating_mul(1_000_000)
-        .div_ceil(ring_bandwidth_bytes_per_sec);
+    // bytes / (bytes/s) in µs, rounding up so a non-empty transfer is never
+    // free. The product is computed in u128: `bytes * 1_000_000` overflows
+    // u64 beyond ~18 TB per phase, and a saturating product would silently
+    // *underestimate* the bound.
+    let ring_us =
+        (u128::from(ring_bytes) * 1_000_000u128).div_ceil(u128::from(ring_bandwidth_bytes_per_sec));
+    let ring_us = u64::try_from(ring_us).unwrap_or(u64::MAX);
     let ring_bound = if ring_bytes == 0 {
         SimTime::ZERO
     } else {
@@ -64,7 +118,15 @@ pub fn phase_duration(per_node: &[Usage], ring_bandwidth_bytes_per_sec: u64) -> 
         max_node_busy,
         ring_bound,
         critical_node,
+        disk_wait,
+        net_wait,
     }
+}
+
+/// Compose a phase under the legacy flat-`max` model. Thin wrapper over
+/// [`compose`]; new code should pass an explicit [`TimingModel`].
+pub fn phase_duration(per_node: &[Usage], ring_bandwidth_bytes_per_sec: u64) -> PhaseTiming {
+    compose(per_node, ring_bandwidth_bytes_per_sec, TimingModel::Legacy)
 }
 
 /// Compose a pipelined phase: producers and consumers overlap fully except
@@ -72,16 +134,31 @@ pub fn phase_duration(per_node: &[Usage], ring_bandwidth_bytes_per_sec: u64) -> 
 /// pipeline). `per_node` already contains each node's *total* demand for the
 /// phase (a node hosting both a producer and a consumer process has both
 /// charged to the same ledger, since they share its CPU).
+pub fn pipeline_compose(
+    per_node: &[Usage],
+    ring_bandwidth_bytes_per_sec: u64,
+    fill_latency: SimTime,
+    model: TimingModel,
+) -> PhaseTiming {
+    let mut t = compose(per_node, ring_bandwidth_bytes_per_sec, model);
+    if t.duration > SimTime::ZERO {
+        t.duration += fill_latency;
+    }
+    t
+}
+
+/// Legacy-model wrapper over [`pipeline_compose`].
 pub fn pipeline_duration(
     per_node: &[Usage],
     ring_bandwidth_bytes_per_sec: u64,
     fill_latency: SimTime,
 ) -> PhaseTiming {
-    let mut t = phase_duration(per_node, ring_bandwidth_bytes_per_sec);
-    if t.duration > SimTime::ZERO {
-        t.duration += fill_latency;
-    }
-    t
+    pipeline_compose(
+        per_node,
+        ring_bandwidth_bytes_per_sec,
+        fill_latency,
+        TimingModel::Legacy,
+    )
 }
 
 #[cfg(test)]
@@ -105,7 +182,7 @@ mod tests {
         ];
         let t = phase_duration(&nodes, 10_000_000);
         assert_eq!(t.duration, SimTime::from_us(200));
-        assert_eq!(t.critical_node, 1);
+        assert_eq!(t.critical_node, Some(1));
         assert_eq!(t.ring_bound, SimTime::ZERO);
     }
 
@@ -131,11 +208,23 @@ mod tests {
     }
 
     #[test]
-    fn empty_phase_is_zero() {
+    fn ring_bound_survives_u64_overflow() {
+        // 100 TB on the ring at 10 MB/s is 1e13 µs. The old
+        // `saturating_mul(1_000_000)` clamped the numerator to u64::MAX and
+        // reported ~1.8e12 µs — a 5× underestimate.
+        let nodes = vec![usage(0, 0, 0, 100_000_000_000_000)];
+        let t = phase_duration(&nodes, 10_000_000);
+        assert_eq!(t.ring_bound, SimTime::from_us(10_000_000_000_000));
+    }
+
+    #[test]
+    fn empty_phase_is_zero_with_no_critical_node() {
         let t = phase_duration(&[], 10_000_000);
         assert_eq!(t.duration, SimTime::ZERO);
+        assert_eq!(t.critical_node, None);
         let t = phase_duration(&[Usage::ZERO, Usage::ZERO], 10_000_000);
         assert_eq!(t.duration, SimTime::ZERO);
+        assert_eq!(t.critical_node, None);
     }
 
     #[test]
@@ -145,6 +234,33 @@ mod tests {
         assert_eq!(t.duration, SimTime::from_us(542));
         let t = pipeline_duration(&[Usage::ZERO], 10_000_000, SimTime::from_us(42));
         assert_eq!(t.duration, SimTime::ZERO);
+    }
+
+    #[test]
+    fn queued_model_never_below_legacy() {
+        let nodes = vec![usage(100, 50, 10, 0), usage(30, 200, 5, 0)];
+        let legacy = compose(&nodes, 10_000_000, TimingModel::Legacy);
+        let queued = compose(&nodes, 10_000_000, TimingModel::Queued);
+        assert!(queued.duration >= legacy.duration);
+    }
+
+    #[test]
+    fn queued_model_counts_convoy_waits() {
+        // One node issues its whole disk demand as a burst after a CPU
+        // lead-in: the flat bound hides the serialisation, the queue does
+        // not.
+        let mut u = Usage::ZERO;
+        u.cpu(SimTime::from_us(700));
+        for _ in 0..30 {
+            u.disk(SimTime::from_us(30)); // 900 µs of service, all issued at 700
+        }
+        let nodes = vec![u];
+        let legacy = compose(&nodes, 10_000_000, TimingModel::Legacy);
+        let queued = compose(&nodes, 10_000_000, TimingModel::Queued);
+        assert_eq!(legacy.duration, SimTime::from_us(900));
+        assert_eq!(queued.duration, SimTime::from_us(1600)); // 700 + 900
+        assert!(queued.disk_wait > SimTime::ZERO);
+        assert_eq!(legacy.disk_wait, SimTime::ZERO);
     }
 
     #[test]

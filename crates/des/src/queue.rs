@@ -1,0 +1,209 @@
+//! Single-server FIFO request queues for a node's disk arm and network
+//! interface.
+//!
+//! The ledgers in [`crate::ledger`] record *when* each disk/NI request was
+//! issued (the node's CPU progress at the charge site) and *how long* the
+//! device needs to service it. This module replays those request logs
+//! through a single-server FIFO queue on the event kernel ([`crate::Sim`])
+//! to find out when the device actually finishes — including the queueing
+//! delay that appears when requests arrive faster than the device drains
+//! them (convoy effects).
+//!
+//! The legacy timing model (`Usage::busy_time`) assumed a device at 95 %
+//! load behaves like one at 5 %: phase time was just
+//! `max(cpu, Σ disk service, Σ net service)`. The queued model keeps the
+//! full-overlap assumption (read-ahead, DMA) but makes the device a real
+//! server: a request issued at time `a` with service time `s` completes at
+//! `max(a, previous completion) + s`. The device's completion time for the
+//! phase is the finish time of its last request, which is never below the
+//! legacy bound (all the work still has to happen) and rises above it when
+//! requests bunch up.
+
+use std::collections::VecDeque;
+
+use crate::sim::Sim;
+use crate::time::SimTime;
+
+/// One device request: issued at `issue` (relative to the phase start, on
+/// the issuing node's CPU-progress clock), needing `service` device time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Request {
+    /// When the request was handed to the device, relative to phase start.
+    pub issue: SimTime,
+    /// Device service time (seek + rotate + transfer, or wire occupancy).
+    pub service: SimTime,
+}
+
+/// Per-node request logs, one per queued device.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RequestLog {
+    /// Disk-arm requests in issue order.
+    pub disk: Vec<Request>,
+    /// Network-interface requests in issue order.
+    pub net: Vec<Request>,
+}
+
+impl RequestLog {
+    /// Log with no requests.
+    pub const EMPTY: RequestLog = RequestLog {
+        disk: Vec::new(),
+        net: Vec::new(),
+    };
+
+    /// True when neither device has any logged request.
+    pub fn is_empty(&self) -> bool {
+        self.disk.is_empty() && self.net.is_empty()
+    }
+}
+
+/// Result of draining one device's request log through its FIFO queue.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// When the device finishes its last request (phase-relative). Zero for
+    /// an empty log.
+    pub completion: SimTime,
+    /// Total time requests spent waiting in the queue before service began.
+    pub wait: SimTime,
+    /// Longest single wait.
+    pub max_wait: SimTime,
+    /// Total service demand (Σ service; equals the legacy ledger field).
+    pub service: SimTime,
+    /// Number of requests serviced.
+    pub requests: u64,
+}
+
+/// The event-driven single-server state: requests that arrived while the
+/// device was busy park here (FIFO) until the in-flight request completes.
+struct Server {
+    queued: VecDeque<Request>,
+    busy: bool,
+    stats: QueueStats,
+}
+
+fn arrive(sim: &mut Sim<Server>, req: Request) {
+    if sim.state.busy {
+        sim.state.queued.push_back(req);
+    } else {
+        begin_service(sim, req);
+    }
+}
+
+fn begin_service(sim: &mut Sim<Server>, req: Request) {
+    let wait = sim.now() - req.issue; // SimTime::sub saturates; starts are never early
+    sim.state.busy = true;
+    sim.state.stats.wait += wait;
+    sim.state.stats.max_wait = sim.state.stats.max_wait.max(wait);
+    sim.schedule_in(req.service, complete);
+}
+
+fn complete(sim: &mut Sim<Server>) {
+    sim.state.stats.completion = sim.now();
+    match sim.state.queued.pop_front() {
+        Some(next) => begin_service(sim, next),
+        None => sim.state.busy = false,
+    }
+}
+
+/// Drain a request log through a single-server FIFO queue on the event
+/// kernel and report when the device finishes.
+///
+/// Requests are served in issue order (ties broken by log order, which the
+/// kernel's FIFO tie-break preserves). The log produced by a ledger is
+/// already issue-ordered because issue offsets are the node's monotone CPU
+/// progress.
+pub fn fifo_drain(requests: &[Request]) -> QueueStats {
+    let mut sim = Sim::untraced(Server {
+        queued: VecDeque::with_capacity(requests.len()),
+        busy: false,
+        stats: QueueStats {
+            requests: requests.len() as u64,
+            ..QueueStats::default()
+        },
+    });
+    for &req in requests {
+        sim.state.stats.service += req.service;
+        sim.schedule_at(req.issue, move |s| arrive(s, req));
+    }
+    sim.run_until_idle();
+    debug_assert!(!sim.state.busy && sim.state.queued.is_empty());
+    sim.state.stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(issue: u64, service: u64) -> Request {
+        Request {
+            issue: SimTime::from_us(issue),
+            service: SimTime::from_us(service),
+        }
+    }
+
+    #[test]
+    fn empty_log_is_all_zero() {
+        let s = fifo_drain(&[]);
+        assert_eq!(s, QueueStats::default());
+    }
+
+    #[test]
+    fn single_request_completes_after_service() {
+        let s = fifo_drain(&[req(40, 10)]);
+        assert_eq!(s.completion, SimTime::from_us(50));
+        assert_eq!(s.wait, SimTime::ZERO);
+        assert_eq!(s.service, SimTime::from_us(10));
+        assert_eq!(s.requests, 1);
+    }
+
+    #[test]
+    fn spaced_requests_never_wait() {
+        // Arrivals slower than service: the queue is always empty.
+        let s = fifo_drain(&[req(0, 10), req(100, 10), req(200, 10)]);
+        assert_eq!(s.completion, SimTime::from_us(210));
+        assert_eq!(s.wait, SimTime::ZERO);
+    }
+
+    #[test]
+    fn burst_serialises_and_waits() {
+        // Three requests issued at once: the second waits 10, the third 20.
+        let s = fifo_drain(&[req(0, 10), req(0, 10), req(0, 10)]);
+        assert_eq!(s.completion, SimTime::from_us(30));
+        assert_eq!(s.wait, SimTime::from_us(30));
+        assert_eq!(s.max_wait, SimTime::from_us(20));
+    }
+
+    #[test]
+    fn idle_gap_delays_completion_past_service_sum() {
+        // The server idles 0..100, so completion exceeds Σ service even
+        // though nothing ever waits.
+        let s = fifo_drain(&[req(100, 10), req(110, 10)]);
+        assert_eq!(s.completion, SimTime::from_us(120));
+        assert_eq!(s.wait, SimTime::ZERO);
+        assert_eq!(s.service, SimTime::from_us(20));
+    }
+
+    #[test]
+    fn completion_never_below_total_service() {
+        let logs: Vec<Vec<Request>> = vec![
+            vec![req(0, 5), req(1, 5), req(2, 5)],
+            vec![req(7, 3), req(7, 3), req(50, 1)],
+            vec![req(0, 1); 64],
+        ];
+        for log in logs {
+            let s = fifo_drain(&log);
+            assert!(s.completion >= s.service, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn fifo_completion_times_are_nondecreasing() {
+        // Re-drain prefixes: each added request can only push completion out.
+        let log = [req(0, 7), req(3, 2), req(3, 9), req(20, 1), req(21, 30)];
+        let mut prev = SimTime::ZERO;
+        for n in 0..=log.len() {
+            let s = fifo_drain(&log[..n]);
+            assert!(s.completion >= prev);
+            prev = s.completion;
+        }
+    }
+}

@@ -63,6 +63,8 @@ pub struct Sim<S> {
     queue: BinaryHeap<Scheduled<S>>,
     cancelled: Vec<u64>,
     events_fired: u64,
+    #[cfg_attr(not(feature = "trace"), allow(dead_code))]
+    trace_steps: bool,
     /// The simulation's shared state (the "world": machine, files, stats…).
     pub state: S,
 }
@@ -76,7 +78,19 @@ impl<S> Sim<S> {
             queue: BinaryHeap::new(),
             cancelled: Vec::new(),
             events_fired: 0,
+            trace_steps: true,
             state,
+        }
+    }
+
+    /// Like [`Sim::new`] but with kernel-step tracing suppressed. For
+    /// auxiliary simulations run *inside* the engine (e.g. draining a
+    /// device request queue), whose internal steps are not scheduler
+    /// events and may fire while a trace sink is already borrowed.
+    pub fn untraced(state: S) -> Self {
+        Sim {
+            trace_steps: false,
+            ..Sim::new(state)
         }
     }
 
@@ -172,7 +186,9 @@ impl<S> Sim<S> {
             self.clock = ev.at;
             self.events_fired += 1;
             #[cfg(feature = "trace")]
-            gamma_trace::with(|s| s.emit_sim_step(self.clock.as_us()));
+            if self.trace_steps {
+                gamma_trace::with(|s| s.emit_sim_step(self.clock.as_us()));
+            }
             let f = ev.run.take().expect("event closure consumed twice");
             f(self);
             return true;

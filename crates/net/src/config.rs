@@ -62,10 +62,11 @@ impl RingConfig {
 
     /// Network-interface occupancy of one packet carrying `bytes` payload.
     pub fn wire_time(&self, bytes: u64) -> SimTime {
-        let us = bytes
-            .saturating_mul(1_000_000)
-            .div_ceil(self.bandwidth_bytes_per_sec);
-        SimTime::from_us(us) + self.media_access_latency
+        // u128 intermediate: `bytes * 1_000_000` overflows u64 beyond
+        // ~18 TB, and a saturating product silently underestimates.
+        let us =
+            (u128::from(bytes) * 1_000_000u128).div_ceil(u128::from(self.bandwidth_bytes_per_sec));
+        SimTime::from_us(u64::try_from(us).unwrap_or(u64::MAX)) + self.media_access_latency
     }
 }
 
@@ -98,6 +99,29 @@ mod tests {
             SimTime::from_us(205) + c.media_access_latency
         );
         assert!(c.wire_time(4096) > c.wire_time(1024));
+    }
+
+    #[test]
+    fn wire_time_survives_u64_overflow() {
+        // 100 TB at 10 MB/s is 1e13 µs; the old saturating u64 product
+        // clamped this to ~1.8e12 µs.
+        let c = RingConfig::gamma_1989();
+        assert_eq!(
+            c.wire_time(100_000_000_000_000),
+            SimTime::from_us(10_000_000_000_000) + c.media_access_latency
+        );
+    }
+
+    #[test]
+    fn trace_bytes_roundtrips_at_boundary() {
+        assert_eq!(crate::trace_bytes(u32::MAX as u64), u32::MAX);
+        assert_eq!(crate::trace_bytes(2048), 2048);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the u32 trace field")]
+    fn trace_bytes_rejects_wrapping() {
+        crate::trace_bytes(u32::MAX as u64 + 1);
     }
 
     #[test]

@@ -138,7 +138,7 @@ impl Outbox {
                 src as u16,
                 usage.total_demand().as_us(),
                 gamma_trace::EventKind::ShortCircuit {
-                    bytes: bytes as u32,
+                    bytes: crate::trace_bytes(bytes),
                 },
             );
         } else {
@@ -151,7 +151,7 @@ impl Outbox {
                 usage.total_demand().as_us(),
                 gamma_trace::EventKind::PacketSend {
                     dst: dst as u16,
-                    bytes: bytes as u32,
+                    bytes: crate::trace_bytes(bytes),
                 },
             );
         }
@@ -228,7 +228,7 @@ impl Inbox {
                     usage.total_demand().as_us(),
                     gamma_trace::EventKind::PacketRecv {
                         src: src as u16,
-                        bytes: p.bytes as u32,
+                        bytes: crate::trace_bytes(p.bytes),
                     },
                 );
             }
@@ -403,7 +403,7 @@ mod tests {
         );
         assert_eq!(u[1].ring_bytes, 0);
         ex.route();
-        let before = u[1];
+        let before = u[1].clone();
         let mut inbox = ex.take_inbox(1);
         let msgs = inbox.drain(&mut u[1], &RingConfig::gamma_1989());
         ex.return_inbox(inbox);

@@ -112,7 +112,7 @@ impl Fabric {
                 src as u16,
                 usage[src].total_demand().as_us(),
                 gamma_trace::EventKind::ShortCircuit {
-                    bytes: bytes as u32,
+                    bytes: crate::trace_bytes(bytes),
                 },
             );
         } else {
@@ -131,7 +131,7 @@ impl Fabric {
                     usage[src].total_demand().as_us(),
                     gamma_trace::EventKind::PacketSend {
                         dst: dst as u16,
-                        bytes: bytes as u32,
+                        bytes: crate::trace_bytes(bytes),
                     },
                 );
                 gamma_trace::emit(
@@ -139,7 +139,7 @@ impl Fabric {
                     usage[dst].total_demand().as_us(),
                     gamma_trace::EventKind::PacketRecv {
                         src: src as u16,
-                        bytes: bytes as u32,
+                        bytes: crate::trace_bytes(bytes),
                     },
                 );
             }
@@ -167,7 +167,7 @@ impl Fabric {
                     src as u16,
                     at,
                     gamma_trace::EventKind::ShortCircuit {
-                        bytes: bytes as u32,
+                        bytes: crate::trace_bytes(bytes),
                     },
                 );
                 gamma_trace::emit(
@@ -175,7 +175,7 @@ impl Fabric {
                     at,
                     gamma_trace::EventKind::Control {
                         dst: dst as u16,
-                        bytes: bytes as u32,
+                        bytes: crate::trace_bytes(bytes),
                     },
                 );
             }
@@ -198,7 +198,7 @@ impl Fabric {
                     usage[src].total_demand().as_us(),
                     gamma_trace::EventKind::PacketSend {
                         dst: dst as u16,
-                        bytes: chunk as u32,
+                        bytes: crate::trace_bytes(chunk),
                     },
                 );
                 gamma_trace::emit(
@@ -206,7 +206,7 @@ impl Fabric {
                     usage[dst].total_demand().as_us(),
                     gamma_trace::EventKind::PacketRecv {
                         src: src as u16,
-                        bytes: chunk as u32,
+                        bytes: crate::trace_bytes(chunk),
                     },
                 );
             }
@@ -219,7 +219,7 @@ impl Fabric {
             usage[dst].total_demand().as_us(),
             gamma_trace::EventKind::Control {
                 dst: dst as u16,
-                bytes: bytes as u32,
+                bytes: crate::trace_bytes(bytes),
             },
         );
         packets
@@ -247,7 +247,7 @@ impl Fabric {
                 usage.total_demand().as_us(),
                 gamma_trace::EventKind::PacketRecv {
                     src: u16::MAX, // the off-node scheduler process
-                    bytes: chunk as u32,
+                    bytes: crate::trace_bytes(chunk),
                 },
             );
         }
@@ -259,7 +259,7 @@ impl Fabric {
             usage.total_demand().as_us(),
             gamma_trace::EventKind::Control {
                 dst: node as u16,
-                bytes: bytes as u32,
+                bytes: crate::trace_bytes(bytes),
             },
         );
         #[cfg(not(feature = "trace"))]

@@ -117,12 +117,26 @@ pub struct NodeUsage {
     pub cpu_us: u64,
     pub disk_us: u64,
     pub net_us: u64,
+    /// Time disk requests spent queued at this node's arm (zero when the
+    /// engine ran under the legacy flat-`max` model).
+    pub disk_wait_us: u64,
+    /// Time NI requests spent queued at this node's interface.
+    pub net_wait_us: u64,
+    /// When the disk finished its last request, phase-relative (zero when
+    /// unknown; never below `disk_us` once set).
+    pub disk_done_us: u64,
+    /// When the NI finished its last request, phase-relative.
+    pub net_done_us: u64,
 }
 
 impl NodeUsage {
-    /// Busy time under full overlap: the max of the three resources.
+    /// Busy time: the max of the three resources, with each device's
+    /// *queued* completion (when known) substituted for its bare service
+    /// total.
     pub fn busy_us(&self) -> u64 {
-        self.cpu_us.max(self.disk_us).max(self.net_us)
+        self.cpu_us
+            .max(self.disk_us.max(self.disk_done_us))
+            .max(self.net_us.max(self.net_done_us))
     }
 
     /// Total demand: the sum of the three resources.
@@ -404,6 +418,7 @@ mod tests {
             cpu_us: cpu,
             disk_us: disk,
             net_us: net,
+            ..Default::default()
         }
     }
 

@@ -125,10 +125,12 @@ pub fn to_json(sink: &TraceSink) -> String {
             );
             let _ = write!(
                 out,
-                ",\"args\":{{\"phase_index\":{idx},\"cpu_us\":{},\"disk_us\":{},\"net_us\":{},\"dominant\":\"{}\",\"critical\":{}}}}}",
+                ",\"args\":{{\"phase_index\":{idx},\"cpu_us\":{},\"disk_us\":{},\"net_us\":{},\"disk_wait_us\":{},\"net_wait_us\":{},\"dominant\":\"{}\",\"critical\":{}}}}}",
                 usage.cpu_us,
                 usage.disk_us,
                 usage.net_us,
+                usage.disk_wait_us,
+                usage.net_wait_us,
                 usage.dominant(),
                 critical == Some(n),
             );
@@ -208,11 +210,13 @@ mod tests {
                     cpu_us: 10,
                     disk_us: 20,
                     net_us: 0,
+                    ..Default::default()
                 },
                 NodeUsage {
                     cpu_us: 8,
                     disk_us: 0,
                     net_us: 4,
+                    ..Default::default()
                 },
             ],
         );

@@ -83,6 +83,13 @@ pub fn critical_path(sink: &TraceSink) -> String {
             usage.disk_us,
             usage.net_us,
         );
+        if usage.disk_wait_us > 0 || usage.net_wait_us > 0 {
+            let _ = writeln!(
+                out,
+                "  queueing delay: disk {} µs, net {} µs",
+                usage.disk_wait_us, usage.net_wait_us,
+            );
+        }
         out.push('\n');
     }
 
@@ -132,6 +139,7 @@ mod tests {
                 cpu_us: 100,
                 disk_us: 40,
                 net_us: 0,
+                ..Default::default()
             }],
         );
         sink.seal_phase(
@@ -140,6 +148,7 @@ mod tests {
                 cpu_us: 10,
                 disk_us: 300,
                 net_us: 0,
+                ..Default::default()
             }],
         );
         sink.phase_replayed(0, 0, 100);
@@ -160,6 +169,7 @@ mod tests {
                     cpu_us: 7,
                     disk_us: 3,
                     net_us: 1,
+                    ..Default::default()
                 }],
             );
             sink.phase_replayed(0, 0, 7);
