@@ -10,12 +10,16 @@
 //! cargo run --release -p gamma-bench --bin joinabprime -- --scale 0.2 --out BENCH_joinabprime.json
 //! ```
 //!
-//! The JSON schema is documented in `EXPERIMENTS.md`.
+//! With the (default) `metrics` feature each point also records its peak
+//! buffer-pool residency, total ring packets, and short-circuit ratio —
+//! deterministic counters the `regress` binary gates exactly. The JSON
+//! schema is documented in `EXPERIMENTS.md`.
 
 use std::time::Instant;
 
-use gamma_bench::{ExperimentPoint, SweepBuilder, Workload};
+use gamma_bench::Workload;
 use gamma_core::query::Algorithm;
+use gamma_core::JoinReport;
 
 const RATIOS: [f64; 3] = [1.0, 0.5, 0.2];
 
@@ -33,12 +37,32 @@ struct Row {
     wall_ms: f64,
     serial_wall_ms: Option<f64>,
     speedup: Option<f64>,
+    peak_pool_pages: Option<u64>,
+    packets: u64,
+    short_circuit_ratio: f64,
 }
 
-fn measure(b: &SweepBuilder<'_>, alg: Algorithm, ratio: f64) -> (ExperimentPoint, f64) {
+struct RunOut {
+    report: JoinReport,
+    #[cfg(feature = "metrics")]
+    registry: gamma_metrics::Registry,
+}
+
+fn measure(w: &Workload, alg: Algorithm, ratio: f64) -> (RunOut, f64) {
     let t = Instant::now();
-    let p = b.run_one(alg, ratio);
-    (p, t.elapsed().as_secs_f64() * 1e3)
+    #[cfg(feature = "metrics")]
+    let out = {
+        let run = gamma_bench::metrics::metrics_join(w, alg, ratio, false, false);
+        RunOut {
+            report: run.report,
+            registry: run.registry,
+        }
+    };
+    #[cfg(not(feature = "metrics"))]
+    let out = RunOut {
+        report: gamma_bench::SweepBuilder::new(w).run_one(alg, ratio).report,
+    };
+    (out, t.elapsed().as_secs_f64() * 1e3)
 }
 
 fn main() {
@@ -56,7 +80,6 @@ fn main() {
         (100_000f64 * scale).round() as usize,
         (10_000f64 * scale).round() as usize,
     );
-    let b = SweepBuilder::new(&w);
 
     let parallel_build = cfg!(feature = "parallel");
     let threads = std::thread::available_parallelism()
@@ -69,12 +92,12 @@ fn main() {
             // only measurement).
             #[cfg(feature = "parallel")]
             gamma_core::exec::set_parallel(false);
-            let (sp, serial_ms) = measure(&b, alg, ratio);
+            let (sp, serial_ms) = measure(&w, alg, ratio);
 
             let (p, wall_ms, serial_wall_ms, speedup) = if parallel_build {
                 #[cfg(feature = "parallel")]
                 gamma_core::exec::set_parallel(true);
-                let (pp, par_ms) = measure(&b, alg, ratio);
+                let (pp, par_ms) = measure(&w, alg, ratio);
                 assert_eq!(
                     sp.report.response,
                     pp.report.response,
@@ -85,6 +108,13 @@ fn main() {
                     sp.report.result_checksum,
                     pp.report.result_checksum,
                     "{} at {ratio}: parallel executor changed the result",
+                    alg.name()
+                );
+                #[cfg(feature = "metrics")]
+                assert_eq!(
+                    gamma_metrics::json::render(&sp.registry),
+                    gamma_metrics::json::render(&pp.registry),
+                    "{} at {ratio}: parallel executor changed the metrics snapshot",
                     alg.name()
                 );
                 (pp, par_ms, Some(serial_ms), Some(serial_ms / par_ms))
@@ -103,6 +133,17 @@ fn main() {
                     None => String::new(),
                 }
             );
+            let packets = p.report.packets();
+            let sc = p.report.shortcircuits();
+            let short_circuit_ratio = if sc + packets > 0 {
+                sc as f64 / (sc + packets) as f64
+            } else {
+                0.0
+            };
+            #[cfg(feature = "metrics")]
+            let peak_pool_pages = Some(p.registry.gauge_peak("pool_peak_pages").unwrap_or(0));
+            #[cfg(not(feature = "metrics"))]
+            let peak_pool_pages = None;
             rows.push(Row {
                 algorithm: p.report.algorithm.clone(),
                 ratio,
@@ -110,6 +151,9 @@ fn main() {
                 wall_ms,
                 serial_wall_ms,
                 speedup,
+                peak_pool_pages,
+                packets,
+                short_circuit_ratio,
             });
         }
     }
@@ -126,14 +170,21 @@ fn main() {
             Some(x) => format!("{x:.3}"),
             None => "null".into(),
         };
+        let opt_u = |v: Option<u64>| match v {
+            Some(x) => format!("{x}"),
+            None => "null".into(),
+        };
         json.push_str(&format!(
-            "    {{\"algorithm\": \"{}\", \"memory_ratio\": {}, \"response_virtual_us\": {}, \"wall_ms\": {:.3}, \"serial_wall_ms\": {}, \"speedup\": {}}}{}\n",
+            "    {{\"algorithm\": \"{}\", \"memory_ratio\": {}, \"response_virtual_us\": {}, \"wall_ms\": {:.3}, \"serial_wall_ms\": {}, \"speedup\": {}, \"peak_pool_pages\": {}, \"packets\": {}, \"short_circuit_ratio\": {:.6}}}{}\n",
             r.algorithm,
             r.ratio,
             r.virtual_us,
             r.wall_ms,
             opt(r.serial_wall_ms),
             opt(r.speedup),
+            opt_u(r.peak_pool_pages),
+            r.packets,
+            r.short_circuit_ratio,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }

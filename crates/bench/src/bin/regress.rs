@@ -1,0 +1,180 @@
+//! Virtual-time perf-regression gate.
+//!
+//! Replays every point of the committed `BENCH_joinabprime.json` baseline
+//! (at the scale the baseline records) with the metrics registry installed,
+//! then fails — exit code 1 — if any of:
+//!
+//! * a point's `response_virtual_us` drifts more than the tolerance
+//!   (default 1%) in either direction;
+//! * a deterministic counter (`packets`, `peak_pool_pages`) changes at all;
+//! * any run's metric snapshot fails ledger reconciliation (a charged
+//!   microsecond or byte became unattributable);
+//! * a committed metrics snapshot under `results/` is no longer
+//!   byte-identical to a fresh run of the same point.
+//!
+//! Wall-clock fields in the baseline are ignored — they measure the host.
+//!
+//! ```text
+//! cargo run --release -p gamma-bench --bin regress
+//! cargo run --release -p gamma-bench --bin regress -- --tolerance-pct 0.5
+//! cargo run --release -p gamma-bench --bin regress -- --write   # refresh snapshots
+//! ```
+//!
+//! `--write` regenerates the snapshot baselines (for intentional model
+//! changes); the response-time baseline itself is refreshed by rerunning
+//! the `joinabprime` binary.
+
+use gamma_bench::metrics::{metrics_join, reconcile};
+use gamma_bench::regress::{
+    compare_points, diff_snapshots, parse_bench_points, parse_scale, BenchPoint,
+};
+use gamma_bench::Workload;
+use gamma_core::query::Algorithm;
+
+/// The snapshot points kept under `results/` — same points the `trace`
+/// binary exports, so the two artifact sets describe the same runs.
+const SNAPSHOT_POINTS: [(Algorithm, f64); 2] =
+    [(Algorithm::HybridHash, 0.5), (Algorithm::GraceHash, 0.2)];
+
+/// `A`-relation cardinality for the snapshot points (the `trace` binary's
+/// default; `Bprime` is a 10% sample).
+const SNAPSHOT_SCALE: usize = 20_000;
+
+fn algorithm_by_name(name: &str) -> Algorithm {
+    match name {
+        "sort-merge" => Algorithm::SortMerge,
+        "simple" => Algorithm::SimpleHash,
+        "grace" => Algorithm::GraceHash,
+        "hybrid" => Algorithm::HybridHash,
+        other => panic!("baseline names unknown algorithm `{other}`"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline_path = String::from("BENCH_joinabprime.json");
+    let mut snapshot_dir = String::from("results");
+    let mut tolerance_pct = 1.0f64;
+    let mut write = false;
+    if let Some(i) = args.iter().position(|a| a == "--baseline") {
+        baseline_path = args[i + 1].clone();
+    }
+    if let Some(i) = args.iter().position(|a| a == "--snapshots") {
+        snapshot_dir = args[i + 1].clone();
+    }
+    if let Some(i) = args.iter().position(|a| a == "--tolerance-pct") {
+        tolerance_pct = args[i + 1].parse().expect("tolerance must be a float");
+    }
+    if args.iter().any(|a| a == "--write") {
+        write = true;
+    }
+
+    let mut errors: Vec<String> = Vec::new();
+
+    // --- Gate 1: baseline points vs fresh runs -------------------------
+    let doc = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("read {baseline_path}: {e}"));
+    let baseline = parse_bench_points(&doc);
+    assert!(!baseline.is_empty(), "{baseline_path} has no points");
+    let scale = parse_scale(&doc);
+    let w = Workload::scaled(
+        (100_000f64 * scale).round() as usize,
+        (10_000f64 * scale).round() as usize,
+    );
+    println!(
+        "regress: replaying {} baseline points at scale {scale} (tolerance {tolerance_pct}%)",
+        baseline.len()
+    );
+    let mut fresh = Vec::new();
+    for b in &baseline {
+        let alg = algorithm_by_name(&b.algorithm);
+        let run = metrics_join(&w, alg, b.memory_ratio, false, false);
+        let recon = reconcile(&run.registry, &run.report);
+        for e in recon {
+            errors.push(format!(
+                "{} @ ratio {}: reconciliation: {e}",
+                b.algorithm, b.memory_ratio
+            ));
+        }
+        let packets = run.report.packets();
+        let sc = run.report.shortcircuits();
+        println!(
+            "  {:<10} ratio {:>4}: {:>12} virtual-us  {:>8} packets",
+            b.algorithm,
+            b.memory_ratio,
+            run.report.response.as_us(),
+            packets
+        );
+        fresh.push(BenchPoint {
+            algorithm: b.algorithm.clone(),
+            memory_ratio: b.memory_ratio,
+            response_virtual_us: run.report.response.as_us(),
+            peak_pool_pages: Some(run.registry.gauge_peak("pool_peak_pages").unwrap_or(0)),
+            packets: Some(packets),
+            short_circuit_ratio: if sc + packets > 0 {
+                Some(sc as f64 / (sc + packets) as f64)
+            } else {
+                Some(0.0)
+            },
+        });
+    }
+    errors.extend(compare_points(&baseline, &fresh, tolerance_pct));
+
+    // --- Gate 2: committed metric snapshots ----------------------------
+    for (alg, ratio) in SNAPSHOT_POINTS {
+        let run = metrics_join(
+            &Workload::scaled(SNAPSHOT_SCALE, SNAPSHOT_SCALE / 10),
+            alg,
+            ratio,
+            false,
+            false,
+        );
+        for e in reconcile(&run.registry, &run.report) {
+            errors.push(format!(
+                "snapshot {} @ ratio {ratio}: reconciliation: {e}",
+                alg.name()
+            ));
+        }
+        let path = format!(
+            "{snapshot_dir}/metrics-{}-r{:02}.json",
+            alg.name(),
+            (ratio * 100.0) as u32
+        );
+        let fresh_doc = run.json();
+        if write {
+            std::fs::create_dir_all(&snapshot_dir).expect("create snapshot dir");
+            std::fs::write(&path, &fresh_doc).unwrap_or_else(|e| panic!("write {path}: {e}"));
+            println!("  wrote {path}");
+            let prom = format!(
+                "{snapshot_dir}/metrics-{}-r{:02}.prom",
+                alg.name(),
+                (ratio * 100.0) as u32
+            );
+            std::fs::write(&prom, run.prometheus()).unwrap_or_else(|e| panic!("write {prom}: {e}"));
+            println!("  wrote {prom}");
+        } else {
+            match std::fs::read_to_string(&path) {
+                Ok(committed) => {
+                    let diffs = diff_snapshots(&path, &committed, &fresh_doc);
+                    if diffs.is_empty() {
+                        println!("  {path}: byte-identical");
+                    }
+                    errors.extend(diffs);
+                }
+                Err(e) => errors.push(format!(
+                    "{path}: unreadable ({e}); run `regress -- --write` to create it"
+                )),
+            }
+        }
+    }
+
+    if errors.is_empty() {
+        println!("regress: PASS — virtual time, counters, and snapshots all hold");
+    } else {
+        eprintln!("regress: FAIL — {} violation(s):", errors.len());
+        for e in &errors {
+            eprintln!("  {e}");
+        }
+        std::process::exit(1);
+    }
+}

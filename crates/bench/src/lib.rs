@@ -11,8 +11,11 @@
 //! regenerate everything (see `EXPERIMENTS.md` for the recorded output).
 
 pub mod experiments;
+#[cfg(feature = "metrics")]
+pub mod metrics;
 pub mod microbench;
 pub mod plot;
+pub mod regress;
 pub mod sweep;
 #[cfg(feature = "trace")]
 pub mod tracing;

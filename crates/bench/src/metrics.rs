@@ -1,0 +1,199 @@
+//! Metered join runs and the metrics↔ledger reconciliation self-check.
+//!
+//! Wraps one `joinABprime` execution in a [`Registry`] install/take pair so
+//! callers (the `regress` binary and the metrics tests) get the full metric
+//! snapshot alongside the normal [`JoinReport`]. The simulator is
+//! deterministic and the registry is canonically ordered, so metering the
+//! same point twice yields byte-identical exports.
+//!
+//! [`reconcile`] is the accounting audit: every microsecond and byte the
+//! ledgers charged must be attributable to a metric series, and every
+//! site-mirrored counter must sum back to the ledger counter it shadows.
+//! A join run whose snapshot fails reconciliation has either an
+//! uninstrumented charge site or a double-emitting one — both bugs.
+
+use gamma_core::query::Algorithm;
+use gamma_core::JoinReport;
+use gamma_metrics::Registry;
+
+use crate::sweep::{SweepBuilder, Workload};
+
+/// A join run captured with the metrics registry installed.
+pub struct MetricsRun {
+    /// The usual join report (validated against the oracle).
+    pub report: JoinReport,
+    /// The recorded metric snapshot.
+    pub registry: Registry,
+}
+
+impl MetricsRun {
+    /// Prometheus text-format rendering of the snapshot.
+    pub fn prometheus(&self) -> String {
+        gamma_metrics::prometheus::render(&self.registry)
+    }
+
+    /// Line-oriented JSON rendering of the snapshot.
+    pub fn json(&self) -> String {
+        gamma_metrics::json::render(&self.registry)
+    }
+}
+
+/// Run one `joinABprime` point with a fresh registry installed.
+///
+/// # Panics
+/// Panics if the join result fails oracle validation.
+pub fn metrics_join(
+    workload: &Workload,
+    algorithm: Algorithm,
+    ratio: f64,
+    filtered: bool,
+    remote: bool,
+) -> MetricsRun {
+    let mut builder = SweepBuilder::new(workload).filtered(filtered);
+    if remote {
+        builder = builder.remote();
+    }
+    // Install the registry only after the workload is loaded: load-time I/O
+    // is not part of the measured query and must not appear in the snapshot.
+    let (mut machine, spec) = builder.prepare(algorithm, ratio);
+    let prev = gamma_metrics::install(Registry::new());
+    let point = builder.measure(&mut machine, &spec, algorithm, ratio);
+    let registry = gamma_metrics::take().expect("registry installed above");
+    if let Some(p) = prev {
+        gamma_metrics::install(p);
+    }
+    MetricsRun {
+        report: point.report,
+        registry,
+    }
+}
+
+/// Audit a snapshot against the report it was captured with. Returns every
+/// discrepancy found (empty ⇒ the snapshot reconciles exactly).
+///
+/// Three families of invariants, all exact integer equalities:
+///
+/// 1. **Ledger mirror** — the per-phase `ledger_*` series emitted at each
+///    phase seal must sum to the report's aggregate [`Usage`] field by
+///    field (times in µs, plus ring bytes and all event counters).
+/// 2. **Site mirrors** — counters emitted at the statements that increment
+///    ledger [`Counts`] fields must sum (over all `op` labels) to the
+///    ledger total: an uninstrumented or double-counting charge site breaks
+///    this. `tuples_in` / `tuples_out` / `comparisons` are deliberately
+///    excluded: they are informational per-operator series (the sort
+///    kernel's comparison charge has no node attribution).
+/// 3. **Device histograms** — the disk/NI wait and service histograms fed
+///    from the FIFO queue replay must sum exactly to the ledger's service
+///    and annotated-wait totals, and `wire_bytes` must equal `ring_bytes`.
+///
+/// [`Usage`]: gamma_des::Usage
+/// [`Counts`]: gamma_des::Counts
+pub fn reconcile(registry: &Registry, report: &JoinReport) -> Vec<String> {
+    let mut errs = Vec::new();
+    let mut check = |metric: &str, got: u64, want: u64| {
+        if got != want {
+            errs.push(format!("{metric}: metrics={got} ledger={want}"));
+        }
+    };
+    let t = &report.total;
+    let c = &t.counts;
+
+    // 1. Ledger mirror: registry totals vs the aggregate report ledger.
+    for (name, want) in [
+        ("ledger_cpu_us", t.cpu.as_us()),
+        ("ledger_disk_us", t.disk.as_us()),
+        ("ledger_net_us", t.net.as_us()),
+        ("ledger_disk_wait_us", t.disk_wait.as_us()),
+        ("ledger_net_wait_us", t.net_wait.as_us()),
+        ("ledger_ring_bytes", t.ring_bytes),
+        ("ledger_pages_read", c.pages_read),
+        ("ledger_pages_written", c.pages_written),
+        ("ledger_packets_sent", c.packets_sent),
+        ("ledger_packets_recv", c.packets_recv),
+        ("ledger_msgs_shortcircuit", c.msgs_shortcircuit),
+        ("ledger_tuples_in", c.tuples_in),
+        ("ledger_tuples_out", c.tuples_out),
+        ("ledger_hash_inserts", c.hash_inserts),
+        ("ledger_hash_probes", c.hash_probes),
+        ("ledger_comparisons", c.comparisons),
+        ("ledger_filter_drops", c.filter_drops),
+        ("ledger_control_msgs", c.control_msgs),
+        ("ledger_overflow_evictions", c.overflow_evictions),
+    ] {
+        check(name, registry.counter_total(name), want);
+    }
+
+    // 2. Site mirrors: per-site counters vs the ledger counter they shadow.
+    for (name, want) in [
+        ("pages_read", c.pages_read),
+        ("pages_written", c.pages_written),
+        ("packets_sent", c.packets_sent),
+        ("packets_recv", c.packets_recv),
+        ("msgs_shortcircuit", c.msgs_shortcircuit),
+        ("control_msgs", c.control_msgs),
+        ("filter_drops", c.filter_drops),
+        ("hash_inserts", c.hash_inserts),
+        ("hash_probes", c.hash_probes),
+        ("overflow_evictions", c.overflow_evictions),
+    ] {
+        check(name, registry.counter_total(name), want);
+    }
+    check(
+        "wire_bytes",
+        registry.counter_total("wire_bytes"),
+        t.ring_bytes,
+    );
+
+    // 3. Device histograms: every charged microsecond is attributable.
+    for (name, want) in [
+        ("disk_request_service_us", t.disk.as_us()),
+        ("disk_request_wait_us", t.disk_wait.as_us()),
+        ("net_request_service_us", t.net.as_us()),
+        ("net_request_wait_us", t.net_wait.as_us()),
+    ] {
+        let sum = registry.histogram_total(name).map_or(0, |h| h.sum);
+        check(name, sum, want);
+    }
+    errs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metered_run_reconciles_and_repeats() {
+        let w = Workload::scaled(2_000, 200);
+        let run = metrics_join(&w, Algorithm::HybridHash, 0.5, false, false);
+        assert_eq!(run.report.result_tuples, 200);
+        assert!(!run.registry.is_empty(), "hooks must have fired");
+        assert_eq!(
+            run.registry.phases().len(),
+            run.report.phases.len(),
+            "one sealed metrics phase per report phase"
+        );
+        let errs = reconcile(&run.registry, &run.report);
+        assert!(
+            errs.is_empty(),
+            "reconciliation failed:\n{}",
+            errs.join("\n")
+        );
+        // Determinism: metering the same point again is byte-identical.
+        let again = metrics_join(&w, Algorithm::HybridHash, 0.5, false, false);
+        assert_eq!(run.json(), again.json());
+        assert_eq!(run.prometheus(), again.prometheus());
+    }
+
+    #[test]
+    fn reconcile_reports_discrepancies() {
+        let w = Workload::scaled(1_000, 100);
+        let run = metrics_join(&w, Algorithm::SimpleHash, 1.0, false, false);
+        let mut tampered = run.registry.clone();
+        tampered.counter_add("pages_read", 0, "tamper", 7);
+        let errs = reconcile(&tampered, &run.report);
+        assert!(
+            errs.iter().any(|e| e.starts_with("pages_read")),
+            "tampered counter must surface: {errs:?}"
+        );
+    }
+}

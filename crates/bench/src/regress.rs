@@ -1,0 +1,261 @@
+//! Virtual-time performance-regression gate.
+//!
+//! The simulator is deterministic, so the committed `BENCH_joinabprime.json`
+//! doubles as a perf baseline: any code change that moves a point's
+//! `response_virtual_us` is a *modelled* performance change, not noise, and
+//! must be either intentional (regenerate the baseline) or a regression.
+//! This module holds the pure pieces of the gate — parsing the baseline's
+//! hand-rolled JSON, comparing point sets under a tolerance, and diffing
+//! metric snapshots line by line — so they are unit-testable without
+//! rerunning joins. The `regress` binary wires them to fresh runs.
+//!
+//! Wall-clock fields (`wall_ms`, `speedup`) are never gated: they measure
+//! the host, not the model.
+
+/// One benchmark point parsed from `BENCH_joinabprime.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchPoint {
+    /// Algorithm name as printed by the report (e.g. `"hybrid"`).
+    pub algorithm: String,
+    /// Memory / |inner relation| ratio.
+    pub memory_ratio: f64,
+    /// Simulated end-to-end response time.
+    pub response_virtual_us: u64,
+    /// Peak buffer-pool residency over all nodes (absent in baselines
+    /// recorded before the metrics registry existed, or without it built).
+    pub peak_pool_pages: Option<u64>,
+    /// Total packets placed on the ring.
+    pub packets: Option<u64>,
+    /// Short-circuited messages / (short-circuited + ring packets).
+    pub short_circuit_ratio: Option<f64>,
+}
+
+/// Extract the raw value token for `key` from one JSON object line written
+/// by our own benchmark serializers (`"key": value` pairs, one object per
+/// line; values never contain `,` or `}` — not a general JSON parser).
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim())
+}
+
+fn num_field(line: &str, key: &str) -> Option<f64> {
+    match field(line, key)? {
+        "null" => None,
+        v => v.parse().ok(),
+    }
+}
+
+fn str_field(line: &str, key: &str) -> Option<String> {
+    let v = field(line, key)?;
+    Some(v.trim_matches('"').to_string())
+}
+
+/// Parse every point object out of a `BENCH_joinabprime.json` document.
+/// Lines that don't contain an `algorithm` key (the envelope) are skipped.
+pub fn parse_bench_points(json: &str) -> Vec<BenchPoint> {
+    json.lines()
+        .filter(|l| l.trim_start().starts_with('{') && l.contains("\"algorithm\""))
+        .filter_map(|l| {
+            Some(BenchPoint {
+                algorithm: str_field(l, "algorithm")?,
+                memory_ratio: num_field(l, "memory_ratio")?,
+                response_virtual_us: num_field(l, "response_virtual_us")? as u64,
+                peak_pool_pages: num_field(l, "peak_pool_pages").map(|v| v as u64),
+                packets: num_field(l, "packets").map(|v| v as u64),
+                short_circuit_ratio: num_field(l, "short_circuit_ratio"),
+            })
+        })
+        .collect()
+}
+
+/// Parse the envelope's `scale` field (defaults to 1.0 when absent).
+pub fn parse_scale(json: &str) -> f64 {
+    json.lines()
+        .find_map(|l| num_field(l, "scale"))
+        .unwrap_or(1.0)
+}
+
+/// Compare a fresh point set against the baseline. Virtual response times
+/// may drift up to `tol_pct` percent (to leave room for deliberate cost
+/// recalibrations guarded by their own tests); the deterministic event
+/// counters (`packets`, `peak_pool_pages`) must match exactly when both
+/// sides recorded them. Missing or extra points are failures. Returns every
+/// violation found (empty ⇒ the gate passes).
+pub fn compare_points(baseline: &[BenchPoint], fresh: &[BenchPoint], tol_pct: f64) -> Vec<String> {
+    let mut errs = Vec::new();
+    for b in baseline {
+        let id = format!("{} @ ratio {}", b.algorithm, b.memory_ratio);
+        let Some(f) = fresh
+            .iter()
+            .find(|f| f.algorithm == b.algorithm && f.memory_ratio == b.memory_ratio)
+        else {
+            errs.push(format!("{id}: present in baseline, missing from fresh run"));
+            continue;
+        };
+        let (old, new) = (b.response_virtual_us, f.response_virtual_us);
+        if old != new {
+            let drift = (new.abs_diff(old)) as f64 * 100.0 / old as f64;
+            if drift > tol_pct {
+                errs.push(format!(
+                    "{id}: response_virtual_us drifted {drift:.3}% ({old} -> {new}, tolerance {tol_pct}%)"
+                ));
+            }
+        }
+        if let (Some(old), Some(new)) = (b.packets, f.packets) {
+            if old != new {
+                errs.push(format!("{id}: packets changed ({old} -> {new})"));
+            }
+        }
+        if let (Some(old), Some(new)) = (b.peak_pool_pages, f.peak_pool_pages) {
+            if old != new {
+                errs.push(format!("{id}: peak_pool_pages changed ({old} -> {new})"));
+            }
+        }
+    }
+    for f in fresh {
+        if !baseline
+            .iter()
+            .any(|b| b.algorithm == f.algorithm && b.memory_ratio == f.memory_ratio)
+        {
+            errs.push(format!(
+                "{} @ ratio {}: in fresh run but not in baseline",
+                f.algorithm, f.memory_ratio
+            ));
+        }
+    }
+    errs
+}
+
+/// Line-by-line diff of two snapshot documents. Returns one message per
+/// differing line (capped at 5, then a count) plus a line-count mismatch if
+/// any; empty ⇒ byte-identical up to line endings.
+pub fn diff_snapshots(label: &str, baseline: &str, fresh: &str) -> Vec<String> {
+    let mut errs = Vec::new();
+    let (b_lines, f_lines): (Vec<_>, Vec<_>) =
+        (baseline.lines().collect(), fresh.lines().collect());
+    let mut shown = 0usize;
+    let mut differing = 0usize;
+    for (i, (b, f)) in b_lines.iter().zip(&f_lines).enumerate() {
+        if b != f {
+            differing += 1;
+            if shown < 5 {
+                errs.push(format!("{label}:{}: baseline `{b}` != fresh `{f}`", i + 1));
+                shown += 1;
+            }
+        }
+    }
+    if differing > shown {
+        errs.push(format!(
+            "{label}: {} more differing lines",
+            differing - shown
+        ));
+    }
+    if b_lines.len() != f_lines.len() {
+        errs.push(format!(
+            "{label}: line count {} (baseline) != {} (fresh)",
+            b_lines.len(),
+            f_lines.len()
+        ));
+    }
+    errs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"{
+  "benchmark": "joinABprime",
+  "scale": 0.25,
+  "executor": "parallel",
+  "threads": 4,
+  "points": [
+    {"algorithm": "hybrid", "memory_ratio": 0.5, "response_virtual_us": 1000000, "wall_ms": 5.1, "serial_wall_ms": null, "speedup": null, "peak_pool_pages": 420, "packets": 9000, "short_circuit_ratio": 0.750}
+  ]
+}
+"#;
+
+    fn pt(alg: &str, ratio: f64, us: u64) -> BenchPoint {
+        BenchPoint {
+            algorithm: alg.into(),
+            memory_ratio: ratio,
+            response_virtual_us: us,
+            peak_pool_pages: None,
+            packets: None,
+            short_circuit_ratio: None,
+        }
+    }
+
+    #[test]
+    fn parses_points_and_scale() {
+        let pts = parse_bench_points(DOC);
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0].algorithm, "hybrid");
+        assert_eq!(pts[0].memory_ratio, 0.5);
+        assert_eq!(pts[0].response_virtual_us, 1_000_000);
+        assert_eq!(pts[0].peak_pool_pages, Some(420));
+        assert_eq!(pts[0].packets, Some(9_000));
+        assert_eq!(pts[0].short_circuit_ratio, Some(0.75));
+        assert_eq!(parse_scale(DOC), 0.25);
+    }
+
+    #[test]
+    fn parses_pre_metrics_baseline() {
+        let legacy = r#"    {"algorithm": "grace", "memory_ratio": 0.2, "response_virtual_us": 75003260, "wall_ms": 252.736, "serial_wall_ms": 218.438, "speedup": 0.864}"#;
+        let pts = parse_bench_points(legacy);
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0].response_virtual_us, 75_003_260);
+        assert_eq!(pts[0].peak_pool_pages, None);
+        assert_eq!(pts[0].packets, None);
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance() {
+        let base = vec![pt("hybrid", 0.5, 1_000_000)];
+        let fresh = vec![pt("hybrid", 0.5, 1_009_900)]; // 0.99% drift
+        assert!(compare_points(&base, &fresh, 1.0).is_empty());
+    }
+
+    #[test]
+    fn gate_fails_beyond_tolerance() {
+        let base = vec![pt("hybrid", 0.5, 1_000_000)];
+        let fresh = vec![pt("hybrid", 0.5, 1_010_100)]; // 1.01% drift
+        let errs = compare_points(&base, &fresh, 1.0);
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].contains("drifted"), "{errs:?}");
+        // Shrinking is gated too: a 2% speedup still invalidates the baseline.
+        let faster = vec![pt("hybrid", 0.5, 980_000)];
+        assert!(!compare_points(&base, &faster, 1.0).is_empty());
+    }
+
+    #[test]
+    fn gate_fails_on_exact_counter_mismatch() {
+        let mut b = pt("hybrid", 0.5, 1_000_000);
+        b.packets = Some(9_000);
+        b.peak_pool_pages = Some(420);
+        let mut f = b.clone();
+        f.packets = Some(9_001);
+        let errs = compare_points(&[b], &[f], 1.0);
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].contains("packets"), "{errs:?}");
+    }
+
+    #[test]
+    fn gate_fails_on_missing_or_extra_points() {
+        let base = vec![pt("hybrid", 0.5, 1_000_000), pt("grace", 0.2, 2_000_000)];
+        let fresh = vec![pt("hybrid", 0.5, 1_000_000), pt("simple", 1.0, 3_000_000)];
+        let errs = compare_points(&base, &fresh, 1.0);
+        assert_eq!(errs.len(), 2, "{errs:?}");
+    }
+
+    #[test]
+    fn snapshot_diff_finds_changed_lines() {
+        assert!(diff_snapshots("s", "a\nb\nc\n", "a\nb\nc\n").is_empty());
+        let errs = diff_snapshots("s", "a\nb\nc\n", "a\nX\nc\nd\n");
+        assert!(errs.iter().any(|e| e.contains("s:2")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("line count")), "{errs:?}");
+    }
+}

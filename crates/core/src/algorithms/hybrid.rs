@@ -169,6 +169,13 @@ pub fn run(machine: &mut Machine, rz: &Resolved) -> DriverOutput {
                                 ctx.charge(ctx.cost.filter_test_us);
                                 if !filters[bucket - 1].test(val) {
                                     ctx.ledger.counts.filter_drops += 1;
+                                    #[cfg(feature = "metrics")]
+                                    gamma_metrics::counter_add(
+                                        "filter_drops",
+                                        ctx.node as u16,
+                                        "forming",
+                                        1,
+                                    );
                                     continue;
                                 }
                             }
@@ -229,6 +236,12 @@ pub fn run(machine: &mut Machine, rz: &Resolved) -> DriverOutput {
 
     let last = phases.last_mut().expect("phases exist");
     let result = sink.finish(machine, &mut last.ledgers);
+    // The store's final page flushes landed after the phase sealed;
+    // refresh the queue-wait annotation so the recorded waits cover the
+    // final request log (replay drains the same log when timing the phase).
+    for u in last.ledgers.iter_mut() {
+        u.annotate_queue_waits();
+    }
     DriverOutput {
         phases,
         result,

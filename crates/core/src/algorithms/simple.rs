@@ -123,6 +123,12 @@ pub fn run(machine: &mut Machine, rz: &Resolved) -> DriverOutput {
 
     let last = phases.last_mut().expect("at least two phases");
     let result = sink.finish(machine, &mut last.ledgers);
+    // The store's final page flushes landed after the phase sealed;
+    // refresh the queue-wait annotation so the recorded waits cover the
+    // final request log (replay drains the same log when timing the phase).
+    for u in last.ledgers.iter_mut() {
+        u.annotate_queue_waits();
+    }
 
     DriverOutput {
         phases,

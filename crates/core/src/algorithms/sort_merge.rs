@@ -84,6 +84,13 @@ fn partition(
                         ctx.charge(ctx.cost.filter_test_us);
                         if !f.test(val) {
                             ctx.ledger.counts.filter_drops += 1;
+                            #[cfg(feature = "metrics")]
+                            gamma_metrics::counter_add(
+                                "filter_drops",
+                                ctx.node as u16,
+                                "sortmerge",
+                                1,
+                            );
                             continue;
                         }
                     }
@@ -309,10 +316,14 @@ pub fn run(machine: &mut Machine, rz: &Resolved) -> DriverOutput {
             };
             ctx.charge(ctx.cost.merge_compare_us * compares);
             ctx.ledger.counts.comparisons += compares;
+            #[cfg(feature = "metrics")]
+            gamma_metrics::counter_add("comparisons", ctx.node as u16, "merge", compares);
             let mut route = ResultRoute::new(ctx.node, d);
             for rec in outputs {
                 ctx.charge(ctx.cost.compose_us);
                 ctx.ledger.counts.tuples_out += 1;
+                #[cfg(feature = "metrics")]
+                gamma_metrics::counter_add("op_tuples_out", ctx.node as u16, "merge", 1);
                 ctx.send(route.advance(), RESULT_TAG, rec);
             }
             #[cfg(feature = "trace")]

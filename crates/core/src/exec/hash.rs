@@ -131,6 +131,11 @@ impl JoinNode {
             f.set(val);
         }
         ctx.ledger.counts.hash_inserts += 1;
+        #[cfg(feature = "metrics")]
+        {
+            gamma_metrics::counter_add("op_tuples_in", ctx.node as u16, "build", 1);
+            gamma_metrics::counter_add("hash_inserts", ctx.node as u16, "build", 1);
+        }
         #[cfg(feature = "trace")]
         gamma_trace::emit(
             ctx.node as u16,
@@ -159,6 +164,8 @@ impl JoinNode {
                 for (_, t) in evicted {
                     ctx.charge(ctx.cost.evict_tuple_us);
                     ctx.ledger.counts.overflow_evictions += 1;
+                    #[cfg(feature = "metrics")]
+                    gamma_metrics::counter_add("overflow_evictions", ctx.node as u16, "build", 1);
                     ctx.send(home, spool_tag, t);
                 }
                 if let Some(t) = diverted {
@@ -179,6 +186,13 @@ impl JoinNode {
         let (matches, compares) = site.table.probe(val);
         ctx.charge(ctx.cost.probe_us + ctx.cost.chain_compare_us * compares);
         ctx.ledger.counts.comparisons += compares;
+        #[cfg(feature = "metrics")]
+        {
+            gamma_metrics::counter_add("op_tuples_in", ctx.node as u16, "probe", 1);
+            gamma_metrics::counter_add("hash_probes", ctx.node as u16, "probe", 1);
+            gamma_metrics::counter_add("comparisons", ctx.node as u16, "probe", compares);
+            gamma_metrics::observe("probe_chain_compares", ctx.node as u16, "probe", compares);
+        }
         #[cfg(feature = "trace")]
         gamma_trace::emit(
             ctx.node as u16,
@@ -191,6 +205,8 @@ impl JoinNode {
         for out in composed {
             ctx.charge(ctx.cost.compose_us);
             ctx.ledger.counts.tuples_out += 1;
+            #[cfg(feature = "metrics")]
+            gamma_metrics::counter_add("op_tuples_out", ctx.node as u16, "probe", 1);
             let dst = self.route.advance();
             ctx.send(dst, RESULT_TAG, out);
         }
@@ -309,6 +325,8 @@ impl ProbeSnapshot {
                     false
                 } else {
                     ctx.ledger.counts.filter_drops += 1;
+                    #[cfg(feature = "metrics")]
+                    gamma_metrics::counter_add("filter_drops", ctx.node as u16, "probe", 1);
                     true
                 }
             }
@@ -402,6 +420,18 @@ impl Consumers {
             let site = self.nodes[node].site.as_ref().expect("site installed");
             cutoffs.push(site.table.cutoff());
             seeds.push(site.table.hprime_seed());
+            // Filter saturation in parts-per-thousand: the build side is
+            // complete here, so this is the selectivity the probe side will
+            // see (paper §4.2's bit-vector filtering effectiveness).
+            #[cfg(feature = "metrics")]
+            if let Some(f) = &site.filter {
+                gamma_metrics::gauge_max(
+                    "filter_saturation_pm",
+                    node as u16,
+                    "probe",
+                    (f.saturation() * 1000.0) as u64,
+                );
+            }
             filters.push(site.filter.clone());
         }
         ProbeSnapshot {
@@ -443,6 +473,10 @@ impl Consumers {
             let buckets = std::mem::take(&mut self.nodes[n].buckets);
             let mut files = Vec::with_capacity(buckets.len());
             for (_, sf) in buckets {
+                // Per-bucket fragment sizes — the distribution the bucket
+                // analyzer's uniformity assumption is about.
+                #[cfg(feature = "metrics")]
+                gamma_metrics::observe("bucket_tuples", n as u16, "forming", sf.count);
                 let (vol, pool) = machine.nodes[n].vp();
                 files.push(sf.writer.finish(vol, pool, &mut ledgers[n]));
             }

@@ -249,6 +249,12 @@ where
 {
     #[cfg(feature = "trace")]
     let tracing = gamma_trace::is_active();
+    // Workers record metrics into private registries attributed to the
+    // main thread's current phase; the join point merges them. Every
+    // merge op is commutative (counter add / gauge max / histogram add),
+    // so the merged registry is identical to serial emission.
+    #[cfg(feature = "metrics")]
+    let metering = gamma_metrics::current_phase();
     let outs = std::thread::scope(|scope| {
         let handles: Vec<_> = bundles
             .into_iter()
@@ -261,6 +267,10 @@ where
                     if tracing {
                         gamma_trace::install(gamma_trace::TraceSink::unbounded());
                     }
+                    #[cfg(feature = "metrics")]
+                    if let Some(phase) = metering {
+                        gamma_metrics::install(gamma_metrics::Registry::at_phase(phase));
+                    }
                     let r = run_bundle(cost, b, f);
                     #[cfg(feature = "trace")]
                     let events: Vec<(u16, u64, gamma_trace::EventKind)> = if tracing {
@@ -272,7 +282,11 @@ where
                     };
                     #[cfg(not(feature = "trace"))]
                     let events: Vec<()> = Vec::new();
-                    (r, events)
+                    #[cfg(feature = "metrics")]
+                    let registry = metering.and_then(|_| gamma_metrics::take());
+                    #[cfg(not(feature = "metrics"))]
+                    let registry = ();
+                    (r, events, registry)
                 })
             })
             .collect();
@@ -286,13 +300,19 @@ where
             .collect::<Vec<_>>()
     });
     let mut results = Vec::with_capacity(outs.len());
-    for (r, events) in outs {
+    for (r, events, registry) in outs {
         #[cfg(feature = "trace")]
         for (node, offset_us, kind) in events {
             gamma_trace::emit(node, offset_us, kind);
         }
         #[cfg(not(feature = "trace"))]
         drop(events);
+        #[cfg(feature = "metrics")]
+        if let Some(worker) = registry {
+            gamma_metrics::with(|reg| reg.merge(worker));
+        }
+        #[cfg(not(feature = "metrics"))]
+        let () = registry;
         results.push(r);
     }
     results

@@ -29,19 +29,25 @@ pub fn scan_fragment(
         usage.total_demand().as_us(),
         gamma_trace::EventKind::SpanBegin { name: "scan" },
     );
-    #[cfg(not(feature = "trace"))]
+    #[cfg(all(not(feature = "trace"), not(feature = "metrics")))]
     let _ = node;
     let recs = {
         let (vol, pool) = state.vp();
         HeapScan::open(vol, file).collect_all(pool, usage)
     };
     let mut out = Vec::with_capacity(recs.len());
+    #[cfg(feature = "metrics")]
+    let scanned = recs.len() as u64;
     for rec in recs {
         cost.charge(usage, cost.scan_tuple_us);
         usage.counts.tuples_in += 1;
         if pred.is_none_or(|p| p.eval(&rec)) {
             out.push(rec);
         }
+    }
+    #[cfg(feature = "metrics")]
+    if scanned > 0 {
+        gamma_metrics::counter_add("op_tuples_in", node as u16, "scan", scanned);
     }
     #[cfg(feature = "trace")]
     gamma_trace::emit(

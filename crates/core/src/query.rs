@@ -210,6 +210,72 @@ pub fn replay_phases(
         let timing = ph.timing(bw, model);
         #[cfg(feature = "trace")]
         gamma_trace::with(|s| s.phase_replayed_next(t.as_us(), timing.duration.as_us()));
+        // Mirror each node's now-final ledger into the registry as
+        // per-phase `ledger_*` counters and device-request histograms
+        // (these are what the reconciliation self-check compares against
+        // the report totals), plus per-device utilisation and mean queue
+        // depth now that replay has fixed the phase duration. Utilisation
+        // can't exceed 100% (busy time never exceeds the phase duration);
+        // queue depth is Little's-law mean in milli-requests
+        // (Σ wait / duration). Replay is the earliest point where ledgers
+        // are final: some drivers charge the result store's last page
+        // flush to an already-sealed phase.
+        #[cfg(feature = "metrics")]
+        gamma_metrics::with(|reg| {
+            let dur = timing.duration.as_us();
+            let phase = i as u32;
+            for (n, u) in ph.ledgers.iter().enumerate() {
+                if u.total_demand() == SimTime::ZERO && u.counts == gamma_des::Counts::ZERO {
+                    continue;
+                }
+                let node = n as u16;
+                u.meter_device_requests(reg, node, phase);
+                let mut put = |metric: &'static str, v: u64| {
+                    if v > 0 {
+                        reg.counter_add_at(metric, phase, node, "", v);
+                    }
+                };
+                put("ledger_cpu_us", u.cpu.as_us());
+                put("ledger_disk_us", u.disk.as_us());
+                put("ledger_net_us", u.net.as_us());
+                put("ledger_disk_wait_us", u.disk_wait.as_us());
+                put("ledger_net_wait_us", u.net_wait.as_us());
+                put("ledger_ring_bytes", u.ring_bytes);
+                let c = &u.counts;
+                put("ledger_pages_read", c.pages_read);
+                put("ledger_pages_written", c.pages_written);
+                put("ledger_packets_sent", c.packets_sent);
+                put("ledger_packets_recv", c.packets_recv);
+                put("ledger_msgs_shortcircuit", c.msgs_shortcircuit);
+                put("ledger_tuples_in", c.tuples_in);
+                put("ledger_tuples_out", c.tuples_out);
+                put("ledger_hash_inserts", c.hash_inserts);
+                put("ledger_hash_probes", c.hash_probes);
+                put("ledger_comparisons", c.comparisons);
+                put("ledger_filter_drops", c.filter_drops);
+                put("ledger_control_msgs", c.control_msgs);
+                put("ledger_overflow_evictions", c.overflow_evictions);
+                if dur > 0 && u.total_demand() > SimTime::ZERO {
+                    reg.gauge_max_at("cpu_util_pct", phase, node, "", u.cpu.as_us() * 100 / dur);
+                    reg.gauge_max_at("disk_util_pct", phase, node, "", u.disk.as_us() * 100 / dur);
+                    reg.gauge_max_at("net_util_pct", phase, node, "", u.net.as_us() * 100 / dur);
+                    reg.gauge_max_at(
+                        "disk_queue_depth_milli",
+                        phase,
+                        node,
+                        "",
+                        u.disk_wait.as_us() * 1000 / dur,
+                    );
+                    reg.gauge_max_at(
+                        "net_queue_depth_milli",
+                        phase,
+                        node,
+                        "",
+                        u.net_wait.as_us() * 1000 / dur,
+                    );
+                }
+            }
+        });
         t += timing.duration;
         sim.schedule_at(t, move |s| s.state.push((i, s.now())));
         summaries.push(PhaseSummary {

@@ -57,6 +57,13 @@ impl PhaseRecord {
                 .collect();
             sink.seal_phase(&name, per_node);
         });
+        // Seal the metrics phase so subsequent emissions attribute to the
+        // next one. The per-phase `ledger_*` mirror is NOT emitted here:
+        // some drivers charge the result store's final page flush to the
+        // last phase's ledgers after sealing it, so ledgers are only
+        // mirrored once they are final — at replay (see `query`).
+        #[cfg(feature = "metrics")]
+        gamma_metrics::seal_phase(&name);
         PhaseRecord {
             name,
             ledgers,

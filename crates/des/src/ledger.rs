@@ -248,6 +248,45 @@ impl Usage {
     pub fn total_demand(&self) -> SimTime {
         self.cpu + self.disk + self.net
     }
+
+    /// Emit per-request disk/NI wait and service histograms for this
+    /// ledger into `reg`, attributed to `(node, phase)`. Replays the same
+    /// FIFO discipline per request via [`queue::fold_waits`], so each
+    /// device's `*_service_us` histogram sums exactly to the ledger's
+    /// service total and `*_wait_us` sums exactly to the annotated wait —
+    /// every charged microsecond stays attributable. Mirrors the
+    /// unlogged-total fallback of [`Usage::queue_timing`] (one synthetic
+    /// request at issue zero).
+    #[cfg(feature = "metrics")]
+    pub fn meter_device_requests(&self, reg: &mut gamma_metrics::Registry, node: u16, phase: u32) {
+        let mut meter = |log: &[Request], total: SimTime, wait: &'static str, svc: &'static str| {
+            let synthetic = [Request {
+                issue: SimTime::ZERO,
+                service: total,
+            }];
+            let log = if log.is_empty() && total > SimTime::ZERO {
+                &synthetic[..]
+            } else {
+                log
+            };
+            queue::fold_waits(log, |w, s| {
+                reg.observe_at(wait, phase, node, "", w.as_us());
+                reg.observe_at(svc, phase, node, "", s.as_us());
+            });
+        };
+        meter(
+            &self.reqs.disk,
+            self.disk,
+            "disk_request_wait_us",
+            "disk_request_service_us",
+        );
+        meter(
+            &self.reqs.net,
+            self.net,
+            "net_request_wait_us",
+            "net_request_service_us",
+        );
+    }
 }
 
 impl Add for Usage {

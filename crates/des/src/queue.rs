@@ -129,6 +129,22 @@ pub fn fifo_drain(requests: &[Request]) -> QueueStats {
     sim.state.stats
 }
 
+/// Walk a request log through the same FIFO discipline as [`fifo_drain`]
+/// without the event kernel, calling `f(wait, service)` for each request
+/// in order. A straight fold suffices because a single-server FIFO queue
+/// over an issue-ordered log is `start = max(issue, previous completion)`
+/// — the per-request decomposition the metrics layer uses to fill its
+/// wait/service histograms (their sums reconcile exactly with the
+/// [`QueueStats`] totals; see the `fold_matches_drain` test).
+pub fn fold_waits(requests: &[Request], mut f: impl FnMut(SimTime, SimTime)) {
+    let mut prev = SimTime::ZERO;
+    for r in requests {
+        let start = prev.max(r.issue);
+        f(start - r.issue, r.service);
+        prev = start + r.service;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,6 +208,36 @@ mod tests {
         for log in logs {
             let s = fifo_drain(&log);
             assert!(s.completion >= s.service, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn fold_matches_drain() {
+        let logs: Vec<Vec<Request>> = vec![
+            vec![],
+            vec![req(40, 10)],
+            vec![req(0, 10), req(100, 10), req(200, 10)],
+            vec![req(0, 10), req(0, 10), req(0, 10)],
+            vec![req(100, 10), req(110, 10)],
+            vec![req(0, 7), req(3, 2), req(3, 9), req(20, 1), req(21, 30)],
+            vec![req(0, 1); 64],
+        ];
+        for log in logs {
+            let drained = fifo_drain(&log);
+            let mut wait = SimTime::ZERO;
+            let mut max_wait = SimTime::ZERO;
+            let mut service = SimTime::ZERO;
+            let mut n = 0;
+            fold_waits(&log, |w, s| {
+                wait += w;
+                max_wait = max_wait.max(w);
+                service += s;
+                n += 1;
+            });
+            assert_eq!(wait, drained.wait, "{log:?}");
+            assert_eq!(max_wait, drained.max_wait, "{log:?}");
+            assert_eq!(service, drained.service, "{log:?}");
+            assert_eq!(n, drained.requests, "{log:?}");
         }
     }
 

@@ -1,0 +1,118 @@
+//! JSON snapshot exporter.
+//!
+//! Renders a [`Registry`] as a line-oriented JSON document: the sealed
+//! phase names, then one metric object per line in the registry's
+//! canonical key order. The one-object-per-line layout means a plain
+//! line diff of two snapshots points at exactly the series that changed
+//! — the perf-regression gate (`gamma-bench --bin regress`) leans on
+//! this. Hand-rolled; the build is offline so there is no serde.
+
+use crate::{Registry, Value, GLOBAL_PHASE};
+
+/// Render the full registry as a deterministic JSON snapshot.
+pub fn render(registry: &Registry) -> String {
+    let mut out = String::from("{\n\"phases\": [");
+    for (i, name) in registry.phases().iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push('"');
+        out.push_str(&escape(name));
+        out.push('"');
+    }
+    out.push_str("],\n\"metrics\": [\n");
+    let mut first = true;
+    for (key, value) in registry.iter() {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&format!(
+            "{{\"name\": \"{}\", \"kind\": \"{}\", \"phase\": {}, \"node\": {}, \"op\": \"{}\"",
+            escape(key.name),
+            value.kind(),
+            if key.phase == GLOBAL_PHASE {
+                "null".to_string()
+            } else {
+                key.phase.to_string()
+            },
+            key.node,
+            escape(key.op),
+        ));
+        match value {
+            Value::Counter(v) | Value::Gauge(v) => out.push_str(&format!(", \"value\": {v}")),
+            Value::Histogram(h) => {
+                out.push_str(&format!(", \"count\": {}, \"sum\": {}", h.count, h.sum));
+                out.push_str(", \"buckets\": [");
+                for (i, b) in h.buckets().iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&b.to_string());
+                }
+                out.push(']');
+            }
+        }
+        out.push('}');
+    }
+    out.push_str("\n]\n}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    let mut e = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => e.push_str("\\\""),
+            '\\' => e.push_str("\\\\"),
+            '\n' => e.push_str("\\n"),
+            '\t' => e.push_str("\\t"),
+            '\r' => e.push_str("\\r"),
+            c if (c as u32) < 0x20 => e.push_str(&format!("\\u{:04x}", c as u32)),
+            c => e.push(c),
+        }
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_layout_is_line_oriented() {
+        let mut r = Registry::new();
+        r.counter_add("c", 0, "scan", 5);
+        r.seal_phase("build");
+        r.gauge_max_at("g", GLOBAL_PHASE, 1, "", 7);
+        let text = render(&r);
+        assert!(text.starts_with("{\n\"phases\": [\"build\"],\n\"metrics\": [\n"));
+        assert!(text.contains(
+            "{\"name\": \"c\", \"kind\": \"counter\", \"phase\": 0, \"node\": 0, \"op\": \"scan\", \"value\": 5}"
+        ));
+        assert!(text.contains(
+            "{\"name\": \"g\", \"kind\": \"gauge\", \"phase\": null, \"node\": 1, \"op\": \"\", \"value\": 7}"
+        ));
+        assert!(text.ends_with("\n]\n}\n"));
+    }
+
+    #[test]
+    fn histogram_carries_buckets_count_sum() {
+        let mut r = Registry::new();
+        r.observe("h", 0, "", 3);
+        let text = render(&r);
+        assert!(text.contains("\"count\": 1, \"sum\": 3, \"buckets\": [0,0,1,"));
+    }
+
+    #[test]
+    fn identical_registries_render_identically() {
+        let build = || {
+            let mut r = Registry::new();
+            r.counter_add("a", 0, "", 1);
+            r.observe("b", 2, "x", 9);
+            r.seal_phase("p");
+            r
+        };
+        assert_eq!(render(&build()), render(&build()));
+    }
+}

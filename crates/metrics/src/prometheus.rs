@@ -1,0 +1,125 @@
+//! Prometheus text-exposition writer.
+//!
+//! Renders a [`Registry`] snapshot in the Prometheus text format
+//! (version 0.0.4): one `# TYPE` header per metric, one sample line per
+//! series, counters suffixed `_total`, histograms expanded into
+//! cumulative `_bucket{le=...}` lines plus `_sum`/`_count`. All metric
+//! names carry the `gamma_` prefix. Because the registry's key order is
+//! canonical, the output is byte-identical for identical registries.
+
+use crate::{Key, Registry, Value, BUCKET_BOUNDS, GLOBAL_PHASE};
+
+/// Render the full registry in Prometheus text-exposition format.
+pub fn render(registry: &Registry) -> String {
+    let mut out = String::new();
+    let mut last_name = "";
+    for (key, value) in registry.iter() {
+        if key.name != last_name {
+            out.push_str(&format!("# TYPE gamma_{} {}\n", key.name, value.kind()));
+            last_name = key.name;
+        }
+        let labels = labels(registry, key);
+        match value {
+            Value::Counter(v) => {
+                out.push_str(&format!("gamma_{}_total{{{labels}}} {v}\n", key.name));
+            }
+            Value::Gauge(v) => {
+                out.push_str(&format!("gamma_{}{{{labels}}} {v}\n", key.name));
+            }
+            Value::Histogram(h) => {
+                let mut cum = 0u64;
+                for (bound, count) in BUCKET_BOUNDS.iter().zip(h.buckets().iter()) {
+                    cum += count;
+                    out.push_str(&format!(
+                        "gamma_{}_bucket{{{labels},le=\"{bound}\"}} {cum}\n",
+                        key.name
+                    ));
+                }
+                out.push_str(&format!(
+                    "gamma_{}_bucket{{{labels},le=\"+Inf\"}} {}\n",
+                    key.name, h.count
+                ));
+                out.push_str(&format!("gamma_{}_sum{{{labels}}} {}\n", key.name, h.sum));
+                out.push_str(&format!(
+                    "gamma_{}_count{{{labels}}} {}\n",
+                    key.name, h.count
+                ));
+            }
+        }
+    }
+    out
+}
+
+fn labels(registry: &Registry, key: &Key) -> String {
+    let mut l = format!("node=\"{}\"", key.node);
+    if key.phase != GLOBAL_PHASE {
+        l.push_str(&format!(",phase=\"{}\"", key.phase));
+        if let Some(name) = registry.phase_name(key.phase) {
+            l.push_str(&format!(",phase_name=\"{}\"", escape(name)));
+        }
+    }
+    if !key.op.is_empty() {
+        l.push_str(&format!(",op=\"{}\"", escape(key.op)));
+    }
+    l
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_three_kinds() {
+        let mut r = Registry::new();
+        r.counter_add("pages_read", 0, "pool", 5);
+        r.seal_phase("build");
+        r.gauge_max_at("pool_peak_pages", GLOBAL_PHASE, 1, "", 40);
+        r.observe("disk_request_wait_us", 0, "", 3);
+        r.seal_phase("probe");
+        let text = render(&r);
+        assert!(text.contains("# TYPE gamma_pages_read counter\n"));
+        assert!(text.contains(
+            "gamma_pages_read_total{node=\"0\",phase=\"0\",phase_name=\"build\",op=\"pool\"} 5\n"
+        ));
+        assert!(text.contains("# TYPE gamma_pool_peak_pages gauge\n"));
+        assert!(
+            text.contains("gamma_pool_peak_pages{node=\"1\"} 40\n"),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE gamma_disk_request_wait_us histogram\n"));
+        assert!(text.contains(
+            "gamma_disk_request_wait_us_bucket{node=\"0\",phase=\"1\",phase_name=\"probe\",le=\"4\"} 1\n"
+        ));
+        assert!(text.contains(
+            "gamma_disk_request_wait_us_bucket{node=\"0\",phase=\"1\",phase_name=\"probe\",le=\"+Inf\"} 1\n"
+        ));
+        assert!(text.contains(
+            "gamma_disk_request_wait_us_sum{node=\"0\",phase=\"1\",phase_name=\"probe\"} 3\n"
+        ));
+    }
+
+    #[test]
+    fn buckets_are_cumulative() {
+        let mut r = Registry::new();
+        r.observe("h", 0, "", 1);
+        r.observe("h", 0, "", 2);
+        r.observe("h", 0, "", 2);
+        let text = render(&r);
+        assert!(text.contains("le=\"1\"} 1\n"));
+        assert!(text.contains("le=\"2\"} 3\n"));
+        assert!(text.contains("le=\"4\"} 3\n"));
+    }
+
+    #[test]
+    fn type_header_emitted_once_per_metric() {
+        let mut r = Registry::new();
+        r.counter_add("c", 0, "", 1);
+        r.counter_add("c", 1, "", 1);
+        let text = render(&r);
+        assert_eq!(text.matches("# TYPE gamma_c counter").count(), 1);
+    }
+}

@@ -11,7 +11,10 @@
 //!   visible as ragged right edges) and resource splits in `args`;
 //! - operator spans are `"B"`/`"E"` events nesting inside the phase;
 //! - discrete events (page I/O, packets, hash ops, bucket lifecycle)
-//!   are `"i"` instant events.
+//!   are `"i"` instant events;
+//! - per-node `"C"` counter tracks plot device utilisation and queued
+//!   wait depth across phases (stepped: set at phase start, zeroed at
+//!   phase end).
 //!
 //! Output is built with deterministic string formatting only — no
 //! floats, no hashing — so identical runs serialize byte-identically.
@@ -137,6 +140,51 @@ pub fn to_json(sink: &TraceSink) -> String {
         }
     }
 
+    // Counter tracks: per-node device utilisation (% of the phase the
+    // device was busy) and queued-wait depth (Little's-law mean queue
+    // length in milli-requests, Σ wait / duration) sampled at each phase
+    // start, dropped to zero at phase end so idle gaps read as idle.
+    // Integer math only — determinism over precision.
+    for ph in sink.phases.iter() {
+        let (Some(start), Some(dur)) = (ph.start_us, ph.dur_us) else {
+            continue;
+        };
+        if dur == 0 {
+            continue;
+        }
+        for (n, usage) in ph.per_node.iter().enumerate() {
+            if usage.demand_us() == 0 {
+                continue;
+            }
+            sep(&mut out);
+            let _ = write!(
+                out,
+                "{{\"name\":\"utilisation %\",\"ph\":\"C\",\"pid\":{n},\"tid\":0,\"ts\":{start},\"args\":{{\"cpu\":{},\"disk\":{},\"net\":{}}}}}",
+                usage.cpu_us * 100 / dur,
+                usage.disk_us * 100 / dur,
+                usage.net_us * 100 / dur,
+            );
+            sep(&mut out);
+            let _ = write!(
+                out,
+                "{{\"name\":\"queue depth (milli)\",\"ph\":\"C\",\"pid\":{n},\"tid\":0,\"ts\":{start},\"args\":{{\"disk\":{},\"net\":{}}}}}",
+                usage.disk_wait_us * 1000 / dur,
+                usage.net_wait_us * 1000 / dur,
+            );
+            let end = start + dur;
+            sep(&mut out);
+            let _ = write!(
+                out,
+                "{{\"name\":\"utilisation %\",\"ph\":\"C\",\"pid\":{n},\"tid\":0,\"ts\":{end},\"args\":{{\"cpu\":0,\"disk\":0,\"net\":0}}}}"
+            );
+            sep(&mut out);
+            let _ = write!(
+                out,
+                "{{\"name\":\"queue depth (milli)\",\"ph\":\"C\",\"pid\":{n},\"tid\":0,\"ts\":{end},\"args\":{{\"disk\":0,\"net\":0}}}}"
+            );
+        }
+    }
+
     // Discrete events and operator spans, in recording order.
     for ev in sink.events() {
         let Some(ts) = sink.absolute_ts(ev) else {
@@ -237,6 +285,23 @@ mod tests {
     #[test]
     fn export_is_deterministic() {
         assert_eq!(to_json(&sample_sink()), to_json(&sample_sink()));
+    }
+
+    #[test]
+    fn counter_tracks_step_and_zero() {
+        let doc = to_json(&sample_sink());
+        // Node 0: disk 20/20 us busy = 100%, cpu 10/20 = 50%.
+        assert!(doc.contains(
+            "{\"name\":\"utilisation %\",\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":0,\"args\":{\"cpu\":50,\"disk\":100,\"net\":0}}"
+        ));
+        assert!(doc.contains("{\"name\":\"queue depth (milli)\",\"ph\":\"C\",\"pid\":0"));
+        // Both tracks drop to zero at the phase end (ts = 20).
+        assert!(doc.contains(
+            "{\"name\":\"utilisation %\",\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":20,\"args\":{\"cpu\":0,\"disk\":0,\"net\":0}}"
+        ));
+        assert!(doc.contains(
+            "{\"name\":\"queue depth (milli)\",\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":20,\"args\":{\"disk\":0,\"net\":0}}"
+        ));
     }
 
     #[test]

@@ -58,6 +58,45 @@ pub fn critical_path(sink: &TraceSink) -> String {
     }
     out.push('\n');
 
+    // Where each phase's node-time went: aggregate the per-node resource
+    // splits and queued waits, and express each as a share of the phase's
+    // total accounted time (service + wait). High wait shares mean the
+    // devices, not the CPUs, pace the phase.
+    let _ = writeln!(
+        out,
+        "{:<28} {:>6} {:>6} {:>6} {:>10} {:>9}",
+        "phase", "cpu", "disk", "net", "disk-wait", "net-wait"
+    );
+    for ph in &sink.phases {
+        if ph.dur_us.is_none() {
+            continue;
+        }
+        let mut cpu = 0u64;
+        let mut disk = 0u64;
+        let mut net = 0u64;
+        let mut dwait = 0u64;
+        let mut nwait = 0u64;
+        for u in &ph.per_node {
+            cpu += u.cpu_us;
+            disk += u.disk_us;
+            net += u.net_us;
+            dwait += u.disk_wait_us;
+            nwait += u.net_wait_us;
+        }
+        let total = cpu + disk + net + dwait + nwait;
+        let _ = writeln!(
+            out,
+            "{:<28} {:>5}% {:>5}% {:>5}% {:>9}% {:>8}%",
+            ph.name,
+            pct(cpu, total),
+            pct(disk, total),
+            pct(net, total),
+            pct(dwait, total),
+            pct(nwait, total),
+        );
+    }
+    out.push('\n');
+
     // The slowest link in the chain.
     if let Some(slowest) = sink
         .phases
@@ -157,6 +196,29 @@ mod tests {
         assert!(text.contains("slowest link: phase 'probe' on node 0"));
         assert!(text.contains("dominant component: disk"));
         assert!(text.contains("1 inserts"));
+    }
+
+    #[test]
+    fn summary_breaks_down_waits() {
+        let mut sink = TraceSink::new(16);
+        sink.seal_phase(
+            "probe",
+            vec![NodeUsage {
+                cpu_us: 50,
+                disk_us: 25,
+                net_us: 0,
+                disk_wait_us: 25,
+                ..Default::default()
+            }],
+        );
+        sink.phase_replayed(0, 0, 100);
+        let text = critical_path(&sink);
+        assert!(text.contains("disk-wait"), "breakdown header present");
+        // 50/100 cpu, 25/100 disk, 25/100 disk-wait.
+        assert!(
+            text.contains("probe                           50%    25%     0%        25%        0%"),
+            "breakdown row mis-formatted:\n{text}"
+        );
     }
 
     #[test]
