@@ -10,7 +10,11 @@
 //! * any run's metric snapshot fails ledger reconciliation (a charged
 //!   microsecond or byte became unattributable);
 //! * a committed metrics snapshot under `results/` is no longer
-//!   byte-identical to a fresh run of the same point.
+//!   byte-identical to a fresh run of the same point;
+//! * a committed `BENCH_serve.json` point's virtual-time quantities
+//!   (makespan, response percentiles, admission wait) drift past the
+//!   tolerance, or its identity fields (`completed`,
+//!   `mean_interarrival_us`) change at all.
 //!
 //! Wall-clock fields in the baseline are ignored — they measure the host.
 //!
@@ -26,8 +30,10 @@
 
 use gamma_bench::metrics::{metrics_join, reconcile};
 use gamma_bench::regress::{
-    compare_points, diff_snapshots, parse_bench_points, parse_scale, BenchPoint,
+    compare_points, compare_serve_points, diff_snapshots, parse_bench_points, parse_scale,
+    parse_serve_envelope, parse_serve_points, BenchPoint, ServeBenchPoint,
 };
+use gamma_bench::serve::{serve_sweep, ServeSweepConfig};
 use gamma_bench::Workload;
 use gamma_core::query::Algorithm;
 
@@ -53,11 +59,15 @@ fn algorithm_by_name(name: &str) -> Algorithm {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut baseline_path = String::from("BENCH_joinabprime.json");
+    let mut serve_baseline_path = String::from("BENCH_serve.json");
     let mut snapshot_dir = String::from("results");
     let mut tolerance_pct = 1.0f64;
     let mut write = false;
     if let Some(i) = args.iter().position(|a| a == "--baseline") {
         baseline_path = args[i + 1].clone();
+    }
+    if let Some(i) = args.iter().position(|a| a == "--serve-baseline") {
+        serve_baseline_path = args[i + 1].clone();
     }
     if let Some(i) = args.iter().position(|a| a == "--snapshots") {
         snapshot_dir = args[i + 1].clone();
@@ -168,8 +178,56 @@ fn main() {
         }
     }
 
+    // --- Gate 3: concurrent-serving baseline ---------------------------
+    match std::fs::read_to_string(&serve_baseline_path) {
+        Ok(doc) => {
+            let baseline = parse_serve_points(&doc);
+            let Some((a_rows, queries, budget_multiplier)) = parse_serve_envelope(&doc) else {
+                panic!("{serve_baseline_path} has no envelope (a_rows/queries/budget_multiplier)");
+            };
+            assert!(!baseline.is_empty(), "{serve_baseline_path} has no points");
+            let cfg = ServeSweepConfig {
+                a_rows,
+                queries,
+                load_fractions: baseline.iter().map(|p| p.load_fraction).collect(),
+                budget_multiplier,
+                backlog_window: None,
+            };
+            println!(
+                "regress: replaying {} serve points (A={a_rows} rows, {queries} queries/point)",
+                baseline.len()
+            );
+            let sweep = serve_sweep(&cfg);
+            let fresh: Vec<ServeBenchPoint> = sweep
+                .points
+                .iter()
+                .map(|p| ServeBenchPoint {
+                    rate_index: p.rate_index as u64,
+                    load_fraction: p.load_fraction,
+                    mean_interarrival_us: p.mean_interarrival_us,
+                    completed: p.completed,
+                    makespan_us: p.makespan_us,
+                    response_p50_us: p.response_p50_us,
+                    response_p99_us: p.response_p99_us,
+                    response_p999_us: p.response_p999_us,
+                    admission_wait_total_us: p.admission_wait_total_us,
+                })
+                .collect();
+            for p in &fresh {
+                println!(
+                    "  serve point {}: makespan {:>12} us  p50 {:>10} us  p99 {:>10} us",
+                    p.rate_index, p.makespan_us, p.response_p50_us, p.response_p99_us
+                );
+            }
+            errors.extend(compare_serve_points(&baseline, &fresh, tolerance_pct));
+        }
+        Err(e) => errors.push(format!(
+            "{serve_baseline_path}: unreadable ({e}); run the `serve` binary to create it"
+        )),
+    }
+
     if errors.is_empty() {
-        println!("regress: PASS — virtual time, counters, and snapshots all hold");
+        println!("regress: PASS — virtual time, counters, serve points, and snapshots all hold");
     } else {
         eprintln!("regress: FAIL — {} violation(s):", errors.len());
         for e in &errors {

@@ -1,0 +1,66 @@
+//! Concurrent-serving benchmark: sweep an open-loop arrival rate over
+//! the non-HPJA hybrid baseline and locate the saturation knee.
+//!
+//! ```text
+//! cargo run --release -p gamma-bench --bin serve
+//! cargo run --release -p gamma-bench --bin serve -- --a-rows 4000 --queries 24
+//! cargo run --release -p gamma-bench --bin serve -- --out BENCH_serve.json
+//! ```
+//!
+//! The output JSON carries only virtual-time quantities (no wall-clock),
+//! so two runs of the same configuration are byte-identical — CI compares
+//! them with `cmp`, and the `regress` binary replays the committed
+//! `BENCH_serve.json` under drift/counter gates. Each rate point also
+//! passes the concurrent ledger↔metrics reconciliation (with the default
+//! `metrics` feature) before its numbers are reported.
+
+use gamma_bench::serve::{render_json, serve_sweep, ServeSweepConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ServeSweepConfig::smoke();
+    let mut out_path = String::from("BENCH_serve.json");
+    if let Some(i) = args.iter().position(|a| a == "--a-rows") {
+        cfg.a_rows = args[i + 1].parse().expect("a-rows must be an integer");
+    }
+    if let Some(i) = args.iter().position(|a| a == "--queries") {
+        cfg.queries = args[i + 1].parse().expect("queries must be an integer");
+    }
+    if let Some(i) = args.iter().position(|a| a == "--budget-multiplier") {
+        cfg.budget_multiplier = args[i + 1]
+            .parse()
+            .expect("budget-multiplier must be an integer");
+    }
+    if let Some(i) = args.iter().position(|a| a == "--out") {
+        out_path = args[i + 1].clone();
+    }
+
+    let sweep = serve_sweep(&cfg);
+    println!(
+        "serve: non-HPJA hybrid, A={} rows, {} queries/point, budget {} pages ({}x peak {})",
+        cfg.a_rows, cfg.queries, sweep.budget_pages, cfg.budget_multiplier, sweep.peak_pages
+    );
+    println!(
+        "solo response {:>10} us   analytical bound {:.4} q/s",
+        sweep.solo_response_us, sweep.bound_qps
+    );
+    for p in &sweep.points {
+        println!(
+            "  load {:>4.2}x: offered {:>7.4} q/s  done {:>7.4} q/s  p50 {:>10} us  p99 {:>10} us  util {:>5.3}",
+            p.load_fraction,
+            p.offered_qps,
+            p.throughput_qps,
+            p.response_p50_us,
+            p.response_p99_us,
+            p.peak_utilisation,
+        );
+    }
+    println!(
+        "knee {:.4} q/s = {:.1}% of the analytical bound",
+        sweep.knee_qps,
+        100.0 * sweep.knee_qps / sweep.bound_qps
+    );
+
+    std::fs::write(&out_path, render_json(&cfg, &sweep)).expect("write serve json");
+    println!("wrote {out_path}");
+}

@@ -16,6 +16,7 @@ pub mod metrics;
 pub mod microbench;
 pub mod plot;
 pub mod regress;
+pub mod serve;
 pub mod sweep;
 #[cfg(feature = "trace")]
 pub mod tracing;

@@ -8,6 +8,9 @@
 //! hand-rolled JSON, comparing point sets under a tolerance, and diffing
 //! metric snapshots line by line — so they are unit-testable without
 //! rerunning joins. The `regress` binary wires them to fresh runs.
+//! The committed `BENCH_serve.json` (concurrent-serving sweep) gets the
+//! same treatment: virtual-time quantities are drift-gated, deterministic
+//! identity fields are exact-gated.
 //!
 //! Wall-clock fields (`wall_ms`, `speedup`) are never gated: they measure
 //! the host, not the model.
@@ -123,6 +126,126 @@ pub fn compare_points(baseline: &[BenchPoint], fresh: &[BenchPoint], tol_pct: f6
             errs.push(format!(
                 "{} @ ratio {}: in fresh run but not in baseline",
                 f.algorithm, f.memory_ratio
+            ));
+        }
+    }
+    errs
+}
+
+/// One serve rate point parsed from `BENCH_serve.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeBenchPoint {
+    /// Index within the sweep (identity key; also the arrival seed case).
+    pub rate_index: u64,
+    /// Offered load as a fraction of the analytical bound.
+    pub load_fraction: f64,
+    /// Mean inter-arrival time handed to the generator (exact-gated).
+    pub mean_interarrival_us: u64,
+    /// Queries completed (exact-gated).
+    pub completed: u64,
+    /// Virtual makespan (drift-gated).
+    pub makespan_us: u64,
+    /// Exact nearest-rank response percentiles (drift-gated).
+    pub response_p50_us: u64,
+    /// 99th percentile response (drift-gated).
+    pub response_p99_us: u64,
+    /// 99.9th percentile response (drift-gated).
+    pub response_p999_us: u64,
+    /// Total admission-queue wait (drift-gated).
+    pub admission_wait_total_us: u64,
+}
+
+/// Parse every rate-point object out of a `BENCH_serve.json` document.
+pub fn parse_serve_points(json: &str) -> Vec<ServeBenchPoint> {
+    json.lines()
+        .filter(|l| l.trim_start().starts_with('{') && l.contains("\"rate_index\""))
+        .filter_map(|l| {
+            Some(ServeBenchPoint {
+                rate_index: num_field(l, "rate_index")? as u64,
+                load_fraction: num_field(l, "load_fraction")?,
+                mean_interarrival_us: num_field(l, "mean_interarrival_us")? as u64,
+                completed: num_field(l, "completed")? as u64,
+                makespan_us: num_field(l, "makespan_us")? as u64,
+                response_p50_us: num_field(l, "response_p50_us")? as u64,
+                response_p99_us: num_field(l, "response_p99_us")? as u64,
+                response_p999_us: num_field(l, "response_p999_us")? as u64,
+                admission_wait_total_us: num_field(l, "admission_wait_total_us")? as u64,
+            })
+        })
+        .collect()
+}
+
+/// Parse the serve envelope: `(a_rows, queries, budget_multiplier)`.
+pub fn parse_serve_envelope(json: &str) -> Option<(usize, u32, usize)> {
+    let find = |key: &str| json.lines().find_map(|l| num_field(l, key));
+    Some((
+        find("a_rows")? as usize,
+        find("queries")? as u32,
+        find("budget_multiplier")? as usize,
+    ))
+}
+
+/// Compare a fresh serve sweep against the committed baseline, point by
+/// point (keyed on `rate_index`). Virtual-time quantities (makespan,
+/// response percentiles, admission wait) may drift up to `tol_pct`
+/// percent; the deterministic identity fields (`mean_interarrival_us`,
+/// `completed`) must match exactly. Missing or extra points are failures.
+pub fn compare_serve_points(
+    baseline: &[ServeBenchPoint],
+    fresh: &[ServeBenchPoint],
+    tol_pct: f64,
+) -> Vec<String> {
+    fn drift(id: &str, what: &str, old: u64, new: u64, tol_pct: f64) -> Option<String> {
+        if old == new {
+            return None;
+        }
+        // Relative to max(old, 1) so a baseline zero still gates.
+        let pct = new.abs_diff(old) as f64 * 100.0 / (old.max(1)) as f64;
+        (pct > tol_pct).then(|| {
+            format!("{id}: {what} drifted {pct:.3}% ({old} -> {new}, tolerance {tol_pct}%)")
+        })
+    }
+    let mut errs = Vec::new();
+    for b in baseline {
+        let id = format!("serve point {}", b.rate_index);
+        let Some(f) = fresh.iter().find(|f| f.rate_index == b.rate_index) else {
+            errs.push(format!("{id}: present in baseline, missing from fresh run"));
+            continue;
+        };
+        if b.mean_interarrival_us != f.mean_interarrival_us {
+            errs.push(format!(
+                "{id}: mean_interarrival_us changed ({} -> {}) — the offered rate moved",
+                b.mean_interarrival_us, f.mean_interarrival_us
+            ));
+        }
+        if b.completed != f.completed {
+            errs.push(format!(
+                "{id}: completed changed ({} -> {})",
+                b.completed, f.completed
+            ));
+        }
+        let checks = [
+            ("makespan_us", b.makespan_us, f.makespan_us),
+            ("response_p50_us", b.response_p50_us, f.response_p50_us),
+            ("response_p99_us", b.response_p99_us, f.response_p99_us),
+            ("response_p999_us", b.response_p999_us, f.response_p999_us),
+            (
+                "admission_wait_total_us",
+                b.admission_wait_total_us,
+                f.admission_wait_total_us,
+            ),
+        ];
+        errs.extend(
+            checks
+                .into_iter()
+                .filter_map(|(what, old, new)| drift(&id, what, old, new, tol_pct)),
+        );
+    }
+    for f in fresh {
+        if !baseline.iter().any(|b| b.rate_index == f.rate_index) {
+            errs.push(format!(
+                "serve point {}: in fresh run but not in baseline",
+                f.rate_index
             ));
         }
     }
@@ -249,6 +372,93 @@ mod tests {
         let fresh = vec![pt("hybrid", 0.5, 1_000_000), pt("simple", 1.0, 3_000_000)];
         let errs = compare_points(&base, &fresh, 1.0);
         assert_eq!(errs.len(), 2, "{errs:?}");
+    }
+
+    const SERVE_DOC: &str = r#"{
+  "benchmark": "serve",
+  "a_rows": 4000,
+  "queries": 24,
+  "budget_multiplier": 3,
+  "budget_pages": 144,
+  "peak_pages": 48,
+  "solo_response_us": 1200000,
+  "bound_qps": 2.5,
+  "knee_qps": 2.2,
+  "points": [
+    {"rate_index": 0, "load_fraction": 0.2, "mean_interarrival_us": 2000000, "offered_qps": 0.5, "completed": 24, "makespan_us": 50000000, "throughput_qps": 0.48, "response_p50_us": 1250000, "response_p99_us": 1400000, "response_p999_us": 1400000, "mean_response_us": 1260.5, "admission_wait_total_us": 0, "peak_utilisation": 0.41}
+  ]
+}
+"#;
+
+    fn spt(idx: u64, makespan: u64, p50: u64) -> ServeBenchPoint {
+        ServeBenchPoint {
+            rate_index: idx,
+            load_fraction: 0.2,
+            mean_interarrival_us: 2_000_000,
+            completed: 24,
+            makespan_us: makespan,
+            response_p50_us: p50,
+            response_p99_us: p50 + 1000,
+            response_p999_us: p50 + 1000,
+            admission_wait_total_us: 0,
+        }
+    }
+
+    #[test]
+    fn parses_serve_points_and_envelope() {
+        let pts = parse_serve_points(SERVE_DOC);
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0].rate_index, 0);
+        assert_eq!(pts[0].mean_interarrival_us, 2_000_000);
+        assert_eq!(pts[0].completed, 24);
+        assert_eq!(pts[0].makespan_us, 50_000_000);
+        assert_eq!(pts[0].response_p999_us, 1_400_000);
+        assert_eq!(parse_serve_envelope(SERVE_DOC), Some((4_000, 24, 3)));
+        // The joinabprime parser must not pick serve points up (no
+        // algorithm key) and vice versa.
+        assert!(parse_bench_points(SERVE_DOC).is_empty());
+    }
+
+    #[test]
+    fn serve_gate_passes_within_tolerance_and_fails_beyond() {
+        let base = vec![spt(0, 50_000_000, 1_250_000)];
+        let ok = vec![spt(0, 50_400_000, 1_250_000)]; // 0.8% makespan drift
+        assert!(compare_serve_points(&base, &ok, 1.0).is_empty());
+        let bad = vec![spt(0, 51_000_000, 1_250_000)]; // 2% drift
+        let errs = compare_serve_points(&base, &bad, 1.0);
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].contains("makespan_us"), "{errs:?}");
+    }
+
+    #[test]
+    fn serve_gate_is_exact_on_identity_fields() {
+        let base = vec![spt(0, 50_000_000, 1_250_000)];
+        let mut f = spt(0, 50_000_000, 1_250_000);
+        f.completed = 23;
+        f.mean_interarrival_us = 2_000_001;
+        let errs = compare_serve_points(&base, &[f], 1.0);
+        assert_eq!(errs.len(), 2, "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("completed")));
+        assert!(errs.iter().any(|e| e.contains("mean_interarrival_us")));
+    }
+
+    #[test]
+    fn serve_gate_fails_on_missing_or_extra_points() {
+        let base = vec![spt(0, 1, 1), spt(1, 1, 1)];
+        let fresh = vec![spt(1, 1, 1), spt(2, 1, 1)];
+        let errs = compare_serve_points(&base, &fresh, 1.0);
+        assert_eq!(errs.len(), 2, "{errs:?}");
+    }
+
+    #[test]
+    fn serve_gate_catches_zero_baseline_regressions() {
+        // admission_wait_total_us 0 -> 500: 50000% relative to max(0,1).
+        let base = vec![spt(0, 1_000, 1_000)];
+        let mut f = spt(0, 1_000, 1_000);
+        f.admission_wait_total_us = 500;
+        let errs = compare_serve_points(&base, &[f], 1.0);
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].contains("admission_wait_total_us"), "{errs:?}");
     }
 
     #[test]

@@ -36,8 +36,11 @@
 //!   entry point, plus the DES replay that turns phase ledgers into a
 //!   response time,
 //! * [`report`] — per-phase and per-query instrumentation,
-//! * [`throughput`] — operational-analysis bounds that extrapolate a
-//!   measured query to the multiuser regime §5 leaves to future work.
+//! * [`throughput`] — operational-analysis bounds on multiuser throughput
+//!   from a single measured query. The multiuser regime itself is no
+//!   longer left to future work: the `gamma-sched` crate serves many
+//!   concurrent joins over one machine (admission control, shared device
+//!   queues) and measures the saturation knee these bounds predict.
 
 pub mod algorithms;
 pub mod bitfilter;
@@ -56,6 +59,6 @@ pub mod tuple;
 
 pub use cost::CostModel;
 pub use machine::{Machine, MachineConfig, NodeId, RelationId, StoredRelation};
-pub use query::{run_join, Algorithm, JoinSite, JoinSpec, OverflowPolicy};
-pub use report::JoinReport;
+pub use query::{run_join, run_join_with_phases, Algorithm, JoinSite, JoinSpec, OverflowPolicy};
+pub use report::{JoinReport, PhaseRecord};
 pub use tuple::{Attr, Schema};

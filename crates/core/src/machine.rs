@@ -219,6 +219,17 @@ impl Machine {
         }
     }
 
+    /// Per-node buffer-pool peak page counts since the last
+    /// [`Machine::clear_pools`] (0 for diskless nodes). `run_join` clears
+    /// pools at entry, so after a query this is its per-node footprint —
+    /// what the scheduler's admission control budgets against.
+    pub fn pool_peaks(&self) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .map(|n| n.pool.as_ref().map_or(0, |p| p.peak_pages()))
+            .collect()
+    }
+
     /// Load a relation, placing each tuple per `declustering`. Loading is
     /// not part of any measured query, so no ledger is charged; the tuples
     /// do however land in real page files that later scans pay to read.

@@ -301,6 +301,19 @@ pub fn replay_phases(
 /// relations.
 pub fn run_join(machine: &mut Machine, spec: &JoinSpec) -> JoinReport {
     let mut sink = None;
+    run_join_inner(machine, spec, None, &mut sink).0
+}
+
+/// Execute a join and also return the raw per-phase records alongside the
+/// report. The gamma-sched engine uses these to re-time the same physical
+/// work under cross-query device contention: the ledgers carry each node's
+/// request logs (issue offsets + service times), which is exactly what the
+/// shared FIFO servers need.
+pub fn run_join_with_phases(
+    machine: &mut Machine,
+    spec: &JoinSpec,
+) -> (JoinReport, Vec<crate::report::PhaseRecord>) {
+    let mut sink = None;
     run_join_inner(machine, spec, None, &mut sink)
 }
 
@@ -313,7 +326,7 @@ pub fn run_join_materialized(
     name: &str,
 ) -> (RelationId, JoinReport) {
     let mut materialized = None;
-    let report = run_join_inner(machine, spec, Some(name), &mut materialized);
+    let (report, _) = run_join_inner(machine, spec, Some(name), &mut materialized);
     (materialized.expect("materialization requested"), report)
 }
 
@@ -322,7 +335,7 @@ fn run_join_inner(
     spec: &JoinSpec,
     materialize_as: Option<&str>,
     materialized: &mut Option<RelationId>,
-) -> JoinReport {
+) -> (JoinReport, Vec<crate::report::PhaseRecord>) {
     let join_nodes = match spec.site {
         JoinSite::Local => machine.disk_nodes(),
         JoinSite::Remote => {
@@ -468,7 +481,7 @@ fn run_join_inner(
     }
 
     let demand = crate::throughput::DemandProfile::from_phases(machine, &out.phases, response);
-    JoinReport {
+    let report = JoinReport {
         algorithm: spec.algorithm.name().to_string(),
         response,
         phases: summaries,
@@ -481,7 +494,8 @@ fn run_join_inner(
         join_node_cpu_utilization: join_util,
         total,
         demand,
-    }
+    };
+    (report, out.phases)
 }
 
 #[cfg(test)]

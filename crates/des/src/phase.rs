@@ -22,9 +22,12 @@ use crate::time::SimTime;
 /// Which per-node overlap model turns a ledger into a node completion time.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum TimingModel {
-    /// The original closed-form bound `max(cpu, Σ disk, Σ net)`: devices
-    /// are infinitely concurrent, so no queueing delay ever appears. Kept
-    /// for A/B validation against historical numbers.
+    /// The original closed-form bound `max(cpu, Σ disk, Σ net)`. It treats
+    /// each device as if it could absorb its whole service demand with no
+    /// queueing delay — an idealisation the queued model (and, for
+    /// concurrent queries, the scheduler's shared [`crate::SharedServer`]
+    /// queues) has since replaced. Kept only for A/B validation against
+    /// historical numbers.
     Legacy,
     /// Per-node FIFO request queues for the disk arm and the NI: node time
     /// is `max(cpu, queued disk completion, queued NI completion)`. Never

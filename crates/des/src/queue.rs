@@ -18,6 +18,12 @@
 //! phase is the finish time of its last request, which is never below the
 //! legacy bound (all the work still has to happen) and rises above it when
 //! requests bunch up.
+//!
+//! [`fifo_drain`] replays one phase in isolation (the server starts idle at
+//! the phase boundary). For *concurrent* queries that restriction no longer
+//! holds: [`SharedServer`] is the cross-phase, cross-query variant that
+//! lives on the absolute virtual clock and carries its backlog between
+//! phases — the gamma-sched engine owns one per device (DESIGN.md §12).
 
 use std::collections::VecDeque;
 
@@ -127,6 +133,69 @@ pub fn fifo_drain(requests: &[Request]) -> QueueStats {
     sim.run_until_idle();
     debug_assert!(!sim.state.busy && sim.state.queued.is_empty());
     sim.state.stats
+}
+
+/// A clock-driven single-server FIFO queue that persists across phases and
+/// queries.
+///
+/// [`fifo_drain`] replays one phase's request log in isolation: the server
+/// starts idle and its clock is phase-relative. When many queries share one
+/// machine that is no longer enough — a disk arm busy finishing query A's
+/// partition phase delays the first read of query B's build phase. A
+/// `SharedServer` models exactly that: it lives on the *absolute* virtual
+/// clock, remembers when it frees up (`free_at`), and serves each submitted
+/// request at `max(arrival, free_at)`. Its [`QueueStats`] accumulate over
+/// everything it ever served, so cross-phase and cross-query convoy waits
+/// are visible in one place.
+///
+/// Callers must submit requests in non-decreasing arrival order (FIFO is
+/// defined by arrival order; the scheduler's CPU-convoy dispatch guarantees
+/// this per device — see DESIGN.md §12). A fresh server with one phase's
+/// log submitted at its issue offsets reproduces [`fifo_drain`] exactly
+/// (see the `shared_server_matches_fifo_drain` test).
+#[derive(Debug, Clone, Default)]
+pub struct SharedServer {
+    free_at: SimTime,
+    last_arrival: SimTime,
+    stats: QueueStats,
+}
+
+impl SharedServer {
+    /// An idle server at virtual time zero.
+    pub fn new() -> Self {
+        SharedServer::default()
+    }
+
+    /// When the server finishes everything submitted so far.
+    pub fn free_at(&self) -> SimTime {
+        self.free_at
+    }
+
+    /// Lifetime statistics over every request served.
+    pub fn stats(&self) -> QueueStats {
+        self.stats
+    }
+
+    /// Serve one request arriving at absolute time `arrival` needing
+    /// `service` device time; returns its completion time. Service begins at
+    /// `max(arrival, free_at)` — the single-server FIFO recurrence.
+    pub fn submit(&mut self, arrival: SimTime, service: SimTime) -> SimTime {
+        debug_assert!(
+            arrival >= self.last_arrival,
+            "FIFO server requires non-decreasing arrivals ({arrival} after {})",
+            self.last_arrival
+        );
+        self.last_arrival = arrival;
+        let start = self.free_at.max(arrival);
+        let wait = start - arrival;
+        self.stats.wait += wait;
+        self.stats.max_wait = self.stats.max_wait.max(wait);
+        self.stats.service += service;
+        self.stats.requests += 1;
+        self.free_at = start + service;
+        self.stats.completion = self.free_at;
+        self.free_at
+    }
 }
 
 /// Walk a request log through the same FIFO discipline as [`fifo_drain`]
@@ -239,6 +308,50 @@ mod tests {
             assert_eq!(service, drained.service, "{log:?}");
             assert_eq!(n, drained.requests, "{log:?}");
         }
+    }
+
+    #[test]
+    fn shared_server_matches_fifo_drain() {
+        let logs: Vec<Vec<Request>> = vec![
+            vec![],
+            vec![req(40, 10)],
+            vec![req(0, 10), req(100, 10), req(200, 10)],
+            vec![req(0, 10), req(0, 10), req(0, 10)],
+            vec![req(100, 10), req(110, 10)],
+            vec![req(0, 7), req(3, 2), req(3, 9), req(20, 1), req(21, 30)],
+            vec![req(0, 1); 64],
+        ];
+        for log in logs {
+            let drained = fifo_drain(&log);
+            let mut server = SharedServer::new();
+            for r in &log {
+                server.submit(r.issue, r.service);
+            }
+            assert_eq!(server.stats(), drained, "{log:?}");
+            assert_eq!(server.free_at(), drained.completion, "{log:?}");
+        }
+    }
+
+    #[test]
+    fn shared_server_carries_backlog_across_phases() {
+        // Phase 1 leaves the device busy until 120; phase 2's first request
+        // arrives at 50 and must wait 70 even though *its* phase just began.
+        let mut server = SharedServer::new();
+        server.submit(SimTime::from_us(0), SimTime::from_us(120));
+        let done = server.submit(SimTime::from_us(50), SimTime::from_us(10));
+        assert_eq!(done, SimTime::from_us(130));
+        assert_eq!(server.stats().wait, SimTime::from_us(70));
+        assert_eq!(server.stats().max_wait, SimTime::from_us(70));
+        assert_eq!(server.stats().requests, 2);
+    }
+
+    #[test]
+    fn shared_server_idles_between_bursts() {
+        let mut server = SharedServer::new();
+        server.submit(SimTime::from_us(0), SimTime::from_us(10));
+        let done = server.submit(SimTime::from_us(100), SimTime::from_us(10));
+        assert_eq!(done, SimTime::from_us(110));
+        assert_eq!(server.stats().wait, SimTime::ZERO);
     }
 
     #[test]

@@ -31,11 +31,16 @@ use gamma_des::{SimTime, Usage};
 use crate::config::RingConfig;
 
 /// One delivered message: the sending node, the caller-defined stream tag,
-/// and the payload bytes.
+/// the query it belongs to (0 outside the scheduler), and the payload
+/// bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Msg {
     pub src: usize,
     pub tag: u32,
+    /// Query the message belongs to. 0 for plain single-query runs; the
+    /// scheduler stamps each admitted query's id so interleaved plan
+    /// instances multiplex over one exchange without mixing streams.
+    pub query: u32,
     pub payload: Vec<u8>,
 }
 
@@ -46,6 +51,9 @@ struct Packet {
     bytes: u64,
     /// True when src == dst: short-circuited, free for the receiver.
     local: bool,
+    /// Query whose tuples fill this packet (packets never mix queries:
+    /// a packet is sealed within one query's execution step).
+    query: u32,
     msgs: Vec<(u32, Vec<u8>)>,
 }
 
@@ -64,6 +72,7 @@ struct Stream {
 pub struct Outbox {
     src: usize,
     cfg: RingConfig,
+    query: u32,
     streams: Vec<Stream>,
 }
 
@@ -72,6 +81,7 @@ impl Outbox {
         Outbox {
             src,
             cfg,
+            query: 0,
             streams: vec![Stream::default(); nodes],
         }
     }
@@ -79,6 +89,19 @@ impl Outbox {
     /// The node this outbox belongs to.
     pub fn node(&self) -> usize {
         self.src
+    }
+
+    /// Stamp subsequently sent tuples with `query` (0 is the single-query
+    /// default). Must only change while the outbox is drained — a packet
+    /// never mixes queries.
+    pub fn set_query(&mut self, query: u32) {
+        debug_assert!(
+            self.streams
+                .iter()
+                .all(|s| s.pending.is_empty() && s.sealed.is_empty()),
+            "query changed mid-packet"
+        );
+        self.query = query;
     }
 
     /// Send one tuple to `dst` on stream `tag`, batching into packets and
@@ -96,6 +119,7 @@ impl Outbox {
         }
         let src = self.src;
         let local = src == dst;
+        let query = self.query;
         let s = &mut self.streams[dst];
         if s.pending_bytes + bytes > packet && s.pending_bytes > 0 {
             // Tuple does not fit in the current packet: seal it, then start
@@ -103,6 +127,7 @@ impl Outbox {
             let full = Packet {
                 bytes: s.pending_bytes,
                 local,
+                query,
                 msgs: std::mem::take(&mut s.pending),
             };
             s.pending_bytes = bytes;
@@ -117,6 +142,7 @@ impl Outbox {
                 let full = Packet {
                     bytes: s.pending_bytes,
                     local,
+                    query,
                     msgs: std::mem::take(&mut s.pending),
                 };
                 s.pending_bytes = 0;
@@ -177,12 +203,14 @@ impl Outbox {
     /// `Fabric::flush` walks its destination-inner loop for one source.
     pub fn seal(&mut self, usage: &mut Usage) {
         let src = self.src;
+        let query = self.query;
         let cfg = self.cfg.clone();
         for (dst, s) in self.streams.iter_mut().enumerate() {
             if s.pending_bytes > 0 {
                 let p = Packet {
                     bytes: s.pending_bytes,
                     local: src == dst,
+                    query,
                     msgs: std::mem::take(&mut s.pending),
                 };
                 s.pending_bytes = 0;
@@ -247,8 +275,14 @@ impl Inbox {
                     },
                 );
             }
+            let query = p.query;
             for (tag, payload) in p.msgs {
-                out.push(Msg { src, tag, payload });
+                out.push(Msg {
+                    src,
+                    tag,
+                    query,
+                    payload,
+                });
             }
         }
         out
@@ -284,6 +318,15 @@ impl Exchange {
     /// each worker its own sending endpoint.
     pub fn outboxes_mut(&mut self) -> &mut [Outbox] {
         &mut self.outboxes
+    }
+
+    /// Stamp every node's subsequently sent tuples with `query`. The
+    /// scheduler brackets each admitted query's execution steps with this;
+    /// plain single-query runs never call it and stay stamped 0.
+    pub fn set_query(&mut self, query: u32) {
+        for ob in self.outboxes.iter_mut() {
+            ob.set_query(query);
+        }
     }
 
     /// Move every sealed packet into its destination inbox, source-major:
@@ -470,6 +513,24 @@ mod tests {
         assert_eq!(msgs[0].payload, vec![1, 2, 3]);
         assert_eq!(msgs[1].tag, 0xCD00_0002);
         assert_eq!(msgs[1].payload, vec![4, 5]);
+    }
+
+    #[test]
+    fn query_ids_survive_transit() {
+        let (mut ex, mut u) = exchange(2);
+        ex.set_query(3);
+        ex.outboxes_mut()[0].send(&mut u[0], 1, 7, vec![1, 2, 3]);
+        ex.outboxes_mut()[0].seal(&mut u[0]);
+        ex.route();
+        ex.set_query(4);
+        ex.outboxes_mut()[0].send(&mut u[0], 1, 7, vec![4, 5]);
+        ex.outboxes_mut()[0].seal(&mut u[0]);
+        ex.route();
+        let mut inbox = ex.take_inbox(1);
+        let msgs = inbox.drain(&mut u[1], &RingConfig::gamma_1989());
+        ex.return_inbox(inbox);
+        let queries: Vec<u32> = msgs.iter().map(|m| m.query).collect();
+        assert_eq!(queries, vec![3, 4]);
     }
 
     #[test]

@@ -1,0 +1,124 @@
+//! Deterministic open-loop arrival process.
+//!
+//! Serving experiments sweep an offered load, so arrivals must be an
+//! *open-loop* Poisson-like process (queries keep arriving regardless of
+//! how far behind the machine is) and must be byte-reproducible across
+//! runs, platforms and `--release`/debug builds. We therefore avoid any
+//! RNG dependency and derive inter-arrival gaps from a splitmix64 stream,
+//! seeded with the same FNV-1a-fold-the-name idiom the repo's property
+//! tests use (`case_rng`): the experiment name hashes to a base seed, and
+//! each swept rate point perturbs it with the Weyl constant.
+//!
+//! The exponential inverse-CDF uses `f64::ln`, which is an IEEE-exact
+//! libm call on every platform we target; the result is rounded up to an
+//! integer microsecond gap (min 1 µs) so all downstream arithmetic stays
+//! in integer virtual time.
+
+use gamma_des::SimTime;
+
+/// FNV-1a fold of an experiment name — same idiom as the test suite's
+/// `case_rng`, so arrival streams are stable under refactoring but
+/// distinct per experiment.
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// splitmix64: the standard 64-bit mixer; tiny, seedable, and plenty for
+/// generating inter-arrival gaps.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform in (0, 1]: 53 mantissa bits, offset so ln() never sees zero.
+fn unit_open(state: &mut u64) -> f64 {
+    ((splitmix64(state) >> 11) as f64 + 0.5) / (1u64 << 53) as f64
+}
+
+/// Deterministic exponential inter-arrival generator.
+#[derive(Debug, Clone)]
+pub struct Arrivals {
+    state: u64,
+    mean: SimTime,
+}
+
+impl Arrivals {
+    /// Stream for `name` at rate point `case` with the given mean
+    /// inter-arrival time. `case` perturbs the seed exactly like the
+    /// property-test `case_rng` (Weyl-constant multiply), so each swept
+    /// rate gets an independent but reproducible stream.
+    pub fn new(name: &str, case: u64, mean: SimTime) -> Self {
+        assert!(mean > SimTime::ZERO, "mean inter-arrival must be positive");
+        Arrivals {
+            state: seed_from_name(name) ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            mean,
+        }
+    }
+
+    /// Next inter-arrival gap: Exp(mean) rounded up to ≥ 1 µs.
+    pub fn next_gap(&mut self) -> SimTime {
+        let u = unit_open(&mut self.state);
+        let gap = -(self.mean.as_us() as f64) * u.ln();
+        SimTime::from_us((gap.ceil() as u64).max(1))
+    }
+
+    /// Absolute arrival times for `n` queries, starting from time zero
+    /// plus the first gap.
+    pub fn take_times(&mut self, n: u32) -> Vec<SimTime> {
+        let mut t = SimTime::ZERO;
+        (0..n)
+            .map(|_| {
+                t += self.next_gap();
+                t
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_reproducible() {
+        let a = Arrivals::new("serve", 3, SimTime::from_ms(10)).take_times(64);
+        let b = Arrivals::new("serve", 3, SimTime::from_ms(10)).take_times(64);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cases_differ() {
+        let a = Arrivals::new("serve", 1, SimTime::from_ms(10)).take_times(16);
+        let b = Arrivals::new("serve", 2, SimTime::from_ms(10)).take_times(16);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn gaps_are_positive_and_roughly_exponential() {
+        let mut arr = Arrivals::new("serve", 0, SimTime::from_ms(10));
+        let n = 4096u64;
+        let total: u64 = (0..n).map(|_| arr.next_gap().as_us()).sum();
+        let mean = total as f64 / n as f64;
+        // Mean of Exp(10ms) over 4096 samples lands within 10%.
+        assert!(
+            (9_000.0..11_000.0).contains(&mean),
+            "sample mean {mean} µs too far from 10_000 µs"
+        );
+    }
+
+    #[test]
+    fn arrival_times_strictly_increase() {
+        let times = Arrivals::new("serve", 7, SimTime::from_us(2)).take_times(256);
+        for w in times.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+}

@@ -28,6 +28,12 @@ pub struct BufferPool {
     head: HeadPos,
     hits: u64,
     misses: u64,
+    /// High-water mark of resident frames since the last [`clear`]
+    /// (always on — the scheduler's admission control budgets against it,
+    /// metrics or not).
+    ///
+    /// [`clear`]: BufferPool::clear
+    peak: usize,
     /// Owning node, for trace attribution (set by the machine at build).
     node: u16,
 }
@@ -47,6 +53,7 @@ impl BufferPool {
             head: HeadPos::default(),
             hits: 0,
             misses: 0,
+            peak: 0,
             node: 0,
         }
     }
@@ -67,6 +74,11 @@ impl BufferPool {
         (self.hits, self.misses)
     }
 
+    /// Most frames ever resident at once since the last [`BufferPool::clear`].
+    pub fn peak_pages(&self) -> usize {
+        self.peak
+    }
+
     fn touch(&mut self, key: (FileId, usize)) {
         self.stamp += 1;
         let stamp = self.stamp;
@@ -79,6 +91,7 @@ impl BufferPool {
             }
         }
         self.frames.insert(key, stamp);
+        self.peak = self.peak.max(self.frames.len());
         #[cfg(feature = "metrics")]
         gamma_metrics::gauge_max(
             "pool_peak_pages",
@@ -153,10 +166,12 @@ impl BufferPool {
         self.frames.retain(|(f, _), _| *f != file);
     }
 
-    /// Drop every frame (e.g. between experiments to cold-start caches).
+    /// Drop every frame (e.g. between experiments to cold-start caches)
+    /// and reset the peak high-water mark.
     pub fn clear(&mut self) {
         self.frames.clear();
         self.head = HeadPos::default();
+        self.peak = 0;
     }
 }
 
@@ -240,6 +255,21 @@ mod tests {
         p.charge_read(1, 0, &mut u);
         p.clear();
         assert!(!p.charge_read(1, 0, &mut u), "cold after clear");
+    }
+
+    #[test]
+    fn peak_tracks_high_water_and_resets_on_clear() {
+        let mut p = pool(3);
+        let mut u = Usage::ZERO;
+        assert_eq!(p.peak_pages(), 0);
+        for i in 0..5 {
+            p.charge_read(1, i, &mut u);
+        }
+        assert_eq!(p.peak_pages(), 3, "capped at capacity by eviction");
+        p.clear();
+        assert_eq!(p.peak_pages(), 0);
+        p.charge_read(1, 0, &mut u);
+        assert_eq!(p.peak_pages(), 1);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use gamma_core::machine::{multiset_checksum, Declustering, MachineConfig};
 use gamma_core::query::{Algorithm, JoinSpec, OverflowPolicy};
 use gamma_core::tuple::{compose, Field};
 use gamma_core::{run_join, Machine, Schema};
-use gamma_des::Usage;
+use gamma_des::{fifo_drain, Request, SharedServer, SimTime, Usage};
 use gamma_wiss::btree::BPlusTree;
 use gamma_wiss::{
     external_sort, BufferPool, ByteStream, DiskConfig, HeapScan, HeapWriter, SortConfig, SortCost,
@@ -426,6 +426,130 @@ fn byte_stream_matches_vec_model() {
         }
         let all = s.read_at(&vol, &mut pool, &mut u, 0, model.len());
         assert_eq!(all, model, "case {case}: full contents");
+    }
+}
+
+/// Random issue-ordered device request log, mimicking what a ledger
+/// produces: issue offsets are the node's monotone CPU progress.
+fn random_request_log(rng: &mut StdRng, max_len: usize) -> Vec<Request> {
+    let len = rng.gen_range(0..max_len + 1);
+    let mut issue = 0u64;
+    (0..len)
+        .map(|_| {
+            issue += rng.gen_range(0u64..30);
+            Request {
+                issue: SimTime::from_us(issue),
+                service: SimTime::from_us(rng.gen_range(1u64..25)),
+            }
+        })
+        .collect()
+}
+
+/// The event-kernel FIFO drain agrees with the analytic single-server
+/// recurrence on any issue-ordered log, serves strictly in order, never
+/// idles while a request is pending, and is work-conserving (busy + idle
+/// exactly partitions `[0, completion]`).
+#[test]
+fn fifo_queue_is_work_conserving_and_never_idles_with_backlog() {
+    for case in 0..64u64 {
+        let mut rng = case_rng(
+            "fifo_queue_is_work_conserving_and_never_idles_with_backlog",
+            case,
+        );
+        let log = random_request_log(&mut rng, 48);
+        let drained = fifo_drain(&log);
+
+        // Reference recurrence: start = max(issue, previous completion).
+        let mut prev = SimTime::ZERO;
+        let mut wait = SimTime::ZERO;
+        let mut max_wait = SimTime::ZERO;
+        let mut service = SimTime::ZERO;
+        let mut idle = SimTime::ZERO;
+        for r in &log {
+            let start = prev.max(r.issue);
+            if start > prev {
+                // The server went idle — legal only because nothing was
+                // pending (the next request had not been issued yet).
+                assert!(r.issue > prev, "case {case}: idled with a pending request");
+                idle += start - prev;
+            }
+            wait += start - r.issue;
+            max_wait = max_wait.max(start - r.issue);
+            service += r.service;
+            prev = start + r.service;
+        }
+        assert_eq!(drained.completion, prev, "case {case}: completion");
+        assert_eq!(drained.wait, wait, "case {case}: total wait");
+        assert_eq!(drained.max_wait, max_wait, "case {case}: max wait");
+        assert_eq!(drained.service, service, "case {case}: service sum");
+        assert_eq!(drained.requests, log.len() as u64, "case {case}: count");
+        // Work conservation: every instant up to completion is either
+        // service or a provably-empty-queue idle gap.
+        assert_eq!(
+            drained.completion,
+            service + idle,
+            "case {case}: work conservation"
+        );
+
+        // A fresh SharedServer fed the same log at its issue offsets is the
+        // same queue, and FIFO completions come back in submission order.
+        let mut server = SharedServer::new();
+        let mut last_done = SimTime::ZERO;
+        for r in &log {
+            let done = server.submit(r.issue, r.service);
+            assert!(done >= last_done, "case {case}: completions out of order");
+            last_done = done;
+        }
+        assert_eq!(server.stats(), drained, "case {case}: shared vs drain");
+        assert_eq!(server.free_at(), drained.completion, "case {case}: free_at");
+    }
+}
+
+/// A `SharedServer` fed several phases' logs at absolute arrival times is
+/// exactly one FIFO drain of the merged log — and the backlog it carries
+/// across phase boundaries can only add waiting relative to draining each
+/// phase on a fresh (idle-at-phase-start) server.
+#[test]
+fn shared_server_drains_multi_phase_logs_like_one_merged_log() {
+    for case in 0..64u64 {
+        let mut rng = case_rng(
+            "shared_server_drains_multi_phase_logs_like_one_merged_log",
+            case,
+        );
+        let phases = rng.gen_range(1usize..6);
+        let mut server = SharedServer::new();
+        let mut merged: Vec<Request> = Vec::new();
+        let mut isolated_wait = SimTime::ZERO;
+        let mut clock = 0u64; // last absolute arrival submitted
+        for _ in 0..phases {
+            let phase_start = clock + rng.gen_range(0u64..80);
+            let log = random_request_log(&mut rng, 16);
+            isolated_wait += fifo_drain(&log).wait;
+            for r in &log {
+                let arrival = phase_start + r.issue.as_us();
+                merged.push(Request {
+                    issue: SimTime::from_us(arrival),
+                    service: r.service,
+                });
+                server.submit(SimTime::from_us(arrival), r.service);
+                clock = arrival;
+            }
+        }
+        let drained = fifo_drain(&merged);
+        assert_eq!(
+            server.stats(),
+            drained,
+            "case {case}: shared vs merged drain"
+        );
+        assert_eq!(server.free_at(), drained.completion, "case {case}: free_at");
+        // Cross-phase backlog is monotone: a server that may still be busy
+        // at a phase boundary waits at least as long as per-phase drains
+        // that start idle.
+        assert!(
+            server.stats().wait >= isolated_wait,
+            "case {case}: carried backlog reduced waiting ({} < {isolated_wait})",
+            server.stats().wait
+        );
     }
 }
 
