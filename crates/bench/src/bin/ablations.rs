@@ -1,11 +1,16 @@
 //! Ablation studies over the design choices the paper calls out.
 //!
+//! Every ablation measures its sweep points through [`pooled_map`]: with
+//! a worker pool active the independent points run concurrently, results
+//! gather in submission order, and all printing happens after the
+//! gather — so the output is byte-identical to the serial run.
+//!
 //! ```text
 //! cargo run --release -p gamma-bench --bin ablations -- all
 //! cargo run --release -p gamma-bench --bin ablations -- filter_size clearing speedup multiuser headroom
 //! ```
 
-use gamma_bench::{SweepBuilder, Workload};
+use gamma_bench::{pooled_map, SweepBuilder, Workload};
 use gamma_core::cost::CostModel;
 use gamma_core::query::Algorithm;
 use gamma_core::{run_join, Machine, MachineConfig};
@@ -64,15 +69,16 @@ fn convoy() {
         "disk slow", "disk util", "legacy(s)", "queued(s)", "divergence", "disk wait(s)"
     );
     let w = Workload::full();
-    for slow in [1u64, 2, 4, 6, 8] {
+    let rows = pooled_map("convoy point", vec![1u64, 2, 4, 6, 8], |slow| {
         let run = |model| {
             SweepBuilder::new(&w)
                 .timing(model)
                 .slow_disk(slow)
                 .run_one(Algorithm::GraceHash, 0.5)
         };
-        let legacy = run(TimingModel::Legacy);
-        let queued = run(TimingModel::Queued);
+        (slow, run(TimingModel::Legacy), run(TimingModel::Queued))
+    });
+    for (slow, legacy, queued) in rows {
         // Nominal load: aggregate disk service over the flat-bound
         // response across the 8 volumes.
         let util = legacy.report.total.disk.as_secs() / (legacy.seconds * 8.0);
@@ -101,8 +107,6 @@ fn convoy() {
 /// relation is 4x smaller than it is), the fixed plan overflows while the
 /// tuned plan regroups by measured size and doesn't.
 fn bucket_tuning() {
-    use gamma_core::{run_join, Machine, MachineConfig};
-    use gamma_wisconsin::load_hashed;
     println!("\n== Ablation: Grace bucket tuning under optimizer misestimates ==");
     println!(
         "{:<34} {:>12} {:>8} {:>8}",
@@ -111,10 +115,11 @@ fn bucket_tuning() {
     let gen = WisconsinGen::new(1989);
     let a_rows = gen.relation(100_000, 0);
     let b_rows = gen.sample(&a_rows, 10_000, 1);
-    for (label, tuned) in [
+    let cases = vec![
         ("fixed buckets (misestimated 4x)", false),
         ("bucket tuning (measured sizes)", true),
-    ] {
+    ];
+    let rows = pooled_map("tuning point", cases, |(label, tuned)| {
         let mut machine = Machine::new(MachineConfig::local_8());
         let a = load_hashed(&mut machine, "A", &a_rows, "unique1");
         let b = load_hashed(&mut machine, "Bprime", &b_rows, "unique1");
@@ -124,14 +129,10 @@ fn bucket_tuning() {
         spec.buckets_override = Some(1);
         spec.bucket_tuning = tuned;
         let r = run_join(&mut machine, &spec);
-        let rounds = r.buckets; // small buckets formed
-        println!(
-            "{:<34} {:>12.2} {:>8} {:>8}",
-            label,
-            r.seconds(),
-            rounds,
-            r.overflow_passes
-        );
+        (label, r.seconds(), r.buckets, r.overflow_passes)
+    });
+    for (label, secs, rounds, ovfl) in rows {
+        println!("{:<34} {:>12.2} {:>8} {:>8}", label, secs, rounds, ovfl);
     }
     println!("(With tuning the 4 small buckets formed from the misestimated plan");
     println!(" are regrouped by their measured sizes, so no join round overflows.)");
@@ -147,12 +148,19 @@ fn bucket_forming_filters() {
         "alg", "no filter", "join-phase only", "+ bucket-forming", "pageIOs"
     );
     let w = Workload::scaled(100_000, 10_000);
-    for alg in [Algorithm::GraceHash, Algorithm::HybridHash] {
-        let plain = SweepBuilder::new(&w).run_one(alg, 0.17);
-        let joinf = SweepBuilder::new(&w).filtered(true).run_one(alg, 0.17);
-        let formf = SweepBuilder::new(&w)
-            .filter_bucket_forming()
-            .run_one(alg, 0.17);
+    let rows = pooled_map(
+        "bucket-filter point",
+        vec![Algorithm::GraceHash, Algorithm::HybridHash],
+        |alg| {
+            let plain = SweepBuilder::new(&w).run_one(alg, 0.17);
+            let joinf = SweepBuilder::new(&w).filtered(true).run_one(alg, 0.17);
+            let formf = SweepBuilder::new(&w)
+                .filter_bucket_forming()
+                .run_one(alg, 0.17);
+            (plain, joinf, formf)
+        },
+    );
+    for (plain, joinf, formf) in rows {
         println!(
             "{:<8} {:>11.2}s {:>15.2}s {:>17.2}s {:>10}",
             plain.algorithm,
@@ -197,26 +205,33 @@ fn filter_size(a_rows: &[WisconsinRow], b_rows: &[WisconsinRow]) {
         "{:<12} {:>10} {:>12} {:>12}",
         "filter", "bits/site", "hybrid(s)", "sortmerge(s)"
     );
-    for packet_bytes in [0u64, 1024, 2048, 8192, 32768] {
-        let mut cost = CostModel::gamma_1989();
-        let filter = packet_bytes > 0;
-        if filter {
-            cost.filter_packet_bytes = packet_bytes;
-        }
-        let bits = if filter {
-            cost.filter_bits_per_site(8)
-        } else {
-            0
-        };
-        let h = run_with_cost(
-            cost.clone(),
-            a_rows,
-            b_rows,
-            Algorithm::HybridHash,
-            1.0,
-            filter,
-        );
-        let s = run_with_cost(cost, a_rows, b_rows, Algorithm::SortMerge, 1.0, filter);
+    let rows = pooled_map(
+        "filter-size point",
+        vec![0u64, 1024, 2048, 8192, 32768],
+        |packet_bytes| {
+            let mut cost = CostModel::gamma_1989();
+            let filter = packet_bytes > 0;
+            if filter {
+                cost.filter_packet_bytes = packet_bytes;
+            }
+            let bits = if filter {
+                cost.filter_bits_per_site(8)
+            } else {
+                0
+            };
+            let h = run_with_cost(
+                cost.clone(),
+                a_rows,
+                b_rows,
+                Algorithm::HybridHash,
+                1.0,
+                filter,
+            );
+            let s = run_with_cost(cost, a_rows, b_rows, Algorithm::SortMerge, 1.0, filter);
+            (packet_bytes, filter, bits, h.seconds(), s.seconds())
+        },
+    );
+    for (packet_bytes, filter, bits, h_secs, s_secs) in rows {
         println!(
             "{:<12} {:>10} {:>12.2} {:>12.2}",
             if filter {
@@ -225,8 +240,8 @@ fn filter_size(a_rows: &[WisconsinRow], b_rows: &[WisconsinRow]) {
                 "off".into()
             },
             bits,
-            h.seconds(),
-            s.seconds()
+            h_secs,
+            s_secs
         );
     }
     println!("(The paper's single 2 KB packet is nearly saturated at one bucket;");
@@ -241,17 +256,19 @@ fn clearing_pct(a_rows: &[WisconsinRow], b_rows: &[WisconsinRow]) {
         "{:<8} {:>12} {:>8} {:>12}",
         "clear%", "response(s)", "passes", "evictions"
     );
-    for pct in [5u64, 10, 20, 35, 50] {
+    let rows = pooled_map("clearing point", vec![5u64, 10, 20, 35, 50], |pct| {
         let mut cost = CostModel::gamma_1989();
         cost.overflow_clear_pct = pct;
         let r = run_with_cost(cost, a_rows, b_rows, Algorithm::SimpleHash, 0.5, false);
-        println!(
-            "{:<8} {:>12.2} {:>8} {:>12}",
+        (
             pct,
             r.seconds(),
             r.overflow_passes,
-            r.total.counts.overflow_evictions
-        );
+            r.total.counts.overflow_evictions,
+        )
+    });
+    for (pct, secs, passes, evictions) in rows {
+        println!("{:<8} {:>12.2} {:>8} {:>12}", pct, secs, passes, evictions);
     }
     println!("(Clearing little risks repeated clearings; clearing a lot spools");
     println!(" tuples that would have fit. The paper picked 10%.)");
@@ -262,8 +279,7 @@ fn clearing_pct(a_rows: &[WisconsinRow], b_rows: &[WisconsinRow]) {
 fn speedup(a_rows: &[WisconsinRow], b_rows: &[WisconsinRow]) {
     println!("\n== Ablation: speedup of Hybrid joinABprime (ratio 0.5) ==");
     println!("{:<8} {:>12} {:>9}", "disks", "response(s)", "speedup");
-    let mut base = None;
-    for disks in [1usize, 2, 4, 8, 16, 32] {
+    let rows = pooled_map("speedup point", vec![1usize, 2, 4, 8, 16, 32], |disks| {
         let cfg = MachineConfig {
             disk_nodes: disks,
             diskless_nodes: 0,
@@ -274,9 +290,11 @@ fn speedup(a_rows: &[WisconsinRow], b_rows: &[WisconsinRow]) {
         let b = load_hashed(&mut machine, "Bprime", b_rows, "unique1");
         let memory = machine.relation(b).data_bytes / 2;
         let spec = join_abprime(Algorithm::HybridHash, b, a, "unique1", "unique1", memory);
-        let secs = run_join(&mut machine, &spec).seconds();
-        let b0 = *base.get_or_insert(secs);
-        println!("{:<8} {:>12.2} {:>8.2}x", disks, secs, b0 / secs);
+        (disks, run_join(&mut machine, &spec).seconds())
+    });
+    let base = rows[0].1;
+    for (disks, secs) in rows {
+        println!("{:<8} {:>12.2} {:>8.2}x", disks, secs, base / secs);
     }
     println!("(Near-linear until per-node work shrinks toward the fixed");
     println!(" scheduling overheads — the classic shared-nothing story.)");
@@ -294,13 +312,16 @@ fn multiuser() {
         "config", "response(s)", "Dmax(s)", "max queries/hour"
     );
     let w = Workload::scaled(100_000, 10_000);
-    for (label, remote) in [("local", false), ("remote", true)] {
+    let cases = vec![("local", false), ("remote", true)];
+    let rows = pooled_map("multiuser point", cases, |(label, remote)| {
         let b = if remote {
             SweepBuilder::new(&w).on("unique2", "unique2").remote()
         } else {
             SweepBuilder::new(&w).on("unique2", "unique2")
         };
-        let p = b.run_one(Algorithm::HybridHash, 1.0);
+        (label, b.run_one(Algorithm::HybridHash, 1.0))
+    });
+    for (label, p) in rows {
         // Operational analysis over the measured per-node demands: the
         // bottleneck law caps throughput at 1 / D_max.
         let x = p.report.demand.throughput_bound(u32::MAX, 0.0);
@@ -322,16 +343,14 @@ fn multiuser() {
 fn headroom(a_rows: &[WisconsinRow], b_rows: &[WisconsinRow]) {
     println!("\n== Ablation: hash-table headroom (Hybrid, ratio 0.125 = 8 buckets) ==");
     println!("{:<10} {:>12} {:>8}", "headroom", "response(s)", "passes");
-    for pct in [0u64, 10, 20, 35, 50] {
+    let rows = pooled_map("headroom point", vec![0u64, 10, 20, 35, 50], |pct| {
         let mut cost = CostModel::gamma_1989();
         cost.table_headroom_pct = pct;
         let r = run_with_cost(cost, a_rows, b_rows, Algorithm::HybridHash, 0.125, false);
-        println!(
-            "{:<10} {:>12.2} {:>8}",
-            format!("{pct}%"),
-            r.seconds(),
-            r.overflow_passes
-        );
+        (pct, r.seconds(), r.overflow_passes)
+    });
+    for (pct, secs, passes) in rows {
+        println!("{:<10} {:>12.2} {:>8}", format!("{pct}%"), secs, passes);
     }
     println!("(Too little slack and hash-distribution variance forces overflow");
     println!(" passes the paper's runs never saw; 35% absorbs the variance.)");

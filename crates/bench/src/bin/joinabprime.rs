@@ -1,25 +1,34 @@
 //! The `joinABprime` benchmark: every algorithm at three memory ratios,
 //! reporting both the simulated response time (virtual microseconds) and
-//! the harness wall-clock. Built with `--features parallel` it runs each
-//! point twice — serial executor, then thread-parallel — and reports the
-//! wall-clock speedup; the virtual-time results must not change.
+//! the harness wall-clock. When a worker pool is active (built with
+//! `--features parallel`, or forced with `--pool N`) it runs each point
+//! twice — serial executor, then pooled — asserts the virtual-time
+//! results and metrics snapshots are identical, and reports the
+//! wall-clock speedup. Independent points are dispatched on the same
+//! pool; rows are gathered in submission order so the output never
+//! depends on scheduling.
 //!
 //! ```text
 //! cargo run --release -p gamma-bench --bin joinabprime
 //! cargo run --release -p gamma-bench --features parallel --bin joinabprime
-//! cargo run --release -p gamma-bench --bin joinabprime -- --scale 0.2 --out BENCH_joinabprime.json
+//! cargo run --release -p gamma-bench --bin joinabprime -- --pool 4 --scale 0.2
+//! cargo run --release -p gamma-bench --bin joinabprime -- --no-wall --out BENCH.json
 //! ```
 //!
-//! With the (default) `metrics` feature each point also records its peak
-//! buffer-pool residency, total ring packets, and short-circuit ratio —
-//! deterministic counters the `regress` binary gates exactly. The JSON
-//! schema is documented in `EXPERIMENTS.md`.
+//! `--no-wall` nulls every wall-clock field and drops the executor
+//! envelope so the JSON is byte-identical across hosts and pool sizes —
+//! that is what CI byte-diffs. With the (default) `metrics` feature each
+//! point also records its peak buffer-pool residency, total ring
+//! packets, and short-circuit ratio — deterministic counters the
+//! `regress` binary gates exactly. The JSON schema is documented in
+//! `EXPERIMENTS.md`.
 
+use std::sync::Arc;
 use std::time::Instant;
 
-use gamma_bench::Workload;
+use gamma_bench::{pooled_map_on, Workload};
 use gamma_core::query::Algorithm;
-use gamma_core::JoinReport;
+use gamma_core::{ExecConfig, JoinReport, WorkerPool};
 
 const RATIOS: [f64; 3] = [1.0, 0.5, 0.2];
 
@@ -48,11 +57,11 @@ struct RunOut {
     registry: gamma_metrics::Registry,
 }
 
-fn measure(w: &Workload, alg: Algorithm, ratio: f64) -> (RunOut, f64) {
+fn measure(w: &Workload, alg: Algorithm, ratio: f64, exec: ExecConfig) -> (RunOut, f64) {
     let t = Instant::now();
     #[cfg(feature = "metrics")]
     let out = {
-        let run = gamma_bench::metrics::metrics_join(w, alg, ratio, false, false);
+        let run = gamma_bench::metrics::metrics_join_with(w, alg, ratio, false, false, exec);
         RunOut {
             report: run.report,
             registry: run.registry,
@@ -60,110 +69,143 @@ fn measure(w: &Workload, alg: Algorithm, ratio: f64) -> (RunOut, f64) {
     };
     #[cfg(not(feature = "metrics"))]
     let out = RunOut {
-        report: gamma_bench::SweepBuilder::new(w).run_one(alg, ratio).report,
+        report: gamma_bench::SweepBuilder::new(w)
+            .exec(exec)
+            .run_one(alg, ratio)
+            .report,
     };
     (out, t.elapsed().as_secs_f64() * 1e3)
+}
+
+/// One benchmark point: serial reference, then — when a pool is active —
+/// the pooled run plus the byte-identity asserts.
+fn run_point(w: &Workload, pool: Option<&Arc<WorkerPool>>, alg: Algorithm, ratio: f64) -> Row {
+    let (sp, serial_ms) = measure(w, alg, ratio, ExecConfig::serial());
+
+    let (p, wall_ms, serial_wall_ms, speedup) = match pool {
+        Some(pool) => {
+            let (pp, par_ms) = measure(w, alg, ratio, ExecConfig::pooled(Arc::clone(pool)));
+            assert_eq!(
+                sp.report.response,
+                pp.report.response,
+                "{} at {ratio}: pooled executor changed the simulated response",
+                alg.name()
+            );
+            assert_eq!(
+                sp.report.result_checksum,
+                pp.report.result_checksum,
+                "{} at {ratio}: pooled executor changed the result",
+                alg.name()
+            );
+            #[cfg(feature = "metrics")]
+            assert_eq!(
+                gamma_metrics::json::render(&sp.registry),
+                gamma_metrics::json::render(&pp.registry),
+                "{} at {ratio}: pooled executor changed the metrics snapshot",
+                alg.name()
+            );
+            (pp, par_ms, Some(serial_ms), Some(serial_ms / par_ms))
+        }
+        None => (sp, serial_ms, None, None),
+    };
+
+    let packets = p.report.packets();
+    let sc = p.report.shortcircuits();
+    let short_circuit_ratio = if sc + packets > 0 {
+        sc as f64 / (sc + packets) as f64
+    } else {
+        0.0
+    };
+    #[cfg(feature = "metrics")]
+    let peak_pool_pages = Some(p.registry.gauge_peak("pool_peak_pages").unwrap_or(0));
+    #[cfg(not(feature = "metrics"))]
+    let peak_pool_pages = None;
+    Row {
+        algorithm: p.report.algorithm.clone(),
+        ratio,
+        virtual_us: p.report.response.as_us(),
+        wall_ms,
+        serial_wall_ms,
+        speedup,
+        peak_pool_pages,
+        packets,
+        short_circuit_ratio,
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = 1.0f64;
     let mut out_path = String::from("BENCH_joinabprime.json");
+    let no_wall = args.iter().any(|a| a == "--no-wall");
     if let Some(i) = args.iter().position(|a| a == "--scale") {
         scale = args[i + 1].parse().expect("scale must be a float");
     }
     if let Some(i) = args.iter().position(|a| a == "--out") {
         out_path = args[i + 1].clone();
     }
+    // `--pool N` builds an explicit pool of that size; otherwise the
+    // `parallel` feature opts into the shared process-wide pool.
+    let pool: Option<Arc<WorkerPool>> = match args.iter().position(|a| a == "--pool") {
+        Some(i) => {
+            let n: usize = args[i + 1].parse().expect("pool size must be an integer");
+            Some(Arc::new(WorkerPool::new(n)))
+        }
+        None if cfg!(feature = "parallel") => {
+            Some(Arc::clone(gamma_core::exec::pool::default_pool()))
+        }
+        None => None,
+    };
 
     let w = Workload::scaled(
         (100_000f64 * scale).round() as usize,
         (10_000f64 * scale).round() as usize,
     );
 
-    let parallel_build = cfg!(feature = "parallel");
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    let mut rows = Vec::new();
-    for alg in ALGORITHMS {
-        for ratio in RATIOS {
-            // Serial reference first (with the feature off this is the
-            // only measurement).
-            #[cfg(feature = "parallel")]
-            gamma_core::exec::set_parallel(false);
-            let (sp, serial_ms) = measure(&w, alg, ratio);
+    let cases: Vec<(Algorithm, f64)> = ALGORITHMS
+        .into_iter()
+        .flat_map(|alg| RATIOS.into_iter().map(move |r| (alg, r)))
+        .collect();
+    // The same pool that parallelises each point's steps also dispatches
+    // the independent points; rows come back in submission order.
+    let rows = pooled_map_on(
+        pool.as_deref(),
+        "joinabprime point",
+        cases,
+        |(alg, ratio)| run_point(&w, pool.as_ref(), alg, ratio),
+    );
 
-            let (p, wall_ms, serial_wall_ms, speedup) = if parallel_build {
-                #[cfg(feature = "parallel")]
-                gamma_core::exec::set_parallel(true);
-                let (pp, par_ms) = measure(&w, alg, ratio);
-                assert_eq!(
-                    sp.report.response,
-                    pp.report.response,
-                    "{} at {ratio}: parallel executor changed the simulated response",
-                    alg.name()
-                );
-                assert_eq!(
-                    sp.report.result_checksum,
-                    pp.report.result_checksum,
-                    "{} at {ratio}: parallel executor changed the result",
-                    alg.name()
-                );
-                #[cfg(feature = "metrics")]
-                assert_eq!(
-                    gamma_metrics::json::render(&sp.registry),
-                    gamma_metrics::json::render(&pp.registry),
-                    "{} at {ratio}: parallel executor changed the metrics snapshot",
-                    alg.name()
-                );
-                (pp, par_ms, Some(serial_ms), Some(serial_ms / par_ms))
-            } else {
-                (sp, serial_ms, None, None)
-            };
-
-            println!(
-                "{:<10} ratio {:>4}: {:>12} virtual-us   {:>8.1} ms wall{}",
-                p.report.algorithm,
-                ratio,
-                p.report.response.as_us(),
-                wall_ms,
-                match speedup {
-                    Some(s) => format!("   ({s:.2}x vs serial)"),
-                    None => String::new(),
-                }
-            );
-            let packets = p.report.packets();
-            let sc = p.report.shortcircuits();
-            let short_circuit_ratio = if sc + packets > 0 {
-                sc as f64 / (sc + packets) as f64
-            } else {
-                0.0
-            };
-            #[cfg(feature = "metrics")]
-            let peak_pool_pages = Some(p.registry.gauge_peak("pool_peak_pages").unwrap_or(0));
-            #[cfg(not(feature = "metrics"))]
-            let peak_pool_pages = None;
-            rows.push(Row {
-                algorithm: p.report.algorithm.clone(),
-                ratio,
-                virtual_us: p.report.response.as_us(),
-                wall_ms,
-                serial_wall_ms,
-                speedup,
-                peak_pool_pages,
-                packets,
-                short_circuit_ratio,
-            });
-        }
+    for r in &rows {
+        println!(
+            "{:<10} ratio {:>4}: {:>12} virtual-us   {:>8.1} ms wall{}",
+            r.algorithm,
+            r.ratio,
+            r.virtual_us,
+            r.wall_ms,
+            match r.speedup {
+                Some(s) => format!("   ({s:.2}x vs serial)"),
+                None => String::new(),
+            }
+        );
     }
 
     // Hand-rolled JSON (no serde in the offline image).
     let mut json = String::from("{\n");
     json.push_str(&format!(
-        "  \"benchmark\": \"joinABprime\",\n  \"scale\": {scale},\n  \"executor\": \"{}\",\n  \"threads\": {threads},\n",
-        if parallel_build { "parallel" } else { "serial" }
+        "  \"benchmark\": \"joinABprime\",\n  \"scale\": {scale},\n"
     ));
+    if !no_wall {
+        // The executor envelope is host- and build-dependent; `--no-wall`
+        // drops it so CI can byte-diff pooled output against serial.
+        let threads = pool.as_ref().map_or(1, |p| p.size());
+        json.push_str(&format!(
+            "  \"executor\": \"{}\",\n  \"threads\": {threads},\n",
+            match &pool {
+                Some(p) => format!("pooled({})", p.size()),
+                None => "serial".into(),
+            }
+        ));
+    }
     json.push_str("  \"points\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let opt = |v: Option<f64>| match v {
@@ -174,14 +216,23 @@ fn main() {
             Some(x) => format!("{x}"),
             None => "null".into(),
         };
+        let wall = if no_wall {
+            ("null".to_string(), "null".to_string(), "null".to_string())
+        } else {
+            (
+                format!("{:.3}", r.wall_ms),
+                opt(r.serial_wall_ms),
+                opt(r.speedup),
+            )
+        };
         json.push_str(&format!(
-            "    {{\"algorithm\": \"{}\", \"memory_ratio\": {}, \"response_virtual_us\": {}, \"wall_ms\": {:.3}, \"serial_wall_ms\": {}, \"speedup\": {}, \"peak_pool_pages\": {}, \"packets\": {}, \"short_circuit_ratio\": {:.6}}}{}\n",
+            "    {{\"algorithm\": \"{}\", \"memory_ratio\": {}, \"response_virtual_us\": {}, \"wall_ms\": {}, \"serial_wall_ms\": {}, \"speedup\": {}, \"peak_pool_pages\": {}, \"packets\": {}, \"short_circuit_ratio\": {:.6}}}{}\n",
             r.algorithm,
             r.ratio,
             r.virtual_us,
-            r.wall_ms,
-            opt(r.serial_wall_ms),
-            opt(r.speedup),
+            wall.0,
+            wall.1,
+            wall.2,
             opt_u(r.peak_pool_pages),
             r.packets,
             r.short_circuit_ratio,
@@ -192,8 +243,11 @@ fn main() {
     std::fs::write(&out_path, json).expect("write bench json");
     println!("\nwrote {out_path}");
 
-    if parallel_build {
+    if let Some(p) = &pool {
         let best = rows.iter().filter_map(|r| r.speedup).fold(0.0f64, f64::max);
-        println!("best wall-clock speedup: {best:.2}x on {threads} threads");
+        println!(
+            "best wall-clock speedup: {best:.2}x on {} pool lanes",
+            p.size()
+        );
     }
 }

@@ -34,7 +34,7 @@ use gamma_bench::regress::{
     parse_serve_envelope, parse_serve_points, BenchPoint, ServeBenchPoint,
 };
 use gamma_bench::serve::{serve_sweep, ServeSweepConfig};
-use gamma_bench::Workload;
+use gamma_bench::{pooled_map, Workload};
 use gamma_core::query::Algorithm;
 
 /// The snapshot points kept under `results/` — same points the `trace`
@@ -95,27 +95,24 @@ fn main() {
         "regress: replaying {} baseline points at scale {scale} (tolerance {tolerance_pct}%)",
         baseline.len()
     );
-    let mut fresh = Vec::new();
-    for b in &baseline {
+    // Replay the points on the pool (when one is active); results gather
+    // in baseline order, so the printed table and the comparison are
+    // independent of scheduling.
+    let replayed = pooled_map("regress point", baseline.iter().collect(), |b| {
         let alg = algorithm_by_name(&b.algorithm);
         let run = metrics_join(&w, alg, b.memory_ratio, false, false);
-        let recon = reconcile(&run.registry, &run.report);
-        for e in recon {
-            errors.push(format!(
-                "{} @ ratio {}: reconciliation: {e}",
-                b.algorithm, b.memory_ratio
-            ));
-        }
+        let recon: Vec<String> = reconcile(&run.registry, &run.report)
+            .into_iter()
+            .map(|e| {
+                format!(
+                    "{} @ ratio {}: reconciliation: {e}",
+                    b.algorithm, b.memory_ratio
+                )
+            })
+            .collect();
         let packets = run.report.packets();
         let sc = run.report.shortcircuits();
-        println!(
-            "  {:<10} ratio {:>4}: {:>12} virtual-us  {:>8} packets",
-            b.algorithm,
-            b.memory_ratio,
-            run.report.response.as_us(),
-            packets
-        );
-        fresh.push(BenchPoint {
+        let point = BenchPoint {
             algorithm: b.algorithm.clone(),
             memory_ratio: b.memory_ratio,
             response_virtual_us: run.report.response.as_us(),
@@ -126,31 +123,56 @@ fn main() {
             } else {
                 Some(0.0)
             },
-        });
+        };
+        (point, recon)
+    });
+    let mut fresh = Vec::new();
+    for (point, recon) in replayed {
+        println!(
+            "  {:<10} ratio {:>4}: {:>12} virtual-us  {:>8} packets",
+            point.algorithm,
+            point.memory_ratio,
+            point.response_virtual_us,
+            point.packets.unwrap_or(0)
+        );
+        errors.extend(recon);
+        fresh.push(point);
     }
     errors.extend(compare_points(&baseline, &fresh, tolerance_pct));
 
     // --- Gate 2: committed metric snapshots ----------------------------
-    for (alg, ratio) in SNAPSHOT_POINTS {
-        let run = metrics_join(
-            &Workload::scaled(SNAPSHOT_SCALE, SNAPSHOT_SCALE / 10),
-            alg,
-            ratio,
-            false,
-            false,
-        );
-        for e in reconcile(&run.registry, &run.report) {
-            errors.push(format!(
-                "snapshot {} @ ratio {ratio}: reconciliation: {e}",
-                alg.name()
-            ));
-        }
+    // Render the snapshot runs on the pool; file reads/writes and the
+    // byte-diffs stay sequential, in SNAPSHOT_POINTS order.
+    let snapshots = pooled_map(
+        "snapshot point",
+        SNAPSHOT_POINTS.to_vec(),
+        |(alg, ratio)| {
+            let run = metrics_join(
+                &Workload::scaled(SNAPSHOT_SCALE, SNAPSHOT_SCALE / 10),
+                alg,
+                ratio,
+                false,
+                false,
+            );
+            let recon: Vec<String> = reconcile(&run.registry, &run.report)
+                .into_iter()
+                .map(|e| {
+                    format!(
+                        "snapshot {} @ ratio {ratio}: reconciliation: {e}",
+                        alg.name()
+                    )
+                })
+                .collect();
+            (alg, ratio, recon, run.json(), run.prometheus())
+        },
+    );
+    for (alg, ratio, recon, fresh_doc, prom_doc) in snapshots {
+        errors.extend(recon);
         let path = format!(
             "{snapshot_dir}/metrics-{}-r{:02}.json",
             alg.name(),
             (ratio * 100.0) as u32
         );
-        let fresh_doc = run.json();
         if write {
             std::fs::create_dir_all(&snapshot_dir).expect("create snapshot dir");
             std::fs::write(&path, &fresh_doc).unwrap_or_else(|e| panic!("write {path}: {e}"));
@@ -160,7 +182,7 @@ fn main() {
                 alg.name(),
                 (ratio * 100.0) as u32
             );
-            std::fs::write(&prom, run.prometheus()).unwrap_or_else(|e| panic!("write {prom}: {e}"));
+            std::fs::write(&prom, &prom_doc).unwrap_or_else(|e| panic!("write {prom}: {e}"));
             println!("  wrote {prom}");
         } else {
             match std::fs::read_to_string(&path) {

@@ -7,7 +7,7 @@
 
 use gamma_core::query::{Algorithm, OverflowPolicy};
 
-use crate::sweep::{paper_ratios, ExperimentPoint, SweepBuilder, Workload};
+use crate::sweep::{paper_ratios, pooled_map, ExperimentPoint, SweepBuilder, Workload};
 
 /// Pretty-print a series grouped by algorithm.
 pub fn print_series(title: &str, pts: &[ExperimentPoint]) {
@@ -46,19 +46,20 @@ pub fn fig06(w: &Workload) -> Vec<ExperimentPoint> {
 /// vs pessimistic (two buckets) vs the optimal endpoints.
 pub fn fig07(w: &Workload) -> Vec<ExperimentPoint> {
     let ratios = [0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
-    let mut pts = Vec::new();
-    for (policy, label) in [
+    let cases: Vec<(OverflowPolicy, &str, f64)> = [
         (OverflowPolicy::Optimistic, "hybrid-overflow"),
         (OverflowPolicy::Pessimistic, "hybrid-2bucket"),
-    ] {
-        let b = SweepBuilder::new(w).policy(policy);
-        for &r in &ratios {
-            let mut p = b.run_one(Algorithm::HybridHash, r);
-            p.algorithm = label.into();
-            pts.push(p);
-        }
-    }
-    pts
+    ]
+    .into_iter()
+    .flat_map(|(policy, label)| ratios.into_iter().map(move |r| (policy, label, r)))
+    .collect();
+    pooled_map("fig07 point", cases, |(policy, label, r)| {
+        let mut p = SweepBuilder::new(w)
+            .policy(policy)
+            .run_one(Algorithm::HybridHash, r);
+        p.algorithm = label.into();
+        p
+    })
 }
 
 /// Figure 8: HPJA joins with bit filters, local.
@@ -78,16 +79,15 @@ pub fn fig09(w: &Workload) -> Vec<ExperimentPoint> {
 
 /// Figures 10-13: per-algorithm filter on/off comparison (HPJA, local).
 pub fn fig10_13(w: &Workload, algorithm: Algorithm) -> Vec<ExperimentPoint> {
-    let mut pts = Vec::new();
-    for (f, label) in [(false, "nofilter"), (true, "filter")] {
-        let b = SweepBuilder::new(w).filtered(f);
-        for &r in paper_ratios().iter() {
-            let mut p = b.run_one(algorithm, r);
-            p.algorithm = format!("{}-{}", algorithm.name(), label);
-            pts.push(p);
-        }
-    }
-    pts
+    let cases: Vec<(bool, &str, f64)> = [(false, "nofilter"), (true, "filter")]
+        .into_iter()
+        .flat_map(|(f, label)| paper_ratios().into_iter().map(move |r| (f, label, r)))
+        .collect();
+    pooled_map("fig10-13 point", cases, |(f, label, r)| {
+        let mut p = SweepBuilder::new(w).filtered(f).run_one(algorithm, r);
+        p.algorithm = format!("{}-{}", algorithm.name(), label);
+        p
+    })
 }
 
 /// Figure 14: remote configuration, HPJA vs non-HPJA (hash joins only).
@@ -97,21 +97,21 @@ pub fn fig14(w: &Workload) -> Vec<ExperimentPoint> {
         Algorithm::GraceHash,
         Algorithm::HybridHash,
     ];
-    let mut pts = Vec::new();
-    for (attrs, label) in [
-        (("unique1", "unique1"), "hpja"),
-        (("unique2", "unique2"), "nonhpja"),
-    ] {
-        let b = SweepBuilder::new(w).on(attrs.0, attrs.1).remote();
-        for &alg in &algs {
-            for &r in paper_ratios().iter() {
-                let mut p = b.run_one(alg, r);
-                p.algorithm = format!("{}-{}", alg.name(), label);
-                pts.push(p);
-            }
-        }
-    }
-    pts
+    let cases: Vec<(&str, &str, Algorithm, f64)> = [("unique1", "hpja"), ("unique2", "nonhpja")]
+        .into_iter()
+        .flat_map(|(attr, label)| {
+            algs.into_iter().flat_map(move |alg| {
+                paper_ratios()
+                    .into_iter()
+                    .map(move |r| (attr, label, alg, r))
+            })
+        })
+        .collect();
+    pooled_map("fig14 point", cases, |(attr, label, alg, r)| {
+        let mut p = SweepBuilder::new(w).on(attr, attr).remote().run_one(alg, r);
+        p.algorithm = format!("{}-{}", alg.name(), label);
+        p
+    })
 }
 
 /// Figure 15: local vs remote, HPJA.
@@ -130,22 +130,23 @@ fn local_vs_remote(w: &Workload, attr: &str) -> Vec<ExperimentPoint> {
         Algorithm::GraceHash,
         Algorithm::HybridHash,
     ];
-    let mut pts = Vec::new();
-    for remote in [false, true] {
+    let cases: Vec<(bool, Algorithm, f64)> = [false, true]
+        .into_iter()
+        .flat_map(|remote| {
+            algs.into_iter()
+                .flat_map(move |alg| paper_ratios().into_iter().map(move |r| (remote, alg, r)))
+        })
+        .collect();
+    pooled_map("local-vs-remote point", cases, |(remote, alg, r)| {
         let b = if remote {
             SweepBuilder::new(w).on(attr, attr).remote()
         } else {
             SweepBuilder::new(w).on(attr, attr)
         };
-        for &alg in &algs {
-            for &r in paper_ratios().iter() {
-                let mut p = b.run_one(alg, r);
-                p.algorithm = format!("{}-{}", alg.name(), if remote { "remote" } else { "local" });
-                pts.push(p);
-            }
-        }
-    }
-    pts
+        let mut p = b.run_one(alg, r);
+        p.algorithm = format!("{}-{}", alg.name(), if remote { "remote" } else { "local" });
+        p
+    })
 }
 
 /// Table 3: skewed join-attribute distributions (UU / NU / UN) at 100 %
@@ -157,34 +158,40 @@ pub fn table3(w: &Workload) -> Vec<ExperimentPoint> {
         ("normal", "unique1", "NU"),
         ("unique1", "normal", "UN"),
     ];
-    let mut pts = Vec::new();
+    let mut cases: Vec<(&str, &str, &str, bool, f64, &str, Algorithm)> = Vec::new();
     for (inner, outer, tag) in combos {
         for filter in [false, true] {
             for (ratio, mtag) in [(1.0, "100%"), (0.17, "17%")] {
                 for alg in Algorithm::ALL {
-                    let mut b = SweepBuilder::new(w)
-                        .on(inner, outer)
-                        .range_loaded()
-                        .filtered(filter);
-                    // The paper ran Grace with one extra bucket for NU so
-                    // no bucket would overflow.
-                    if alg == Algorithm::GraceHash && inner == "normal" {
-                        b = b.extra_buckets(1);
-                    }
-                    let mut p = b.run_one(alg, ratio);
-                    p.algorithm = format!(
-                        "{}-{}-{}-{}",
-                        alg.name(),
-                        tag,
-                        mtag,
-                        if filter { "filter" } else { "nofilter" }
-                    );
-                    pts.push(p);
+                    cases.push((inner, outer, tag, filter, ratio, mtag, alg));
                 }
             }
         }
     }
-    pts
+    pooled_map(
+        "table3 point",
+        cases,
+        |(inner, outer, tag, filter, ratio, mtag, alg)| {
+            let mut b = SweepBuilder::new(w)
+                .on(inner, outer)
+                .range_loaded()
+                .filtered(filter);
+            // The paper ran Grace with one extra bucket for NU so no
+            // bucket would overflow.
+            if alg == Algorithm::GraceHash && inner == "normal" {
+                b = b.extra_buckets(1);
+            }
+            let mut p = b.run_one(alg, ratio);
+            p.algorithm = format!(
+                "{}-{}-{}-{}",
+                alg.name(),
+                tag,
+                mtag,
+                if filter { "filter" } else { "nofilter" }
+            );
+            p
+        },
+    )
 }
 
 /// Table 4 is derived from Table 3: percentage improvement from filtering.

@@ -21,4 +21,4 @@ pub mod sweep;
 #[cfg(feature = "trace")]
 pub mod tracing;
 
-pub use sweep::{ExperimentPoint, SweepBuilder, Workload};
+pub use sweep::{bench_pool, pooled_map, pooled_map_on, ExperimentPoint, SweepBuilder, Workload};

@@ -49,7 +49,27 @@ pub fn metrics_join(
     filtered: bool,
     remote: bool,
 ) -> MetricsRun {
-    let mut builder = SweepBuilder::new(workload).filtered(filtered);
+    metrics_join_with(
+        workload,
+        algorithm,
+        ratio,
+        filtered,
+        remote,
+        gamma_core::ExecConfig::auto(),
+    )
+}
+
+/// [`metrics_join`] on an explicit executor (serial-vs-pooled snapshot
+/// comparisons pin one machine to each).
+pub fn metrics_join_with(
+    workload: &Workload,
+    algorithm: Algorithm,
+    ratio: f64,
+    filtered: bool,
+    remote: bool,
+    exec: gamma_core::ExecConfig,
+) -> MetricsRun {
+    let mut builder = SweepBuilder::new(workload).filtered(filtered).exec(exec);
     if remote {
         builder = builder.remote();
     }

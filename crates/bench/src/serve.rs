@@ -17,7 +17,7 @@ use gamma_core::JoinReport;
 use gamma_des::SimTime;
 use gamma_sched::{serve, QueryPlan, ServeConfig, ServeResult};
 
-use crate::sweep::{SweepBuilder, Workload};
+use crate::sweep::{pooled_map, SweepBuilder, Workload};
 
 /// Offered-load fractions of the analytical bound swept by default: well
 /// below the knee, around it, and into overload.
@@ -167,8 +167,11 @@ pub fn serve_sweep(cfg: &ServeSweepConfig) -> ServeSweep {
     let budget_pages = peak_pages * cfg.budget_multiplier.max(1);
     let bound_qps = 1.0 / report.demand.bottleneck();
 
-    let mut points = Vec::with_capacity(cfg.load_fractions.len());
-    for (rate_index, &load_fraction) in cfg.load_fractions.iter().enumerate() {
+    // Each rate point serves its own freshly loaded machine, so the
+    // points are independent; the pool (when active) runs them
+    // concurrently and `pooled_map` gathers them in rate order.
+    let cases: Vec<(usize, f64)> = cfg.load_fractions.iter().copied().enumerate().collect();
+    let points = pooled_map("serve point", cases, |(rate_index, load_fraction)| {
         let offered = bound_qps * load_fraction;
         let mean_interarrival_us = (1e6 / offered).round().max(1.0) as u64;
         let result = serve_point(
@@ -188,7 +191,7 @@ pub fn serve_sweep(cfg: &ServeSweepConfig) -> ServeSweep {
             .iter()
             .map(|q| q.admission_wait().unwrap_or(SimTime::ZERO).as_us())
             .sum();
-        points.push(ServePoint {
+        ServePoint {
             rate_index,
             load_fraction,
             mean_interarrival_us,
@@ -202,8 +205,8 @@ pub fn serve_sweep(cfg: &ServeSweepConfig) -> ServeSweep {
             mean_response_us: out.mean_response_us().unwrap_or(0.0),
             admission_wait_total_us,
             peak_utilisation: out.peak_device_utilisation(),
-        });
-    }
+        }
+    });
 
     let knee_qps = points.iter().map(|p| p.throughput_qps).fold(0.0, f64::max);
     ServeSweep {

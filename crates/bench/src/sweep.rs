@@ -1,7 +1,9 @@
 //! Workload setup and memory-ratio sweeps.
 
 use gamma_core::query::{Algorithm, JoinSite, JoinSpec, OverflowPolicy};
-use gamma_core::{run_join, JoinReport, Machine, MachineConfig, RelationId};
+use gamma_core::{
+    run_join, ExecConfig, JoinReport, Machine, MachineConfig, RelationId, WorkerPool,
+};
 use gamma_des::TimingModel;
 use gamma_wisconsin::{
     join_abprime, load_hashed, load_range, oracle_join, OracleExpect, WisconsinGen, WisconsinRow,
@@ -107,6 +109,48 @@ pub struct ExperimentPoint {
     pub report: JoinReport,
 }
 
+/// The process-wide bench dispatch pool: the engine's shared default pool
+/// with the `parallel` feature, `None` (serial dispatch) otherwise.
+pub fn bench_pool() -> Option<&'static WorkerPool> {
+    #[cfg(feature = "parallel")]
+    {
+        Some(gamma_core::exec::pool::default_pool().as_ref())
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        None
+    }
+}
+
+/// Fan independent bench tasks out on `pool`, gathering results in
+/// submission order; runs inline when `pool` is `None`, has no dedicated
+/// workers, or there is at most one item. Every task builds its own
+/// machine, so results are byte-identical to a sequential run.
+pub fn pooled_map_on<T, R>(
+    pool: Option<&WorkerPool>,
+    what: &'static str,
+    items: Vec<T>,
+    f: impl Fn(T) -> R + Sync,
+) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+{
+    match pool {
+        Some(p) if p.workers() > 0 && items.len() > 1 => p.run_ordered(what, items, |_, t| f(t)),
+        _ => items.into_iter().map(f).collect(),
+    }
+}
+
+/// [`pooled_map_on`] over the process-wide [`bench_pool`].
+pub fn pooled_map<T, R>(what: &'static str, items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+{
+    pooled_map_on(bench_pool(), what, items, f)
+}
+
 /// Declarative sweep runner.
 pub struct SweepBuilder<'a> {
     workload: &'a Workload,
@@ -122,6 +166,7 @@ pub struct SweepBuilder<'a> {
     validate: bool,
     timing: TimingModel,
     slow_disk: u64,
+    exec: ExecConfig,
 }
 
 impl<'a> SweepBuilder<'a> {
@@ -141,7 +186,17 @@ impl<'a> SweepBuilder<'a> {
             validate: true,
             timing: TimingModel::default(),
             slow_disk: 1,
+            exec: ExecConfig::auto(),
         }
+    }
+
+    /// Pin the executor every measured machine runs on (default:
+    /// [`ExecConfig::auto`] — the shared pool with the `parallel` feature,
+    /// serial otherwise). The same configuration's pool also dispatches
+    /// the sweep's independent points.
+    pub fn exec(mut self, exec: ExecConfig) -> Self {
+        self.exec = exec;
+        self
     }
 
     /// Select the phase-timing model (default: queued device requests).
@@ -241,9 +296,10 @@ impl<'a> SweepBuilder<'a> {
         d.rand_read_us *= self.slow_disk;
         d.seq_write_us *= self.slow_disk;
         d.rand_write_us *= self.slow_disk;
-        let (machine, a, bprime) =
+        let (mut machine, a, bprime) =
             self.workload
                 .machine_with(cfg, self.style, &self.inner_attr, &self.outer_attr);
+        machine.exec = self.exec.clone();
         let inner_bytes = machine.relation(bprime).data_bytes;
         // ceil keeps 1/N ratios mapping to exactly N buckets despite
         // floating-point truncation.
@@ -307,10 +363,11 @@ impl<'a> SweepBuilder<'a> {
         self.measure(&mut machine, &spec, algorithm, ratio)
     }
 
-    /// Run several algorithms across several ratios. With the `parallel`
-    /// feature, points are measured on scoped worker threads — each
-    /// builds its own machine, so virtual times are bit-identical to a
-    /// sequential run.
+    /// Run several algorithms across several ratios. When the builder's
+    /// [`ExecConfig`] carries a pool with dedicated workers, the
+    /// independent points are dispatched onto it and gathered in
+    /// submission order — each builds its own machine, so virtual times
+    /// are bit-identical to a sequential run.
     pub fn run(&self, algorithms: &[Algorithm], ratios: &[f64]) -> Vec<ExperimentPoint> {
         let points: Vec<(Algorithm, f64)> = algorithms
             .iter()
@@ -319,39 +376,13 @@ impl<'a> SweepBuilder<'a> {
         self.run_points(points)
     }
 
-    #[cfg(not(feature = "parallel"))]
     fn run_points(&self, points: Vec<(Algorithm, f64)>) -> Vec<ExperimentPoint> {
-        points
-            .into_iter()
-            .map(|(alg, r)| self.run_one(alg, r))
-            .collect()
-    }
-
-    #[cfg(feature = "parallel")]
-    fn run_points(&self, points: Vec<(Algorithm, f64)>) -> Vec<ExperimentPoint> {
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(points.len().max(1));
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let mut out: Vec<Option<ExperimentPoint>> = (0..points.len()).map(|_| None).collect();
-        let slots: Vec<std::sync::Mutex<&mut Option<ExperimentPoint>>> =
-            out.iter_mut().map(std::sync::Mutex::new).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    let Some(&(alg, r)) = points.get(i) else {
-                        break;
-                    };
-                    **slots[i].lock().unwrap() = Some(self.run_one(alg, r));
-                });
-            }
-        });
-        drop(slots);
-        out.into_iter()
-            .map(|p| p.expect("point measured"))
-            .collect()
+        pooled_map_on(
+            self.exec.pool.as_deref(),
+            "sweep point",
+            points,
+            |(alg, r)| self.run_one(alg, r),
+        )
     }
 }
 

@@ -42,7 +42,25 @@ pub fn trace_join(
     ratio: f64,
     filtered: bool,
 ) -> TracedRun {
-    let builder = SweepBuilder::new(workload).filtered(filtered);
+    trace_join_with(
+        workload,
+        algorithm,
+        ratio,
+        filtered,
+        gamma_core::ExecConfig::auto(),
+    )
+}
+
+/// [`trace_join`] on an explicit executor (serial-vs-pooled trace
+/// comparisons pin one machine to each).
+pub fn trace_join_with(
+    workload: &Workload,
+    algorithm: Algorithm,
+    ratio: f64,
+    filtered: bool,
+    exec: gamma_core::ExecConfig,
+) -> TracedRun {
+    let builder = SweepBuilder::new(workload).filtered(filtered).exec(exec);
     // Install the sink only after the workload is loaded: load-time I/O is
     // not part of the measured query and must not appear in the trace.
     let (mut machine, spec) = builder.prepare(algorithm, ratio);

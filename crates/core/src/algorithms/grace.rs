@@ -94,13 +94,20 @@ fn bucket_form(
     run_step(
         machine,
         &mut ledgers,
+        "bucket-form",
         &disk_nodes,
         &mut states,
         |ctx, (file, shard)| {
-            for rec in scan::scan_fragment(ctx.cost, ctx.state, ctx.ledger, *file, pred) {
+            let recs = scan::scan_fragment(ctx, *file, pred);
+            // Pure per-tuple routing, chunked on the pool; charges, filter
+            // updates and sends replay in record order below.
+            let routed = ctx.par_map(&recs, |rec| {
+                let val = attr.get(rec);
+                (val, part.route(hash_u32(JOIN_SEED, val)))
+            });
+            for (rec, (val, route)) in recs.into_iter().zip(routed) {
                 ctx.charge(ctx.cost.hash_us + ctx.cost.route_us);
-                let val = attr.get(&rec);
-                match part.route(hash_u32(JOIN_SEED, val)) {
+                match route {
                     Route::Spool { node: dst, bucket } => {
                         if let Some(shard) = shard {
                             ctx.charge(ctx.cost.filter_set_us);
@@ -222,14 +229,17 @@ pub(super) fn join_bucket_group(
         run_step(
             machine,
             &mut ledgers,
+            "build bucket",
             &disk_nodes,
             &mut r_states,
             |ctx, files| {
                 for &file in files.iter() {
-                    for rec in scan::scan_fragment(ctx.cost, ctx.state, ctx.ledger, file, None) {
-                        let val = rz.r_attr.get(&rec);
+                    let recs = scan::scan_fragment(ctx, file, None);
+                    let routed = ctx.par_map(&recs, |rec| {
+                        jt.site_index(hash_u32(JOIN_SEED, rz.r_attr.get(rec)))
+                    });
+                    for (rec, i) in recs.into_iter().zip(routed) {
                         ctx.charge(ctx.cost.hash_us + ctx.cost.route_us);
-                        let i = jt.site_index(hash_u32(JOIN_SEED, val));
                         ctx.send(rz.join_nodes[i], TAG_BUILD | i as u32, rec);
                     }
                 }
@@ -257,14 +267,18 @@ pub(super) fn join_bucket_group(
         run_step(
             machine,
             &mut ledgers,
+            "probe bucket",
             &disk_nodes,
             &mut s_states,
             |ctx, files| {
                 for &file in files.iter() {
-                    for rec in scan::scan_fragment(ctx.cost, ctx.state, ctx.ledger, file, None) {
-                        let val = rz.s_attr.get(&rec);
+                    let recs = scan::scan_fragment(ctx, file, None);
+                    let routed = ctx.par_map(&recs, |rec| {
+                        let val = rz.s_attr.get(rec);
+                        (val, jt.site_index(hash_u32(JOIN_SEED, val)))
+                    });
+                    for (rec, (val, i)) in recs.into_iter().zip(routed) {
                         ctx.charge(ctx.cost.hash_us + ctx.cost.route_us);
-                        let i = jt.site_index(hash_u32(JOIN_SEED, val));
                         // Filter before the overflow check: the site's filter
                         // covers every inner tuple that arrived there (bits
                         // are set on arrival, before residency is decided), so

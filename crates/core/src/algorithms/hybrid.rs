@@ -81,13 +81,19 @@ pub fn run(machine: &mut Machine, rz: &Resolved) -> DriverOutput {
         run_step(
             machine,
             &mut ledgers,
+            "partition R",
             &disk_nodes,
             &mut r_states,
             |ctx, (file, shard)| {
-                for rec in scan::scan_fragment(ctx.cost, ctx.state, ctx.ledger, *file, rz.r_pred) {
-                    let val = rz.r_attr.get(&rec);
+                let recs = scan::scan_fragment(ctx, *file, rz.r_pred);
+                // Pure per-tuple hashing, chunked on the pool; charges,
+                // filter updates and sends replay in record order below.
+                let routed = ctx.par_map(&recs, |rec| {
+                    let val = rz.r_attr.get(rec);
+                    (val, hash_u32(JOIN_SEED, val))
+                });
+                for (rec, (val, h)) in recs.into_iter().zip(routed) {
                     ctx.charge(ctx.cost.hash_us + ctx.cost.route_us);
-                    let h = hash_u32(JOIN_SEED, val);
                     match part.route(h) {
                         Route::Join { node: dst } => {
                             let i = part.join_site_index(h);
@@ -143,13 +149,17 @@ pub fn run(machine: &mut Machine, rz: &Resolved) -> DriverOutput {
         run_step(
             machine,
             &mut ledgers,
+            "partition S",
             &disk_nodes,
             &mut s_states,
             |ctx, f| {
-                for rec in scan::scan_fragment(ctx.cost, ctx.state, ctx.ledger, *f, rz.s_pred) {
-                    let val = rz.s_attr.get(&rec);
+                let recs = scan::scan_fragment(ctx, *f, rz.s_pred);
+                let routed = ctx.par_map(&recs, |rec| {
+                    let val = rz.s_attr.get(rec);
+                    (val, hash_u32(JOIN_SEED, val))
+                });
+                for (rec, (val, h)) in recs.into_iter().zip(routed) {
                     ctx.charge(ctx.cost.hash_us + ctx.cost.route_us);
-                    let h = hash_u32(JOIN_SEED, val);
                     match part.route(h) {
                         Route::Join { node: dst } => {
                             let i = part.join_site_index(h);

@@ -51,13 +51,18 @@ pub fn run(machine: &mut Machine, rz: &Resolved) -> DriverOutput {
         run_step(
             machine,
             &mut ledgers,
+            "build R",
             &disk_nodes,
             &mut r_frags,
             |ctx, f| {
-                for rec in scan::scan_fragment(ctx.cost, ctx.state, ctx.ledger, *f, rz.r_pred) {
-                    let val = rz.r_attr.get(&rec);
+                let recs = scan::scan_fragment(ctx, *f, rz.r_pred);
+                // Pure per-tuple routing, chunked on the pool; charges and
+                // sends replay in record order below.
+                let routed = ctx.par_map(&recs, |rec| {
+                    jt.site_index(hash_u32(JOIN_SEED, rz.r_attr.get(rec)))
+                });
+                for (rec, i) in recs.into_iter().zip(routed) {
                     ctx.charge(ctx.cost.hash_us + ctx.cost.route_us);
-                    let i = jt.site_index(hash_u32(JOIN_SEED, val));
                     ctx.send(rz.join_nodes[i], TAG_BUILD | i as u32, rec);
                 }
             },
@@ -81,13 +86,17 @@ pub fn run(machine: &mut Machine, rz: &Resolved) -> DriverOutput {
         run_step(
             machine,
             &mut ledgers,
+            "probe S",
             &disk_nodes,
             &mut s_frags,
             |ctx, f| {
-                for rec in scan::scan_fragment(ctx.cost, ctx.state, ctx.ledger, *f, rz.s_pred) {
-                    let val = rz.s_attr.get(&rec);
+                let recs = scan::scan_fragment(ctx, *f, rz.s_pred);
+                let routed = ctx.par_map(&recs, |rec| {
+                    let val = rz.s_attr.get(rec);
+                    (val, jt.site_index(hash_u32(JOIN_SEED, val)))
+                });
+                for (rec, (val, i)) in recs.into_iter().zip(routed) {
                     ctx.charge(ctx.cost.hash_us + ctx.cost.route_us);
-                    let i = jt.site_index(hash_u32(JOIN_SEED, val));
                     // Filter before the overflow check: the site's filter
                     // covers every inner tuple that arrived there (bits are
                     // set on arrival, before residency is decided), so

@@ -71,33 +71,45 @@ fn partition(
     {
         let jt = &jt;
         let test_filters: Option<&[Option<BitFilter>]> = (!build_filters).then_some(&*filters);
-        run_step(machine, &mut ledgers, &disk_nodes, &mut states, |ctx, f| {
-            for rec in scan::scan_fragment(ctx.cost, ctx.state, ctx.ledger, *f, pred) {
-                let val = attr.get(&rec);
-                ctx.charge(ctx.cost.hash_us + ctx.cost.route_us);
-                let i = jt.site_index(hash_u32(JOIN_SEED, val));
-                if let Some(filters) = test_filters {
-                    // Outer partitioning: test the destination site's
-                    // filter at the source before spending network/disk on
-                    // the tuple.
-                    if let Some(f) = &filters[i] {
-                        ctx.charge(ctx.cost.filter_test_us);
-                        if !f.test(val) {
-                            ctx.ledger.counts.filter_drops += 1;
-                            #[cfg(feature = "metrics")]
-                            gamma_metrics::counter_add(
-                                "filter_drops",
-                                ctx.node as u16,
-                                "sortmerge",
-                                1,
-                            );
-                            continue;
+        run_step(
+            machine,
+            &mut ledgers,
+            "partition",
+            &disk_nodes,
+            &mut states,
+            |ctx, f| {
+                let recs = scan::scan_fragment(ctx, *f, pred);
+                // Pure per-tuple routing, chunked on the pool; charges, filter
+                // tests and sends replay in record order below.
+                let routed = ctx.par_map(&recs, |rec| {
+                    let val = attr.get(rec);
+                    (val, jt.site_index(hash_u32(JOIN_SEED, val)))
+                });
+                for (rec, (val, i)) in recs.into_iter().zip(routed) {
+                    ctx.charge(ctx.cost.hash_us + ctx.cost.route_us);
+                    if let Some(filters) = test_filters {
+                        // Outer partitioning: test the destination site's
+                        // filter at the source before spending network/disk on
+                        // the tuple.
+                        if let Some(f) = &filters[i] {
+                            ctx.charge(ctx.cost.filter_test_us);
+                            if !f.test(val) {
+                                ctx.ledger.counts.filter_drops += 1;
+                                #[cfg(feature = "metrics")]
+                                gamma_metrics::counter_add(
+                                    "filter_drops",
+                                    ctx.node as u16,
+                                    "sortmerge",
+                                    1,
+                                );
+                                continue;
+                            }
                         }
                     }
+                    ctx.send(disk_nodes[i], TAG_PART, rec);
                 }
-                ctx.send(disk_nodes[i], TAG_PART, rec);
-            }
-        });
+            },
+        );
     }
     consumers.settle(machine, &mut ledgers, sink);
     let (files, back) = consumers.close_parts(machine, &mut ledgers);
@@ -146,24 +158,31 @@ fn sort_phase(
     let mut states: Vec<FileId> = disk_nodes.iter().map(|&n| temp[n]).collect();
     let runs = {
         let key = &key;
-        run_step(machine, &mut ledgers, &disk_nodes, &mut states, |ctx, f| {
-            #[cfg(feature = "trace")]
-            gamma_trace::emit(
-                ctx.node as u16,
-                ctx.ledger.total_demand().as_us(),
-                gamma_trace::EventKind::SpanBegin { name: "sort" },
-            );
-            let (vol, pool) = ctx.state.vp();
-            let (sorted, _stats) =
-                external_sort(vol, pool, *f, key, cfg, &ctx.cost.sort, ctx.ledger);
-            #[cfg(feature = "trace")]
-            gamma_trace::emit(
-                ctx.node as u16,
-                ctx.ledger.total_demand().as_us(),
-                gamma_trace::EventKind::SpanEnd { name: "sort" },
-            );
-            sorted
-        })
+        run_step(
+            machine,
+            &mut ledgers,
+            "sort",
+            &disk_nodes,
+            &mut states,
+            |ctx, f| {
+                #[cfg(feature = "trace")]
+                gamma_trace::emit(
+                    ctx.node as u16,
+                    ctx.ledger.total_demand().as_us(),
+                    gamma_trace::EventKind::SpanBegin { name: "sort" },
+                );
+                let (vol, pool) = ctx.state.vp();
+                let (sorted, _stats) =
+                    external_sort(vol, pool, *f, key, cfg, &ctx.cost.sort, ctx.ledger);
+                #[cfg(feature = "trace")]
+                gamma_trace::emit(
+                    ctx.node as u16,
+                    ctx.ledger.total_demand().as_us(),
+                    gamma_trace::EventKind::SpanEnd { name: "sort" },
+                );
+                sorted
+            },
+        )
     };
     // Free the unsorted temp files.
     for &node in &disk_nodes {
@@ -301,6 +320,7 @@ pub fn run(machine: &mut Machine, rz: &Resolved) -> DriverOutput {
     run_step(
         machine,
         &mut ledgers,
+        "merge join",
         &disk_nodes,
         &mut states,
         |ctx, &mut (rr, sr)| {

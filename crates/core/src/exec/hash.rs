@@ -30,6 +30,7 @@
 use std::collections::BTreeMap;
 
 use gamma_des::SimTime;
+use gamma_net::Msg;
 use gamma_wiss::{FileId, HeapWriter};
 
 use crate::bitfilter::BitFilter;
@@ -79,6 +80,26 @@ struct SiteCore {
     s_attr: Attr,
 }
 
+/// The pure outcome of probing one outer tuple against a frozen site
+/// table: the chain-compare count and the composed `R ‖ S` matches.
+struct ProbeOut {
+    compares: u64,
+    composed: Vec<Vec<u8>>,
+}
+
+impl SiteCore {
+    /// Probe one outer tuple against this site without touching any
+    /// mutable state — safe to run on any worker, in any order.
+    fn probe_pure(&self, tuple: &[u8]) -> ProbeOut {
+        let val = self.s_attr.get(tuple);
+        let (matches, compares) = self.table.probe(val);
+        ProbeOut {
+            compares,
+            composed: matches.iter().map(|m| compose(m, tuple)).collect(),
+        }
+    }
+}
+
 /// A sort-merge partition sink at one disk node: incoming tuples are
 /// appended to the node's temp file; in filter-building mode the site's
 /// bit filter is set as they arrive.
@@ -105,10 +126,12 @@ pub struct JoinNode {
 impl JoinNode {
     /// Drain this node's inbox and apply every delivered message.
     fn absorb_step(&mut self, ctx: &mut StepCtx<'_>) {
-        for m in ctx.drain() {
+        let msgs = ctx.drain();
+        let probes = self.precomputed_probes(ctx, &msgs);
+        for (m, pre) in msgs.into_iter().zip(probes) {
             match m.tag & TAG_KIND {
                 TAG_BUILD => self.on_build(ctx, tag_arg(m.tag), m.payload),
-                TAG_PROBE => self.on_probe(ctx, tag_arg(m.tag), m.payload),
+                TAG_PROBE => self.on_probe(ctx, tag_arg(m.tag), m.payload, pre),
                 TAG_SPOOL_R | TAG_SPOOL_S => self.on_spool(ctx, m.tag, &m.payload),
                 TAG_BUCKET => self.on_bucket(ctx, m.tag, &m.payload),
                 TAG_PART => self.on_part(ctx, &m.payload),
@@ -116,6 +139,25 @@ impl JoinNode {
                 other => panic!("node {} got unknown stream tag {other:#x}", ctx.node),
             }
         }
+    }
+
+    /// Chunk this batch's probe work across the pool: when the batch holds
+    /// no build traffic the site's table is frozen for the whole drain, so
+    /// each probe's chain walk and match composition are pure functions of
+    /// the payload and can be precomputed in tuple-range chunks
+    /// ([`StepCtx::par_map`]). The replay in [`Self::absorb_step`] then
+    /// applies charges, counts, trace events and result sends in arrival
+    /// order — byte-identical to probing inline. Batches that interleave
+    /// builds (which mutate the table) precompute nothing.
+    fn precomputed_probes(&self, ctx: &StepCtx<'_>, msgs: &[Msg]) -> Vec<Option<ProbeOut>> {
+        let mutates = msgs.iter().any(|m| m.tag & TAG_KIND == TAG_BUILD);
+        let site = match &self.site {
+            Some(site) if !mutates => site,
+            _ => return msgs.iter().map(|_| None).collect(),
+        };
+        ctx.par_map(msgs, |m| {
+            (m.tag & TAG_KIND == TAG_PROBE).then(|| site.probe_pure(&m.payload))
+        })
     }
 
     /// Build stage: insert one inner tuple, handling hash-table overflow —
@@ -176,14 +218,16 @@ impl JoinNode {
     }
 
     /// Probe stage: matches are composed `R ‖ S` and dealt to the store
-    /// operators as result messages.
-    fn on_probe(&mut self, ctx: &mut StepCtx<'_>, i: usize, tuple: Vec<u8>) {
-        let site = self.site.as_mut().expect("probe tuple at a join site");
+    /// operators as result messages. `pre` carries the chunk-precomputed
+    /// pure outcome when [`Self::precomputed_probes`] ran; the outcome is
+    /// identical either way, the charges and sends happen here in arrival
+    /// order regardless.
+    fn on_probe(&mut self, ctx: &mut StepCtx<'_>, i: usize, tuple: Vec<u8>, pre: Option<ProbeOut>) {
+        let site = self.site.as_ref().expect("probe tuple at a join site");
         debug_assert_eq!(site.index, i, "probe tuple routed to the wrong site");
-        let val = site.s_attr.get(&tuple);
+        let ProbeOut { compares, composed } = pre.unwrap_or_else(|| site.probe_pure(&tuple));
         ctx.ledger.counts.tuples_in += 1;
         ctx.ledger.counts.hash_probes += 1;
-        let (matches, compares) = site.table.probe(val);
         ctx.charge(ctx.cost.probe_us + ctx.cost.chain_compare_us * compares);
         ctx.ledger.counts.comparisons += compares;
         #[cfg(feature = "metrics")]
@@ -198,10 +242,9 @@ impl JoinNode {
             ctx.node as u16,
             ctx.ledger.total_demand().as_us(),
             gamma_trace::EventKind::HashProbe {
-                matched: !matches.is_empty(),
+                matched: !composed.is_empty(),
             },
         );
-        let composed: Vec<Vec<u8>> = matches.iter().map(|m| compose(m, &tuple)).collect();
         for out in composed {
             ctx.charge(ctx.cost.compose_us);
             ctx.ledger.counts.tuples_out += 1;
@@ -531,9 +574,14 @@ impl Consumers {
         for n in 0..d {
             self.nodes[n].store = Some(sink.take_writer(n));
         }
-        run_step(machine, ledgers, &self.all, &mut self.nodes, |ctx, jn| {
-            jn.absorb_step(ctx)
-        });
+        run_step(
+            machine,
+            ledgers,
+            "absorb",
+            &self.all,
+            &mut self.nodes,
+            |ctx, jn| jn.absorb_step(ctx),
+        );
         for n in 0..d {
             sink.put_writer(n, self.nodes[n].store.take().expect("store writer"));
         }
@@ -695,16 +743,24 @@ pub fn resolve_overflows(
         // ---- build pass over the aggregate R' ----
         let mut ledgers = machine.ledgers();
         let (homes, mut r_files) = group_files(&pairs, |p| p.r);
-        run_step(machine, &mut ledgers, &homes, &mut r_files, |ctx, files| {
-            for &file in files.iter() {
-                for rec in ctx.read_records(file) {
-                    ctx.charge(ctx.cost.scan_tuple_us + ctx.cost.hash_us + ctx.cost.route_us);
-                    let val = r_attr.get(&rec);
-                    let i = (hash_u32(seed, val) % j) as usize;
-                    ctx.send(join_nodes[i], TAG_BUILD | i as u32, rec);
+        run_step(
+            machine,
+            &mut ledgers,
+            "overflow build R'",
+            &homes,
+            &mut r_files,
+            |ctx, files| {
+                for &file in files.iter() {
+                    let recs = ctx.read_records(file);
+                    let routed =
+                        ctx.par_map(&recs, |rec| (hash_u32(seed, r_attr.get(rec)) % j) as usize);
+                    for (rec, i) in recs.into_iter().zip(routed) {
+                        ctx.charge(ctx.cost.scan_tuple_us + ctx.cost.hash_us + ctx.cost.route_us);
+                        ctx.send(join_nodes[i], TAG_BUILD | i as u32, rec);
+                    }
                 }
-            }
-        });
+            },
+        );
         consumers.settle(machine, &mut ledgers, sink);
         let sched = control::dispatch_overhead(machine, &mut ledgers, env.join_nodes, 0);
         phases.push(crate::report::PhaseRecord::new(
@@ -721,25 +777,37 @@ pub fn resolve_overflows(
         {
             let sites = &sites;
             let snap = &snap;
-            run_step(machine, &mut ledgers, &homes, &mut s_files, |ctx, files| {
-                for &file in files.iter() {
-                    for rec in ctx.read_records(file) {
-                        ctx.charge(ctx.cost.scan_tuple_us + ctx.cost.hash_us + ctx.cost.route_us);
-                        let val = s_attr.get(&rec);
-                        let i = (hash_u32(seed, val) % j) as usize;
-                        // Filter before the overflow check — safe because
-                        // filter bits are set for every arriving inner
-                        // tuple (§4.2).
-                        if snap.filter_drops(ctx, i, val) {
-                            // dropped at the source
-                        } else if snap.outer_diverts(i, val) {
-                            ctx.send(sites.home(i), TAG_SPOOL_S | i as u32, rec);
-                        } else {
-                            ctx.send(join_nodes[i], TAG_PROBE | i as u32, rec);
+            run_step(
+                machine,
+                &mut ledgers,
+                "overflow probe S'",
+                &homes,
+                &mut s_files,
+                |ctx, files| {
+                    for &file in files.iter() {
+                        let recs = ctx.read_records(file);
+                        let routed = ctx.par_map(&recs, |rec| {
+                            let val = s_attr.get(rec);
+                            (val, (hash_u32(seed, val) % j) as usize)
+                        });
+                        for (rec, (val, i)) in recs.into_iter().zip(routed) {
+                            ctx.charge(
+                                ctx.cost.scan_tuple_us + ctx.cost.hash_us + ctx.cost.route_us,
+                            );
+                            // Filter before the overflow check — safe because
+                            // filter bits are set for every arriving inner
+                            // tuple (§4.2).
+                            if snap.filter_drops(ctx, i, val) {
+                                // dropped at the source
+                            } else if snap.outer_diverts(i, val) {
+                                ctx.send(sites.home(i), TAG_SPOOL_S | i as u32, rec);
+                            } else {
+                                ctx.send(join_nodes[i], TAG_PROBE | i as u32, rec);
+                            }
                         }
                     }
-                }
-            });
+                },
+            );
         }
         consumers.settle(machine, &mut ledgers, sink);
         let next = take_overflows(machine, &mut ledgers, &mut consumers, &sites);
@@ -873,13 +941,20 @@ mod tests {
         let mut frags = m.relation(rid).fragments.clone();
         {
             let join_nodes = &join_nodes;
-            run_step(&mut m, &mut ledgers, &participants, &mut frags, |ctx, f| {
-                for rec in ctx.read_records(*f) {
-                    let val = attr.get(&rec);
-                    let i = (hash_u32(JOIN_SEED, val) % j) as usize;
-                    ctx.send(join_nodes[i], TAG_BUILD | i as u32, rec);
-                }
-            });
+            run_step(
+                &mut m,
+                &mut ledgers,
+                "build",
+                &participants,
+                &mut frags,
+                |ctx, f| {
+                    for rec in ctx.read_records(*f) {
+                        let val = attr.get(&rec);
+                        let i = (hash_u32(JOIN_SEED, val) % j) as usize;
+                        ctx.send(join_nodes[i], TAG_BUILD | i as u32, rec);
+                    }
+                },
+            );
         }
         consumers.settle(&mut m, &mut ledgers, &mut sink);
 
@@ -890,17 +965,24 @@ mod tests {
             let join_nodes = &join_nodes;
             let sites = &sites;
             let snap = &snap;
-            run_step(&mut m, &mut ledgers, &participants, &mut frags, |ctx, f| {
-                for rec in ctx.read_records(*f) {
-                    let val = attr.get(&rec);
-                    let i = (hash_u32(JOIN_SEED, val) % j) as usize;
-                    if snap.outer_diverts(i, val) {
-                        ctx.send(sites.home(i), TAG_SPOOL_S | i as u32, rec);
-                    } else {
-                        ctx.send(join_nodes[i], TAG_PROBE | i as u32, rec);
+            run_step(
+                &mut m,
+                &mut ledgers,
+                "probe",
+                &participants,
+                &mut frags,
+                |ctx, f| {
+                    for rec in ctx.read_records(*f) {
+                        let val = attr.get(&rec);
+                        let i = (hash_u32(JOIN_SEED, val) % j) as usize;
+                        if snap.outer_diverts(i, val) {
+                            ctx.send(sites.home(i), TAG_SPOOL_S | i as u32, rec);
+                        } else {
+                            ctx.send(join_nodes[i], TAG_PROBE | i as u32, rec);
+                        }
                     }
-                }
-            });
+                },
+            );
         }
         consumers.settle(&mut m, &mut ledgers, &mut sink);
         let pairs = take_overflows(&mut m, &mut ledgers, &mut consumers, &sites);
@@ -961,35 +1043,49 @@ mod tests {
         let participants = [0usize];
         {
             let join_nodes = &join_nodes;
-            run_step(&mut m, &mut ledgers, &participants, &mut [()], |ctx, _| {
-                for k in 0..300u32 {
-                    let rec = mk(&schema(), k);
-                    let i = (hash_u32(JOIN_SEED, k) % 8) as usize;
-                    ctx.send(join_nodes[i], TAG_BUILD | i as u32, rec);
-                }
-            });
+            run_step(
+                &mut m,
+                &mut ledgers,
+                "build",
+                &participants,
+                &mut [()],
+                |ctx, _| {
+                    for k in 0..300u32 {
+                        let rec = mk(&schema(), k);
+                        let i = (hash_u32(JOIN_SEED, k) % 8) as usize;
+                        ctx.send(join_nodes[i], TAG_BUILD | i as u32, rec);
+                    }
+                },
+            );
         }
         consumers.settle(&mut m, &mut ledgers, &mut sink);
         let snap = consumers.probe_snapshot(&sites);
         let (kept, dropped) = {
             let join_nodes = &join_nodes;
             let snap = &snap;
-            run_step(&mut m, &mut ledgers, &participants, &mut [()], |ctx, _| {
-                let mut kept = 0u32;
-                let mut dropped = 0u32;
-                for k in 0..3000u32 {
-                    let rec = mk(&schema(), k);
-                    let i = (hash_u32(JOIN_SEED, k) % 8) as usize;
-                    if snap.filter_drops(ctx, i, k) {
-                        dropped += 1;
-                        assert!(k >= 300, "a joining tuple was filtered!");
-                    } else {
-                        kept += 1;
-                        ctx.send(join_nodes[i], TAG_PROBE | i as u32, rec);
+            run_step(
+                &mut m,
+                &mut ledgers,
+                "probe",
+                &participants,
+                &mut [()],
+                |ctx, _| {
+                    let mut kept = 0u32;
+                    let mut dropped = 0u32;
+                    for k in 0..3000u32 {
+                        let rec = mk(&schema(), k);
+                        let i = (hash_u32(JOIN_SEED, k) % 8) as usize;
+                        if snap.filter_drops(ctx, i, k) {
+                            dropped += 1;
+                            assert!(k >= 300, "a joining tuple was filtered!");
+                        } else {
+                            kept += 1;
+                            ctx.send(join_nodes[i], TAG_PROBE | i as u32, rec);
+                        }
                     }
-                }
-                (kept, dropped)
-            })[0]
+                    (kept, dropped)
+                },
+            )[0]
         };
         consumers.settle(&mut m, &mut ledgers, &mut sink);
         assert!(dropped > 1500, "filter should drop most non-joining tuples");

@@ -12,10 +12,10 @@
 //!   messages (hash-table inserts/probes, spool stores, result stores).
 //!
 //! Because a worker only ever touches its own node's state and its own
-//! outbox, the steps of one wave are independent: with the `parallel`
-//! feature each step fans the per-node closures out to OS threads and
-//! joins them at the step boundary. Determinism is preserved by
-//! construction —
+//! outbox, the steps of one wave are independent: each step dispatches
+//! the per-node closures onto the machine's persistent [`pool`] (workers
+//! spawned once, reused across waves, phases and queries) and joins them
+//! at the step boundary. Determinism is preserved by construction —
 //!
 //! * virtual-time charges accumulate into per-node ledgers that only the
 //!   node's own worker writes; phase totals are sums, independent of
@@ -24,7 +24,14 @@
 //!   identical message sequences regardless of producer interleaving,
 //! * trace events emitted by a worker are captured in a thread-local sink
 //!   and re-emitted into the main sink in node order at the join point,
-//!   reproducing the serial emission order byte for byte.
+//!   reproducing the serial emission order byte for byte,
+//! * intra-node chunking ([`StepCtx::par_map`]) fans out only *pure*
+//!   per-tuple computation; every effect (charge, send, trace event) is
+//!   replayed sequentially in input order by the node's own worker.
+//!
+//! Which executor runs is a per-machine [`ExecConfig`] — there is no
+//! process-global switch, so tests comparing serial and pooled runs in
+//! one process cannot cross-talk.
 //!
 //! The stage library lives in the submodules: [`scan`] (fragment scans),
 //! [`hash`] (split/build/probe/spill consumers and overflow resolution),
@@ -32,7 +39,10 @@
 
 pub mod control;
 pub mod hash;
+pub mod pool;
 pub mod scan;
+
+use std::sync::Arc;
 
 use gamma_des::Usage;
 use gamma_net::{Inbox, Msg, Outbox};
@@ -41,29 +51,45 @@ use gamma_wiss::{FileId, HeapScan, HeapWriter};
 use crate::cost::CostModel;
 use crate::machine::{Ledgers, Machine, NodeId, NodeState};
 
-/// Runtime switch for the threaded executor (only meaningful with the
-/// `parallel` feature; the serial path is always available and is the
-/// reference implementation).
-#[cfg(feature = "parallel")]
-static PARALLEL: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(true);
-
-/// Enable or disable the threaded executor at runtime. Tests flip this to
-/// compare the two paths inside one process.
-#[cfg(feature = "parallel")]
-pub fn set_parallel(on: bool) {
-    PARALLEL.store(on, std::sync::atomic::Ordering::SeqCst);
+/// Per-run executor configuration, carried by each
+/// [`Machine`](crate::machine::Machine).
+#[derive(Clone, Default)]
+pub struct ExecConfig {
+    /// Worker pool running step fan-out and intra-node chunking. `None` —
+    /// or a pool with zero dedicated workers (size 1) — is the serial
+    /// reference executor.
+    pub pool: Option<Arc<pool::WorkerPool>>,
 }
 
-/// True when steps fan out to per-node worker threads.
-#[cfg(feature = "parallel")]
-pub fn parallel_enabled() -> bool {
-    PARALLEL.load(std::sync::atomic::Ordering::SeqCst)
-}
+impl ExecConfig {
+    /// The serial reference executor: no pool, no threads.
+    pub fn serial() -> Self {
+        ExecConfig { pool: None }
+    }
 
-/// Without the `parallel` feature every step runs serially.
-#[cfg(not(feature = "parallel"))]
-pub fn parallel_enabled() -> bool {
-    false
+    /// Run on `pool` (size 1 degenerates to the serial path).
+    pub fn pooled(pool: Arc<pool::WorkerPool>) -> Self {
+        ExecConfig { pool: Some(pool) }
+    }
+
+    /// The build's default: the shared process-wide pool with the
+    /// `parallel` feature (sized by [`pool::configured_size`]), serial
+    /// otherwise.
+    pub fn auto() -> Self {
+        #[cfg(feature = "parallel")]
+        {
+            ExecConfig::pooled(Arc::clone(pool::default_pool()))
+        }
+        #[cfg(not(feature = "parallel"))]
+        {
+            ExecConfig::serial()
+        }
+    }
+
+    /// Concurrent lanes this configuration runs steps on (1 = serial).
+    pub fn lanes(&self) -> usize {
+        self.pool.as_ref().map_or(1, |p| p.size())
+    }
 }
 
 /// Everything one node's operator instance may touch during a step.
@@ -78,6 +104,7 @@ pub struct StepCtx<'a> {
     pub ledger: &'a mut Usage,
     outbox: &'a mut Outbox,
     inbox: Option<Inbox>,
+    pool: Option<&'a pool::WorkerPool>,
 }
 
 impl StepCtx<'_> {
@@ -107,6 +134,24 @@ impl StepCtx<'_> {
     pub fn read_records(&mut self, file: FileId) -> Vec<Vec<u8>> {
         let (vol, pool) = self.state.vp();
         HeapScan::open(vol, file).collect_all(pool, self.ledger)
+    }
+
+    /// Map a **pure** function over `items` in fixed tuple-range chunks on
+    /// the machine's worker pool (inline when serial, or when the batch is
+    /// too small to be worth splitting). Results come back in input order,
+    /// so the caller replays every effect — ledger charges, sends, trace
+    /// and metrics events — sequentially in input order, and chunking can
+    /// never change an artifact byte.
+    ///
+    /// `f` must be pure: it runs outside this node's ledger context,
+    /// possibly on another worker thread, so it must not charge, send, or
+    /// emit trace/metrics events.
+    pub fn par_map<T, R>(&self, items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+    {
+        pool::map_chunks(self.pool, items, f)
     }
 
     /// End-of-step bookkeeping: the operator must have drained its inbox,
@@ -152,15 +197,18 @@ struct Bundle<'a, S> {
 /// participant with exclusive access to that node's state, ledger and
 /// exchange endpoints. `participants` must be strictly ascending;
 /// `states` supplies one per-node operator state per participant, and the
-/// per-node return values come back in participant order.
+/// per-node return values come back in participant order. `stage` names
+/// the step in worker panic reports.
 ///
-/// Serially the participants run in ascending node order; with the
-/// `parallel` feature (and [`parallel_enabled`]) each participant runs on
-/// its own OS thread and the step joins them all before returning —
-/// producing byte-identical ledgers, counts and trace output.
+/// Serially the participants run in ascending node order; when the
+/// machine's [`ExecConfig`] carries a pool with dedicated workers, each
+/// participant's closure is dispatched onto the pool and the step joins
+/// them all before returning — producing byte-identical ledgers, counts
+/// and trace output.
 pub fn run_step<S, R, F>(
     machine: &mut Machine,
     ledgers: &mut Ledgers,
+    stage: &'static str,
     participants: &[NodeId],
     states: &mut [S],
     f: F,
@@ -181,9 +229,11 @@ where
         cfg,
         nodes,
         exchange,
+        exec,
         ..
     } = machine;
     let cost = &cfg.cost;
+    let pool: Option<&pool::WorkerPool> = exec.pool.as_deref().filter(|p| p.workers() > 0);
     let inboxes: Vec<Inbox> = participants
         .iter()
         .map(|&n| exchange.take_inbox(n))
@@ -209,18 +259,20 @@ where
             },
         )
         .collect();
-    #[cfg(feature = "parallel")]
-    if parallel_enabled() && bundles.len() > 1 {
-        return run_bundles_parallel(cost, bundles, &f);
+    if let Some(pool) = pool {
+        if bundles.len() > 1 {
+            return run_bundles_pooled(pool, cost, stage, bundles, &f);
+        }
     }
     bundles
         .into_iter()
-        .map(|b| run_bundle(cost, b, &f))
+        .map(|b| run_bundle(cost, pool, b, &f))
         .collect()
 }
 
 fn run_bundle<S, R>(
     cost: &CostModel,
+    pool: Option<&pool::WorkerPool>,
     b: Bundle<'_, S>,
     f: &(impl Fn(&mut StepCtx<'_>, &mut S) -> R + Sync),
 ) -> R {
@@ -231,15 +283,17 @@ fn run_bundle<S, R>(
         ledger: b.ledger,
         outbox: b.outbox,
         inbox: Some(b.inbox),
+        pool,
     };
     let r = f(&mut ctx, b.step_state);
     ctx.finish();
     r
 }
 
-#[cfg(feature = "parallel")]
-fn run_bundles_parallel<S, R>(
+fn run_bundles_pooled<S, R>(
+    pool: &pool::WorkerPool,
     cost: &CostModel,
+    stage: &'static str,
     bundles: Vec<Bundle<'_, S>>,
     f: &(impl Fn(&mut StepCtx<'_>, &mut S) -> R + Sync),
 ) -> Vec<R>
@@ -255,50 +309,74 @@ where
     // so the merged registry is identical to serial emission.
     #[cfg(feature = "metrics")]
     let metering = gamma_metrics::current_phase();
-    let outs = std::thread::scope(|scope| {
-        let handles: Vec<_> = bundles
-            .into_iter()
-            .map(|b| {
-                scope.spawn(move || {
-                    // Each worker collects its trace events privately; the
-                    // join point below replays them in node order so the
-                    // merged stream is identical to a serial run.
-                    #[cfg(feature = "trace")]
-                    if tracing {
-                        gamma_trace::install(gamma_trace::TraceSink::unbounded());
-                    }
-                    #[cfg(feature = "metrics")]
-                    if let Some(phase) = metering {
-                        gamma_metrics::install(gamma_metrics::Registry::at_phase(phase));
-                    }
-                    let r = run_bundle(cost, b, f);
-                    #[cfg(feature = "trace")]
-                    let events: Vec<(u16, u64, gamma_trace::EventKind)> = if tracing {
-                        gamma_trace::take()
-                            .map(|s| s.events().map(|e| (e.node, e.offset_us, e.kind)).collect())
-                            .unwrap_or_default()
-                    } else {
-                        Vec::new()
-                    };
-                    #[cfg(not(feature = "trace"))]
-                    let events: Vec<()> = Vec::new();
-                    #[cfg(feature = "metrics")]
-                    let registry = metering.and_then(|_| gamma_metrics::take());
-                    #[cfg(not(feature = "metrics"))]
-                    let registry = ();
-                    (r, events, registry)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| {
-                // Re-raise worker panics with their original payload so
-                // executor assertions read the same as in serial mode.
-                h.join().unwrap_or_else(|e| std::panic::resume_unwind(e))
-            })
-            .collect::<Vec<_>>()
+    let participant_nodes: Vec<NodeId> = bundles.iter().map(|b| b.node).collect();
+    let outs = pool.try_run_ordered(bundles, |_, b| {
+        // The thread running this bundle may be a pool worker or the
+        // submitting thread itself (the owner helps drain its batch), so
+        // save whatever sink was installed, collect this bundle's events
+        // privately, and restore on the way out — even across a panic, so
+        // an unwinding bundle cannot leak its private sink into the
+        // owner's thread-local slot. The join point below replays events
+        // in participant order, reproducing serial emission byte for
+        // byte.
+        #[cfg(feature = "trace")]
+        let prev_sink = if tracing {
+            gamma_trace::install(gamma_trace::TraceSink::unbounded())
+        } else {
+            None
+        };
+        #[cfg(feature = "metrics")]
+        let prev_registry = match metering {
+            Some(phase) => gamma_metrics::install(gamma_metrics::Registry::at_phase(phase)),
+            None => None,
+        };
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_bundle(cost, Some(pool), b, f)
+        }));
+        #[cfg(feature = "trace")]
+        let events: Vec<(u16, u64, gamma_trace::EventKind)> = if tracing {
+            let own = gamma_trace::take()
+                .map(|s| s.events().map(|e| (e.node, e.offset_us, e.kind)).collect())
+                .unwrap_or_default();
+            if let Some(prev) = prev_sink {
+                gamma_trace::install(prev);
+            }
+            own
+        } else {
+            Vec::new()
+        };
+        #[cfg(not(feature = "trace"))]
+        let events: Vec<()> = Vec::new();
+        #[cfg(feature = "metrics")]
+        let registry = if metering.is_some() {
+            let own = gamma_metrics::take();
+            if let Some(prev) = prev_registry {
+                gamma_metrics::install(prev);
+            }
+            own
+        } else {
+            None
+        };
+        #[cfg(not(feature = "metrics"))]
+        let registry = ();
+        match r {
+            Ok(v) => (v, events, registry),
+            // Re-raise into the pool's catch with thread-locals restored;
+            // the join point below adds stage/node context.
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
     });
+    let outs = match outs {
+        Ok(outs) => outs,
+        Err(panics) => {
+            let first = &panics[0];
+            panic!(
+                "step `{stage}` panicked at node {}: {}",
+                participant_nodes[first.index],
+                pool::panic_message(first.payload.as_ref())
+            );
+        }
+    };
     let mut results = Vec::with_capacity(outs.len());
     for (r, events, registry) in outs {
         #[cfg(feature = "trace")]
@@ -369,17 +447,31 @@ mod tests {
         let participants: Vec<NodeId> = (0..8).collect();
         // Step 1: every node sends one tuple to node (n+1) % 8.
         let mut unit = vec![(); 8];
-        run_step(&mut m, &mut ledgers, &participants, &mut unit, |ctx, _| {
-            let dst = (ctx.node + 1) % 8;
-            ctx.send(dst, 7, vec![ctx.node as u8; 64]);
-        });
+        run_step(
+            &mut m,
+            &mut ledgers,
+            "send",
+            &participants,
+            &mut unit,
+            |ctx, _| {
+                let dst = (ctx.node + 1) % 8;
+                ctx.send(dst, 7, vec![ctx.node as u8; 64]);
+            },
+        );
         assert!(!m.exchange.is_drained());
         // Step 2: every node drains exactly one message from its neighbour.
-        let got = run_step(&mut m, &mut ledgers, &participants, &mut unit, |ctx, _| {
-            let msgs = ctx.drain();
-            assert_eq!(msgs.len(), 1);
-            (msgs[0].src, msgs[0].payload[0])
-        });
+        let got = run_step(
+            &mut m,
+            &mut ledgers,
+            "drain",
+            &participants,
+            &mut unit,
+            |ctx, _| {
+                let msgs = ctx.drain();
+                assert_eq!(msgs.len(), 1);
+                (msgs[0].src, msgs[0].payload[0])
+            },
+        );
         for (n, &(src, byte)) in got.iter().enumerate() {
             assert_eq!(src, (n + 8 - 1) % 8);
             assert_eq!(byte as usize, src);
@@ -394,10 +486,24 @@ mod tests {
         let mut ledgers = m.ledgers();
         let participants: Vec<NodeId> = (0..8).collect();
         let mut unit = vec![(); 8];
-        run_step(&mut m, &mut ledgers, &participants, &mut unit, |ctx, _| {
-            ctx.send((ctx.node + 1) % 8, 7, vec![0u8; 2048]);
-        });
+        run_step(
+            &mut m,
+            &mut ledgers,
+            "send",
+            &participants,
+            &mut unit,
+            |ctx, _| {
+                ctx.send((ctx.node + 1) % 8, 7, vec![0u8; 2048]);
+            },
+        );
         // Nobody drains: the next step must notice.
-        run_step(&mut m, &mut ledgers, &participants, &mut unit, |_, _| ());
+        run_step(
+            &mut m,
+            &mut ledgers,
+            "noop",
+            &participants,
+            &mut unit,
+            |_, _| (),
+        );
     }
 }

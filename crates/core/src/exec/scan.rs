@@ -5,20 +5,33 @@
 //! [`crate::operators`] — funnels through [`scan_fragment`], so scan cost
 //! accounting (page reads, per-tuple CPU, the `scan` trace span) lives in
 //! exactly one place.
+//!
+//! Selections are chunk-parallel: predicate evaluation is pure per record,
+//! so the keep mask is precomputed on the machine's worker pool
+//! ([`pool::map_chunks`]) while page-read and per-tuple charges replay
+//! sequentially in record order — the scan's ledger, counts and trace
+//! bytes never depend on the pool size.
 
 use gamma_des::Usage;
 use gamma_wiss::{FileId, HeapScan};
 
 use crate::algorithms::common::RangePred;
 use crate::cost::CostModel;
+use crate::exec::{pool, StepCtx};
 use crate::machine::{Ledgers, Machine, NodeId, NodeState};
 
-/// Scan one stored fragment: charges page reads and per-tuple scan CPU,
-/// applies the optional selection, and returns the surviving records.
-pub fn scan_fragment(
+/// Scan one stored fragment from a step worker: charges page reads and
+/// per-tuple scan CPU, applies the optional selection, and returns the
+/// surviving records.
+pub fn scan_fragment(ctx: &mut StepCtx<'_>, file: FileId, pred: Option<RangePred>) -> Vec<Vec<u8>> {
+    scan_fragment_inner(ctx.cost, ctx.state, ctx.ledger, ctx.pool, file, pred)
+}
+
+fn scan_fragment_inner(
     cost: &CostModel,
     state: &mut NodeState,
     usage: &mut Usage,
+    pool: Option<&pool::WorkerPool>,
     file: FileId,
     pred: Option<RangePred>,
 ) -> Vec<Vec<u8>> {
@@ -35,13 +48,15 @@ pub fn scan_fragment(
         let (vol, pool) = state.vp();
         HeapScan::open(vol, file).collect_all(pool, usage)
     };
+    // Pure per-record work, chunked; effects replayed in record order below.
+    let keep: Option<Vec<bool>> = pred.map(|p| pool::map_chunks(pool, &recs, |rec| p.eval(rec)));
     let mut out = Vec::with_capacity(recs.len());
     #[cfg(feature = "metrics")]
     let scanned = recs.len() as u64;
-    for rec in recs {
+    for (k, rec) in recs.into_iter().enumerate() {
         cost.charge(usage, cost.scan_tuple_us);
         usage.counts.tuples_in += 1;
-        if pred.is_none_or(|p| p.eval(&rec)) {
+        if keep.as_ref().is_none_or(|mask| mask[k]) {
             out.push(rec);
         }
     }
@@ -67,8 +82,17 @@ pub fn scan_fragment_at(
     file: FileId,
     pred: Option<RangePred>,
 ) -> Vec<Vec<u8>> {
-    let Machine { cfg, nodes, .. } = machine;
-    scan_fragment(&cfg.cost, &mut nodes[node], &mut ledgers[node], file, pred)
+    let Machine {
+        cfg, nodes, exec, ..
+    } = machine;
+    scan_fragment_inner(
+        &cfg.cost,
+        &mut nodes[node],
+        &mut ledgers[node],
+        exec.pool.as_deref(),
+        file,
+        pred,
+    )
 }
 
 #[cfg(test)]

@@ -58,6 +58,7 @@ pub mod throughput;
 pub mod tuple;
 
 pub use cost::CostModel;
+pub use exec::{pool::WorkerPool, ExecConfig};
 pub use machine::{Machine, MachineConfig, NodeId, RelationId, StoredRelation};
 pub use query::{run_join, run_join_with_phases, Algorithm, JoinSite, JoinSpec, OverflowPolicy};
 pub use report::{JoinReport, PhaseRecord};

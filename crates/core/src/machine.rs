@@ -17,6 +17,7 @@ use gamma_net::{Exchange, Fabric};
 use gamma_wiss::{BufferPool, FileId, HeapWriter, Volume};
 
 use crate::cost::CostModel;
+use crate::exec::ExecConfig;
 use crate::hash::{hash_u32, JOIN_SEED};
 use crate::tuple::{Attr, Schema};
 
@@ -160,6 +161,10 @@ pub struct Machine {
     /// The interconnect's data plane: every inter-node tuple travels here
     /// as an explicit message between per-node mailboxes.
     pub exchange: Exchange,
+    /// Which executor runs this machine's steps: the serial reference
+    /// path, or a persistent worker pool reused across waves, phases and
+    /// queries. Per-machine state — there is no process-global switch.
+    pub exec: ExecConfig,
     relations: Vec<Option<StoredRelation>>,
 }
 
@@ -186,8 +191,17 @@ impl Machine {
             nodes,
             fabric,
             exchange,
+            exec: ExecConfig::auto(),
             relations: Vec::new(),
         }
+    }
+
+    /// Replace the executor configuration (builder-style), e.g.
+    /// `Machine::new(cfg).with_exec(ExecConfig::serial())` for the serial
+    /// reference run of a byte-identity comparison.
+    pub fn with_exec(mut self, exec: ExecConfig) -> Self {
+        self.exec = exec;
+        self
     }
 
     /// Total processor count.

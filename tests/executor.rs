@@ -1,20 +1,22 @@
-//! Serial vs thread-parallel executor equivalence.
+//! Serial vs pooled executor equivalence.
 //!
-//! The `parallel` feature runs each node's executor step on an OS-thread
-//! worker. These tests flip the runtime switch inside one process and
-//! assert the two paths are indistinguishable: identical result
-//! cardinality and checksum, identical per-phase virtual-time ledgers and
-//! event counts, identical response times, and byte-identical trace
-//! exports — for all four algorithms, local and remote join sites, with
-//! and without bit filters.
-#![cfg(feature = "parallel")]
+//! A machine whose [`ExecConfig`] carries a worker pool runs each node's
+//! executor step on pool workers and chunks heavy per-tuple stages across
+//! them. These tests pin one machine to each executor inside one process
+//! and assert the two are indistinguishable: identical result cardinality
+//! and checksum, identical per-phase virtual-time ledgers and event
+//! counts, identical response times, and byte-identical trace exports —
+//! for all four algorithms, local and remote join sites, with and without
+//! bit filters. Worker panics must surface with the stage and node that
+//! raised them.
+
+use std::sync::Arc;
 
 use gamma_bench::sweep::LoadStyle;
-use gamma_bench::tracing::trace_join;
+use gamma_bench::tracing::trace_join_with;
 use gamma_bench::Workload;
-use gamma_core::exec::set_parallel;
 use gamma_core::query::{Algorithm, JoinSite};
-use gamma_core::{run_join, JoinReport};
+use gamma_core::{run_join, ExecConfig, JoinReport, WorkerPool};
 use gamma_wisconsin::join_abprime;
 
 const ALGORITHMS: [Algorithm; 4] = [
@@ -24,11 +26,19 @@ const ALGORITHMS: [Algorithm; 4] = [
     Algorithm::HybridHash,
 ];
 
-/// Run one join point on a fresh machine. Ratio 0.5 forces multi-bucket
-/// plans for Grace/Hybrid and real overflow handling for Simple.
-fn run_cell(w: &Workload, alg: Algorithm, remote: bool, filtered: bool) -> JoinReport {
+/// Run one join point on a fresh machine pinned to `exec`. Ratio 0.5
+/// forces multi-bucket plans for Grace/Hybrid and real overflow handling
+/// for Simple.
+fn run_cell(
+    w: &Workload,
+    alg: Algorithm,
+    remote: bool,
+    filtered: bool,
+    exec: ExecConfig,
+) -> JoinReport {
     let (mut machine, a, bprime) =
         w.machine(remote, LoadStyle::HashedUnique1, "unique1", "unique1");
+    machine.exec = exec;
     let memory = machine.relation(bprime).data_bytes / 2;
     let mut spec = join_abprime(alg, bprime, a, "unique1", "unique1", memory);
     // Sort-merge cannot use diskless nodes (§3.1).
@@ -63,8 +73,9 @@ fn assert_reports_match(a: &JoinReport, b: &JoinReport, what: &str) {
 }
 
 #[test]
-fn parallel_matches_serial_everywhere() {
+fn pooled_matches_serial_everywhere() {
     let w = Workload::scaled(3_000, 300);
+    let pool = Arc::new(WorkerPool::new(3));
     for alg in ALGORITHMS {
         for remote in [false, true] {
             for filtered in [false, true] {
@@ -73,27 +84,34 @@ fn parallel_matches_serial_everywhere() {
                     alg.name(),
                     if remote { "remote" } else { "local" },
                 );
-                set_parallel(false);
-                let serial = run_cell(&w, alg, remote, filtered);
-                set_parallel(true);
-                let parallel = run_cell(&w, alg, remote, filtered);
-                set_parallel(false);
-                assert_reports_match(&serial, &parallel, &what);
+                let serial = run_cell(&w, alg, remote, filtered, ExecConfig::serial());
+                let pooled = run_cell(
+                    &w,
+                    alg,
+                    remote,
+                    filtered,
+                    ExecConfig::pooled(Arc::clone(&pool)),
+                );
+                assert_reports_match(&serial, &pooled, &what);
             }
         }
     }
 }
 
 #[test]
-fn parallel_trace_export_is_byte_identical() {
+fn pooled_trace_export_is_byte_identical() {
     let w = Workload::scaled(2_000, 200);
+    let pool = Arc::new(WorkerPool::new(4));
     for alg in ALGORITHMS {
         for filtered in [false, true] {
-            set_parallel(false);
-            let serial = trace_join(&w, alg, 0.5, filtered);
-            set_parallel(true);
-            let parallel = trace_join(&w, alg, 0.5, filtered);
-            set_parallel(false);
+            let serial = trace_join_with(&w, alg, 0.5, filtered, ExecConfig::serial());
+            let pooled = trace_join_with(
+                &w,
+                alg,
+                0.5,
+                filtered,
+                ExecConfig::pooled(Arc::clone(&pool)),
+            );
             assert!(
                 !serial.sink.is_empty(),
                 "{}: no events recorded",
@@ -101,10 +119,35 @@ fn parallel_trace_export_is_byte_identical() {
             );
             assert_eq!(
                 serial.perfetto_json(),
-                parallel.perfetto_json(),
-                "{} filters={filtered}: trace export differs between serial and parallel",
+                pooled.perfetto_json(),
+                "{} filters={filtered}: trace export differs between serial and pooled",
                 alg.name()
             );
         }
     }
+}
+
+#[test]
+#[should_panic(expected = "step `kaboom` panicked at node 3: node 3 exploded")]
+fn worker_panics_carry_stage_and_node_context() {
+    use gamma_core::exec::run_step;
+    use gamma_core::{Machine, MachineConfig, NodeId};
+
+    let mut machine = Machine::new(MachineConfig::local_8())
+        .with_exec(ExecConfig::pooled(Arc::new(WorkerPool::new(4))));
+    let mut ledgers = machine.ledgers();
+    let participants: Vec<NodeId> = (0..8).collect();
+    let mut unit = vec![(); 8];
+    run_step(
+        &mut machine,
+        &mut ledgers,
+        "kaboom",
+        &participants,
+        &mut unit,
+        |ctx, _| {
+            if ctx.node == 3 {
+                panic!("node {} exploded", ctx.node);
+            }
+        },
+    );
 }

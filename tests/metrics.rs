@@ -1,8 +1,8 @@
 //! Metrics subsystem integration tests: deterministic snapshots,
-//! serial-vs-parallel equality, and exact reconciliation of every metric
+//! serial-vs-pooled equality, and exact reconciliation of every metric
 //! family against the engine's own resource ledgers.
 
-use gamma_bench::metrics::{metrics_join, reconcile};
+use gamma_bench::metrics::{metrics_join, metrics_join_with, reconcile};
 use gamma_bench::Workload;
 use gamma_core::query::Algorithm;
 
@@ -116,36 +116,43 @@ fn emissions_are_inert_without_installed_registry() {
     assert!(reg.is_empty(), "fresh registry polluted by previous run");
 }
 
-/// The serial and thread-parallel executors must produce byte-identical
-/// snapshots: worker-registry merging is commutative and phase
-/// attribution is pinned before workers spawn.
-#[cfg(feature = "parallel")]
+/// The serial and pooled executors must produce byte-identical snapshots:
+/// worker-registry merging is commutative and phase attribution is pinned
+/// before a step's bundles are dispatched.
 #[test]
-fn parallel_executor_produces_identical_snapshots() {
-    use gamma_core::exec::set_parallel;
+fn pooled_executor_produces_identical_snapshots() {
+    use std::sync::Arc;
+
+    use gamma_core::{ExecConfig, WorkerPool};
+
     let w = Workload::scaled(2_000, 200);
+    let pool = Arc::new(WorkerPool::new(4));
     for alg in ALGORITHMS {
-        set_parallel(false);
-        let serial = metrics_join(&w, alg, 0.5, true, false);
-        set_parallel(true);
-        let parallel = metrics_join(&w, alg, 0.5, true, false);
-        set_parallel(false);
+        let serial = metrics_join_with(&w, alg, 0.5, true, false, ExecConfig::serial());
+        let pooled = metrics_join_with(
+            &w,
+            alg,
+            0.5,
+            true,
+            false,
+            ExecConfig::pooled(Arc::clone(&pool)),
+        );
         assert_eq!(
             serial.json(),
-            parallel.json(),
+            pooled.json(),
             "{}: executors disagree on the JSON snapshot",
             alg.name()
         );
         assert_eq!(
             serial.prometheus(),
-            parallel.prometheus(),
+            pooled.prometheus(),
             "{}: executors disagree on the Prometheus export",
             alg.name()
         );
-        let errs = reconcile(&parallel.registry, &parallel.report);
+        let errs = reconcile(&pooled.registry, &pooled.report);
         assert!(
             errs.is_empty(),
-            "{} (parallel) failed reconciliation:\n{}",
+            "{} (pooled) failed reconciliation:\n{}",
             alg.name(),
             errs.join("\n")
         );

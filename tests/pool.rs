@@ -1,0 +1,137 @@
+//! Pool-size × machine-shape byte-identity property sweep.
+//!
+//! The executor's contract is that the worker pool is invisible in every
+//! artifact: for ANY machine shape and ANY pool size — including the
+//! degenerate size-1 pool and a pool far wider than the machine — the
+//! ledgers, phase records, result checksums and response times are the
+//! ones the serial executor produces. This sweep drives node counts 1..9
+//! against pool sizes {1, 2, 8, oversubscribed}, picking the algorithm,
+//! memory ratio and filter setting per shape from a tiny deterministic
+//! LCG so the grid exercises varied wave shapes without a fixture per
+//! cell.
+
+use std::sync::Arc;
+
+use gamma_bench::sweep::LoadStyle;
+use gamma_bench::Workload;
+use gamma_core::cost::CostModel;
+use gamma_core::query::Algorithm;
+use gamma_core::{run_join, ExecConfig, JoinReport, MachineConfig, WorkerPool};
+use gamma_wisconsin::join_abprime;
+
+const ALGORITHMS: [Algorithm; 4] = [
+    Algorithm::SortMerge,
+    Algorithm::SimpleHash,
+    Algorithm::GraceHash,
+    Algorithm::HybridHash,
+];
+
+/// Deterministic case picker (splitmix-style) — no external crates.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+fn run_case(
+    w: &Workload,
+    nodes: usize,
+    alg: Algorithm,
+    ratio: f64,
+    filtered: bool,
+    exec: ExecConfig,
+) -> JoinReport {
+    let cfg = MachineConfig {
+        disk_nodes: nodes,
+        diskless_nodes: 0,
+        cost: CostModel::gamma_1989(),
+    };
+    let (mut machine, a, bprime) =
+        w.machine_with(cfg, LoadStyle::HashedUnique1, "unique1", "unique1");
+    machine.exec = exec;
+    let memory = (machine.relation(bprime).data_bytes as f64 * ratio).ceil() as u64;
+    let mut spec = join_abprime(alg, bprime, a, "unique1", "unique1", memory);
+    spec.bit_filter = filtered;
+    run_join(&mut machine, &spec)
+}
+
+#[test]
+fn every_pool_size_matches_serial_on_every_machine_shape() {
+    let w = Workload::scaled(1_500, 150);
+    let mut lcg = Lcg(1989);
+    // Oversubscribed: far more lanes than the widest machine has nodes.
+    let pools: Vec<(usize, Arc<WorkerPool>)> = [1usize, 2, 8, 21]
+        .into_iter()
+        .map(|s| (s, Arc::new(WorkerPool::new(s))))
+        .collect();
+    for nodes in 1..=9usize {
+        let alg = ALGORITHMS[(lcg.next() % 4) as usize];
+        let ratio = [0.2, 0.5, 1.0][(lcg.next() % 3) as usize];
+        let filtered = lcg.next() % 2 == 1;
+        let serial = run_case(&w, nodes, alg, ratio, filtered, ExecConfig::serial());
+        for (size, pool) in &pools {
+            let what = format!(
+                "{} nodes={nodes} ratio={ratio} filters={filtered} pool={size}",
+                alg.name()
+            );
+            let pooled = run_case(
+                &w,
+                nodes,
+                alg,
+                ratio,
+                filtered,
+                ExecConfig::pooled(Arc::clone(pool)),
+            );
+            assert_eq!(
+                serial.result_tuples, pooled.result_tuples,
+                "{what}: cardinality"
+            );
+            assert_eq!(
+                serial.result_checksum, pooled.result_checksum,
+                "{what}: checksum"
+            );
+            assert_eq!(serial.response, pooled.response, "{what}: response");
+            assert_eq!(serial.total, pooled.total, "{what}: aggregate usage/counts");
+            assert_eq!(serial.phases.len(), pooled.phases.len(), "{what}: phases");
+            for (pa, pb) in serial.phases.iter().zip(&pooled.phases) {
+                assert_eq!(pa.name, pb.name, "{what}: phase name");
+                assert_eq!(pa.duration, pb.duration, "{what}/{}: duration", pa.name);
+                assert_eq!(pa.total, pb.total, "{what}/{}: phase usage", pa.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn degenerate_pool_is_the_serial_executor() {
+    // `ExecConfig::pooled(WorkerPool::new(1))` must take the plain serial
+    // path (no dedicated workers), not merely produce equal bytes.
+    let pool = Arc::new(WorkerPool::new(1));
+    assert_eq!(pool.workers(), 0);
+    let w = Workload::scaled(1_000, 100);
+    let serial = run_case(
+        &w,
+        4,
+        Algorithm::HybridHash,
+        0.5,
+        false,
+        ExecConfig::serial(),
+    );
+    let degen = run_case(
+        &w,
+        4,
+        Algorithm::HybridHash,
+        0.5,
+        false,
+        ExecConfig::pooled(pool),
+    );
+    assert_eq!(serial.response, degen.response);
+    assert_eq!(serial.total, degen.total);
+    assert_eq!(serial.result_checksum, degen.result_checksum);
+}
