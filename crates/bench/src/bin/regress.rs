@@ -14,7 +14,10 @@
 //! * a committed `BENCH_serve.json` point's virtual-time quantities
 //!   (makespan, response percentiles, admission wait) drift past the
 //!   tolerance, or its identity fields (`completed`,
-//!   `mean_interarrival_us`) change at all.
+//!   `mean_interarrival_us`) change at all;
+//! * a committed `BENCH_skew.json` point's response time drifts past the
+//!   tolerance, or any of its deterministic counters (overflow passes,
+//!   spill/restore pages, buckets, result cardinality) change at all.
 //!
 //! Wall-clock fields in the baseline are ignored — they measure the host.
 //!
@@ -30,10 +33,12 @@
 
 use gamma_bench::metrics::{metrics_join, reconcile};
 use gamma_bench::regress::{
-    compare_points, compare_serve_points, diff_snapshots, parse_bench_points, parse_scale,
-    parse_serve_envelope, parse_serve_points, BenchPoint, ServeBenchPoint,
+    compare_points, compare_serve_points, compare_skew_points, diff_snapshots, parse_bench_points,
+    parse_scale, parse_serve_envelope, parse_serve_points, parse_skew_envelope, parse_skew_points,
+    BenchPoint, ServeBenchPoint, SkewBenchPoint,
 };
 use gamma_bench::serve::{serve_sweep, ServeSweepConfig};
+use gamma_bench::skew::{skew_sweep, SkewSweepConfig};
 use gamma_bench::{pooled_map, Workload};
 use gamma_core::query::Algorithm;
 
@@ -60,6 +65,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut baseline_path = String::from("BENCH_joinabprime.json");
     let mut serve_baseline_path = String::from("BENCH_serve.json");
+    let mut skew_baseline_path = String::from("BENCH_skew.json");
     let mut snapshot_dir = String::from("results");
     let mut tolerance_pct = 1.0f64;
     let mut write = false;
@@ -68,6 +74,9 @@ fn main() {
     }
     if let Some(i) = args.iter().position(|a| a == "--serve-baseline") {
         serve_baseline_path = args[i + 1].clone();
+    }
+    if let Some(i) = args.iter().position(|a| a == "--skew-baseline") {
+        skew_baseline_path = args[i + 1].clone();
     }
     if let Some(i) = args.iter().position(|a| a == "--snapshots") {
         snapshot_dir = args[i + 1].clone();
@@ -248,8 +257,65 @@ fn main() {
         )),
     }
 
+    // --- Gate 4: skew-cliff baseline -----------------------------------
+    match std::fs::read_to_string(&skew_baseline_path) {
+        Ok(doc) => {
+            let baseline = parse_skew_points(&doc);
+            let Some((a_rows, bprime_rows)) = parse_skew_envelope(&doc) else {
+                panic!("{skew_baseline_path} has no envelope (a_rows/bprime_rows)");
+            };
+            assert!(!baseline.is_empty(), "{skew_baseline_path} has no points");
+            let mut ratios: Vec<f64> = Vec::new();
+            for p in &baseline {
+                if !ratios.contains(&p.memory_ratio) {
+                    ratios.push(p.memory_ratio);
+                }
+            }
+            let cfg = SkewSweepConfig {
+                a_rows,
+                bprime_rows,
+                ratios,
+            };
+            println!(
+                "regress: replaying {} skew points (A={a_rows} rows, Bprime={bprime_rows} rows)",
+                baseline.len()
+            );
+            let sweep = skew_sweep(&cfg);
+            let fresh: Vec<SkewBenchPoint> = sweep
+                .points
+                .iter()
+                .map(|p| SkewBenchPoint {
+                    skew: p.skew.to_string(),
+                    mode: p.mode.to_string(),
+                    memory_ratio: p.memory_ratio,
+                    response_virtual_us: p.response_virtual_us,
+                    overflow_passes: p.overflow_passes as u64,
+                    pages_spilled: p.pages_spilled,
+                    pages_restored: p.pages_restored,
+                    buckets: p.buckets as u64,
+                    result_tuples: p.result_tuples,
+                })
+                .collect();
+            for p in &fresh {
+                println!(
+                    "  {:<8}/{:<6} ratio {:>4}: {:>12} virtual-us  {} passes  {:>4} restored",
+                    p.skew,
+                    p.mode,
+                    p.memory_ratio,
+                    p.response_virtual_us,
+                    p.overflow_passes,
+                    p.pages_restored
+                );
+            }
+            errors.extend(compare_skew_points(&baseline, &fresh, tolerance_pct));
+        }
+        Err(e) => errors.push(format!(
+            "{skew_baseline_path}: unreadable ({e}); run the `skew` binary to create it"
+        )),
+    }
+
     if errors.is_empty() {
-        println!("regress: PASS — virtual time, counters, serve points, and snapshots all hold");
+        println!("regress: PASS — virtual time, counters, serve, skew, and snapshots all hold");
     } else {
         eprintln!("regress: FAIL — {} violation(s):", errors.len());
         for e in &errors {

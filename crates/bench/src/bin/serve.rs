@@ -14,7 +14,9 @@
 //! passes the concurrent ledger↔metrics reconciliation (with the default
 //! `metrics` feature) before its numbers are reported.
 
-use gamma_bench::serve::{render_json, serve_sweep, ServeSweepConfig};
+use gamma_bench::serve::{
+    calibrate_backlog_window, render_json, serve_sweep, ServeSweepConfig, DEFAULT_BACKLOG_WINDOW_US,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -33,6 +35,29 @@ fn main() {
     }
     if let Some(i) = args.iter().position(|a| a == "--out") {
         out_path = args[i + 1].clone();
+    }
+
+    // `--calibrate-backlog` prints the window calibration grid behind
+    // `DEFAULT_BACKLOG_WINDOW_US` (see EXPERIMENTS.md) and writes nothing.
+    if args.iter().any(|a| a == "--calibrate-backlog") {
+        println!(
+            "backlog-window calibration: A={} rows, {} queries/cell (default: {} us)",
+            cfg.a_rows, cfg.queries, DEFAULT_BACKLOG_WINDOW_US
+        );
+        for p in calibrate_backlog_window(&cfg) {
+            println!(
+                "  window {:>10}: load {:>4.2}x  done {:>7.4} q/s  p50 {:>10} us  p99 {:>10} us  mean {:>12.1} us",
+                p.window_us
+                    .map(|w| format!("{w} us"))
+                    .unwrap_or_else(|| "async".into()),
+                p.load_fraction,
+                p.throughput_qps,
+                p.response_p50_us,
+                p.response_p99_us,
+                p.mean_response_us,
+            );
+        }
+        return;
     }
 
     let sweep = serve_sweep(&cfg);

@@ -17,6 +17,7 @@ pub mod microbench;
 pub mod plot;
 pub mod regress;
 pub mod serve;
+pub mod skew;
 pub mod sweep;
 #[cfg(feature = "trace")]
 pub mod tracing;

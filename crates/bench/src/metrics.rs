@@ -139,6 +139,8 @@ pub fn reconcile(registry: &Registry, report: &JoinReport) -> Vec<String> {
         ("ledger_filter_drops", c.filter_drops),
         ("ledger_control_msgs", c.control_msgs),
         ("ledger_overflow_evictions", c.overflow_evictions),
+        ("ledger_pages_spilled", c.pages_spilled),
+        ("ledger_pages_restored", c.pages_restored),
     ] {
         check(name, registry.counter_total(name), want);
     }
@@ -155,6 +157,8 @@ pub fn reconcile(registry: &Registry, report: &JoinReport) -> Vec<String> {
         ("hash_inserts", c.hash_inserts),
         ("hash_probes", c.hash_probes),
         ("overflow_evictions", c.overflow_evictions),
+        ("pages_spilled", c.pages_spilled),
+        ("pages_restored", c.pages_restored),
     ] {
         check(name, registry.counter_total(name), want);
     }

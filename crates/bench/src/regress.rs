@@ -252,6 +252,108 @@ pub fn compare_serve_points(
     errs
 }
 
+/// One skew-grid point parsed from `BENCH_skew.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkewBenchPoint {
+    /// Skew level (`uniform` / `nu` / `sharp`); identity key with `mode`
+    /// and `memory_ratio`.
+    pub skew: String,
+    /// Machinery (`legacy` / `robust`).
+    pub mode: String,
+    /// Memory / |inner| ratio.
+    pub memory_ratio: f64,
+    /// Simulated response time (drift-gated).
+    pub response_virtual_us: u64,
+    /// Classic re-spray passes (exact-gated).
+    pub overflow_passes: u64,
+    /// Pages left spilled by the dynamic path (exact-gated).
+    pub pages_spilled: u64,
+    /// Pages restored into table slack (exact-gated).
+    pub pages_restored: u64,
+    /// Bucket count (exact-gated).
+    pub buckets: u64,
+    /// Result cardinality (exact-gated).
+    pub result_tuples: u64,
+}
+
+/// Parse every grid point out of a `BENCH_skew.json` document. Keyed on
+/// the `skew` field, which neither the joinabprime nor the serve documents
+/// carry — the three parsers ignore each other's points.
+pub fn parse_skew_points(json: &str) -> Vec<SkewBenchPoint> {
+    json.lines()
+        .filter(|l| l.trim_start().starts_with('{') && l.contains("\"skew\""))
+        .filter_map(|l| {
+            Some(SkewBenchPoint {
+                skew: str_field(l, "skew")?,
+                mode: str_field(l, "mode")?,
+                memory_ratio: num_field(l, "memory_ratio")?,
+                response_virtual_us: num_field(l, "response_virtual_us")? as u64,
+                overflow_passes: num_field(l, "overflow_passes")? as u64,
+                pages_spilled: num_field(l, "pages_spilled")? as u64,
+                pages_restored: num_field(l, "pages_restored")? as u64,
+                buckets: num_field(l, "buckets")? as u64,
+                result_tuples: num_field(l, "result_tuples")? as u64,
+            })
+        })
+        .collect()
+}
+
+/// Parse the skew envelope: `(a_rows, bprime_rows)`.
+pub fn parse_skew_envelope(json: &str) -> Option<(usize, usize)> {
+    let find = |key: &str| json.lines().find_map(|l| num_field(l, key));
+    Some((find("a_rows")? as usize, find("bprime_rows")? as usize))
+}
+
+/// Compare a fresh skew grid against the committed baseline, keyed on
+/// (skew, mode, memory_ratio). `response_virtual_us` may drift up to
+/// `tol_pct` percent; the deterministic counters (overflow passes, spill
+/// and restore pages, buckets, result cardinality) must match exactly.
+/// Missing or extra points are failures.
+pub fn compare_skew_points(
+    baseline: &[SkewBenchPoint],
+    fresh: &[SkewBenchPoint],
+    tol_pct: f64,
+) -> Vec<String> {
+    let mut errs = Vec::new();
+    let key = |p: &SkewBenchPoint| (p.skew.clone(), p.mode.clone(), p.memory_ratio);
+    for b in baseline {
+        let id = format!("skew {}/{} @ ratio {}", b.skew, b.mode, b.memory_ratio);
+        let Some(f) = fresh.iter().find(|f| key(f) == key(b)) else {
+            errs.push(format!("{id}: present in baseline, missing from fresh run"));
+            continue;
+        };
+        let (old, new) = (b.response_virtual_us, f.response_virtual_us);
+        if old != new {
+            let drift = new.abs_diff(old) as f64 * 100.0 / (old.max(1)) as f64;
+            if drift > tol_pct {
+                errs.push(format!(
+                    "{id}: response_virtual_us drifted {drift:.3}% ({old} -> {new}, tolerance {tol_pct}%)"
+                ));
+            }
+        }
+        for (what, old, new) in [
+            ("overflow_passes", b.overflow_passes, f.overflow_passes),
+            ("pages_spilled", b.pages_spilled, f.pages_spilled),
+            ("pages_restored", b.pages_restored, f.pages_restored),
+            ("buckets", b.buckets, f.buckets),
+            ("result_tuples", b.result_tuples, f.result_tuples),
+        ] {
+            if old != new {
+                errs.push(format!("{id}: {what} changed ({old} -> {new})"));
+            }
+        }
+    }
+    for f in fresh {
+        if !baseline.iter().any(|b| key(b) == key(f)) {
+            errs.push(format!(
+                "skew {}/{} @ ratio {}: in fresh run but not in baseline",
+                f.skew, f.mode, f.memory_ratio
+            ));
+        }
+    }
+    errs
+}
+
 /// Line-by-line diff of two snapshot documents. Returns one message per
 /// differing line (capped at 5, then a count) plus a line-count mismatch if
 /// any; empty ⇒ byte-identical up to line endings.
@@ -459,6 +561,78 @@ mod tests {
         let errs = compare_serve_points(&base, &[f], 1.0);
         assert_eq!(errs.len(), 1);
         assert!(errs[0].contains("admission_wait_total_us"), "{errs:?}");
+    }
+
+    const SKEW_DOC: &str = r#"{
+  "benchmark": "skew",
+  "a_rows": 4000,
+  "bprime_rows": 400,
+  "points": [
+    {"skew": "nu", "mode": "legacy", "memory_ratio": 0.6, "response_virtual_us": 9000000, "overflow_passes": 1, "pages_spilled": 0, "pages_restored": 0, "buckets": 1, "result_tuples": 2100, "bnl": false},
+    {"skew": "nu", "mode": "robust", "memory_ratio": 0.6, "response_virtual_us": 7000000, "overflow_passes": 0, "pages_spilled": 12, "pages_restored": 30, "buckets": 1, "result_tuples": 2100, "bnl": false}
+  ]
+}
+"#;
+
+    fn kpt(skew: &str, mode: &str, ratio: f64, us: u64) -> SkewBenchPoint {
+        SkewBenchPoint {
+            skew: skew.into(),
+            mode: mode.into(),
+            memory_ratio: ratio,
+            response_virtual_us: us,
+            overflow_passes: 1,
+            pages_spilled: 0,
+            pages_restored: 0,
+            buckets: 1,
+            result_tuples: 2_100,
+        }
+    }
+
+    #[test]
+    fn parses_skew_points_and_envelope() {
+        let pts = parse_skew_points(SKEW_DOC);
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].skew, "nu");
+        assert_eq!(pts[0].mode, "legacy");
+        assert_eq!(pts[0].response_virtual_us, 9_000_000);
+        assert_eq!(pts[1].pages_restored, 30);
+        assert_eq!(parse_skew_envelope(SKEW_DOC), Some((4_000, 400)));
+    }
+
+    #[test]
+    fn skew_points_are_invisible_to_the_other_parsers_and_vice_versa() {
+        // Cross-parser isolation: each baseline document must only feed its
+        // own gate, or a gate would fail on fields that are not there.
+        assert!(parse_bench_points(SKEW_DOC).is_empty());
+        assert!(parse_serve_points(SKEW_DOC).is_empty());
+        assert!(parse_skew_points(DOC).is_empty());
+        assert!(parse_skew_points(SERVE_DOC).is_empty());
+    }
+
+    #[test]
+    fn skew_gate_drifts_response_and_exacts_counters() {
+        let base = vec![kpt("nu", "legacy", 0.6, 1_000_000)];
+        let ok = vec![kpt("nu", "legacy", 0.6, 1_009_000)]; // 0.9%
+        assert!(compare_skew_points(&base, &ok, 1.0).is_empty());
+        let bad = vec![kpt("nu", "legacy", 0.6, 1_020_000)]; // 2%
+        let errs = compare_skew_points(&base, &bad, 1.0);
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].contains("drifted"), "{errs:?}");
+        let mut f = kpt("nu", "legacy", 0.6, 1_000_000);
+        f.overflow_passes = 2;
+        f.pages_restored = 5;
+        let errs = compare_skew_points(&base, &[f], 1.0);
+        assert_eq!(errs.len(), 2, "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("overflow_passes")));
+        assert!(errs.iter().any(|e| e.contains("pages_restored")));
+    }
+
+    #[test]
+    fn skew_gate_fails_on_missing_or_extra_points() {
+        let base = vec![kpt("nu", "legacy", 0.6, 1), kpt("nu", "robust", 0.6, 1)];
+        let fresh = vec![kpt("nu", "robust", 0.6, 1), kpt("sharp", "robust", 0.6, 1)];
+        let errs = compare_skew_points(&base, &fresh, 1.0);
+        assert_eq!(errs.len(), 2, "{errs:?}");
     }
 
     #[test]

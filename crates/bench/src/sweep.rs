@@ -43,6 +43,20 @@ impl Workload {
         }
     }
 
+    /// A scaled workload whose `normal` attribute is drawn at an explicit
+    /// standard deviation (Table 3-style nonuniform data; small `sd` means
+    /// sharper skew). Identical to [`Workload::scaled`] when `sd` equals
+    /// the generator's scaled default.
+    pub fn scaled_nu(a: usize, bprime: usize, sd: f64) -> Self {
+        let gen = WisconsinGen::new(1989);
+        let a_rows = gen.relation_nu(a, 0, sd);
+        let bprime_rows = gen.sample(&a_rows, bprime, 1);
+        Workload {
+            a_rows,
+            bprime_rows,
+        }
+    }
+
     /// Oracle expectation for a join on the given attributes.
     pub fn expect(&self, inner_attr: &str, outer_attr: &str) -> OracleExpect {
         oracle_join(
@@ -167,6 +181,8 @@ pub struct SweepBuilder<'a> {
     timing: TimingModel,
     slow_disk: u64,
     exec: ExecConfig,
+    refinement: bool,
+    dynamic_spill: bool,
 }
 
 impl<'a> SweepBuilder<'a> {
@@ -187,7 +203,21 @@ impl<'a> SweepBuilder<'a> {
             timing: TimingModel::default(),
             slow_disk: 1,
             exec: ExecConfig::auto(),
+            refinement: false,
+            dynamic_spill: false,
         }
+    }
+
+    /// Enable skew-aware split-table refinement.
+    pub fn refined(mut self) -> Self {
+        self.refinement = true;
+        self
+    }
+
+    /// Enable robust dynamic spill/restore overflow handling.
+    pub fn dynamic_spill(mut self) -> Self {
+        self.dynamic_spill = true;
+        self
     }
 
     /// Pin the executor every measured machine runs on (default:
@@ -322,6 +352,8 @@ impl<'a> SweepBuilder<'a> {
         spec.bucket_tuning = self.bucket_tuning;
         spec.overflow_policy = self.policy;
         spec.extra_buckets = self.extra_buckets;
+        spec.skew_refinement = self.refinement;
+        spec.dynamic_spill = self.dynamic_spill;
         (machine, spec)
     }
 

@@ -63,6 +63,14 @@ pub struct Resolved {
     pub r_pred: Option<RangePred>,
     /// Optional selection on the outer relation.
     pub s_pred: Option<RangePred>,
+    /// Skew-aware split-table refinement: sample the inner relation's hash
+    /// distribution during partitioning and split overloaded split-table
+    /// entries across sites before any tuple moves.
+    pub skew_refinement: bool,
+    /// Robust dynamic overflow handling: restore spilled build tuples into
+    /// table slack after the build settles, and join residual spill pairs
+    /// locally instead of re-spraying the whole overflow globally.
+    pub dynamic_spill: bool,
 }
 
 #[cfg(test)]

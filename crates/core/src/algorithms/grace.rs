@@ -14,14 +14,14 @@ use gamma_wiss::FileId;
 use crate::bitfilter::BitFilter;
 use crate::exec::control::{broadcast_filters, dispatch_overhead};
 use crate::exec::hash::{
-    resolve_overflows, take_overflows, Consumers, OverflowEnv, TAG_BUCKET, TAG_BUILD, TAG_PROBE,
-    TAG_SPOOL_S,
+    resolve_overflows, resolve_overflows_robust, restore_spills, tag, take_overflows, Consumers,
+    OverflowEnv, TAG_BUCKET, TAG_BUILD, TAG_PROBE, TAG_SPOOL_S,
 };
 use crate::exec::{self, run_step, scan};
 use crate::hash::{hash_u32, JOIN_SEED};
 use crate::machine::{Machine, ResultSink};
 use crate::report::{DriverOutput, PhaseRecord};
-use crate::split::{JoiningSplitTable, PartitioningSplitTable, Route};
+use crate::split::{JoiningSplitTable, PartitioningSplitTable, RefineCfg, Route};
 
 use super::common::Resolved;
 
@@ -57,13 +57,14 @@ fn bucket_form(
     machine: &mut Machine,
     phases: &mut Vec<PhaseRecord>,
     sink: &mut ResultSink,
-    part: &PartitioningSplitTable,
+    part: &mut PartitioningSplitTable,
     fragments: &[FileId],
     attr: crate::tuple::Attr,
     pred: Option<super::common::RangePred>,
     buckets: usize,
     label: &str,
     mut form_filters: FormFilters<'_>,
+    refine: bool,
 ) -> Vec<Vec<FileId>> {
     let disk_nodes = machine.disk_nodes();
     let mut consumers = Consumers::new(machine);
@@ -87,56 +88,161 @@ fn bucket_form(
         FormFilters::Build(f) => Some(f.to_vec()),
         _ => None,
     };
-    let mut states: Vec<(FileId, Option<Vec<BitFilter>>)> = disk_nodes
-        .iter()
-        .map(|&n| (fragments[n], shard_proto.clone()))
-        .collect();
-    run_step(
-        machine,
-        &mut ledgers,
-        "bucket-form",
-        &disk_nodes,
-        &mut states,
-        |ctx, (file, shard)| {
-            let recs = scan::scan_fragment(ctx, *file, pred);
-            // Pure per-tuple routing, chunked on the pool; charges, filter
-            // updates and sends replay in record order below.
-            let routed = ctx.par_map(&recs, |rec| {
-                let val = attr.get(rec);
-                (val, part.route(hash_u32(JOIN_SEED, val)))
-            });
-            for (rec, (val, route)) in recs.into_iter().zip(routed) {
-                ctx.charge(ctx.cost.hash_us + ctx.cost.route_us);
-                match route {
-                    Route::Spool { node: dst, bucket } => {
-                        if let Some(shard) = shard {
-                            ctx.charge(ctx.cost.filter_set_us);
-                            shard[bucket - 1].set(val);
-                        } else if let Some(filters) = test_filters {
-                            ctx.charge(ctx.cost.filter_test_us);
-                            if !filters[bucket - 1].test(val) {
-                                ctx.ledger.counts.filter_drops += 1;
-                                #[cfg(feature = "metrics")]
-                                gamma_metrics::counter_add(
-                                    "filter_drops",
-                                    ctx.node as u16,
-                                    "forming",
-                                    1,
-                                );
-                                continue;
+    if refine {
+        // ---- Wave A: sample. Scan and hash every tuple, build a
+        // per-split-table-entry histogram, and hold the records on the scan
+        // node so wave B can route them without a second disk pass. ----
+        let e = part.entries();
+        type SampleState = (FileId, Vec<Vec<u8>>, Vec<(u32, u64)>, Vec<u64>);
+        // Held tuples + their (value, hash) pairs + this node's filter shards.
+        type RouteState = (Vec<Vec<u8>>, Vec<(u32, u64)>, Option<Vec<BitFilter>>);
+        let mut sample_states: Vec<SampleState> = disk_nodes
+            .iter()
+            .map(|&n| (fragments[n], Vec::new(), Vec::new(), vec![0u64; e]))
+            .collect();
+        run_step(
+            machine,
+            &mut ledgers,
+            "sample",
+            &disk_nodes,
+            &mut sample_states,
+            |ctx, (file, recs, hashed, hist)| {
+                *recs = scan::scan_fragment(ctx, *file, pred);
+                *hashed = ctx.par_map(recs, |rec| {
+                    let val = attr.get(rec);
+                    (val, hash_u32(JOIN_SEED, val))
+                });
+                for (_, h) in hashed.iter() {
+                    ctx.charge(ctx.cost.hash_us + ctx.cost.histogram_update_us);
+                    hist[(*h % e as u64) as usize] += 1;
+                }
+            },
+        );
+        let mut hist = vec![0u64; e];
+        for (_, _, _, local) in &sample_states {
+            for (m, v) in hist.iter_mut().zip(local) {
+                *m += v;
+            }
+        }
+        if let Some(refined) = part.refine(&hist, &RefineCfg::default()) {
+            // The scheduler re-broadcasts the larger refined table to every
+            // producer before any tuple moves.
+            let bytes = machine.cfg.cost.split_table_bytes(refined.entries());
+            for &n in &disk_nodes {
+                machine.fabric.scheduler_control(&mut ledgers[n], n, bytes);
+            }
+            *part = refined;
+        }
+        // ---- Wave B: route the held records through the (possibly
+        // refined) table. Hashes were computed in wave A. ----
+        let mut route_states: Vec<RouteState> = sample_states
+            .into_iter()
+            .map(|(_, recs, hashed, _)| (recs, hashed, shard_proto.clone()))
+            .collect();
+        {
+            let part = &*part;
+            run_step(
+                machine,
+                &mut ledgers,
+                "bucket-form",
+                &disk_nodes,
+                &mut route_states,
+                |ctx, (recs, hashed, shard)| {
+                    for (rec, (val, h)) in std::mem::take(recs).into_iter().zip(hashed.iter()) {
+                        ctx.charge(ctx.cost.route_us);
+                        match part.route(*h) {
+                            Route::Spool { node: dst, bucket } => {
+                                if let Some(shard) = shard {
+                                    ctx.charge(ctx.cost.filter_set_us);
+                                    shard[bucket - 1].set(*val);
+                                } else if let Some(filters) = test_filters {
+                                    ctx.charge(ctx.cost.filter_test_us);
+                                    if !filters[bucket - 1].test(*val) {
+                                        ctx.ledger.counts.filter_drops += 1;
+                                        #[cfg(feature = "metrics")]
+                                        gamma_metrics::counter_add(
+                                            "filter_drops",
+                                            ctx.node as u16,
+                                            "forming",
+                                            1,
+                                        );
+                                        continue;
+                                    }
+                                }
+                                ctx.send(dst, tag(TAG_BUCKET, bucket), rec);
+                            }
+                            Route::Join { .. } => {
+                                unreachable!("grace tables never route to join")
                             }
                         }
-                        ctx.send(dst, TAG_BUCKET | bucket as u32, rec);
                     }
-                    Route::Join { .. } => unreachable!("grace tables never route to join"),
+                },
+            );
+        }
+        if let FormFilters::Build(main) = &mut form_filters {
+            for (_, _, shard) in &route_states {
+                for (m, s) in main.iter_mut().zip(shard.as_ref().expect("build shard")) {
+                    m.or_with(s);
                 }
             }
-        },
-    );
-    if let FormFilters::Build(main) = &mut form_filters {
-        for (_, shard) in &states {
-            for (m, s) in main.iter_mut().zip(shard.as_ref().expect("build shard")) {
-                m.or_with(s);
+        }
+    } else {
+        let mut states: Vec<(FileId, Option<Vec<BitFilter>>)> = disk_nodes
+            .iter()
+            .map(|&n| (fragments[n], shard_proto.clone()))
+            .collect();
+        {
+            let part = &*part;
+            run_step(
+                machine,
+                &mut ledgers,
+                "bucket-form",
+                &disk_nodes,
+                &mut states,
+                |ctx, (file, shard)| {
+                    let recs = scan::scan_fragment(ctx, *file, pred);
+                    // Pure per-tuple routing, chunked on the pool; charges,
+                    // filter updates and sends replay in record order below.
+                    let routed = ctx.par_map(&recs, |rec| {
+                        let val = attr.get(rec);
+                        (val, part.route(hash_u32(JOIN_SEED, val)))
+                    });
+                    for (rec, (val, route)) in recs.into_iter().zip(routed) {
+                        ctx.charge(ctx.cost.hash_us + ctx.cost.route_us);
+                        match route {
+                            Route::Spool { node: dst, bucket } => {
+                                if let Some(shard) = shard {
+                                    ctx.charge(ctx.cost.filter_set_us);
+                                    shard[bucket - 1].set(val);
+                                } else if let Some(filters) = test_filters {
+                                    ctx.charge(ctx.cost.filter_test_us);
+                                    if !filters[bucket - 1].test(val) {
+                                        ctx.ledger.counts.filter_drops += 1;
+                                        #[cfg(feature = "metrics")]
+                                        gamma_metrics::counter_add(
+                                            "filter_drops",
+                                            ctx.node as u16,
+                                            "forming",
+                                            1,
+                                        );
+                                        continue;
+                                    }
+                                }
+                                ctx.send(dst, tag(TAG_BUCKET, bucket), rec);
+                            }
+                            Route::Join { .. } => {
+                                unreachable!("grace tables never route to join")
+                            }
+                        }
+                    }
+                },
+            );
+        }
+        if let FormFilters::Build(main) = &mut form_filters {
+            for (_, shard) in &states {
+                for (m, s) in main.iter_mut().zip(shard.as_ref().expect("build shard")) {
+                    m.or_with(s);
+                }
             }
         }
     }
@@ -240,13 +346,19 @@ pub(super) fn join_bucket_group(
                     });
                     for (rec, i) in recs.into_iter().zip(routed) {
                         ctx.charge(ctx.cost.hash_us + ctx.cost.route_us);
-                        ctx.send(rz.join_nodes[i], TAG_BUILD | i as u32, rec);
+                        ctx.send(rz.join_nodes[i], tag(TAG_BUILD, i), rec);
                     }
                 }
             },
         );
     }
     consumers.settle(machine, &mut ledgers, sink);
+    if rz.dynamic_spill {
+        // The build side has settled: read each overflowed site's R' spool
+        // back, raise its table cutoff as far as the freed slack allows,
+        // and re-admit the restorable band. Only the residue stays spilled.
+        restore_spills(machine, &mut ledgers, &mut consumers, &sites, sink);
+    }
     let mut sched = dispatch_overhead(machine, &mut ledgers, &disk_nodes, table_bytes);
     sched += dispatch_overhead(machine, &mut ledgers, &rz.join_nodes, table_bytes);
     phases.push(PhaseRecord::new(
@@ -288,9 +400,9 @@ pub(super) fn join_bucket_group(
                         if snap.filter_drops(ctx, i, val) {
                             // dropped at the source
                         } else if snap.outer_diverts(i, val) {
-                            ctx.send(sites.home(i), TAG_SPOOL_S | i as u32, rec);
+                            ctx.send(sites.home(i), tag(TAG_SPOOL_S, i), rec);
                         } else {
-                            ctx.send(rz.join_nodes[i], TAG_PROBE | i as u32, rec);
+                            ctx.send(rz.join_nodes[i], tag(TAG_PROBE, i), rec);
                         }
                     }
                 }
@@ -323,15 +435,26 @@ pub(super) fn join_bucket_group(
         filter_bits: rz.filter_bits,
         filter_salt: salt.wrapping_add(0x77),
     };
-    let stats = resolve_overflows(
-        machine,
-        &env,
-        pairs,
-        1,
-        sink,
-        phases,
-        &format!("bucket {label} "),
-    );
+    let stats = if rz.dynamic_spill {
+        resolve_overflows_robust(
+            machine,
+            &env,
+            pairs,
+            sink,
+            phases,
+            &format!("bucket {label} "),
+        )
+    } else {
+        resolve_overflows(
+            machine,
+            &env,
+            pairs,
+            1,
+            sink,
+            phases,
+            &format!("bucket {label} "),
+        )
+    };
 
     for &node in &disk_nodes {
         for &f in &r_group[node] {
@@ -386,7 +509,7 @@ pub(super) fn tune_buckets(
 pub fn run(machine: &mut Machine, rz: &Resolved) -> DriverOutput {
     let buckets = rz.buckets;
     let disk_nodes = machine.disk_nodes();
-    let part = PartitioningSplitTable::grace(&disk_nodes, buckets);
+    let mut part = PartitioningSplitTable::grace(&disk_nodes, buckets);
     let mut phases = Vec::new();
     let mut sink = ResultSink::new(machine);
 
@@ -396,11 +519,14 @@ pub fn run(machine: &mut Machine, rz: &Resolved) -> DriverOutput {
     let mut form = rz
         .filter_bucket_forming
         .then(|| bucket_filters(machine, buckets, GRACE_SALT));
+    // Refinement samples only the inner relation's distribution; the S
+    // pass then routes through the same (possibly refined) table so
+    // matching tuples stay co-located.
     let r_files = bucket_form(
         machine,
         &mut phases,
         &mut sink,
-        &part,
+        &mut part,
         &rz.r_fragments,
         rz.r_attr,
         rz.r_pred,
@@ -410,12 +536,13 @@ pub fn run(machine: &mut Machine, rz: &Resolved) -> DriverOutput {
             Some(f) => FormFilters::Build(f),
             None => FormFilters::Off,
         },
+        rz.skew_refinement,
     );
     let s_files = bucket_form(
         machine,
         &mut phases,
         &mut sink,
-        &part,
+        &mut part,
         &rz.s_fragments,
         rz.s_attr,
         rz.s_pred,
@@ -425,6 +552,7 @@ pub fn run(machine: &mut Machine, rz: &Resolved) -> DriverOutput {
             Some(f) => FormFilters::Test(f),
             None => FormFilters::Off,
         },
+        false,
     );
 
     // Phase 3: join the buckets consecutively — grouped by measured size

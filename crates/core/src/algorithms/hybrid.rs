@@ -15,14 +15,14 @@ use gamma_wiss::FileId;
 use crate::bitfilter::BitFilter;
 use crate::exec::control::{broadcast_filters, dispatch_overhead};
 use crate::exec::hash::{
-    resolve_overflows, take_overflows, Consumers, OverflowEnv, TAG_BUCKET, TAG_BUILD, TAG_PROBE,
-    TAG_SPOOL_S,
+    resolve_overflows, resolve_overflows_robust, restore_spills, tag, take_overflows, Consumers,
+    OverflowEnv, TAG_BUCKET, TAG_BUILD, TAG_PROBE, TAG_SPOOL_S,
 };
 use crate::exec::{run_step, scan};
 use crate::hash::{hash_u32, JOIN_SEED};
 use crate::machine::{Machine, ResultSink};
 use crate::report::{DriverOutput, PhaseRecord};
-use crate::split::{PartitioningSplitTable, Route};
+use crate::split::{PartitioningSplitTable, RefineCfg, Route};
 
 use super::common::Resolved;
 use super::grace::{bucket_filters, join_bucket};
@@ -34,8 +34,7 @@ const HYBRID_SALT: u64 = 0x4B;
 pub fn run(machine: &mut Machine, rz: &Resolved) -> DriverOutput {
     let buckets = rz.buckets;
     let disk_nodes = machine.disk_nodes();
-    let part = PartitioningSplitTable::hybrid(&rz.join_nodes, &disk_nodes, buckets);
-    let table_bytes = machine.cfg.cost.split_table_bytes(part.entries());
+    let mut part = PartitioningSplitTable::hybrid(&rz.join_nodes, &disk_nodes, buckets);
     let mut phases = Vec::new();
     let mut sink = ResultSink::new(machine);
 
@@ -72,54 +71,151 @@ pub fn run(machine: &mut Machine, rz: &Resolved) -> DriverOutput {
     // Building producers each fill a private filter shard; the shards are
     // OR-folded below (commutative, so worker scheduling cannot matter).
     let shard_proto: Option<Vec<BitFilter>> = form_filters.clone();
-    let mut r_states: Vec<(FileId, Option<Vec<BitFilter>>)> = disk_nodes
-        .iter()
-        .map(|&n| (rz.r_fragments[n], shard_proto.clone()))
-        .collect();
-    {
-        let part = &part;
+    if rz.skew_refinement {
+        // ---- Wave A: sample. Scan each fragment, hash every tuple, and
+        // build a per-split-table-entry histogram. The scanned records stay
+        // resident on the scan node so wave B can route them without a
+        // second disk pass; the extra cost is one histogram update per
+        // tuple plus the refined-table re-broadcast. ----
+        let e = part.entries();
+        type SampleState = (FileId, Vec<Vec<u8>>, Vec<(u32, u64)>, Vec<u64>);
+        // Held tuples + their (value, hash) pairs + this node's filter shards.
+        type RouteState = (Vec<Vec<u8>>, Vec<(u32, u64)>, Option<Vec<BitFilter>>);
+        let mut sample_states: Vec<SampleState> = disk_nodes
+            .iter()
+            .map(|&n| (rz.r_fragments[n], Vec::new(), Vec::new(), vec![0u64; e]))
+            .collect();
         run_step(
             machine,
             &mut ledgers,
-            "partition R",
+            "sample R",
             &disk_nodes,
-            &mut r_states,
-            |ctx, (file, shard)| {
-                let recs = scan::scan_fragment(ctx, *file, rz.r_pred);
-                // Pure per-tuple hashing, chunked on the pool; charges,
-                // filter updates and sends replay in record order below.
-                let routed = ctx.par_map(&recs, |rec| {
+            &mut sample_states,
+            |ctx, (file, recs, hashed, hist)| {
+                *recs = scan::scan_fragment(ctx, *file, rz.r_pred);
+                *hashed = ctx.par_map(recs, |rec| {
                     let val = rz.r_attr.get(rec);
                     (val, hash_u32(JOIN_SEED, val))
                 });
-                for (rec, (val, h)) in recs.into_iter().zip(routed) {
-                    ctx.charge(ctx.cost.hash_us + ctx.cost.route_us);
-                    match part.route(h) {
-                        Route::Join { node: dst } => {
-                            let i = part.join_site_index(h);
-                            ctx.send(dst, TAG_BUILD | i as u32, rec);
-                        }
-                        Route::Spool { node: dst, bucket } => {
-                            if let Some(shard) = shard {
-                                ctx.charge(ctx.cost.filter_set_us);
-                                shard[bucket - 1].set(val);
-                            }
-                            ctx.send(dst, TAG_BUCKET | bucket as u32, rec);
-                        }
-                    }
+                for (_, h) in hashed.iter() {
+                    ctx.charge(ctx.cost.hash_us + ctx.cost.histogram_update_us);
+                    hist[(*h % e as u64) as usize] += 1;
                 }
             },
         );
-    }
-    if let Some(main) = &mut form_filters {
-        for (_, shard) in &r_states {
-            for (m, s) in main.iter_mut().zip(shard.as_ref().expect("build shard")) {
-                m.or_with(s);
+        let mut hist = vec![0u64; e];
+        for (_, _, _, local) in &sample_states {
+            for (m, v) in hist.iter_mut().zip(local) {
+                *m += v;
+            }
+        }
+        if let Some(refined) = part.refine(&hist, &RefineCfg::default()) {
+            // The scheduler re-broadcasts the larger refined table to every
+            // producer before any tuple moves.
+            let bytes = machine.cfg.cost.split_table_bytes(refined.entries());
+            for &n in &disk_nodes {
+                machine.fabric.scheduler_control(&mut ledgers[n], n, bytes);
+            }
+            part = refined;
+        }
+        // ---- Wave B: route the held records through the (possibly
+        // refined) table. Hashes were computed in wave A. ----
+        let mut route_states: Vec<RouteState> = sample_states
+            .into_iter()
+            .map(|(_, recs, hashed, _)| (recs, hashed, shard_proto.clone()))
+            .collect();
+        {
+            let part = &part;
+            run_step(
+                machine,
+                &mut ledgers,
+                "partition R",
+                &disk_nodes,
+                &mut route_states,
+                |ctx, (recs, hashed, shard)| {
+                    for (rec, (val, h)) in std::mem::take(recs).into_iter().zip(hashed.iter()) {
+                        ctx.charge(ctx.cost.route_us);
+                        match part.route(*h) {
+                            Route::Join { node: dst } => {
+                                let i = part.join_site_index(*h);
+                                ctx.send(dst, tag(TAG_BUILD, i), rec);
+                            }
+                            Route::Spool { node: dst, bucket } => {
+                                if let Some(shard) = shard {
+                                    ctx.charge(ctx.cost.filter_set_us);
+                                    shard[bucket - 1].set(*val);
+                                }
+                                ctx.send(dst, tag(TAG_BUCKET, bucket), rec);
+                            }
+                        }
+                    }
+                },
+            );
+        }
+        if let Some(main) = &mut form_filters {
+            for (_, _, shard) in &route_states {
+                for (m, s) in main.iter_mut().zip(shard.as_ref().expect("build shard")) {
+                    m.or_with(s);
+                }
+            }
+        }
+    } else {
+        let mut r_states: Vec<(FileId, Option<Vec<BitFilter>>)> = disk_nodes
+            .iter()
+            .map(|&n| (rz.r_fragments[n], shard_proto.clone()))
+            .collect();
+        {
+            let part = &part;
+            run_step(
+                machine,
+                &mut ledgers,
+                "partition R",
+                &disk_nodes,
+                &mut r_states,
+                |ctx, (file, shard)| {
+                    let recs = scan::scan_fragment(ctx, *file, rz.r_pred);
+                    // Pure per-tuple hashing, chunked on the pool; charges,
+                    // filter updates and sends replay in record order below.
+                    let routed = ctx.par_map(&recs, |rec| {
+                        let val = rz.r_attr.get(rec);
+                        (val, hash_u32(JOIN_SEED, val))
+                    });
+                    for (rec, (val, h)) in recs.into_iter().zip(routed) {
+                        ctx.charge(ctx.cost.hash_us + ctx.cost.route_us);
+                        match part.route(h) {
+                            Route::Join { node: dst } => {
+                                let i = part.join_site_index(h);
+                                ctx.send(dst, tag(TAG_BUILD, i), rec);
+                            }
+                            Route::Spool { node: dst, bucket } => {
+                                if let Some(shard) = shard {
+                                    ctx.charge(ctx.cost.filter_set_us);
+                                    shard[bucket - 1].set(val);
+                                }
+                                ctx.send(dst, tag(TAG_BUCKET, bucket), rec);
+                            }
+                        }
+                    }
+                },
+            );
+        }
+        if let Some(main) = &mut form_filters {
+            for (_, shard) in &r_states {
+                for (m, s) in main.iter_mut().zip(shard.as_ref().expect("build shard")) {
+                    m.or_with(s);
+                }
             }
         }
     }
     consumers.settle(machine, &mut ledgers, &mut sink);
+    if rz.dynamic_spill {
+        // The build side has settled: read each overflowed site's R' spool
+        // back, raise its table cutoff as far as the freed slack allows,
+        // and re-admit the restorable band. Only the residue stays spilled.
+        restore_spills(machine, &mut ledgers, &mut consumers, &sites, &mut sink);
+    }
     let r_files = consumers.close_buckets(machine, &mut ledgers);
+    let table_bytes = machine.cfg.cost.split_table_bytes(part.entries());
     let mut sched = dispatch_overhead(machine, &mut ledgers, &disk_nodes, table_bytes);
     sched += dispatch_overhead(machine, &mut ledgers, &rz.join_nodes, table_bytes);
     phases.push(PhaseRecord::new(
@@ -169,9 +265,9 @@ pub fn run(machine: &mut Machine, rz: &Resolved) -> DriverOutput {
                             if snap.filter_drops(ctx, i, val) {
                                 // dropped at the source
                             } else if snap.outer_diverts(i, val) {
-                                ctx.send(sites.home(i), TAG_SPOOL_S | i as u32, rec);
+                                ctx.send(sites.home(i), tag(TAG_SPOOL_S, i), rec);
                             } else {
-                                ctx.send(dst, TAG_PROBE | i as u32, rec);
+                                ctx.send(dst, tag(TAG_PROBE, i), rec);
                             }
                         }
                         Route::Spool { node: dst, bucket } => {
@@ -189,7 +285,7 @@ pub fn run(machine: &mut Machine, rz: &Resolved) -> DriverOutput {
                                     continue;
                                 }
                             }
-                            ctx.send(dst, TAG_BUCKET | bucket as u32, rec);
+                            ctx.send(dst, tag(TAG_BUCKET, bucket), rec);
                         }
                     }
                 }
@@ -222,7 +318,11 @@ pub fn run(machine: &mut Machine, rz: &Resolved) -> DriverOutput {
         filter_bits: rz.filter_bits,
         filter_salt: HYBRID_SALT.wrapping_add(0x99),
     };
-    let stats = resolve_overflows(machine, &env, pairs, 1, &mut sink, &mut phases, "bucket 1 ");
+    let stats = if rz.dynamic_spill {
+        resolve_overflows_robust(machine, &env, pairs, &mut sink, &mut phases, "bucket 1 ")
+    } else {
+        resolve_overflows(machine, &env, pairs, 1, &mut sink, &mut phases, "bucket 1 ")
+    };
     let mut overflow_passes = stats.passes;
     let mut bnl = stats.bnl_fallback;
 

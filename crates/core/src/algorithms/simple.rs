@@ -8,7 +8,8 @@
 
 use crate::exec::control::{broadcast_filters, dispatch_overhead};
 use crate::exec::hash::{
-    resolve_overflows, take_overflows, Consumers, OverflowEnv, TAG_BUILD, TAG_PROBE, TAG_SPOOL_S,
+    resolve_overflows, resolve_overflows_robust, restore_spills, tag, take_overflows, Consumers,
+    OverflowEnv, TAG_BUILD, TAG_PROBE, TAG_SPOOL_S,
 };
 use crate::exec::{run_step, scan};
 use crate::hash::{hash_u32, JOIN_SEED};
@@ -63,12 +64,18 @@ pub fn run(machine: &mut Machine, rz: &Resolved) -> DriverOutput {
                 });
                 for (rec, i) in recs.into_iter().zip(routed) {
                     ctx.charge(ctx.cost.hash_us + ctx.cost.route_us);
-                    ctx.send(rz.join_nodes[i], TAG_BUILD | i as u32, rec);
+                    ctx.send(rz.join_nodes[i], tag(TAG_BUILD, i), rec);
                 }
             },
         );
     }
     consumers.settle(machine, &mut ledgers, &mut sink);
+    if rz.dynamic_spill {
+        // The build side has settled: read each overflowed site's R' spool
+        // back, raise its table cutoff as far as the freed slack allows,
+        // and re-admit the restorable band. Only the residue stays spilled.
+        restore_spills(machine, &mut ledgers, &mut consumers, &sites, &mut sink);
+    }
     let mut sched = dispatch_overhead(machine, &mut ledgers, &disk_nodes, table_bytes);
     sched += dispatch_overhead(machine, &mut ledgers, &rz.join_nodes, table_bytes);
     phases.push(PhaseRecord::new("build R", ledgers, sched));
@@ -105,9 +112,9 @@ pub fn run(machine: &mut Machine, rz: &Resolved) -> DriverOutput {
                     if snap.filter_drops(ctx, i, val) {
                         // dropped at the source
                     } else if snap.outer_diverts(i, val) {
-                        ctx.send(sites.home(i), TAG_SPOOL_S | i as u32, rec);
+                        ctx.send(sites.home(i), tag(TAG_SPOOL_S, i), rec);
                     } else {
-                        ctx.send(rz.join_nodes[i], TAG_PROBE | i as u32, rec);
+                        ctx.send(rz.join_nodes[i], tag(TAG_PROBE, i), rec);
                     }
                 }
             },
@@ -128,7 +135,11 @@ pub fn run(machine: &mut Machine, rz: &Resolved) -> DriverOutput {
         filter_bits: rz.filter_bits,
         filter_salt: SIMPLE_SALT,
     };
-    let stats = resolve_overflows(machine, &env, pairs, 1, &mut sink, &mut phases, "simple ");
+    let stats = if rz.dynamic_spill {
+        resolve_overflows_robust(machine, &env, pairs, &mut sink, &mut phases, "simple ")
+    } else {
+        resolve_overflows(machine, &env, pairs, 1, &mut sink, &mut phases, "simple ")
+    };
 
     let last = phases.last_mut().expect("at least two phases");
     let result = sink.finish(machine, &mut last.ledgers);

@@ -56,8 +56,29 @@ pub const TAG_PART: u32 = 0x70 << 24;
 /// carry the 1-based bucket number.
 pub const TAG_BUCKET: u32 = 0x62 << 24;
 
-const TAG_KIND: u32 = 0xFF00_0000;
-const TAG_ARG: u32 = 0x00FF_FFFF;
+/// Mask selecting a tag's kind byte.
+pub const TAG_KIND: u32 = 0xFF00_0000;
+/// Mask selecting a tag's 24-bit argument payload (site or bucket index).
+pub const TAG_ARG: u32 = 0x00FF_FFFF;
+
+/// Compose a stream tag from a kind constant and its site/bucket argument.
+/// Panics with context when the argument would overflow the 24-bit payload
+/// (an unchecked `TAG_X | arg as u32` would silently corrupt the kind byte
+/// and misroute the stream).
+#[inline]
+pub fn tag(kind: u32, arg: usize) -> u32 {
+    assert_eq!(
+        kind & TAG_ARG,
+        0,
+        "tag kind {kind:#010x} has payload bits set"
+    );
+    assert!(
+        arg as u64 <= TAG_ARG as u64,
+        "tag argument {arg} (kind {:#04x}) overflows the 24-bit payload",
+        kind >> 24
+    );
+    kind | arg as u32
+}
 
 #[inline]
 fn tag_arg(tag: u32) -> usize {
@@ -185,7 +206,7 @@ impl JoinNode {
             gamma_trace::EventKind::HashInsert,
         );
         let home = site.overflow_home;
-        let spool_tag = TAG_SPOOL_R | i as u32;
+        let spool_tag = tag(TAG_SPOOL_R, i);
         match site.table.offer(val, tuple, ctx.cost.overflow_clear_pct) {
             Offer::Stored => {}
             Offer::Diverted(t) => ctx.send(home, spool_tag, t),
@@ -492,7 +513,7 @@ impl Consumers {
             for b in first..=last {
                 let w = HeapWriter::create(machine.nodes[n].vol_mut(), page);
                 let prev = self.nodes[n].buckets.insert(
-                    TAG_BUCKET | b as u32,
+                    tag(TAG_BUCKET, b),
                     SpoolFile {
                         writer: w,
                         count: 0,
@@ -643,12 +664,8 @@ pub fn take_overflows(
     for i in 0..sites.len() {
         consumers.nodes[sites.nodes[i]].site = None;
         let home = sites.homes[i];
-        let r = consumers.nodes[home]
-            .spools
-            .remove(&(TAG_SPOOL_R | i as u32));
-        let s = consumers.nodes[home]
-            .spools
-            .remove(&(TAG_SPOOL_S | i as u32));
+        let r = consumers.nodes[home].spools.remove(&tag(TAG_SPOOL_R, i));
+        let s = consumers.nodes[home].spools.remove(&tag(TAG_SPOOL_S, i));
         if r.is_none() && s.is_none() {
             continue;
         }
@@ -657,6 +674,165 @@ pub fn take_overflows(
         pairs.push(OverflowPair { r, s });
     }
     pairs
+}
+
+/// Outcome of one dynamic restore pass ([`restore_spills`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RestoreStats {
+    /// Spilled inner tuples read back and re-admitted to site tables.
+    pub restored_tuples: u64,
+    /// Spilled inner tuples that stayed spilled (rewritten to fresh spools).
+    pub respooled_tuples: u64,
+    /// Overflowed sites the pass planned a restore for.
+    pub sites_touched: usize,
+}
+
+/// One site's restore work, staged at its overflow home node.
+struct RestoreJob {
+    site: usize,
+    site_node: NodeId,
+    file: FileId,
+    slack: u64,
+    floor_cell: usize,
+    seed: u64,
+    overhead: u64,
+    r_attr: Attr,
+}
+
+/// Incremental restore (the dynamic spill/restore path): after the build
+/// round settles, each overflowed site's `R'` spool is read back at its
+/// home, a per-`h'`-cell byte histogram is taken, and the cutoff is raised
+/// cell-by-cell as far as the site's remaining slack allows — re-admitting
+/// that range to the table and rewriting only the residue to a fresh spool.
+/// The all-or-nothing alternative (what the legacy path does) leaves the
+/// whole spilled range for a full recursive respray even when the clearing
+/// heuristic overshot by one histogram cell; this pass makes the spilled
+/// fraction track actual memory pressure, which is what removes the
+/// memory-ratio cliff.
+///
+/// Must run after the build side has fully settled and before the probe
+/// snapshot is taken, so the raised cutoffs divert strictly fewer outer
+/// tuples. The resident-set invariant (residents = offered tuples with
+/// `h' <` cutoff) is preserved because every spilled tuple in the raised
+/// range is re-sent through the normal build stage before the raise is
+/// observable by any producer.
+pub fn restore_spills(
+    machine: &mut Machine,
+    ledgers: &mut Ledgers,
+    consumers: &mut Consumers,
+    sites: &JoinSites,
+    sink: &mut ResultSink,
+) -> RestoreStats {
+    let mut by_home: BTreeMap<NodeId, Vec<RestoreJob>> = BTreeMap::new();
+    for i in 0..sites.len() {
+        let home = sites.homes[i];
+        let Some(sf) = consumers.nodes[home].spools.remove(&tag(TAG_SPOOL_R, i)) else {
+            continue;
+        };
+        let site_node = sites.nodes[i];
+        let site = consumers.nodes[site_node].site.as_ref().expect("site");
+        let floor_cell = site
+            .table
+            .cutoff_cell()
+            .expect("a spooled site must have a cutoff");
+        let job = RestoreJob {
+            site: i,
+            site_node,
+            file: {
+                let (vol, pool) = machine.nodes[home].vp();
+                sf.writer.finish(vol, pool, &mut ledgers[home])
+            },
+            slack: site.table.slack_bytes(),
+            floor_cell,
+            seed: site.table.hprime_seed(),
+            overhead: site.table.entry_footprint(0),
+            r_attr: site.r_attr,
+        };
+        by_home.entry(home).or_default().push(job);
+    }
+    let mut stats = RestoreStats::default();
+    if by_home.is_empty() {
+        return stats;
+    }
+    let homes: Vec<NodeId> = by_home.keys().copied().collect();
+    type Planned = (usize, Option<u64>, u64, u64);
+    let mut states: Vec<(Vec<RestoreJob>, Vec<Planned>)> = by_home
+        .into_values()
+        .map(|jobs| (jobs, Vec::new()))
+        .collect();
+    run_step(
+        machine,
+        ledgers,
+        "restore spills",
+        &homes,
+        &mut states,
+        |ctx, (jobs, out)| {
+            for job in jobs.iter() {
+                let recs = ctx.read_records(job.file);
+                let cells = ctx.par_map(&recs, |rec| {
+                    crate::hash_table::hprime_cell_of(job.seed, job.r_attr.get(rec))
+                });
+                // Plan: spilled bytes per h' cell, then raise the cutoff
+                // cell-by-cell while the restored range fits the slack.
+                let mut per_cell = vec![0u64; JoinHashTable::CELLS];
+                for (rec, &cell) in recs.iter().zip(&cells) {
+                    ctx.charge(ctx.cost.hash_us + ctx.cost.histogram_update_us);
+                    per_cell[cell] += rec.len() as u64 + job.overhead;
+                }
+                let mut cell = job.floor_cell;
+                let mut budget = job.slack;
+                while cell < JoinHashTable::CELLS && per_cell[cell] <= budget {
+                    budget -= per_cell[cell];
+                    cell += 1;
+                }
+                let new_cutoff =
+                    (cell < JoinHashTable::CELLS).then(|| JoinHashTable::cell_cutoff(cell));
+                let (mut restored, mut respooled) = (0u64, 0u64);
+                let (mut restored_b, mut respooled_b) = (0u64, 0u64);
+                for (rec, c) in recs.into_iter().zip(cells) {
+                    ctx.charge(ctx.cost.route_us);
+                    if c < cell {
+                        restored += 1;
+                        restored_b += rec.len() as u64;
+                        ctx.send(job.site_node, tag(TAG_BUILD, job.site), rec);
+                    } else {
+                        respooled += 1;
+                        respooled_b += rec.len() as u64;
+                        ctx.send(ctx.node, tag(TAG_SPOOL_R, job.site), rec);
+                    }
+                }
+                let page = ctx.cost.disk.page_bytes as u64;
+                let pr = restored_b.div_ceil(page);
+                let ps = respooled_b.div_ceil(page);
+                ctx.ledger.counts.pages_restored += pr;
+                ctx.ledger.counts.pages_spilled += ps;
+                #[cfg(feature = "metrics")]
+                {
+                    gamma_metrics::counter_add("pages_restored", ctx.node as u16, "restore", pr);
+                    gamma_metrics::counter_add("pages_spilled", ctx.node as u16, "restore", ps);
+                }
+                out.push((job.site, new_cutoff, restored, respooled));
+            }
+        },
+    );
+    // Raise the cutoffs before absorbing: the re-sent build tuples must be
+    // admitted (they fit the slack by construction).
+    for (jobs, outs) in &states {
+        for &(site, new_cutoff, restored, respooled) in outs {
+            let node = sites.nodes[site];
+            let core = consumers.nodes[node].site.as_mut().expect("site");
+            core.table.raise_cutoff(new_cutoff);
+            stats.restored_tuples += restored;
+            stats.respooled_tuples += respooled;
+            stats.sites_touched += 1;
+        }
+        for job in jobs {
+            let home = sites.homes[job.site];
+            exec::delete_file(machine, home, job.file);
+        }
+    }
+    consumers.settle(machine, ledgers, sink);
+    stats
 }
 
 /// Outcome of [`resolve_overflows`].
@@ -756,7 +932,7 @@ pub fn resolve_overflows(
                         ctx.par_map(&recs, |rec| (hash_u32(seed, r_attr.get(rec)) % j) as usize);
                     for (rec, i) in recs.into_iter().zip(routed) {
                         ctx.charge(ctx.cost.scan_tuple_us + ctx.cost.hash_us + ctx.cost.route_us);
-                        ctx.send(join_nodes[i], TAG_BUILD | i as u32, rec);
+                        ctx.send(join_nodes[i], tag(TAG_BUILD, i), rec);
                     }
                 }
             },
@@ -800,9 +976,9 @@ pub fn resolve_overflows(
                             if snap.filter_drops(ctx, i, val) {
                                 // dropped at the source
                             } else if snap.outer_diverts(i, val) {
-                                ctx.send(sites.home(i), TAG_SPOOL_S | i as u32, rec);
+                                ctx.send(sites.home(i), tag(TAG_SPOOL_S, i), rec);
                             } else {
-                                ctx.send(join_nodes[i], TAG_PROBE | i as u32, rec);
+                                ctx.send(join_nodes[i], tag(TAG_PROBE, i), rec);
                             }
                         }
                     }
@@ -848,6 +1024,123 @@ pub fn resolve_overflows(
         assert!(pass < 64, "overflow recursion ran away");
     }
     stats
+}
+
+/// Robust variant of [`resolve_overflows`] for the dynamic spill/restore
+/// path: join each `(R'_i, S'_i)` pair **in place** at its home node first.
+/// After a restore pass the spilled residue is a narrow `h'` sub-range that
+/// usually fits one full-capacity site table, so the pair joins locally
+/// with zero repartitioning network traffic — only pairs whose `R'` alone
+/// still overflows escalate to the classic global respray. Because a
+/// localized round is not a respray, it does **not** count against
+/// `OverflowStats::passes` (the Figure 7 "optimistic" pass counter); only
+/// escalated classic passes do.
+///
+/// Pairs sharing a home node are processed in successive rounds (one site
+/// per node per round); each round appends one `spill-join` phase.
+pub fn resolve_overflows_robust(
+    machine: &mut Machine,
+    env: &OverflowEnv<'_>,
+    mut pairs: Vec<OverflowPair>,
+    sink: &mut ResultSink,
+    phases: &mut Vec<crate::report::PhaseRecord>,
+    phase_prefix: &str,
+) -> OverflowStats {
+    let mut escalated = Vec::new();
+    let mut round = 0u32;
+    while !pairs.is_empty() {
+        // One pair per home node this round; the rest wait their turn.
+        let mut this_round: BTreeMap<NodeId, OverflowPair> = BTreeMap::new();
+        let mut waiting = Vec::new();
+        for p in pairs {
+            match this_round.entry(p.r.0) {
+                std::collections::btree_map::Entry::Vacant(v) => {
+                    v.insert(p);
+                }
+                std::collections::btree_map::Entry::Occupied(_) => waiting.push(p),
+            }
+        }
+        pairs = waiting;
+        let homes: Vec<NodeId> = this_round.keys().copied().collect();
+        let mut consumers = Consumers::new(machine);
+        let sites = consumers.install_sites(
+            machine,
+            &homes,
+            env.capacity_per_site,
+            env.tuple_bytes,
+            0x4000 + round,
+            env.filter_bits,
+            env.filter_salt.wrapping_add(0x2000 + round as u64),
+            env.r_attr,
+            env.s_attr,
+        );
+        let mut ledgers = machine.ledgers();
+        let mut states: Vec<(usize, OverflowPair)> = this_round.into_values().enumerate().collect();
+        run_step(
+            machine,
+            &mut ledgers,
+            "spill-join build",
+            &homes,
+            &mut states,
+            |ctx, (k, p)| {
+                for rec in ctx.read_records(p.r.1) {
+                    ctx.charge(ctx.cost.scan_tuple_us);
+                    ctx.send(ctx.node, tag(TAG_BUILD, *k), rec);
+                }
+            },
+        );
+        consumers.settle(machine, &mut ledgers, sink);
+        control::broadcast_filters(machine, &mut ledgers, &sites);
+        let snap = consumers.probe_snapshot(&sites);
+        {
+            let snap = &snap;
+            let sites = &sites;
+            let s_attr = env.s_attr;
+            run_step(
+                machine,
+                &mut ledgers,
+                "spill-join probe",
+                &homes,
+                &mut states,
+                |ctx, (k, p)| {
+                    for rec in ctx.read_records(p.s.1) {
+                        ctx.charge(ctx.cost.scan_tuple_us);
+                        let val = s_attr.get(&rec);
+                        if snap.filter_drops(ctx, *k, val) {
+                            // dropped at the source
+                        } else if snap.outer_diverts(*k, val) {
+                            ctx.send(sites.home(*k), tag(TAG_SPOOL_S, *k), rec);
+                        } else {
+                            ctx.send(ctx.node, tag(TAG_PROBE, *k), rec);
+                        }
+                    }
+                },
+            );
+        }
+        consumers.settle(machine, &mut ledgers, sink);
+        escalated.extend(take_overflows(
+            machine,
+            &mut ledgers,
+            &mut consumers,
+            &sites,
+        ));
+        for (_, p) in &states {
+            exec::delete_file(machine, p.r.0, p.r.1);
+            exec::delete_file(machine, p.s.0, p.s.1);
+        }
+        let sched = control::dispatch_overhead(machine, &mut ledgers, &homes, 0);
+        phases.push(crate::report::PhaseRecord::new(
+            format!("{phase_prefix}spill-join r{round}"),
+            ledgers,
+            sched,
+        ));
+        round += 1;
+        assert!(round < 1024, "spill-join rounds ran away");
+    }
+    if escalated.is_empty() {
+        return OverflowStats::default();
+    }
+    resolve_overflows(machine, env, escalated, 1, sink, phases, phase_prefix)
 }
 
 /// Block-nested-loops fallback: join each `(R', S')` pair by staging `R'`
@@ -909,6 +1202,19 @@ mod tests {
         capacity_per_site: u64,
         skew_all_same: bool,
     ) -> (ResultInfo, OverflowStats) {
+        run_simple_mode(n_r, n_s, capacity_per_site, skew_all_same, false).0
+    }
+
+    /// As [`run_simple`], optionally through the dynamic spill/restore path
+    /// (restore after build, localized spill-joins instead of the global
+    /// respray). Also returns the restore stats.
+    fn run_simple_mode(
+        n_r: u32,
+        n_s: u32,
+        capacity_per_site: u64,
+        skew_all_same: bool,
+        robust: bool,
+    ) -> ((ResultInfo, OverflowStats), RestoreStats) {
         let mut m = Machine::new(MachineConfig::local_8());
         let s = schema();
         let attr = s.int_attr("k");
@@ -951,12 +1257,17 @@ mod tests {
                     for rec in ctx.read_records(*f) {
                         let val = attr.get(&rec);
                         let i = (hash_u32(JOIN_SEED, val) % j) as usize;
-                        ctx.send(join_nodes[i], TAG_BUILD | i as u32, rec);
+                        ctx.send(join_nodes[i], tag(TAG_BUILD, i), rec);
                     }
                 },
             );
         }
         consumers.settle(&mut m, &mut ledgers, &mut sink);
+        let restore = if robust {
+            restore_spills(&mut m, &mut ledgers, &mut consumers, &sites, &mut sink)
+        } else {
+            RestoreStats::default()
+        };
 
         let mut ledgers = m.ledgers();
         let snap = consumers.probe_snapshot(&sites);
@@ -976,9 +1287,9 @@ mod tests {
                         let val = attr.get(&rec);
                         let i = (hash_u32(JOIN_SEED, val) % j) as usize;
                         if snap.outer_diverts(i, val) {
-                            ctx.send(sites.home(i), TAG_SPOOL_S | i as u32, rec);
+                            ctx.send(sites.home(i), tag(TAG_SPOOL_S, i), rec);
                         } else {
-                            ctx.send(join_nodes[i], TAG_PROBE | i as u32, rec);
+                            ctx.send(join_nodes[i], tag(TAG_PROBE, i), rec);
                         }
                     }
                 },
@@ -995,10 +1306,14 @@ mod tests {
             filter_bits: None,
             filter_salt: 0,
         };
-        let stats = resolve_overflows(&mut m, &env, pairs, 1, &mut sink, &mut phases, "t:");
+        let stats = if robust {
+            resolve_overflows_robust(&mut m, &env, pairs, &mut sink, &mut phases, "t:")
+        } else {
+            resolve_overflows(&mut m, &env, pairs, 1, &mut sink, &mut phases, "t:")
+        };
         let mut ledgers = m.ledgers();
         let info = sink.finish(&mut m, &mut ledgers);
-        (info, stats)
+        ((info, stats), restore)
     }
 
     #[test]
@@ -1053,7 +1368,7 @@ mod tests {
                     for k in 0..300u32 {
                         let rec = mk(&schema(), k);
                         let i = (hash_u32(JOIN_SEED, k) % 8) as usize;
-                        ctx.send(join_nodes[i], TAG_BUILD | i as u32, rec);
+                        ctx.send(join_nodes[i], tag(TAG_BUILD, i), rec);
                     }
                 },
             );
@@ -1080,7 +1395,7 @@ mod tests {
                             assert!(k >= 300, "a joining tuple was filtered!");
                         } else {
                             kept += 1;
-                            ctx.send(join_nodes[i], TAG_PROBE | i as u32, rec);
+                            ctx.send(join_nodes[i], tag(TAG_PROBE, i), rec);
                         }
                     }
                     (kept, dropped)
@@ -1092,6 +1407,53 @@ mod tests {
         assert!(kept >= 300);
         let info = sink.finish(&mut m, &mut ledgers);
         assert_eq!(info.tuples, 300, "all real matches survive filtering");
+    }
+
+    #[test]
+    fn tag_round_trips_its_argument() {
+        assert_eq!(tag(TAG_BUILD, 0), TAG_BUILD);
+        assert_eq!(tag_arg(tag(TAG_BUCKET, 413)), 413);
+        assert_eq!(tag(TAG_SPOOL_S, TAG_ARG as usize) & TAG_KIND, TAG_SPOOL_S);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows the 24-bit payload")]
+    fn tag_argument_overflow_panics() {
+        let _ = tag(TAG_BUCKET, 1 << 24);
+    }
+
+    #[test]
+    fn dynamic_restore_and_local_spill_join_is_exact() {
+        let ((full, _), _) = run_simple_mode(500, 2000, 1 << 20, false, true);
+        assert_eq!(full.tuples, 2000);
+        // Moderate pressure (~15 % short): restore claws most of the spill
+        // back and the residue joins locally — no classic respray pass.
+        let ((tight, stats), restore) = run_simple_mode(500, 2000, 3_000, false, true);
+        assert_eq!(tight.tuples, 2000, "robust path must not lose matches");
+        assert_eq!(tight.checksum, full.checksum, "same result multiset");
+        assert!(
+            restore.restored_tuples > 0,
+            "restore must re-admit part of the spill: {restore:?}"
+        );
+        assert_eq!(stats.passes, 0, "no classic pass should be needed");
+        assert!(!stats.bnl_fallback);
+        // Extreme pressure (capacity below one site's share): localized
+        // joins escalate as needed but the result is still exact.
+        let ((tiny, _), _) = run_simple_mode(500, 2000, 1_500, false, true);
+        assert_eq!(tiny.tuples, 2000);
+        assert_eq!(tiny.checksum, full.checksum);
+    }
+
+    #[test]
+    fn robust_path_matches_legacy_result_on_pathological_skew() {
+        let ((legacy, lstats), _) = run_simple_mode(400, 400, 3_000, true, false);
+        let ((robust, rstats), _) = run_simple_mode(400, 400, 3_000, true, true);
+        assert!(lstats.bnl_fallback);
+        assert_eq!(robust.tuples, legacy.tuples);
+        assert_eq!(robust.checksum, legacy.checksum);
+        // One dominating value cannot be separated by any partitioning: the
+        // robust path must escalate and end in the same BNL fallback.
+        assert!(rstats.bnl_fallback);
     }
 
     #[test]

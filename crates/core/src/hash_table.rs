@@ -20,6 +20,14 @@ use crate::hash::hash_u32;
 const HIST_CELLS: usize = 256;
 const HIST_SHIFT: u32 = 56;
 
+/// `h'` histogram cell of `val` under `seed` — the same cell boundaries the
+/// table's clearing heuristic uses, computable without the table (restore
+/// planning runs at the overflow home node, not the join site).
+#[inline]
+pub fn hprime_cell_of(seed: u64, val: u32) -> usize {
+    (hash_u32(seed, val) >> HIST_SHIFT) as usize
+}
+
 /// Outcome of offering a tuple to the table.
 #[derive(Debug, PartialEq, Eq)]
 pub enum Offer {
@@ -257,6 +265,60 @@ impl JoinHashTable {
         (matches, chain.len() as u64)
     }
 
+    /// Unused capacity in bytes — how much spilled data a dynamic restore
+    /// pass could re-admit without overflowing again.
+    pub fn slack_bytes(&self) -> u64 {
+        self.capacity_bytes.saturating_sub(self.used_bytes)
+    }
+
+    /// Bytes a stored tuple of `tuple_len` payload bytes occupies (payload
+    /// plus per-entry overhead) — used by the restore pass to plan how much
+    /// spilled data fits into [`slack_bytes`](Self::slack_bytes).
+    pub fn entry_footprint(&self, tuple_len: usize) -> u64 {
+        self.entry_bytes(tuple_len)
+    }
+
+    /// The `h'` histogram cell a value falls into (0..256). Restore planning
+    /// aggregates spilled bytes per cell so a new cutoff can be chosen on
+    /// the same cell boundaries the clearing heuristic uses.
+    #[inline]
+    pub fn hprime_cell(&self, val: u32) -> usize {
+        (self.hprime(val) >> HIST_SHIFT) as usize
+    }
+
+    /// Histogram cell of the current cutoff, if the table overflowed (the
+    /// resident set is exactly the cells below it).
+    pub fn cutoff_cell(&self) -> Option<usize> {
+        self.cutoff.map(|c| (c >> HIST_SHIFT) as usize)
+    }
+
+    /// Cell-aligned cutoff value for histogram cell `cell` (so
+    /// `hprime_cell(v) < cell` ⇔ `hprime(v) < cell_cutoff(cell)`).
+    #[inline]
+    pub fn cell_cutoff(cell: usize) -> u64 {
+        (cell as u64) << HIST_SHIFT
+    }
+
+    /// Number of `h'` histogram cells (cutoffs are aligned to cell
+    /// boundaries; cell index [`HIST_CELLS`] means "no cutoff").
+    pub const CELLS: usize = HIST_CELLS;
+
+    /// Raise (or clear) the overflow cutoff after a dynamic restore pass
+    /// re-admits spilled tuples. The resident-set invariant — residents are
+    /// exactly the offered tuples with `h' <` cutoff — is preserved because
+    /// the caller re-offers every spilled tuple in the raised range before
+    /// any further probe. Raising only: lowering happens solely through the
+    /// clearing heuristic in [`offer`](Self::offer).
+    pub fn raise_cutoff(&mut self, new_cutoff: Option<u64>) {
+        let old = self
+            .cutoff
+            .expect("raise_cutoff on a table that never overflowed");
+        if let Some(c) = new_cutoff {
+            debug_assert!(c >= old, "cutoff may only be raised ({c:#x} < {old:#x})");
+        }
+        self.cutoff = new_cutoff;
+    }
+
     /// Iterate over resident tuples (for building bit filters).
     pub fn resident(&self) -> impl Iterator<Item = (u32, &[u8])> {
         self.buckets
@@ -439,6 +501,62 @@ mod tests {
         }
         assert!(evicted_all > 0);
         assert!(t.used_bytes() <= cap);
+    }
+
+    #[test]
+    fn raising_the_cutoff_readmits_the_restored_range() {
+        let cap = 50_000u64;
+        let mut t = JoinHashTable::new(cap, 208, 5);
+        let mut spooled = Vec::new();
+        let mut v = 0u32;
+        // Fill until the clearing heuristic fires once: it frees ~10 % of
+        // capacity, so the table is left with real slack to restore into.
+        loop {
+            match t.offer(v, tuple(v, 208), 10) {
+                Offer::Stored => {}
+                Offer::Diverted(tu) => spooled.push(tu),
+                Offer::Overflowed {
+                    evicted, diverted, ..
+                } => {
+                    spooled.extend(evicted.into_iter().map(|(_, tu)| tu));
+                    spooled.extend(diverted);
+                    break;
+                }
+            }
+            v += 1;
+        }
+        let old = t.cutoff().expect("the fill must overflow");
+        assert!(!spooled.is_empty());
+        // Plan a restore exactly the way the dynamic path does: pick the
+        // highest cell boundary whose spilled bytes fit in the slack.
+        let old_cell = (old >> HIST_SHIFT) as usize;
+        let mut per_cell = vec![0u64; HIST_CELLS];
+        for tu in &spooled {
+            let v = u32::from_le_bytes(tu[0..4].try_into().unwrap());
+            per_cell[t.hprime_cell(v)] += t.entry_footprint(tu.len());
+        }
+        let mut cell = old_cell;
+        let mut bytes = 0u64;
+        while cell < HIST_CELLS && bytes + per_cell[cell] <= t.slack_bytes() {
+            bytes += per_cell[cell];
+            cell += 1;
+        }
+        assert!(cell > old_cell, "slack must admit at least one cell");
+        let new_cutoff = (cell < HIST_CELLS).then(|| JoinHashTable::cell_cutoff(cell));
+        t.raise_cutoff(new_cutoff);
+        let before = t.len();
+        let mut restored = 0u64;
+        for tu in &spooled {
+            let v = u32::from_le_bytes(tu[0..4].try_into().unwrap());
+            if t.hprime_cell(v) < cell {
+                assert_eq!(t.offer(v, tu.clone(), 10), Offer::Stored);
+                restored += 1;
+            }
+        }
+        assert!(restored > 0, "the restored range must re-admit tuples");
+        assert_eq!(t.len(), before + restored);
+        assert!(t.used_bytes() <= cap);
+        assert_eq!(t.cutoff(), new_cutoff);
     }
 
     #[test]

@@ -117,6 +117,17 @@ pub struct JoinSpec {
     pub inner_pred: Option<RangePred>,
     /// Optional selection on the outer relation.
     pub outer_pred: Option<RangePred>,
+    /// Skew-aware split-table refinement: sample the inner relation's hash
+    /// distribution while it is partitioned, split overloaded split-table
+    /// entries across sites, and re-broadcast the refined table before any
+    /// tuple moves. Off by default (the paper's static split tables).
+    pub skew_refinement: bool,
+    /// Robust dynamic overflow handling: restore spilled build tuples into
+    /// hash-table slack once the build settles, and join residual spill
+    /// partitions locally at their home nodes instead of re-spraying every
+    /// overflow through a full extra pass. Off by default (the paper's
+    /// all-or-nothing Simple-hash overflow machinery).
+    pub dynamic_spill: bool,
 }
 
 impl JoinSpec {
@@ -146,6 +157,8 @@ impl JoinSpec {
             buckets_override: None,
             inner_pred: None,
             outer_pred: None,
+            skew_refinement: false,
+            dynamic_spill: false,
         }
     }
 
@@ -164,6 +177,18 @@ impl JoinSpec {
     /// Builder: set the overflow policy.
     pub fn with_policy(mut self, p: OverflowPolicy) -> Self {
         self.overflow_policy = p;
+        self
+    }
+
+    /// Builder: toggle skew-aware split-table refinement.
+    pub fn with_refinement(mut self, on: bool) -> Self {
+        self.skew_refinement = on;
+        self
+    }
+
+    /// Builder: toggle robust dynamic spill/restore overflow handling.
+    pub fn with_dynamic_spill(mut self, on: bool) -> Self {
+        self.dynamic_spill = on;
         self
     }
 }
@@ -255,6 +280,8 @@ pub fn replay_phases(
                 put("ledger_filter_drops", c.filter_drops);
                 put("ledger_control_msgs", c.control_msgs);
                 put("ledger_overflow_evictions", c.overflow_evictions);
+                put("ledger_pages_spilled", c.pages_spilled);
+                put("ledger_pages_restored", c.pages_restored);
                 if dur > 0 && u.total_demand() > SimTime::ZERO {
                     reg.gauge_max_at("cpu_util_pct", phase, node, "", u.cpu.as_us() * 100 / dur);
                     reg.gauge_max_at("disk_util_pct", phase, node, "", u.disk.as_us() * 100 / dur);
@@ -413,6 +440,8 @@ fn run_join_inner(
         bucket_tuning: tuning,
         r_pred: spec.inner_pred,
         s_pred: spec.outer_pred,
+        skew_refinement: spec.skew_refinement,
+        dynamic_spill: spec.dynamic_spill,
     };
 
     machine.clear_pools();

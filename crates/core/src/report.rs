@@ -104,6 +104,20 @@ pub struct PhaseSummary {
     pub net_wait: SimTime,
 }
 
+impl PhaseSummary {
+    /// Pages the dynamic spill/restore path re-wrote to overflow spools in
+    /// this phase (zero on the legacy all-or-nothing path).
+    pub fn pages_spilled(&self) -> u64 {
+        self.total.counts.pages_spilled
+    }
+
+    /// Pages the dynamic spill/restore path read back and re-admitted to
+    /// hash tables in this phase.
+    pub fn pages_restored(&self) -> u64 {
+        self.total.counts.pages_restored
+    }
+}
+
 /// Everything measured about one join execution.
 #[derive(Debug, Clone)]
 pub struct JoinReport {
@@ -154,6 +168,18 @@ impl JoinReport {
     /// Response time in (fractional) seconds — the unit the paper plots.
     pub fn seconds(&self) -> f64 {
         self.response.as_secs()
+    }
+
+    /// Total pages the dynamic spill/restore path re-wrote to overflow
+    /// spools (zero on the legacy all-or-nothing path).
+    pub fn pages_spilled(&self) -> u64 {
+        self.total.counts.pages_spilled
+    }
+
+    /// Total pages the dynamic spill/restore path read back and re-admitted
+    /// to hash tables.
+    pub fn pages_restored(&self) -> u64 {
+        self.total.counts.pages_restored
     }
 }
 

@@ -75,13 +75,39 @@ impl JoiningSplitTable {
     }
 }
 
+/// Configuration for skew-aware split-table refinement.
+///
+/// An entry is **hot** when its sampled tuple count exceeds
+/// `overload_pct` percent of the mean per-entry count; refinement expands
+/// the table `expand`-fold so each hot residue class splits into `expand`
+/// sub-ranges that are spread round-robin across the table's destinations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefineCfg {
+    /// Hot threshold as a percentage of the mean per-entry load (200 =
+    /// twice the mean).
+    pub overload_pct: u64,
+    /// Sub-ranges each hot entry is split into (the refined table has
+    /// `entries × expand` entries).
+    pub expand: usize,
+}
+
+impl Default for RefineCfg {
+    fn default() -> Self {
+        RefineCfg {
+            overload_pct: 200,
+            expand: 8,
+        }
+    }
+}
+
 /// A partitioning split table (Grace or Hybrid layout).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PartitioningSplitTable {
     entries: Vec<SplitEntry>,
-    /// Entries belonging to bucket 1 that route to join processes rather
-    /// than to disk (Hybrid). Zero for Grace.
-    join_prefix: usize,
+    /// For each entry, `Some(site)` when the entry routes to bucket 1's
+    /// join process `site` rather than to disk (Hybrid); `None` for spool
+    /// entries (all of Grace).
+    join_sites: Vec<Option<u32>>,
 }
 
 impl PartitioningSplitTable {
@@ -94,9 +120,10 @@ impl PartitioningSplitTable {
                 entries.push(SplitEntry { node, bucket: b });
             }
         }
+        let join_sites = vec![None; entries.len()];
         PartitioningSplitTable {
             entries,
-            join_prefix: 0,
+            join_sites,
         }
     }
 
@@ -106,17 +133,20 @@ impl PartitioningSplitTable {
     pub fn hybrid(join_nodes: &[NodeId], disk_nodes: &[NodeId], buckets: usize) -> Self {
         assert!(buckets >= 1 && !join_nodes.is_empty() && !disk_nodes.is_empty());
         let mut entries = Vec::with_capacity(join_nodes.len() + disk_nodes.len() * (buckets - 1));
-        for &node in join_nodes {
+        let mut join_sites = Vec::with_capacity(entries.capacity());
+        for (i, &node) in join_nodes.iter().enumerate() {
             entries.push(SplitEntry { node, bucket: 1 });
+            join_sites.push(Some(i as u32));
         }
         for b in 2..=buckets {
             for &node in disk_nodes {
                 entries.push(SplitEntry { node, bucket: b });
+                join_sites.push(None);
             }
         }
         PartitioningSplitTable {
             entries,
-            join_prefix: join_nodes.len(),
+            join_sites,
         }
     }
 
@@ -136,7 +166,7 @@ impl PartitioningSplitTable {
     pub fn route(&self, h: u64) -> Route {
         let idx = (h % self.entries.len() as u64) as usize;
         let e = self.entries[idx];
-        if idx < self.join_prefix {
+        if self.join_sites[idx].is_some() {
             Route::Join { node: e.node }
         } else {
             Route::Spool {
@@ -151,13 +181,95 @@ impl PartitioningSplitTable {
     #[inline]
     pub fn join_site_index(&self, h: u64) -> usize {
         let idx = (h % self.entries.len() as u64) as usize;
-        debug_assert!(idx < self.join_prefix);
-        idx
+        self.join_sites[idx].expect("join_site_index on a spool entry") as usize
     }
 
     /// Raw entries (tests, display).
     pub fn raw(&self) -> &[SplitEntry] {
         &self.entries
+    }
+
+    /// Per-entry join-site assignments parallel to [`raw`](Self::raw)
+    /// (`Some(site)` for bucket-1 join entries, `None` for spool entries).
+    pub fn raw_join_sites(&self) -> &[Option<u32>] {
+        &self.join_sites
+    }
+
+    /// Skew-aware refinement: given a per-entry tuple-count histogram
+    /// sampled during bucket-forming, split every hot residue class across
+    /// the table's other destinations.
+    ///
+    /// The refined table has `entries × expand` entries; entry `j` covers
+    /// the hash residues `h ≡ j (mod entries × expand)`, all of which
+    /// belong to base residue class `j mod entries` — so non-hot classes
+    /// keep their base destination bit-for-bit, while each hot class's
+    /// `expand` sub-ranges are dealt round-robin across the base table's
+    /// destination pool (join entries over the join-site pool, spool
+    /// entries over the bucket-major spool pool). Tuples with equal keys
+    /// still share a residue, so co-location of matches — the property
+    /// partitioned hash join needs — is preserved by construction.
+    ///
+    /// Returns `None` when no entry is hot (the common, uniform case), so
+    /// callers can skip the re-broadcast.
+    pub fn refine(&self, hist: &[u64], cfg: &RefineCfg) -> Option<PartitioningSplitTable> {
+        let e = self.entries.len();
+        assert_eq!(hist.len(), e, "histogram must have one cell per entry");
+        if cfg.expand < 2 {
+            return None;
+        }
+        let total: u64 = hist.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        // hot ⇔ count > mean × overload_pct / 100, in exact integer math:
+        // count · E · 100 > total · overload_pct.
+        let hot: Vec<bool> = hist
+            .iter()
+            .map(|&c| {
+                (c as u128) * (e as u128) * 100 > (total as u128) * (cfg.overload_pct as u128)
+            })
+            .collect();
+        if !hot.iter().any(|&h| h) {
+            return None;
+        }
+        let join_pool: Vec<(NodeId, u32)> = self
+            .entries
+            .iter()
+            .zip(&self.join_sites)
+            .filter_map(|(en, js)| js.map(|s| (en.node, s)))
+            .collect();
+        let spool_pool: Vec<(NodeId, usize)> = self
+            .entries
+            .iter()
+            .zip(&self.join_sites)
+            .filter(|(_, js)| js.is_none())
+            .map(|(en, _)| (en.node, en.bucket))
+            .collect();
+        let m = e * cfg.expand;
+        let mut entries = Vec::with_capacity(m);
+        let mut join_sites = Vec::with_capacity(m);
+        let (mut rr_join, mut rr_spool) = (0usize, 0usize);
+        for j in 0..m {
+            let c = j % e;
+            if !hot[c] {
+                entries.push(self.entries[c]);
+                join_sites.push(self.join_sites[c]);
+            } else if self.join_sites[c].is_some() {
+                let (node, site) = join_pool[rr_join % join_pool.len()];
+                rr_join += 1;
+                entries.push(SplitEntry { node, bucket: 1 });
+                join_sites.push(Some(site));
+            } else {
+                let (node, bucket) = spool_pool[rr_spool % spool_pool.len()];
+                rr_spool += 1;
+                entries.push(SplitEntry { node, bucket });
+                join_sites.push(None);
+            }
+        }
+        Some(PartitioningSplitTable {
+            entries,
+            join_sites,
+        })
     }
 }
 
@@ -381,5 +493,88 @@ mod tests {
                 "bucket {bucket} must reach every join node with {n} buckets"
             );
         }
+    }
+
+    #[test]
+    fn refine_returns_none_when_uniform() {
+        let t = PartitioningSplitTable::hybrid(&[3, 4], &[1, 2], 3);
+        let hist = vec![100u64; t.entries()];
+        assert_eq!(t.refine(&hist, &RefineCfg::default()), None);
+        assert_eq!(
+            t.refine(&vec![0u64; t.entries()], &RefineCfg::default()),
+            None
+        );
+    }
+
+    #[test]
+    fn refine_splits_a_hot_join_entry_across_all_sites() {
+        let joins: Vec<NodeId> = vec![8, 9, 10, 11];
+        let t = PartitioningSplitTable::hybrid(&joins, &[0, 1], 1);
+        // Entry 2 holds 10× the mean load.
+        let hist = vec![100, 100, 4000, 100];
+        let r = t
+            .refine(&hist, &RefineCfg::default())
+            .expect("entry 2 is hot");
+        assert_eq!(r.entries(), t.entries() * 8);
+        let mut reached = std::collections::HashSet::new();
+        for j in (0..r.entries()).filter(|j| j % t.entries() == 2) {
+            // Every sub-slot of the hot class must stay a join entry…
+            let h = j as u64;
+            match r.route(h) {
+                Route::Join { node } => {
+                    assert!(joins.contains(&node));
+                    assert_eq!(node, joins[r.join_site_index(h)]);
+                    reached.insert(node);
+                }
+                _ => panic!("hot join class must stay in bucket 1"),
+            }
+        }
+        // …and the eight sub-slots are spread over all four sites.
+        assert_eq!(reached.len(), joins.len());
+    }
+
+    #[test]
+    fn refine_preserves_cold_entries_bit_for_bit() {
+        let t = PartitioningSplitTable::hybrid(&[3, 4], &[1, 2], 3);
+        let hist = vec![10, 10, 10, 900, 10, 10];
+        let r = t.refine(&hist, &RefineCfg::default()).unwrap();
+        for h in 0..10_000u64 {
+            let c = (h % t.entries() as u64) as usize;
+            if c != 3 {
+                assert_eq!(r.route(h), t.route(h), "cold class {c} must not move");
+            }
+        }
+    }
+
+    #[test]
+    fn refine_spreads_a_hot_spool_entry_over_nodes_and_buckets() {
+        let disks: Vec<NodeId> = vec![0, 1, 2, 3];
+        let t = PartitioningSplitTable::grace(&disks, 3);
+        let mut hist = vec![50u64; t.entries()];
+        hist[5] = 5000;
+        let r = t.refine(&hist, &RefineCfg::default()).unwrap();
+        let mut nodes = std::collections::HashSet::new();
+        let mut buckets = std::collections::HashSet::new();
+        for j in (0..r.entries()).filter(|j| j % t.entries() == 5) {
+            match r.route(j as u64) {
+                Route::Spool { node, bucket } => {
+                    nodes.insert(node);
+                    buckets.insert(bucket);
+                }
+                _ => panic!("grace tables never route to join"),
+            }
+        }
+        assert!(nodes.len() > 1, "hot range must span multiple nodes");
+        assert!(buckets.len() > 1, "hot range must span multiple buckets");
+    }
+
+    #[test]
+    fn refine_is_deterministic() {
+        let t = PartitioningSplitTable::hybrid(&[3, 4, 5], &[0, 1], 4);
+        let hist: Vec<u64> = (0..t.entries() as u64).map(|i| 1 + i * i * 7).collect();
+        let a = t.refine(&hist, &RefineCfg::default());
+        let b = t.refine(&hist, &RefineCfg::default());
+        assert_eq!(a, b);
+        assert!(a.is_some());
     }
 }

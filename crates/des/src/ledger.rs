@@ -45,6 +45,12 @@ pub struct Counts {
     pub control_msgs: u64,
     /// Tuples evicted to an overflow file by the Simple-hash heuristic.
     pub overflow_evictions: u64,
+    /// 8 KB pages of build input re-written to an overflow spool by the
+    /// dynamic spill/restore path (the residue that stayed spilled).
+    pub pages_spilled: u64,
+    /// 8 KB pages of spilled build input read back and re-admitted to the
+    /// in-memory hash table by the dynamic spill/restore path.
+    pub pages_restored: u64,
 }
 
 impl Counts {
@@ -63,6 +69,8 @@ impl Counts {
         filter_drops: 0,
         control_msgs: 0,
         overflow_evictions: 0,
+        pages_spilled: 0,
+        pages_restored: 0,
     };
 
     /// Total disk page operations.
@@ -88,6 +96,8 @@ impl Add for Counts {
             filter_drops: self.filter_drops + r.filter_drops,
             control_msgs: self.control_msgs + r.control_msgs,
             overflow_evictions: self.overflow_evictions + r.overflow_evictions,
+            pages_spilled: self.pages_spilled + r.pages_spilled,
+            pages_restored: self.pages_restored + r.pages_restored,
         }
     }
 }

@@ -101,18 +101,27 @@ impl WisconsinGen {
     /// `n`, so a 10,000-tuple relation still spans the full domain unless
     /// it is derived via [`WisconsinGen::sample`]).
     pub fn relation(&self, n: usize, tag: u64) -> Vec<WisconsinRow> {
+        // The paper's skewed attribute: N(50,000, 750) over the 100,000
+        // domain. For scaled-down relations the distribution scales with n
+        // so skew experiments stay meaningful at test sizes; at n=100,000
+        // this is exactly the paper's distribution.
+        let sd = (750.0 * n as f64 / 100_000.0).max(1.0);
+        self.relation_nu(n, tag, sd)
+    }
+
+    /// Generate an `n`-tuple relation with an explicit standard deviation
+    /// for the `normal` attribute (Table 3-style nonuniform data at a
+    /// chosen sharpness). `relation` delegates here with the benchmark's
+    /// scaled default, so both draw the identical rng stream: equal `sd`
+    /// produces byte-identical rows.
+    pub fn relation_nu(&self, n: usize, tag: u64, sd: f64) -> Vec<WisconsinRow> {
         let mut rng = StdRng::seed_from_u64(self.seed ^ tag.wrapping_mul(0x9E3779B97F4A7C15));
         let mut u1: Vec<u32> = (0..n as u32).collect();
         u1.shuffle(&mut rng);
         let mut u2: Vec<u32> = (0..n as u32).collect();
         u2.shuffle(&mut rng);
-        // The paper's skewed attribute: N(50,000, 750) over the 100,000
-        // domain. For scaled-down relations the distribution scales with n
-        // so skew experiments stay meaningful at test sizes; at n=100,000
-        // this is exactly the paper's distribution.
         let mean = n as f64 / 2.0;
-        let sd = (750.0 * n as f64 / 100_000.0).max(1.0);
-        let normal = Normal::new(mean, sd).expect("valid normal");
+        let normal = Normal::new(mean, sd.max(f64::MIN_POSITIVE)).expect("valid normal");
         (0..n)
             .map(|i| {
                 let a = u1[i];
@@ -216,6 +225,39 @@ mod tests {
         assert!(
             (40..120).contains(&max_dup),
             "max duplicate count {max_dup}, paper saw 77"
+        );
+    }
+
+    #[test]
+    fn relation_nu_with_default_sd_matches_relation() {
+        let g = WisconsinGen::new(1989);
+        let n = 4_000;
+        let sd = (750.0 * n as f64 / 100_000.0).max(1.0);
+        assert_eq!(g.relation(n, 2), g.relation_nu(n, 2, sd));
+    }
+
+    #[test]
+    fn sharper_nu_concentrates_more_duplicates() {
+        // Table 3-style knob: a smaller standard deviation packs the
+        // `normal` attribute into fewer distinct values, raising the
+        // worst-case duplicate count the skew experiments lean on.
+        let g = WisconsinGen::new(1989);
+        let n = 4_000;
+        let max_dup = |rows: &[WisconsinRow]| {
+            let mut freq: HashMap<u32, u32> = HashMap::new();
+            for r in rows {
+                *freq.entry(r.get("normal")).or_default() += 1;
+            }
+            freq.values().copied().max().unwrap()
+        };
+        let default_sd = (750.0 * n as f64 / 100_000.0).max(1.0);
+        let broad = max_dup(&g.relation_nu(n, 0, default_sd));
+        let sharp = max_dup(&g.relation_nu(n, 0, n as f64 / 500.0));
+        // n/500 = 8 << default 30: the sharp distribution must be visibly
+        // more concentrated.
+        assert!(
+            sharp > broad,
+            "sharp sd should concentrate duplicates ({sharp} vs {broad})"
         );
     }
 

@@ -221,6 +221,114 @@ fn bucket_analyzer_guarantees_coverage() {
     }
 }
 
+/// Skew-aware refinement partitions the full hash range exactly once:
+/// the refined table owns every residue class `mod entries × expand`
+/// through exactly one entry, cold base classes keep their destination
+/// bit-for-bit, and hot classes are only dealt across destinations the
+/// base table already used (so no tuple can reach a node the query never
+/// scheduled).
+#[test]
+fn refined_split_tables_cover_the_hash_range_exactly_once() {
+    use gamma_core::split::{PartitioningSplitTable, RefineCfg};
+    for case in 0..120u64 {
+        let mut rng = case_rng(
+            "refined_split_tables_cover_the_hash_range_exactly_once",
+            case,
+        );
+        let disks = rng.gen_range(1usize..8);
+        let joins = rng.gen_range(1usize..8);
+        let buckets = rng.gen_range(1usize..6);
+        let grace = rng.gen_bool(0.5);
+        let disk_nodes: Vec<usize> = (0..disks).collect();
+        let join_nodes: Vec<usize> = (100..100 + joins).collect();
+        let base = if grace {
+            PartitioningSplitTable::grace(&disk_nodes, buckets)
+        } else {
+            PartitioningSplitTable::hybrid(&join_nodes, &disk_nodes, buckets)
+        };
+        let e = base.entries();
+
+        // A uniform histogram must not refine: the common case pays for
+        // nothing.
+        let cfg = RefineCfg::default();
+        assert!(
+            base.refine(&vec![10u64; e], &cfg).is_none(),
+            "case {case}: uniform histogram refined"
+        );
+
+        // Now overload a random cell against light random noise. Tables
+        // with fewer than three entries can never refine under the 2×
+        // default threshold: one entry is always exactly the mean, and
+        // of two entries even the one holding *everything* is exactly
+        // twice the mean, never strictly above.
+        let mut hist: Vec<u64> = (0..e).map(|_| rng.gen_range(0..4u64)).collect();
+        let hot_cell = rng.gen_range(0..e);
+        hist[hot_cell] += 64 * e as u64;
+        if e < 3 {
+            assert!(base.refine(&hist, &cfg).is_none(), "case {case}");
+            continue;
+        }
+        let refined = base
+            .refine(&hist, &cfg)
+            .expect("a cell 64× the mean is hot");
+        let m = refined.entries();
+        assert_eq!(m, e * cfg.expand, "case {case}: refined size");
+
+        // Destination pools of the base table, for legality checks.
+        let join_pool: std::collections::HashSet<_> = base
+            .raw()
+            .iter()
+            .zip(base.raw_join_sites())
+            .filter(|(_, js)| js.is_some())
+            .map(|(en, js)| (en.node, js.unwrap()))
+            .collect();
+        let spool_pool: std::collections::HashSet<_> = base
+            .raw()
+            .iter()
+            .zip(base.raw_join_sites())
+            .filter(|(_, js)| js.is_none())
+            .map(|(en, _)| (en.node, en.bucket))
+            .collect();
+
+        // Walk the refined entries in residue order: every residue class
+        // `mod m` is owned by exactly one entry (the table *is* the
+        // partition), cold classes are bit-for-bit the base entry, and
+        // hot sub-ranges stay inside the base destination pools.
+        assert_eq!(refined.raw().len(), m, "case {case}");
+        assert_eq!(refined.raw_join_sites().len(), m, "case {case}");
+        for (j, (&en, &js)) in refined
+            .raw()
+            .iter()
+            .zip(refined.raw_join_sites())
+            .enumerate()
+        {
+            let c = j % e;
+            if c != hot_cell {
+                assert_eq!(en, base.raw()[c], "case {case}: cold entry {j}");
+                assert_eq!(js, base.raw_join_sites()[c], "case {case}: cold site {j}");
+            } else if let Some(site) = js {
+                assert!(
+                    join_pool.contains(&(en.node, site)),
+                    "case {case}: hot entry {j} routed outside the join pool"
+                );
+            } else {
+                assert!(
+                    spool_pool.contains(&(en.node, en.bucket)),
+                    "case {case}: hot entry {j} routed outside the spool pool"
+                );
+            }
+        }
+
+        // The partition extends to the whole 64-bit hash range: any h is
+        // routed exactly as its residue class, and equal hashes (equal
+        // keys) always land together — the co-location hash join needs.
+        for _ in 0..64 {
+            let h = rng.next_u64();
+            assert_eq!(refined.route(h), refined.route(h % m as u64), "case {case}");
+        }
+    }
+}
+
 /// Bit filters never produce false negatives.
 #[test]
 fn bit_filter_no_false_negatives() {
