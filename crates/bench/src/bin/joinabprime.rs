@@ -26,9 +26,15 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use gamma_bench::alloc::{count_allocs, CountingAlloc};
 use gamma_bench::{pooled_map_on, Workload};
 use gamma_core::query::Algorithm;
 use gamma_core::{ExecConfig, JoinReport, WorkerPool};
+
+/// Counting allocator so each point can report a deterministic `allocs`
+/// column (serial runs only — pool bookkeeping would pollute the delta).
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 const RATIOS: [f64; 3] = [1.0, 0.5, 0.2];
 
@@ -49,6 +55,9 @@ struct Row {
     peak_pool_pages: Option<u64>,
     packets: u64,
     short_circuit_ratio: f64,
+    /// Heap allocations during the serial run; `None` when a pool is
+    /// active (concurrent points would pollute the global counter).
+    allocs: Option<u64>,
 }
 
 struct RunOut {
@@ -80,7 +89,9 @@ fn measure(w: &Workload, alg: Algorithm, ratio: f64, exec: ExecConfig) -> (RunOu
 /// One benchmark point: serial reference, then — when a pool is active —
 /// the pooled run plus the byte-identity asserts.
 fn run_point(w: &Workload, pool: Option<&Arc<WorkerPool>>, alg: Algorithm, ratio: f64) -> Row {
-    let (sp, serial_ms) = measure(w, alg, ratio, ExecConfig::serial());
+    let ((sp, serial_ms), serial_allocs) =
+        count_allocs(|| measure(w, alg, ratio, ExecConfig::serial()));
+    let allocs = pool.is_none().then_some(serial_allocs);
 
     let (p, wall_ms, serial_wall_ms, speedup) = match pool {
         Some(pool) => {
@@ -130,6 +141,7 @@ fn run_point(w: &Workload, pool: Option<&Arc<WorkerPool>>, alg: Algorithm, ratio
         peak_pool_pages,
         packets,
         short_circuit_ratio,
+        allocs,
     }
 }
 
@@ -177,11 +189,15 @@ fn main() {
 
     for r in &rows {
         println!(
-            "{:<10} ratio {:>4}: {:>12} virtual-us   {:>8.1} ms wall{}",
+            "{:<10} ratio {:>4}: {:>12} virtual-us   {:>8.1} ms wall{}{}",
             r.algorithm,
             r.ratio,
             r.virtual_us,
             r.wall_ms,
+            match r.allocs {
+                Some(a) => format!("   {a:>10} allocs"),
+                None => String::new(),
+            },
             match r.speedup {
                 Some(s) => format!("   ({s:.2}x vs serial)"),
                 None => String::new(),
@@ -225,8 +241,16 @@ fn main() {
                 opt(r.speedup),
             )
         };
+        // Allocation counts are deterministic but executor-dependent
+        // (pool bookkeeping), so `--no-wall` nulls them like wall-clock:
+        // the CI serial-vs-pooled byte-diffs must keep passing.
+        let allocs = if no_wall {
+            "null".to_string()
+        } else {
+            opt_u(r.allocs)
+        };
         json.push_str(&format!(
-            "    {{\"algorithm\": \"{}\", \"memory_ratio\": {}, \"response_virtual_us\": {}, \"wall_ms\": {}, \"serial_wall_ms\": {}, \"speedup\": {}, \"peak_pool_pages\": {}, \"packets\": {}, \"short_circuit_ratio\": {:.6}}}{}\n",
+            "    {{\"algorithm\": \"{}\", \"memory_ratio\": {}, \"response_virtual_us\": {}, \"wall_ms\": {}, \"serial_wall_ms\": {}, \"speedup\": {}, \"peak_pool_pages\": {}, \"packets\": {}, \"short_circuit_ratio\": {:.6}, \"allocs\": {}}}{}\n",
             r.algorithm,
             r.ratio,
             r.virtual_us,
@@ -236,6 +260,7 @@ fn main() {
             opt_u(r.peak_pool_pages),
             r.packets,
             r.short_circuit_ratio,
+            allocs,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }

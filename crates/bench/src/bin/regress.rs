@@ -17,7 +17,12 @@
 //!   `mean_interarrival_us`) change at all;
 //! * a committed `BENCH_skew.json` point's response time drifts past the
 //!   tolerance, or any of its deterministic counters (overflow passes,
-//!   spill/restore pages, buckets, result cardinality) change at all.
+//!   spill/restore pages, buckets, result cardinality) change at all;
+//! * a serial replay of any `ALLOC_CEILINGS.json` point performs more heap
+//!   allocations than its committed ceiling (Gate 5 — the data-plane
+//!   allocation-regression gate). This gate only runs on serial builds:
+//!   worker pools allocate their own bookkeeping concurrently, so pooled
+//!   counts are not deterministic.
 //!
 //! Wall-clock fields in the baseline are ignored — they measure the host.
 //!
@@ -28,19 +33,28 @@
 //! ```
 //!
 //! `--write` regenerates the snapshot baselines (for intentional model
-//! changes); the response-time baseline itself is refreshed by rerunning
-//! the `joinabprime` binary.
+//! changes) and, on serial builds, the allocation ceilings; the
+//! response-time baseline itself is refreshed by rerunning the
+//! `joinabprime` binary.
 
-use gamma_bench::metrics::{metrics_join, reconcile};
+use gamma_bench::alloc::{count_allocs, CountingAlloc};
+use gamma_bench::metrics::{metrics_join, metrics_join_with, reconcile};
 use gamma_bench::regress::{
-    compare_points, compare_serve_points, compare_skew_points, diff_snapshots, parse_bench_points,
-    parse_scale, parse_serve_envelope, parse_serve_points, parse_skew_envelope, parse_skew_points,
-    BenchPoint, ServeBenchPoint, SkewBenchPoint,
+    compare_alloc_points, compare_points, compare_serve_points, compare_skew_points,
+    diff_snapshots, parse_alloc_ceilings, parse_bench_points, parse_scale, parse_serve_envelope,
+    parse_serve_points, parse_skew_envelope, parse_skew_points, render_alloc_ceilings,
+    AllocCeiling, BenchPoint, ServeBenchPoint, SkewBenchPoint,
 };
 use gamma_bench::serve::{serve_sweep, ServeSweepConfig};
 use gamma_bench::skew::{skew_sweep, SkewSweepConfig};
 use gamma_bench::{pooled_map, Workload};
 use gamma_core::query::Algorithm;
+use gamma_core::ExecConfig;
+
+/// Counting allocator for Gate 5 — free when idle, and the other gates'
+/// comparisons never read it.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 /// The snapshot points kept under `results/` — same points the `trace`
 /// binary exports, so the two artifact sets describe the same runs.
@@ -50,6 +64,10 @@ const SNAPSHOT_POINTS: [(Algorithm, f64); 2] =
 /// `A`-relation cardinality for the snapshot points (the `trace` binary's
 /// default; `Bprime` is a 10% sample).
 const SNAPSHOT_SCALE: usize = 20_000;
+
+/// Workload scale the allocation ceilings are recorded at (the same
+/// `--scale 0.2` sweep EXPERIMENTS.md benchmarks wall-clock on).
+const ALLOC_SCALE: f64 = 0.2;
 
 fn algorithm_by_name(name: &str) -> Algorithm {
     match name {
@@ -66,6 +84,7 @@ fn main() {
     let mut baseline_path = String::from("BENCH_joinabprime.json");
     let mut serve_baseline_path = String::from("BENCH_serve.json");
     let mut skew_baseline_path = String::from("BENCH_skew.json");
+    let mut alloc_baseline_path = String::from("ALLOC_CEILINGS.json");
     let mut snapshot_dir = String::from("results");
     let mut tolerance_pct = 1.0f64;
     let mut write = false;
@@ -77,6 +96,9 @@ fn main() {
     }
     if let Some(i) = args.iter().position(|a| a == "--skew-baseline") {
         skew_baseline_path = args[i + 1].clone();
+    }
+    if let Some(i) = args.iter().position(|a| a == "--alloc-baseline") {
+        alloc_baseline_path = args[i + 1].clone();
     }
     if let Some(i) = args.iter().position(|a| a == "--snapshots") {
         snapshot_dir = args[i + 1].clone();
@@ -314,8 +336,91 @@ fn main() {
         )),
     }
 
+    // --- Gate 5: serial allocation ceilings ----------------------------
+    if cfg!(feature = "parallel") {
+        println!(
+            "regress: skipping alloc gate — worker pool active; allocation \
+             counts are only deterministic on a serial build"
+        );
+    } else if write {
+        let (scale, grid) = (
+            ALLOC_SCALE,
+            [
+                Algorithm::SortMerge,
+                Algorithm::SimpleHash,
+                Algorithm::GraceHash,
+                Algorithm::HybridHash,
+            ],
+        );
+        let w = Workload::scaled(
+            (100_000f64 * scale).round() as usize,
+            (10_000f64 * scale).round() as usize,
+        );
+        let mut ceilings = Vec::new();
+        for alg in grid {
+            for ratio in [1.0, 0.5, 0.2] {
+                let (run, allocs) = count_allocs(|| {
+                    metrics_join_with(&w, alg, ratio, false, false, ExecConfig::serial())
+                });
+                // ~5% headroom: counts are deterministic for one toolchain,
+                // but std container growth policies may shift across rustc
+                // releases; the gate targets order-of-magnitude regressions.
+                let ceiling = allocs + allocs / 20 + 64;
+                println!(
+                    "  {:<10} ratio {ratio:>4}: {allocs:>10} allocs (ceiling {ceiling})",
+                    run.report.algorithm
+                );
+                ceilings.push(AllocCeiling {
+                    algorithm: run.report.algorithm.clone(),
+                    memory_ratio: ratio,
+                    ceiling_allocs: ceiling,
+                });
+            }
+        }
+        std::fs::write(
+            &alloc_baseline_path,
+            render_alloc_ceilings(scale, &ceilings),
+        )
+        .unwrap_or_else(|e| panic!("write {alloc_baseline_path}: {e}"));
+        println!("  wrote {alloc_baseline_path}");
+    } else {
+        match std::fs::read_to_string(&alloc_baseline_path) {
+            Ok(doc) => {
+                let ceilings = parse_alloc_ceilings(&doc);
+                assert!(!ceilings.is_empty(), "{alloc_baseline_path} has no points");
+                let scale = parse_scale(&doc);
+                let w = Workload::scaled(
+                    (100_000f64 * scale).round() as usize,
+                    (10_000f64 * scale).round() as usize,
+                );
+                println!(
+                    "regress: replaying {} alloc ceilings at scale {scale} (serial executor)",
+                    ceilings.len()
+                );
+                let mut measured = Vec::new();
+                for c in &ceilings {
+                    let alg = algorithm_by_name(&c.algorithm);
+                    let (_, allocs) = count_allocs(|| {
+                        metrics_join_with(&w, alg, c.memory_ratio, false, false, ExecConfig::serial())
+                    });
+                    println!(
+                        "  {:<10} ratio {:>4}: {allocs:>10} allocs (ceiling {})",
+                        c.algorithm, c.memory_ratio, c.ceiling_allocs
+                    );
+                    measured.push((c.algorithm.clone(), c.memory_ratio, allocs));
+                }
+                errors.extend(compare_alloc_points(&ceilings, &measured));
+            }
+            Err(e) => errors.push(format!(
+                "{alloc_baseline_path}: unreadable ({e}); run `regress -- --write` on a serial build to create it"
+            )),
+        }
+    }
+
     if errors.is_empty() {
-        println!("regress: PASS — virtual time, counters, serve, skew, and snapshots all hold");
+        println!(
+            "regress: PASS — virtual time, counters, serve, skew, allocs, and snapshots all hold"
+        );
     } else {
         eprintln!("regress: FAIL — {} violation(s):", errors.len());
         for e in &errors {

@@ -10,6 +10,7 @@
 //! Run `cargo run --release -p gamma-bench --bin figures -- all` to
 //! regenerate everything (see `EXPERIMENTS.md` for the recorded output).
 
+pub mod alloc;
 pub mod experiments;
 #[cfg(feature = "metrics")]
 pub mod metrics;

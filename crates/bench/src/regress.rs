@@ -354,6 +354,82 @@ pub fn compare_skew_points(
     errs
 }
 
+/// One allocation ceiling parsed from `ALLOC_CEILINGS.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllocCeiling {
+    /// Algorithm name as printed by the report.
+    pub algorithm: String,
+    /// Memory / |inner relation| ratio.
+    pub memory_ratio: f64,
+    /// Maximum heap allocation events the point may perform on a serial
+    /// executor (recorded with ~5% headroom over a measured run).
+    pub ceiling_allocs: u64,
+}
+
+/// Parse every ceiling object out of an `ALLOC_CEILINGS.json` document.
+/// Keyed on the `ceiling_allocs` field, which no other baseline carries.
+pub fn parse_alloc_ceilings(json: &str) -> Vec<AllocCeiling> {
+    json.lines()
+        .filter(|l| l.trim_start().starts_with('{') && l.contains("\"ceiling_allocs\""))
+        .filter_map(|l| {
+            Some(AllocCeiling {
+                algorithm: str_field(l, "algorithm")?,
+                memory_ratio: num_field(l, "memory_ratio")?,
+                ceiling_allocs: num_field(l, "ceiling_allocs")? as u64,
+            })
+        })
+        .collect()
+}
+
+/// Serialize ceilings in the same hand-rolled one-object-per-line shape the
+/// other baselines use (so [`parse_alloc_ceilings`] round-trips them).
+pub fn render_alloc_ceilings(scale: f64, points: &[AllocCeiling]) -> String {
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"benchmark\": \"alloc_ceilings\",\n  \"scale\": {scale},\n  \"points\": [\n"
+    ));
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"algorithm\": \"{}\", \"memory_ratio\": {}, \"ceiling_allocs\": {}}}{}\n",
+            p.algorithm,
+            p.memory_ratio,
+            p.ceiling_allocs,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
+
+/// Gate fresh serial allocation counts against the committed ceilings:
+/// a measured count above its ceiling is a data-plane regression (the
+/// ceiling carries the headroom, so the comparison is exact). Points in
+/// the baseline but not measured are failures; exceeding-ly *low* counts
+/// pass (tighten the ceiling by re-recording when an optimisation lands).
+pub fn compare_alloc_points(
+    ceilings: &[AllocCeiling],
+    measured: &[(String, f64, u64)],
+) -> Vec<String> {
+    let mut errs = Vec::new();
+    for c in ceilings {
+        let id = format!("{} @ ratio {}", c.algorithm, c.memory_ratio);
+        let Some((_, _, got)) = measured
+            .iter()
+            .find(|(a, r, _)| *a == c.algorithm && *r == c.memory_ratio)
+        else {
+            errs.push(format!("{id}: in alloc baseline, missing from fresh run"));
+            continue;
+        };
+        if *got > c.ceiling_allocs {
+            errs.push(format!(
+                "{id}: {got} allocations exceeds the committed ceiling {} — the data plane regressed",
+                c.ceiling_allocs
+            ));
+        }
+    }
+    errs
+}
+
 /// Line-by-line diff of two snapshot documents. Returns one message per
 /// differing line (capped at 5, then a count) plus a line-count mismatch if
 /// any; empty ⇒ byte-identical up to line endings.
@@ -633,6 +709,47 @@ mod tests {
         let fresh = vec![kpt("nu", "robust", 0.6, 1), kpt("sharp", "robust", 0.6, 1)];
         let errs = compare_skew_points(&base, &fresh, 1.0);
         assert_eq!(errs.len(), 2, "{errs:?}");
+    }
+
+    #[test]
+    fn alloc_ceilings_round_trip_and_gate() {
+        let ceilings = vec![
+            AllocCeiling {
+                algorithm: "hybrid".into(),
+                memory_ratio: 0.5,
+                ceiling_allocs: 10_000,
+            },
+            AllocCeiling {
+                algorithm: "grace".into(),
+                memory_ratio: 0.2,
+                ceiling_allocs: 20_000,
+            },
+        ];
+        let doc = render_alloc_ceilings(0.2, &ceilings);
+        assert_eq!(parse_alloc_ceilings(&doc), ceilings);
+        assert_eq!(parse_scale(&doc), 0.2);
+        // The other parsers must not pick ceiling points up.
+        assert!(parse_bench_points(&doc).is_empty());
+        assert!(parse_serve_points(&doc).is_empty());
+        assert!(parse_skew_points(&doc).is_empty());
+
+        // At or under the ceiling passes; over fails; missing fails.
+        let ok = vec![
+            ("hybrid".to_string(), 0.5, 10_000u64),
+            ("grace".to_string(), 0.2, 5_000),
+        ];
+        assert!(compare_alloc_points(&ceilings, &ok).is_empty());
+        let over = vec![
+            ("hybrid".to_string(), 0.5, 10_001u64),
+            ("grace".to_string(), 0.2, 5_000),
+        ];
+        let errs = compare_alloc_points(&ceilings, &over);
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].contains("exceeds"), "{errs:?}");
+        let missing = vec![("hybrid".to_string(), 0.5, 1u64)];
+        let errs = compare_alloc_points(&ceilings, &missing);
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].contains("missing"), "{errs:?}");
     }
 
     #[test]

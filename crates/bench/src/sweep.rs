@@ -8,6 +8,8 @@ use gamma_des::TimingModel;
 use gamma_wisconsin::{
     join_abprime, load_hashed, load_range, oracle_join, OracleExpect, WisconsinGen, WisconsinRow,
 };
+use std::collections::HashMap;
+use std::sync::Mutex;
 /// How the relations are declustered at load time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LoadStyle {
@@ -24,6 +26,10 @@ pub struct Workload {
     pub a_rows: Vec<WisconsinRow>,
     /// Generated `Bprime` rows (random sample of `A`).
     pub bprime_rows: Vec<WisconsinRow>,
+    /// Memoized oracle expectations per join-attribute pair — a sweep
+    /// validates every point against the same expected result, so the
+    /// oracle join runs once per workload instead of once per point.
+    oracle_cache: Mutex<HashMap<(String, String), OracleExpect>>,
 }
 
 impl Workload {
@@ -40,6 +46,7 @@ impl Workload {
         Workload {
             a_rows,
             bprime_rows,
+            oracle_cache: Mutex::new(HashMap::new()),
         }
     }
 
@@ -54,19 +61,26 @@ impl Workload {
         Workload {
             a_rows,
             bprime_rows,
+            oracle_cache: Mutex::new(HashMap::new()),
         }
     }
 
-    /// Oracle expectation for a join on the given attributes.
+    /// Oracle expectation for a join on the given attributes (memoized).
     pub fn expect(&self, inner_attr: &str, outer_attr: &str) -> OracleExpect {
-        oracle_join(
+        let key = (inner_attr.to_string(), outer_attr.to_string());
+        if let Some(e) = self.oracle_cache.lock().unwrap().get(&key) {
+            return *e;
+        }
+        let e = oracle_join(
             &self.bprime_rows,
             &self.a_rows,
             inner_attr,
             outer_attr,
             None,
             None,
-        )
+        );
+        self.oracle_cache.lock().unwrap().insert(key, e);
+        e
     }
 
     /// Build a machine and load the workload.

@@ -11,6 +11,7 @@
 
 use gamma_wiss::FileId;
 
+use crate::batch::TupleBatch;
 use crate::bitfilter::BitFilter;
 use crate::exec::control::{broadcast_filters, dispatch_overhead};
 use crate::exec::hash::{
@@ -93,12 +94,12 @@ fn bucket_form(
         // per-split-table-entry histogram, and hold the records on the scan
         // node so wave B can route them without a second disk pass. ----
         let e = part.entries();
-        type SampleState = (FileId, Vec<Vec<u8>>, Vec<(u32, u64)>, Vec<u64>);
+        type SampleState = (FileId, TupleBatch, Vec<(u32, u64)>, Vec<u64>);
         // Held tuples + their (value, hash) pairs + this node's filter shards.
-        type RouteState = (Vec<Vec<u8>>, Vec<(u32, u64)>, Option<Vec<BitFilter>>);
+        type RouteState = (TupleBatch, Vec<(u32, u64)>, Option<Vec<BitFilter>>);
         let mut sample_states: Vec<SampleState> = disk_nodes
             .iter()
-            .map(|&n| (fragments[n], Vec::new(), Vec::new(), vec![0u64; e]))
+            .map(|&n| (fragments[n], TupleBatch::new(), Vec::new(), vec![0u64; e]))
             .collect();
         run_step(
             machine,
@@ -108,7 +109,7 @@ fn bucket_form(
             &mut sample_states,
             |ctx, (file, recs, hashed, hist)| {
                 *recs = scan::scan_fragment(ctx, *file, pred);
-                *hashed = ctx.par_map(recs, |rec| {
+                *hashed = ctx.par_map_batch(recs, |rec| {
                     let val = attr.get(rec);
                     (val, hash_u32(JOIN_SEED, val))
                 });
@@ -148,7 +149,8 @@ fn bucket_form(
                 &disk_nodes,
                 &mut route_states,
                 |ctx, (recs, hashed, shard)| {
-                    for (rec, (val, h)) in std::mem::take(recs).into_iter().zip(hashed.iter()) {
+                    let batch = std::mem::take(recs);
+                    for (rec, (val, h)) in batch.iter().zip(hashed.iter()) {
                         ctx.charge(ctx.cost.route_us);
                         match part.route(*h) {
                             Route::Spool { node: dst, bucket } => {
@@ -203,11 +205,11 @@ fn bucket_form(
                     let recs = scan::scan_fragment(ctx, *file, pred);
                     // Pure per-tuple routing, chunked on the pool; charges,
                     // filter updates and sends replay in record order below.
-                    let routed = ctx.par_map(&recs, |rec| {
+                    let routed = ctx.par_map_batch(&recs, |rec| {
                         let val = attr.get(rec);
                         (val, part.route(hash_u32(JOIN_SEED, val)))
                     });
-                    for (rec, (val, route)) in recs.into_iter().zip(routed) {
+                    for (rec, (val, route)) in recs.iter().zip(routed) {
                         ctx.charge(ctx.cost.hash_us + ctx.cost.route_us);
                         match route {
                             Route::Spool { node: dst, bucket } => {
@@ -341,10 +343,10 @@ pub(super) fn join_bucket_group(
             |ctx, files| {
                 for &file in files.iter() {
                     let recs = scan::scan_fragment(ctx, file, None);
-                    let routed = ctx.par_map(&recs, |rec| {
+                    let routed = ctx.par_map_batch(&recs, |rec| {
                         jt.site_index(hash_u32(JOIN_SEED, rz.r_attr.get(rec)))
                     });
-                    for (rec, i) in recs.into_iter().zip(routed) {
+                    for (rec, i) in recs.iter().zip(routed) {
                         ctx.charge(ctx.cost.hash_us + ctx.cost.route_us);
                         ctx.send(rz.join_nodes[i], tag(TAG_BUILD, i), rec);
                     }
@@ -385,11 +387,11 @@ pub(super) fn join_bucket_group(
             |ctx, files| {
                 for &file in files.iter() {
                     let recs = scan::scan_fragment(ctx, file, None);
-                    let routed = ctx.par_map(&recs, |rec| {
+                    let routed = ctx.par_map_batch(&recs, |rec| {
                         let val = rz.s_attr.get(rec);
                         (val, jt.site_index(hash_u32(JOIN_SEED, val)))
                     });
-                    for (rec, (val, i)) in recs.into_iter().zip(routed) {
+                    for (rec, (val, i)) in recs.iter().zip(routed) {
                         ctx.charge(ctx.cost.hash_us + ctx.cost.route_us);
                         // Filter before the overflow check: the site's filter
                         // covers every inner tuple that arrived there (bits

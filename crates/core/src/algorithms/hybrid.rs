@@ -12,6 +12,7 @@
 
 use gamma_wiss::FileId;
 
+use crate::batch::TupleBatch;
 use crate::bitfilter::BitFilter;
 use crate::exec::control::{broadcast_filters, dispatch_overhead};
 use crate::exec::hash::{
@@ -78,12 +79,19 @@ pub fn run(machine: &mut Machine, rz: &Resolved) -> DriverOutput {
         // second disk pass; the extra cost is one histogram update per
         // tuple plus the refined-table re-broadcast. ----
         let e = part.entries();
-        type SampleState = (FileId, Vec<Vec<u8>>, Vec<(u32, u64)>, Vec<u64>);
+        type SampleState = (FileId, TupleBatch, Vec<(u32, u64)>, Vec<u64>);
         // Held tuples + their (value, hash) pairs + this node's filter shards.
-        type RouteState = (Vec<Vec<u8>>, Vec<(u32, u64)>, Option<Vec<BitFilter>>);
+        type RouteState = (TupleBatch, Vec<(u32, u64)>, Option<Vec<BitFilter>>);
         let mut sample_states: Vec<SampleState> = disk_nodes
             .iter()
-            .map(|&n| (rz.r_fragments[n], Vec::new(), Vec::new(), vec![0u64; e]))
+            .map(|&n| {
+                (
+                    rz.r_fragments[n],
+                    TupleBatch::new(),
+                    Vec::new(),
+                    vec![0u64; e],
+                )
+            })
             .collect();
         run_step(
             machine,
@@ -93,7 +101,7 @@ pub fn run(machine: &mut Machine, rz: &Resolved) -> DriverOutput {
             &mut sample_states,
             |ctx, (file, recs, hashed, hist)| {
                 *recs = scan::scan_fragment(ctx, *file, rz.r_pred);
-                *hashed = ctx.par_map(recs, |rec| {
+                *hashed = ctx.par_map_batch(recs, |rec| {
                     let val = rz.r_attr.get(rec);
                     (val, hash_u32(JOIN_SEED, val))
                 });
@@ -133,7 +141,8 @@ pub fn run(machine: &mut Machine, rz: &Resolved) -> DriverOutput {
                 &disk_nodes,
                 &mut route_states,
                 |ctx, (recs, hashed, shard)| {
-                    for (rec, (val, h)) in std::mem::take(recs).into_iter().zip(hashed.iter()) {
+                    let batch = std::mem::take(recs);
+                    for (rec, (val, h)) in batch.iter().zip(hashed.iter()) {
                         ctx.charge(ctx.cost.route_us);
                         match part.route(*h) {
                             Route::Join { node: dst } => {
@@ -176,11 +185,11 @@ pub fn run(machine: &mut Machine, rz: &Resolved) -> DriverOutput {
                     let recs = scan::scan_fragment(ctx, *file, rz.r_pred);
                     // Pure per-tuple hashing, chunked on the pool; charges,
                     // filter updates and sends replay in record order below.
-                    let routed = ctx.par_map(&recs, |rec| {
+                    let routed = ctx.par_map_batch(&recs, |rec| {
                         let val = rz.r_attr.get(rec);
                         (val, hash_u32(JOIN_SEED, val))
                     });
-                    for (rec, (val, h)) in recs.into_iter().zip(routed) {
+                    for (rec, (val, h)) in recs.iter().zip(routed) {
                         ctx.charge(ctx.cost.hash_us + ctx.cost.route_us);
                         match part.route(h) {
                             Route::Join { node: dst } => {
@@ -250,11 +259,11 @@ pub fn run(machine: &mut Machine, rz: &Resolved) -> DriverOutput {
             &mut s_states,
             |ctx, f| {
                 let recs = scan::scan_fragment(ctx, *f, rz.s_pred);
-                let routed = ctx.par_map(&recs, |rec| {
+                let routed = ctx.par_map_batch(&recs, |rec| {
                     let val = rz.s_attr.get(rec);
                     (val, hash_u32(JOIN_SEED, val))
                 });
-                for (rec, (val, h)) in recs.into_iter().zip(routed) {
+                for (rec, (val, h)) in recs.iter().zip(routed) {
                     ctx.charge(ctx.cost.hash_us + ctx.cost.route_us);
                     match part.route(h) {
                         Route::Join { node: dst } => {

@@ -59,10 +59,10 @@ pub fn run(machine: &mut Machine, rz: &Resolved) -> DriverOutput {
                 let recs = scan::scan_fragment(ctx, *f, rz.r_pred);
                 // Pure per-tuple routing, chunked on the pool; charges and
                 // sends replay in record order below.
-                let routed = ctx.par_map(&recs, |rec| {
+                let routed = ctx.par_map_batch(&recs, |rec| {
                     jt.site_index(hash_u32(JOIN_SEED, rz.r_attr.get(rec)))
                 });
-                for (rec, i) in recs.into_iter().zip(routed) {
+                for (rec, i) in recs.iter().zip(routed) {
                     ctx.charge(ctx.cost.hash_us + ctx.cost.route_us);
                     ctx.send(rz.join_nodes[i], tag(TAG_BUILD, i), rec);
                 }
@@ -98,11 +98,11 @@ pub fn run(machine: &mut Machine, rz: &Resolved) -> DriverOutput {
             &mut s_frags,
             |ctx, f| {
                 let recs = scan::scan_fragment(ctx, *f, rz.s_pred);
-                let routed = ctx.par_map(&recs, |rec| {
+                let routed = ctx.par_map_batch(&recs, |rec| {
                     let val = rz.s_attr.get(rec);
                     (val, jt.site_index(hash_u32(JOIN_SEED, val)))
                 });
-                for (rec, (val, i)) in recs.into_iter().zip(routed) {
+                for (rec, (val, i)) in recs.iter().zip(routed) {
                     ctx.charge(ctx.cost.hash_us + ctx.cost.route_us);
                     // Filter before the overflow check: the site's filter
                     // covers every inner tuple that arrived there (bits are

@@ -26,6 +26,7 @@ use gamma_des::{SimTime, Usage};
 use gamma_wiss::sort::{external_sort, RunMerger};
 use gamma_wiss::{BufferPool, FileId, SortConfig, Volume};
 
+use crate::batch::TupleBatch;
 use crate::bitfilter::BitFilter;
 use crate::exec::control::dispatch_overhead;
 use crate::exec::hash::{Consumers, TAG_PART};
@@ -34,7 +35,6 @@ use crate::hash::{hash_u32, JOIN_SEED};
 use crate::machine::{Machine, ResultRoute, ResultSink, RESULT_TAG};
 use crate::report::{DriverOutput, PhaseRecord};
 use crate::split::JoiningSplitTable;
-use crate::tuple::compose;
 
 use super::common::{RangePred, Resolved};
 
@@ -81,11 +81,11 @@ fn partition(
                 let recs = scan::scan_fragment(ctx, *f, pred);
                 // Pure per-tuple routing, chunked on the pool; charges, filter
                 // tests and sends replay in record order below.
-                let routed = ctx.par_map(&recs, |rec| {
+                let routed = ctx.par_map_batch(&recs, |rec| {
                     let val = attr.get(rec);
                     (val, jt.site_index(hash_u32(JOIN_SEED, val)))
                 });
-                for (rec, (val, i)) in recs.into_iter().zip(routed) {
+                for (rec, (val, i)) in recs.iter().zip(routed) {
                     ctx.charge(ctx.cost.hash_us + ctx.cost.route_us);
                     if let Some(filters) = test_filters {
                         // Outer partitioning: test the destination site's
@@ -203,47 +203,47 @@ fn merge_streams(
     s_sorted: FileId,
     r_attr: crate::tuple::Attr,
     s_attr: crate::tuple::Attr,
-) -> (Vec<Vec<u8>>, u64) {
-    let mut out = Vec::new();
+) -> (TupleBatch, u64) {
+    let mut out = TupleBatch::new();
     let mut compares = 0u64;
     let r_key = move |rec: &[u8]| r_attr.get(rec);
     let s_key = move |rec: &[u8]| s_attr.get(rec);
     let mut rm = RunMerger::open(vol, vec![r_sorted], &r_key);
     let mut sm = RunMerger::open(vol, vec![s_sorted], &s_key);
 
-    let mut r_next = rm.next(pool, ledger);
-    let mut s_cur = sm.next(pool, ledger);
-    while let (Some(r), Some(s)) = (&r_next, &s_cur) {
+    let mut group: Vec<&[u8]> = Vec::new();
+    let mut r_next = rm.next_ref(pool, ledger);
+    let mut s_cur = sm.next_ref(pool, ledger);
+    while let (Some(r), Some(s)) = (r_next, s_cur) {
         let rk = r_attr.get(r);
         let sk = s_attr.get(s);
         compares += 1;
         if rk < sk {
-            r_next = rm.next(pool, ledger);
+            r_next = rm.next_ref(pool, ledger);
         } else if rk > sk {
-            s_cur = sm.next(pool, ledger);
+            s_cur = sm.next_ref(pool, ledger);
         } else {
             // Collect the group of equal inner keys, then emit the cross
             // product with every matching outer tuple (this is the
             // "backup" that keeps sort-merge on the disk nodes).
-            let mut group = vec![r_next.take().unwrap()];
+            group.clear();
+            group.push(r);
             loop {
-                r_next = rm.next(pool, ledger);
-                match &r_next {
-                    Some(r2) if r_attr.get(r2) == rk => {
-                        group.push(r_next.take().unwrap());
-                    }
+                r_next = rm.next_ref(pool, ledger);
+                match r_next {
+                    Some(r2) if r_attr.get(r2) == rk => group.push(r2),
                     _ => break,
                 }
             }
-            while let Some(s2) = &s_cur {
+            while let Some(s2) = s_cur {
                 if s_attr.get(s2) != rk {
                     break;
                 }
                 compares += 1;
                 for g in &group {
-                    out.push(compose(g, s2));
+                    out.push_concat(g, s2);
                 }
-                s_cur = sm.next(pool, ledger);
+                s_cur = sm.next_ref(pool, ledger);
             }
         }
     }
@@ -339,7 +339,7 @@ pub fn run(machine: &mut Machine, rz: &Resolved) -> DriverOutput {
             #[cfg(feature = "metrics")]
             gamma_metrics::counter_add("comparisons", ctx.node as u16, "merge", compares);
             let mut route = ResultRoute::new(ctx.node, d);
-            for rec in outputs {
+            for rec in outputs.iter() {
                 ctx.charge(ctx.cost.compose_us);
                 ctx.ledger.counts.tuples_out += 1;
                 #[cfg(feature = "metrics")]

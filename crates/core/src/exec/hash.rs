@@ -36,9 +36,9 @@ use gamma_wiss::{FileId, HeapWriter};
 use crate::bitfilter::BitFilter;
 use crate::exec::{self, control, run_step, StepCtx};
 use crate::hash::{hash_u32, overflow_seed, respread_seed};
-use crate::hash_table::{JoinHashTable, Offer};
+use crate::hash_table::{JoinHashTable, MatchSet, Offer};
 use crate::machine::{Ledgers, Machine, NodeId, ResultRoute, ResultSink, RESULT_TAG};
-use crate::tuple::{compose, Attr};
+use crate::tuple::{compose_into, Attr};
 
 /// Stream tag of inner tuples headed for a join site's build stage; the low
 /// bits carry the site index.
@@ -102,10 +102,12 @@ struct SiteCore {
 }
 
 /// The pure outcome of probing one outer tuple against a frozen site
-/// table: the chain-compare count and the composed `R ‖ S` matches.
+/// table: the chain-compare count and the matching arena ranges. The
+/// composed `R ‖ S` result is framed straight into the outbox at replay
+/// time ([`StepCtx::send2`]) — it is never materialized on the heap.
 struct ProbeOut {
     compares: u64,
-    composed: Vec<Vec<u8>>,
+    matches: MatchSet,
 }
 
 impl SiteCore {
@@ -113,11 +115,8 @@ impl SiteCore {
     /// mutable state — safe to run on any worker, in any order.
     fn probe_pure(&self, tuple: &[u8]) -> ProbeOut {
         let val = self.s_attr.get(tuple);
-        let (matches, compares) = self.table.probe(val);
-        ProbeOut {
-            compares,
-            composed: matches.iter().map(|m| compose(m, tuple)).collect(),
-        }
+        let (matches, compares) = self.table.probe_ranges(val);
+        ProbeOut { compares, matches }
     }
 }
 
@@ -145,18 +144,23 @@ pub struct JoinNode {
 }
 
 impl JoinNode {
-    /// Drain this node's inbox and apply every delivered message.
+    /// Drain this node's inbox and apply every delivered message. The
+    /// drained batch owns the packet buffers; every payload is handled as
+    /// a borrowed slice, so consuming a message allocates only where the
+    /// tuple genuinely moves somewhere (a table arena, a heap page, an
+    /// outgoing packet frame).
     fn absorb_step(&mut self, ctx: &mut StepCtx<'_>) {
-        let msgs = ctx.drain();
+        let drained = ctx.drain();
+        let msgs = drained.msgs();
         let probes = self.precomputed_probes(ctx, &msgs);
-        for (m, pre) in msgs.into_iter().zip(probes) {
+        for (m, pre) in msgs.iter().zip(probes) {
             match m.tag & TAG_KIND {
                 TAG_BUILD => self.on_build(ctx, tag_arg(m.tag), m.payload),
                 TAG_PROBE => self.on_probe(ctx, tag_arg(m.tag), m.payload, pre),
-                TAG_SPOOL_R | TAG_SPOOL_S => self.on_spool(ctx, m.tag, &m.payload),
-                TAG_BUCKET => self.on_bucket(ctx, m.tag, &m.payload),
-                TAG_PART => self.on_part(ctx, &m.payload),
-                RESULT_TAG => self.on_result(ctx, &m.payload),
+                TAG_SPOOL_R | TAG_SPOOL_S => self.on_spool(ctx, m.tag, m.payload),
+                TAG_BUCKET => self.on_bucket(ctx, m.tag, m.payload),
+                TAG_PART => self.on_part(ctx, m.payload),
+                RESULT_TAG => self.on_result(ctx, m.payload),
                 other => panic!("node {} got unknown stream tag {other:#x}", ctx.node),
             }
         }
@@ -170,23 +174,23 @@ impl JoinNode {
     /// applies charges, counts, trace events and result sends in arrival
     /// order — byte-identical to probing inline. Batches that interleave
     /// builds (which mutate the table) precompute nothing.
-    fn precomputed_probes(&self, ctx: &StepCtx<'_>, msgs: &[Msg]) -> Vec<Option<ProbeOut>> {
+    fn precomputed_probes(&self, ctx: &StepCtx<'_>, msgs: &[Msg<'_>]) -> Vec<Option<ProbeOut>> {
         let mutates = msgs.iter().any(|m| m.tag & TAG_KIND == TAG_BUILD);
         let site = match &self.site {
             Some(site) if !mutates => site,
             _ => return msgs.iter().map(|_| None).collect(),
         };
         ctx.par_map(msgs, |m| {
-            (m.tag & TAG_KIND == TAG_PROBE).then(|| site.probe_pure(&m.payload))
+            (m.tag & TAG_KIND == TAG_PROBE).then(|| site.probe_pure(m.payload))
         })
     }
 
     /// Build stage: insert one inner tuple, handling hash-table overflow —
     /// evictions and diversions are spooled to `R'_i` at the site's home.
-    fn on_build(&mut self, ctx: &mut StepCtx<'_>, i: usize, tuple: Vec<u8>) {
+    fn on_build(&mut self, ctx: &mut StepCtx<'_>, i: usize, tuple: &[u8]) {
         let site = self.site.as_mut().expect("build tuple at a join site");
         debug_assert_eq!(site.index, i, "build tuple routed to the wrong site");
-        let val = site.r_attr.get(&tuple);
+        let val = site.r_attr.get(tuple);
         ctx.ledger.counts.tuples_in += 1;
         ctx.charge(ctx.cost.build_insert_us + ctx.cost.histogram_update_us);
         if let Some(f) = &mut site.filter {
@@ -209,7 +213,7 @@ impl JoinNode {
         let spool_tag = tag(TAG_SPOOL_R, i);
         match site.table.offer(val, tuple, ctx.cost.overflow_clear_pct) {
             Offer::Stored => {}
-            Offer::Diverted(t) => ctx.send(home, spool_tag, t),
+            Offer::Diverted => ctx.send(home, spool_tag, tuple),
             Offer::Overflowed {
                 evicted,
                 diverted,
@@ -224,29 +228,30 @@ impl JoinNode {
                     ctx.ledger.total_demand().as_us(),
                     gamma_trace::EventKind::BucketSpill { bucket: i as u16 },
                 );
-                for (_, t) in evicted {
+                for (_, range) in evicted {
                     ctx.charge(ctx.cost.evict_tuple_us);
                     ctx.ledger.counts.overflow_evictions += 1;
                     #[cfg(feature = "metrics")]
                     gamma_metrics::counter_add("overflow_evictions", ctx.node as u16, "build", 1);
-                    ctx.send(home, spool_tag, t);
+                    ctx.send(home, spool_tag, site.table.slice(range));
                 }
-                if let Some(t) = diverted {
-                    ctx.send(home, spool_tag, t);
+                if diverted {
+                    ctx.send(home, spool_tag, tuple);
                 }
             }
         }
     }
 
     /// Probe stage: matches are composed `R ‖ S` and dealt to the store
-    /// operators as result messages. `pre` carries the chunk-precomputed
-    /// pure outcome when [`Self::precomputed_probes`] ran; the outcome is
-    /// identical either way, the charges and sends happen here in arrival
-    /// order regardless.
-    fn on_probe(&mut self, ctx: &mut StepCtx<'_>, i: usize, tuple: Vec<u8>, pre: Option<ProbeOut>) {
+    /// operators as result messages — framed straight into the outgoing
+    /// packet ([`StepCtx::send2`]), never materialized. `pre` carries the
+    /// chunk-precomputed pure outcome when [`Self::precomputed_probes`]
+    /// ran; the outcome is identical either way, the charges and sends
+    /// happen here in arrival order regardless.
+    fn on_probe(&mut self, ctx: &mut StepCtx<'_>, i: usize, tuple: &[u8], pre: Option<ProbeOut>) {
         let site = self.site.as_ref().expect("probe tuple at a join site");
         debug_assert_eq!(site.index, i, "probe tuple routed to the wrong site");
-        let ProbeOut { compares, composed } = pre.unwrap_or_else(|| site.probe_pure(&tuple));
+        let ProbeOut { compares, matches } = pre.unwrap_or_else(|| site.probe_pure(tuple));
         ctx.ledger.counts.tuples_in += 1;
         ctx.ledger.counts.hash_probes += 1;
         ctx.charge(ctx.cost.probe_us + ctx.cost.chain_compare_us * compares);
@@ -263,16 +268,16 @@ impl JoinNode {
             ctx.node as u16,
             ctx.ledger.total_demand().as_us(),
             gamma_trace::EventKind::HashProbe {
-                matched: !composed.is_empty(),
+                matched: !matches.is_empty(),
             },
         );
-        for out in composed {
+        for range in matches.iter() {
             ctx.charge(ctx.cost.compose_us);
             ctx.ledger.counts.tuples_out += 1;
             #[cfg(feature = "metrics")]
             gamma_metrics::counter_add("op_tuples_out", ctx.node as u16, "probe", 1);
             let dst = self.route.advance();
-            ctx.send(dst, RESULT_TAG, out);
+            ctx.send2(dst, RESULT_TAG, site.table.slice(range), tuple);
         }
     }
 
@@ -768,8 +773,8 @@ pub fn restore_spills(
         &mut states,
         |ctx, (jobs, out)| {
             for job in jobs.iter() {
-                let recs = ctx.read_records(job.file);
-                let cells = ctx.par_map(&recs, |rec| {
+                let recs = ctx.read_batch(job.file);
+                let cells = ctx.par_map_batch(&recs, |rec| {
                     crate::hash_table::hprime_cell_of(job.seed, job.r_attr.get(rec))
                 });
                 // Plan: spilled bytes per h' cell, then raise the cutoff
@@ -789,7 +794,7 @@ pub fn restore_spills(
                     (cell < JoinHashTable::CELLS).then(|| JoinHashTable::cell_cutoff(cell));
                 let (mut restored, mut respooled) = (0u64, 0u64);
                 let (mut restored_b, mut respooled_b) = (0u64, 0u64);
-                for (rec, c) in recs.into_iter().zip(cells) {
+                for (rec, c) in recs.iter().zip(cells) {
                     ctx.charge(ctx.cost.route_us);
                     if c < cell {
                         restored += 1;
@@ -927,10 +932,10 @@ pub fn resolve_overflows(
             &mut r_files,
             |ctx, files| {
                 for &file in files.iter() {
-                    let recs = ctx.read_records(file);
-                    let routed =
-                        ctx.par_map(&recs, |rec| (hash_u32(seed, r_attr.get(rec)) % j) as usize);
-                    for (rec, i) in recs.into_iter().zip(routed) {
+                    let recs = ctx.read_batch(file);
+                    let routed = ctx
+                        .par_map_batch(&recs, |rec| (hash_u32(seed, r_attr.get(rec)) % j) as usize);
+                    for (rec, i) in recs.iter().zip(routed) {
                         ctx.charge(ctx.cost.scan_tuple_us + ctx.cost.hash_us + ctx.cost.route_us);
                         ctx.send(join_nodes[i], tag(TAG_BUILD, i), rec);
                     }
@@ -961,12 +966,12 @@ pub fn resolve_overflows(
                 &mut s_files,
                 |ctx, files| {
                     for &file in files.iter() {
-                        let recs = ctx.read_records(file);
-                        let routed = ctx.par_map(&recs, |rec| {
+                        let recs = ctx.read_batch(file);
+                        let routed = ctx.par_map_batch(&recs, |rec| {
                             let val = s_attr.get(rec);
                             (val, (hash_u32(seed, val) % j) as usize)
                         });
-                        for (rec, (val, i)) in recs.into_iter().zip(routed) {
+                        for (rec, (val, i)) in recs.iter().zip(routed) {
                             ctx.charge(
                                 ctx.cost.scan_tuple_us + ctx.cost.hash_us + ctx.cost.route_us,
                             );
@@ -1083,7 +1088,8 @@ pub fn resolve_overflows_robust(
             &homes,
             &mut states,
             |ctx, (k, p)| {
-                for rec in ctx.read_records(p.r.1) {
+                let recs = ctx.read_batch(p.r.1);
+                for rec in recs.iter() {
                     ctx.charge(ctx.cost.scan_tuple_us);
                     ctx.send(ctx.node, tag(TAG_BUILD, *k), rec);
                 }
@@ -1103,9 +1109,10 @@ pub fn resolve_overflows_robust(
                 &homes,
                 &mut states,
                 |ctx, (k, p)| {
-                    for rec in ctx.read_records(p.s.1) {
+                    let recs = ctx.read_batch(p.s.1);
+                    for rec in recs.iter() {
                         ctx.charge(ctx.cost.scan_tuple_us);
-                        let val = s_attr.get(&rec);
+                        let val = s_attr.get(rec);
                         if snap.filter_drops(ctx, *k, val) {
                             // dropped at the source
                         } else if snap.outer_diverts(*k, val) {
@@ -1155,21 +1162,26 @@ fn block_nested_loops(
     let cost = machine.cfg.cost.clone();
     let disk = machine.cfg.disk_nodes;
     let block_bytes = env.capacity_per_site.max(env.tuple_bytes);
+    let mut out = Vec::new();
     for p in pairs {
         let (r_node, r_file, _) = p.r;
         let (s_node, s_file, _) = p.s;
         let mut route = ResultRoute::new(s_node, disk);
-        let r_recs = exec::read_records(machine, ledgers, r_node, r_file);
-        for block in r_recs.chunks((block_bytes / env.tuple_bytes.max(1)).max(1) as usize) {
-            let s_recs = exec::read_records(machine, ledgers, s_node, s_file);
-            for s_rec in &s_recs {
+        let r_recs = exec::read_batch(machine, ledgers, r_node, r_file);
+        for block in r_recs
+            .ranges()
+            .chunks((block_bytes / env.tuple_bytes.max(1)).max(1) as usize)
+        {
+            let s_recs = exec::read_batch(machine, ledgers, s_node, s_file);
+            for s_rec in s_recs.iter() {
                 cost.charge(&mut ledgers[s_node], cost.scan_tuple_us);
                 let sv = env.s_attr.get(s_rec);
-                for r_rec in block {
+                for &rr in block {
+                    let r_rec = r_recs.slice(rr);
                     cost.charge(&mut ledgers[s_node], cost.chain_compare_us);
                     if env.r_attr.get(r_rec) == sv {
                         cost.charge(&mut ledgers[s_node], cost.compose_us);
-                        let out = compose(r_rec, s_rec);
+                        compose_into(r_rec, s_rec, &mut out);
                         sink.push(machine, ledgers, &mut route, s_node, &out);
                     }
                 }
@@ -1254,8 +1266,9 @@ mod tests {
                 &participants,
                 &mut frags,
                 |ctx, f| {
-                    for rec in ctx.read_records(*f) {
-                        let val = attr.get(&rec);
+                    let recs = ctx.read_batch(*f);
+                    for rec in recs.iter() {
+                        let val = attr.get(rec);
                         let i = (hash_u32(JOIN_SEED, val) % j) as usize;
                         ctx.send(join_nodes[i], tag(TAG_BUILD, i), rec);
                     }
@@ -1283,8 +1296,9 @@ mod tests {
                 &participants,
                 &mut frags,
                 |ctx, f| {
-                    for rec in ctx.read_records(*f) {
-                        let val = attr.get(&rec);
+                    let recs = ctx.read_batch(*f);
+                    for rec in recs.iter() {
+                        let val = attr.get(rec);
                         let i = (hash_u32(JOIN_SEED, val) % j) as usize;
                         if snap.outer_diverts(i, val) {
                             ctx.send(sites.home(i), tag(TAG_SPOOL_S, i), rec);
@@ -1368,7 +1382,7 @@ mod tests {
                     for k in 0..300u32 {
                         let rec = mk(&schema(), k);
                         let i = (hash_u32(JOIN_SEED, k) % 8) as usize;
-                        ctx.send(join_nodes[i], tag(TAG_BUILD, i), rec);
+                        ctx.send(join_nodes[i], tag(TAG_BUILD, i), &rec);
                     }
                 },
             );
@@ -1395,7 +1409,7 @@ mod tests {
                             assert!(k >= 300, "a joining tuple was filtered!");
                         } else {
                             kept += 1;
-                            ctx.send(join_nodes[i], tag(TAG_PROBE, i), rec);
+                            ctx.send(join_nodes[i], tag(TAG_PROBE, i), &rec);
                         }
                     }
                     (kept, dropped)

@@ -45,9 +45,10 @@ pub mod scan;
 use std::sync::Arc;
 
 use gamma_des::Usage;
-use gamma_net::{Inbox, Msg, Outbox};
+use gamma_net::{Drained, Inbox, Outbox};
 use gamma_wiss::{FileId, HeapScan, HeapWriter};
 
+use crate::batch::TupleBatch;
 use crate::cost::CostModel;
 use crate::machine::{Ledgers, Machine, NodeId, NodeState};
 
@@ -115,25 +116,35 @@ impl StepCtx<'_> {
     }
 
     /// Send one tuple to `dst` on stream `tag` through this node's outbox.
+    /// The payload is copied straight into the pending packet frame.
     #[inline]
-    pub fn send(&mut self, dst: NodeId, tag: u32, payload: Vec<u8>) {
+    pub fn send(&mut self, dst: NodeId, tag: u32, payload: &[u8]) {
         self.outbox.send(self.ledger, dst, tag, payload);
     }
 
+    /// Send one tuple whose payload is the concatenation `a ++ b`
+    /// (composed result tuples), framed without materializing the join.
+    #[inline]
+    pub fn send2(&mut self, dst: NodeId, tag: u32, a: &[u8], b: &[u8]) {
+        self.outbox.send2(self.ledger, dst, tag, a, b);
+    }
+
     /// Drain every message delivered to this node before the step started,
-    /// charging the receive side of each remote packet.
-    pub fn drain(&mut self) -> Vec<Msg> {
+    /// charging the receive side of each remote packet. The returned batch
+    /// owns the packet buffers; iterate it for borrowed [`gamma_net::Msg`]
+    /// views while `self` stays mutable.
+    pub fn drain(&mut self) -> Drained {
         match self.inbox.as_mut() {
             Some(i) => i.drain(self.ledger, &self.cost.ring),
-            None => Vec::new(),
+            None => Drained::default(),
         }
     }
 
-    /// Read every record of a local heap file through this node's buffer
-    /// pool, charging page reads.
-    pub fn read_records(&mut self, file: FileId) -> Vec<Vec<u8>> {
+    /// Read every record of a local heap file into one contiguous
+    /// [`TupleBatch`] through this node's buffer pool, charging page reads.
+    pub fn read_batch(&mut self, file: FileId) -> TupleBatch {
         let (vol, pool) = self.state.vp();
-        HeapScan::open(vol, file).collect_all(pool, self.ledger)
+        read_file_batch(vol, pool, self.ledger, file)
     }
 
     /// Map a **pure** function over `items` in fixed tuple-range chunks on
@@ -152,6 +163,17 @@ impl StepCtx<'_> {
         R: Send,
     {
         pool::map_chunks(self.pool, items, f)
+    }
+
+    /// [`StepCtx::par_map`] over the records of a [`TupleBatch`]: maps a
+    /// **pure** `f` over each record slice in input order (same purity
+    /// contract and chunking as `par_map`).
+    pub fn par_map_batch<R: Send>(
+        &self,
+        batch: &TupleBatch,
+        f: impl Fn(&[u8]) -> R + Sync,
+    ) -> Vec<R> {
+        pool::map_chunks(self.pool, batch.ranges(), |&r| f(batch.slice(r)))
     }
 
     /// End-of-step bookkeeping: the operator must have drained its inbox,
@@ -396,16 +418,33 @@ where
     results
 }
 
-/// Read every record of a heap file at `node` (main-thread convenience for
-/// sequential operators; workers use [`StepCtx::read_records`]).
-pub fn read_records(
+/// Scan a heap file into one contiguous [`TupleBatch`], charging page
+/// reads (shared by [`StepCtx::read_batch`] and the free helper below).
+fn read_file_batch(
+    vol: &gamma_wiss::Volume,
+    pool: &mut gamma_wiss::BufferPool,
+    usage: &mut Usage,
+    file: FileId,
+) -> TupleBatch {
+    let mut scan = HeapScan::open(vol, file);
+    let mut batch = TupleBatch::with_capacity(vol.file_records(file), 64);
+    while let Some(rec) = scan.next_ref(pool, usage) {
+        batch.push(rec);
+    }
+    batch
+}
+
+/// Read every record of a heap file at `node` into a [`TupleBatch`]
+/// (main-thread convenience for sequential operators; workers use
+/// [`StepCtx::read_batch`]).
+pub fn read_batch(
     machine: &mut Machine,
     ledgers: &mut Ledgers,
     node: NodeId,
     file: FileId,
-) -> Vec<Vec<u8>> {
+) -> TupleBatch {
     let (vol, pool) = machine.nodes[node].vp();
-    HeapScan::open(vol, file).collect_all(pool, &mut ledgers[node])
+    read_file_batch(vol, pool, &mut ledgers[node], file)
 }
 
 /// Delete a temporary file at `node` and evict its cached pages.
@@ -455,7 +494,7 @@ mod tests {
             &mut unit,
             |ctx, _| {
                 let dst = (ctx.node + 1) % 8;
-                ctx.send(dst, 7, vec![ctx.node as u8; 64]);
+                ctx.send(dst, 7, &[ctx.node as u8; 64]);
             },
         );
         assert!(!m.exchange.is_drained());
@@ -467,9 +506,10 @@ mod tests {
             &participants,
             &mut unit,
             |ctx, _| {
-                let msgs = ctx.drain();
-                assert_eq!(msgs.len(), 1);
-                (msgs[0].src, msgs[0].payload[0])
+                let drained = ctx.drain();
+                assert_eq!(drained.len(), 1);
+                let msg = drained.iter().next().unwrap();
+                (msg.src, msg.payload[0])
             },
         );
         for (n, &(src, byte)) in got.iter().enumerate() {
@@ -493,7 +533,7 @@ mod tests {
             &participants,
             &mut unit,
             |ctx, _| {
-                ctx.send((ctx.node + 1) % 8, 7, vec![0u8; 2048]);
+                ctx.send((ctx.node + 1) % 8, 7, &[0u8; 2048]);
             },
         );
         // Nobody drains: the next step must notice.

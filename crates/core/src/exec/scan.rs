@@ -16,14 +16,16 @@ use gamma_des::Usage;
 use gamma_wiss::{FileId, HeapScan};
 
 use crate::algorithms::common::RangePred;
+use crate::batch::TupleBatch;
 use crate::cost::CostModel;
 use crate::exec::{pool, StepCtx};
 use crate::machine::{Ledgers, Machine, NodeId, NodeState};
 
 /// Scan one stored fragment from a step worker: charges page reads and
 /// per-tuple scan CPU, applies the optional selection, and returns the
-/// surviving records.
-pub fn scan_fragment(ctx: &mut StepCtx<'_>, file: FileId, pred: Option<RangePred>) -> Vec<Vec<u8>> {
+/// surviving records as one arena-backed [`TupleBatch`] (two allocations
+/// per fragment, not one per tuple).
+pub fn scan_fragment(ctx: &mut StepCtx<'_>, file: FileId, pred: Option<RangePred>) -> TupleBatch {
     scan_fragment_inner(ctx.cost, ctx.state, ctx.ledger, ctx.pool, file, pred)
 }
 
@@ -34,7 +36,7 @@ fn scan_fragment_inner(
     pool: Option<&pool::WorkerPool>,
     file: FileId,
     pred: Option<RangePred>,
-) -> Vec<Vec<u8>> {
+) -> TupleBatch {
     let node = state.id;
     #[cfg(feature = "trace")]
     gamma_trace::emit(
@@ -44,21 +46,26 @@ fn scan_fragment_inner(
     );
     #[cfg(all(not(feature = "trace"), not(feature = "metrics")))]
     let _ = node;
-    let recs = {
-        let (vol, pool) = state.vp();
-        HeapScan::open(vol, file).collect_all(pool, usage)
+    let mut batch = {
+        let (vol, bp) = state.vp();
+        let mut scan = HeapScan::open(vol, file);
+        let mut batch = TupleBatch::with_capacity(vol.file_records(file), 64);
+        while let Some(rec) = scan.next_ref(bp, usage) {
+            batch.push(rec);
+        }
+        batch
     };
     // Pure per-record work, chunked; effects replayed in record order below.
-    let keep: Option<Vec<bool>> = pred.map(|p| pool::map_chunks(pool, &recs, |rec| p.eval(rec)));
-    let mut out = Vec::with_capacity(recs.len());
+    let keep: Option<Vec<bool>> =
+        pred.map(|p| pool::map_chunks(pool, batch.ranges(), |&r| p.eval(batch.slice(r))));
     #[cfg(feature = "metrics")]
-    let scanned = recs.len() as u64;
-    for (k, rec) in recs.into_iter().enumerate() {
+    let scanned = batch.len() as u64;
+    for _ in 0..batch.len() {
         cost.charge(usage, cost.scan_tuple_us);
         usage.counts.tuples_in += 1;
-        if keep.as_ref().is_none_or(|mask| mask[k]) {
-            out.push(rec);
-        }
+    }
+    if let Some(mask) = keep {
+        batch.retain_indices(|k| mask[k]);
     }
     #[cfg(feature = "metrics")]
     if scanned > 0 {
@@ -70,7 +77,7 @@ fn scan_fragment_inner(
         usage.total_demand().as_us(),
         gamma_trace::EventKind::SpanEnd { name: "scan" },
     );
-    out
+    batch
 }
 
 /// Main-thread convenience for sequential operators: scan at `node` using
@@ -81,7 +88,7 @@ pub fn scan_fragment_at(
     node: NodeId,
     file: FileId,
     pred: Option<RangePred>,
-) -> Vec<Vec<u8>> {
+) -> TupleBatch {
     let Machine {
         cfg, nodes, exec, ..
     } = machine;

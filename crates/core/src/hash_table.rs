@@ -13,12 +13,67 @@
 //!
 //! The table stores real tuples; probes return real matches and the chain
 //! lengths actually walked (average 3.3 with the paper's normal attribute).
+//!
+//! Storage is a per-table **arena**: one contiguous byte buffer that every
+//! stored tuple is copied into once, with chain entries holding `(start,
+//! len)` ranges instead of owned `Vec<u8>`s. Offers take `&[u8]` and
+//! evictions come back as [`TupleRange`]s resolved via
+//! [`JoinHashTable::slice`], so the build/evict/restore paths move tuple
+//! bytes without per-tuple heap allocations. Evicted ranges stay valid —
+//! eviction unlinks the chain entry but leaves the bytes in the arena (the
+//! garbage is bounded by the bytes spooled, which the overflow files hold
+//! anyway). The memory *model* (`used_bytes` vs `capacity_bytes`) counts
+//! live tuples only, exactly as before.
 
 use crate::hash::hash_u32;
 
 /// Number of histogram cells over the `h'` range (top 8 bits of the hash).
 const HIST_CELLS: usize = 256;
 const HIST_SHIFT: u32 = 56;
+
+/// `(start, len)` of a stored tuple within its table's arena; resolve with
+/// [`JoinHashTable::slice`].
+pub type TupleRange = (u32, u32);
+
+/// The matches of one probe. Up to two ranges live inline — on a key join
+/// almost every probe finds zero or one match, so the common case performs
+/// no heap allocation; heavier duplication spills to a `Vec`.
+#[derive(Debug, Clone, Default)]
+pub struct MatchSet {
+    inline: [TupleRange; 2],
+    n: u8,
+    spill: Vec<TupleRange>,
+}
+
+impl MatchSet {
+    /// Append one match range.
+    pub fn push(&mut self, r: TupleRange) {
+        if (self.n as usize) < self.inline.len() {
+            self.inline[self.n as usize] = r;
+            self.n += 1;
+        } else {
+            self.spill.push(r);
+        }
+    }
+
+    /// Number of matches.
+    pub fn len(&self) -> usize {
+        self.n as usize + self.spill.len()
+    }
+
+    /// True when the probe missed.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Iterate the match ranges in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = TupleRange> + '_ {
+        self.inline[..self.n as usize]
+            .iter()
+            .copied()
+            .chain(self.spill.iter().copied())
+    }
+}
 
 /// `h'` histogram cell of `val` under `seed` — the same cell boundaries the
 /// table's clearing heuristic uses, computable without the table (restore
@@ -33,17 +88,19 @@ pub fn hprime_cell_of(seed: u64, val: u32) -> usize {
 pub enum Offer {
     /// Tuple is resident in the table.
     Stored,
-    /// Tuple's `h'` is above the current cutoff; the caller must spool it
-    /// to the overflow file.
-    Diverted(Vec<u8>),
-    /// The table overflowed: the clearing heuristic ran. `evicted` must be
-    /// spooled; the incoming tuple was stored unless it is in `evicted`'s
-    /// hash range, in which case it appears as `diverted`.
+    /// Tuple's `h'` is above the current cutoff; the caller (who still
+    /// holds the slice it offered) must spool it to the overflow file.
+    Diverted,
+    /// The table overflowed: the clearing heuristic ran. `evicted` ranges
+    /// must be spooled; the incoming tuple was stored unless its `h'` lies
+    /// in the cleared range, in which case `diverted` is true and the
+    /// caller must spool its own slice.
     Overflowed {
-        /// Tuples cleared from the table, with their join-attribute values.
-        evicted: Vec<(u32, Vec<u8>)>,
-        /// The incoming tuple, if it too must be spooled.
-        diverted: Option<Vec<u8>>,
+        /// Tuples cleared from the table, with their join-attribute values
+        /// and arena ranges.
+        evicted: Vec<(u32, TupleRange)>,
+        /// Whether the incoming tuple, too, must be spooled.
+        diverted: bool,
         /// Entries the clearing pass had to examine (the whole resident
         /// table — §4.1's "CPU overhead required to repeatedly search the
         /// hash table").
@@ -54,13 +111,15 @@ pub enum Offer {
 struct Entry {
     val: u32,
     hprime: u64,
-    tuple: Vec<u8>,
+    start: u32,
+    len: u32,
 }
 
 /// A join hash table capped at `capacity_bytes`.
 pub struct JoinHashTable {
     buckets: Vec<Vec<Entry>>,
     mask: u64,
+    arena: Vec<u8>,
     capacity_bytes: u64,
     used_bytes: u64,
     entry_overhead: u64,
@@ -82,6 +141,7 @@ impl JoinHashTable {
         JoinHashTable {
             buckets: (0..nbuckets).map(|_| Vec::new()).collect(),
             mask: nbuckets as u64 - 1,
+            arena: Vec::new(),
             capacity_bytes,
             used_bytes: 0,
             entry_overhead: 8,
@@ -132,26 +192,39 @@ impl JoinHashTable {
         self.hprime_seed
     }
 
+    /// Resolve an arena range (from an eviction or probe) to tuple bytes.
+    #[inline]
+    pub fn slice(&self, (start, len): TupleRange) -> &[u8] {
+        &self.arena[start as usize..(start + len) as usize]
+    }
+
     fn entry_bytes(&self, tuple_len: usize) -> u64 {
         tuple_len as u64 + self.entry_overhead
     }
 
-    fn store(&mut self, val: u32, hprime: u64, tuple: Vec<u8>) {
+    fn store(&mut self, val: u32, hprime: u64, tuple: &[u8]) {
         let bytes = self.entry_bytes(tuple.len());
         self.histogram[(hprime >> HIST_SHIFT) as usize] += bytes;
         self.used_bytes += bytes;
         self.len += 1;
+        let start = self.arena.len() as u32;
+        self.arena.extend_from_slice(tuple);
         let b = (hprime & self.mask) as usize;
-        self.buckets[b].push(Entry { val, hprime, tuple });
+        self.buckets[b].push(Entry {
+            val,
+            hprime,
+            start,
+            len: tuple.len() as u32,
+        });
     }
 
     /// Offer a tuple for staging. `clear_pct` is the percentage of capacity
     /// the heuristic tries to free on overflow (the paper's 10).
-    pub fn offer(&mut self, val: u32, tuple: Vec<u8>, clear_pct: u64) -> Offer {
+    pub fn offer(&mut self, val: u32, tuple: &[u8], clear_pct: u64) -> Offer {
         let hprime = self.hprime(val);
         if let Some(c) = self.cutoff {
             if hprime >= c {
-                return Offer::Diverted(tuple);
+                return Offer::Diverted;
             }
         }
         let bytes = self.entry_bytes(tuple.len());
@@ -173,12 +246,12 @@ impl JoinHashTable {
             self.clearings += 1;
             scanned += self.len;
             let new_cutoff = self.pick_cutoff(target);
-            evicted.extend(self.clear_above(new_cutoff));
+            self.clear_above(new_cutoff, &mut evicted);
             self.cutoff = Some(new_cutoff);
             if hprime >= new_cutoff {
                 return Offer::Overflowed {
                     evicted,
-                    diverted: Some(tuple),
+                    diverted: true,
                     scanned,
                 };
             }
@@ -186,7 +259,7 @@ impl JoinHashTable {
                 self.store(val, hprime, tuple);
                 return Offer::Overflowed {
                     evicted,
-                    diverted: None,
+                    diverted: false,
                     scanned,
                 };
             }
@@ -196,7 +269,7 @@ impl JoinHashTable {
                 // diverts, so the partition stays consistent.
                 return Offer::Overflowed {
                     evicted,
-                    diverted: Some(tuple),
+                    diverted: true,
                     scanned,
                 };
             }
@@ -224,22 +297,24 @@ impl JoinHashTable {
         cell << HIST_SHIFT
     }
 
-    /// Remove and return every resident tuple with `h' >= cutoff`.
-    fn clear_above(&mut self, cutoff: u64) -> Vec<(u32, Vec<u8>)> {
-        let mut evicted = Vec::new();
+    /// Unlink every resident tuple with `h' >= cutoff`, appending their
+    /// `(val, range)` pairs to `evicted`. The bytes stay put in the arena,
+    /// so previously returned ranges remain valid.
+    fn clear_above(&mut self, cutoff: u64, evicted: &mut Vec<(u32, TupleRange)>) {
+        let before = evicted.len();
         for b in self.buckets.iter_mut() {
             let mut i = 0;
             while i < b.len() {
                 if b[i].hprime >= cutoff {
                     let e = b.swap_remove(i);
-                    evicted.push((e.val, e.tuple));
+                    evicted.push((e.val, (e.start, e.len)));
                 } else {
                     i += 1;
                 }
             }
         }
-        for (_, t) in &evicted {
-            let bytes = t.len() as u64 + self.entry_overhead;
+        for &(_, (_, len)) in &evicted[before..] {
+            let bytes = len as u64 + self.entry_overhead;
             self.used_bytes -= bytes;
             self.len -= 1;
         }
@@ -248,21 +323,28 @@ impl JoinHashTable {
         for cell in (cutoff >> HIST_SHIFT) as usize..HIST_CELLS {
             self.histogram[cell] = 0;
         }
-        evicted
+    }
+
+    /// Probe with an outer value: `(matching arena ranges, chain entries
+    /// compared)`. Resolve ranges with [`JoinHashTable::slice`]; misses and
+    /// low-duplication hits (the common case on key joins) allocate nothing.
+    pub fn probe_ranges(&self, val: u32) -> (MatchSet, u64) {
+        let hprime = self.hprime(val);
+        let b = (hprime & self.mask) as usize;
+        let chain = &self.buckets[b];
+        let mut matches = MatchSet::default();
+        for e in chain {
+            if e.val == val {
+                matches.push((e.start, e.len));
+            }
+        }
+        (matches, chain.len() as u64)
     }
 
     /// Probe with an outer value: `(matching tuples, chain entries compared)`.
     pub fn probe(&self, val: u32) -> (Vec<&[u8]>, u64) {
-        let hprime = self.hprime(val);
-        let b = (hprime & self.mask) as usize;
-        let chain = &self.buckets[b];
-        let mut matches = Vec::new();
-        for e in chain {
-            if e.val == val {
-                matches.push(e.tuple.as_slice());
-            }
-        }
-        (matches, chain.len() as u64)
+        let (ranges, compares) = self.probe_ranges(val);
+        (ranges.iter().map(|r| self.slice(r)).collect(), compares)
     }
 
     /// Unused capacity in bytes — how much spilled data a dynamic restore
@@ -323,7 +405,7 @@ impl JoinHashTable {
     pub fn resident(&self) -> impl Iterator<Item = (u32, &[u8])> {
         self.buckets
             .iter()
-            .flat_map(|b| b.iter().map(|e| (e.val, e.tuple.as_slice())))
+            .flat_map(|b| b.iter().map(|e| (e.val, self.slice((e.start, e.len)))))
     }
 }
 
@@ -341,7 +423,7 @@ mod tests {
     fn stores_and_probes() {
         let mut t = JoinHashTable::new(1 << 20, 208, 1);
         for v in 0..100 {
-            assert_eq!(t.offer(v, tuple(v, 208), 10), Offer::Stored);
+            assert_eq!(t.offer(v, &tuple(v, 208), 10), Offer::Stored);
         }
         let (m, compares) = t.probe(42);
         assert_eq!(m.len(), 1);
@@ -355,11 +437,30 @@ mod tests {
     fn duplicates_form_chains() {
         let mut t = JoinHashTable::new(1 << 20, 208, 1);
         for _ in 0..5 {
-            t.offer(7, tuple(7, 208), 10);
+            t.offer(7, &tuple(7, 208), 10);
         }
         let (m, compares) = t.probe(7);
         assert_eq!(m.len(), 5);
         assert!(compares >= 5, "every chain entry is compared");
+    }
+
+    #[test]
+    fn evicted_ranges_resolve_to_their_tuples() {
+        let cap = 50_000u64;
+        let mut t = JoinHashTable::new(cap, 208, 9);
+        let mut v = 0u32;
+        loop {
+            match t.offer(v, &tuple(v, 208), 10) {
+                Offer::Overflowed { evicted, .. } => {
+                    assert!(!evicted.is_empty());
+                    for (val, range) in evicted {
+                        assert_eq!(t.slice(range), tuple(val, 208).as_slice());
+                    }
+                    break;
+                }
+                _ => v += 1,
+            }
+        }
     }
 
     #[test]
@@ -370,9 +471,9 @@ mod tests {
         let mut evicted_total = 0usize;
         let mut v = 0u32;
         loop {
-            match t.offer(v, tuple(v, 208), 10) {
+            match t.offer(v, &tuple(v, 208), 10) {
                 Offer::Stored => {}
-                Offer::Diverted(_) => {}
+                Offer::Diverted => {}
                 Offer::Overflowed { evicted, .. } => {
                     evicted_total += evicted.len();
                     break;
@@ -395,7 +496,7 @@ mod tests {
         let mut v = 0u32;
         // Fill to first overflow.
         loop {
-            if matches!(t.offer(v, tuple(v, 208), 10), Offer::Overflowed { .. }) {
+            if matches!(t.offer(v, &tuple(v, 208), 10), Offer::Overflowed { .. }) {
                 break;
             }
             v += 1;
@@ -405,8 +506,8 @@ mod tests {
         let mut diverted = 0;
         let mut stored = 0;
         for w in 1_000_000..1_002_000u32 {
-            match t.offer(w, tuple(w, 208), 10) {
-                Offer::Diverted(_) => diverted += 1,
+            match t.offer(w, &tuple(w, 208), 10) {
+                Offer::Diverted => diverted += 1,
                 Offer::Stored => stored += 1,
                 Offer::Overflowed { .. } => {}
             }
@@ -424,7 +525,7 @@ mod tests {
         let mut t = JoinHashTable::new(cap, 208, 5);
         let mut cutoffs = Vec::new();
         for v in 0..2_000u32 {
-            if let Offer::Overflowed { .. } = t.offer(v, tuple(v, 208), 10) {
+            if let Offer::Overflowed { .. } = t.offer(v, &tuple(v, 208), 10) {
                 cutoffs.push(t.cutoff().unwrap());
             }
         }
@@ -441,14 +542,16 @@ mod tests {
         let mut spooled = Vec::new();
         let n = 1000u32;
         for v in 0..n {
-            match t.offer(v, tuple(v, 208), 10) {
+            match t.offer(v, &tuple(v, 208), 10) {
                 Offer::Stored => {}
-                Offer::Diverted(tu) => spooled.push(tu),
+                Offer::Diverted => spooled.push(tuple(v, 208)),
                 Offer::Overflowed {
                     evicted, diverted, ..
                 } => {
-                    spooled.extend(evicted.into_iter().map(|(_, tu)| tu));
-                    spooled.extend(diverted);
+                    spooled.extend(evicted.iter().map(|&(_, r)| t.slice(r).to_vec()));
+                    if diverted {
+                        spooled.push(tuple(v, 208));
+                    }
                 }
             }
         }
@@ -471,7 +574,7 @@ mod tests {
         let cap = 30_000u64;
         let mut t = JoinHashTable::new(cap, 100, 3);
         for v in 0..5_000u32 {
-            let _ = t.offer(v, tuple(v, 100), 10);
+            let _ = t.offer(v, &tuple(v, 100), 10);
             assert!(
                 t.used_bytes() <= cap,
                 "used {} > cap {}",
@@ -489,13 +592,13 @@ mod tests {
         let mut t = JoinHashTable::new(cap, 208, 3);
         let mut evicted_all = 0;
         for _ in 0..200 {
-            match t.offer(7, tuple(7, 208), 10) {
+            match t.offer(7, &tuple(7, 208), 10) {
                 Offer::Overflowed {
                     evicted, diverted, ..
                 } => {
-                    evicted_all += evicted.len() + diverted.iter().len();
+                    evicted_all += evicted.len() + usize::from(diverted);
                 }
-                Offer::Diverted(_) => evicted_all += 1,
+                Offer::Diverted => evicted_all += 1,
                 Offer::Stored => {}
             }
         }
@@ -512,14 +615,16 @@ mod tests {
         // Fill until the clearing heuristic fires once: it frees ~10 % of
         // capacity, so the table is left with real slack to restore into.
         loop {
-            match t.offer(v, tuple(v, 208), 10) {
+            match t.offer(v, &tuple(v, 208), 10) {
                 Offer::Stored => {}
-                Offer::Diverted(tu) => spooled.push(tu),
+                Offer::Diverted => spooled.push(tuple(v, 208)),
                 Offer::Overflowed {
                     evicted, diverted, ..
                 } => {
-                    spooled.extend(evicted.into_iter().map(|(_, tu)| tu));
-                    spooled.extend(diverted);
+                    spooled.extend(evicted.iter().map(|&(_, r)| t.slice(r).to_vec()));
+                    if diverted {
+                        spooled.push(tuple(v, 208));
+                    }
                     break;
                 }
             }
@@ -549,7 +654,7 @@ mod tests {
         for tu in &spooled {
             let v = u32::from_le_bytes(tu[0..4].try_into().unwrap());
             if t.hprime_cell(v) < cell {
-                assert_eq!(t.offer(v, tu.clone(), 10), Offer::Stored);
+                assert_eq!(t.offer(v, tu, 10), Offer::Stored);
                 restored += 1;
             }
         }

@@ -43,6 +43,7 @@
 //!   queues) and measures the saturation knee these bounds predict.
 
 pub mod algorithms;
+pub mod batch;
 pub mod bitfilter;
 pub mod cost;
 pub mod exec;
@@ -57,6 +58,7 @@ pub mod split;
 pub mod throughput;
 pub mod tuple;
 
+pub use batch::TupleBatch;
 pub use cost::CostModel;
 pub use exec::{pool::WorkerPool, ExecConfig};
 pub use machine::{Machine, MachineConfig, NodeId, RelationId, StoredRelation};

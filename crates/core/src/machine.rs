@@ -247,13 +247,17 @@ impl Machine {
     /// Load a relation, placing each tuple per `declustering`. Loading is
     /// not part of any measured query, so no ledger is charged; the tuples
     /// do however land in real page files that later scans pay to read.
-    pub fn load_relation(
+    pub fn load_relation<I>(
         &mut self,
         name: &str,
         schema: Schema,
         declustering: Declustering,
-        tuples: impl IntoIterator<Item = Vec<u8>>,
-    ) -> RelationId {
+        tuples: I,
+    ) -> RelationId
+    where
+        I: IntoIterator,
+        I::Item: AsRef<[u8]>,
+    {
         let d = self.cfg.disk_nodes;
         let page_bytes = self.cfg.cost.disk.page_bytes;
         let mut scratch = Usage::ZERO; // load-time I/O is not measured
@@ -263,10 +267,11 @@ impl Machine {
         let mut count = 0u64;
         let mut bytes = 0u64;
         for t in tuples {
-            let node = declustering.place(&t, d, count);
+            let t = t.as_ref();
+            let node = declustering.place(t, d, count);
             assert!(node < d, "declustering routed to nonexistent node {node}");
             let (vol, pool) = self.nodes[node].vp();
-            writers[node].push(vol, pool, &mut scratch, &t);
+            writers[node].push(vol, pool, &mut scratch, t);
             bytes += t.len() as u64;
             count += 1;
         }
@@ -498,7 +503,7 @@ impl ResultSink {
         usage[src].counts.tuples_out += 1;
         #[cfg(feature = "metrics")]
         gamma_metrics::counter_add("op_tuples_out", src as u16, "result", 1);
-        machine.exchange.outboxes_mut()[src].send(&mut usage[src], dst, RESULT_TAG, rec.to_vec());
+        machine.exchange.outboxes_mut()[src].send(&mut usage[src], dst, RESULT_TAG, rec);
     }
 
     /// Main-thread store path: seal every outbox, route, and run the store
@@ -518,14 +523,14 @@ impl ResultSink {
             let mut w = self.take_writer(n);
             let mut tuples = 0u64;
             let mut sum = 0u64;
-            for m in msgs {
+            for m in msgs.iter() {
                 assert_eq!(m.tag, RESULT_TAG, "unexpected stream in result flush");
                 sum = sum.wrapping_add(Self::store_at(
                     &cost,
                     &mut machine.nodes[n],
                     ledger,
                     &mut w,
-                    &m.payload,
+                    m.payload,
                 ));
                 tuples += 1;
             }
@@ -646,7 +651,7 @@ mod tests {
     fn using_dropped_relation_panics() {
         let mut m = Machine::new(MachineConfig::local_8());
         let s = schema();
-        let id = m.load_relation("t", s, Declustering::RoundRobin, vec![]);
+        let id = m.load_relation("t", s, Declustering::RoundRobin, Vec::<Vec<u8>>::new());
         m.drop_relation(id);
         m.relation(id);
     }

@@ -22,7 +22,7 @@ use crate::machine::{Declustering, Machine, NodeId, RelationId, ResultRoute, Res
 use crate::query::replay_phases;
 use crate::report::{PhaseRecord, PhaseSummary};
 use crate::split::JoiningSplitTable;
-use crate::tuple::{Attr, Field, Schema};
+use crate::tuple::{project_ranges_into, Attr, Field, Schema};
 
 /// Timed result of a non-join operator.
 #[derive(Debug, Clone)]
@@ -68,8 +68,8 @@ pub fn select(
     let mut ledgers = machine.ledgers();
     for &node in &disk_nodes {
         let recs = scan_fragment_at(machine, &mut ledgers, node, fragments[node], Some(pred));
-        for rec in recs {
-            sink.push(machine, &mut ledgers, &mut route, node, &rec);
+        for rec in recs.iter() {
+            sink.push(machine, &mut ledgers, &mut route, node, rec);
         }
     }
     sink.flush(machine, &mut ledgers);
@@ -95,11 +95,15 @@ pub fn project(
     let mut sink = ResultSink::new(machine);
     let mut route = ResultRoute::new(0, disk_nodes.len());
     let mut ledgers = machine.ledgers();
+    // Resolve field names to byte ranges once; reuse one output buffer for
+    // the whole relation instead of allocating per projected tuple.
+    let ranges = schema.projection(fields);
+    let mut out = Vec::new();
     for &node in &disk_nodes {
         let recs = scan_fragment_at(machine, &mut ledgers, node, fragments[node], None);
-        for rec in recs {
+        for rec in recs.iter() {
             cost.charge(&mut ledgers[node], cost.compose_us);
-            let out = schema.project_tuple(fields, &rec);
+            project_ranges_into(&ranges, rec, &mut out);
             sink.push(machine, &mut ledgers, &mut route, node, &out);
         }
     }
@@ -168,9 +172,9 @@ pub fn aggregate_scalar(
     let mut acc = f.init();
     for &node in &disk_nodes {
         let recs = scan_fragment_at(machine, &mut ledgers, node, fragments[node], pred);
-        for rec in recs {
+        for rec in recs.iter() {
             cost.charge(&mut ledgers[node], cost.agg_update_us);
-            acc = f.merge(acc, f.update(f.init(), attr.get(&rec)));
+            acc = f.merge(acc, f.update(f.init(), attr.get(rec)));
         }
         // Partial result back to the scheduler: one control message.
         machine
@@ -214,10 +218,10 @@ pub fn aggregate_group(
     let mut ledgers = machine.ledgers();
     for &node in &disk_nodes {
         let recs = scan_fragment_at(machine, &mut ledgers, node, fragments[node], None);
-        for rec in recs {
+        for rec in recs.iter() {
             cost.charge(&mut ledgers[node], cost.hash_us + cost.agg_update_us);
-            let g = group_attr.get(&rec);
-            let v = agg_attr.get(&rec);
+            let g = group_attr.get(rec);
+            let v = agg_attr.get(rec);
             let slot = partials[node].entry(g).or_insert_with(|| f.init());
             *slot = f.update(*slot, v);
         }
@@ -338,8 +342,8 @@ fn rewrite(
     for &node in &disk_nodes {
         let recs = scan_fragment_at(machine, &mut ledgers, node, fragments[node], None);
         let mut w = HeapWriter::create(machine.nodes[node].vol_mut(), page);
-        for rec in recs {
-            match f(&rec, &cost) {
+        for rec in recs.iter() {
+            match f(rec, &cost) {
                 Some(out) => {
                     if out != rec {
                         touched += 1;

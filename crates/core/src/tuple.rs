@@ -107,13 +107,17 @@ impl Schema {
         Schema::new(fields)
     }
 
+    /// Resolve the named fields to byte ranges once, so a batch of
+    /// projections pays the name lookups a single time (see
+    /// [`project_ranges_into`]).
+    pub fn projection(&self, names: &[&str]) -> Vec<(usize, usize)> {
+        names.iter().map(|n| self.field_range(n)).collect()
+    }
+
     /// Project one tuple onto the named fields.
     pub fn project_tuple(&self, names: &[&str], tuple: &[u8]) -> Vec<u8> {
         let mut out = Vec::new();
-        for n in names {
-            let (off, w) = self.field_range(n);
-            out.extend_from_slice(&tuple[off..off + w]);
-        }
+        project_ranges_into(&self.projection(names), tuple, &mut out);
         out
     }
 
@@ -161,14 +165,35 @@ impl Attr {
     }
 }
 
+/// Project a tuple onto pre-resolved field ranges (from
+/// [`Schema::projection`]), writing into a caller-owned buffer that is
+/// cleared and refilled — reuse it across a batch to project with zero
+/// per-tuple allocation and zero per-tuple name lookups.
+#[inline]
+pub fn project_ranges_into(ranges: &[(usize, usize)], tuple: &[u8], out: &mut Vec<u8>) {
+    out.clear();
+    for &(off, w) in ranges {
+        out.extend_from_slice(&tuple[off..off + w]);
+    }
+}
+
 /// Compose a result tuple by concatenating an outer and inner tuple —
 /// Gamma's join operators emitted the concatenation of the matching pair.
 #[inline]
 pub fn compose(left: &[u8], right: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(left.len() + right.len());
+    compose_into(left, right, &mut out);
+    out
+}
+
+/// [`compose`] into a caller-owned buffer (cleared and refilled) — reuse it
+/// across a batch so composition never allocates per result tuple.
+#[inline]
+pub fn compose_into(left: &[u8], right: &[u8], out: &mut Vec<u8>) {
+    out.clear();
+    out.reserve(left.len() + right.len());
     out.extend_from_slice(left);
     out.extend_from_slice(right);
-    out
 }
 
 #[cfg(test)]
@@ -228,5 +253,21 @@ mod tests {
     fn compose_concatenates_bytes() {
         let out = compose(&[1, 2, 3], &[4, 5]);
         assert_eq!(out, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn into_variants_reuse_the_buffer() {
+        let mut buf = Vec::new();
+        compose_into(&[1, 2], &[3], &mut buf);
+        assert_eq!(buf, vec![1, 2, 3]);
+        compose_into(&[9], &[8, 7], &mut buf);
+        assert_eq!(buf, vec![9, 8, 7]);
+        let s = schema();
+        let ranges = s.projection(&["normal", "unique1"]);
+        let mut t = vec![0u8; s.tuple_bytes()];
+        s.int_attr("unique1").put(&mut t, 11);
+        s.int_attr("normal").put(&mut t, 22);
+        project_ranges_into(&ranges, &t, &mut buf);
+        assert_eq!(buf, s.project_tuple(&["normal", "unique1"], &t));
     }
 }

@@ -25,9 +25,6 @@
 //! lives on the absolute virtual clock and carries its backlog between
 //! phases — the gamma-sched engine owns one per device (DESIGN.md §12).
 
-use std::collections::VecDeque;
-
-use crate::sim::Sim;
 use crate::time::SimTime;
 
 /// One device request: issued at `issue` (relative to the phase start, on
@@ -78,61 +75,32 @@ pub struct QueueStats {
     pub requests: u64,
 }
 
-/// The event-driven single-server state: requests that arrived while the
-/// device was busy park here (FIFO) until the in-flight request completes.
-struct Server {
-    queued: VecDeque<Request>,
-    busy: bool,
-    stats: QueueStats,
-}
-
-fn arrive(sim: &mut Sim<Server>, req: Request) {
-    if sim.state.busy {
-        sim.state.queued.push_back(req);
-    } else {
-        begin_service(sim, req);
-    }
-}
-
-fn begin_service(sim: &mut Sim<Server>, req: Request) {
-    let wait = sim.now() - req.issue; // SimTime::sub saturates; starts are never early
-    sim.state.busy = true;
-    sim.state.stats.wait += wait;
-    sim.state.stats.max_wait = sim.state.stats.max_wait.max(wait);
-    sim.schedule_in(req.service, complete);
-}
-
-fn complete(sim: &mut Sim<Server>) {
-    sim.state.stats.completion = sim.now();
-    match sim.state.queued.pop_front() {
-        Some(next) => begin_service(sim, next),
-        None => sim.state.busy = false,
-    }
-}
-
-/// Drain a request log through a single-server FIFO queue on the event
-/// kernel and report when the device finishes.
+/// Drain a request log through a single-server FIFO queue and report when
+/// the device finishes.
 ///
-/// Requests are served in issue order (ties broken by log order, which the
-/// kernel's FIFO tie-break preserves). The log produced by a ledger is
-/// already issue-ordered because issue offsets are the node's monotone CPU
-/// progress.
+/// Requests are served in issue order (ties broken by log order). The log
+/// produced by a ledger is already issue-ordered because issue offsets are
+/// the node's monotone CPU progress, so the queue reduces to the closed-form
+/// recurrence `start = max(issue, previous completion)` — no event kernel,
+/// no allocation. The event-kernel formulation survives as a test-only
+/// cross-check (`fold_drain_matches_event_kernel`), and this is the same
+/// recurrence [`SharedServer`] and [`fold_waits`] use.
 pub fn fifo_drain(requests: &[Request]) -> QueueStats {
-    let mut sim = Sim::untraced(Server {
-        queued: VecDeque::with_capacity(requests.len()),
-        busy: false,
-        stats: QueueStats {
-            requests: requests.len() as u64,
-            ..QueueStats::default()
-        },
-    });
-    for &req in requests {
-        sim.state.stats.service += req.service;
-        sim.schedule_at(req.issue, move |s| arrive(s, req));
+    let mut stats = QueueStats {
+        requests: requests.len() as u64,
+        ..QueueStats::default()
+    };
+    let mut prev = SimTime::ZERO;
+    for r in requests {
+        let start = prev.max(r.issue);
+        let wait = start - r.issue; // SimTime::sub saturates; starts are never early
+        stats.wait += wait;
+        stats.max_wait = stats.max_wait.max(wait);
+        stats.service += r.service;
+        prev = start + r.service;
     }
-    sim.run_until_idle();
-    debug_assert!(!sim.state.busy && sim.state.queued.is_empty());
-    sim.state.stats
+    stats.completion = prev; // ZERO for an empty log
+    stats
 }
 
 /// A clock-driven single-server FIFO queue that persists across phases and
@@ -217,6 +185,76 @@ pub fn fold_waits(requests: &[Request], mut f: impl FnMut(SimTime, SimTime)) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sim::Sim;
+    use std::collections::VecDeque;
+
+    /// The original event-driven formulation of [`fifo_drain`]: requests
+    /// arrive on the kernel's clock and park in a FIFO while the server is
+    /// busy. Kept as the reference implementation the closed-form fold is
+    /// checked against.
+    struct Server {
+        queued: VecDeque<Request>,
+        busy: bool,
+        stats: QueueStats,
+    }
+
+    fn arrive(sim: &mut Sim<Server>, req: Request) {
+        if sim.state.busy {
+            sim.state.queued.push_back(req);
+        } else {
+            begin_service(sim, req);
+        }
+    }
+
+    fn begin_service(sim: &mut Sim<Server>, req: Request) {
+        let wait = sim.now() - req.issue;
+        sim.state.busy = true;
+        sim.state.stats.wait += wait;
+        sim.state.stats.max_wait = sim.state.stats.max_wait.max(wait);
+        sim.schedule_in(req.service, complete);
+    }
+
+    fn complete(sim: &mut Sim<Server>) {
+        sim.state.stats.completion = sim.now();
+        match sim.state.queued.pop_front() {
+            Some(next) => begin_service(sim, next),
+            None => sim.state.busy = false,
+        }
+    }
+
+    fn fifo_drain_kernel(requests: &[Request]) -> QueueStats {
+        let mut sim = Sim::untraced(Server {
+            queued: VecDeque::with_capacity(requests.len()),
+            busy: false,
+            stats: QueueStats {
+                requests: requests.len() as u64,
+                ..QueueStats::default()
+            },
+        });
+        for &req in requests {
+            sim.state.stats.service += req.service;
+            sim.schedule_at(req.issue, move |s| arrive(s, req));
+        }
+        sim.run_until_idle();
+        assert!(!sim.state.busy && sim.state.queued.is_empty());
+        sim.state.stats
+    }
+
+    #[test]
+    fn fold_drain_matches_event_kernel() {
+        let logs: Vec<Vec<Request>> = vec![
+            vec![],
+            vec![req(40, 10)],
+            vec![req(0, 10), req(100, 10), req(200, 10)],
+            vec![req(0, 10), req(0, 10), req(0, 10)],
+            vec![req(100, 10), req(110, 10)],
+            vec![req(0, 7), req(3, 2), req(3, 9), req(20, 1), req(21, 30)],
+            vec![req(0, 1); 64],
+        ];
+        for log in logs {
+            assert_eq!(fifo_drain(&log), fifo_drain_kernel(&log), "{log:?}");
+        }
+    }
 
     fn req(issue: u64, service: u64) -> Request {
         Request {

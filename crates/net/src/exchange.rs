@@ -25,23 +25,70 @@
 //! Ordering is deterministic: [`Exchange::route`] moves sealed packets into
 //! inboxes source-major, so a consumer sees source 0's tuples (in emission
 //! order), then source 1's, regardless of how producers were scheduled.
+//!
+//! ## Host representation
+//!
+//! A packet is one contiguous frame buffer (`[tag:u32][len:u32][payload]`
+//! per message) rather than a `Vec` of per-tuple `Vec<u8>`s: a producer
+//! copies payload bytes straight into the current packet's buffer
+//! ([`Outbox::send`] takes `&[u8]`), and a consumer gets borrowed
+//! [`Msg`] views out of a [`Drained`] batch — one heap allocation per
+//! *packet* on each side instead of one per *tuple*. The modeled `bytes`
+//! of a packet remain the sum of payload lengths (frame headers are
+//! unmodeled metadata, like `tag` always was), so every virtual charge,
+//! packet boundary, and counter is unchanged.
+
+use std::sync::{Arc, Mutex};
 
 use gamma_des::{SimTime, Usage};
 
 use crate::config::RingConfig;
 
+/// Bytes of unmodeled frame metadata per message (`tag` + payload length).
+const FRAME_HEADER: usize = 8;
+
+/// Recycled packet frame buffers. Sealing a packet hands its buffer to the
+/// consumer inside the [`Drained`] batch; when the batch drops, the buffers
+/// come back here and the next packet starts at full capacity instead of
+/// regrowing from empty (which costs ~4 reallocations per 2 KB packet).
+/// Host-side only: buffer reuse cannot change a packet boundary or charge.
+static FREE_BUFS: Mutex<Vec<Vec<u8>>> = Mutex::new(Vec::new());
+
+/// Most buffers the free list retains; beyond this, dropped buffers are
+/// simply freed (bounds host memory across machines of any size).
+const FREE_BUFS_MAX: usize = 1024;
+
+fn take_buf() -> Vec<u8> {
+    match FREE_BUFS.try_lock() {
+        Ok(mut l) => l.pop().unwrap_or_default(),
+        Err(_) => Vec::new(),
+    }
+}
+
+fn recycle_buf(mut buf: Vec<u8>) {
+    if buf.capacity() == 0 {
+        return;
+    }
+    buf.clear();
+    if let Ok(mut l) = FREE_BUFS.try_lock() {
+        if l.len() < FREE_BUFS_MAX {
+            l.push(buf);
+        }
+    }
+}
+
 /// One delivered message: the sending node, the caller-defined stream tag,
-/// the query it belongs to (0 outside the scheduler), and the payload
-/// bytes.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Msg {
+/// the query it belongs to (0 outside the scheduler), and a borrowed view
+/// of the payload bytes (owned by the [`Drained`] batch it came from).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Msg<'a> {
     pub src: usize,
     pub tag: u32,
     /// Query the message belongs to. 0 for plain single-query runs; the
     /// scheduler stamps each admitted query's id so interleaved plan
     /// instances multiplex over one exchange without mixing streams.
     pub query: u32,
-    pub payload: Vec<u8>,
+    pub payload: &'a [u8],
 }
 
 /// A sealed packet travelling from one producer to one consumer.
@@ -54,15 +101,51 @@ struct Packet {
     /// Query whose tuples fill this packet (packets never mix queries:
     /// a packet is sealed within one query's execution step).
     query: u32,
-    msgs: Vec<(u32, Vec<u8>)>,
+    /// Messages framed in `buf`.
+    count: u32,
+    /// Contiguous `[tag][len][payload]` frames.
+    buf: Vec<u8>,
 }
 
 /// Per-destination stream state inside an [`Outbox`].
 #[derive(Debug, Clone, Default)]
 struct Stream {
     pending_bytes: u64,
-    pending: Vec<(u32, Vec<u8>)>,
+    pending_count: u32,
+    pending: Vec<u8>,
     sealed: Vec<Packet>,
+}
+
+impl Stream {
+    fn push_frame(&mut self, packet_bytes: u64, tag: u32, a: &[u8], b: &[u8]) {
+        let len = (a.len() + b.len()) as u32;
+        if self.pending.capacity() == 0 {
+            // One right-sized allocation per fresh buffer instead of
+            // doubling up from empty (~4 reallocations per 2 KB packet).
+            // Sized for a full packet plus one overhanging tuple's frame.
+            self.pending
+                .reserve(2 * (packet_bytes as usize + FRAME_HEADER));
+        }
+        self.pending.reserve(FRAME_HEADER + len as usize);
+        self.pending.extend_from_slice(&tag.to_le_bytes());
+        self.pending.extend_from_slice(&len.to_le_bytes());
+        self.pending.extend_from_slice(a);
+        self.pending.extend_from_slice(b);
+        self.pending_count += 1;
+    }
+
+    fn seal_pending(&mut self, local: bool, query: u32) -> Packet {
+        let p = Packet {
+            bytes: self.pending_bytes,
+            local,
+            query,
+            count: self.pending_count,
+            buf: std::mem::replace(&mut self.pending, take_buf()),
+        };
+        self.pending_bytes = 0;
+        self.pending_count = 0;
+        p
+    }
 }
 
 /// The sending half of one node's exchange endpoint. Owns the packet
@@ -71,13 +154,15 @@ struct Stream {
 #[derive(Debug, Clone)]
 pub struct Outbox {
     src: usize,
-    cfg: RingConfig,
+    /// Shared with every other outbox and the exchange (never cloned per
+    /// endpoint — the config is immutable for the machine's lifetime).
+    cfg: Arc<RingConfig>,
     query: u32,
     streams: Vec<Stream>,
 }
 
 impl Outbox {
-    fn new(src: usize, cfg: RingConfig, nodes: usize) -> Self {
+    fn new(src: usize, cfg: Arc<RingConfig>, nodes: usize) -> Self {
         Outbox {
             src,
             cfg,
@@ -106,11 +191,19 @@ impl Outbox {
 
     /// Send one tuple to `dst` on stream `tag`, batching into packets and
     /// charging the producer ledger exactly as [`Fabric::send_tuple`]
-    /// charges the source node.
+    /// charges the source node. The payload bytes are copied into the
+    /// current packet's frame buffer — no per-tuple allocation.
     ///
     /// [`Fabric::send_tuple`]: crate::Fabric::send_tuple
-    pub fn send(&mut self, usage: &mut Usage, dst: usize, tag: u32, payload: Vec<u8>) {
-        let bytes = payload.len() as u64;
+    pub fn send(&mut self, usage: &mut Usage, dst: usize, tag: u32, payload: &[u8]) {
+        self.send2(usage, dst, tag, payload, &[]);
+    }
+
+    /// Send one logical tuple whose payload is the concatenation `a ++ b`
+    /// (e.g. a composed join result), framed as a single message without
+    /// materializing the concatenation anywhere else.
+    pub fn send2(&mut self, usage: &mut Usage, dst: usize, tag: u32, a: &[u8], b: &[u8]) {
+        let bytes = (a.len() + b.len()) as u64;
         let packet = self.cfg.packet_bytes;
         if self.src == dst {
             usage.cpu(self.cfg.shortcircuit_cpu_per_tuple);
@@ -124,28 +217,17 @@ impl Outbox {
         if s.pending_bytes + bytes > packet && s.pending_bytes > 0 {
             // Tuple does not fit in the current packet: seal it, then start
             // a new packet with this tuple (tuples are never split).
-            let full = Packet {
-                bytes: s.pending_bytes,
-                local,
-                query,
-                msgs: std::mem::take(&mut s.pending),
-            };
+            let full = s.seal_pending(local, query);
             s.pending_bytes = bytes;
-            s.pending.push((tag, payload));
+            s.push_frame(packet, tag, a, b);
             let fb = full.bytes;
             s.sealed.push(full);
             Self::charge_emit(&self.cfg, usage, src, dst, fb);
         } else {
             s.pending_bytes += bytes;
-            s.pending.push((tag, payload));
+            s.push_frame(packet, tag, a, b);
             if s.pending_bytes >= packet {
-                let full = Packet {
-                    bytes: s.pending_bytes,
-                    local,
-                    query,
-                    msgs: std::mem::take(&mut s.pending),
-                };
-                s.pending_bytes = 0;
+                let full = s.seal_pending(local, query);
                 let fb = full.bytes;
                 s.sealed.push(full);
                 Self::charge_emit(&self.cfg, usage, src, dst, fb);
@@ -204,16 +286,10 @@ impl Outbox {
     pub fn seal(&mut self, usage: &mut Usage) {
         let src = self.src;
         let query = self.query;
-        let cfg = self.cfg.clone();
+        let cfg = Arc::clone(&self.cfg);
         for (dst, s) in self.streams.iter_mut().enumerate() {
             if s.pending_bytes > 0 {
-                let p = Packet {
-                    bytes: s.pending_bytes,
-                    local: src == dst,
-                    query,
-                    msgs: std::mem::take(&mut s.pending),
-                };
-                s.pending_bytes = 0;
+                let p = s.seal_pending(src == dst, query);
                 let bytes = p.bytes;
                 s.sealed.push(p);
                 Self::charge_emit(&cfg, usage, src, dst, bytes);
@@ -253,14 +329,17 @@ impl Inbox {
     /// per-tuple unmarshalling — the receiver half of `Fabric::emit`).
     /// Short-circuited packets cost nothing here. Messages come back in
     /// (source ascending, emission order) — the order a sequential
-    /// source-major driver loop would have produced them.
-    pub fn drain(&mut self, usage: &mut Usage, cfg: &RingConfig) -> Vec<Msg> {
-        let mut out = Vec::new();
-        for (src, p) in self.packets.drain(..) {
+    /// source-major driver loop would have produced them. The returned
+    /// [`Drained`] batch owns the packet buffers; iterate it for borrowed
+    /// [`Msg`] views.
+    pub fn drain(&mut self, usage: &mut Usage, cfg: &RingConfig) -> Drained {
+        let packets = std::mem::take(&mut self.packets);
+        #[allow(unused_variables)]
+        for (src, p) in &packets {
             if !p.local {
                 usage.cpu(cfg.recv_cpu_per_packet);
                 usage.cpu(SimTime::from_us(
-                    cfg.unmarshal_cpu_per_tuple.as_us() * p.msgs.len() as u64,
+                    cfg.unmarshal_cpu_per_tuple.as_us() * p.count as u64,
                 ));
                 usage.counts.packets_recv += 1;
                 #[cfg(feature = "metrics")]
@@ -270,22 +349,71 @@ impl Inbox {
                     self.node as u16,
                     usage.total_demand().as_us(),
                     gamma_trace::EventKind::PacketRecv {
-                        src: src as u16,
+                        src: *src as u16,
                         bytes: crate::trace_bytes(p.bytes),
                     },
                 );
             }
-            let query = p.query;
-            for (tag, payload) in p.msgs {
-                out.push(Msg {
-                    src,
-                    tag,
-                    query,
-                    payload,
-                });
-            }
         }
-        out
+        Drained { packets }
+    }
+}
+
+/// A batch of drained packets; owns the frame buffers so [`Msg`] views can
+/// be borrowed from it while the consumer's context stays mutable. Dropping
+/// the batch recycles the buffers for future packets.
+#[derive(Debug, Default)]
+pub struct Drained {
+    packets: Vec<(usize, Packet)>,
+}
+
+impl Drop for Drained {
+    fn drop(&mut self) {
+        for (_, p) in self.packets.drain(..) {
+            recycle_buf(p.buf);
+        }
+    }
+}
+
+impl Drained {
+    /// Total number of messages across every packet.
+    pub fn len(&self) -> usize {
+        self.packets.iter().map(|(_, p)| p.count as usize).sum()
+    }
+
+    /// True when no packets were delivered.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// Iterate the messages in delivery order (source-major, emission
+    /// order within a source).
+    pub fn iter(&self) -> impl Iterator<Item = Msg<'_>> + '_ {
+        self.packets.iter().flat_map(|(src, p)| {
+            let mut pos = 0usize;
+            std::iter::from_fn(move || {
+                if pos >= p.buf.len() {
+                    return None;
+                }
+                let tag = u32::from_le_bytes(p.buf[pos..pos + 4].try_into().unwrap());
+                let len = u32::from_le_bytes(p.buf[pos + 4..pos + FRAME_HEADER].try_into().unwrap())
+                    as usize;
+                let payload = &p.buf[pos + FRAME_HEADER..pos + FRAME_HEADER + len];
+                pos += FRAME_HEADER + len;
+                Some(Msg {
+                    src: *src,
+                    tag,
+                    query: p.query,
+                    payload,
+                })
+            })
+        })
+    }
+
+    /// Collect borrowed message views (one small Vec per drain, not one
+    /// allocation per tuple).
+    pub fn msgs(&self) -> Vec<Msg<'_>> {
+        self.iter().collect()
     }
 }
 
@@ -301,9 +429,10 @@ impl Exchange {
     /// An exchange connecting `nodes` processors.
     pub fn new(cfg: RingConfig, nodes: usize) -> Self {
         assert!(nodes > 0, "a machine needs at least one node");
+        let cfg = Arc::new(cfg);
         Exchange {
             outboxes: (0..nodes)
-                .map(|n| Outbox::new(n, cfg.clone(), nodes))
+                .map(|n| Outbox::new(n, Arc::clone(&cfg), nodes))
                 .collect(),
             inboxes: (0..nodes).map(|_| Vec::new()).collect(),
         }
@@ -378,7 +507,7 @@ mod tests {
 
     fn send_n(ex: &mut Exchange, u: &mut [Usage], src: usize, dst: usize, bytes: usize, n: usize) {
         for i in 0..n {
-            ex.outboxes_mut()[src].send(&mut u[src], dst, i as u32, vec![0u8; bytes]);
+            ex.outboxes_mut()[src].send(&mut u[src], dst, i as u32, &vec![0u8; bytes]);
         }
     }
 
@@ -396,9 +525,10 @@ mod tests {
         assert_eq!(u[0].counts.packets_sent, 2, "seal emits the partial packet");
         ex.route();
         let mut inbox = ex.take_inbox(1);
-        let msgs = inbox.drain(&mut u[1], &RingConfig::gamma_1989());
+        let drained = inbox.drain(&mut u[1], &RingConfig::gamma_1989());
         ex.return_inbox(inbox);
-        assert_eq!(msgs.len(), 10);
+        assert_eq!(drained.len(), 10);
+        assert_eq!(drained.iter().count(), 10);
         assert_eq!(u[1].counts.packets_recv, 2);
         assert!(ex.is_drained());
     }
@@ -420,7 +550,7 @@ mod tests {
         let (mut ex, mut u) = exchange(3);
         for (i, &b) in sizes.iter().enumerate() {
             let dst = if i % 3 == 0 { 0 } else { 2 };
-            ex.outboxes_mut()[0].send(&mut u[0], dst, 7, vec![0u8; b as usize]);
+            ex.outboxes_mut()[0].send(&mut u[0], dst, 7, &vec![0u8; b as usize]);
         }
         ex.outboxes_mut()[0].seal(&mut u[0]);
         ex.route();
@@ -450,6 +580,39 @@ mod tests {
     }
 
     #[test]
+    fn split_payload_sends_charge_like_single_payload_sends() {
+        // send2(a, b) must be indistinguishable — charges, boundaries,
+        // delivered bytes — from send(a ++ b).
+        let cfg = RingConfig::gamma_1989();
+        let (mut ex, mut u) = exchange(2);
+        let (mut ex2, mut u2) = exchange(2);
+        let pairs: [(usize, usize); 5] = [(100, 108), (0, 208), (2040, 8), (1, 1), (208, 0)];
+        for (i, &(a, b)) in pairs.iter().enumerate() {
+            let left = vec![i as u8; a];
+            let right = vec![!(i as u8); b];
+            ex.outboxes_mut()[0].send2(&mut u[0], 1, i as u32, &left, &right);
+            let mut whole = left.clone();
+            whole.extend_from_slice(&right);
+            ex2.outboxes_mut()[0].send(&mut u2[0], 1, i as u32, &whole);
+        }
+        ex.outboxes_mut()[0].seal(&mut u[0]);
+        ex2.outboxes_mut()[0].seal(&mut u2[0]);
+        assert_eq!(u[0], u2[0]);
+        ex.route();
+        ex2.route();
+        let mut i1 = ex.take_inbox(1);
+        let mut i2 = ex2.take_inbox(1);
+        let d1 = i1.drain(&mut u[1], &cfg);
+        let d2 = i2.drain(&mut u2[1], &cfg);
+        assert_eq!(u[1], u2[1]);
+        let m1: Vec<(u32, Vec<u8>)> = d1.iter().map(|m| (m.tag, m.payload.to_vec())).collect();
+        let m2: Vec<(u32, Vec<u8>)> = d2.iter().map(|m| (m.tag, m.payload.to_vec())).collect();
+        assert_eq!(m1, m2);
+        ex.return_inbox(i1);
+        ex2.return_inbox(i2);
+    }
+
+    #[test]
     fn local_sends_shortcircuit_and_cost_nothing_to_drain() {
         let (mut ex, mut u) = exchange(2);
         send_n(&mut ex, &mut u, 1, 1, 208, 10);
@@ -463,9 +626,9 @@ mod tests {
         ex.route();
         let before = u[1].clone();
         let mut inbox = ex.take_inbox(1);
-        let msgs = inbox.drain(&mut u[1], &RingConfig::gamma_1989());
+        let drained = inbox.drain(&mut u[1], &RingConfig::gamma_1989());
         ex.return_inbox(inbox);
-        assert_eq!(msgs.len(), 10);
+        assert_eq!(drained.len(), 10);
         assert_eq!(u[1], before, "short-circuited drain is free");
     }
 
@@ -473,19 +636,20 @@ mod tests {
     fn route_orders_source_major() {
         let (mut ex, mut u) = exchange(3);
         // Producers send interleaved; the consumer still sees src 0 first.
-        ex.outboxes_mut()[2].send(&mut u[2], 1, 9, vec![2u8; 8]);
-        ex.outboxes_mut()[0].send(&mut u[0], 1, 9, vec![0u8; 8]);
-        ex.outboxes_mut()[2].send(&mut u[2], 1, 9, vec![3u8; 8]);
+        ex.outboxes_mut()[2].send(&mut u[2], 1, 9, &[2u8; 8]);
+        ex.outboxes_mut()[0].send(&mut u[0], 1, 9, &[0u8; 8]);
+        ex.outboxes_mut()[2].send(&mut u[2], 1, 9, &[3u8; 8]);
         ex.outboxes_mut()[0].seal(&mut u[0]);
         ex.outboxes_mut()[2].seal(&mut u[2]);
         ex.route();
         let mut inbox = ex.take_inbox(1);
-        let msgs = inbox.drain(&mut u[1], &RingConfig::gamma_1989());
-        ex.return_inbox(inbox);
+        let drained = inbox.drain(&mut u[1], &RingConfig::gamma_1989());
+        let msgs = drained.msgs();
         let srcs: Vec<usize> = msgs.iter().map(|m| m.src).collect();
         assert_eq!(srcs, vec![0, 2, 2]);
         assert_eq!(msgs[1].payload, vec![2u8; 8]);
         assert_eq!(msgs[2].payload, vec![3u8; 8]);
+        ex.return_inbox(inbox);
     }
 
     #[test]
@@ -501,36 +665,37 @@ mod tests {
     #[test]
     fn tags_and_payloads_survive_transit() {
         let (mut ex, mut u) = exchange(2);
-        ex.outboxes_mut()[0].send(&mut u[0], 1, 0xAB00_0001, vec![1, 2, 3]);
-        ex.outboxes_mut()[0].send(&mut u[0], 1, 0xCD00_0002, vec![4, 5]);
+        ex.outboxes_mut()[0].send(&mut u[0], 1, 0xAB00_0001, &[1, 2, 3]);
+        ex.outboxes_mut()[0].send(&mut u[0], 1, 0xCD00_0002, &[4, 5]);
         ex.outboxes_mut()[0].seal(&mut u[0]);
         ex.route();
         let mut inbox = ex.take_inbox(1);
-        let msgs = inbox.drain(&mut u[1], &RingConfig::gamma_1989());
-        ex.return_inbox(inbox);
+        let drained = inbox.drain(&mut u[1], &RingConfig::gamma_1989());
+        let msgs = drained.msgs();
         assert_eq!(msgs.len(), 2);
         assert_eq!(msgs[0].tag, 0xAB00_0001);
         assert_eq!(msgs[0].payload, vec![1, 2, 3]);
         assert_eq!(msgs[1].tag, 0xCD00_0002);
         assert_eq!(msgs[1].payload, vec![4, 5]);
+        ex.return_inbox(inbox);
     }
 
     #[test]
     fn query_ids_survive_transit() {
         let (mut ex, mut u) = exchange(2);
         ex.set_query(3);
-        ex.outboxes_mut()[0].send(&mut u[0], 1, 7, vec![1, 2, 3]);
+        ex.outboxes_mut()[0].send(&mut u[0], 1, 7, &[1, 2, 3]);
         ex.outboxes_mut()[0].seal(&mut u[0]);
         ex.route();
         ex.set_query(4);
-        ex.outboxes_mut()[0].send(&mut u[0], 1, 7, vec![4, 5]);
+        ex.outboxes_mut()[0].send(&mut u[0], 1, 7, &[4, 5]);
         ex.outboxes_mut()[0].seal(&mut u[0]);
         ex.route();
         let mut inbox = ex.take_inbox(1);
-        let msgs = inbox.drain(&mut u[1], &RingConfig::gamma_1989());
-        ex.return_inbox(inbox);
-        let queries: Vec<u32> = msgs.iter().map(|m| m.query).collect();
+        let drained = inbox.drain(&mut u[1], &RingConfig::gamma_1989());
+        let queries: Vec<u32> = drained.iter().map(|m| m.query).collect();
         assert_eq!(queries, vec![3, 4]);
+        ex.return_inbox(inbox);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! both reproduced by construction here, see the tests).
 
 use gamma_core::tuple::Field;
-use gamma_core::{Attr, Schema};
+use gamma_core::{Attr, Schema, TupleBatch};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -42,20 +42,41 @@ pub struct WisconsinRow {
 impl WisconsinRow {
     /// Serialize to the 208-byte layout.
     pub fn to_bytes(&self, schema: &Schema) -> Vec<u8> {
-        let mut t = vec![0u8; schema.tuple_bytes()];
-        for (i, name) in INT_ATTRS.iter().enumerate() {
-            schema.int_attr(name).put(&mut t, self.ints[i]);
+        let mut t = Vec::new();
+        self.write_bytes(schema, &mut t);
+        t
+    }
+
+    /// Serialize into a reusable buffer (cleared first), so bulk loading
+    /// pays one allocation per relation rather than one per row.
+    pub fn write_bytes(&self, schema: &Schema, out: &mut Vec<u8>) {
+        let attrs = resolve_int_attrs(schema);
+        self.write_bytes_with(&attrs, schema.tuple_bytes(), out);
+    }
+
+    /// [`WisconsinRow::write_bytes`] with the attribute offsets already
+    /// resolved — bulk serialization resolves the 13 names once per
+    /// relation instead of once per row.
+    pub fn write_bytes_with(&self, attrs: &[Attr; 13], tuple_bytes: usize, out: &mut Vec<u8>) {
+        out.clear();
+        out.resize(tuple_bytes, 0);
+        for (attr, v) in attrs.iter().zip(self.ints) {
+            attr.put(out, v);
         }
         // The three 52-byte strings are deterministic functions of unique1,
         // per the benchmark ("$xxxx..." cyclic pattern simplified).
         let u1 = self.ints[0];
         for s in 0..3usize {
             let off = 13 * 4 + s * 52;
-            for b in 0..52usize {
-                t[off + b] = b'A' + (((u1 as usize) + s * 7 + b) % 26) as u8;
+            let mut c = ((u1 as usize) + s * 7) % 26;
+            for b in out[off..off + 52].iter_mut() {
+                *b = b'A' + c as u8;
+                c += 1;
+                if c == 26 {
+                    c = 0;
+                }
             }
         }
-        t
     }
 
     /// Value of an integer attribute by name.
@@ -164,10 +185,38 @@ impl WisconsinGen {
     }
 }
 
+/// Resolve the 13 integer attributes of `schema` in layout order.
+fn resolve_int_attrs(schema: &Schema) -> [Attr; 13] {
+    INT_ATTRS.map(|n| schema.int_attr(n))
+}
+
 /// Serialize rows with the standard schema.
 pub fn to_tuples(rows: &[WisconsinRow]) -> Vec<Vec<u8>> {
     let schema = WisconsinGen::schema();
-    rows.iter().map(|r| r.to_bytes(&schema)).collect()
+    let attrs = resolve_int_attrs(&schema);
+    let per = schema.tuple_bytes();
+    rows.iter()
+        .map(|r| {
+            let mut t = Vec::new();
+            r.write_bytes_with(&attrs, per, &mut t);
+            t
+        })
+        .collect()
+}
+
+/// Serialize rows into one arena-backed batch: a single data buffer for
+/// the whole relation instead of one `Vec<u8>` per row.
+pub fn to_tuple_batch(rows: &[WisconsinRow]) -> TupleBatch {
+    let schema = WisconsinGen::schema();
+    let attrs = resolve_int_attrs(&schema);
+    let per = schema.tuple_bytes();
+    let mut batch = TupleBatch::with_capacity(rows.len(), per);
+    let mut buf = Vec::with_capacity(per);
+    for r in rows {
+        r.write_bytes_with(&attrs, per, &mut buf);
+        batch.push(&buf);
+    }
+    batch
 }
 
 #[cfg(test)]

@@ -3,7 +3,7 @@
 use gamma_core::machine::Declustering;
 use gamma_core::{Machine, RelationId};
 
-use crate::gen::{to_tuples, WisconsinGen, WisconsinRow};
+use crate::gen::{to_tuple_batch, WisconsinGen, WisconsinRow};
 
 /// Load hashed on an attribute (the paper's default is `unique1`).
 pub fn load_hashed(
@@ -14,13 +14,23 @@ pub fn load_hashed(
 ) -> RelationId {
     let schema = WisconsinGen::schema();
     let attr = schema.int_attr(attr_name);
-    machine.load_relation(name, schema, Declustering::Hashed { attr }, to_tuples(rows))
+    machine.load_relation(
+        name,
+        schema,
+        Declustering::Hashed { attr },
+        &to_tuple_batch(rows),
+    )
 }
 
 /// Load round-robin.
 pub fn load_round_robin(machine: &mut Machine, name: &str, rows: &[WisconsinRow]) -> RelationId {
     let schema = WisconsinGen::schema();
-    machine.load_relation(name, schema, Declustering::RoundRobin, to_tuples(rows))
+    machine.load_relation(
+        name,
+        schema,
+        Declustering::RoundRobin,
+        &to_tuple_batch(rows),
+    )
 }
 
 /// Equal-depth range cuts for `attr` over `rows`: `D-1` ascending cut
@@ -49,7 +59,7 @@ pub fn load_range(
         name,
         schema,
         Declustering::Range { attr, cuts },
-        to_tuples(rows),
+        &to_tuple_batch(rows),
     )
 }
 

@@ -79,9 +79,11 @@ impl HeapWriter {
 
 /// Sequential scan over a heap file, charging reads as pages are entered.
 ///
-/// Yields owned copies of records; the engine routes and stages tuples, so
-/// an owned `Vec<u8>` per tuple matches what the real system's network/hash
-/// buffers did anyway.
+/// [`HeapScan::next_ref`] yields records as slices borrowed from the
+/// volume — the engine copies each record at most once, into whatever
+/// staging buffer (tuple batch, packet frame, hash-table arena) receives
+/// it. [`HeapScan::next`] wraps that in an owned copy for callers that
+/// need one.
 pub struct HeapScan<'a> {
     vol: &'a Volume,
     file: FileId,
@@ -103,8 +105,9 @@ impl<'a> HeapScan<'a> {
         }
     }
 
-    /// Fetch the next record, charging page reads to `usage` via `pool`.
-    pub fn next(&mut self, pool: &mut BufferPool, usage: &mut Usage) -> Option<Vec<u8>> {
+    /// Fetch the next record as a slice borrowed from the volume (no
+    /// copy), charging page reads to `usage` via `pool`.
+    pub fn next_ref(&mut self, pool: &mut BufferPool, usage: &mut Usage) -> Option<&'a [u8]> {
         loop {
             if self.page_idx >= self.pages {
                 return None;
@@ -116,7 +119,7 @@ impl<'a> HeapScan<'a> {
             match page.get(self.slot) {
                 Some(rec) => {
                     self.slot += 1;
-                    return Some(rec.to_vec());
+                    return Some(rec);
                 }
                 None => {
                     self.page_idx += 1;
@@ -124,6 +127,11 @@ impl<'a> HeapScan<'a> {
                 }
             }
         }
+    }
+
+    /// Fetch the next record as an owned copy.
+    pub fn next(&mut self, pool: &mut BufferPool, usage: &mut Usage) -> Option<Vec<u8>> {
+        self.next_ref(pool, usage).map(<[u8]>::to_vec)
     }
 
     /// Drain the scan into a vector (test/convenience helper).

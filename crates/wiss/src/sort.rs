@@ -98,21 +98,26 @@ fn form_runs<K: Ord>(
     stats: &mut SortStats,
 ) -> Vec<FileId> {
     let mut runs = Vec::new();
-    let mut workspace: Vec<(K, Vec<u8>)> = Vec::new();
+    // Workspace entries reference ranges of one contiguous record buffer
+    // (two allocations total, not one per record).
+    let mut workspace: Vec<(K, (u32, u32))> = Vec::new();
     let mut ws_bytes = 0u64;
 
     // Collect the input records page by page. We copy them out first (the
     // scan immutably borrows the volume) — on the real system the records
     // were copied into the sort workspace anyway, which `move_us` charges.
-    let mut records = Vec::new();
+    let mut data: Vec<u8> = Vec::new();
+    let mut ranges: Vec<(u32, u32)> = Vec::new();
     {
         let mut scan = HeapScan::open(vol, input);
-        while let Some(rec) = scan.next(pool, usage) {
-            records.push(rec);
+        while let Some(rec) = scan.next_ref(pool, usage) {
+            ranges.push((data.len() as u32, rec.len() as u32));
+            data.extend_from_slice(rec);
         }
     }
+    let data = data;
 
-    let flush = |workspace: &mut Vec<(K, Vec<u8>)>,
+    let flush = |workspace: &mut Vec<(K, (u32, u32))>,
                  ws_bytes: &mut u64,
                  vol: &mut Volume,
                  pool: &mut BufferPool,
@@ -129,8 +134,13 @@ fn form_runs<K: Ord>(
         });
         charge_compares(usage, cost, compares, stats);
         let mut w = HeapWriter::create(vol, cfg.page_bytes);
-        for (_, rec) in workspace.iter() {
-            w.push(vol, pool, usage, rec);
+        for &(_, (start, len)) in workspace.iter() {
+            w.push(
+                vol,
+                pool,
+                usage,
+                &data[start as usize..(start + len) as usize],
+            );
         }
         charge_moves(usage, cost, workspace.len() as u64);
         runs.push(w.finish(vol, pool, usage));
@@ -139,11 +149,12 @@ fn form_runs<K: Ord>(
         *ws_bytes = 0;
     };
 
-    for rec in records {
+    for (start, len) in ranges {
         stats.records += 1;
-        ws_bytes += rec.len() as u64;
+        ws_bytes += len as u64;
         charge_moves(usage, cost, 1);
-        workspace.push((key(&rec), rec));
+        let rec = &data[start as usize..(start + len) as usize];
+        workspace.push((key(rec), (start, len)));
         if ws_bytes >= cfg.mem_bytes {
             flush(
                 &mut workspace,
@@ -180,20 +191,29 @@ fn merge_group<K: Ord + Clone>(
     usage: &mut Usage,
     stats: &mut SortStats,
 ) -> FileId {
-    // Gather records in merged order via an actual k-way heap merge.
-    let mut merged: Vec<Vec<u8>> = Vec::new();
+    // Gather records in merged order via an actual k-way heap merge, into
+    // one contiguous buffer (the merger borrows the volume, so the writer
+    // below cannot run concurrently with it).
+    let mut data: Vec<u8> = Vec::new();
+    let mut ranges: Vec<(u32, u32)> = Vec::new();
     {
         let mut merger = RunMerger::open(vol, group.to_vec(), key);
-        while let Some(rec) = merger.next(pool, usage) {
-            merged.push(rec);
+        while let Some(rec) = merger.next_ref(pool, usage) {
+            ranges.push((data.len() as u32, rec.len() as u32));
+            data.extend_from_slice(rec);
         }
         charge_compares(usage, cost, merger.comparisons(), stats);
     }
     let mut w = HeapWriter::create(vol, cfg.page_bytes);
-    for rec in &merged {
-        w.push(vol, pool, usage, rec);
+    for &(start, len) in &ranges {
+        w.push(
+            vol,
+            pool,
+            usage,
+            &data[start as usize..(start + len) as usize],
+        );
     }
-    charge_moves(usage, cost, merged.len() as u64);
+    charge_moves(usage, cost, ranges.len() as u64);
     let out = w.finish(vol, pool, usage);
     for &r in group {
         pool.evict_file(r);
@@ -296,25 +316,27 @@ pub fn sort_into_runs<K: Ord + Clone>(
     (runs, stats)
 }
 
-/// Entry in the merge heap (min-heap by key, then run index for stability).
-struct HeapEntry<K: Ord> {
+/// Entry in the merge heap (min-heap by key, then run index for
+/// stability). Records stay borrowed from the volume — the merge never
+/// copies a tuple.
+struct HeapEntry<'a, K: Ord> {
     key: K,
     run: usize,
-    rec: Vec<u8>,
+    rec: &'a [u8],
 }
 
-impl<K: Ord> PartialEq for HeapEntry<K> {
+impl<K: Ord> PartialEq for HeapEntry<'_, K> {
     fn eq(&self, other: &Self) -> bool {
         self.key == other.key && self.run == other.run
     }
 }
-impl<K: Ord> Eq for HeapEntry<K> {}
-impl<K: Ord> PartialOrd for HeapEntry<K> {
+impl<K: Ord> Eq for HeapEntry<'_, K> {}
+impl<K: Ord> PartialOrd for HeapEntry<'_, K> {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<K: Ord> Ord for HeapEntry<K> {
+impl<K: Ord> Ord for HeapEntry<'_, K> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse for a min-heap.
         (&other.key, other.run).cmp(&(&self.key, self.run))
@@ -326,7 +348,7 @@ pub struct RunMerger<'a, K: Ord> {
     vol: &'a Volume,
     key: &'a dyn Fn(&[u8]) -> K,
     scans: Vec<HeapScan<'a>>,
-    heap: BinaryHeap<HeapEntry<K>>,
+    heap: BinaryHeap<HeapEntry<'a, K>>,
     primed: bool,
     comparisons: u64,
     log2_k: u64,
@@ -351,9 +373,9 @@ impl<'a, K: Ord + Clone> RunMerger<'a, K> {
     fn prime(&mut self, pool: &mut BufferPool, usage: &mut Usage) {
         let _ = self.vol;
         for run in 0..self.scans.len() {
-            if let Some(rec) = self.scans[run].next(pool, usage) {
+            if let Some(rec) = self.scans[run].next_ref(pool, usage) {
                 self.heap.push(HeapEntry {
-                    key: (self.key)(&rec),
+                    key: (self.key)(rec),
                     run,
                     rec,
                 });
@@ -362,22 +384,27 @@ impl<'a, K: Ord + Clone> RunMerger<'a, K> {
         self.primed = true;
     }
 
-    /// Next record in globally sorted order.
-    pub fn next(&mut self, pool: &mut BufferPool, usage: &mut Usage) -> Option<Vec<u8>> {
+    /// Next record in globally sorted order, borrowed from the volume.
+    pub fn next_ref(&mut self, pool: &mut BufferPool, usage: &mut Usage) -> Option<&'a [u8]> {
         if !self.primed {
             self.prime(pool, usage);
         }
         let top = self.heap.pop()?;
         // A heap pop/refill costs ~log2(k) comparisons.
         self.comparisons += self.log2_k.max(1);
-        if let Some(rec) = self.scans[top.run].next(pool, usage) {
+        if let Some(rec) = self.scans[top.run].next_ref(pool, usage) {
             self.heap.push(HeapEntry {
-                key: (self.key)(&rec),
+                key: (self.key)(rec),
                 run: top.run,
                 rec,
             });
         }
         Some(top.rec)
+    }
+
+    /// Next record in globally sorted order, as an owned copy.
+    pub fn next(&mut self, pool: &mut BufferPool, usage: &mut Usage) -> Option<Vec<u8>> {
+        self.next_ref(pool, usage).map(<[u8]>::to_vec)
     }
 
     /// Comparisons attributed to the merge so far.

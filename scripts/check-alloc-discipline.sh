@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Data-plane allocation discipline (DESIGN.md §15).
+#
+# The batched tuple data plane keeps per-tuple heap traffic out of the
+# exec::{scan,hash} hot paths: records live in TupleBatch arenas and move
+# as borrowed `&[u8]` slices. This guard fails if someone re-introduces a
+# per-tuple owned copy — `.to_vec()` on a record slice, a `Vec<Vec<u8>>`
+# staging vector, or an owned `Vec<u8>` tuple type — in the non-test body
+# of those files. Gate 5 (`regress` + ALLOC_CEILINGS.json) catches the
+# same erosion quantitatively; this catches it at review time with a
+# file:line to point at.
+#
+# Allowed and therefore exempt:
+#   * everything under the trailing `#[cfg(test)]` module (tests stage
+#     fixtures however they like);
+#   * `join_nodes.to_vec()` — a copy of a small NodeId slice per join
+#     setup, not per tuple;
+#   * `&mut Vec<u8>` out-parameters (the reuse-a-buffer idiom the batch
+#     plane is built on).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+for f in crates/core/src/exec/scan.rs crates/core/src/exec/hash.rs; do
+    # Non-test body: everything above the trailing #[cfg(test)] module.
+    hits=$(awk '/^#\[cfg\(test\)\]/{exit} {print}' "$f" |
+        grep -nE '\.to_vec\(\)|Vec<Vec<u8>>|[^&]Vec<u8>' |
+        grep -vE 'join_nodes\.to_vec|&mut Vec<u8>' || true)
+    if [ -n "$hits" ]; then
+        echo "error: $f re-introduces per-tuple heap traffic on the data plane:" >&2
+        echo "$hits" | sed "s|^|  $f:|" >&2
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo >&2
+    echo "Route records through TupleBatch arenas / borrowed slices instead" >&2
+    echo "(see DESIGN.md §15); if a copy is genuinely per-join and O(nodes)," >&2
+    echo "extend the allowlist in $0 with a comment saying why." >&2
+    exit 1
+fi
+echo "alloc discipline OK: no per-tuple owned moves in exec::{scan,hash}"

@@ -127,6 +127,49 @@ fn pooled_trace_export_is_byte_identical() {
     }
 }
 
+/// The metrics registry records per-site counters and device histograms
+/// fed straight from the batched data plane; serial and pooled runs of
+/// the same point must render byte-identical snapshots, and every
+/// snapshot must reconcile exactly against its ledger.
+#[test]
+fn pooled_metrics_snapshot_is_byte_identical() {
+    use gamma_bench::metrics::{metrics_join_with, reconcile};
+
+    let w = Workload::scaled(2_000, 200);
+    let pool = Arc::new(WorkerPool::new(3));
+    for alg in ALGORITHMS {
+        for remote in [false, true] {
+            // Sort-merge cannot use diskless nodes (§3.1).
+            if remote && alg == Algorithm::SortMerge {
+                continue;
+            }
+            let what = format!("{} {}", alg.name(), if remote { "remote" } else { "local" },);
+            let serial = metrics_join_with(&w, alg, 0.5, false, remote, ExecConfig::serial());
+            let pooled = metrics_join_with(
+                &w,
+                alg,
+                0.5,
+                false,
+                remote,
+                ExecConfig::pooled(Arc::clone(&pool)),
+            );
+            assert_reports_match(&serial.report, &pooled.report, &what);
+            assert_eq!(serial.json(), pooled.json(), "{what}: metrics JSON differs");
+            assert_eq!(
+                serial.prometheus(),
+                pooled.prometheus(),
+                "{what}: prometheus export differs"
+            );
+            let errs = reconcile(&serial.registry, &serial.report);
+            assert!(
+                errs.is_empty(),
+                "{what}: snapshot fails reconciliation:\n{}",
+                errs.join("\n")
+            );
+        }
+    }
+}
+
 #[test]
 #[should_panic(expected = "step `kaboom` panicked at node 3: node 3 exploded")]
 fn worker_panics_carry_stage_and_node_context() {

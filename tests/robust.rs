@@ -122,6 +122,48 @@ fn robust_path_flattens_the_skew_cliff_legacy_still_reproduces_it() {
     }
 }
 
+/// The robust spill/restore and refinement paths ride the batched tuple
+/// data plane (spill spools, restore re-admission, split-table rebuilds
+/// all move `TupleBatch` arenas). Serial and pooled executors must agree
+/// on every field of the report — response, per-phase ledgers, dynamic
+/// spill counters — under the robust knobs for all three hash drivers,
+/// including the cliff-side ratios where spills actually fire.
+#[test]
+fn robust_knobs_are_executor_invariant() {
+    use gamma_core::{ExecConfig, WorkerPool};
+    use std::sync::Arc;
+
+    let w = Workload::scaled_nu(2_000, 200, 4.0);
+    let pool = Arc::new(WorkerPool::new(3));
+    for alg in [
+        Algorithm::SimpleHash,
+        Algorithm::GraceHash,
+        Algorithm::HybridHash,
+    ] {
+        for ratio in [0.6, 0.5] {
+            let run = |exec: ExecConfig| {
+                SweepBuilder::new(&w)
+                    .on("normal", "normal")
+                    .policy(OverflowPolicy::Optimistic)
+                    .refined()
+                    .dynamic_spill()
+                    .exec(exec)
+                    .run_one(alg, ratio)
+            };
+            let serial = run(ExecConfig::serial());
+            let pooled = run(ExecConfig::pooled(Arc::clone(&pool)));
+            // JoinReport derives Debug over every nested ledger field, so
+            // formatted equality is full byte-identity of the report.
+            assert_eq!(
+                format!("{:?}", serial.report),
+                format!("{:?}", pooled.report),
+                "{} r{ratio}: robust-knob report differs between executors",
+                alg.name()
+            );
+        }
+    }
+}
+
 /// The robust knobs are wired through every hash driver, not just
 /// Hybrid: Grace and Simple with refinement + dynamic spill produce the
 /// same (oracle-validated) cardinality as their legacy runs.
