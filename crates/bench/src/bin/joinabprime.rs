@@ -58,6 +58,26 @@ struct Row {
     /// Heap allocations during the serial run; `None` when a pool is
     /// active (concurrent points would pollute the global counter).
     allocs: Option<u64>,
+    /// Pool chunk jobs retired while this point ran (`hostprof` feature;
+    /// `None` otherwise). Concurrently dispatched points overlap in the
+    /// process-wide counters, so this is observability, not a gate —
+    /// like wall-clock, it is nulled under `--no-wall`.
+    pool_jobs: Option<u64>,
+    /// Wall-clock milliseconds pool workers spent inside this point's
+    /// chunk closures (same caveats as `pool_jobs`).
+    pool_busy_ms: Option<f64>,
+}
+
+/// Snapshot of the process-wide pool counters: `(jobs, busy_ns)`.
+fn pool_totals() -> (u64, u64) {
+    #[cfg(feature = "hostprof")]
+    {
+        gamma_core::exec::pool::hostprof::totals()
+    }
+    #[cfg(not(feature = "hostprof"))]
+    {
+        (0, 0)
+    }
 }
 
 struct RunOut {
@@ -89,6 +109,7 @@ fn measure(w: &Workload, alg: Algorithm, ratio: f64, exec: ExecConfig) -> (RunOu
 /// One benchmark point: serial reference, then — when a pool is active —
 /// the pooled run plus the byte-identity asserts.
 fn run_point(w: &Workload, pool: Option<&Arc<WorkerPool>>, alg: Algorithm, ratio: f64) -> Row {
+    let pool_before = pool_totals();
     let ((sp, serial_ms), serial_allocs) =
         count_allocs(|| measure(w, alg, ratio, ExecConfig::serial()));
     let allocs = pool.is_none().then_some(serial_allocs);
@@ -131,6 +152,15 @@ fn run_point(w: &Workload, pool: Option<&Arc<WorkerPool>>, alg: Algorithm, ratio
     let peak_pool_pages = Some(p.registry.gauge_peak("pool_peak_pages").unwrap_or(0));
     #[cfg(not(feature = "metrics"))]
     let peak_pool_pages = None;
+    let (pool_jobs, pool_busy_ms) = if cfg!(feature = "hostprof") {
+        let after = pool_totals();
+        (
+            Some(after.0 - pool_before.0),
+            Some((after.1 - pool_before.1) as f64 / 1e6),
+        )
+    } else {
+        (None, None)
+    };
     Row {
         algorithm: p.report.algorithm.clone(),
         ratio,
@@ -142,6 +172,8 @@ fn run_point(w: &Workload, pool: Option<&Arc<WorkerPool>>, alg: Algorithm, ratio
         packets,
         short_circuit_ratio,
         allocs,
+        pool_jobs,
+        pool_busy_ms,
     }
 }
 
@@ -189,7 +221,7 @@ fn main() {
 
     for r in &rows {
         println!(
-            "{:<10} ratio {:>4}: {:>12} virtual-us   {:>8.1} ms wall{}{}",
+            "{:<10} ratio {:>4}: {:>12} virtual-us   {:>8.1} ms wall{}{}{}",
             r.algorithm,
             r.ratio,
             r.virtual_us,
@@ -197,6 +229,10 @@ fn main() {
             match r.allocs {
                 Some(a) => format!("   {a:>10} allocs"),
                 None => String::new(),
+            },
+            match (r.pool_jobs, r.pool_busy_ms) {
+                (Some(j), Some(b)) => format!("   {j:>6} pool jobs ({b:.1} ms busy)"),
+                _ => String::new(),
             },
             match r.speedup {
                 Some(s) => format!("   ({s:.2}x vs serial)"),
@@ -249,8 +285,16 @@ fn main() {
         } else {
             opt_u(r.allocs)
         };
+        // Host-side pool profile columns are wall-clock observability
+        // (`hostprof` feature); `--no-wall` nulls them so serial-vs-pooled
+        // byte-diffs keep holding.
+        let (pool_jobs, pool_busy_ms) = if no_wall {
+            ("null".to_string(), "null".to_string())
+        } else {
+            (opt_u(r.pool_jobs), opt(r.pool_busy_ms))
+        };
         json.push_str(&format!(
-            "    {{\"algorithm\": \"{}\", \"memory_ratio\": {}, \"response_virtual_us\": {}, \"wall_ms\": {}, \"serial_wall_ms\": {}, \"speedup\": {}, \"peak_pool_pages\": {}, \"packets\": {}, \"short_circuit_ratio\": {:.6}, \"allocs\": {}}}{}\n",
+            "    {{\"algorithm\": \"{}\", \"memory_ratio\": {}, \"response_virtual_us\": {}, \"wall_ms\": {}, \"serial_wall_ms\": {}, \"speedup\": {}, \"peak_pool_pages\": {}, \"packets\": {}, \"short_circuit_ratio\": {:.6}, \"allocs\": {}, \"pool_jobs\": {}, \"pool_busy_ms\": {}}}{}\n",
             r.algorithm,
             r.ratio,
             r.virtual_us,
@@ -261,6 +305,8 @@ fn main() {
             r.packets,
             r.short_circuit_ratio,
             allocs,
+            pool_jobs,
+            pool_busy_ms,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
@@ -275,4 +321,7 @@ fn main() {
             p.size()
         );
     }
+
+    #[cfg(feature = "hostprof")]
+    print!("{}", gamma_core::exec::pool::hostprof::report());
 }

@@ -22,7 +22,14 @@
 //!   allocations than its committed ceiling (Gate 5 — the data-plane
 //!   allocation-regression gate). This gate only runs on serial builds:
 //!   worker pools allocate their own bookkeeping concurrently, so pooled
-//!   counts are not deterministic.
+//!   counts are not deterministic;
+//! * a committed flight-recorder profile under `results/prof-*.json` is no
+//!   longer byte-identical to a fresh replay of the same point (Gate 6 —
+//!   any drift in the sampled utilisation/queue/occupancy series fails).
+//!
+//! Every gate runs to completion; the binary ends with a per-gate summary
+//! table (gate, points checked, status, first offending field/point)
+//! before exiting non-zero if any gate failed.
 //!
 //! Wall-clock fields in the baseline are ignored — they measure the host.
 //!
@@ -33,9 +40,9 @@
 //! ```
 //!
 //! `--write` regenerates the snapshot baselines (for intentional model
-//! changes) and, on serial builds, the allocation ceilings; the
-//! response-time baseline itself is refreshed by rerunning the
-//! `joinabprime` binary.
+//! changes), the flight-recorder profiles and, on serial builds, the
+//! allocation ceilings; the response-time baseline itself is refreshed by
+//! rerunning the `joinabprime` binary.
 
 use gamma_bench::alloc::{count_allocs, CountingAlloc};
 use gamma_bench::metrics::{metrics_join, metrics_join_with, reconcile};
@@ -43,11 +50,11 @@ use gamma_bench::regress::{
     compare_alloc_points, compare_points, compare_serve_points, compare_skew_points,
     diff_snapshots, parse_alloc_ceilings, parse_bench_points, parse_scale, parse_serve_envelope,
     parse_serve_points, parse_skew_envelope, parse_skew_points, render_alloc_ceilings,
-    AllocCeiling, BenchPoint, ServeBenchPoint, SkewBenchPoint,
+    render_gate_table, AllocCeiling, BenchPoint, GateSummary, ServeBenchPoint, SkewBenchPoint,
 };
 use gamma_bench::serve::{serve_sweep, ServeSweepConfig};
 use gamma_bench::skew::{skew_sweep, SkewSweepConfig};
-use gamma_bench::{pooled_map, Workload};
+use gamma_bench::{pooled_map, prof, Workload};
 use gamma_core::query::Algorithm;
 use gamma_core::ExecConfig;
 
@@ -57,7 +64,8 @@ use gamma_core::ExecConfig;
 static ALLOC: CountingAlloc = CountingAlloc;
 
 /// The snapshot points kept under `results/` — same points the `trace`
-/// binary exports, so the two artifact sets describe the same runs.
+/// and `prof` binaries export, so the artifact sets describe the same
+/// runs.
 const SNAPSHOT_POINTS: [(Algorithm, f64); 2] =
     [(Algorithm::HybridHash, 0.5), (Algorithm::GraceHash, 0.2)];
 
@@ -110,130 +118,147 @@ fn main() {
         write = true;
     }
 
-    let mut errors: Vec<String> = Vec::new();
+    let mut gates: Vec<GateSummary> = Vec::new();
 
     // --- Gate 1: baseline points vs fresh runs -------------------------
-    let doc = std::fs::read_to_string(&baseline_path)
-        .unwrap_or_else(|e| panic!("read {baseline_path}: {e}"));
-    let baseline = parse_bench_points(&doc);
-    assert!(!baseline.is_empty(), "{baseline_path} has no points");
-    let scale = parse_scale(&doc);
-    let w = Workload::scaled(
-        (100_000f64 * scale).round() as usize,
-        (10_000f64 * scale).round() as usize,
-    );
-    println!(
-        "regress: replaying {} baseline points at scale {scale} (tolerance {tolerance_pct}%)",
-        baseline.len()
-    );
-    // Replay the points on the pool (when one is active); results gather
-    // in baseline order, so the printed table and the comparison are
-    // independent of scheduling.
-    let replayed = pooled_map("regress point", baseline.iter().collect(), |b| {
-        let alg = algorithm_by_name(&b.algorithm);
-        let run = metrics_join(&w, alg, b.memory_ratio, false, false);
-        let recon: Vec<String> = reconcile(&run.registry, &run.report)
-            .into_iter()
-            .map(|e| {
-                format!(
-                    "{} @ ratio {}: reconciliation: {e}",
-                    b.algorithm, b.memory_ratio
-                )
-            })
-            .collect();
-        let packets = run.report.packets();
-        let sc = run.report.shortcircuits();
-        let point = BenchPoint {
-            algorithm: b.algorithm.clone(),
-            memory_ratio: b.memory_ratio,
-            response_virtual_us: run.report.response.as_us(),
-            peak_pool_pages: Some(run.registry.gauge_peak("pool_peak_pages").unwrap_or(0)),
-            packets: Some(packets),
-            short_circuit_ratio: if sc + packets > 0 {
-                Some(sc as f64 / (sc + packets) as f64)
-            } else {
-                Some(0.0)
-            },
-        };
-        (point, recon)
-    });
-    let mut fresh = Vec::new();
-    for (point, recon) in replayed {
-        println!(
-            "  {:<10} ratio {:>4}: {:>12} virtual-us  {:>8} packets",
-            point.algorithm,
-            point.memory_ratio,
-            point.response_virtual_us,
-            point.packets.unwrap_or(0)
+    {
+        let mut errors: Vec<String> = Vec::new();
+        let doc = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("read {baseline_path}: {e}"));
+        let baseline = parse_bench_points(&doc);
+        assert!(!baseline.is_empty(), "{baseline_path} has no points");
+        let scale = parse_scale(&doc);
+        let w = Workload::scaled(
+            (100_000f64 * scale).round() as usize,
+            (10_000f64 * scale).round() as usize,
         );
-        errors.extend(recon);
-        fresh.push(point);
-    }
-    errors.extend(compare_points(&baseline, &fresh, tolerance_pct));
-
-    // --- Gate 2: committed metric snapshots ----------------------------
-    // Render the snapshot runs on the pool; file reads/writes and the
-    // byte-diffs stay sequential, in SNAPSHOT_POINTS order.
-    let snapshots = pooled_map(
-        "snapshot point",
-        SNAPSHOT_POINTS.to_vec(),
-        |(alg, ratio)| {
-            let run = metrics_join(
-                &Workload::scaled(SNAPSHOT_SCALE, SNAPSHOT_SCALE / 10),
-                alg,
-                ratio,
-                false,
-                false,
-            );
+        println!(
+            "regress: replaying {} baseline points at scale {scale} (tolerance {tolerance_pct}%)",
+            baseline.len()
+        );
+        // Replay the points on the pool (when one is active); results gather
+        // in baseline order, so the printed table and the comparison are
+        // independent of scheduling.
+        let replayed = pooled_map("regress point", baseline.iter().collect(), |b| {
+            let alg = algorithm_by_name(&b.algorithm);
+            let run = metrics_join(&w, alg, b.memory_ratio, false, false);
             let recon: Vec<String> = reconcile(&run.registry, &run.report)
                 .into_iter()
                 .map(|e| {
                     format!(
-                        "snapshot {} @ ratio {ratio}: reconciliation: {e}",
-                        alg.name()
+                        "{} @ ratio {}: reconciliation: {e}",
+                        b.algorithm, b.memory_ratio
                     )
                 })
                 .collect();
-            (alg, ratio, recon, run.json(), run.prometheus())
-        },
-    );
-    for (alg, ratio, recon, fresh_doc, prom_doc) in snapshots {
-        errors.extend(recon);
-        let path = format!(
-            "{snapshot_dir}/metrics-{}-r{:02}.json",
-            alg.name(),
-            (ratio * 100.0) as u32
+            let packets = run.report.packets();
+            let sc = run.report.shortcircuits();
+            let point = BenchPoint {
+                algorithm: b.algorithm.clone(),
+                memory_ratio: b.memory_ratio,
+                response_virtual_us: run.report.response.as_us(),
+                peak_pool_pages: Some(run.registry.gauge_peak("pool_peak_pages").unwrap_or(0)),
+                packets: Some(packets),
+                short_circuit_ratio: if sc + packets > 0 {
+                    Some(sc as f64 / (sc + packets) as f64)
+                } else {
+                    Some(0.0)
+                },
+            };
+            (point, recon)
+        });
+        let mut fresh = Vec::new();
+        for (point, recon) in replayed {
+            println!(
+                "  {:<10} ratio {:>4}: {:>12} virtual-us  {:>8} packets",
+                point.algorithm,
+                point.memory_ratio,
+                point.response_virtual_us,
+                point.packets.unwrap_or(0)
+            );
+            errors.extend(recon);
+            fresh.push(point);
+        }
+        errors.extend(compare_points(&baseline, &fresh, tolerance_pct));
+        gates.push(GateSummary::ran(
+            "1: joinabprime baseline",
+            baseline.len(),
+            errors,
+        ));
+    }
+
+    // --- Gate 2: committed metric snapshots ----------------------------
+    // Render the snapshot runs on the pool; file reads/writes and the
+    // byte-diffs stay sequential, in SNAPSHOT_POINTS order.
+    {
+        let mut errors: Vec<String> = Vec::new();
+        let snapshots = pooled_map(
+            "snapshot point",
+            SNAPSHOT_POINTS.to_vec(),
+            |(alg, ratio)| {
+                let run = metrics_join(
+                    &Workload::scaled(SNAPSHOT_SCALE, SNAPSHOT_SCALE / 10),
+                    alg,
+                    ratio,
+                    false,
+                    false,
+                );
+                let recon: Vec<String> = reconcile(&run.registry, &run.report)
+                    .into_iter()
+                    .map(|e| {
+                        format!(
+                            "snapshot {} @ ratio {ratio}: reconciliation: {e}",
+                            alg.name()
+                        )
+                    })
+                    .collect();
+                (alg, ratio, recon, run.json(), run.prometheus())
+            },
         );
-        if write {
-            std::fs::create_dir_all(&snapshot_dir).expect("create snapshot dir");
-            std::fs::write(&path, &fresh_doc).unwrap_or_else(|e| panic!("write {path}: {e}"));
-            println!("  wrote {path}");
-            let prom = format!(
-                "{snapshot_dir}/metrics-{}-r{:02}.prom",
+        for (alg, ratio, recon, fresh_doc, prom_doc) in snapshots {
+            errors.extend(recon);
+            let path = format!(
+                "{snapshot_dir}/metrics-{}-r{:02}.json",
                 alg.name(),
                 (ratio * 100.0) as u32
             );
-            std::fs::write(&prom, &prom_doc).unwrap_or_else(|e| panic!("write {prom}: {e}"));
-            println!("  wrote {prom}");
-        } else {
-            match std::fs::read_to_string(&path) {
-                Ok(committed) => {
-                    let diffs = diff_snapshots(&path, &committed, &fresh_doc);
-                    if diffs.is_empty() {
-                        println!("  {path}: byte-identical");
+            if write {
+                std::fs::create_dir_all(&snapshot_dir).expect("create snapshot dir");
+                std::fs::write(&path, &fresh_doc).unwrap_or_else(|e| panic!("write {path}: {e}"));
+                println!("  wrote {path}");
+                let prom = format!(
+                    "{snapshot_dir}/metrics-{}-r{:02}.prom",
+                    alg.name(),
+                    (ratio * 100.0) as u32
+                );
+                std::fs::write(&prom, &prom_doc).unwrap_or_else(|e| panic!("write {prom}: {e}"));
+                println!("  wrote {prom}");
+            } else {
+                match std::fs::read_to_string(&path) {
+                    Ok(committed) => {
+                        let diffs = diff_snapshots(&path, &committed, &fresh_doc);
+                        if diffs.is_empty() {
+                            println!("  {path}: byte-identical");
+                        }
+                        errors.extend(diffs);
                     }
-                    errors.extend(diffs);
+                    Err(e) => errors.push(format!(
+                        "{path}: unreadable ({e}); run `regress -- --write` to create it"
+                    )),
                 }
-                Err(e) => errors.push(format!(
-                    "{path}: unreadable ({e}); run `regress -- --write` to create it"
-                )),
             }
         }
+        gates.push(if write {
+            GateSummary::skip("2: metric snapshots", "refreshed by --write")
+        } else {
+            GateSummary::ran("2: metric snapshots", SNAPSHOT_POINTS.len(), errors)
+        });
     }
 
     // --- Gate 3: concurrent-serving baseline ---------------------------
     match std::fs::read_to_string(&serve_baseline_path) {
         Ok(doc) => {
+            let mut errors: Vec<String> = Vec::new();
             let baseline = parse_serve_points(&doc);
             let Some((a_rows, queries, budget_multiplier)) = parse_serve_envelope(&doc) else {
                 panic!("{serve_baseline_path} has no envelope (a_rows/queries/budget_multiplier)");
@@ -273,15 +298,25 @@ fn main() {
                 );
             }
             errors.extend(compare_serve_points(&baseline, &fresh, tolerance_pct));
+            gates.push(GateSummary::ran(
+                "3: serve baseline",
+                baseline.len(),
+                errors,
+            ));
         }
-        Err(e) => errors.push(format!(
-            "{serve_baseline_path}: unreadable ({e}); run the `serve` binary to create it"
+        Err(e) => gates.push(GateSummary::ran(
+            "3: serve baseline",
+            0,
+            vec![format!(
+                "{serve_baseline_path}: unreadable ({e}); run the `serve` binary to create it"
+            )],
         )),
     }
 
     // --- Gate 4: skew-cliff baseline -----------------------------------
     match std::fs::read_to_string(&skew_baseline_path) {
         Ok(doc) => {
+            let mut errors: Vec<String> = Vec::new();
             let baseline = parse_skew_points(&doc);
             let Some((a_rows, bprime_rows)) = parse_skew_envelope(&doc) else {
                 panic!("{skew_baseline_path} has no envelope (a_rows/bprime_rows)");
@@ -330,9 +365,14 @@ fn main() {
                 );
             }
             errors.extend(compare_skew_points(&baseline, &fresh, tolerance_pct));
+            gates.push(GateSummary::ran("4: skew baseline", baseline.len(), errors));
         }
-        Err(e) => errors.push(format!(
-            "{skew_baseline_path}: unreadable ({e}); run the `skew` binary to create it"
+        Err(e) => gates.push(GateSummary::ran(
+            "4: skew baseline",
+            0,
+            vec![format!(
+                "{skew_baseline_path}: unreadable ({e}); run the `skew` binary to create it"
+            )],
         )),
     }
 
@@ -342,6 +382,10 @@ fn main() {
             "regress: skipping alloc gate — worker pool active; allocation \
              counts are only deterministic on a serial build"
         );
+        gates.push(GateSummary::skip(
+            "5: alloc ceilings",
+            "worker pool active (serial builds only)",
+        ));
     } else if write {
         let (scale, grid) = (
             ALLOC_SCALE,
@@ -383,9 +427,14 @@ fn main() {
         )
         .unwrap_or_else(|e| panic!("write {alloc_baseline_path}: {e}"));
         println!("  wrote {alloc_baseline_path}");
+        gates.push(GateSummary::skip(
+            "5: alloc ceilings",
+            "re-recorded by --write",
+        ));
     } else {
         match std::fs::read_to_string(&alloc_baseline_path) {
             Ok(doc) => {
+                let mut errors: Vec<String> = Vec::new();
                 let ceilings = parse_alloc_ceilings(&doc);
                 assert!(!ceilings.is_empty(), "{alloc_baseline_path} has no points");
                 let scale = parse_scale(&doc);
@@ -410,22 +459,76 @@ fn main() {
                     measured.push((c.algorithm.clone(), c.memory_ratio, allocs));
                 }
                 errors.extend(compare_alloc_points(&ceilings, &measured));
+                gates.push(GateSummary::ran("5: alloc ceilings", ceilings.len(), errors));
             }
-            Err(e) => errors.push(format!(
-                "{alloc_baseline_path}: unreadable ({e}); run `regress -- --write` on a serial build to create it"
+            Err(e) => gates.push(GateSummary::ran(
+                "5: alloc ceilings",
+                0,
+                vec![format!(
+                    "{alloc_baseline_path}: unreadable ({e}); run `regress -- --write` on a serial build to create it"
+                )],
             )),
         }
     }
 
-    if errors.is_empty() {
-        println!(
-            "regress: PASS — virtual time, counters, serve, skew, allocs, and snapshots all hold"
-        );
-    } else {
-        eprintln!("regress: FAIL — {} violation(s):", errors.len());
-        for e in &errors {
-            eprintln!("  {e}");
+    // --- Gate 6: committed flight-recorder profiles --------------------
+    // Replay the snapshot points through the gamma-prof flight recorder
+    // and byte-compare the sampled series against the committed
+    // `results/prof-*.json`. The series are pure virtual-time functions of
+    // the ledgers, so *any* drift — one microsecond of busy time, one
+    // queued request at one tick — fails the gate.
+    {
+        let mut errors: Vec<String> = Vec::new();
+        let profiles = pooled_map("prof point", SNAPSHOT_POINTS.to_vec(), |(alg, ratio)| {
+            (
+                alg,
+                ratio,
+                prof::snapshot_doc(alg, ratio, SNAPSHOT_SCALE, prof::TICK_US),
+            )
+        });
+        for (alg, ratio, fresh_doc) in profiles {
+            let path = format!("{snapshot_dir}/{}.json", prof::artifact_stem(alg, ratio));
+            if write {
+                std::fs::create_dir_all(&snapshot_dir).expect("create snapshot dir");
+                std::fs::write(&path, &fresh_doc).unwrap_or_else(|e| panic!("write {path}: {e}"));
+                println!("  wrote {path}");
+            } else {
+                match std::fs::read_to_string(&path) {
+                    Ok(committed) => {
+                        let diffs = diff_snapshots(&path, &committed, &fresh_doc);
+                        if diffs.is_empty() {
+                            println!("  {path}: byte-identical");
+                        }
+                        errors.extend(diffs);
+                    }
+                    Err(e) => errors.push(format!(
+                        "{path}: unreadable ({e}); run `regress -- --write` to create it"
+                    )),
+                }
+            }
         }
+        gates.push(if write {
+            GateSummary::skip("6: flight-recorder profiles", "refreshed by --write")
+        } else {
+            GateSummary::ran("6: flight-recorder profiles", SNAPSHOT_POINTS.len(), errors)
+        });
+    }
+
+    // --- Summary -------------------------------------------------------
+    let violations: usize = gates.iter().map(|g| g.errors.len()).sum();
+    if violations > 0 {
+        eprintln!("regress: FAIL — {violations} violation(s):");
+        for g in gates.iter().filter(|g| !g.errors.is_empty()) {
+            eprintln!("  gate {}:", g.name);
+            for e in &g.errors {
+                eprintln!("    {e}");
+            }
+        }
+    }
+    println!("{}", render_gate_table(&gates));
+    if violations == 0 {
+        println!("regress: PASS — every gate held");
+    } else {
         std::process::exit(1);
     }
 }

@@ -13,10 +13,29 @@
 //! `BENCH_serve.json` under drift/counter gates. Each rate point also
 //! passes the concurrent ledger↔metrics reconciliation (with the default
 //! `metrics` feature) before its numbers are reported.
+//!
+//! `--explain [--load-fraction F] [--out PATH]` serves a single rate
+//! point (default: the analytical knee, 1.0×) and prints the per-query
+//! EXPLAIN report — admission wait plus per-phase scheduling, cpu, disk,
+//! net and queue-wait components, each reconciling exactly to the
+//! query's response. The text is deterministic, so CI `cmp`s it across
+//! runs and executors.
 
 use gamma_bench::serve::{
-    calibrate_backlog_window, render_json, serve_sweep, ServeSweepConfig, DEFAULT_BACKLOG_WINDOW_US,
+    calibrate_backlog_window, profile, render_json, serve_point, serve_sweep, ServeSweepConfig,
+    DEFAULT_BACKLOG_WINDOW_US,
 };
+use gamma_bench::Workload;
+use gamma_des::SimTime;
+use gamma_sched::{explain, ServeConfig};
+
+/// Print the host-side pool profile when built with `--features
+/// hostprof` — wall-clock observability only, never part of the gated
+/// artifacts.
+fn report_hostprof() {
+    #[cfg(feature = "hostprof")]
+    print!("{}", gamma_core::exec::pool::hostprof::report());
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -35,6 +54,42 @@ fn main() {
     }
     if let Some(i) = args.iter().position(|a| a == "--out") {
         out_path = args[i + 1].clone();
+    }
+
+    // `--explain` serves one rate point and renders the per-query EXPLAIN
+    // decomposition instead of sweeping.
+    if args.iter().any(|a| a == "--explain") {
+        let load_fraction: f64 = args
+            .iter()
+            .position(|a| a == "--load-fraction")
+            .map(|i| args[i + 1].parse().expect("load-fraction must be a number"))
+            .unwrap_or(1.0);
+        assert!(load_fraction > 0.0, "load-fraction must be positive");
+        let workload = Workload::scaled(cfg.a_rows, cfg.a_rows / 10);
+        let (plan, report) = profile(&workload);
+        let budget_pages = plan.max_peak_pages() * cfg.budget_multiplier.max(1);
+        let bound_qps = 1.0 / report.demand.bottleneck();
+        let mean_interarrival_us = (1e6 / (bound_qps * load_fraction)).round().max(1.0) as u64;
+        let result = serve_point(
+            &workload,
+            &ServeConfig {
+                name: "serve".into(),
+                case: 0,
+                mean_interarrival: SimTime::from_us(mean_interarrival_us),
+                queries: cfg.queries,
+                pool_budget_pages: budget_pages,
+                backlog_window: cfg.backlog_window,
+            },
+        );
+        let text = explain::render(&result.outcome, result.solo.response);
+        print!("{text}");
+        if let Some(i) = args.iter().position(|a| a == "--out") {
+            let path = &args[i + 1];
+            std::fs::write(path, &text).expect("write explain report");
+            println!("wrote {path}");
+        }
+        report_hostprof();
+        return;
     }
 
     // `--calibrate-backlog` prints the window calibration grid behind
@@ -88,4 +143,5 @@ fn main() {
 
     std::fs::write(&out_path, render_json(&cfg, &sweep)).expect("write serve json");
     println!("wrote {out_path}");
+    report_hostprof();
 }

@@ -16,6 +16,7 @@ pub mod experiments;
 pub mod metrics;
 pub mod microbench;
 pub mod plot;
+pub mod prof;
 pub mod regress;
 pub mod serve;
 pub mod skew;

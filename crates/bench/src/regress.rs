@@ -464,6 +464,76 @@ pub fn diff_snapshots(label: &str, baseline: &str, fresh: &str) -> Vec<String> {
     errs
 }
 
+/// Outcome of one regression gate, for the end-of-run summary table.
+#[derive(Debug, Clone)]
+pub struct GateSummary {
+    /// Gate name as printed in the table.
+    pub name: &'static str,
+    /// Points (or snapshot files) the gate checked.
+    pub checked: usize,
+    /// Every violation the gate found (empty ⇒ pass).
+    pub errors: Vec<String>,
+    /// Why the gate did not run, when it was skipped.
+    pub skipped: Option<String>,
+}
+
+impl GateSummary {
+    /// A gate that ran over `checked` points.
+    pub fn ran(name: &'static str, checked: usize, errors: Vec<String>) -> Self {
+        GateSummary {
+            name,
+            checked,
+            errors,
+            skipped: None,
+        }
+    }
+
+    /// A gate that did not run (e.g. alloc counting on a pooled build).
+    pub fn skip(name: &'static str, why: impl Into<String>) -> Self {
+        GateSummary {
+            name,
+            checked: 0,
+            errors: Vec::new(),
+            skipped: Some(why.into()),
+        }
+    }
+
+    /// `PASS` / `FAIL` / `SKIP`.
+    pub fn status(&self) -> &'static str {
+        if self.skipped.is_some() {
+            "SKIP"
+        } else if self.errors.is_empty() {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+    }
+}
+
+/// Render the per-gate summary table the `regress` binary prints before
+/// exiting: gate name, points checked, status, and the first offending
+/// field/point (the full violation lists are printed above the table).
+pub fn render_gate_table(gates: &[GateSummary]) -> String {
+    let mut out = String::from(
+        "gate                            checked  status  first violation / skip reason\n",
+    );
+    for g in gates {
+        let detail = g
+            .skipped
+            .as_deref()
+            .or_else(|| g.errors.first().map(String::as_str))
+            .unwrap_or("-");
+        out.push_str(&format!(
+            "  {:<30} {:>7}  {:<5} {}\n",
+            g.name,
+            g.checked,
+            g.status(),
+            detail
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -750,6 +820,38 @@ mod tests {
         let errs = compare_alloc_points(&ceilings, &missing);
         assert_eq!(errs.len(), 1);
         assert!(errs[0].contains("missing"), "{errs:?}");
+    }
+
+    #[test]
+    fn gate_table_shows_status_and_first_violation() {
+        let gates = [
+            GateSummary::ran("baseline points", 12, vec![]),
+            GateSummary::ran(
+                "flight-recorder snapshots",
+                2,
+                vec![
+                    "results/prof-hybrid-r50.json:7: baseline `1` != fresh `2`".into(),
+                    "second violation".into(),
+                ],
+            ),
+            GateSummary::skip("alloc ceilings", "worker pool active"),
+        ];
+        let table = render_gate_table(&gates);
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 4, "{table}");
+        assert!(lines[1].contains("baseline points") && lines[1].contains("PASS"));
+        assert!(
+            lines[2].contains("FAIL") && lines[2].contains("prof-hybrid-r50.json:7"),
+            "{table}"
+        );
+        assert!(
+            !table.contains("second violation"),
+            "only the first violation belongs in the table"
+        );
+        assert!(lines[3].contains("SKIP") && lines[3].contains("worker pool active"));
+        assert_eq!(gates[0].status(), "PASS");
+        assert_eq!(gates[1].status(), "FAIL");
+        assert_eq!(gates[2].status(), "SKIP");
     }
 
     #[test]

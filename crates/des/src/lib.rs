@@ -34,6 +34,8 @@ pub use ledger::{Counts, NodeQueueTiming, Usage};
 pub use phase::{
     compose, phase_duration, pipeline_compose, pipeline_duration, PhaseTiming, TimingModel,
 };
-pub use queue::{fifo_drain, fold_waits, QueueStats, Request, RequestLog, SharedServer};
+pub use queue::{
+    fifo_drain, fold_waits, QueueStats, Request, RequestLog, ServiceSpan, SharedServer,
+};
 pub use sim::{EventId, Sim};
 pub use time::SimTime;

@@ -148,6 +148,14 @@ impl SharedServer {
     /// `service` device time; returns its completion time. Service begins at
     /// `max(arrival, free_at)` — the single-server FIFO recurrence.
     pub fn submit(&mut self, arrival: SimTime, service: SimTime) -> SimTime {
+        self.submit_span(arrival, service).completion
+    }
+
+    /// Like [`SharedServer::submit`], but report the request's full
+    /// lifecycle — when it queued, when service began, when it completed —
+    /// so observers (the gamma-prof flight recorder) can sample queue depth
+    /// and busy time without re-deriving the FIFO recurrence.
+    pub fn submit_span(&mut self, arrival: SimTime, service: SimTime) -> ServiceSpan {
         debug_assert!(
             arrival >= self.last_arrival,
             "FIFO server requires non-decreasing arrivals ({arrival} after {})",
@@ -162,7 +170,36 @@ impl SharedServer {
         self.stats.requests += 1;
         self.free_at = start + service;
         self.stats.completion = self.free_at;
-        self.free_at
+        ServiceSpan {
+            arrival,
+            start,
+            completion: self.free_at,
+        }
+    }
+}
+
+/// The lifecycle of one request through a [`SharedServer`]: it queued at
+/// `arrival`, was served over `[start, completion)`, and waited
+/// `start - arrival` in between.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceSpan {
+    /// When the request joined the queue.
+    pub arrival: SimTime,
+    /// When service began (`max(arrival, free_at)` at submission).
+    pub start: SimTime,
+    /// When service finished.
+    pub completion: SimTime,
+}
+
+impl ServiceSpan {
+    /// Time spent queued before service began.
+    pub fn wait(&self) -> SimTime {
+        self.start - self.arrival
+    }
+
+    /// Service duration.
+    pub fn service(&self) -> SimTime {
+        self.completion - self.start
     }
 }
 
@@ -381,6 +418,27 @@ mod tests {
         assert_eq!(server.stats().wait, SimTime::from_us(70));
         assert_eq!(server.stats().max_wait, SimTime::from_us(70));
         assert_eq!(server.stats().requests, 2);
+    }
+
+    #[test]
+    fn submit_span_reports_the_lifecycle() {
+        let mut server = SharedServer::new();
+        let first = server.submit_span(SimTime::from_us(10), SimTime::from_us(30));
+        assert_eq!(first.arrival, SimTime::from_us(10));
+        assert_eq!(first.start, SimTime::from_us(10));
+        assert_eq!(first.completion, SimTime::from_us(40));
+        assert_eq!(first.wait(), SimTime::ZERO);
+        assert_eq!(first.service(), SimTime::from_us(30));
+        // Second request arrives while the server is busy: waits 15.
+        let second = server.submit_span(SimTime::from_us(25), SimTime::from_us(5));
+        assert_eq!(second.start, SimTime::from_us(40));
+        assert_eq!(second.completion, SimTime::from_us(45));
+        assert_eq!(second.wait(), SimTime::from_us(15));
+        // `submit` is exactly `submit_span().completion`.
+        assert_eq!(
+            server.submit(SimTime::from_us(50), SimTime::from_us(1)),
+            SimTime::from_us(51)
+        );
     }
 
     #[test]

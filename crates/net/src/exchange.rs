@@ -423,6 +423,10 @@ impl Drained {
 pub struct Exchange {
     outboxes: Vec<Outbox>,
     inboxes: Vec<Vec<(usize, Packet)>>,
+    /// High-water mark of each inbox's undelivered packet count, observed
+    /// at every `route()`. Deterministic across executors because routing
+    /// replays sends in source-major input order.
+    peak_inbox: Vec<usize>,
 }
 
 impl Exchange {
@@ -435,6 +439,7 @@ impl Exchange {
                 .map(|n| Outbox::new(n, Arc::clone(&cfg), nodes))
                 .collect(),
             inboxes: (0..nodes).map(|_| Vec::new()).collect(),
+            peak_inbox: vec![0; nodes],
         }
     }
 
@@ -470,6 +475,15 @@ impl Exchange {
                 }
             }
         }
+        for (n, inbox) in self.inboxes.iter().enumerate() {
+            self.peak_inbox[n] = self.peak_inbox[n].max(inbox.len());
+        }
+    }
+
+    /// Per-node high-water marks of undelivered inbox packets, the
+    /// exchange's contribution to the flight-recorder envelope.
+    pub fn peak_inbox_packets(&self) -> &[usize] {
+        &self.peak_inbox
     }
 
     /// Take node `n`'s inbox (undelivered packets), leaving it empty.
@@ -650,6 +664,26 @@ mod tests {
         assert_eq!(msgs[1].payload, vec![2u8; 8]);
         assert_eq!(msgs[2].payload, vec![3u8; 8]);
         ex.return_inbox(inbox);
+    }
+
+    #[test]
+    fn peak_inbox_tracks_the_route_high_water_mark() {
+        let (mut ex, mut u) = exchange(3);
+        assert_eq!(ex.peak_inbox_packets(), &[0, 0, 0]);
+        ex.outboxes_mut()[0].send(&mut u[0], 1, 9, &[0u8; 8]);
+        ex.outboxes_mut()[2].send(&mut u[2], 1, 9, &[2u8; 8]);
+        ex.outboxes_mut()[0].seal(&mut u[0]);
+        ex.outboxes_mut()[2].seal(&mut u[2]);
+        ex.route();
+        assert_eq!(ex.peak_inbox_packets(), &[0, 2, 0]);
+        let mut inbox = ex.take_inbox(1);
+        inbox.drain(&mut u[1], &RingConfig::gamma_1989());
+        ex.return_inbox(inbox);
+        // A later, smaller burst does not lower the recorded peak.
+        ex.outboxes_mut()[0].send(&mut u[0], 1, 9, &[0u8; 8]);
+        ex.outboxes_mut()[0].seal(&mut u[0]);
+        ex.route();
+        assert_eq!(ex.peak_inbox_packets(), &[0, 2, 0]);
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! Deterministic JSON / CSV renderers for [`FlightProfile`].
+//!
+//! Both formats are hand-rolled with integer formatting only, the same
+//! discipline as the trace/metrics exporters: identical runs must produce
+//! byte-identical artifacts, so no floats and no map iteration orders are
+//! involved.
+//!
+//! The JSON layout is line-oriented — one envelope field per line and one
+//! series object per line — so `gamma-bench regress` can diff committed
+//! profiles textually, and its same-line field extractors can never
+//! confuse a profile document with a bench-point document.
+
+use crate::FlightProfile;
+
+/// JSON-escape a string value (quotes, backslashes, control chars).
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render a profile as a line-oriented JSON document.
+///
+/// `envelope` entries are emitted before the grid metadata, one per line;
+/// values must already be valid JSON (use [`json_str`] for strings).
+pub fn render_json(profile: &FlightProfile, envelope: &[(&str, String)]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"benchmark\": \"prof\",\n");
+    for (key, value) in envelope {
+        out.push_str(&format!("  {}: {},\n", json_str(key), value));
+    }
+    out.push_str(&format!("  \"tick_us\": {},\n", profile.tick_us));
+    out.push_str(&format!("  \"ticks\": {},\n", profile.ticks()));
+    out.push_str(&format!("  \"nodes\": {},\n", profile.nodes));
+    out.push_str(&format!("  \"makespan_us\": {},\n", profile.makespan_us));
+    out.push_str("  \"series\": [\n");
+    for (i, s) in profile.series.iter().enumerate() {
+        let comma = if i + 1 == profile.series.len() {
+            ""
+        } else {
+            ","
+        };
+        let values: Vec<String> = s.values.iter().map(|v| v.to_string()).collect();
+        out.push_str(&format!(
+            "    {{\"series\": {}, \"values\": [{}]}}{}\n",
+            json_str(&s.name),
+            values.join(","),
+            comma
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Render a profile as CSV: one row per tick, one column per series.
+pub fn render_csv(profile: &FlightProfile) -> String {
+    let mut out = String::from("tick,start_us");
+    for s in &profile.series {
+        out.push(',');
+        out.push_str(&s.name);
+    }
+    out.push('\n');
+    for tick in 0..profile.ticks() {
+        out.push_str(&format!("{},{}", tick, tick as u64 * profile.tick_us));
+        for s in &profile.series {
+            out.push_str(&format!(",{}", s.values[tick]));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Series;
+
+    fn tiny() -> FlightProfile {
+        FlightProfile {
+            tick_us: 10,
+            makespan_us: 15,
+            nodes: 1,
+            series: vec![
+                Series {
+                    name: "node0.cpu_busy_us".into(),
+                    values: vec![3, 5],
+                },
+                Series {
+                    name: "inflight_queries".into(),
+                    values: vec![1, 0],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_is_line_oriented_and_deterministic() {
+        let p = tiny();
+        let doc = render_json(&p, &[("algorithm", json_str("hybrid"))]);
+        assert_eq!(doc, render_json(&p, &[("algorithm", json_str("hybrid"))]));
+        assert!(doc.contains("\"benchmark\": \"prof\""));
+        assert!(doc.contains("  \"algorithm\": \"hybrid\",\n"));
+        assert!(doc.contains("{\"series\": \"node0.cpu_busy_us\", \"values\": [3,5]}"));
+        // One series object per line, last without trailing comma.
+        assert!(doc.contains("\"values\": [1,0]}\n"));
+        // A profile line must never look like a joinabprime bench point.
+        assert!(!doc.contains("response_virtual_us"));
+    }
+
+    #[test]
+    fn csv_shape() {
+        let doc = render_csv(&tiny());
+        let mut lines = doc.lines();
+        assert_eq!(
+            lines.next(),
+            Some("tick,start_us,node0.cpu_busy_us,inflight_queries")
+        );
+        assert_eq!(lines.next(), Some("0,0,3,1"));
+        assert_eq!(lines.next(), Some("1,10,5,0"));
+        assert_eq!(lines.next(), None);
+    }
+
+    #[test]
+    fn json_str_escapes() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

@@ -1,0 +1,371 @@
+//! gamma-prof — deterministic virtual-time flight recorder.
+//!
+//! The simulator's trace and metrics layers reconcile end-of-run totals
+//! exactly, but totals cannot answer "what did device utilisation, queue
+//! depth, and pool-page occupancy look like *over* virtual time?".  This
+//! crate records the raw material for those questions while the scheduler
+//! engine replays ledgers — busy intervals on every shared server and
+//! signed occupancy deltas on every queue/pool — and then samples them on
+//! a fixed virtual-time grid.
+//!
+//! Everything is integer microseconds derived from `SharedServer`
+//! completions and ledger-charged service times; no wall clock is ever
+//! consulted, so a profile is byte-reproducible across runs, executors
+//! and pool sizes.
+//!
+//! Two series kinds come out of [`FlightRecorder::profile`]:
+//!
+//! * **busy series** (`*_busy_us`): microseconds of service performed
+//!   inside each tick window `[i·tick, (i+1)·tick)`, computed by exact
+//!   interval overlap.  Dividing by `tick_us` gives utilisation.
+//! * **gauge series** (queue depths, pool pages, in-flight queries,
+//!   admission backlog): the instantaneous value *at* the tick boundary
+//!   `t = i·tick`, i.e. the running sum of all recorded deltas with
+//!   timestamp `<= t`.
+//!
+//! Recording may allocate (interval pushes); the per-tick sampling loops
+//! live in [`sample`] and are allocation-free — `scripts/`
+//! `check-alloc-discipline.sh` greps that file to keep them that way.
+
+use gamma_des::SimTime;
+
+pub mod export;
+pub mod sample;
+
+/// Default sampling grid: one sample every 100 virtual milliseconds.
+pub const DEFAULT_TICK_US: u64 = 100_000;
+
+/// Which shared device server a request span belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Device {
+    Disk,
+    Net,
+}
+
+/// One named sampled series.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Series {
+    pub name: String,
+    pub values: Vec<i64>,
+}
+
+impl Series {
+    /// Node index parsed from a `node{N}.` name prefix, if any.
+    pub fn node(&self) -> Option<usize> {
+        let rest = self.name.strip_prefix("node")?;
+        let dot = rest.find('.')?;
+        rest[..dot].parse().ok()
+    }
+
+    /// Series name with any `node{N}.` prefix stripped.
+    pub fn short_name(&self) -> &str {
+        match self.name.find('.') {
+            Some(dot) if self.name.starts_with("node") => &self.name[dot + 1..],
+            _ => &self.name,
+        }
+    }
+}
+
+/// A fully sampled flight-recorder profile.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlightProfile {
+    pub tick_us: u64,
+    pub makespan_us: u64,
+    pub nodes: usize,
+    pub series: Vec<Series>,
+}
+
+impl FlightProfile {
+    /// Number of sample points per series.
+    pub fn ticks(&self) -> usize {
+        self.series.first().map_or(0, |s| s.values.len())
+    }
+}
+
+/// Records busy intervals and occupancy deltas during an engine run.
+///
+/// All hooks take event times already computed by the engine from
+/// `SharedServer` submissions; the recorder never advances time itself.
+/// Hook calls need not be globally time-ordered (the engine's phase
+/// walk emits future completions interleaved across queries); deltas are
+/// sorted once at `profile()` time, and sums at equal timestamps are
+/// order-independent.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    nodes: usize,
+    tick_us: u64,
+    /// Busy spans `(start_us, end_us)` per busy track.
+    busy: Vec<Vec<(u64, u64)>>,
+    /// Signed occupancy deltas `(t_us, delta)` per gauge track.
+    deltas: Vec<Vec<(u64, i64)>>,
+}
+
+// Busy-track layout: cpu per node, disk per node, net per node, then the
+// global dispatch and ring servers.
+const BUSY_GLOBAL: usize = 2;
+// Gauge-track layout: disk queue per node, net queue per node, pool pages
+// per node, then dispatch queue, ring queue, in-flight queries, backlog.
+const GAUGE_GLOBAL: usize = 4;
+
+impl FlightRecorder {
+    pub fn new(nodes: usize, tick_us: u64) -> Self {
+        assert!(tick_us > 0, "flight-recorder tick must be positive");
+        FlightRecorder {
+            nodes,
+            tick_us,
+            busy: vec![Vec::new(); 3 * nodes + BUSY_GLOBAL],
+            deltas: vec![Vec::new(); 3 * nodes + GAUGE_GLOBAL],
+        }
+    }
+
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    pub fn tick_us(&self) -> u64 {
+        self.tick_us
+    }
+
+    fn busy_span(&mut self, track: usize, start: SimTime, end: SimTime) {
+        let (s, e) = (start.as_us(), end.as_us());
+        if e > s {
+            self.busy[track].push((s, e));
+        }
+    }
+
+    fn delta(&mut self, track: usize, t: SimTime, d: i64) {
+        self.deltas[track].push((t.as_us(), d));
+    }
+
+    /// A node CPU executed phase work over `[start, end)`.
+    pub fn cpu_busy(&mut self, node: usize, start: SimTime, end: SimTime) {
+        self.busy_span(node, start, end);
+    }
+
+    /// A request occupied a per-node device server: queued at `arrival`,
+    /// served over `[start, done)`.
+    pub fn device(
+        &mut self,
+        node: usize,
+        dev: Device,
+        arrival: SimTime,
+        start: SimTime,
+        done: SimTime,
+    ) {
+        let slot = match dev {
+            Device::Disk => 0,
+            Device::Net => 1,
+        };
+        self.busy_span(self.nodes * (1 + slot) + node, start, done);
+        let q = self.nodes * slot + node;
+        self.delta(q, arrival, 1);
+        self.delta(q, start, -1);
+    }
+
+    /// The scheduler dispatch server handled a phase launch.
+    pub fn dispatch(&mut self, arrival: SimTime, start: SimTime, done: SimTime) {
+        self.busy_span(3 * self.nodes, start, done);
+        let q = 3 * self.nodes;
+        self.delta(q, arrival, 1);
+        self.delta(q, start, -1);
+    }
+
+    /// The shared ring served a phase's reserved slot.
+    pub fn ring(&mut self, arrival: SimTime, start: SimTime, done: SimTime) {
+        self.busy_span(3 * self.nodes + 1, start, done);
+        let q = 3 * self.nodes + 1;
+        self.delta(q, arrival, 1);
+        self.delta(q, start, -1);
+    }
+
+    /// A query's buffer-pool reservation on `node` changed by `pages`.
+    pub fn pool_pages(&mut self, node: usize, t: SimTime, pages: i64) {
+        self.delta(2 * self.nodes + node, t, pages);
+    }
+
+    /// A query arrived (joins the admission backlog).
+    pub fn query_arrival(&mut self, t: SimTime) {
+        self.delta(3 * self.nodes + 3, t, 1);
+    }
+
+    /// A query was admitted (leaves the backlog, becomes in-flight).
+    pub fn query_admitted(&mut self, t: SimTime) {
+        self.delta(3 * self.nodes + 3, t, -1);
+        self.delta(3 * self.nodes + 2, t, 1);
+    }
+
+    /// A query finished (leaves the in-flight set).
+    pub fn query_finished(&mut self, t: SimTime) {
+        self.delta(3 * self.nodes + 2, t, -1);
+    }
+
+    /// Sample every track on the tick grid covering `[0, makespan]`: the
+    /// last boundary is rounded *up* to a whole tick so the end-of-run
+    /// state (drained queues, zero in-flight) is always visible.
+    pub fn profile(mut self, makespan: SimTime) -> FlightProfile {
+        let makespan_us = makespan.as_us();
+        let ticks = makespan_us.div_ceil(self.tick_us) as usize + 1;
+        for d in &mut self.deltas {
+            d.sort_unstable_by_key(|&(t, _)| t);
+        }
+        let mut series = Vec::with_capacity(self.busy.len() + self.deltas.len());
+        let busy_name = |track: usize| -> String {
+            match track {
+                t if t < self.nodes => format!("node{t}.cpu_busy_us"),
+                t if t < 2 * self.nodes => format!("node{}.disk_busy_us", t - self.nodes),
+                t if t < 3 * self.nodes => format!("node{}.net_busy_us", t - 2 * self.nodes),
+                t if t == 3 * self.nodes => "dispatch_busy_us".to_string(),
+                _ => "ring_busy_us".to_string(),
+            }
+        };
+        let gauge_name = |track: usize| -> String {
+            match track {
+                t if t < self.nodes => format!("node{t}.disk_queue"),
+                t if t < 2 * self.nodes => format!("node{}.net_queue", t - self.nodes),
+                t if t < 3 * self.nodes => format!("node{}.pool_pages", t - 2 * self.nodes),
+                t if t == 3 * self.nodes => "dispatch_queue".to_string(),
+                t if t == 3 * self.nodes + 1 => "ring_queue".to_string(),
+                t if t == 3 * self.nodes + 2 => "inflight_queries".to_string(),
+                _ => "admission_backlog".to_string(),
+            }
+        };
+        for (track, spans) in self.busy.iter().enumerate() {
+            let mut values = vec![0i64; ticks];
+            sample::fill_busy(spans, self.tick_us, &mut values);
+            series.push(Series {
+                name: busy_name(track),
+                values,
+            });
+        }
+        for (track, deltas) in self.deltas.iter().enumerate() {
+            let mut values = vec![0i64; ticks];
+            sample::fill_gauge(deltas, self.tick_us, &mut values);
+            series.push(Series {
+                name: gauge_name(track),
+                values,
+            });
+        }
+        FlightProfile {
+            tick_us: self.tick_us,
+            makespan_us,
+            nodes: self.nodes,
+            series,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(v: u64) -> SimTime {
+        SimTime::from_us(v)
+    }
+
+    #[test]
+    fn busy_overlap_is_exact_across_tick_boundaries() {
+        let mut rec = FlightRecorder::new(1, 10);
+        // [5, 27) crosses three windows: 5µs in [0,10), 10µs in [10,20), 7µs in [20,30).
+        rec.cpu_busy(0, us(5), us(27));
+        let prof = rec.profile(us(30));
+        let cpu = prof
+            .series
+            .iter()
+            .find(|s| s.name == "node0.cpu_busy_us")
+            .unwrap();
+        assert_eq!(cpu.values, vec![5, 10, 7, 0]);
+        assert_eq!(cpu.values.iter().sum::<i64>(), 22);
+    }
+
+    #[test]
+    fn gauges_sample_running_sum_at_tick_boundaries() {
+        let mut rec = FlightRecorder::new(1, 10);
+        // Two requests queue at t=3 and t=12; service starts at t=15 and t=25.
+        rec.device(0, Device::Disk, us(3), us(15), us(20));
+        rec.device(0, Device::Disk, us(12), us(25), us(31));
+        let prof = rec.profile(us(40));
+        let q = prof
+            .series
+            .iter()
+            .find(|s| s.name == "node0.disk_queue")
+            .unwrap();
+        // t=0: nothing. t=10: one queued. t=20: one started (t=15), one queued.
+        // t=30: both started. t=40: drained.
+        assert_eq!(q.values, vec![0, 1, 1, 0, 0]);
+        let busy = prof
+            .series
+            .iter()
+            .find(|s| s.name == "node0.disk_busy_us")
+            .unwrap();
+        assert_eq!(busy.values.iter().sum::<i64>(), 5 + 6);
+    }
+
+    #[test]
+    fn unsorted_hook_order_is_normalised() {
+        let mut a = FlightRecorder::new(1, 10);
+        a.query_arrival(us(20));
+        a.query_arrival(us(5));
+        a.query_admitted(us(25));
+        let mut b = FlightRecorder::new(1, 10);
+        b.query_arrival(us(5));
+        b.query_arrival(us(20));
+        b.query_admitted(us(25));
+        assert_eq!(a.profile(us(30)), b.profile(us(30)));
+    }
+
+    #[test]
+    fn query_lifecycle_tracks() {
+        let mut rec = FlightRecorder::new(2, 100);
+        rec.query_arrival(us(0));
+        rec.query_arrival(us(50));
+        rec.query_admitted(us(0));
+        rec.pool_pages(0, us(0), 4);
+        rec.pool_pages(1, us(0), 3);
+        rec.query_admitted(us(150));
+        rec.query_finished(us(150));
+        rec.pool_pages(0, us(150), -4);
+        rec.pool_pages(1, us(150), -3);
+        let prof = rec.profile(us(200));
+        let get = |name: &str| {
+            prof.series
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("missing series {name}"))
+                .values
+                .clone()
+        };
+        assert_eq!(get("admission_backlog"), vec![0, 1, 0]);
+        assert_eq!(get("inflight_queries"), vec![1, 1, 1]);
+        assert_eq!(get("node0.pool_pages"), vec![4, 4, 0]);
+        assert_eq!(get("node1.pool_pages"), vec![3, 3, 0]);
+    }
+
+    #[test]
+    fn series_name_helpers() {
+        let s = Series {
+            name: "node12.disk_queue".into(),
+            values: vec![],
+        };
+        assert_eq!(s.node(), Some(12));
+        assert_eq!(s.short_name(), "disk_queue");
+        let g = Series {
+            name: "inflight_queries".into(),
+            values: vec![],
+        };
+        assert_eq!(g.node(), None);
+        assert_eq!(g.short_name(), "inflight_queries");
+    }
+
+    #[test]
+    fn zero_length_spans_are_dropped() {
+        let mut rec = FlightRecorder::new(1, 10);
+        rec.cpu_busy(0, us(5), us(5));
+        rec.ring(us(0), us(4), us(4));
+        let prof = rec.profile(us(10));
+        for s in &prof.series {
+            if s.name.ends_with("_busy_us") {
+                assert!(s.values.iter().all(|&v| v == 0), "{}", s.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Allocation-free sampling loops for the flight recorder.
+//!
+//! These two functions are the per-tick hot path: they fill caller-owned
+//! grids from already-recorded intervals/deltas using only integer index
+//! arithmetic.  Nothing in this file may allocate —
+//! `scripts/check-alloc-discipline.sh` greps it for allocating calls, the
+//! same way it guards the executor scan/hash hot paths.
+
+/// Add each span's exact overlap with every tick window to `out`.
+///
+/// `out[i]` covers the half-open window `[i*tick_us, (i+1)*tick_us)`;
+/// spans are half-open `(start_us, end_us)` with `end > start`.  Spans
+/// ending past the grid are clipped to it.
+pub fn fill_busy(spans: &[(u64, u64)], tick_us: u64, out: &mut [i64]) {
+    debug_assert!(tick_us > 0);
+    if out.is_empty() {
+        return;
+    }
+    let last_bucket = out.len() - 1;
+    for &(start, end) in spans {
+        if end <= start {
+            continue;
+        }
+        let first = ((start / tick_us) as usize).min(last_bucket);
+        let last = (((end - 1) / tick_us) as usize).min(last_bucket);
+        for (offset, slot) in out[first..=last].iter_mut().enumerate() {
+            let bucket = (first + offset) as u64;
+            let lo = start.max(bucket * tick_us);
+            let hi = end.min((bucket + 1) * tick_us);
+            if hi > lo {
+                *slot += (hi - lo) as i64;
+            }
+        }
+    }
+}
+
+/// Sample a delta stream as a running sum at each tick boundary.
+///
+/// `deltas` must be sorted by timestamp; `out[i]` becomes the sum of all
+/// deltas with timestamp `<= i*tick_us`.  Deltas past the last boundary
+/// are ignored (they would only be visible beyond the grid).
+pub fn fill_gauge(deltas: &[(u64, i64)], tick_us: u64, out: &mut [i64]) {
+    debug_assert!(tick_us > 0);
+    debug_assert!(deltas.windows(2).all(|w| w[0].0 <= w[1].0));
+    let mut acc = 0i64;
+    let mut next = 0usize;
+    for (i, slot) in out.iter_mut().enumerate() {
+        let boundary = i as u64 * tick_us;
+        while next < deltas.len() && deltas[next].0 <= boundary {
+            acc += deltas[next].1;
+            next += 1;
+        }
+        *slot = acc;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_clips_to_grid() {
+        let mut out = [0i64; 2];
+        fill_busy(&[(5, 100)], 10, &mut out);
+        assert_eq!(out, [5, 10]);
+    }
+
+    #[test]
+    fn busy_span_inside_one_window() {
+        let mut out = [0i64; 3];
+        fill_busy(&[(12, 17), (12, 17)], 10, &mut out);
+        assert_eq!(out, [0, 10, 0]);
+    }
+
+    #[test]
+    fn gauge_boundary_is_inclusive() {
+        let mut out = [0i64; 3];
+        fill_gauge(&[(0, 2), (10, -1), (21, 5)], 10, &mut out);
+        assert_eq!(out, [2, 1, 1]);
+    }
+
+    #[test]
+    fn gauge_empty_deltas() {
+        let mut out = [7i64; 2];
+        fill_gauge(&[], 10, &mut out);
+        assert_eq!(out, [0, 0]);
+    }
+}

@@ -57,7 +57,9 @@ use std::collections::VecDeque;
 
 use gamma_des::{SharedServer, Sim, SimTime};
 use gamma_metrics::Histogram;
+use gamma_prof::{Device, FlightProfile, FlightRecorder};
 
+use crate::explain::{PhaseBreakdown, QueryExplain};
 use crate::plan::QueryPlan;
 use crate::report::{QueryTiming, ServeOutcome};
 
@@ -87,8 +89,12 @@ struct EngineState {
     reserved: Vec<usize>,
     waiting: VecDeque<usize>,
     records: Vec<QueryTiming>,
+    explains: Vec<QueryExplain>,
     disk_wait_hist: Histogram,
     net_wait_hist: Histogram,
+    /// Flight recorder (present only under [`run_recorded`]); owned by the
+    /// state so event closures stay capture-light.
+    rec: Option<FlightRecorder>,
 }
 
 fn try_admit(sim: &mut Sim<EngineState>) {
@@ -113,6 +119,14 @@ fn try_admit(sim: &mut Sim<EngineState>) {
             *r += peaks.get(n).copied().unwrap_or(0);
         }
         st.records[q].admitted = Some(now);
+        if let Some(rec) = st.rec.as_mut() {
+            rec.query_admitted(now);
+            for (n, &p) in st.plans[q].peak_pages.iter().enumerate() {
+                if p > 0 {
+                    rec.pool_pages(n, now, p as i64);
+                }
+            }
+        }
         sim.schedule_at(now, move |s| run_phase(s, q, 0));
     }
 }
@@ -129,12 +143,26 @@ fn run_phase(sim: &mut Sim<EngineState>, q: usize, p: usize) {
     let last = p + 1 == sim.state.plans[q].phases.len();
     let st = &mut sim.state;
 
-    let start = st.dispatch.submit(now, ph.sched_overhead);
+    let dspan = st.dispatch.submit_span(now, ph.sched_overhead);
+    let start = dspan.completion;
+    if let Some(rec) = st.rec.as_mut() {
+        rec.dispatch(dspan.arrival, dspan.start, dspan.completion);
+    }
     let mut end = start;
+    // Critical-path attribution for EXPLAIN: whichever determinant last
+    // raised `end` (a device completion, a CPU convoy end, or the ring)
+    // owns the phase body, split into its service and wait components.
+    // Every candidate's components sum exactly to `candidate − start`, so
+    // the recorded breakdown always satisfies
+    // `end − launch = dispatch_wait + dispatch_service + Σ components`.
+    let mut crit_cpu = SimTime::ZERO;
+    let mut crit_disk = SimTime::ZERO;
+    let mut crit_net = SimTime::ZERO;
+    let mut crit_wait = SimTime::ZERO;
     for np in &ph.nodes {
         let cpu_start = start.max(st.cpu_free[np.node]);
+        let cpu_head_wait = cpu_start - start;
         let mut stall = SimTime::ZERO;
-        let mut last_done = SimTime::ZERO;
         let (mut di, mut ni) = (0, 0);
         while di < np.disk.len() || ni < np.net.len() {
             let take_disk = match (np.disk.get(di), np.net.get(ni)) {
@@ -143,14 +171,20 @@ fn run_phase(sim: &mut Sim<EngineState>, q: usize, p: usize) {
                 _ => false,
             };
             let r = if take_disk { np.disk[di] } else { np.net[ni] };
-            let arrival = cpu_start + r.issue + stall;
+            let stall_before = stall;
+            let arrival = cpu_start + r.issue + stall_before;
             let server = if take_disk {
                 &mut st.disk[np.node]
             } else {
                 &mut st.net[np.node]
             };
-            let done = server.submit(arrival, r.service);
-            let wait = done - arrival - r.service;
+            let span = server.submit_span(arrival, r.service);
+            let done = span.completion;
+            let wait = span.wait();
+            if let Some(rec) = st.rec.as_mut() {
+                let dev = if take_disk { Device::Disk } else { Device::Net };
+                rec.device(np.node, dev, span.arrival, span.start, span.completion);
+            }
             let hist = if take_disk {
                 &mut st.disk_wait_hist
             } else {
@@ -162,7 +196,15 @@ fn run_phase(sim: &mut Sim<EngineState>, q: usize, p: usize) {
                     stall += wait - w;
                 }
             }
-            last_done = last_done.max(done);
+            if done > end {
+                end = done;
+                // done − start = cpu_head_wait + issue + stall_before
+                //              + wait + service.
+                crit_cpu = r.issue;
+                crit_disk = if take_disk { r.service } else { SimTime::ZERO };
+                crit_net = if take_disk { SimTime::ZERO } else { r.service };
+                crit_wait = cpu_head_wait + stall_before + wait;
+            }
             if take_disk {
                 di += 1;
             } else {
@@ -173,11 +215,50 @@ fn run_phase(sim: &mut Sim<EngineState>, q: usize, p: usize) {
         st.cpu_free[np.node] = cpu_end;
         st.cpu_busy[np.node] += np.cpu;
         st.cpu_stall[np.node] += stall;
-        end = end.max(cpu_end).max(last_done);
+        if let Some(rec) = st.rec.as_mut() {
+            rec.cpu_busy(np.node, cpu_start, cpu_end);
+        }
+        if cpu_end > end {
+            end = cpu_end;
+            // cpu_end − start = cpu_head_wait + cpu + stall.
+            crit_cpu = np.cpu;
+            crit_disk = SimTime::ZERO;
+            crit_net = SimTime::ZERO;
+            crit_wait = cpu_head_wait + stall;
+        }
     }
     if ph.ring > SimTime::ZERO {
-        end = end.max(st.ring.submit(start, ph.ring));
+        let rspan = st.ring.submit_span(start, ph.ring);
+        if let Some(rec) = st.rec.as_mut() {
+            rec.ring(rspan.arrival, rspan.start, rspan.completion);
+        }
+        if rspan.completion > end {
+            end = rspan.completion;
+            // completion − start = ring wait + ring occupancy.
+            crit_cpu = SimTime::ZERO;
+            crit_disk = SimTime::ZERO;
+            crit_net = ph.ring;
+            crit_wait = rspan.wait();
+        }
     }
+    let breakdown = PhaseBreakdown {
+        name: ph.name.clone(),
+        launch: now,
+        end,
+        dispatch_wait: dspan.wait(),
+        dispatch_service: ph.sched_overhead,
+        cpu_service: crit_cpu,
+        disk_service: crit_disk,
+        net_service: crit_net,
+        queue_wait: crit_wait,
+    };
+    debug_assert_eq!(
+        breakdown.explained(),
+        breakdown.span(),
+        "EXPLAIN breakdown must account for every microsecond of {} q{q} p{p}",
+        ph.name
+    );
+    st.explains[q].phases.push(breakdown);
 
     if last {
         sim.schedule_at(end, move |s| complete(s, q));
@@ -190,11 +271,26 @@ fn complete(sim: &mut Sim<EngineState>, q: usize) {
     let now = sim.now();
     let st = &mut sim.state;
     st.records[q].finished = Some(now);
+    debug_assert_eq!(
+        st.records[q]
+            .admitted
+            .map(|a| a + st.explains[q].explained_total()),
+        Some(now),
+        "q{q}: explained phase spans must telescope to the completion time"
+    );
     let peaks = &st.plans[q].peak_pages;
     for (n, r) in st.reserved.iter_mut().enumerate() {
         let p = peaks.get(n).copied().unwrap_or(0);
         debug_assert!(*r >= p, "admission reservation underflow");
         *r -= p;
+    }
+    if let Some(rec) = st.rec.as_mut() {
+        rec.query_finished(now);
+        for (n, &p) in st.plans[q].peak_pages.iter().enumerate() {
+            if p > 0 {
+                rec.pool_pages(n, now, -(p as i64));
+            }
+        }
     }
     try_admit(sim);
 }
@@ -204,6 +300,23 @@ fn complete(sim: &mut Sim<EngineState>, q: usize) {
 /// plan's per-node peak must fit the budget (otherwise the head-of-line
 /// queue could never drain).
 pub fn run(plans: Vec<QueryPlan>, arrivals: &[SimTime], cfg: &EngineConfig) -> ServeOutcome {
+    run_recorded(plans, arrivals, cfg, None).0
+}
+
+/// [`run`], plus a gamma-prof flight recorder sampling the run at a fixed
+/// virtual-time tick. Returns the profile alongside the outcome; with
+/// `tick_us = None` no recorder is attached and the profile is `None`.
+///
+/// The recorder only observes quantities the engine already computes from
+/// [`SharedServer`] submissions — attaching it cannot perturb the
+/// timeline, so the outcome is identical to [`run`]'s (the serve tests
+/// pin this).
+pub fn run_recorded(
+    plans: Vec<QueryPlan>,
+    arrivals: &[SimTime],
+    cfg: &EngineConfig,
+    tick_us: Option<u64>,
+) -> (ServeOutcome, Option<FlightProfile>) {
     assert_eq!(plans.len(), arrivals.len(), "one arrival time per plan");
     assert!(
         arrivals.windows(2).all(|w| w[0] <= w[1]),
@@ -226,6 +339,7 @@ pub fn run(plans: Vec<QueryPlan>, arrivals: &[SimTime], cfg: &EngineConfig) -> S
             finished: None,
         })
         .collect();
+    let explains = vec![QueryExplain::default(); arrivals.len()];
     let state = EngineState {
         plans,
         budget: cfg.pool_budget_pages,
@@ -240,21 +354,28 @@ pub fn run(plans: Vec<QueryPlan>, arrivals: &[SimTime], cfg: &EngineConfig) -> S
         reserved: vec![0; cfg.nodes],
         waiting: VecDeque::new(),
         records,
+        explains,
         disk_wait_hist: Histogram::default(),
         net_wait_hist: Histogram::default(),
+        rec: tick_us.map(|t| FlightRecorder::new(cfg.nodes, t)),
     };
 
     let mut sim = Sim::untraced(state);
     for (q, &t) in arrivals.iter().enumerate() {
         sim.schedule_at(t, move |s| {
+            let now = s.now();
             s.state.waiting.push_back(q);
+            if let Some(rec) = s.state.rec.as_mut() {
+                rec.query_arrival(now);
+            }
             try_admit(s);
         });
     }
     let makespan = sim.run_until_idle();
 
     let st = sim.state;
-    ServeOutcome {
+    let profile = st.rec.map(|rec| rec.profile(makespan));
+    let outcome = ServeOutcome {
         queries: st.records,
         makespan,
         dispatch: st.dispatch.stats(),
@@ -265,7 +386,9 @@ pub fn run(plans: Vec<QueryPlan>, arrivals: &[SimTime], cfg: &EngineConfig) -> S
         cpu_stall: st.cpu_stall,
         disk_wait_hist: st.disk_wait_hist,
         net_wait_hist: st.net_wait_hist,
-    }
+        explains: st.explains,
+    };
+    (outcome, profile)
 }
 
 #[cfg(test)]

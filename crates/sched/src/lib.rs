@@ -28,11 +28,13 @@
 
 pub mod arrivals;
 pub mod engine;
+pub mod explain;
 pub mod plan;
 pub mod report;
 
 pub use arrivals::Arrivals;
 pub use engine::EngineConfig;
+pub use explain::{PhaseBreakdown, QueryExplain};
 pub use plan::{extract, NodePlan, PhasePlan, QueryPlan};
 pub use report::{exact_percentile, QueryTiming, ServeOutcome};
 
@@ -90,6 +92,29 @@ impl ServeResult {
 /// Execution is deterministic, so every instance must reproduce the
 /// template's result checksum and solo response — asserted here.
 pub fn serve(machine: &mut Machine, spec: &JoinSpec, cfg: &ServeConfig) -> ServeResult {
+    serve_inner(machine, spec, cfg, None).0
+}
+
+/// [`serve`], plus a flight-recorder profile of the interleaved timeline
+/// sampled every `tick_us` of virtual time (see `gamma-prof`). The
+/// recorder is a pure observer: the returned `ServeResult` is identical
+/// to [`serve`]'s.
+pub fn serve_recorded(
+    machine: &mut Machine,
+    spec: &JoinSpec,
+    cfg: &ServeConfig,
+    tick_us: u64,
+) -> (ServeResult, gamma_prof::FlightProfile) {
+    let (result, profile) = serve_inner(machine, spec, cfg, Some(tick_us));
+    (result, profile.expect("recorder was attached"))
+}
+
+fn serve_inner(
+    machine: &mut Machine,
+    spec: &JoinSpec,
+    cfg: &ServeConfig,
+    tick_us: Option<u64>,
+) -> (ServeResult, Option<gamma_prof::FlightProfile>) {
     assert!(cfg.queries > 0, "serving zero queries is vacuous");
 
     let mut reports: Vec<JoinReport> = Vec::with_capacity(cfg.queries as usize);
@@ -131,12 +156,15 @@ pub fn serve(machine: &mut Machine, spec: &JoinSpec, cfg: &ServeConfig) -> Serve
         backlog_window: cfg.backlog_window,
     };
     let plans = vec![plan.clone(); cfg.queries as usize];
-    let outcome = engine::run(plans, &arrival_times, &engine_cfg);
+    let (outcome, profile) = engine::run_recorded(plans, &arrival_times, &engine_cfg, tick_us);
 
-    ServeResult {
-        solo,
-        plan,
-        reports,
-        outcome,
-    }
+    (
+        ServeResult {
+            solo,
+            plan,
+            reports,
+            outcome,
+        },
+        profile,
+    )
 }

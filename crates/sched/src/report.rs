@@ -12,6 +12,8 @@
 use gamma_des::{QueueStats, SimTime};
 use gamma_metrics::Histogram;
 
+use crate::explain::QueryExplain;
+
 /// Lifecycle timestamps of one served query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QueryTiming {
@@ -58,6 +60,9 @@ pub struct ServeOutcome {
     pub disk_wait_hist: Histogram,
     /// Distribution of individual NI-request queue waits (µs).
     pub net_wait_hist: Histogram,
+    /// Per-query EXPLAIN breakdowns, in arrival order (one entry per
+    /// query; empty phase lists for queries that never ran).
+    pub explains: Vec<QueryExplain>,
 }
 
 /// Nearest-rank percentile over an ascending-sorted slice: the smallest

@@ -22,8 +22,25 @@
 use crate::{EventKind, TraceSink, SCHEDULER_PHASE};
 use std::fmt::Write as _;
 
-/// Synthetic pid for the DES scheduler track.
-const SCHEDULER_PID: u32 = 1_000_000;
+/// Synthetic pid for the DES scheduler track. Public so external counter
+/// series (e.g. gamma-prof flight-recorder tracks) can pin machine-wide
+/// gauges to the scheduler process instead of a node.
+pub const SCHEDULER_PID: u32 = 1_000_000;
+
+/// An externally produced counter track to merge into the export.
+///
+/// Points are `(ts_us, value)` pairs; they are emitted in the order
+/// given, so callers should pre-sort by timestamp. Values render as a
+/// single `"value"` arg, which Perfetto plots as a stepped counter.
+pub struct CounterSeries {
+    /// Track name as shown in the UI (e.g. `node0.disk_queue`).
+    pub name: String,
+    /// Process the track attaches to: a node id, or [`SCHEDULER_PID`]
+    /// for machine-wide series.
+    pub pid: u32,
+    /// `(timestamp_us, value)` samples.
+    pub points: Vec<(u64, i64)>,
+}
 
 /// Escape a string for inclusion in a JSON string literal.
 fn escape(s: &str, out: &mut String) {
@@ -91,6 +108,13 @@ fn push_args(out: &mut String, kind: &EventKind) {
 /// absolute times; un-replayed phases are skipped, and their events with
 /// them.
 pub fn to_json(sink: &TraceSink) -> String {
+    to_json_with_counters(sink, &[])
+}
+
+/// Like [`to_json`], but merges externally produced counter tracks (e.g.
+/// gamma-prof flight-recorder time series) into the same document. With
+/// an empty `extra` slice the output is byte-identical to [`to_json`].
+pub fn to_json_with_counters(sink: &TraceSink, extra: &[CounterSeries]) -> String {
     let mut out = String::with_capacity(256 + sink.len() * 96);
     out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
     let mut first = true;
@@ -111,7 +135,7 @@ pub fn to_json(sink: &TraceSink) -> String {
         sep(&mut out);
         push_meta(&mut out, n as u32, &format!("node {n}"));
     }
-    if sink.totals.sim_steps > 0 {
+    if sink.totals.sim_steps > 0 || extra.iter().any(|c| c.pid == SCHEDULER_PID) {
         sep(&mut out);
         push_meta(&mut out, SCHEDULER_PID, "scheduler");
     }
@@ -217,6 +241,21 @@ pub fn to_json(sink: &TraceSink) -> String {
             let _ = write!(
                 out,
                 "{{\"name\":\"queue depth (milli)\",\"ph\":\"C\",\"pid\":{n},\"tid\":0,\"ts\":{end},\"args\":{{\"disk\":0,\"net\":0}}}}"
+            );
+        }
+    }
+
+    // Merged external counter tracks, in caller order. Deterministic:
+    // integer timestamps and values only, no reordering.
+    for series in extra {
+        for &(ts, value) in series.points.iter() {
+            sep(&mut out);
+            out.push_str("{\"name\":\"");
+            escape(&series.name, &mut out);
+            let _ = write!(
+                out,
+                "\",\"ph\":\"C\",\"pid\":{},\"tid\":0,\"ts\":{ts},\"args\":{{\"value\":{value}}}}}",
+                series.pid
             );
         }
     }
@@ -377,6 +416,35 @@ mod tests {
         let doc = to_json(&sample_sink());
         assert!(!doc.contains("thread_name"));
         assert!(!doc.contains("\"tid\":1"));
+    }
+
+    #[test]
+    fn merged_counters_render_and_empty_merge_is_identity() {
+        let sink = sample_sink();
+        assert_eq!(to_json(&sink), to_json_with_counters(&sink, &[]));
+        let extra = vec![
+            CounterSeries {
+                name: "node0.disk_queue".into(),
+                pid: 0,
+                points: vec![(0, 3), (10, 1), (20, 0)],
+            },
+            CounterSeries {
+                name: "inflight_queries".into(),
+                pid: SCHEDULER_PID,
+                points: vec![(0, 2), (20, 0)],
+            },
+        ];
+        let doc = to_json_with_counters(&sink, &extra);
+        assert!(looks_like_trace_json(&doc));
+        assert!(doc.contains(
+            "{\"name\":\"node0.disk_queue\",\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":10,\"args\":{\"value\":1}}"
+        ));
+        assert!(doc.contains(&format!(
+            "{{\"name\":\"inflight_queries\",\"ph\":\"C\",\"pid\":{SCHEDULER_PID},\"tid\":0,\"ts\":0,\"args\":{{\"value\":2}}}}"
+        )));
+        // Machine-wide counters force the scheduler process meta track.
+        assert!(doc.contains("\"args\":{\"name\":\"scheduler\"}"));
+        assert_eq!(doc, to_json_with_counters(&sample_sink(), &extra));
     }
 
     #[test]

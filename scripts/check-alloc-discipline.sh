@@ -13,25 +13,45 @@
 # Allowed and therefore exempt:
 #   * everything under the trailing `#[cfg(test)]` module (tests stage
 #     fixtures however they like);
+#   * comment lines (they describe the discipline, they don't break it);
 #   * `join_nodes.to_vec()` — a copy of a small NodeId slice per join
 #     setup, not per tuple;
 #   * `&mut Vec<u8>` out-parameters (the reuse-a-buffer idiom the batch
-#     plane is built on).
+#     plane is built on);
+#   * `arena: Vec<u8>` — the hash table's arena IS the batch backing
+#     store (one allocation per table, not per tuple).
+#
+# The gamma-prof sampling hot path (`crates/prof/src/sample.rs`) gets a
+# stricter check: the per-tick fill loops run once per series per tick
+# inside the recorder, so they must be allocation-free outright — callers
+# pre-size the output slices.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 fail=0
-for f in crates/core/src/exec/scan.rs crates/core/src/exec/hash.rs; do
+for f in crates/core/src/exec/scan.rs crates/core/src/exec/hash.rs \
+         crates/core/src/hash_table.rs; do
     # Non-test body: everything above the trailing #[cfg(test)] module.
     hits=$(awk '/^#\[cfg\(test\)\]/{exit} {print}' "$f" |
         grep -nE '\.to_vec\(\)|Vec<Vec<u8>>|[^&]Vec<u8>' |
-        grep -vE 'join_nodes\.to_vec|&mut Vec<u8>' || true)
+        grep -vE '^[0-9]+:\s*//|join_nodes\.to_vec|&mut Vec<u8>|arena: Vec<u8>' || true)
     if [ -n "$hits" ]; then
         echo "error: $f re-introduces per-tuple heap traffic on the data plane:" >&2
         echo "$hits" | sed "s|^|  $f:|" >&2
         fail=1
     fi
 done
+
+# Flight-recorder sampling must be allocation-free per tick.
+f=crates/prof/src/sample.rs
+hits=$(awk '/^#\[cfg\(test\)\]/{exit} {print}' "$f" |
+    grep -nE '\.push\(|\.to_vec\(|\.to_string\(|\.collect\(|Vec::|vec!|String::|format!|Box::' |
+    grep -vE '^[0-9]+:\s*//' || true)
+if [ -n "$hits" ]; then
+    echo "error: $f allocates on the per-tick sampling hot path:" >&2
+    echo "$hits" | sed "s|^|  $f:|" >&2
+    fail=1
+fi
 
 if [ "$fail" -ne 0 ]; then
     echo >&2
@@ -40,4 +60,4 @@ if [ "$fail" -ne 0 ]; then
     echo "extend the allowlist in $0 with a comment saying why." >&2
     exit 1
 fi
-echo "alloc discipline OK: no per-tuple owned moves in exec::{scan,hash}"
+echo "alloc discipline OK: no per-tuple owned moves in exec::{scan,hash}/hash_table, no allocs in prof sampling"
